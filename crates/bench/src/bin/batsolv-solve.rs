@@ -1,0 +1,61 @@
+//! `batsolv-solve` — solve a Matrix Market batch directory, the library
+//! form of the paper's `run_xgc_matrices.sh` reproducibility driver.
+//!
+//! ```text
+//! batsolv-solve <dir> [--method bicgstab-ell] [--device a100] [--tol 1e-10]
+//! ```
+//!
+//! The directory layout matches the paper's Zenodo archive: one
+//! subdirectory per batch index containing `A.mtx` and `b.mtx`
+//! (exportable from any workload via
+//! `batsolv::formats::matrix_market::write_batch_dir`).
+
+use std::path::PathBuf;
+
+use batsolv_bench::solve_dir::{solve_directory, summarize, SolveDirOptions};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut dir: Option<PathBuf> = None;
+    let mut opts = SolveDirOptions::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--method" => opts.method = args.next().unwrap_or_default(),
+            "--device" => opts.device = args.next().unwrap_or_default(),
+            "--tol" => {
+                opts.tolerance = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or(opts.tolerance)
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: batsolv-solve <dir> [--method bicgstab-csr|bicgstab-ell|dgbsv|sparse-qr] \
+                     [--device v100|a100|mi100|skylake] [--tol 1e-10]"
+                );
+                return;
+            }
+            other if dir.is_none() => dir = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("unexpected argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("missing batch directory (try --help)");
+        std::process::exit(2);
+    };
+    match solve_directory(&dir, &opts) {
+        Ok((report, _x, true_res)) => {
+            println!("{}", summarize(&report, true_res));
+            if !report.all_converged() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

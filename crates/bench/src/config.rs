@@ -1,0 +1,86 @@
+//! Run configuration for the reproduction harness.
+
+use std::path::PathBuf;
+
+/// Shared configuration of all experiments.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Quick mode: smaller batches and grids, for CI-style runs.
+    pub quick: bool,
+    /// Where CSV series and reports are written.
+    pub out_dir: PathBuf,
+    /// Workload seed (all experiments are deterministic given this).
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// Default configuration: full scale, output under `bench_out/`.
+    pub fn new(quick: bool) -> RunConfig {
+        let out_dir = std::env::var("REPRO_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("bench_out"));
+        RunConfig {
+            quick,
+            out_dir,
+            seed: 20220530, // IPDPS 2022 presentation date
+        }
+    }
+
+    /// Batch sizes (systems) for the Figure 6/7 sweeps. Chosen to
+    /// straddle multiples of the MI100's 120 CUs so the wave steps show.
+    pub fn batch_sizes(&self) -> Vec<usize> {
+        if self.quick {
+            vec![16, 32, 64, 96, 120, 128, 240, 256]
+        } else {
+            vec![
+                16, 32, 64, 96, 120, 128, 240, 256, 360, 480, 512, 720, 960, 1024, 1440, 1920,
+                2048, 2880, 3840, 4096,
+            ]
+        }
+    }
+
+    /// Largest Figure 6 batch (systems).
+    pub fn max_batch(&self) -> usize {
+        *self.batch_sizes().last().unwrap()
+    }
+
+    /// Mesh-node counts for the Picard sweeps (Figures 8 and 9); each
+    /// node contributes one ion + one electron system.
+    pub fn picard_nodes(&self) -> Vec<usize> {
+        if self.quick {
+            vec![8, 16, 32]
+        } else {
+            vec![8, 16, 32, 64, 128, 256]
+        }
+    }
+
+    /// Eigenvalue grids for Figure 2: `(n_par, n_perp)` pairs.
+    pub fn eigen_grids(&self) -> Vec<(usize, usize)> {
+        if self.quick {
+            vec![(16, 15)]
+        } else {
+            vec![(16, 15), (32, 31)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_is_smaller() {
+        let q = RunConfig::new(true);
+        let f = RunConfig::new(false);
+        assert!(q.max_batch() < f.max_batch());
+        assert!(q.picard_nodes().len() < f.picard_nodes().len());
+    }
+
+    #[test]
+    fn batch_sizes_cover_mi100_steps() {
+        let sizes = RunConfig::new(false).batch_sizes();
+        assert!(sizes.contains(&120));
+        assert!(sizes.contains(&240));
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 4: sparsity pattern of one batch entry.
+//!
+//! Paper: 992 rows, 9 nonzeros per row, from a 2-D nine-point stencil.
+
+use batsolv_types::Result;
+use batsolv_xgc::VelocityGrid;
+
+use crate::config::RunConfig;
+use crate::output::write_csv;
+
+/// Run the experiment; returns the report section.
+pub fn run(cfg: &RunConfig) -> Result<String> {
+    let grid = VelocityGrid::xgc_standard();
+    let p = grid.stencil_pattern();
+    let n = p.num_rows();
+
+    // Row-wise nnz histogram.
+    let mut hist = std::collections::BTreeMap::new();
+    for r in 0..n {
+        *hist.entry(p.nnz_in_row(r)).or_insert(0usize) += 1;
+    }
+    let rows: Vec<String> = hist.iter().map(|(k, v)| format!("{k},{v}")).collect();
+    write_csv(&cfg.out_dir, "fig4_row_nnz_histogram.csv", "nnz_per_row,rows", &rows)?;
+
+    // Coordinate dump for external spy plotting.
+    let mut coords = Vec::with_capacity(p.nnz());
+    for r in 0..n {
+        for &c in p.row_cols(r) {
+            coords.push(format!("{r},{c}"));
+        }
+    }
+    write_csv(&cfg.out_dir, "fig4_pattern_coords.csv", "row,col", &coords)?;
+
+    // ASCII spy plot, downsampled to 62x62 character cells.
+    let cells = 62usize;
+    let mut spy = vec![vec![' '; cells]; cells];
+    for r in 0..n {
+        for &c in p.row_cols(r) {
+            let rr = r * cells / n;
+            let cc = (c as usize) * cells / n;
+            spy[rr][cc] = '*';
+        }
+    }
+    let mut out = String::from("== Figure 4: sparsity pattern of one batch entry ==\n");
+    let (kl, ku) = p.bandwidths();
+    out.push_str(&format!(
+        "{} rows, {} nnz, max {} per row, bandwidths (kl, ku) = ({kl}, {ku})\n",
+        n,
+        p.nnz(),
+        p.max_nnz_per_row()
+    ));
+    for row in &spy {
+        out.push('|');
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    let interior_rows = hist.get(&9).copied().unwrap_or(0);
+    let ok = n == 992 && p.max_nnz_per_row() == 9 && interior_rows > n / 2;
+    out.push_str(&format!(
+        "shape check: {} (992 rows, 9 nnz/row on {} interior rows)\n",
+        if ok { "PASS" } else { "FAIL" },
+        interior_rows
+    ));
+    Ok(out)
+}

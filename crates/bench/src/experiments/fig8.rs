@@ -1,0 +1,68 @@
+//! Figure 8: effect of the initial guess on cumulative Picard solve time.
+//!
+//! Paper claims (A100, batched BiCGSTAB): warm-starting each linear
+//! solve from the previous Picard iterate speeds up the cumulative
+//! 5-iteration solve time by ~1.15–1.25× with `BatchCsr` and
+//! ~1.2–1.6× with `BatchEll`, versus a zero initial guess.
+
+use batsolv_gpusim::DeviceSpec;
+use batsolv_types::Result;
+use batsolv_xgc::picard::SolverKind;
+use batsolv_xgc::{CollisionProxy, VelocityGrid};
+
+use crate::config::RunConfig;
+use crate::output::{fmt_time, write_csv, TextTable};
+
+/// Run the experiment; returns the report section.
+pub fn run(cfg: &RunConfig) -> Result<String> {
+    let a100 = DeviceSpec::a100();
+    let mut rows = Vec::new();
+    let mut out = String::from("== Figure 8: initial-guess effect (A100, 5 Picard iterations) ==\n");
+    let mut table = TextTable::new(&["format", "nodes", "zero guess", "warm guess", "speedup"]);
+    let mut speedups = vec![];
+    for solver in [SolverKind::BicgstabCsr, SolverKind::BicgstabEll] {
+        for &nodes in &cfg.picard_nodes() {
+            let proxy = CollisionProxy::new(VelocityGrid::xgc_standard(), nodes);
+            let mut s_zero = proxy.initial_state(cfg.seed);
+            let zero = proxy.run_picard(&mut s_zero, &a100, solver, false)?;
+            let mut s_warm = proxy.initial_state(cfg.seed);
+            let warm = proxy.run_picard(&mut s_warm, &a100, solver, true)?;
+            let speedup = zero.total_solve_time_s / warm.total_solve_time_s;
+            rows.push(format!(
+                "{},{nodes},{:.9},{:.9},{speedup:.4}",
+                solver.name(),
+                zero.total_solve_time_s,
+                warm.total_solve_time_s
+            ));
+            table.row(&[
+                solver.name().into(),
+                nodes.to_string(),
+                fmt_time(zero.total_solve_time_s),
+                fmt_time(warm.total_solve_time_s),
+                format!("{speedup:.2}x"),
+            ]);
+            speedups.push((solver, speedup));
+        }
+    }
+    write_csv(
+        &cfg.out_dir,
+        "fig8_initial_guess.csv",
+        "solver,nodes,zero_total_s,warm_total_s,speedup",
+        &rows,
+    )?;
+    out.push_str(&table.render());
+
+    let csr_ok = speedups
+        .iter()
+        .filter(|(s, _)| *s == SolverKind::BicgstabCsr)
+        .all(|(_, sp)| *sp > 1.05 && *sp < 2.0);
+    let ell_ok = speedups
+        .iter()
+        .filter(|(s, _)| *s == SolverKind::BicgstabEll)
+        .all(|(_, sp)| *sp > 1.05 && *sp < 2.2);
+    out.push_str(&format!(
+        "shape check: {} (warm start always faster; paper ranges CSR 1.15-1.25x, ELL 1.2-1.6x)\n",
+        if csr_ok && ell_ok { "PASS" } else { "FAIL" }
+    ));
+    Ok(out)
+}

@@ -1,0 +1,15 @@
+#![allow(clippy::needless_range_loop)] // indexed loops are the clearest idiom for stencil/linear-algebra kernels
+//! The reproduction harness.
+//!
+//! One module per table/figure of the paper's evaluation (see
+//! `DESIGN.md` for the experiment index). The `repro` binary dispatches
+//! into these modules; each writes CSV series into the output directory
+//! and returns a human-readable summary with the shape checks that
+//! correspond to the paper's claims.
+
+pub mod config;
+pub mod experiments;
+pub mod output;
+pub mod solve_dir;
+
+pub use config::RunConfig;

@@ -1,0 +1,89 @@
+//! Smoke tests of the cheap reproduction experiments: each must run,
+//! report PASS on its shape checks, and write its CSV artifacts.
+
+use batsolv_bench::experiments::*;
+use batsolv_bench::RunConfig;
+
+fn test_config(tag: &str) -> RunConfig {
+    let mut cfg = RunConfig::new(true);
+    cfg.out_dir = std::env::temp_dir().join(format!("batsolv_smoke_{tag}_{}", std::process::id()));
+    cfg
+}
+
+fn run_and_check(
+    tag: &str,
+    runner: fn(&RunConfig) -> batsolv_types::Result<String>,
+    expect_csv: &[&str],
+) {
+    let cfg = test_config(tag);
+    let report = runner(&cfg).expect("experiment runs");
+    assert!(
+        !report.contains("FAIL"),
+        "{tag} reported a failing shape check:\n{report}"
+    );
+    assert!(report.contains("PASS"), "{tag} has no shape check");
+    for csv in expect_csv {
+        let path = cfg.out_dir.join(csv);
+        assert!(path.exists(), "{tag} did not write {csv}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().count() > 1, "{csv} has no data rows");
+    }
+    let _ = std::fs::remove_dir_all(&cfg.out_dir);
+}
+
+#[test]
+fn fig1_timeline() {
+    run_and_check("fig1", fig1::run, &["fig1_timeline.csv"]);
+}
+
+#[test]
+fn fig3_storage() {
+    run_and_check("fig3", fig3::run, &["fig3_storage.csv"]);
+}
+
+#[test]
+fn fig4_pattern() {
+    run_and_check(
+        "fig4",
+        fig4::run,
+        &["fig4_row_nnz_histogram.csv", "fig4_pattern_coords.csv"],
+    );
+}
+
+#[test]
+fn fig5_layouts() {
+    run_and_check("fig5", fig5::run, &["fig5_lane_utilization.csv"]);
+}
+
+#[test]
+fn table1_devices() {
+    run_and_check("table1", table1::run, &["table1_devices.csv"]);
+}
+
+#[test]
+fn fig2_eigenvalues() {
+    run_and_check(
+        "fig2",
+        fig2::run,
+        &["fig2_summary.csv", "fig2_eig_ion_16x15.csv"],
+    );
+}
+
+#[test]
+fn fig7_spmv() {
+    run_and_check("fig7", fig7::run, &["fig7_spmv_times.csv"]);
+}
+
+#[test]
+fn convergence_traces() {
+    run_and_check(
+        "conv",
+        convergence::run,
+        &["ext_convergence_traces.csv"],
+    );
+}
+
+#[test]
+fn table3_picard() {
+    run_and_check("table3", table3::run, &["table3_picard_iterations.csv"]);
+}

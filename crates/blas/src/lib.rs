@@ -1,0 +1,16 @@
+#![allow(clippy::needless_range_loop)] // indexed loops are the clearest idiom for stencil/linear-algebra kernels
+//! Specialized batched dense BLAS kernels.
+//!
+//! The paper's solvers compose "specialized, tuned `BatchDense` kernels"
+//! (dot products, axpys, norms) with the sparse SpMV into a single fused
+//! solve kernel. This crate provides those building blocks for one system
+//! at a time — the per-thread-block perspective — plus the operation-count
+//! bookkeeping ([`counts`]) that the device model prices, and a small dense
+//! LU ([`lu`]) used by tests, the block-Jacobi preconditioner, and the
+//! reference direct path.
+
+pub mod counts;
+pub mod l1;
+pub mod lu;
+
+pub use l1::*;

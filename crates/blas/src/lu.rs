@@ -1,0 +1,196 @@
+//! Small dense LU factorization with partial pivoting.
+//!
+//! Used for the dense reference solves in tests, for block-Jacobi
+//! preconditioner blocks, and as the innermost kernel of the batched dense
+//! direct baseline. Operates on a row-major `n × n` slab in place.
+
+use batsolv_types::{Error, Result, Scalar};
+
+/// In-place LU factorization with partial pivoting of a row-major `n × n`
+/// matrix. On success `a` holds `L` (unit lower, below diagonal) and `U`
+/// (upper), and `piv[k]` records the row swapped into position `k`.
+pub fn lu_factor<T: Scalar>(n: usize, a: &mut [T], piv: &mut [usize]) -> Result<()> {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(piv.len(), n);
+    for k in 0..n {
+        // Pivot search in column k.
+        let mut p = k;
+        let mut pmax = a[k * n + k].abs();
+        for r in (k + 1)..n {
+            let v = a[r * n + k].abs();
+            if v > pmax {
+                pmax = v;
+                p = r;
+            }
+        }
+        if pmax == T::ZERO {
+            return Err(Error::SingularMatrix {
+                batch_index: 0,
+                detail: format!("zero pivot column {k}"),
+            });
+        }
+        piv[k] = p;
+        if p != k {
+            for c in 0..n {
+                a.swap(k * n + c, p * n + c);
+            }
+        }
+        let pivot = a[k * n + k];
+        for r in (k + 1)..n {
+            let m = a[r * n + k] / pivot;
+            a[r * n + k] = m;
+            for c in (k + 1)..n {
+                a[r * n + c] -= m * a[k * n + c];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solve `A x = b` using factors from [`lu_factor`]; `b` is overwritten
+/// with the solution.
+pub fn lu_solve<T: Scalar>(n: usize, a: &[T], piv: &[usize], b: &mut [T]) {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    // Apply row swaps.
+    for k in 0..n {
+        let p = piv[k];
+        if p != k {
+            b.swap(k, p);
+        }
+    }
+    // Forward substitution (unit lower).
+    for r in 1..n {
+        let mut acc = b[r];
+        for c in 0..r {
+            acc -= a[r * n + c] * b[c];
+        }
+        b[r] = acc;
+    }
+    // Back substitution.
+    for r in (0..n).rev() {
+        let mut acc = b[r];
+        for c in (r + 1)..n {
+            acc -= a[r * n + c] * b[c];
+        }
+        b[r] = acc / a[r * n + r];
+    }
+}
+
+/// Convenience: factor a copy of `a` and solve for `b`, returning `x`.
+pub fn dense_solve<T: Scalar>(n: usize, a: &[T], b: &[T]) -> Result<Vec<T>> {
+    let mut lu = a.to_vec();
+    let mut piv = vec![0usize; n];
+    lu_factor(n, &mut lu, &mut piv)?;
+    let mut x = b.to_vec();
+    lu_solve(n, &lu, &piv, &mut x);
+    Ok(x)
+}
+
+/// Invert a small dense matrix (used by block-Jacobi setup).
+pub fn dense_invert<T: Scalar>(n: usize, a: &[T]) -> Result<Vec<T>> {
+    let mut lu = a.to_vec();
+    let mut piv = vec![0usize; n];
+    lu_factor(n, &mut lu, &mut piv)?;
+    let mut inv = vec![T::ZERO; n * n];
+    let mut e = vec![T::ZERO; n];
+    for c in 0..n {
+        e.iter_mut().for_each(|v| *v = T::ZERO);
+        e[c] = T::ONE;
+        lu_solve(n, &lu, &piv, &mut e);
+        for r in 0..n {
+            inv[r * n + c] = e[r];
+        }
+    }
+    Ok(inv)
+}
+
+/// Flop count of an `n × n` LU factorization (`~2n³/3`) plus two
+/// triangular solves (`~2n²`), for the device model.
+pub fn lu_solve_flops(n: usize) -> u64 {
+    let n = n as u64;
+    2 * n * n * n / 3 + 2 * n * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(n: usize, a: &[f64], x: &[f64], b: &[f64]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for r in 0..n {
+            let mut acc = 0.0;
+            for c in 0..n {
+                acc += a[r * n + c] * x[c];
+            }
+            worst = worst.max((acc - b[r]).abs());
+        }
+        worst
+    }
+
+    #[test]
+    fn solves_identity() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let x = dense_solve(2, &a, &[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_requiring_pivoting() {
+        // Zero in (0,0) forces a row swap.
+        let a = [0.0, 2.0, 1.0, 1.0];
+        let b = [2.0, 2.0];
+        let x = dense_solve(2, &a, &b).unwrap();
+        assert!(residual(2, &a, &x, &b) < 1e-14);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(dense_solve(2, &a, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn random_system_residual_small() {
+        // Deterministic pseudo-random fill, diagonally dominated.
+        let n = 12;
+        let mut a = vec![0.0f64; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                let h = ((r * 37 + c * 17 + 11) % 23) as f64 / 23.0 - 0.5;
+                a[r * n + c] = if r == c { 6.0 + h } else { h };
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|k| (k as f64 * 0.7).sin()).collect();
+        let x = dense_solve(n, &a, &b).unwrap();
+        assert!(residual(n, &a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let n = 5;
+        let mut a = vec![0.0f64; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                a[r * n + c] = if r == c { 4.0 } else { 1.0 / (1.0 + (r + 2 * c) as f64) };
+            }
+        }
+        let inv = dense_invert(n, &a).unwrap();
+        for r in 0..n {
+            for c in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += inv[r * n + k] * a[k * n + c];
+                }
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((acc - expect).abs() < 1e-12, "({r},{c}) = {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn flop_formula_scales_cubically() {
+        assert!(lu_solve_flops(100) > 600_000);
+        assert!(lu_solve_flops(200) > 7 * lu_solve_flops(100));
+    }
+}

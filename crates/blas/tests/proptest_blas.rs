@@ -1,0 +1,117 @@
+//! Property-based tests of the level-1 kernels and the dense LU.
+
+use batsolv_blas::lu::{dense_invert, dense_solve};
+use batsolv_blas::*;
+use proptest::prelude::*;
+
+fn vecs(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        proptest::collection::vec(-10.0f64..10.0, n),
+        proptest::collection::vec(-10.0f64..10.0, n),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dot_is_symmetric_and_cauchy_schwarz((x, y) in vecs(33)) {
+        let xy = dot(&x, &y);
+        let yx = dot(&y, &x);
+        prop_assert!((xy - yx).abs() < 1e-9);
+        prop_assert!(xy.abs() <= nrm2(&x) * nrm2(&y) + 1e-9);
+    }
+
+    #[test]
+    fn axpy_matches_reference((x, mut y) in vecs(17), alpha in -5.0f64..5.0) {
+        let expect: Vec<f64> = x.iter().zip(y.iter()).map(|(a, b)| alpha * a + b).collect();
+        axpy(alpha, &x, &mut y);
+        for (a, b) in y.iter().zip(expect.iter()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn norm_triangle_inequality((x, y) in vecs(25)) {
+        let mut sum = x.clone();
+        axpy(1.0, &y, &mut sum);
+        prop_assert!(nrm2(&sum) <= nrm2(&x) + nrm2(&y) + 1e-9);
+        prop_assert!(nrm_inf(&sum) <= nrm_inf(&x) + nrm_inf(&y) + 1e-12);
+    }
+
+    #[test]
+    fn guarded_divide_inverts_multiply((x, d) in vecs(12)) {
+        // Use only nonzero divisors.
+        let d: Vec<f64> = d.iter().map(|v| if v.abs() < 0.1 { 1.0 } else { *v }).collect();
+        let mut prod = vec![0.0; 12];
+        mul_elementwise(&x, &d, &mut prod);
+        let mut back = vec![0.0; 12];
+        div_elementwise_guarded(&prod, &d, &mut back);
+        for (a, b) in back.iter().zip(x.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lu_solves_dominant_systems(
+        n in 2usize..16,
+        seed in 0u64..100_000,
+    ) {
+        let h = |k: usize| ((seed as usize + k * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+        let mut a = vec![0.0f64; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                a[r * n + c] = if r == c { n as f64 + 1.0 + h(r) } else { h(r * n + c) };
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|k| h(k + 7 * n) * 3.0).collect();
+        let mut b = vec![0.0; n];
+        for r in 0..n {
+            for c in 0..n {
+                b[r] += a[r * n + c] * x_true[c];
+            }
+        }
+        let x = dense_solve(n, &a, &b).unwrap();
+        for k in 0..n {
+            prop_assert!((x[k] - x_true[k]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_is_two_sided(n in 2usize..10, seed in 0u64..100_000) {
+        let h = |k: usize| ((seed as usize + k * 40503) % 1000) as f64 / 1000.0 - 0.5;
+        let mut a = vec![0.0f64; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                a[r * n + c] = if r == c { n as f64 + h(r) } else { h(r * n + c) };
+            }
+        }
+        let inv = dense_invert(n, &a).unwrap();
+        // Both A·A⁻¹ and A⁻¹·A are the identity.
+        for (left, right) in [(&a, &inv), (&inv, &a)] {
+            for r in 0..n {
+                for c in 0..n {
+                    let mut acc = 0.0;
+                    for k in 0..n {
+                        acc += left[r * n + k] * right[k * n + c];
+                    }
+                    let expect = if r == c { 1.0 } else { 0.0 };
+                    prop_assert!((acc - expect).abs() < 1e-8, "({r},{c}) = {acc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_traffic_matches_placement(n in 1usize..2000, warp in 2u32..128) {
+        use batsolv_blas::counts::{axpy_counts, MemSpace};
+        let gg = axpy_counts::<f64>(n, MemSpace::Global, MemSpace::Global, warp);
+        let ss = axpy_counts::<f64>(n, MemSpace::Shared, MemSpace::Shared, warp);
+        // Same arithmetic, different address spaces.
+        prop_assert_eq!(gg.flops, ss.flops);
+        prop_assert_eq!(gg.lane_total, ss.lane_total);
+        prop_assert_eq!(gg.global_bytes() + gg.shared_read_bytes + gg.shared_write_bytes,
+                        ss.global_bytes() + ss.shared_read_bytes + ss.shared_write_bytes);
+        prop_assert_eq!(ss.global_bytes(), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Condition-number estimation.
+//!
+//! The paper's premise is that the XGC matrices have "low condition
+//! numbers". This module puts a number on that: `cond₂(A) ≈ σmax/σmin`
+//! estimated by power iteration on `AᵀA` (largest singular value) and
+//! inverse iteration through a banded LU factorization (smallest), so it
+//! works directly on the batch formats without densifying.
+
+use batsolv_formats::{BatchBanded, BatchCsr, BatchMatrix};
+use batsolv_solvers::direct::banded_lu::{gbtrf, gbtrs};
+use batsolv_types::{Result, Scalar};
+
+/// Estimate the 2-norm condition number of system `i` of a CSR batch.
+///
+/// `iters` power/inverse-iteration steps (a few dozen suffice for the
+/// well-separated spectra at hand).
+pub fn condition_estimate<T: Scalar>(a: &BatchCsr<T>, i: usize, iters: usize) -> Result<f64> {
+    let n = a.dims().num_rows;
+    let smax = largest_singular_value(a, i, iters);
+
+    // Smallest singular value via inverse iteration on AᵀA:
+    // x ← normalize(A⁻ᵀ A⁻¹ x), using one banded LU of A (solve with A,
+    // then with Aᵀ — realized by solving the transposed band system).
+    let banded = BatchBanded::from_csr(a)?;
+    let (kl, ku, ldab) = (banded.kl(), banded.ku(), banded.ldab());
+    let mut lu = banded.ab_of(i).to_vec();
+    let mut piv = vec![0usize; n];
+    gbtrf(n, kl, ku, ldab, &mut lu, &mut piv)?;
+
+    // Transpose as its own banded matrix (kl and ku swap).
+    let mut at = BatchBanded::<T>::zeros(1, n, ku, kl)?;
+    for r in 0..n {
+        for c in r.saturating_sub(kl)..=(r + ku).min(n - 1) {
+            let v = banded.at(i, r, c);
+            if v != T::ZERO {
+                *at.at_mut(0, c, r) = v;
+            }
+        }
+    }
+    let mut lu_t = at.ab_of(0).to_vec();
+    let mut piv_t = vec![0usize; n];
+    gbtrf(n, ku, kl, at.ldab(), &mut lu_t, &mut piv_t)?;
+
+    let mut x: Vec<T> = (0..n)
+        .map(|k| T::from_f64(1.0 + ((k * 29) % 13) as f64 / 13.0))
+        .collect();
+    let mut sigma_min_inv = 0.0f64;
+    for _ in 0..iters {
+        // y = A⁻¹ x ; z = A⁻ᵀ y.
+        gbtrs(n, kl, ku, ldab, &lu, &piv, &mut x);
+        gbtrs(n, ku, kl, at.ldab(), &lu_t, &piv_t, &mut x);
+        let norm = norm2(&x);
+        if norm == 0.0 {
+            break;
+        }
+        sigma_min_inv = norm; // ρ((AᵀA)⁻¹) estimate after normalization
+        let inv = T::from_f64(1.0 / norm);
+        for v in x.iter_mut() {
+            *v *= inv;
+        }
+    }
+    let smin = if sigma_min_inv > 0.0 {
+        (1.0 / sigma_min_inv).sqrt()
+    } else {
+        0.0
+    };
+    Ok(if smin > 0.0 { smax / smin } else { f64::INFINITY })
+}
+
+/// Largest singular value by power iteration on `AᵀA` (the Aᵀ product is
+/// applied through an explicit gather over the pattern).
+fn largest_singular_value<T: Scalar>(a: &BatchCsr<T>, i: usize, iters: usize) -> f64 {
+    let n = a.dims().num_rows;
+    let mut x: Vec<T> = (0..n)
+        .map(|k| T::from_f64(1.0 + ((k * 37) % 11) as f64 / 11.0))
+        .collect();
+    let mut ax = vec![T::ZERO; n];
+    let mut sigma2 = 0.0f64;
+    for _ in 0..iters {
+        a.spmv_system(i, &x, &mut ax);
+        // x ← Aᵀ (A x): scatter through the pattern.
+        x.iter_mut().for_each(|v| *v = T::ZERO);
+        let p = a.pattern();
+        let vals = a.values_of(i);
+        for r in 0..n {
+            let (b, e) = p.row_range(r);
+            for k in b..e {
+                let c = p.col_idxs()[k] as usize;
+                x[c] = vals[k].mul_add(ax[r], x[c]);
+            }
+        }
+        let norm = norm2(&x);
+        if norm == 0.0 {
+            return 0.0;
+        }
+        sigma2 = norm;
+        let inv = T::from_f64(1.0 / norm);
+        for v in x.iter_mut() {
+            *v *= inv;
+        }
+    }
+    sigma2.sqrt()
+}
+
+fn norm2<T: Scalar>(x: &[T]) -> f64 {
+    x.iter()
+        .map(|&v| v.to_f64() * v.to_f64())
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batsolv_formats::SparsityPattern;
+    use std::sync::Arc;
+
+    #[test]
+    fn identity_has_condition_one() {
+        let coords: Vec<(usize, usize)> = (0..8).map(|k| (k, k)).collect();
+        let p = Arc::new(SparsityPattern::from_coords(8, &coords).unwrap());
+        let mut m = BatchCsr::<f64>::zeros(1, p).unwrap();
+        for k in 0..8 {
+            m.set(0, k, k, 1.0).unwrap();
+        }
+        let c = condition_estimate(&m, 0, 50).unwrap();
+        assert!((c - 1.0).abs() < 1e-6, "cond {c}");
+    }
+
+    #[test]
+    fn diagonal_matrix_condition_is_ratio_of_extremes() {
+        let coords: Vec<(usize, usize)> = (0..6).map(|k| (k, k)).collect();
+        let p = Arc::new(SparsityPattern::from_coords(6, &coords).unwrap());
+        let mut m = BatchCsr::<f64>::zeros(1, p).unwrap();
+        for (k, &d) in [4.0, 2.0, 8.0, 1.0, 5.0, 2.5].iter().enumerate() {
+            m.set(0, k, k, d).unwrap();
+        }
+        let c = condition_estimate(&m, 0, 200).unwrap();
+        assert!((c - 8.0).abs() < 0.05, "cond {c} (expect 8)");
+    }
+
+    #[test]
+    fn xgc_matrices_are_well_conditioned() {
+        // The paper's Figure 2 claim with a number attached: both
+        // species' matrices have modest condition numbers.
+        use batsolv_xgc_like::assemble;
+        let (ion, electron) = assemble();
+        let c_ion = condition_estimate(&ion, 0, 100).unwrap();
+        let c_ele = condition_estimate(&electron, 0, 100).unwrap();
+        assert!(c_ion < 10.0, "ion condition {c_ion}");
+        assert!(c_ele < 200.0, "electron condition {c_ele}");
+        assert!(c_ion < c_ele);
+    }
+
+    /// Minimal stand-in for the XGC assembly (the real one lives in
+    /// `batsolv-xgc`, which depends on this crate's siblings — avoid the
+    /// cycle by assembling comparable stencil matrices here).
+    mod batsolv_xgc_like {
+        use super::*;
+
+        pub fn assemble() -> (BatchCsr<f64>, BatchCsr<f64>) {
+            let p = Arc::new(SparsityPattern::stencil_2d(12, 11, true));
+            let build = |strength: f64| {
+                let mut m = BatchCsr::<f64>::zeros(1, Arc::clone(&p)).unwrap();
+                m.fill_system(0, |r, c| {
+                    if r == c {
+                        1.0 + 8.0 * strength
+                    } else {
+                        -strength
+                    }
+                });
+                m
+            };
+            (build(0.02), build(1.0))
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Francis double-shift QR iteration on a Hessenberg matrix.
+//!
+//! The classic EISPACK `hqr` algorithm: finds all eigenvalues of a real
+//! upper Hessenberg matrix, returning complex conjugate pairs for 2×2
+//! blocks that do not split. Destroys the input.
+
+use batsolv_types::{Complex, Error, Result};
+
+use crate::hessenberg::hessenberg;
+
+/// Eigenvalues of a general real row-major `n × n` matrix.
+pub fn eigenvalues(n: usize, a: &[f64]) -> Result<Vec<Complex>> {
+    let mut h = a.to_vec();
+    hessenberg(n, &mut h);
+    hqr(n, &mut h)
+}
+
+/// Eigenvalues of an upper Hessenberg matrix (destroyed in place).
+pub fn hqr(n: usize, a: &mut [f64]) -> Result<Vec<Complex>> {
+    debug_assert_eq!(a.len(), n * n);
+    if n == 0 {
+        return Ok(vec![]);
+    }
+    let at = |a: &[f64], i: usize, j: usize| a[i * n + j];
+    let eps = f64::EPSILON;
+    let mut eig = vec![Complex::ZERO; n];
+
+    // Overall matrix norm for the zero-subdiagonal test.
+    let mut anorm = 0.0f64;
+    for i in 0..n {
+        for j in i.saturating_sub(1)..n {
+            anorm += at(a, i, j).abs();
+        }
+    }
+    if anorm == 0.0 {
+        return Ok(eig); // the zero matrix
+    }
+
+    let mut nn = n as isize - 1;
+    let mut t = 0.0f64;
+    while nn >= 0 {
+        let mut its = 0;
+        loop {
+            // Look for a single small subdiagonal element.
+            let mut l = nn;
+            while l >= 1 {
+                let s = {
+                    let s = at(a, (l - 1) as usize, (l - 1) as usize).abs()
+                        + at(a, l as usize, l as usize).abs();
+                    if s == 0.0 {
+                        anorm
+                    } else {
+                        s
+                    }
+                };
+                if at(a, l as usize, (l - 1) as usize).abs() <= eps * s {
+                    a[l as usize * n + (l - 1) as usize] = 0.0;
+                    break;
+                }
+                l -= 1;
+            }
+            let x = at(a, nn as usize, nn as usize);
+            if l == nn {
+                // One root found.
+                eig[nn as usize] = Complex::from_real(x + t);
+                nn -= 1;
+                break;
+            }
+            let y = at(a, (nn - 1) as usize, (nn - 1) as usize);
+            let w = at(a, nn as usize, (nn - 1) as usize) * at(a, (nn - 1) as usize, nn as usize);
+            if l == nn - 1 {
+                // Two roots found: solve the trailing 2×2.
+                let p = 0.5 * (y - x);
+                let q = p * p + w;
+                let z = q.abs().sqrt();
+                let x_sh = x + t;
+                if q >= 0.0 {
+                    let z = p + if p >= 0.0 { z } else { -z };
+                    let r1 = x_sh + z;
+                    let r2 = if z != 0.0 { x_sh - w / z } else { r1 };
+                    eig[(nn - 1) as usize] = Complex::from_real(r1);
+                    eig[nn as usize] = Complex::from_real(r2);
+                } else {
+                    eig[(nn - 1) as usize] = Complex::new(x_sh + p, z);
+                    eig[nn as usize] = Complex::new(x_sh + p, -z);
+                }
+                nn -= 2;
+                break;
+            }
+            // No root yet: QR sweep.
+            if its == 60 {
+                return Err(Error::NotConverged {
+                    batch_index: 0,
+                    iterations: its,
+                    residual: at(a, nn as usize, (nn - 1) as usize).abs(),
+                });
+            }
+            let (mut x, mut y, mut w) = (x, y, w);
+            if its == 10 || its == 20 || its == 30 || its == 40 || its == 50 {
+                // Exceptional shift.
+                t += x;
+                for i in 0..=nn as usize {
+                    a[i * n + i] -= x;
+                }
+                let s = at(a, nn as usize, (nn - 1) as usize).abs()
+                    + at(a, (nn - 1) as usize, (nn - 2) as usize).abs();
+                x = 0.75 * s;
+                y = x;
+                w = -0.4375 * s * s;
+            }
+            its += 1;
+            // Find two consecutive small subdiagonals (start of the bulge).
+            let mut m = nn - 2;
+            let (mut p, mut q, mut r) = (0.0f64, 0.0f64, 0.0f64);
+            while m >= l {
+                let z = at(a, m as usize, m as usize);
+                let rr = x - z;
+                let ss = y - z;
+                p = (rr * ss - w) / at(a, (m + 1) as usize, m as usize)
+                    + at(a, m as usize, (m + 1) as usize);
+                q = at(a, (m + 1) as usize, (m + 1) as usize) - z - rr - ss;
+                r = at(a, (m + 2) as usize, (m + 1) as usize);
+                let s = p.abs() + q.abs() + r.abs();
+                p /= s;
+                q /= s;
+                r /= s;
+                if m == l {
+                    break;
+                }
+                let u = at(a, m as usize, (m - 1) as usize).abs() * (q.abs() + r.abs());
+                let v = p.abs()
+                    * (at(a, (m - 1) as usize, (m - 1) as usize).abs()
+                        + z.abs()
+                        + at(a, (m + 1) as usize, (m + 1) as usize).abs());
+                if u <= eps * v {
+                    break;
+                }
+                m -= 1;
+            }
+            for i in (m + 2)..=nn {
+                a[i as usize * n + (i - 2) as usize] = 0.0;
+                if i > m + 2 {
+                    a[i as usize * n + (i - 3) as usize] = 0.0;
+                }
+            }
+            // Double QR step (bulge chase) on rows/columns l..nn.
+            for k in m..=nn - 1 {
+                if k != m {
+                    p = at(a, k as usize, (k - 1) as usize);
+                    q = at(a, (k + 1) as usize, (k - 1) as usize);
+                    r = if k != nn - 1 {
+                        at(a, (k + 2) as usize, (k - 1) as usize)
+                    } else {
+                        0.0
+                    };
+                    x = p.abs() + q.abs() + r.abs();
+                    if x != 0.0 {
+                        p /= x;
+                        q /= x;
+                        r /= x;
+                    }
+                }
+                let s_mag = (p * p + q * q + r * r).sqrt();
+                let s = if p >= 0.0 { s_mag } else { -s_mag };
+                if s == 0.0 {
+                    continue;
+                }
+                if k == m {
+                    if l != m {
+                        a[k as usize * n + (k - 1) as usize] =
+                            -at(a, k as usize, (k - 1) as usize);
+                    }
+                } else {
+                    a[k as usize * n + (k - 1) as usize] = -s * x;
+                }
+                p += s;
+                x = p / s;
+                y = q / s;
+                let z = r / s;
+                q /= p;
+                r /= p;
+                // Row modification.
+                for j in (k as usize)..=(nn as usize) {
+                    let mut pp = at(a, k as usize, j) + q * at(a, (k + 1) as usize, j);
+                    if k != nn - 1 {
+                        pp += r * at(a, (k + 2) as usize, j);
+                        a[(k + 2) as usize * n + j] -= pp * z;
+                    }
+                    a[(k + 1) as usize * n + j] -= pp * y;
+                    a[k as usize * n + j] -= pp * x;
+                }
+                // Column modification.
+                let mmin = if nn < k + 3 { nn } else { k + 3 };
+                for i in (l as usize)..=(mmin as usize) {
+                    let mut pp = x * at(a, i, k as usize) + y * at(a, i, (k + 1) as usize);
+                    if k != nn - 1 {
+                        pp += z * at(a, i, (k + 2) as usize);
+                    }
+                    if k != nn - 1 {
+                        a[i * n + (k + 2) as usize] -= pp * r;
+                    }
+                    a[i * n + (k + 1) as usize] -= pp * q;
+                    a[i * n + k as usize] -= pp;
+                }
+            }
+        }
+    }
+    Ok(eig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sort_by_re_im(mut v: Vec<Complex>) -> Vec<Complex> {
+        v.sort_by(|a, b| {
+            a.re.partial_cmp(&b.re)
+                .unwrap()
+                .then(a.im.partial_cmp(&b.im).unwrap())
+        });
+        v
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let n = 5;
+        let mut a = vec![0.0; n * n];
+        for (i, v) in [3.0, -1.0, 7.5, 0.25, 2.0].iter().enumerate() {
+            a[i * n + i] = *v;
+        }
+        let eig = sort_by_re_im(eigenvalues(n, &a).unwrap());
+        let expect = [-1.0, 0.25, 2.0, 3.0, 7.5];
+        for (e, x) in eig.iter().zip(expect.iter()) {
+            assert!((e.re - x).abs() < 1e-12 && e.im.abs() < 1e-12, "{e}");
+        }
+    }
+
+    #[test]
+    fn rotation_block_gives_complex_pair() {
+        // [[cos, -sin], [sin, cos]] has eigenvalues cos ± i·sin.
+        let th = 0.7f64;
+        let a = [th.cos(), -th.sin(), th.sin(), th.cos()];
+        let eig = eigenvalues(2, &a).unwrap();
+        let mut ims: Vec<f64> = eig.iter().map(|e| e.im).collect();
+        ims.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((ims[0] + th.sin()).abs() < 1e-12);
+        assert!((ims[1] - th.sin()).abs() < 1e-12);
+        for e in &eig {
+            assert!((e.re - th.cos()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tridiagonal_laplacian_spectrum() {
+        // Known eigenvalues: 2 - 2 cos(kπ/(n+1)), k = 1..n.
+        let n = 16;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 2.0;
+            if i > 0 {
+                a[i * n + i - 1] = -1.0;
+            }
+            if i + 1 < n {
+                a[i * n + i + 1] = -1.0;
+            }
+        }
+        let eig = sort_by_re_im(eigenvalues(n, &a).unwrap());
+        for (k, e) in eig.iter().enumerate() {
+            let expect = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert!(
+                (e.re - expect).abs() < 1e-9 && e.im.abs() < 1e-9,
+                "k={k}: {} vs {}",
+                e.re,
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn trace_invariants_on_random_nonsymmetric() {
+        let n = 24;
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let eig = eigenvalues(n, &a).unwrap();
+        // Σλ = tr A (real since conjugate pairs cancel).
+        let tr: f64 = (0..n).map(|i| a[i * n + i]).sum();
+        let sum_re: f64 = eig.iter().map(|e| e.re).sum();
+        let sum_im: f64 = eig.iter().map(|e| e.im).sum();
+        assert!((sum_re - tr).abs() < 1e-8, "{sum_re} vs {tr}");
+        assert!(sum_im.abs() < 1e-8);
+        // Σλ² = tr A².
+        let mut tr2 = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                tr2 += a[i * n + j] * a[j * n + i];
+            }
+        }
+        let sum2: f64 = eig.iter().map(|e| (*e * *e).re).sum();
+        assert!((sum2 - tr2).abs() < 1e-6, "{sum2} vs {tr2}");
+    }
+
+    #[test]
+    fn conjugate_pairs_come_in_pairs() {
+        let n = 15;
+        let mut state = 999u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let eig = eigenvalues(n, &a).unwrap();
+        let mut complex: Vec<&Complex> = eig.iter().filter(|e| e.im.abs() > 1e-10).collect();
+        assert!(complex.len().is_multiple_of(2));
+        complex.sort_by(|x, y| {
+            x.re.partial_cmp(&y.re)
+                .unwrap()
+                .then(x.im.abs().partial_cmp(&y.im.abs()).unwrap())
+        });
+        // Pairs have matching real parts and opposite imaginary parts.
+        for pair in complex.chunks(2) {
+            assert!((pair[0].re - pair[1].re).abs() < 1e-8);
+            assert!((pair[0].im + pair[1].im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn zero_and_identity() {
+        let eig = eigenvalues(3, &[0.0; 9]).unwrap();
+        assert!(eig.iter().all(|e| e.abs() < 1e-14));
+        let mut id = [0.0; 9];
+        for i in 0..3 {
+            id[i * 3 + i] = 1.0;
+        }
+        let eig = eigenvalues(3, &id).unwrap();
+        assert!(eig.iter().all(|e| (e.re - 1.0).abs() < 1e-14 && e.im == 0.0));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        assert!(eigenvalues(0, &[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+#![allow(clippy::needless_range_loop)] // indexed loops are the clearest idiom for stencil/linear-algebra kernels
+//! Dense nonsymmetric eigenvalue computation.
+//!
+//! The paper's Figure 2 plots the eigenvalue clouds of the ion and
+//! electron collision matrices to argue they are well-conditioned enough
+//! for iterative solvers (ion eigenvalues clustered near 1, electron
+//! eigenvalues spread over a wider real range, neither with very large or
+//! very small magnitudes). Reproducing that figure needs a real
+//! nonsymmetric eigensolver, so this crate implements the classic
+//! pipeline:
+//!
+//! * [`hessenberg()`](hessenberg::hessenberg) — Householder reduction to upper Hessenberg form;
+//! * [`hqr()`](hqr::hqr) — the Francis double-shift QR iteration on the Hessenberg
+//!   matrix (the EISPACK `hqr` algorithm), returning complex eigenvalues;
+//! * [`gershgorin`] — cheap disk bounds;
+//! * [`power`] — power iteration for the spectral radius;
+//! * [`spectrum`] — summary statistics used by the Figure 2 bench and
+//!   the XGC conditioning tests.
+
+pub mod condition;
+pub mod gershgorin;
+pub mod hessenberg;
+pub mod hqr;
+pub mod power;
+pub mod spectrum;
+
+pub use condition::condition_estimate;
+pub use gershgorin::gershgorin_disks;
+pub use hessenberg::hessenberg;
+pub use hqr::{eigenvalues, hqr};
+pub use power::spectral_radius;
+pub use spectrum::SpectrumSummary;

@@ -1,0 +1,141 @@
+//! Spectrum summary statistics (the Figure 2 story in numbers).
+//!
+//! The paper's conditioning argument: ion eigenvalues cluster tightly
+//! around 1.0; electron eigenvalues have a wider range of real parts;
+//! neither species has very large or very small magnitudes. This module
+//! condenses an eigenvalue cloud into the quantities that argument
+//! needs, so benches and tests can assert it.
+
+use batsolv_types::Complex;
+
+/// Summary of an eigenvalue cloud.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpectrumSummary {
+    /// Number of eigenvalues.
+    pub count: usize,
+    /// Smallest real part.
+    pub min_re: f64,
+    /// Largest real part.
+    pub max_re: f64,
+    /// Largest imaginary magnitude.
+    pub max_im: f64,
+    /// Smallest eigenvalue magnitude.
+    pub min_abs: f64,
+    /// Largest eigenvalue magnitude.
+    pub max_abs: f64,
+    /// Fraction of eigenvalues with |λ − 1| < 0.1 (the "clustered around
+    /// 1.0" measure for the ion matrices).
+    pub cluster_at_one: f64,
+}
+
+impl SpectrumSummary {
+    /// Summarize a cloud of eigenvalues.
+    pub fn from_eigenvalues(eig: &[Complex]) -> SpectrumSummary {
+        let mut s = SpectrumSummary {
+            count: eig.len(),
+            min_re: f64::INFINITY,
+            max_re: f64::NEG_INFINITY,
+            max_im: 0.0,
+            min_abs: f64::INFINITY,
+            max_abs: 0.0,
+            cluster_at_one: 0.0,
+        };
+        if eig.is_empty() {
+            return s;
+        }
+        let mut clustered = 0usize;
+        for e in eig {
+            s.min_re = s.min_re.min(e.re);
+            s.max_re = s.max_re.max(e.re);
+            s.max_im = s.max_im.max(e.im.abs());
+            let m = e.abs();
+            s.min_abs = s.min_abs.min(m);
+            s.max_abs = s.max_abs.max(m);
+            if (*e - Complex::ONE).abs() < 0.1 {
+                clustered += 1;
+            }
+        }
+        s.cluster_at_one = clustered as f64 / eig.len() as f64;
+        s
+    }
+
+    /// Ratio of largest to smallest eigenvalue magnitude — a (crude)
+    /// conditioning proxy for these diagonalizable-ish matrices.
+    pub fn magnitude_spread(&self) -> f64 {
+        if self.min_abs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.max_abs / self.min_abs
+        }
+    }
+
+    /// The paper's well-conditioned test: no very large or very small
+    /// eigenvalues (spread below `threshold`).
+    pub fn is_well_conditioned(&self, threshold: f64) -> bool {
+        self.min_abs > 0.0 && self.magnitude_spread() < threshold
+    }
+
+    /// Render as the CSV row used by the `repro fig2` output.
+    pub fn csv_row(&self, label: &str) -> String {
+        format!(
+            "{label},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4}",
+            self.count,
+            self.min_re,
+            self.max_re,
+            self.max_im,
+            self.min_abs,
+            self.max_abs,
+            self.cluster_at_one
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_clustered_cloud() {
+        let eig: Vec<Complex> = (0..10)
+            .map(|k| Complex::new(1.0 + 0.01 * k as f64, 0.005 * k as f64))
+            .collect();
+        let s = SpectrumSummary::from_eigenvalues(&eig);
+        assert_eq!(s.count, 10);
+        assert!(s.cluster_at_one >= 0.9);
+        assert!(s.is_well_conditioned(10.0));
+        assert!((s.max_re - 1.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_spread_cloud() {
+        let eig = vec![
+            Complex::new(0.5, 0.0),
+            Complex::new(5.0, 1.0),
+            Complex::new(2.0, -1.0),
+        ];
+        let s = SpectrumSummary::from_eigenvalues(&eig);
+        assert!(s.cluster_at_one < 0.4);
+        assert!(s.magnitude_spread() > 5.0);
+        assert_eq!(s.max_im, 1.0);
+    }
+
+    #[test]
+    fn zero_eigenvalue_means_ill_conditioned() {
+        let s = SpectrumSummary::from_eigenvalues(&[Complex::ZERO, Complex::ONE]);
+        assert!(!s.is_well_conditioned(1e6));
+        assert!(s.magnitude_spread().is_infinite());
+    }
+
+    #[test]
+    fn empty_cloud() {
+        let s = SpectrumSummary::from_eigenvalues(&[]);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn csv_row_contains_label_and_count() {
+        let s = SpectrumSummary::from_eigenvalues(&[Complex::ONE]);
+        let row = s.csv_row("ion");
+        assert!(row.starts_with("ion,1,"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the eigensolver pipeline.
+
+use batsolv_eigen::hessenberg::{hessenberg, is_hessenberg};
+use batsolv_eigen::{eigenvalues, gershgorin_disks, spectral_radius};
+use batsolv_formats::BatchCsr;
+use batsolv_formats::SparsityPattern;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn random_matrix(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    (0..n * n).map(|_| next()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hessenberg_form_and_invariants(n in 3usize..20, seed in 0u64..100_000) {
+        let a0 = random_matrix(n, seed);
+        let mut a = a0.clone();
+        hessenberg(n, &mut a);
+        prop_assert!(is_hessenberg(n, &a, 1e-11));
+        // Trace preserved by similarity.
+        let tr0: f64 = (0..n).map(|i| a0[i * n + i]).sum();
+        let tr1: f64 = (0..n).map(|i| a[i * n + i]).sum();
+        prop_assert!((tr0 - tr1).abs() < 1e-8 * (1.0 + tr0.abs()));
+    }
+
+    #[test]
+    fn eigenvalue_sums_match_traces(n in 2usize..16, seed in 0u64..100_000) {
+        let a = random_matrix(n, seed);
+        let eig = eigenvalues(n, &a).unwrap();
+        prop_assert_eq!(eig.len(), n);
+        let tr: f64 = (0..n).map(|i| a[i * n + i]).sum();
+        let sum_re: f64 = eig.iter().map(|e| e.re).sum();
+        prop_assert!((sum_re - tr).abs() < 1e-6 * (1.0 + tr.abs()));
+        // Complex eigenvalues pair up: imaginary parts cancel.
+        let sum_im: f64 = eig.iter().map(|e| e.im).sum();
+        prop_assert!(sum_im.abs() < 1e-7);
+        // Second invariant: Σλ² = tr(A²).
+        let mut tr2 = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                tr2 += a[i * n + j] * a[j * n + i];
+            }
+        }
+        let sum2: f64 = eig.iter().map(|e| (*e * *e).re).sum();
+        prop_assert!((sum2 - tr2).abs() < 1e-5 * (1.0 + tr2.abs()), "{sum2} vs {tr2}");
+    }
+
+    #[test]
+    fn gershgorin_contains_spectrum(nx in 2usize..6, ny in 2usize..6, seed in 0u64..10_000) {
+        let n = nx * ny;
+        let p = Arc::new(SparsityPattern::stencil_2d(nx, ny, true));
+        let mut m = BatchCsr::<f64>::zeros(1, p).unwrap();
+        let h = |k: usize| ((seed as usize + k * 97) % 100) as f64 / 100.0;
+        m.fill_system(0, |r, c| if r == c { 6.0 + h(r) } else { h(r * 31 + c) - 0.5 });
+        let dense = batsolv_formats::BatchDense::from_csr(&m);
+        let eig = eigenvalues(n, dense.matrix_of(0)).unwrap();
+        let disks = gershgorin_disks(&m, 0);
+        for e in eig {
+            // Every eigenvalue lies in at least one disk (real projection
+            // check plus imaginary bound by disk radius).
+            let inside = disks.iter().any(|d| {
+                let dr = e.re - d.center;
+                (dr * dr + e.im * e.im).sqrt() <= d.radius + 1e-8
+            });
+            prop_assert!(inside, "{e} escapes all disks");
+        }
+    }
+
+    #[test]
+    fn power_iteration_bounded_by_hqr(n in 2usize..10, seed in 0u64..10_000) {
+        // Spectral radius from power iteration ≤ max |λ| from hqr (+tol),
+        // on matrices with a dominant eigenvalue (diagonal shifted).
+        let mut a = random_matrix(n, seed);
+        for i in 0..n {
+            a[i * n + i] += 4.0 + i as f64;
+        }
+        let eig = eigenvalues(n, &a).unwrap();
+        let rho_true = eig.iter().map(|e| e.abs()).fold(0.0f64, f64::max);
+        // Wrap into a dense batch to reuse the BatchMatrix-based API.
+        let p = Arc::new(SparsityPattern::dense(n));
+        let mut m = BatchCsr::<f64>::zeros(1, p).unwrap();
+        m.fill_system(0, |r, c| a[r * n + c]);
+        let rho_pow = spectral_radius(&m, 0, 5000, 1e-10);
+        // Non-normal matrices let the Rayleigh-style quotient overshoot
+        // ρ(A) transiently, so only a two-sided band is guaranteed.
+        prop_assert!(rho_pow <= 1.3 * rho_true, "{rho_pow} vs {rho_true}");
+        prop_assert!(rho_pow >= 0.3 * rho_true, "power iteration too small: {rho_pow} vs {rho_true}");
+    }
+}

@@ -1,0 +1,317 @@
+//! `BatchDia`: diagonal (DIA) storage.
+//!
+//! The third classic sparse format for stencil matrices (alongside CSR
+//! and ELL): values are stored along matrix diagonals, with one shared
+//! offset list for the whole batch. For the XGC nine-point stencil the
+//! offsets are `{-nx-1, -nx, -nx+1, -1, 0, 1, nx-1, nx, nx+1}` — nine
+//! dense diagonals. DIA gives perfectly regular, branch-light SpMV
+//! (no column indices to load at all), at the price of padding near the
+//! matrix edges and inflexibility for irregular patterns. It completes
+//! the format-exploration story of the paper's Section IV.A.
+
+use std::sync::Arc;
+
+use batsolv_types::{BatchDims, Error, OpCounts, Result, Scalar};
+
+use crate::csr::BatchCsr;
+use crate::pattern::SparsityPattern;
+use crate::traits::BatchMatrix;
+
+/// A batch of DIA matrices sharing one diagonal-offset list.
+#[derive(Clone, Debug)]
+pub struct BatchDia<T> {
+    dims: BatchDims,
+    /// Originating pattern (kept for conversions and `entry`).
+    pattern: Arc<SparsityPattern>,
+    /// Shared diagonal offsets, ascending (`0` = main diagonal).
+    offsets: Vec<i32>,
+    /// Values, system-major; within a system, diagonal-major: diagonal
+    /// `d`'s slab is `values[sys][d*n .. (d+1)*n]`, indexed by **row**.
+    /// Slots outside the matrix are zero padding.
+    values: Vec<T>,
+}
+
+impl<T: Scalar> BatchDia<T> {
+    /// A zero-valued DIA batch over `pattern`.
+    ///
+    /// Fails if the pattern needs more than `max_diagonals` distinct
+    /// offsets (DIA degenerates for irregular patterns; the stencil
+    /// needs exactly 9).
+    pub fn zeros(
+        num_systems: usize,
+        pattern: Arc<SparsityPattern>,
+        max_diagonals: usize,
+    ) -> Result<Self> {
+        let n = pattern.num_rows();
+        let dims = BatchDims::new(num_systems, n)?;
+        let mut offsets: Vec<i32> = Vec::new();
+        for r in 0..n {
+            for &c in pattern.row_cols(r) {
+                let off = c as i64 - r as i64;
+                let off = i32::try_from(off).map_err(|_| {
+                    Error::InvalidFormat("diagonal offset exceeds i32".into())
+                })?;
+                if let Err(pos) = offsets.binary_search(&off) {
+                    offsets.insert(pos, off);
+                }
+            }
+        }
+        if offsets.len() > max_diagonals {
+            return Err(Error::InvalidFormat(format!(
+                "pattern needs {} diagonals, cap is {max_diagonals} — DIA unsuitable",
+                offsets.len()
+            )));
+        }
+        let values = vec![T::ZERO; num_systems * offsets.len() * n];
+        Ok(BatchDia {
+            dims,
+            pattern,
+            offsets,
+            values,
+        })
+    }
+
+    /// Convert a CSR batch (same pattern constraints as [`Self::zeros`]).
+    pub fn from_csr(csr: &BatchCsr<T>, max_diagonals: usize) -> Result<Self> {
+        let mut dia = Self::zeros(
+            csr.dims().num_systems,
+            Arc::clone(csr.pattern()),
+            max_diagonals,
+        )?;
+        let n = dia.dims.num_rows;
+        for i in 0..csr.dims().num_systems {
+            let src = csr.values_of(i);
+            let ndiag = dia.offsets.len();
+            let offsets = dia.offsets.clone();
+            let slab = dia.values_of_mut(i);
+            for r in 0..n {
+                let (b, e) = csr.pattern().row_range(r);
+                for k in b..e {
+                    let c = csr.pattern().col_idxs()[k] as usize;
+                    let off = c as i64 - r as i64;
+                    let d = offsets
+                        .binary_search(&(off as i32))
+                        .expect("offset present by construction");
+                    debug_assert!(d < ndiag);
+                    slab[d * n + r] = src[k];
+                }
+            }
+        }
+        Ok(dia)
+    }
+
+    /// The shared diagonal offsets.
+    pub fn offsets(&self) -> &[i32] {
+        &self.offsets
+    }
+
+    /// Number of stored diagonals.
+    pub fn num_diagonals(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Value slab of system `i` (`num_diagonals * n`, diagonal-major).
+    pub fn values_of(&self, i: usize) -> &[T] {
+        let slab = self.offsets.len() * self.dims.num_rows;
+        &self.values[i * slab..(i + 1) * slab]
+    }
+
+    /// Mutable value slab of system `i`.
+    pub fn values_of_mut(&mut self, i: usize) -> &mut [T] {
+        let slab = self.offsets.len() * self.dims.num_rows;
+        &mut self.values[i * slab..(i + 1) * slab]
+    }
+
+    /// Fraction of stored slots that are edge padding.
+    pub fn padding_fraction(&self) -> f64 {
+        let slots = self.offsets.len() * self.dims.num_rows;
+        (slots - self.pattern.nnz()) as f64 / slots as f64
+    }
+}
+
+impl<T: Scalar> BatchMatrix<T> for BatchDia<T> {
+    fn dims(&self) -> BatchDims {
+        self.dims
+    }
+
+    fn format_name(&self) -> &'static str {
+        "BatchDia"
+    }
+
+    fn stored_per_system(&self) -> usize {
+        self.offsets.len() * self.dims.num_rows
+    }
+
+    fn spmv_system(&self, i: usize, x: &[T], y: &mut [T]) {
+        let n = self.dims.num_rows;
+        let slab = self.values_of(i);
+        y.iter_mut().for_each(|v| *v = T::ZERO);
+        for (d, &off) in self.offsets.iter().enumerate() {
+            let vals = &slab[d * n..(d + 1) * n];
+            // Row range for which r + off is a valid column.
+            let (r_lo, r_hi) = if off >= 0 {
+                (0usize, n - off as usize)
+            } else {
+                ((-off) as usize, n)
+            };
+            for r in r_lo..r_hi {
+                let c = (r as i64 + off as i64) as usize;
+                y[r] = vals[r].mul_add(x[c], y[r]);
+            }
+        }
+    }
+
+    fn extract_diagonal(&self, i: usize, diag: &mut [T]) {
+        let n = self.dims.num_rows;
+        match self.offsets.binary_search(&0) {
+            Ok(d) => diag.copy_from_slice(&self.values_of(i)[d * n..(d + 1) * n]),
+            Err(_) => diag.iter_mut().for_each(|v| *v = T::ZERO),
+        }
+    }
+
+    fn entry(&self, i: usize, row: usize, col: usize) -> T {
+        let off = col as i64 - row as i64;
+        match i32::try_from(off)
+            .ok()
+            .and_then(|o| self.offsets.binary_search(&o).ok())
+        {
+            Some(d) => self.values_of(i)[d * self.dims.num_rows + row],
+            None => T::ZERO,
+        }
+    }
+
+    fn spmv_x_read_bytes(&self) -> u64 {
+        (self.pattern.nnz() * T::BYTES) as u64
+    }
+
+    fn spmv_counts(&self, warp_size: u32) -> OpCounts {
+        let mut c = OpCounts::ZERO;
+        let n = self.dims.num_rows as u64;
+        let w = warp_size as u64;
+        let warps = n.div_ceil(w);
+        // Thread-per-row, one pass per diagonal — like ELL, but with no
+        // index loads at all and unit-stride x accesses per diagonal.
+        for (d, &off) in self.offsets.iter().enumerate() {
+            let _ = d;
+            let active = n - off.unsigned_abs() as u64;
+            c.lane_total += warps * w;
+            c.lane_active += active;
+            c.flops += 2 * active;
+        }
+        let vb = T::BYTES as u64;
+        let slots = self.offsets.len() as u64 * n;
+        c.global_read_bytes += slots * vb; // values incl. padding
+        c.global_read_bytes += self.offsets.len() as u64 * 4; // offsets only!
+        c.global_read_bytes += (self.pattern.nnz() as u64) * vb; // x
+        c.global_write_bytes += n * vb;
+        c
+    }
+
+    fn value_bytes_per_system(&self) -> usize {
+        self.offsets.len() * self.dims.num_rows * T::BYTES
+    }
+
+    fn shared_index_bytes(&self) -> usize {
+        self.offsets.len() * core::mem::size_of::<i32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vectors::BatchVectors;
+
+    fn stencil_csr(nx: usize, ny: usize) -> BatchCsr<f64> {
+        let p = Arc::new(SparsityPattern::stencil_2d(nx, ny, true));
+        let mut m = BatchCsr::zeros(2, p).unwrap();
+        for i in 0..2 {
+            m.fill_system(i, |r, c| {
+                if r == c {
+                    7.0 + i as f64
+                } else {
+                    -0.5 - 0.11 * ((r * 3 + c * 5) % 7) as f64
+                }
+            });
+        }
+        m
+    }
+
+    #[test]
+    fn stencil_has_nine_diagonals() {
+        let csr = stencil_csr(6, 5);
+        let dia = BatchDia::from_csr(&csr, 16).unwrap();
+        assert_eq!(dia.num_diagonals(), 9);
+        assert_eq!(
+            dia.offsets(),
+            &[-7, -6, -5, -1, 0, 1, 5, 6, 7] // nx = 6 → ±(nx-1), ±nx, ±(nx+1)
+        );
+    }
+
+    #[test]
+    fn dia_spmv_matches_csr() {
+        let csr = stencil_csr(6, 5);
+        let dia = BatchDia::from_csr(&csr, 16).unwrap();
+        let x = BatchVectors::from_fn(csr.dims(), |s, r| ((s + 1) * (r + 2)) as f64 * 0.05);
+        let mut y1 = BatchVectors::zeros(csr.dims());
+        let mut y2 = BatchVectors::zeros(csr.dims());
+        csr.spmv(&x, &mut y1).unwrap();
+        dia.spmv(&x, &mut y2).unwrap();
+        for (a, b) in y1.values().iter().zip(y2.values()) {
+            assert!((a - b).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn entries_and_diagonal_agree_with_csr() {
+        let csr = stencil_csr(5, 4);
+        let dia = BatchDia::from_csr(&csr, 16).unwrap();
+        let n = 20;
+        for i in 0..2 {
+            for r in 0..n {
+                for c in 0..n {
+                    assert_eq!(dia.entry(i, r, c), csr.get(i, r, c), "({i},{r},{c})");
+                }
+            }
+            let mut d1 = vec![0.0; n];
+            let mut d2 = vec![0.0; n];
+            dia.extract_diagonal(i, &mut d1);
+            csr.extract_diagonal(i, &mut d2);
+            assert_eq!(d1, d2);
+        }
+    }
+
+    #[test]
+    fn irregular_pattern_is_rejected() {
+        // A pattern with an entry on many distinct diagonals.
+        let coords: Vec<(usize, usize)> = (0..12).map(|r| (r, (r * r) % 12)).collect();
+        let p = Arc::new(SparsityPattern::from_coords(12, &coords).unwrap());
+        assert!(BatchDia::<f64>::zeros(1, p, 4).is_err());
+    }
+
+    #[test]
+    fn no_index_loads_in_traffic() {
+        // DIA's defining property: the shared structure is just the
+        // offsets (36 bytes for the stencil), vs kilobytes for CSR/ELL.
+        let csr = stencil_csr(32, 31);
+        let dia = BatchDia::from_csr(&csr, 16).unwrap();
+        assert_eq!(dia.shared_index_bytes(), 9 * 4);
+        assert!(csr.shared_index_bytes() > 1000 * dia.shared_index_bytes());
+    }
+
+    #[test]
+    fn dia_lane_utilization_is_high() {
+        let csr = stencil_csr(32, 31);
+        let dia = BatchDia::from_csr(&csr, 16).unwrap();
+        let u = dia.spmv_counts(32).lane_utilization();
+        assert!(u > 0.85, "utilization {u}");
+    }
+
+    #[test]
+    fn padding_grows_with_bandwidth() {
+        // Wider grids → longer wing diagonals → less padding fraction.
+        let small = BatchDia::from_csr(&stencil_csr(4, 4), 16).unwrap();
+        let large = BatchDia::from_csr(&stencil_csr(16, 16), 16).unwrap();
+        assert!(large.padding_fraction() < small.padding_fraction());
+        assert!(small.padding_fraction() < 0.5);
+    }
+}

@@ -1,0 +1,351 @@
+//! The shared sparsity pattern.
+//!
+//! The paper's batch formats exploit that all systems of an XGC batch share
+//! one sparsity pattern ("similar local physics at many grid points"), so
+//! the structure is stored once and only the values are replicated. This
+//! module owns that structure.
+
+use batsolv_types::{dim_mismatch, Error, Result};
+
+/// A CSR-style sparsity pattern for a square matrix, shared by every system
+/// in a batch.
+///
+/// Column indices within each row are kept sorted and unique; this is
+/// enforced at construction and relied upon by format conversions and the
+/// banded/QR direct solvers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparsityPattern {
+    num_rows: usize,
+    row_ptrs: Vec<u32>,
+    col_idxs: Vec<u32>,
+}
+
+impl SparsityPattern {
+    /// Build from raw CSR arrays. Validates monotone row pointers, in-range
+    /// and strictly increasing column indices per row.
+    pub fn from_csr(num_rows: usize, row_ptrs: Vec<u32>, col_idxs: Vec<u32>) -> Result<Self> {
+        if row_ptrs.len() != num_rows + 1 {
+            return Err(Error::InvalidFormat(format!(
+                "row_ptrs length {} != num_rows + 1 = {}",
+                row_ptrs.len(),
+                num_rows + 1
+            )));
+        }
+        if row_ptrs[0] != 0 || *row_ptrs.last().unwrap() as usize != col_idxs.len() {
+            return Err(Error::InvalidFormat(
+                "row_ptrs must start at 0 and end at nnz".into(),
+            ));
+        }
+        for r in 0..num_rows {
+            let (b, e) = (row_ptrs[r] as usize, row_ptrs[r + 1] as usize);
+            if b > e {
+                return Err(Error::InvalidFormat(format!(
+                    "row_ptrs not monotone at row {r}"
+                )));
+            }
+            let mut prev: Option<u32> = None;
+            for &c in &col_idxs[b..e] {
+                if c as usize >= num_rows {
+                    return Err(Error::InvalidFormat(format!(
+                        "column index {c} out of range in row {r}"
+                    )));
+                }
+                if let Some(p) = prev {
+                    if c <= p {
+                        return Err(Error::InvalidFormat(format!(
+                            "column indices not strictly increasing in row {r}"
+                        )));
+                    }
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(SparsityPattern {
+            num_rows,
+            row_ptrs,
+            col_idxs,
+        })
+    }
+
+    /// Build from a list of `(row, col)` coordinates (duplicates are
+    /// collapsed, order arbitrary).
+    pub fn from_coords(num_rows: usize, coords: &[(usize, usize)]) -> Result<Self> {
+        let mut per_row: Vec<Vec<u32>> = vec![Vec::new(); num_rows];
+        for &(r, c) in coords {
+            if r >= num_rows || c >= num_rows {
+                return Err(Error::InvalidFormat(format!(
+                    "coordinate ({r}, {c}) out of range for {num_rows} rows"
+                )));
+            }
+            per_row[r].push(c as u32);
+        }
+        let mut row_ptrs = Vec::with_capacity(num_rows + 1);
+        let mut col_idxs = Vec::with_capacity(coords.len());
+        row_ptrs.push(0u32);
+        for cols in &mut per_row {
+            cols.sort_unstable();
+            cols.dedup();
+            col_idxs.extend_from_slice(cols);
+            row_ptrs.push(col_idxs.len() as u32);
+        }
+        Ok(SparsityPattern {
+            num_rows,
+            row_ptrs,
+            col_idxs,
+        })
+    }
+
+    /// A dense pattern (all entries present) — useful in tests.
+    pub fn dense(num_rows: usize) -> Self {
+        let mut row_ptrs = Vec::with_capacity(num_rows + 1);
+        let mut col_idxs = Vec::with_capacity(num_rows * num_rows);
+        row_ptrs.push(0u32);
+        for _ in 0..num_rows {
+            col_idxs.extend((0..num_rows as u32).collect::<Vec<_>>());
+            row_ptrs.push(col_idxs.len() as u32);
+        }
+        SparsityPattern {
+            num_rows,
+            row_ptrs,
+            col_idxs,
+        }
+    }
+
+    /// Pattern of a 2-D five/nine-point stencil on an `nx × ny` grid
+    /// (row-major node numbering). `nine_point = true` reproduces the XGC
+    /// collision-kernel pattern of the paper's Figure 4 (9 nnz per interior
+    /// row; with `nx = 32, ny = 31` this gives 992 rows).
+    ///
+    /// ```
+    /// use batsolv_formats::SparsityPattern;
+    /// let p = SparsityPattern::stencil_2d(32, 31, true);
+    /// assert_eq!(p.num_rows(), 992);
+    /// assert_eq!(p.max_nnz_per_row(), 9);
+    /// assert_eq!(p.bandwidths(), (33, 33));
+    /// ```
+    pub fn stencil_2d(nx: usize, ny: usize, nine_point: bool) -> Self {
+        let n = nx * ny;
+        let mut coords = Vec::with_capacity(n * if nine_point { 9 } else { 5 });
+        for j in 0..ny {
+            for i in 0..nx {
+                let row = j * nx + i;
+                let mut push = |di: isize, dj: isize| {
+                    let (ni, nj) = (i as isize + di, j as isize + dj);
+                    if ni >= 0 && ni < nx as isize && nj >= 0 && nj < ny as isize {
+                        coords.push((row, nj as usize * nx + ni as usize));
+                    }
+                };
+                push(0, 0);
+                push(-1, 0);
+                push(1, 0);
+                push(0, -1);
+                push(0, 1);
+                if nine_point {
+                    push(-1, -1);
+                    push(1, -1);
+                    push(-1, 1);
+                    push(1, 1);
+                }
+            }
+        }
+        // Coordinates are in range by construction.
+        Self::from_coords(n, &coords).expect("stencil coords are valid")
+    }
+
+    /// Number of rows (= columns).
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idxs.len()
+    }
+
+    /// CSR row-pointer array.
+    #[inline]
+    pub fn row_ptrs(&self) -> &[u32] {
+        &self.row_ptrs
+    }
+
+    /// CSR column-index array.
+    #[inline]
+    pub fn col_idxs(&self) -> &[u32] {
+        &self.col_idxs
+    }
+
+    /// Column indices of row `r`.
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        let (b, e) = self.row_range(r);
+        &self.col_idxs[b..e]
+    }
+
+    /// Half-open value-array range of row `r`.
+    #[inline]
+    pub fn row_range(&self, r: usize) -> (usize, usize) {
+        (self.row_ptrs[r] as usize, self.row_ptrs[r + 1] as usize)
+    }
+
+    /// Number of entries in row `r`.
+    #[inline]
+    pub fn nnz_in_row(&self, r: usize) -> usize {
+        (self.row_ptrs[r + 1] - self.row_ptrs[r]) as usize
+    }
+
+    /// Maximum entries in any row (the ELL width).
+    pub fn max_nnz_per_row(&self) -> usize {
+        (0..self.num_rows)
+            .map(|r| self.nnz_in_row(r))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Position of `(row, col)` in the value array, if present.
+    pub fn find(&self, row: usize, col: usize) -> Option<usize> {
+        let (b, e) = self.row_range(row);
+        self.col_idxs[b..e]
+            .binary_search(&(col as u32))
+            .ok()
+            .map(|k| b + k)
+    }
+
+    /// Position of the diagonal entry of `row`, if stored.
+    #[inline]
+    pub fn diag_position(&self, row: usize) -> Option<usize> {
+        self.find(row, row)
+    }
+
+    /// Lower and upper bandwidths `(kl, ku)`: the maximum of `row - col`
+    /// and `col - row` over stored entries. The XGC stencil pattern has
+    /// `kl = ku = nx + 1`.
+    pub fn bandwidths(&self) -> (usize, usize) {
+        let mut kl = 0usize;
+        let mut ku = 0usize;
+        for r in 0..self.num_rows {
+            for &c in self.row_cols(r) {
+                let c = c as usize;
+                if c < r {
+                    kl = kl.max(r - c);
+                } else {
+                    ku = ku.max(c - r);
+                }
+            }
+        }
+        (kl, ku)
+    }
+
+    /// Check that another pattern is identical, with a descriptive error.
+    pub fn ensure_same(&self, other: &SparsityPattern, op: &str) -> Result<()> {
+        if self != other {
+            return Err(dim_mismatch!(
+                "{op}: sparsity patterns differ ({} rows/{} nnz vs {} rows/{} nnz)",
+                self.num_rows,
+                self.nnz(),
+                other.num_rows,
+                other.nnz()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Bytes needed to store the pattern itself (row pointers + column
+    /// indices) — the "amortized once per batch" cost of Figure 3.
+    pub fn index_storage_bytes(&self) -> usize {
+        (self.row_ptrs.len() + self.col_idxs.len()) * core::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_coords_sorts_and_dedups() {
+        let p = SparsityPattern::from_coords(3, &[(0, 2), (0, 0), (0, 2), (2, 1)]).unwrap();
+        assert_eq!(p.nnz(), 3);
+        assert_eq!(p.row_cols(0), &[0, 2]);
+        assert_eq!(p.row_cols(1), &[] as &[u32]);
+        assert_eq!(p.row_cols(2), &[1]);
+    }
+
+    #[test]
+    fn from_coords_rejects_out_of_range() {
+        assert!(SparsityPattern::from_coords(3, &[(0, 3)]).is_err());
+        assert!(SparsityPattern::from_coords(3, &[(3, 0)]).is_err());
+    }
+
+    #[test]
+    fn from_csr_validates() {
+        // Valid.
+        assert!(SparsityPattern::from_csr(2, vec![0, 1, 2], vec![0, 1]).is_ok());
+        // Wrong ptr length.
+        assert!(SparsityPattern::from_csr(2, vec![0, 2], vec![0, 1]).is_err());
+        // Non-monotone.
+        assert!(SparsityPattern::from_csr(2, vec![0, 2, 1], vec![0, 1]).is_err());
+        // Unsorted columns in a row.
+        assert!(SparsityPattern::from_csr(2, vec![0, 2, 2], vec![1, 0]).is_err());
+        // Column out of range.
+        assert!(SparsityPattern::from_csr(2, vec![0, 1, 2], vec![0, 2]).is_err());
+    }
+
+    #[test]
+    fn nine_point_stencil_matches_paper_shape() {
+        // The paper's matrices: 992 rows, 9 nnz per (interior) row.
+        let p = SparsityPattern::stencil_2d(32, 31, true);
+        assert_eq!(p.num_rows(), 992);
+        assert_eq!(p.max_nnz_per_row(), 9);
+        // Interior row has the full 9-point stencil.
+        let interior = 5 * 32 + 7;
+        assert_eq!(p.nnz_in_row(interior), 9);
+        // Corner row has only 4 neighbours.
+        assert_eq!(p.nnz_in_row(0), 4);
+        // Bandwidth of a row-major 2-D stencil is nx + 1.
+        assert_eq!(p.bandwidths(), (33, 33));
+    }
+
+    #[test]
+    fn five_point_stencil() {
+        let p = SparsityPattern::stencil_2d(4, 4, false);
+        assert_eq!(p.num_rows(), 16);
+        assert_eq!(p.max_nnz_per_row(), 5);
+        assert_eq!(p.nnz_in_row(0), 3);
+        assert_eq!(p.bandwidths(), (4, 4));
+    }
+
+    #[test]
+    fn find_and_diag() {
+        let p = SparsityPattern::stencil_2d(3, 3, true);
+        for r in 0..9 {
+            let d = p.diag_position(r).expect("diagonal stored");
+            assert_eq!(p.col_idxs()[d] as usize, r);
+        }
+        assert!(p.find(0, 8).is_none());
+        assert!(p.find(0, 1).is_some());
+    }
+
+    #[test]
+    fn dense_pattern() {
+        let p = SparsityPattern::dense(3);
+        assert_eq!(p.nnz(), 9);
+        assert_eq!(p.max_nnz_per_row(), 3);
+        assert_eq!(p.bandwidths(), (2, 2));
+    }
+
+    #[test]
+    fn index_storage_matches_figure3_formula() {
+        let p = SparsityPattern::stencil_2d(32, 31, true);
+        // Figure 3: (num_rows + 1) + nnz 32-bit integers for CSR indices.
+        assert_eq!(p.index_storage_bytes(), (993 + p.nnz()) * 4);
+    }
+
+    #[test]
+    fn ensure_same_detects_difference() {
+        let a = SparsityPattern::stencil_2d(3, 3, true);
+        let b = SparsityPattern::stencil_2d(3, 3, false);
+        assert!(a.ensure_same(&a, "x").is_ok());
+        assert!(a.ensure_same(&b, "x").is_err());
+    }
+}

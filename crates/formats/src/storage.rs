@@ -1,0 +1,95 @@
+//! Storage-requirement formulas (the paper's Figure 3).
+//!
+//! The point of the figure: with batched *sparse* formats, index storage is
+//! paid once per batch and amortizes as the batch grows, while
+//! `BatchDense` pays `n²` values per system.
+
+/// Storage requirements of the three batch formats for a given problem
+/// shape, in bytes. `value_bytes` is `size_of::<T>()`, `index_bytes` is
+/// `size_of::<u32>() = 4`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Number of systems in the batch.
+    pub num_systems: usize,
+    /// Rows per system.
+    pub num_rows: usize,
+    /// Stored nonzeros per system (CSR).
+    pub nnz: usize,
+    /// ELL row width (max nnz per row).
+    pub ell_width: usize,
+    /// `BatchDense` total bytes.
+    pub dense_bytes: usize,
+    /// `BatchCsr` total bytes (values + shared pattern).
+    pub csr_bytes: usize,
+    /// `BatchEll` total bytes (padded values + shared indices).
+    pub ell_bytes: usize,
+}
+
+impl StorageReport {
+    /// Evaluate the Figure 3 formulas.
+    ///
+    /// * dense: `num_matrices × n² × value_bytes`
+    /// * CSR:   `num_matrices × nnz × value_bytes + (n+1+nnz) × 4`
+    /// * ELL:   `num_matrices × width·n × value_bytes + width·n × 4`
+    pub fn compute(
+        num_systems: usize,
+        num_rows: usize,
+        nnz: usize,
+        ell_width: usize,
+        value_bytes: usize,
+    ) -> StorageReport {
+        let ib = core::mem::size_of::<u32>();
+        StorageReport {
+            num_systems,
+            num_rows,
+            nnz,
+            ell_width,
+            dense_bytes: num_systems * num_rows * num_rows * value_bytes,
+            csr_bytes: num_systems * nnz * value_bytes + (num_rows + 1 + nnz) * ib,
+            ell_bytes: num_systems * ell_width * num_rows * value_bytes
+                + ell_width * num_rows * ib,
+        }
+    }
+
+    /// Index overhead of CSR relative to pure values, per system, as the
+    /// batch grows (tends to zero — the amortization argument).
+    pub fn csr_index_overhead_per_system(&self) -> f64 {
+        let idx = ((self.num_rows + 1 + self.nnz) * 4) as f64;
+        idx / self.num_systems as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xgc_shape_storage() {
+        // 992 rows, ~8736 nnz (9-pt stencil with boundary truncation),
+        // ELL width 9, f64 values.
+        let r = StorageReport::compute(1000, 992, 8736, 9, 8);
+        assert_eq!(r.dense_bytes, 1000 * 992 * 992 * 8);
+        assert_eq!(r.csr_bytes, 1000 * 8736 * 8 + (993 + 8736) * 4);
+        assert_eq!(r.ell_bytes, 1000 * 9 * 992 * 8 + 9 * 992 * 4);
+        // Sparse formats are orders of magnitude below dense.
+        assert!(r.csr_bytes < r.dense_bytes / 100);
+        assert!(r.ell_bytes < r.dense_bytes / 100);
+    }
+
+    #[test]
+    fn index_cost_amortizes() {
+        let small = StorageReport::compute(10, 992, 8736, 9, 8);
+        let large = StorageReport::compute(10000, 992, 8736, 9, 8);
+        assert!(
+            large.csr_index_overhead_per_system() < small.csr_index_overhead_per_system() / 100.0
+        );
+    }
+
+    #[test]
+    fn ell_padding_costs_show_up() {
+        // With heavy padding (width 9 but only 5 nnz/row stored), ELL
+        // values exceed CSR values.
+        let r = StorageReport::compute(100, 100, 500, 9, 8);
+        assert!(r.ell_bytes > r.csr_bytes);
+    }
+}

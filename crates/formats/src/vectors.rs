@@ -1,0 +1,197 @@
+//! Batched (multi-)vectors: one dense vector per system of the batch.
+
+use batsolv_types::{BatchDims, Result, Scalar};
+
+/// A batch of equally-sized dense vectors, stored contiguously
+/// system-major: system `i` occupies `values[i*n .. (i+1)*n]`.
+///
+/// This is the right-hand-side / solution container of the batched solvers
+/// (Ginkgo's `batch::MultiVector` with one column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchVectors<T> {
+    dims: BatchDims,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> BatchVectors<T> {
+    /// All-zero batch of vectors.
+    pub fn zeros(dims: BatchDims) -> Self {
+        BatchVectors {
+            dims,
+            values: vec![T::ZERO; dims.total_rows()],
+        }
+    }
+
+    /// Batch filled with a constant.
+    pub fn constant(dims: BatchDims, value: T) -> Self {
+        BatchVectors {
+            dims,
+            values: vec![value; dims.total_rows()],
+        }
+    }
+
+    /// Build from a function of `(system, row)`.
+    pub fn from_fn(dims: BatchDims, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut values = Vec::with_capacity(dims.total_rows());
+        for s in 0..dims.num_systems {
+            for r in 0..dims.num_rows {
+                values.push(f(s, r));
+            }
+        }
+        BatchVectors { dims, values }
+    }
+
+    /// Wrap an existing flat array (length must equal `dims.total_rows()`).
+    pub fn from_values(dims: BatchDims, values: Vec<T>) -> Result<Self> {
+        if values.len() != dims.total_rows() {
+            return Err(batsolv_types::dim_mismatch!(
+                "BatchVectors::from_values: {} values for {}",
+                values.len(),
+                dims
+            ));
+        }
+        Ok(BatchVectors { dims, values })
+    }
+
+    /// Batch shape.
+    #[inline]
+    pub fn dims(&self) -> BatchDims {
+        self.dims
+    }
+
+    /// Vector of system `i`.
+    #[inline]
+    pub fn system(&self, i: usize) -> &[T] {
+        let n = self.dims.num_rows;
+        &self.values[i * n..(i + 1) * n]
+    }
+
+    /// Mutable vector of system `i`.
+    #[inline]
+    pub fn system_mut(&mut self, i: usize) -> &mut [T] {
+        let n = self.dims.num_rows;
+        &mut self.values[i * n..(i + 1) * n]
+    }
+
+    /// The whole flat value array.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable flat value array.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Split into disjoint per-system mutable slices (for parallel
+    /// execution of the batch, one "thread block" per system).
+    pub fn systems_mut(&mut self) -> impl Iterator<Item = &mut [T]> {
+        self.values.chunks_mut(self.dims.num_rows)
+    }
+
+    /// Iterate over per-system slices.
+    pub fn systems(&self) -> impl Iterator<Item = &[T]> {
+        self.values.chunks(self.dims.num_rows)
+    }
+
+    /// Fill every entry with a constant.
+    pub fn fill(&mut self, value: T) {
+        self.values.iter_mut().for_each(|v| *v = value);
+    }
+
+    /// Copy the contents of another batch (shapes must match).
+    pub fn copy_from(&mut self, other: &BatchVectors<T>) -> Result<()> {
+        self.dims.ensure_same(&other.dims, "copy_from")?;
+        self.values.copy_from_slice(&other.values);
+        Ok(())
+    }
+
+    /// Euclidean norm of system `i`'s vector.
+    pub fn norm2(&self, i: usize) -> T {
+        self.system(i)
+            .iter()
+            .map(|&v| v * v)
+            .fold(T::ZERO, |a, b| a + b)
+            .sqrt()
+    }
+
+    /// Maximum Euclidean norm over the batch.
+    pub fn max_norm2(&self) -> T {
+        (0..self.dims.num_systems)
+            .map(|i| self.norm2(i))
+            .fold(T::ZERO, |a, b| a.max_val(b))
+    }
+
+    /// Bytes of storage for the values (Figure 3's `BatchDense`-style
+    /// per-entry cost applies to vectors too).
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() * T::BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims(ns: usize, n: usize) -> BatchDims {
+        BatchDims::new(ns, n).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_fill() {
+        let mut v = BatchVectors::<f64>::zeros(dims(2, 3));
+        assert!(v.values().iter().all(|&x| x == 0.0));
+        v.fill(2.5);
+        assert!(v.values().iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn from_fn_layout_is_system_major() {
+        let v = BatchVectors::<f64>::from_fn(dims(2, 3), |s, r| (10 * s + r) as f64);
+        assert_eq!(v.system(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(v.system(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn from_values_checks_length() {
+        assert!(BatchVectors::from_values(dims(2, 3), vec![0.0f64; 5]).is_err());
+        assert!(BatchVectors::from_values(dims(2, 3), vec![0.0f64; 6]).is_ok());
+    }
+
+    #[test]
+    fn system_mut_is_disjoint() {
+        let mut v = BatchVectors::<f64>::zeros(dims(3, 2));
+        v.system_mut(1)[0] = 7.0;
+        assert_eq!(v.system(0), &[0.0, 0.0]);
+        assert_eq!(v.system(1), &[7.0, 0.0]);
+        assert_eq!(v.system(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let v = BatchVectors::<f64>::from_fn(dims(2, 2), |s, r| if s == 1 { (r + 3) as f64 } else { 0.0 });
+        assert_eq!(v.norm2(0), 0.0);
+        assert!((v.norm2(1) - 5.0).abs() < 1e-14);
+        assert!((v.max_norm2() - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn copy_from_matches() {
+        let a = BatchVectors::<f64>::from_fn(dims(2, 2), |s, r| (s + r) as f64);
+        let mut b = BatchVectors::<f64>::zeros(dims(2, 2));
+        b.copy_from(&a).unwrap();
+        assert_eq!(a, b);
+        let mut c = BatchVectors::<f64>::zeros(dims(2, 3));
+        assert!(c.copy_from(&a).is_err());
+    }
+
+    #[test]
+    fn storage_bytes_counts_values() {
+        let v = BatchVectors::<f64>::zeros(dims(4, 10));
+        assert_eq!(v.storage_bytes(), 4 * 10 * 8);
+        let w = BatchVectors::<f32>::zeros(dims(4, 10));
+        assert_eq!(w.storage_bytes(), 4 * 10 * 4);
+    }
+}

@@ -1,0 +1,280 @@
+//! The kernel timing model.
+//!
+//! A batched solve is one kernel launch; each batch system is one thread
+//! block (Section IV.C of the paper). Block `i` reports what it did
+//! ([`BlockStats`]); the model prices each block on the device, schedules
+//! the blocks onto compute units, and returns the simulated kernel time
+//! together with the profiler-style metrics of Table II.
+
+use batsolv_types::OpCounts;
+
+use crate::cache::{cache_outcome, TrafficProfile};
+use crate::device::DeviceSpec;
+use crate::occupancy::{resident_blocks_per_cu, total_slots};
+use crate::schedule::makespan;
+
+/// Everything one block (= one batch system) did during the kernel.
+#[derive(Clone, Debug, Default)]
+pub struct BlockStats {
+    /// Solver iterations this system needed (per-system convergence).
+    pub iterations: u32,
+    /// Whether the system reached its tolerance.
+    pub converged: bool,
+    /// Arithmetic / lane-occupancy totals over the block's lifetime.
+    pub counts: OpCounts,
+    /// Number of serialized stages (dependent vector ops separated by
+    /// block synchronization) the block executed.
+    pub dependent_steps: u64,
+    /// Memory-traffic description for the cache model.
+    pub traffic: TrafficProfile,
+}
+
+/// A kernel to be priced: the device it runs on, the per-block dynamic
+/// shared memory carve-out, and how many launches the operation needed
+/// (the paper's fused solver needs exactly one).
+#[derive(Clone, Debug)]
+pub struct SimKernel<'a> {
+    /// Target device.
+    pub device: &'a DeviceSpec,
+    /// Dynamic shared memory per block, bytes.
+    pub shared_per_block: usize,
+    /// Number of kernel launches (launch overhead is paid per launch).
+    pub launches: u32,
+}
+
+/// Result of pricing a kernel.
+#[derive(Clone, Debug)]
+pub struct KernelReport {
+    /// Total simulated time: launches + makespan, seconds.
+    pub time_s: f64,
+    /// Scheduling makespan alone, seconds.
+    pub makespan_s: f64,
+    /// Launch overhead component, seconds.
+    pub launch_s: f64,
+    /// Lane (warp/wavefront) utilization, weighted over all blocks —
+    /// Table II column 1.
+    pub warp_utilization: f64,
+    /// Aggregate L1 hit rate — Table II column 2.
+    pub l1_hit_rate: f64,
+    /// Aggregate L2 hit rate — Table II column 3.
+    pub l2_hit_rate: f64,
+    /// Total DRAM traffic, bytes.
+    pub dram_bytes: u64,
+    /// Total floating-point operations.
+    pub flops: u64,
+    /// Achieved FP64 rate, GFLOP/s (flops / time).
+    pub achieved_gflops: f64,
+    /// Per-block simulated durations, seconds (for ablation plots).
+    pub block_times: Vec<f64>,
+}
+
+impl<'a> SimKernel<'a> {
+    /// Construct with one launch (the fused-solver default).
+    pub fn new(device: &'a DeviceSpec, shared_per_block: usize) -> Self {
+        SimKernel {
+            device,
+            shared_per_block,
+            launches: 1,
+        }
+    }
+
+    /// Time one block in isolation (before scheduling), seconds.
+    ///
+    /// `concurrent_blocks` is how many blocks contend for L2/DRAM.
+    pub fn block_time(&self, stats: &BlockStats, concurrent_blocks: u32) -> f64 {
+        let d = self.device;
+        let resident = resident_blocks_per_cu(d, self.shared_per_block).max(1) as f64;
+
+        // Instruction issue: every warp instruction costs warp_issue_ns on
+        // the CU; cross-lane exchanges (reduction shuffles) pay a
+        // device-specific surcharge; co-resident blocks share the pipes.
+        let warp_ops = stats.counts.lane_total as f64 / d.warp_size as f64;
+        let instr_t = (warp_ops * d.warp_issue_ns
+            + stats.counts.cross_warp_ops as f64 * d.cross_lane_ns)
+            * 1e-9
+            * resident;
+
+        // Memory: the block streams its DRAM traffic at the CU's own
+        // streaming rate (device-level bandwidth saturation is enforced
+        // as a kernel-wide floor in `price`), plus a faster L2 term.
+        let cache = cache_outcome(d, &stats.traffic, self.shared_per_block, concurrent_blocks);
+        let cu_bw = d.cu_stream_bw_gbps * 1e9;
+        let mem_t = cache.dram_bytes as f64 / cu_bw + cache.l2_bytes as f64 / (4.0 * cu_bw);
+
+        // Serialized-stage latency: pipeline drain + block sync between
+        // dependent vector operations. Co-residency hides part of it.
+        let lat_t = stats.dependent_steps as f64 * d.step_latency_ns * 1e-9 / resident;
+
+        instr_t.max(mem_t) + lat_t
+    }
+
+    /// Price the whole kernel.
+    pub fn price(&self, blocks: &[BlockStats]) -> KernelReport {
+        let d = self.device;
+        let concurrent = (blocks.len() as u32).min(total_slots(d, self.shared_per_block));
+        let block_times: Vec<f64> = blocks
+            .iter()
+            .map(|b| self.block_time(b, concurrent.max(1)))
+            .collect();
+        let slots = total_slots(d, self.shared_per_block);
+        let sched_makespan = makespan(&block_times, slots, d.scheduling);
+        let launch_s = self.launches as f64 * d.launch_overhead_us * 1e-6;
+
+        // Aggregate metrics.
+        let mut lane_active = 0u64;
+        let mut lane_total = 0u64;
+        let mut flops = 0u64;
+        let mut dram = 0u64;
+        let mut req = 0.0f64;
+        let mut l1h = 0.0f64;
+        let mut miss = 0.0f64;
+        let mut l2h = 0.0f64;
+        for b in blocks {
+            lane_active += b.counts.lane_active;
+            lane_total += b.counts.lane_total;
+            flops += b.counts.flops;
+            let o = cache_outcome(d, &b.traffic, self.shared_per_block, concurrent.max(1));
+            dram += o.dram_bytes;
+            let r = b.traffic.requested() as f64;
+            req += r;
+            l1h += o.l1_hit_rate * r;
+            let m = r * (1.0 - o.l1_hit_rate);
+            miss += m;
+            l2h += o.l2_hit_rate * m;
+        }
+        // Kernel-wide bandwidth roofline: the whole launch cannot finish
+        // faster than its aggregate DRAM traffic at device bandwidth.
+        let bw_floor = dram as f64 / (d.mem_bw_gbps * 1e9);
+        let makespan_s = sched_makespan.max(bw_floor);
+        let time_s = makespan_s + launch_s;
+        KernelReport {
+            time_s,
+            makespan_s,
+            launch_s,
+            warp_utilization: if lane_total == 0 {
+                1.0
+            } else {
+                lane_active as f64 / lane_total as f64
+            },
+            l1_hit_rate: if req == 0.0 { 0.0 } else { l1h / req },
+            l2_hit_rate: if miss == 0.0 { 0.0 } else { l2h / miss },
+            dram_bytes: dram,
+            flops,
+            achieved_gflops: if time_s > 0.0 {
+                flops as f64 / time_s / 1e9
+            } else {
+                0.0
+            },
+            block_times,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(warp_ops: u64, steps: u64, ws_kb: u64, passes: u64, warp: u64) -> BlockStats {
+        let mut counts = OpCounts::ZERO;
+        counts.lane_total = warp_ops * warp;
+        counts.lane_active = warp_ops * warp;
+        counts.flops = warp_ops * warp;
+        BlockStats {
+            iterations: passes as u32,
+            converged: true,
+            counts,
+            dependent_steps: steps,
+            traffic: TrafficProfile {
+                ro_working_set: ws_kb * 1024,
+                ro_requested: ws_kb * 1024 * passes,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn more_blocks_take_longer() {
+        let v = DeviceSpec::v100();
+        let k = SimKernel::new(&v, 40 * 1024);
+        let one = k.price(&[block(1000, 100, 100, 10, 32)]);
+        let many = k.price(&vec![block(1000, 100, 100, 10, 32); 2000]);
+        assert!(many.time_s > one.time_s);
+        // But far less than 2000x: the device parallelizes over CUs.
+        assert!(many.time_s < one.time_s * 200.0);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_batches() {
+        let v = DeviceSpec::v100();
+        let k = SimKernel::new(&v, 0);
+        let r = k.price(&[block(10, 2, 1, 1, 32)]);
+        assert!(r.launch_s > 0.5 * r.time_s);
+    }
+
+    #[test]
+    fn more_iterations_cost_more() {
+        let v = DeviceSpec::v100();
+        let k = SimKernel::new(&v, 40 * 1024);
+        let fast = k.price(&vec![block(500, 50, 100, 5, 32); 80]);
+        let slow = k.price(&vec![block(3000, 300, 100, 30, 32); 80]);
+        assert!(slow.time_s > 3.0 * fast.time_s);
+    }
+
+    #[test]
+    fn wave_steps_on_mi100() {
+        let m = DeviceSpec::mi100();
+        let k = SimKernel::new(&m, 40 * 1024);
+        let b = block(1000, 100, 100, 10, 64);
+        let t120 = k.price(&vec![b.clone(); 120]).makespan_s;
+        let t121 = k.price(&vec![b.clone(); 121]).makespan_s;
+        let t240 = k.price(&vec![b; 240]).makespan_s;
+        // One extra block beyond a full wave costs a whole extra wave.
+        assert!(t121 > 1.8 * t120, "t121={t121} t120={t120}");
+        assert!((t240 / t121 - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn greedy_v100_has_no_hard_step() {
+        let v = DeviceSpec::v100();
+        let k = SimKernel::new(&v, 50 * 1024); // 1 block/CU → 80 slots
+        // Heterogeneous durations (ion/electron mix) — greedy smooths.
+        let blocks: Vec<BlockStats> = (0..161)
+            .map(|i| {
+                if i % 2 == 0 {
+                    block(500, 60, 100, 5, 32)
+                } else {
+                    block(3000, 360, 100, 30, 32)
+                }
+            })
+            .collect();
+        let t160 = k.price(&blocks[..160]).makespan_s;
+        let t161 = k.price(&blocks).makespan_s;
+        // The 161st block slots into an idle CU; no doubling.
+        assert!(t161 < 1.3 * t160, "t161={t161} t160={t160}");
+    }
+
+    #[test]
+    fn metrics_are_sane() {
+        let a = DeviceSpec::a100();
+        let k = SimKernel::new(&a, 64 * 1024);
+        let r = k.price(&vec![block(900, 90, 115, 30, 32); 500]);
+        assert!(r.warp_utilization > 0.0 && r.warp_utilization <= 1.0);
+        assert!(r.l1_hit_rate >= 0.0 && r.l1_hit_rate <= 1.0);
+        assert!(r.l2_hit_rate >= 0.0 && r.l2_hit_rate <= 1.0);
+        assert!(r.dram_bytes > 0);
+        assert!(r.achieved_gflops > 0.0);
+        assert_eq!(r.block_times.len(), 500);
+    }
+
+    #[test]
+    fn per_entry_time_falls_with_batch_size() {
+        // The right panel of Figure 6: time per system decreases until the
+        // GPU saturates.
+        let a = DeviceSpec::a100();
+        let k = SimKernel::new(&a, 64 * 1024);
+        let b = block(900, 90, 115, 30, 32);
+        let t16 = k.price(&vec![b.clone(); 16]).time_s / 16.0;
+        let t1024 = k.price(&vec![b; 1024]).time_s / 1024.0;
+        assert!(t1024 < t16 / 2.0, "per-entry {t1024} vs {t16}");
+    }
+}

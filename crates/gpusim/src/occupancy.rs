@@ -1,0 +1,117 @@
+//! Occupancy: how many blocks fit on one compute unit.
+
+use crate::device::DeviceSpec;
+
+/// Number of thread blocks simultaneously resident on one CU, limited by
+/// the hardware cap and by the dynamic shared memory each block carves
+/// out. Always at least one (a block that over-asks simply runs alone —
+/// validation of the request against `shared_budget_bytes` happens in the
+/// solver's workspace planner).
+pub fn resident_blocks_per_cu(device: &DeviceSpec, shared_per_block_bytes: usize) -> u32 {
+    let cap = device.max_resident_blocks.max(1);
+    if shared_per_block_bytes == 0 {
+        return cap;
+    }
+    let pool = device.shared_mem_kb * 1024.0;
+    let by_shared = (pool / shared_per_block_bytes as f64).floor() as u32;
+    by_shared.clamp(1, cap)
+}
+
+/// Total concurrent block slots on the device.
+pub fn total_slots(device: &DeviceSpec, shared_per_block_bytes: usize) -> u32 {
+    device.num_cus * resident_blocks_per_cu(device, shared_per_block_bytes)
+}
+
+/// Register file capacity per CU (32-bit registers). 64K on every GPU of
+/// Table I (V100/A100 SMs and CDNA CUs alike); irrelevant for the CPU.
+pub const REGISTERS_PER_CU: u32 = 65_536;
+
+/// Threads per block the register budget allows, given the kernel's
+/// per-thread register usage — the paper's Section IV.E constraint
+/// ("there is a limit to how many threads can be used to solve one batch
+/// entry", set by register pressure).
+///
+/// The fused BiCGSTAB kernel is register-hungry (~64–96 registers per
+/// thread: solver scalars, pointers into 9 vectors, loop state), which
+/// caps a block well below the architectural 1024-thread maximum.
+pub fn max_threads_per_block(registers_per_thread: u32) -> u32 {
+    if registers_per_thread == 0 {
+        return 1024;
+    }
+    (REGISTERS_PER_CU / registers_per_thread).min(1024).max(32)
+}
+
+/// Warps per block for a device, given register pressure and the row
+/// count (one thread per row is the natural ELL mapping; more threads
+/// than rows are wasted).
+pub fn warps_per_block(device: &DeviceSpec, registers_per_thread: u32, num_rows: usize) -> u32 {
+    let by_regs = max_threads_per_block(registers_per_thread);
+    let wanted = (num_rows as u32).min(by_regs);
+    wanted.div_ceil(device.warp_size).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_shared_gives_hardware_cap() {
+        let v = DeviceSpec::v100();
+        assert_eq!(resident_blocks_per_cu(&v, 0), 2);
+    }
+
+    #[test]
+    fn big_shared_footprint_means_one_block() {
+        let v = DeviceSpec::v100();
+        // 48 KiB per block: 96 KiB pool fits 2, but 50 KiB fits only 1.
+        assert_eq!(resident_blocks_per_cu(&v, 48 * 1024), 2);
+        assert_eq!(resident_blocks_per_cu(&v, 50 * 1024), 1);
+    }
+
+    #[test]
+    fn oversized_request_still_runs_alone() {
+        let v = DeviceSpec::v100();
+        assert_eq!(resident_blocks_per_cu(&v, 10 * 1024 * 1024), 1);
+    }
+
+    #[test]
+    fn mi100_slots_are_120() {
+        let m = DeviceSpec::mi100();
+        // One resident block per CU (hardware cap in our model).
+        assert_eq!(total_slots(&m, 40 * 1024), 120);
+    }
+
+    #[test]
+    fn skylake_is_one_block_per_core() {
+        let s = DeviceSpec::skylake_node();
+        assert_eq!(total_slots(&s, 0), 38);
+    }
+
+    #[test]
+    fn register_pressure_caps_block_size() {
+        // The fused BiCGSTAB kernel at ~80 regs/thread: 819 threads max,
+        // well under the architectural 1024.
+        assert_eq!(max_threads_per_block(80), 819);
+        // Lightweight kernels hit the architectural cap instead.
+        assert_eq!(max_threads_per_block(16), 1024);
+        assert_eq!(max_threads_per_block(0), 1024);
+        // Pathological register use still leaves one warp.
+        assert_eq!(max_threads_per_block(4096), 32);
+    }
+
+    #[test]
+    fn warps_per_block_follows_rows_until_registers_bind() {
+        let v = DeviceSpec::v100();
+        // 992 rows at 64 regs/thread: 992 threads wanted, 1024 allowed →
+        // 31 warps, one thread per row.
+        assert_eq!(warps_per_block(&v, 64, 992), 31);
+        // At 96 regs/thread only 682 threads fit → 22 warps; the kernel
+        // must loop rows over threads.
+        assert_eq!(warps_per_block(&v, 96, 992), 22);
+        // Small systems need few warps regardless.
+        assert_eq!(warps_per_block(&v, 64, 100), 4);
+        // AMD's 64-wide wavefronts halve the warp count.
+        let m = DeviceSpec::mi100();
+        assert_eq!(warps_per_block(&m, 64, 992), 16);
+    }
+}

@@ -1,0 +1,69 @@
+//! Host↔device transfer model, for the Figure 1 timeline.
+//!
+//! The paper's motivation: with the linear solve on the CPU, the collision
+//! kernel must ship matrices and right-hand sides device→host and
+//! solutions host→device every Picard iteration (~9% of the loop). A
+//! simple latency + bandwidth model reproduces that overhead.
+
+use crate::device::DeviceSpec;
+
+/// Fixed per-transfer latency (driver + DMA setup), seconds.
+pub const TRANSFER_LATENCY_S: f64 = 10.0e-6;
+
+/// Direction of a host↔device copy (symmetric in this model, named for
+/// timeline readability).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Host to device (the timeline's green boxes).
+    HostToDevice,
+    /// Device to host (the timeline's red boxes).
+    DeviceToHost,
+}
+
+/// Time to move `bytes` across the host link, seconds.
+pub fn transfer_time(device: &DeviceSpec, bytes: u64, _dir: Direction) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    if device.host_link_gbps.is_infinite() {
+        // CPU "device": data is already in host memory.
+        return 0.0;
+    }
+    TRANSFER_LATENCY_S + bytes as f64 / (device.host_link_gbps * 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_transfers_are_free() {
+        let s = DeviceSpec::skylake_node();
+        assert_eq!(
+            transfer_time(&s, 1 << 30, Direction::DeviceToHost),
+            0.0
+        );
+    }
+
+    #[test]
+    fn bandwidth_term_scales() {
+        let v = DeviceSpec::v100();
+        let t1 = transfer_time(&v, 100 << 20, Direction::HostToDevice);
+        let t2 = transfer_time(&v, 200 << 20, Direction::HostToDevice);
+        assert!(t2 > 1.9 * t1 - TRANSFER_LATENCY_S);
+        assert!(t1 > 0.0);
+    }
+
+    #[test]
+    fn latency_floor_for_small_copies() {
+        let v = DeviceSpec::v100();
+        let t = transfer_time(&v, 8, Direction::DeviceToHost);
+        assert!(t >= TRANSFER_LATENCY_S);
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let v = DeviceSpec::v100();
+        assert_eq!(transfer_time(&v, 0, Direction::HostToDevice), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the execution model: cache-outcome bounds,
+//! pricing monotonicity, occupancy, scheduling invariants.
+
+use batsolv_gpusim::cache::cache_outcome;
+use batsolv_gpusim::{
+    makespan, resident_blocks_per_cu, BlockStats, DeviceSpec, Scheduling, SimKernel,
+    TrafficProfile,
+};
+use batsolv_types::OpCounts;
+use proptest::prelude::*;
+
+fn devices() -> Vec<DeviceSpec> {
+    vec![
+        DeviceSpec::v100(),
+        DeviceSpec::a100(),
+        DeviceSpec::mi100(),
+        DeviceSpec::skylake_node(),
+    ]
+}
+
+fn traffic_strategy() -> impl Strategy<Value = TrafficProfile> {
+    (
+        0u64..1_000_000,
+        1u64..64,
+        0u64..500_000,
+        1u64..16,
+        0u64..100_000,
+    )
+        .prop_map(|(ro_ws, passes, rw_ws, rw_passes, write_once)| TrafficProfile {
+            ro_working_set: ro_ws,
+            shared_ro_working_set: ro_ws / 3,
+            ro_requested: ro_ws * passes,
+            rw_working_set: rw_ws,
+            rw_requested: rw_ws * rw_passes,
+            write_once,
+            shared_bytes: 0,
+        })
+}
+
+fn block_strategy() -> impl Strategy<Value = BlockStats> {
+    (1u32..200, 1u64..100_000, 1u64..10_000, traffic_strategy()).prop_map(
+        |(iterations, lanes, steps, traffic)| {
+            let mut counts = OpCounts::ZERO;
+            counts.lane_total = lanes * 32;
+            counts.lane_active = lanes * 20;
+            counts.flops = lanes * 16;
+            counts.cross_warp_ops = lanes / 4;
+            BlockStats {
+                iterations,
+                converged: true,
+                counts,
+                dependent_steps: steps,
+                traffic,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_rates_are_probabilities(
+        t in traffic_strategy(),
+        shared in 0usize..100_000,
+        blocks in 1u32..5000,
+    ) {
+        for d in devices() {
+            let o = cache_outcome(&d, &t, shared, blocks);
+            prop_assert!((0.0..=1.0).contains(&o.l1_hit_rate), "{}", o.l1_hit_rate);
+            prop_assert!((0.0..=1.0).contains(&o.l2_hit_rate), "{}", o.l2_hit_rate);
+            // DRAM traffic never exceeds what was requested plus writes.
+            prop_assert!(o.dram_bytes <= t.requested() + t.write_once);
+        }
+    }
+
+    #[test]
+    fn more_concurrency_never_improves_cache(t in traffic_strategy()) {
+        for d in devices() {
+            let few = cache_outcome(&d, &t, 0, 4);
+            let many = cache_outcome(&d, &t, 0, 4000);
+            prop_assert!(many.dram_bytes >= few.dram_bytes);
+            prop_assert!(many.l2_hit_rate <= few.l2_hit_rate + 1e-12);
+        }
+    }
+
+    #[test]
+    fn block_time_is_positive_and_monotone_in_work(b in block_strategy()) {
+        for d in devices() {
+            let k = SimKernel::new(&d, 16 * 1024);
+            let t1 = k.block_time(&b, 100);
+            prop_assert!(t1 > 0.0 && t1.is_finite());
+            // Doubling every cost component cannot make the block faster.
+            let mut b2 = b.clone();
+            b2.counts = b2.counts * 2;
+            b2.dependent_steps *= 2;
+            b2.traffic.ro_requested = b2.traffic.ro_requested.saturating_mul(2);
+            b2.traffic.rw_requested = b2.traffic.rw_requested.saturating_mul(2);
+            let t2 = k.block_time(&b2, 100);
+            prop_assert!(t2 >= t1 * 0.999, "{t2} < {t1}");
+        }
+    }
+
+    #[test]
+    fn kernel_price_scales_with_batch(b in block_strategy(), reps in 1usize..40) {
+        let d = DeviceSpec::v100();
+        let k = SimKernel::new(&d, 16 * 1024);
+        let one = k.price(std::slice::from_ref(&b));
+        let many = k.price(&vec![b.clone(); reps * 80]);
+        prop_assert!(many.time_s >= one.time_s * 0.999);
+        prop_assert!(many.flops == one.flops * (reps as u64) * 80);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_cap(shared in 0usize..300_000) {
+        for d in devices() {
+            let r = resident_blocks_per_cu(&d, shared);
+            prop_assert!(r >= 1);
+            prop_assert!(r <= d.max_resident_blocks.max(1));
+        }
+    }
+
+    #[test]
+    fn greedy_schedule_is_optimal_for_uniform_blocks(
+        dur in 1e-6f64..1e-2,
+        count in 1usize..500,
+        slots in 1u32..128,
+    ) {
+        // For identical durations, greedy achieves the exact lower bound
+        // ceil(count/slots) * dur.
+        let durations = vec![dur; count];
+        let m = makespan(&durations, slots, Scheduling::Greedy);
+        let expect = count.div_ceil(slots as usize) as f64 * dur;
+        prop_assert!((m - expect).abs() < 1e-12 * expect.max(1.0));
+    }
+
+    #[test]
+    fn wave_makespan_is_sum_of_wave_maxima(
+        durations in proptest::collection::vec(1e-6f64..1e-3, 1..300),
+        slots in 1u32..64,
+    ) {
+        let m = makespan(&durations, slots, Scheduling::WaveSynchronous);
+        let expect: f64 = durations
+            .chunks(slots as usize)
+            .map(|w| w.iter().cloned().fold(0.0f64, f64::max))
+            .sum();
+        prop_assert!((m - expect).abs() < 1e-15 + 1e-12 * expect);
+    }
+}

@@ -1,0 +1,230 @@
+//! Shared report types and cost-assembly helpers for the batched solvers.
+
+use batsolv_blas::counts::MemSpace;
+use batsolv_formats::BatchMatrix;
+use batsolv_gpusim::{BlockStats, KernelReport, TrafficProfile};
+use batsolv_types::{OpCounts, Scalar};
+
+use crate::workspace::WorkspacePlan;
+
+/// Convergence record of one system of the batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SystemResult {
+    /// Iterations the system ran.
+    pub iterations: u32,
+    /// Final residual norm.
+    pub residual: f64,
+    /// Whether the stop criterion was met.
+    pub converged: bool,
+    /// Krylov breakdown, if one occurred.
+    pub breakdown: Option<&'static str>,
+}
+
+/// The result of one batched solve: per-system convergence plus the
+/// simulated kernel timing and profiler metrics.
+#[derive(Clone, Debug)]
+pub struct BatchSolveReport {
+    /// One record per system.
+    pub per_system: Vec<SystemResult>,
+    /// Simulated kernel pricing (time, warp utilization, cache hits).
+    pub kernel: KernelReport,
+    /// Workspace placement summary (e.g. `"6 shared (...) + 3 global"`).
+    pub plan_description: String,
+    /// Dynamic shared memory per block, bytes.
+    pub shared_per_block: usize,
+    /// Solver name (`"bicgstab"`, ...).
+    pub solver: &'static str,
+    /// Matrix format name.
+    pub format: &'static str,
+    /// Device name.
+    pub device: &'static str,
+}
+
+impl BatchSolveReport {
+    /// Largest per-system iteration count.
+    pub fn max_iterations(&self) -> u32 {
+        self.per_system.iter().map(|s| s.iterations).max().unwrap_or(0)
+    }
+
+    /// Mean per-system iteration count.
+    pub fn mean_iterations(&self) -> f64 {
+        if self.per_system.is_empty() {
+            return 0.0;
+        }
+        self.per_system.iter().map(|s| s.iterations as f64).sum::<f64>()
+            / self.per_system.len() as f64
+    }
+
+    /// True when every system met the stop criterion.
+    pub fn all_converged(&self) -> bool {
+        self.per_system.iter().all(|s| s.converged)
+    }
+
+    /// Worst final residual over the batch.
+    pub fn max_residual(&self) -> f64 {
+        self.per_system
+            .iter()
+            .map(|s| s.residual)
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Simulated solve time, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.kernel.time_s
+    }
+}
+
+/// SpMV counts with the solver's vector placement applied: the `x` gather
+/// and `y` write that the format booked as global traffic move to shared
+/// when the workspace plan put those vectors in shared memory.
+pub fn placed_spmv_counts<T: Scalar, M: BatchMatrix<T> + ?Sized>(
+    a: &M,
+    warp: u32,
+    x_space: MemSpace,
+    y_space: MemSpace,
+) -> OpCounts {
+    let mut c = a.spmv_counts(warp);
+    if x_space == MemSpace::Shared {
+        let xb = a.spmv_x_read_bytes();
+        c.global_read_bytes = c.global_read_bytes.saturating_sub(xb);
+        c.shared_read_bytes += xb;
+    }
+    if y_space == MemSpace::Shared {
+        let yb = a.spmv_y_write_bytes();
+        c.global_write_bytes = c.global_write_bytes.saturating_sub(yb);
+        c.shared_write_bytes += yb;
+    }
+    c
+}
+
+/// Assemble the [`BlockStats`] of one system from the solver's cost
+/// decomposition.
+///
+/// * `setup` — one-time counts (initial residual, preconditioner setup);
+/// * `per_iter` — counts of one iteration;
+/// * `iterations` — iterations the system actually ran;
+/// * `setup_stages` / `iter_stages` — serialized-stage counts;
+/// * `ro_req_per_iter` — read-only (matrix + indices) bytes requested per
+///   iteration, for the cache model.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_block_stats<T: Scalar, M: BatchMatrix<T> + ?Sized>(
+    a: &M,
+    plan: &WorkspacePlan,
+    result: &SystemResult,
+    setup: &OpCounts,
+    per_iter: &OpCounts,
+    setup_stages: u64,
+    iter_stages: u64,
+    ro_req_per_iter: u64,
+) -> BlockStats {
+    let n = a.dims().num_rows;
+    let iters = result.iterations as u64;
+    let counts = *setup + *per_iter * iters;
+    let ro_working_set =
+        (a.value_bytes_per_system() + a.shared_index_bytes() + n * T::BYTES) as u64;
+    let ro_requested = ro_working_set + ro_req_per_iter * iters;
+    let total_global = counts.global_read_bytes + counts.global_write_bytes;
+    let rw_requested = total_global.saturating_sub(ro_requested);
+    BlockStats {
+        iterations: result.iterations,
+        converged: result.converged,
+        counts,
+        dependent_steps: setup_stages + iter_stages * iters,
+        traffic: TrafficProfile {
+            ro_working_set,
+            shared_ro_working_set: a.shared_index_bytes() as u64,
+            ro_requested,
+            rw_working_set: plan.global_vector_bytes() as u64,
+            rw_requested,
+            write_once: (n * T::BYTES) as u64,
+            shared_bytes: counts.shared_read_bytes + counts.shared_write_bytes,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::{WorkspacePlan, BICGSTAB_VECTORS};
+    use batsolv_formats::{BatchCsr, SparsityPattern};
+    use std::sync::Arc;
+
+    fn csr() -> BatchCsr<f64> {
+        let p = Arc::new(SparsityPattern::stencil_2d(8, 8, true));
+        BatchCsr::zeros(1, p).unwrap()
+    }
+
+    #[test]
+    fn placed_counts_move_gather_to_shared() {
+        let m = csr();
+        let g = placed_spmv_counts(&m, 32, MemSpace::Global, MemSpace::Global);
+        let s = placed_spmv_counts(&m, 32, MemSpace::Shared, MemSpace::Shared);
+        assert!(s.global_read_bytes < g.global_read_bytes);
+        assert!(s.shared_read_bytes > 0);
+        assert_eq!(s.global_write_bytes, 0);
+        // Flops and lanes are placement-independent.
+        assert_eq!(s.flops, g.flops);
+        assert_eq!(s.lane_total, g.lane_total);
+    }
+
+    #[test]
+    fn block_stats_scale_with_iterations() {
+        let m = csr();
+        let plan = WorkspacePlan::plan::<f64>(48 * 1024, 64, &BICGSTAB_VECTORS);
+        let per_iter = m.spmv_counts(32);
+        let setup = OpCounts::ZERO;
+        let mk = |iters: u32| {
+            assemble_block_stats(
+                &m,
+                &plan,
+                &SystemResult {
+                    iterations: iters,
+                    residual: 1e-11,
+                    converged: true,
+                    breakdown: None,
+                },
+                &setup,
+                &per_iter,
+                3,
+                14,
+                1000,
+            )
+        };
+        let b5 = mk(5);
+        let b30 = mk(30);
+        assert_eq!(b30.counts.flops, 6 * b5.counts.flops);
+        assert!(b30.dependent_steps > 5 * b5.dependent_steps);
+        assert!(b30.traffic.ro_requested > 5 * b5.traffic.ro_requested / 6);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = BatchSolveReport {
+            per_system: vec![
+                SystemResult {
+                    iterations: 5,
+                    residual: 1e-12,
+                    converged: true,
+                    breakdown: None,
+                },
+                SystemResult {
+                    iterations: 30,
+                    residual: 9e-11,
+                    converged: true,
+                    breakdown: None,
+                },
+            ],
+            kernel: batsolv_gpusim::SimKernel::new(&batsolv_gpusim::DeviceSpec::v100(), 0)
+                .price(&[]),
+            plan_description: String::new(),
+            shared_per_block: 0,
+            solver: "bicgstab",
+            format: "BatchCsr",
+            device: "test",
+        };
+        assert_eq!(report.max_iterations(), 30);
+        assert!((report.mean_iterations() - 17.5).abs() < 1e-12);
+        assert!(report.all_converged());
+        assert!((report.max_residual() - 9e-11).abs() < 1e-25);
+    }
+}

@@ -1,0 +1,304 @@
+//! Batched sparse QR — the cuSolver `csrqrsvBatched` stand-in.
+//!
+//! cuSolver's batched sparse QR is the only vendor-provided batched
+//! sparse direct solver; the paper shows it losing to batched BiCGSTAB
+//! by 10–30× because an exact factorization does far more work than the
+//! handful of Krylov iterations these well-conditioned systems need.
+//!
+//! Our implementation: Givens rotations on LAPACK-style band storage
+//! (the XGC matrices are banded, so QR fill stays within `kl + ku` above
+//! the diagonal). Rotations are applied to the right-hand side on the
+//! fly (`Q^T b`), followed by a banded back-substitution with `R`.
+
+use batsolv_formats::{BatchBanded, BatchMatrix, BatchVectors};
+use batsolv_gpusim::{run_batch_map_mut, BlockStats, DeviceSpec, SimKernel, TrafficProfile};
+use batsolv_types::{OpCounts, Result, Scalar};
+
+use crate::common::{BatchSolveReport, SystemResult};
+
+/// The batched sparse QR direct solver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchSparseQr;
+
+impl BatchSparseQr {
+    /// Solve every system by QR factorization with Givens rotations.
+    pub fn solve<T: Scalar>(
+        &self,
+        device: &DeviceSpec,
+        a: &BatchBanded<T>,
+        b: &BatchVectors<T>,
+        x: &mut BatchVectors<T>,
+    ) -> Result<BatchSolveReport> {
+        let dims = a.dims();
+        dims.ensure_same(&b.dims(), "qr b")?;
+        dims.ensure_same(&x.dims(), "qr x")?;
+        let n = dims.num_rows;
+        let (kl, ku, ldab) = (a.kl(), a.ku(), a.ldab());
+
+        let chunks: Vec<&mut [T]> = x.systems_mut().collect();
+        let results: Vec<SystemResult> = run_batch_map_mut(chunks, |i, xi| {
+            xi.copy_from_slice(b.system(i));
+            let mut ab = a.ab_of(i).to_vec();
+            match givens_qr_solve(n, kl, ku, ldab, &mut ab, xi) {
+                Ok(()) => {
+                    let mut r = vec![T::ZERO; n];
+                    a.spmv_system(i, xi, &mut r);
+                    let res = b
+                        .system(i)
+                        .iter()
+                        .zip(r.iter())
+                        .map(|(&bv, &rv)| (bv - rv) * (bv - rv))
+                        .fold(T::ZERO, |acc, v| acc + v)
+                        .sqrt();
+                    SystemResult {
+                        iterations: 1,
+                        residual: res.to_f64(),
+                        converged: true,
+                        breakdown: None,
+                    }
+                }
+                Err(_) => SystemResult {
+                    iterations: 0,
+                    residual: f64::INFINITY,
+                    converged: false,
+                    breakdown: Some("singular"),
+                },
+            }
+        });
+
+        let stats = block_stats::<T>(device, n, kl, ku, ldab);
+        let blocks = vec![stats; dims.num_systems];
+        let kernel = SimKernel::new(device, 0).price(&blocks);
+        Ok(BatchSolveReport {
+            per_system: results,
+            kernel,
+            plan_description: "band-profile R in global memory".into(),
+            shared_per_block: 0,
+            solver: "sparse-qr",
+            format: "BatchBanded",
+            device: device.name,
+        })
+    }
+}
+
+/// Per-block cost of one banded Givens QR solve.
+fn block_stats<T: Scalar>(
+    device: &DeviceSpec,
+    n: usize,
+    kl: usize,
+    ku: usize,
+    ldab: usize,
+) -> BlockStats {
+    let w = device.warp_size as u64;
+    let (n64, kl64) = (n as u64, kl as u64);
+    let width = (kl + ku) as u64;
+    let vb = T::BYTES as u64;
+    let rotations = n64 * kl64; // upper bound; edge columns have fewer
+    let mut counts = OpCounts::ZERO;
+    // Each rotation: 6 flops per affected column pair + setup.
+    counts.flops = rotations * (6 * (width + 1) + 10);
+    // Row-pair updates vectorize over the band width only.
+    counts.record_lanes(width.max(1), w, rotations * 2);
+    let slab = (ldab * n) as u64 * vb;
+    counts.global_read_bytes = slab;
+    counts.global_write_bytes = slab + n64 * vb;
+    BlockStats {
+        iterations: 1,
+        converged: true,
+        counts,
+        // Rotations form long sequential chains — the fundamental reason
+        // a factorization cannot exploit the thread block the way the
+        // fused iterative kernel does.
+        dependent_steps: rotations / 2,
+        traffic: TrafficProfile {
+            shared_ro_working_set: 0, // no cross-block shared structure
+            ro_working_set: slab,
+            ro_requested: slab,
+            rw_working_set: slab,
+            rw_requested: rotations * (width + 1) * 4 * vb,
+            write_once: n64 * vb,
+            shared_bytes: 0,
+        },
+    }
+}
+
+/// Simulated time of a batched QR sweep without running numerics (for
+/// large-batch pricing in the Figure 6 harness).
+pub fn sparse_qr_time_model<T: Scalar>(
+    device: &DeviceSpec,
+    num_systems: usize,
+    n: usize,
+    kl: usize,
+    ku: usize,
+) -> f64 {
+    let ldab = 2 * kl + ku + 1;
+    let stats = block_stats::<T>(device, n, kl, ku, ldab);
+    let blocks = vec![stats; num_systems];
+    SimKernel::new(device, 0).price(&blocks).time_s
+}
+
+/// Factor-and-solve: Givens QR on band storage; `rhs` becomes `x`.
+pub fn givens_qr_solve<T: Scalar>(
+    n: usize,
+    kl: usize,
+    ku: usize,
+    ldab: usize,
+    ab: &mut [T],
+    rhs: &mut [T],
+) -> Result<()> {
+    let kv = kl + ku; // R's upper bandwidth after fill
+    let idx = |i: usize, j: usize| j * ldab + kl + ku + i - j;
+    for j in 0..n {
+        // Eliminate subdiagonal entries of column j bottom-up with
+        // adjacent-row rotations (keeps the band profile minimal).
+        let i_max = (j + kl).min(n - 1);
+        for i in (j + 1..=i_max).rev() {
+            let a_top = ab[idx(i - 1, j)];
+            let a_bot = ab[idx(i, j)];
+            if a_bot == T::ZERO {
+                continue;
+            }
+            let rho = (a_top * a_top + a_bot * a_bot).sqrt();
+            let c = a_top / rho;
+            let s = a_bot / rho;
+            // Rotate rows (i-1, i) across the affected columns.
+            let c_max = ((i - 1) + kv).min(n - 1);
+            for col in j..=c_max {
+                let t = ab[idx(i - 1, col)];
+                let u = ab[idx(i, col)];
+                ab[idx(i - 1, col)] = c * t + s * u;
+                ab[idx(i, col)] = -s * t + c * u;
+            }
+            let (bt, bb) = (rhs[i - 1], rhs[i]);
+            rhs[i - 1] = c * bt + s * bb;
+            rhs[i] = -s * bt + c * bb;
+        }
+        if ab[idx(j, j)] == T::ZERO {
+            return Err(batsolv_types::Error::SingularMatrix {
+                batch_index: 0,
+                detail: format!("qr: zero diagonal at column {j}"),
+            });
+        }
+    }
+    // Back-substitute with R (upper bandwidth kv).
+    for j in (0..n).rev() {
+        let c_max = (j + kv).min(n - 1);
+        let mut acc = rhs[j];
+        for c in (j + 1)..=c_max {
+            acc -= ab[idx(j, c)] * rhs[c];
+        }
+        rhs[j] = acc / ab[idx(j, j)];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batsolv_blas::lu::dense_solve;
+    use batsolv_formats::{BatchCsr, BatchDense, SparsityPattern};
+    use std::sync::Arc;
+
+    fn stencil(ns: usize, nx: usize, ny: usize) -> (BatchCsr<f64>, BatchBanded<f64>) {
+        let p = Arc::new(SparsityPattern::stencil_2d(nx, ny, true));
+        let mut csr = BatchCsr::zeros(ns, p).unwrap();
+        for i in 0..ns {
+            csr.fill_system(i, |r, c| {
+                if r == c {
+                    6.0 + 0.4 * i as f64
+                } else {
+                    -0.5 - 0.13 * ((2 * r + c) % 5) as f64
+                }
+            });
+        }
+        let banded = BatchBanded::from_csr(&csr).unwrap();
+        (csr, banded)
+    }
+
+    #[test]
+    fn qr_matches_dense_lu() {
+        let (csr, banded) = stencil(2, 5, 4);
+        let dense = BatchDense::from_csr(&csr);
+        let b = BatchVectors::from_fn(csr.dims(), |s, r| (s as f64 - 0.3) * (r as f64 * 0.2).cos());
+        let mut x = BatchVectors::zeros(csr.dims());
+        let rep = BatchSparseQr
+            .solve(&DeviceSpec::v100(), &banded, &b, &mut x)
+            .unwrap();
+        assert!(rep.all_converged());
+        for i in 0..2 {
+            let x_ref = dense_solve(20, dense.matrix_of(i), b.system(i)).unwrap();
+            for r in 0..20 {
+                assert!((x.system(i)[r] - x_ref[r]).abs() < 1e-10, "sys {i} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn qr_handles_zero_diagonal_without_pivoting() {
+        // QR needs no pivoting: a zero on the diagonal is fine as long as
+        // the matrix is nonsingular.
+        let mut banded = BatchBanded::<f64>::zeros(1, 4, 1, 1).unwrap();
+        // [0 1; 1 0] style blocks along the band.
+        *banded.at_mut(0, 0, 0) = 0.0;
+        *banded.at_mut(0, 0, 1) = 1.0;
+        *banded.at_mut(0, 1, 0) = 1.0;
+        *banded.at_mut(0, 1, 1) = 0.0;
+        *banded.at_mut(0, 1, 2) = 0.5;
+        *banded.at_mut(0, 2, 2) = 2.0;
+        *banded.at_mut(0, 2, 3) = -1.0;
+        *banded.at_mut(0, 3, 2) = 0.0;
+        *banded.at_mut(0, 3, 3) = 1.5;
+        let b = BatchVectors::from_fn(banded.dims(), |_, r| r as f64 + 1.0);
+        let mut x = BatchVectors::zeros(banded.dims());
+        let rep = BatchSparseQr
+            .solve(&DeviceSpec::v100(), &banded, &b, &mut x)
+            .unwrap();
+        assert!(rep.all_converged());
+        assert!(rep.max_residual() < 1e-12);
+    }
+
+    #[test]
+    fn qr_is_much_slower_than_its_flops_suggest() {
+        // The Figure 6 point: priced on the same GPU, the QR block does
+        // far more serialized work than a BiCGSTAB block. Use a
+        // well-conditioned batch like the XGC matrices (few Krylov
+        // iterations) at the paper's 992-row size.
+        let p = Arc::new(SparsityPattern::stencil_2d(32, 31, true));
+        let mut csr = BatchCsr::<f64>::zeros(128, p).unwrap();
+        for i in 0..128 {
+            csr.fill_system(i, |r, c| {
+                if r == c {
+                    10.0 + 0.05 * (i % 7) as f64
+                } else {
+                    -0.5
+                }
+            });
+        }
+        let banded = BatchBanded::from_csr(&csr).unwrap();
+        let b = BatchVectors::constant(csr.dims(), 1.0);
+        let dev = DeviceSpec::v100();
+        let mut x1 = BatchVectors::zeros(csr.dims());
+        let qr = BatchSparseQr.solve(&dev, &banded, &b, &mut x1).unwrap();
+        let mut x2 = BatchVectors::zeros(csr.dims());
+        let bicg = crate::bicgstab::BatchBicgstab::new(
+            crate::precond::Jacobi,
+            crate::stop::AbsResidual::new(1e-10),
+        )
+        .solve(&dev, &csr, &b, &mut x2)
+        .unwrap();
+        assert!(bicg.all_converged());
+        let ratio = qr.time_s() / bicg.time_s();
+        assert!(ratio > 3.0, "QR should be much slower, ratio {ratio}");
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let banded = BatchBanded::<f64>::zeros(1, 4, 1, 1).unwrap();
+        let b = BatchVectors::constant(banded.dims(), 1.0);
+        let mut x = BatchVectors::zeros(banded.dims());
+        let rep = BatchSparseQr
+            .solve(&DeviceSpec::v100(), &banded, &b, &mut x)
+            .unwrap();
+        assert!(!rep.all_converged());
+    }
+}

@@ -1,0 +1,102 @@
+//! Per-system convergence logging.
+//!
+//! Each system of the batch terminates independently (Section IV.B), so
+//! the logger records iteration counts and residual histories per system.
+//! Like Ginkgo's `LogType` template parameter, the logger is a generic
+//! the kernel is instantiated with: [`NoopLogger`] compiles to nothing,
+//! [`ConvergenceHistory`] records the full residual trace.
+
+use batsolv_types::Scalar;
+
+/// Hook invoked by the solver kernel of one block. One logger instance is
+/// created per system (so no synchronization is needed — the analogue of
+/// block-local logging on the GPU).
+pub trait IterationLogger<T: Scalar>: Send {
+    /// Called once per iteration with the current residual norm.
+    fn log_iteration(&mut self, iteration: u32, residual: T);
+    /// Called once when the block finishes.
+    fn log_finish(&mut self, iterations: u32, residual: T, converged: bool);
+}
+
+/// A logger that records nothing (zero-cost default).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopLogger;
+
+impl<T: Scalar> IterationLogger<T> for NoopLogger {
+    #[inline(always)]
+    fn log_iteration(&mut self, _iteration: u32, _residual: T) {}
+    #[inline(always)]
+    fn log_finish(&mut self, _iterations: u32, _residual: T, _converged: bool) {}
+}
+
+/// Records the residual norm of every iteration of one system.
+#[derive(Clone, Debug, Default)]
+pub struct ConvergenceHistory<T> {
+    /// Residual norm after each iteration.
+    pub residuals: Vec<T>,
+    /// Final iteration count.
+    pub iterations: u32,
+    /// Final residual.
+    pub final_residual: T,
+    /// Whether the stop criterion was met.
+    pub converged: bool,
+}
+
+impl<T: Scalar> IterationLogger<T> for ConvergenceHistory<T> {
+    fn log_iteration(&mut self, _iteration: u32, residual: T) {
+        self.residuals.push(residual);
+    }
+
+    fn log_finish(&mut self, iterations: u32, residual: T, converged: bool) {
+        self.iterations = iterations;
+        self.final_residual = residual;
+        self.converged = converged;
+    }
+}
+
+impl<T: Scalar> ConvergenceHistory<T> {
+    /// Geometric-mean convergence rate per iteration (`<1` is converging).
+    pub fn mean_rate(&self) -> f64 {
+        if self.residuals.len() < 2 {
+            return f64::NAN;
+        }
+        let first = self.residuals.first().unwrap().to_f64().abs();
+        let last = self.residuals.last().unwrap().to_f64().abs();
+        if first == 0.0 {
+            return 0.0;
+        }
+        (last / first).powf(1.0 / (self.residuals.len() - 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_logger_does_nothing() {
+        let mut l = NoopLogger;
+        IterationLogger::<f64>::log_iteration(&mut l, 0, 1.0);
+        IterationLogger::<f64>::log_finish(&mut l, 5, 1e-12, true);
+    }
+
+    #[test]
+    fn history_records_trace() {
+        let mut h = ConvergenceHistory::<f64>::default();
+        for (i, r) in [1.0, 0.1, 0.01].iter().enumerate() {
+            h.log_iteration(i as u32, *r);
+        }
+        h.log_finish(3, 0.01, true);
+        assert_eq!(h.residuals, vec![1.0, 0.1, 0.01]);
+        assert_eq!(h.iterations, 3);
+        assert!(h.converged);
+        // Rate of 0.1 per iteration.
+        assert!((h.mean_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_of_short_history_is_nan() {
+        let h = ConvergenceHistory::<f64>::default();
+        assert!(h.mean_rate().is_nan());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of solver components: stopping criteria,
+//! workspace planning, preconditioner correctness, direct-solver
+//! round-trips.
+
+use std::sync::Arc;
+
+use batsolv_formats::{BatchBanded, BatchCsr, BatchMatrix, SparsityPattern};
+use batsolv_solvers::direct::banded_lu::{gbtrf, gbtrs};
+use batsolv_solvers::direct::cyclic_reduction::{cr_solve, thomas_solve};
+use batsolv_solvers::precond::Preconditioner;
+use batsolv_solvers::workspace::{WorkspacePlan, BICGSTAB_VECTORS};
+use batsolv_solvers::{AbsResidual, Ilu0, Jacobi, RelResidual, StopCriterion};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn abs_criterion_is_a_threshold(tol in 1e-14f64..1e-2, res in 1e-16f64..1.0) {
+        let s = AbsResidual::new(tol);
+        prop_assert_eq!(s.is_converged(res, 1.0, 1.0), res < tol);
+    }
+
+    #[test]
+    fn rel_criterion_is_scale_invariant(
+        factor in 1e-12f64..1e-2,
+        res in 1e-16f64..1.0,
+        res0 in 1e-8f64..1e8,
+        scale in 1e-6f64..1e6,
+    ) {
+        let s = RelResidual::new(factor);
+        prop_assert_eq!(
+            s.is_converged(res, res0, 1.0),
+            s.is_converged(res * scale, res0 * scale, 1.0)
+        );
+    }
+
+    #[test]
+    fn workspace_plan_respects_budget(budget_kb in 0usize..256, n in 8usize..4096) {
+        let plan = WorkspacePlan::plan::<f64>(budget_kb * 1024, n, &BICGSTAB_VECTORS);
+        prop_assert!(plan.shared_bytes <= budget_kb * 1024);
+        prop_assert_eq!(plan.num_shared() + plan.num_global(), 9);
+        prop_assert_eq!(plan.shared_bytes, plan.num_shared() * n * 8);
+        // Greedy maximality: if a vector spilled, no more would fit.
+        if plan.num_global() > 0 {
+            prop_assert!(plan.shared_bytes + n * 8 > budget_kb * 1024);
+        }
+    }
+
+    #[test]
+    fn workspace_red_vectors_have_priority(budget_kb in 0usize..256, n in 8usize..4096) {
+        use batsolv_blas::counts::MemSpace;
+        let plan = WorkspacePlan::plan::<f64>(budget_kb * 1024, n, &BICGSTAB_VECTORS);
+        // If any SpMV vector spilled, then no non-SpMV vector may be shared.
+        let red_spilled = ["p_hat", "v", "s_hat", "t"]
+            .iter()
+            .any(|v| plan.space_of(v) == MemSpace::Global);
+        if red_spilled {
+            for blue in ["r", "r_hat", "p", "s", "x"] {
+                prop_assert_eq!(plan.space_of(blue), MemSpace::Global);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_applied_to_diagonal_matrix_is_exact_inverse(
+        diag in proptest::collection::vec(0.1f64..10.0, 2..20),
+    ) {
+        let n = diag.len();
+        let coords: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        let p = Arc::new(SparsityPattern::from_coords(n, &coords).unwrap());
+        let mut m = BatchCsr::<f64>::zeros(1, p).unwrap();
+        for (i, &d) in diag.iter().enumerate() {
+            m.set(0, i, i, d).unwrap();
+        }
+        let state = Preconditioner::<f64>::generate(&Jacobi, &m, 0).unwrap();
+        let input: Vec<f64> = diag.clone();
+        let mut out = vec![0.0; n];
+        Jacobi.apply(&state, &input, &mut out);
+        for v in out {
+            prop_assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ilu0_is_exact_when_pattern_has_no_fill(
+        n in 3usize..24,
+        seed in 0u64..10_000,
+    ) {
+        // Tridiagonal pattern: ILU(0) == LU exactly.
+        let coords: Vec<(usize, usize)> = (0..n)
+            .flat_map(|r| {
+                let mut v = vec![(r, r)];
+                if r > 0 { v.push((r, r - 1)); }
+                if r + 1 < n { v.push((r, r + 1)); }
+                v
+            })
+            .collect();
+        let p = Arc::new(SparsityPattern::from_coords(n, &coords).unwrap());
+        let mut m = BatchCsr::<f64>::zeros(1, p.clone()).unwrap();
+        m.fill_system(0, |r, c| {
+            let h = ((seed as usize + r * 7 + c * 13) % 10) as f64 / 10.0;
+            if r == c { 4.0 + h } else { -1.0 + 0.3 * h }
+        });
+        let ilu = Ilu0::new(p);
+        let st = Preconditioner::<f64>::generate(&ilu, &m, 0).unwrap();
+        let x: Vec<f64> = (0..n).map(|k| ((seed as usize + k) % 9) as f64 * 0.3 - 1.0).collect();
+        let mut ax = vec![0.0; n];
+        m.spmv_system(0, &x, &mut ax);
+        let mut back = vec![0.0; n];
+        ilu.apply(&st, &ax, &mut back);
+        for k in 0..n {
+            prop_assert!((back[k] - x[k]).abs() < 1e-9, "row {k}");
+        }
+    }
+
+    #[test]
+    fn banded_lu_reconstructs_solutions(
+        n in 4usize..40,
+        kl in 1usize..3,
+        ku in 1usize..3,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(kl < n && ku < n);
+        let mut banded = BatchBanded::<f64>::zeros(1, n, kl, ku).unwrap();
+        for r in 0..n {
+            for c in r.saturating_sub(kl)..=(r + ku).min(n - 1) {
+                let h = ((seed as usize + r * 31 + c * 17) % 100) as f64 / 100.0;
+                *banded.at_mut(0, r, c) = if r == c { 5.0 + h } else { h - 0.5 };
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|k| ((k * 7 + seed as usize) % 11) as f64 * 0.2 - 1.0).collect();
+        let mut b = vec![0.0; n];
+        banded.spmv_system(0, &x_true, &mut b);
+        let mut ab = banded.ab_of(0).to_vec();
+        let mut piv = vec![0usize; n];
+        gbtrf(n, kl, ku, banded.ldab(), &mut ab, &mut piv).unwrap();
+        gbtrs(n, kl, ku, banded.ldab(), &ab, &piv, &mut b);
+        for k in 0..n {
+            prop_assert!((b[k] - x_true[k]).abs() < 1e-9, "row {k}: {} vs {}", b[k], x_true[k]);
+        }
+    }
+
+    #[test]
+    fn cyclic_reduction_equals_thomas(
+        n in 1usize..80,
+        seed in 0u64..10_000,
+    ) {
+        let h = |k: usize| ((seed as usize + k * 37) % 100) as f64 / 100.0;
+        let dl: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { -0.5 - h(i) }).collect();
+        let d: Vec<f64> = (0..n).map(|i| 3.0 + h(i + n)).collect();
+        let du: Vec<f64> = (0..n).map(|i| if i + 1 == n { 0.0 } else { -0.4 - h(i + 2 * n) }).collect();
+        let b: Vec<f64> = (0..n).map(|i| h(i + 3 * n) - 0.5).collect();
+        let x_cr = cr_solve(&dl, &d, &du, &b).unwrap();
+        let x_th = thomas_solve(&dl, &d, &du, &b).unwrap();
+        for k in 0..n {
+            prop_assert!((x_cr[k] - x_th[k]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! A minimal complex number.
+//!
+//! The collision-kernel matrices are nonsymmetric, so their spectra (Figure 2
+//! of the paper) live in the complex plane. The eigenvalue solver in
+//! `batsolv-eigen` returns values of this type. Only the operations the
+//! Francis QR iteration and spectrum diagnostics need are implemented.
+
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Complex zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// Complex one.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Construct a purely real value.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Modulus `|z|`, computed with `hypot` for robustness against
+    /// overflow/underflow of the squared components.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Argument (phase angle) in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let re = ((r + self.re) / 2.0).max(0.0).sqrt();
+        let im_mag = ((r - self.re) / 2.0).max(0.0).sqrt();
+        Complex::new(re, if self.im >= 0.0 { im_mag } else { -im_mag })
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        // Smith's algorithm: avoids overflow when one component dominates.
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            Complex::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            Complex::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl core::fmt::Display for Complex {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-14;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < TOL
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert!(close(z + Complex::ZERO, z));
+        assert!(close(z * Complex::ONE, z));
+        assert!(close(z - z, Complex::ZERO));
+        assert!(close(z + (-z), Complex::ZERO));
+    }
+
+    #[test]
+    fn modulus_of_3_4() {
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < TOL);
+        assert!((Complex::new(3.0, 4.0).norm_sqr() - 25.0).abs() < TOL);
+    }
+
+    #[test]
+    fn multiplication_rotates() {
+        let i = Complex::new(0.0, 1.0);
+        assert!(close(i * i, Complex::from_real(-1.0)));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(1.5, -2.5);
+        let b = Complex::new(-0.25, 7.0);
+        assert!(close(a * b / b, a));
+        // Branch with |im| > |re| in the divisor.
+        let c = Complex::new(1e-3, 5.0);
+        assert!(close(a * c / c, a));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[
+            Complex::new(2.0, 3.0),
+            Complex::new(-1.0, 0.5),
+            Complex::new(-4.0, 0.0),
+            Complex::new(0.0, -9.0),
+        ] {
+            let s = z.sqrt();
+            assert!((s * s - z).abs() < 1e-12, "sqrt({z}) = {s}");
+            // Principal branch: non-negative real part.
+            assert!(s.re >= -TOL);
+        }
+    }
+
+    #[test]
+    fn conjugate_and_arg() {
+        let z = Complex::new(1.0, 1.0);
+        assert!(close(z.conj(), Complex::new(1.0, -1.0)));
+        assert!((z.arg() - std::f64::consts::FRAC_PI_4).abs() < TOL);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

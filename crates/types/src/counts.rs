@@ -1,0 +1,210 @@
+//! Operation-count instrumentation.
+//!
+//! Every numeric kernel in the library (SpMV per format, batched BLAS ops,
+//! preconditioner applications) can report how much arithmetic it performed
+//! and how many bytes it touched in each address space. The GPU execution
+//! model in `batsolv-gpusim` prices these counts against a device
+//! description (peak FP64 rate, memory bandwidth, cache sizes) to produce
+//! simulated kernel times — this is how the paper's Figures 6–9 and
+//! Table II are regenerated without GPU hardware.
+
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul};
+
+/// Arithmetic and memory-traffic counts for one (portion of a) kernel.
+///
+/// `lane_active` / `lane_total` track SIMD lane occupancy: for every warp
+/// (or wavefront) instruction issued, `lane_total` grows by the warp width
+/// and `lane_active` by the number of lanes doing useful work. Their ratio
+/// is the "wavefront/warp use" column of the paper's Table II.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Floating-point operations (adds, multiplies; an FMA counts as two).
+    pub flops: u64,
+    /// Bytes requested from global memory by loads.
+    pub global_read_bytes: u64,
+    /// Bytes written to global memory by stores.
+    pub global_write_bytes: u64,
+    /// Bytes read from (simulated) local shared memory.
+    pub shared_read_bytes: u64,
+    /// Bytes written to (simulated) local shared memory.
+    pub shared_write_bytes: u64,
+    /// SIMD lanes that carried useful work, summed over issued warp-ops.
+    pub lane_active: u64,
+    /// SIMD lanes issued (active or idle), summed over issued warp-ops.
+    pub lane_total: u64,
+    /// Warp instructions that exchange data **across lanes** (shuffle /
+    /// DPP steps of warp-parallel reductions). Priced separately: they
+    /// are cheap on NVIDIA warps but markedly slower on AMD's 64-wide
+    /// wavefronts — one reason `BatchCsr`'s warp-per-row reduction falls
+    /// behind on the MI100 (paper Section V).
+    pub cross_warp_ops: u64,
+}
+
+impl OpCounts {
+    /// The zero count.
+    pub const ZERO: OpCounts = OpCounts {
+        flops: 0,
+        global_read_bytes: 0,
+        global_write_bytes: 0,
+        shared_read_bytes: 0,
+        shared_write_bytes: 0,
+        lane_active: 0,
+        lane_total: 0,
+        cross_warp_ops: 0,
+    };
+
+    /// Fraction of issued lanes doing useful work, in `[0, 1]`.
+    /// Returns 1.0 for an empty count (no instructions issued).
+    pub fn lane_utilization(&self) -> f64 {
+        if self.lane_total == 0 {
+            1.0
+        } else {
+            self.lane_active as f64 / self.lane_total as f64
+        }
+    }
+
+    /// Total bytes moving through the global memory system.
+    pub fn global_bytes(&self) -> u64 {
+        self.global_read_bytes + self.global_write_bytes
+    }
+
+    /// Record a warp-granular operation: `active` useful lanes out of warps
+    /// covering `active` lanes with width `warp`.
+    ///
+    /// `ops` is the number of such warp instructions issued.
+    pub fn record_lanes(&mut self, active: u64, warp: u64, ops: u64) {
+        let warps = active.div_ceil(warp).max(1);
+        self.lane_active += active * ops;
+        self.lane_total += warps * warp * ops;
+    }
+
+    /// Arithmetic intensity in flops per global byte (`inf` if no traffic).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let b = self.global_bytes();
+        if b == 0 {
+            f64::INFINITY
+        } else {
+            self.flops as f64 / b as f64
+        }
+    }
+}
+
+impl Add for OpCounts {
+    type Output = OpCounts;
+    fn add(self, rhs: OpCounts) -> OpCounts {
+        OpCounts {
+            flops: self.flops + rhs.flops,
+            global_read_bytes: self.global_read_bytes + rhs.global_read_bytes,
+            global_write_bytes: self.global_write_bytes + rhs.global_write_bytes,
+            shared_read_bytes: self.shared_read_bytes + rhs.shared_read_bytes,
+            shared_write_bytes: self.shared_write_bytes + rhs.shared_write_bytes,
+            lane_active: self.lane_active + rhs.lane_active,
+            lane_total: self.lane_total + rhs.lane_total,
+            cross_warp_ops: self.cross_warp_ops + rhs.cross_warp_ops,
+        }
+    }
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: OpCounts) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for OpCounts {
+    type Output = OpCounts;
+    /// Scale every count by `k` (e.g. per-iteration counts × iterations).
+    fn mul(self, k: u64) -> OpCounts {
+        OpCounts {
+            flops: self.flops * k,
+            global_read_bytes: self.global_read_bytes * k,
+            global_write_bytes: self.global_write_bytes * k,
+            shared_read_bytes: self.shared_read_bytes * k,
+            shared_write_bytes: self.shared_write_bytes * k,
+            lane_active: self.lane_active * k,
+            lane_total: self.lane_total * k,
+            cross_warp_ops: self.cross_warp_ops * k,
+        }
+    }
+}
+
+impl Sum for OpCounts {
+    fn sum<I: Iterator<Item = OpCounts>>(iter: I) -> OpCounts {
+        iter.fold(OpCounts::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_identity() {
+        let c = OpCounts {
+            flops: 10,
+            global_read_bytes: 80,
+            ..OpCounts::ZERO
+        };
+        assert_eq!(c + OpCounts::ZERO, c);
+    }
+
+    #[test]
+    fn lane_utilization_of_empty_is_full() {
+        assert_eq!(OpCounts::ZERO.lane_utilization(), 1.0);
+    }
+
+    #[test]
+    fn record_lanes_partial_warp() {
+        // 9 active lanes on a 32-wide warp: one warp issued, 9/32 useful.
+        let mut c = OpCounts::ZERO;
+        c.record_lanes(9, 32, 1);
+        assert_eq!(c.lane_active, 9);
+        assert_eq!(c.lane_total, 32);
+        assert!((c.lane_utilization() - 9.0 / 32.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn record_lanes_multiple_warps() {
+        // 992 active lanes over 32-wide warps: 31 warps, fully utilized.
+        let mut c = OpCounts::ZERO;
+        c.record_lanes(992, 32, 3);
+        assert_eq!(c.lane_total, 992 * 3);
+        assert_eq!(c.lane_utilization(), 1.0);
+    }
+
+    #[test]
+    fn scaling_multiplies_everything() {
+        let mut c = OpCounts::ZERO;
+        c.flops = 3;
+        c.global_write_bytes = 8;
+        c.record_lanes(4, 32, 1);
+        let s = c * 5;
+        assert_eq!(s.flops, 15);
+        assert_eq!(s.global_write_bytes, 40);
+        assert_eq!(s.lane_active, 20);
+        assert_eq!(s.lane_total, 160);
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let mk = |f| OpCounts {
+            flops: f,
+            ..OpCounts::ZERO
+        };
+        let total: OpCounts = [mk(1), mk(2), mk(3)].into_iter().sum();
+        assert_eq!(total.flops, 6);
+    }
+
+    #[test]
+    fn arithmetic_intensity() {
+        let c = OpCounts {
+            flops: 100,
+            global_read_bytes: 40,
+            global_write_bytes: 10,
+            ..OpCounts::ZERO
+        };
+        assert!((c.arithmetic_intensity() - 2.0).abs() < 1e-15);
+        assert!(OpCounts::ZERO.arithmetic_intensity().is_infinite());
+    }
+}

@@ -1,0 +1,95 @@
+//! Batch shape descriptor.
+
+use crate::{Error, Result};
+
+/// The shape of a batch of equally-sized square linear systems.
+///
+/// Every batched object in the library (matrices, multivectors, solver
+/// workspaces) carries one of these, mirroring Ginkgo's `batch_dim`. The
+/// paper's XGC workload uses `num_systems` on the order of 10^2–10^4 and
+/// `num_rows = 992` (a 32×31 two-dimensional velocity grid).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BatchDims {
+    /// Number of independent systems in the batch.
+    pub num_systems: usize,
+    /// Rows of each (square) system.
+    pub num_rows: usize,
+}
+
+impl BatchDims {
+    /// Create a batch shape. Both components must be non-zero.
+    pub fn new(num_systems: usize, num_rows: usize) -> Result<Self> {
+        if num_systems == 0 || num_rows == 0 {
+            return Err(Error::InvalidConfig(format!(
+                "batch dims must be non-zero, got {num_systems} systems of {num_rows} rows"
+            )));
+        }
+        Ok(BatchDims {
+            num_systems,
+            num_rows,
+        })
+    }
+
+    /// Total number of scalar unknowns across the batch.
+    #[inline]
+    pub fn total_rows(&self) -> usize {
+        self.num_systems * self.num_rows
+    }
+
+    /// Offset of system `i`'s data within a contiguous per-system-major array.
+    #[inline]
+    pub fn system_offset(&self, i: usize) -> usize {
+        debug_assert!(i < self.num_systems);
+        i * self.num_rows
+    }
+
+    /// Check that another batch shape matches, producing a descriptive error.
+    pub fn ensure_same(&self, other: &BatchDims, op: &str) -> Result<()> {
+        if self != other {
+            return Err(crate::dim_mismatch!(
+                "{op}: batch {}x{} vs {}x{}",
+                self.num_systems,
+                self.num_rows,
+                other.num_systems,
+                other.num_rows
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl core::fmt::Display for BatchDims {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} systems of size {}", self.num_systems, self.num_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(BatchDims::new(0, 4).is_err());
+        assert!(BatchDims::new(4, 0).is_err());
+        let d = BatchDims::new(3, 5).unwrap();
+        assert_eq!(d.total_rows(), 15);
+        assert_eq!(d.system_offset(2), 10);
+    }
+
+    #[test]
+    fn ensure_same_reports_shapes() {
+        let a = BatchDims::new(2, 4).unwrap();
+        let b = BatchDims::new(2, 5).unwrap();
+        assert!(a.ensure_same(&a, "x").is_ok());
+        let err = a.ensure_same(&b, "spmv").unwrap_err();
+        assert!(err.to_string().contains("spmv"));
+        assert!(err.to_string().contains("2x4"));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let d = BatchDims::new(10, 992).unwrap();
+        assert_eq!(d.to_string(), "10 systems of size 992");
+    }
+}

@@ -1,0 +1,133 @@
+//! The common error type for all `batsolv` crates.
+
+use core::fmt;
+
+/// Result alias using [`Error`].
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Errors produced anywhere in the batched-solver stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Operand shapes are incompatible. The message describes the operation
+    /// and both shapes.
+    DimensionMismatch(String),
+    /// A matrix entry of the batch is (numerically) singular.
+    SingularMatrix {
+        /// Index of the offending system within the batch.
+        batch_index: usize,
+        /// Description of where the breakdown occurred (e.g. pivot row).
+        detail: String,
+    },
+    /// An iterative solver hit its iteration limit before reaching the
+    /// requested tolerance on at least one system of the batch.
+    NotConverged {
+        /// Index of the first non-converged system.
+        batch_index: usize,
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual norm of that system.
+        residual: f64,
+    },
+    /// A Krylov method suffered an internal breakdown (e.g. `rho == 0` in
+    /// BiCGSTAB) that restarting could not cure.
+    Breakdown {
+        /// Index of the offending system within the batch.
+        batch_index: usize,
+        /// Name of the quantity that vanished.
+        quantity: &'static str,
+    },
+    /// Input data is not a valid instance of the requested format.
+    InvalidFormat(String),
+    /// A configuration value is out of range for the target device.
+    InvalidConfig(String),
+    /// Matrix Market (or other) I/O failed.
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            Error::SingularMatrix { batch_index, detail } => {
+                write!(f, "singular matrix in batch entry {batch_index}: {detail}")
+            }
+            Error::NotConverged {
+                batch_index,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "batch entry {batch_index} did not converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            Error::Breakdown { batch_index, quantity } => {
+                write!(f, "Krylov breakdown ({quantity} vanished) in batch entry {batch_index}")
+            }
+            Error::InvalidFormat(msg) => write!(f, "invalid matrix format: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+/// Construct a [`Error::DimensionMismatch`] with a formatted message.
+#[macro_export]
+macro_rules! dim_mismatch {
+    ($($arg:tt)*) => {
+        $crate::Error::DimensionMismatch(format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::NotConverged {
+            batch_index: 3,
+            iterations: 100,
+            residual: 1.5e-3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("entry 3"));
+        assert!(msg.contains("100 iterations"));
+        assert!(msg.contains("1.500e-3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing.mtx");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(ref m) if m.contains("missing.mtx")));
+    }
+
+    #[test]
+    fn dim_mismatch_macro_formats() {
+        let e = dim_mismatch!("spmv: matrix {}x{} vs vector {}", 4, 4, 5);
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch: spmv: matrix 4x4 vs vector 5"
+        );
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::InvalidFormat("x".into()),
+            Error::InvalidFormat("x".into())
+        );
+        assert_ne!(
+            Error::InvalidFormat("x".into()),
+            Error::InvalidConfig("x".into())
+        );
+    }
+}

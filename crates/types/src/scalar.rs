@@ -1,0 +1,163 @@
+//! The floating-point scalar abstraction.
+//!
+//! All batched kernels are generic over [`Scalar`] so the library supports
+//! both single and double precision, mirroring Ginkgo's `ValueType` template
+//! parameter. The XGC collision kernel requires double precision (the paper
+//! solves to an absolute tolerance of 1e-10), so `f64` is the default
+//! throughout the higher-level crates.
+
+use core::fmt::{Debug, Display};
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real floating-point scalar usable in all batched kernels.
+///
+/// The bound set is exactly what the solver, format, and simulator kernels
+/// need; it intentionally avoids pulling in an external numeric-traits crate.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + PartialEq
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon of this precision.
+    const EPSILON: Self;
+    /// Number of bytes one value occupies (used by the traffic model).
+    const BYTES: usize;
+
+    /// Lossy conversion from `f64` (exact for `f64`, rounded for `f32`).
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Conversion from an index, convenient for manufactured solutions.
+    fn from_usize(x: usize) -> Self {
+        Self::from_f64(x as f64)
+    }
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// `max` that propagates the larger value (NaN-naive, fine for norms).
+    fn max_val(self, other: Self) -> Self {
+        if self > other {
+            self
+        } else {
+            other
+        }
+    }
+    /// `min` counterpart of [`Scalar::max_val`].
+    fn min_val(self, other: Self) -> Self {
+        if self < other {
+            self
+        } else {
+            other
+        }
+    }
+    /// True if the value is finite (not NaN or infinite).
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const EPSILON: Self = <$t>::EPSILON;
+            const BYTES: usize = core::mem::size_of::<$t>();
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>() {
+        assert_eq!(T::from_f64(0.0), T::ZERO);
+        assert_eq!(T::from_f64(1.0), T::ONE);
+        assert_eq!(T::from_usize(7).to_f64(), 7.0);
+        assert!((T::from_f64(2.0).sqrt().to_f64() - 2f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        roundtrip::<f64>();
+        assert_eq!(f64::BYTES, 8);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        roundtrip::<f32>();
+        assert_eq!(f32::BYTES, 4);
+    }
+
+    #[test]
+    fn abs_and_minmax() {
+        assert_eq!((-3.0f64).abs(), 3.0);
+        assert_eq!(2.0f64.max_val(5.0), 5.0);
+        assert_eq!(2.0f64.min_val(5.0), 2.0);
+        assert_eq!(5.0f32.max_val(2.0), 5.0);
+    }
+
+    #[test]
+    fn mul_add_matches_expression() {
+        let (a, b, c) = (1.5f64, 2.0f64, 0.25f64);
+        assert!((a.mul_add(b, c) - (a * b + c)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(1.0f64.is_finite());
+        assert!(!(f64::INFINITY).is_finite());
+        assert!(!Scalar::is_finite(f64::NAN));
+    }
+}

@@ -1,0 +1,257 @@
+//! Multi-step production campaign driver.
+//!
+//! The paper's conclusion: "future work includes tight integration of
+//! GINKGO into the main XGC ... bringing it to production". This module
+//! is that integration in proxy form: a time-marching campaign that runs
+//! many implicit collision steps back to back, carries the distribution
+//! functions forward, accumulates solver statistics and conservation
+//! drift over the whole run, and compares the CPU-solver and GPU-solver
+//! configurations end to end (solve time + the transfer overhead the
+//! CPU path pays every Picard sweep, Figure 1's red/green boxes).
+
+use batsolv_gpusim::transfer::{transfer_time, Direction};
+use batsolv_gpusim::DeviceSpec;
+use batsolv_types::Result;
+
+use crate::grid::VelocityGrid;
+use crate::moments::Moments;
+use crate::picard::{CollisionProxy, ProxyState, SolverKind};
+
+/// Configuration of a campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Implicit time steps to march.
+    pub num_steps: usize,
+    /// Spatial mesh nodes.
+    pub num_mesh_nodes: usize,
+    /// Velocity grid.
+    pub grid: VelocityGrid,
+    /// Linear solver of the Picard loop.
+    pub solver: SolverKind,
+    /// Warm-start the linear solves from the previous Picard iterate.
+    pub warm_start: bool,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl CampaignConfig {
+    /// The production-like default: standard grid, ELL + warm starts.
+    pub fn production(num_steps: usize, num_mesh_nodes: usize) -> Self {
+        CampaignConfig {
+            num_steps,
+            num_mesh_nodes,
+            grid: VelocityGrid::xgc_standard(),
+            solver: SolverKind::BicgstabEll,
+            warm_start: true,
+            seed: 20220530,
+        }
+    }
+}
+
+/// Per-step record of a campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignStep {
+    /// Simulated solve time of the step's Picard loop, seconds.
+    pub solve_time_s: f64,
+    /// Host↔device transfer time the step paid (CPU-solver path only).
+    pub transfer_time_s: f64,
+    /// Electron linear iterations of the first Picard sweep.
+    pub electron_iters: u32,
+    /// Max-norm Picard increment of the last sweep (nonlinear residual).
+    pub final_increment: f64,
+    /// Electron non-Maxwellianity after the step (beam decay metric).
+    pub non_maxwellianity: f64,
+}
+
+/// Result of a whole campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Per-step records.
+    pub steps: Vec<CampaignStep>,
+    /// Total simulated solve + transfer time, seconds.
+    pub total_time_s: f64,
+    /// Relative density drift per species over the *entire* campaign.
+    pub cumulative_density_drift: [f64; 2],
+    /// Final state (for chaining campaigns).
+    pub final_state: ProxyState,
+}
+
+impl CampaignReport {
+    /// The beam relaxes toward the discrete equilibrium: the collision
+    /// residual never exceeds its starting value and ends clearly below
+    /// it. (It is not strictly monotone — once the O(h²) discretization
+    /// floor is reached, moment drift jiggles it within the floor.)
+    pub fn relaxation_reaches_floor(&self) -> bool {
+        let first = self.steps.first().map(|s| s.non_maxwellianity).unwrap_or(0.0);
+        self.steps
+            .iter()
+            .all(|s| s.non_maxwellianity <= first * 1.001)
+            && self.steps.last().map(|s| s.non_maxwellianity).unwrap_or(0.0) < 0.9 * first
+    }
+}
+
+/// Run a campaign on `device`.
+pub fn run_campaign(cfg: &CampaignConfig, device: &DeviceSpec) -> Result<CampaignReport> {
+    let proxy = CollisionProxy::new(cfg.grid, cfg.num_mesh_nodes);
+    let mut state = proxy.initial_state(cfg.seed);
+    let m0 = [
+        total_moments(&cfg.grid, &state, 0),
+        total_moments(&cfg.grid, &state, 1),
+    ];
+
+    // The CPU-solver path ships matrices + RHS down and solutions up for
+    // every Picard sweep (Figure 1); the GPU path keeps data resident.
+    let is_cpu_path = matches!(cfg.solver, SolverKind::Dgbsv);
+    let systems = 2 * cfg.num_mesh_nodes;
+    let n = cfg.grid.num_nodes();
+    let per_sweep_transfer = if is_cpu_path {
+        // Sparse values + RHS down, solutions up, per sweep, priced on a
+        // V100-class link (the device the data would otherwise stay on).
+        let link = DeviceSpec::v100();
+        transfer_time(
+            &link,
+            (systems * 9 * n * 8 + systems * n * 8) as u64,
+            Direction::DeviceToHost,
+        ) + transfer_time(&link, (systems * n * 8) as u64, Direction::HostToDevice)
+    } else {
+        0.0
+    };
+
+    let mut steps = Vec::with_capacity(cfg.num_steps);
+    let mut total = 0.0;
+    for _ in 0..cfg.num_steps {
+        let report = proxy.run_picard(&mut state, device, cfg.solver, cfg.warm_start)?;
+        let transfer = per_sweep_transfer * report.iterations.len() as f64;
+        total += report.total_solve_time_s + transfer;
+        steps.push(CampaignStep {
+            solve_time_s: report.total_solve_time_s,
+            transfer_time_s: transfer,
+            electron_iters: report.iterations[0].linear_iters[1].max,
+            final_increment: report.iterations.last().unwrap().increment[1],
+            non_maxwellianity: non_maxwellianity(&cfg.grid, &state),
+        });
+    }
+
+    let m1 = [
+        total_moments(&cfg.grid, &state, 0),
+        total_moments(&cfg.grid, &state, 1),
+    ];
+    Ok(CampaignReport {
+        steps,
+        total_time_s: total,
+        cumulative_density_drift: [m1[0].density_drift(&m0[0]), m1[1].density_drift(&m0[1])],
+        final_state: state,
+    })
+}
+
+fn total_moments(grid: &VelocityGrid, state: &ProxyState, species: usize) -> Moments {
+    let f = &state.f[species];
+    let mut density = 0.0;
+    for node in 0..f.dims().num_systems {
+        density += Moments::compute(grid, f.system(node)).density;
+    }
+    Moments {
+        density,
+        mean_velocity: 0.0,
+        temperature: 1.0,
+    }
+}
+
+/// Collision residual of the electron distribution at node 0:
+/// `‖A[f] f − f‖∞ / ‖f‖∞`, i.e. distance from the operator's own
+/// (discrete) stationary state. Goes to the solver tolerance as the beam
+/// thermalizes — unlike a comparison against the *analytic* Maxwellian,
+/// which saturates at the grid's O(h²) discretization error.
+fn non_maxwellianity(grid: &VelocityGrid, state: &ProxyState) -> f64 {
+    use crate::operator_assembly::assemble_matrix;
+    use crate::species::Species;
+    let f = state.f[1].system(0);
+    let m = Moments::compute(grid, f);
+    let pattern = grid.stencil_pattern();
+    let mut vals = vec![0.0f64; pattern.nnz()];
+    assemble_matrix(grid, &Species::electron(), &m, &pattern, &mut vals);
+    // Interior rows only: boundary rows carry an O(h) flux-truncation
+    // floor that masks the physical relaxation signal.
+    let mut worst = 0.0f64;
+    let mut fmax = 0.0f64;
+    for j in 2..grid.n_perp - 2 {
+        for i in 2..grid.n_par - 2 {
+            let r = grid.node(i, j);
+            let (b, e) = pattern.row_range(r);
+            let mut acc = 0.0;
+            for k in b..e {
+                acc += vals[k] * f[pattern.col_idxs()[k] as usize];
+            }
+            worst = worst.max((acc - f[r]).abs());
+            fmax = fmax.max(f[r].abs());
+        }
+    }
+    worst / fmax.max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(solver: SolverKind, steps: usize) -> CampaignConfig {
+        CampaignConfig {
+            num_steps: steps,
+            num_mesh_nodes: 2,
+            grid: VelocityGrid::small(10, 9),
+            solver,
+            warm_start: true,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn campaign_conserves_density_over_many_steps() {
+        let cfg = small_cfg(SolverKind::BicgstabEll, 6);
+        let rep = run_campaign(&cfg, &DeviceSpec::a100()).unwrap();
+        assert_eq!(rep.steps.len(), 6);
+        // Drift accumulates but stays bounded by steps × per-step drift.
+        assert!(rep.cumulative_density_drift[0] < 1e-9);
+        assert!(rep.cumulative_density_drift[1] < 1e-9);
+    }
+
+    #[test]
+    fn beam_relaxes_monotonically_across_steps() {
+        let cfg = small_cfg(SolverKind::BicgstabEll, 8);
+        let rep = run_campaign(&cfg, &DeviceSpec::v100()).unwrap();
+        let first = rep.steps.first().unwrap().non_maxwellianity;
+        let last = rep.steps.last().unwrap().non_maxwellianity;
+        assert!(
+            rep.relaxation_reaches_floor(),
+            "beam should decay to its floor: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn later_steps_need_fewer_iterations() {
+        // As the plasma approaches equilibrium, the matrices change less
+        // and warm starts get better.
+        let cfg = small_cfg(SolverKind::BicgstabEll, 8);
+        let rep = run_campaign(&cfg, &DeviceSpec::a100()).unwrap();
+        let first = rep.steps.first().unwrap().electron_iters;
+        let last = rep.steps.last().unwrap().electron_iters;
+        assert!(last <= first, "iterations: {first} -> {last}");
+    }
+
+    #[test]
+    fn cpu_path_pays_transfer_overhead_and_gpu_does_not() {
+        let gpu = run_campaign(&small_cfg(SolverKind::BicgstabEll, 2), &DeviceSpec::v100()).unwrap();
+        let cpu = run_campaign(&small_cfg(SolverKind::Dgbsv, 2), &DeviceSpec::skylake_node()).unwrap();
+        assert_eq!(gpu.steps[0].transfer_time_s, 0.0);
+        assert!(cpu.steps[0].transfer_time_s > 0.0);
+        // Physics agrees between the two paths.
+        let diff: f64 = gpu
+            .final_state
+            .f[1]
+            .values()
+            .iter()
+            .zip(cpu.final_state.f[1].values())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-6, "paths diverged by {diff}");
+    }
+}

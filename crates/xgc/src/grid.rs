@@ -1,0 +1,209 @@
+//! The 2-D velocity-space grid.
+//!
+//! XGC discretizes the distribution function of each species on a
+//! structured grid in (v_parallel, v_perp). The paper's matrices have 992
+//! rows from a 32×31 grid with a nine-point stencil (Figure 4).
+
+use batsolv_formats::SparsityPattern;
+
+/// A uniform Cartesian grid over velocity space, `n_par × n_perp` nodes,
+/// `v_par ∈ [-v_max, v_max]`, `v_perp ∈ [0, v_max]` (in thermal-speed
+/// units of the species using the grid).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VelocityGrid {
+    /// Nodes along v_parallel.
+    pub n_par: usize,
+    /// Nodes along v_perp.
+    pub n_perp: usize,
+    /// Velocity-space extent in thermal speeds.
+    pub v_max: f64,
+}
+
+impl VelocityGrid {
+    /// The paper's grid: 32 × 31 = 992 nodes.
+    pub fn xgc_standard() -> Self {
+        VelocityGrid {
+            n_par: 32,
+            n_perp: 31,
+            v_max: 4.0,
+        }
+    }
+
+    /// A smaller grid for fast tests and the eigenvalue figure.
+    pub fn small(n_par: usize, n_perp: usize) -> Self {
+        VelocityGrid {
+            n_par,
+            n_perp,
+            v_max: 4.0,
+        }
+    }
+
+    /// Total number of nodes (matrix rows).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n_par * self.n_perp
+    }
+
+    /// Grid spacing along v_parallel.
+    #[inline]
+    pub fn h_par(&self) -> f64 {
+        2.0 * self.v_max / (self.n_par - 1) as f64
+    }
+
+    /// Grid spacing along v_perp.
+    #[inline]
+    pub fn h_perp(&self) -> f64 {
+        self.v_max / (self.n_perp - 1) as f64
+    }
+
+    /// Row-major node index of `(i_par, j_perp)`.
+    #[inline]
+    pub fn node(&self, i: usize, j: usize) -> usize {
+        j * self.n_par + i
+    }
+
+    /// Inverse of [`VelocityGrid::node`].
+    #[inline]
+    pub fn coords(&self, node: usize) -> (usize, usize) {
+        (node % self.n_par, node / self.n_par)
+    }
+
+    /// Parallel velocity at column `i`.
+    #[inline]
+    pub fn v_par(&self, i: usize) -> f64 {
+        -self.v_max + i as f64 * self.h_par()
+    }
+
+    /// Perpendicular velocity at row `j`.
+    #[inline]
+    pub fn v_perp(&self, j: usize) -> f64 {
+        j as f64 * self.h_perp()
+    }
+
+    /// Quadrature weight of a node (uniform cell area — the distribution
+    /// carries any jacobian factors).
+    #[inline]
+    pub fn weight(&self, _node: usize) -> f64 {
+        self.h_par() * self.h_perp()
+    }
+
+    /// The nine-point sparsity pattern of the collision matrix on this
+    /// grid.
+    pub fn stencil_pattern(&self) -> SparsityPattern {
+        SparsityPattern::stencil_2d(self.n_par, self.n_perp, true)
+    }
+
+    /// Render a distribution function as an ASCII contour map
+    /// (v∥ horizontal, v⊥ vertical, top row = largest v⊥). Intensity is
+    /// log-scaled over `levels` (darkest = peak), which makes beam bumps
+    /// and their collisional decay visible in a terminal.
+    pub fn render_distribution_ascii(&self, f: &[f64]) -> String {
+        debug_assert_eq!(f.len(), self.num_nodes());
+        const SHADES: &[u8] = b" .:-=+*#%@";
+        let fmax = f.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+        let floor = 1e-6; // dynamic range: six decades
+        let mut out = String::with_capacity((self.n_par + 4) * self.n_perp);
+        for j in (0..self.n_perp).rev() {
+            out.push('|');
+            for i in 0..self.n_par {
+                let v = (f[self.node(i, j)].max(0.0) / fmax).max(floor);
+                let t = 1.0 - (v.ln() / floor.ln()); // 0 at floor, 1 at peak
+                let idx = ((t * (SHADES.len() - 1) as f64).round() as usize)
+                    .min(SHADES.len() - 1);
+                out.push(SHADES[idx] as char);
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+
+    /// Evaluate a drifting Maxwellian `n/(2πT) · exp(−((v∥−u)² + v⊥²)/2T)`
+    /// on the grid.
+    pub fn maxwellian(&self, density: f64, drift: f64, temperature: f64) -> Vec<f64> {
+        let mut f = vec![0.0; self.num_nodes()];
+        let norm = density / (2.0 * std::f64::consts::PI * temperature);
+        for j in 0..self.n_perp {
+            for i in 0..self.n_par {
+                let dv = self.v_par(i) - drift;
+                let vp = self.v_perp(j);
+                f[self.node(i, j)] =
+                    norm * (-(dv * dv + vp * vp) / (2.0 * temperature)).exp();
+            }
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_grid_matches_paper() {
+        let g = VelocityGrid::xgc_standard();
+        assert_eq!(g.num_nodes(), 992);
+        let p = g.stencil_pattern();
+        assert_eq!(p.num_rows(), 992);
+        assert_eq!(p.max_nnz_per_row(), 9);
+    }
+
+    #[test]
+    fn node_indexing_roundtrips() {
+        let g = VelocityGrid::small(5, 4);
+        for j in 0..4 {
+            for i in 0..5 {
+                let n = g.node(i, j);
+                assert_eq!(g.coords(n), (i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn velocity_axes_span_expected_ranges() {
+        let g = VelocityGrid::xgc_standard();
+        assert_eq!(g.v_par(0), -4.0);
+        assert!((g.v_par(31) - 4.0).abs() < 1e-12);
+        assert_eq!(g.v_perp(0), 0.0);
+        assert!((g.v_perp(30) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxwellian_density_integrates_to_n() {
+        let g = VelocityGrid::small(64, 48);
+        let f = g.maxwellian(2.5, 0.3, 1.0);
+        let n: f64 = f
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| v * g.weight(k))
+            .sum();
+        // Half-plane in v_perp: the analytic integral over v_perp ∈ [0, ∞)
+        // of exp(-v²/2) is half the full Gaussian, so expect n/2 up to
+        // truncation at v_max = 4 and the node-centered rectangle rule's
+        // overweighting of the v_perp = 0 boundary row.
+        assert!((n - 1.25).abs() < 0.06, "density {n}");
+    }
+
+    #[test]
+    fn ascii_render_shows_the_peak_at_the_bottom_center() {
+        let g = VelocityGrid::small(21, 9);
+        let f = g.maxwellian(1.0, 0.0, 0.6);
+        let art = g.render_distribution_ascii(&f);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 9);
+        // Bottom row (v_perp = 0) carries the darkest shade at v_par = 0.
+        let bottom = lines.last().unwrap();
+        assert_eq!(bottom.as_bytes()[11], b'@'); // center column (+1 border)
+        // Top corners are near-empty.
+        assert_eq!(lines[0].as_bytes()[1], b' ');
+    }
+
+    #[test]
+    fn maxwellian_peaks_at_drift() {
+        let g = VelocityGrid::small(33, 9);
+        let f = g.maxwellian(1.0, 1.0, 0.5);
+        let peak = (0..g.num_nodes()).max_by(|&a, &b| f[a].partial_cmp(&f[b]).unwrap()).unwrap();
+        let (i, j) = g.coords(peak);
+        assert_eq!(j, 0); // v_perp = 0
+        assert!((g.v_par(i) - 1.0).abs() < g.h_par());
+    }
+}

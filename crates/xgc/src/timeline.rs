@@ -1,0 +1,220 @@
+//! The Figure 1 execution-timeline model.
+//!
+//! The paper's motivating profile: with the linear solver still on the
+//! CPU, one Picard loop of the collision kernel spends ~48% of its time
+//! on the CPU (of which ~66% is the `dgbsv` call itself) and ~9% moving
+//! data between device and host. This module reconstructs that timeline
+//! from the library's cost models, so the motivation can be regenerated
+//! and compared against the GPU-solver configuration.
+
+use batsolv_gpusim::transfer::{transfer_time, Direction};
+use batsolv_gpusim::DeviceSpec;
+use batsolv_solvers::direct::banded_lu::dgbsv_time_model;
+
+use crate::grid::VelocityGrid;
+
+/// Which execution lane a segment occupies (the colors of Figure 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lane {
+    /// CPU execution (black boxes).
+    Cpu,
+    /// GPU execution (blue boxes).
+    Gpu,
+    /// Device-to-host copy (red boxes).
+    TransferD2H,
+    /// Host-to-device copy (green boxes).
+    TransferH2D,
+}
+
+/// One box of the timeline.
+#[derive(Clone, Debug)]
+pub struct TimelineSegment {
+    /// What the segment does.
+    pub label: &'static str,
+    /// Lane (color).
+    pub lane: Lane,
+    /// Start, seconds from loop start.
+    pub start_s: f64,
+    /// Duration, seconds.
+    pub duration_s: f64,
+}
+
+/// Fractions the paper quotes for Figure 1.
+#[derive(Clone, Copy, Debug)]
+pub struct TimelineFractions {
+    /// CPU share of the whole loop (paper: ~48%).
+    pub cpu_fraction: f64,
+    /// Solver share of the CPU time (paper: ~66%).
+    pub solve_fraction_of_cpu: f64,
+    /// Transfer share of the whole loop (paper: ~9%).
+    pub transfer_fraction: f64,
+    /// Total loop time, seconds.
+    pub total_s: f64,
+}
+
+/// Build the timeline of one Picard loop in the **CPU-solver**
+/// configuration: GPU assembles and computes moments, matrices and
+/// right-hand sides ship to the host, `dgbsv` solves on the Skylake
+/// node, solutions ship back, GPU applies the update.
+pub fn cpu_solver_timeline(
+    gpu: &DeviceSpec,
+    cpu: &DeviceSpec,
+    num_mesh_nodes: usize,
+) -> Vec<TimelineSegment> {
+    let grid = VelocityGrid::xgc_standard();
+    let n = grid.num_nodes();
+    let systems = 2 * num_mesh_nodes; // both species
+    let (kl, ku) = (grid.n_par + 1, grid.n_par + 1);
+
+    // GPU-side work per Picard sweep. The dominant cost is evaluating
+    // the Fokker–Planck coefficients (Rosenbluth-potential integrals):
+    // every velocity node integrates over the whole grid, an O(n²)
+    // kernel per system, running at modest FP efficiency. Moments and
+    // the distribution update are streaming passes.
+    let distribution_bytes = (systems * n * 8) as f64;
+    let gpu_pass = |passes: f64, bytes: f64| passes * bytes / (gpu.mem_bw_gbps * 1e9 * 0.6);
+    let t_moments = gpu_pass(6.0, distribution_bytes) + 30e-6;
+    let rosenbluth_flops = systems as f64 * (n as f64) * (n as f64) * 24.0;
+    let t_assembly = rosenbluth_flops / (gpu.peak_fp64_gflops * 1e9 * 0.205) + 40e-6;
+    let t_update = gpu_pass(4.0, distribution_bytes) + 20e-6;
+
+    // Transfers: the GPU ships the sparse (9-per-row) matrix values and
+    // right-hand sides; the host-side pack step expands them into
+    // LAPACK band storage. Solutions come back.
+    let sparse_bytes = (systems * 9 * n * 8) as u64;
+    let rhs_bytes = (systems * n * 8) as u64;
+    let t_d2h = transfer_time(gpu, sparse_bytes + rhs_bytes, Direction::DeviceToHost);
+    let t_h2d = transfer_time(gpu, rhs_bytes, Direction::HostToDevice);
+
+    // CPU: the dgbsv sweep plus pre/post processing on the host (the
+    // paper: the solve is ~66% of CPU time, the rest is packing,
+    // permutation and bookkeeping around LAPACK).
+    let t_solve = dgbsv_time_model::<f64>(cpu, systems, n, kl, ku);
+    let t_cpu_pre = 0.26 * t_solve;
+    let t_cpu_post = 0.26 * t_solve;
+
+    let mut segments = Vec::new();
+    let mut clock = 0.0;
+    let mut push = |label, lane, duration: f64, clock: &mut f64| {
+        segments.push(TimelineSegment {
+            label,
+            lane,
+            start_s: *clock,
+            duration_s: duration,
+        });
+        *clock += duration;
+    };
+    push("moments", Lane::Gpu, t_moments, &mut clock);
+    push("assembly", Lane::Gpu, t_assembly, &mut clock);
+    push("matrices+rhs to host", Lane::TransferD2H, t_d2h, &mut clock);
+    push("pack/permute", Lane::Cpu, t_cpu_pre, &mut clock);
+    push("dgbsv solve", Lane::Cpu, t_solve, &mut clock);
+    push("unpack", Lane::Cpu, t_cpu_post, &mut clock);
+    push("solutions to device", Lane::TransferH2D, t_h2d, &mut clock);
+    push("apply update", Lane::Gpu, t_update, &mut clock);
+    segments
+}
+
+/// Aggregate a timeline into the paper's quoted fractions.
+pub fn fractions(segments: &[TimelineSegment]) -> TimelineFractions {
+    let total: f64 = segments.iter().map(|s| s.duration_s).sum();
+    let cpu: f64 = segments
+        .iter()
+        .filter(|s| s.lane == Lane::Cpu)
+        .map(|s| s.duration_s)
+        .sum();
+    let solve: f64 = segments
+        .iter()
+        .filter(|s| s.label.contains("dgbsv"))
+        .map(|s| s.duration_s)
+        .sum();
+    let transfer: f64 = segments
+        .iter()
+        .filter(|s| matches!(s.lane, Lane::TransferD2H | Lane::TransferH2D))
+        .map(|s| s.duration_s)
+        .sum();
+    TimelineFractions {
+        cpu_fraction: cpu / total,
+        solve_fraction_of_cpu: if cpu > 0.0 { solve / cpu } else { 0.0 },
+        transfer_fraction: transfer / total,
+        total_s: total,
+    }
+}
+
+/// Render the timeline as ASCII art (one row per lane).
+pub fn render_ascii(segments: &[TimelineSegment], width: usize) -> String {
+    let total: f64 = segments.iter().map(|s| s.duration_s).sum();
+    let mut rows = [
+        ("GPU  ", Lane::Gpu, vec![' '; width]),
+        ("CPU  ", Lane::Cpu, vec![' '; width]),
+        ("D2H  ", Lane::TransferD2H, vec![' '; width]),
+        ("H2D  ", Lane::TransferH2D, vec![' '; width]),
+    ];
+    for s in segments {
+        let from = ((s.start_s / total) * width as f64) as usize;
+        let to = (((s.start_s + s.duration_s) / total) * width as f64).ceil() as usize;
+        for (_, lane, row) in rows.iter_mut() {
+            if *lane == s.lane {
+                for c in row.iter_mut().take(to.min(width)).skip(from) {
+                    *c = '#';
+                }
+            }
+        }
+    }
+    rows.iter()
+        .map(|(name, _, row)| format!("{name}|{}|", row.iter().collect::<String>()))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline() -> Vec<TimelineSegment> {
+        cpu_solver_timeline(
+            &DeviceSpec::v100(),
+            &DeviceSpec::skylake_node(),
+            512,
+        )
+    }
+
+    #[test]
+    fn segments_are_contiguous() {
+        let t = timeline();
+        for w in t.windows(2) {
+            assert!((w[0].start_s + w[0].duration_s - w[1].start_s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fractions_match_figure1_story() {
+        let f = fractions(&timeline());
+        // Paper: CPU ≈ 48% of the loop, solve ≈ 66% of CPU, transfers ≈ 9%.
+        assert!(
+            f.cpu_fraction > 0.35 && f.cpu_fraction < 0.62,
+            "cpu fraction {}",
+            f.cpu_fraction
+        );
+        assert!(
+            f.solve_fraction_of_cpu > 0.55 && f.solve_fraction_of_cpu < 0.75,
+            "solve fraction {}",
+            f.solve_fraction_of_cpu
+        );
+        assert!(
+            f.transfer_fraction > 0.02 && f.transfer_fraction < 0.2,
+            "transfer fraction {}",
+            f.transfer_fraction
+        );
+    }
+
+    #[test]
+    fn ascii_render_has_all_lanes() {
+        let art = render_ascii(&timeline(), 80);
+        assert_eq!(art.lines().count(), 4);
+        for lane in ["GPU", "CPU", "D2H", "H2D"] {
+            assert!(art.contains(lane));
+        }
+        assert!(art.contains('#'));
+    }
+}

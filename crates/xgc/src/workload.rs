@@ -1,0 +1,191 @@
+//! Benchmark workload generators.
+//!
+//! The evaluation batches of the paper: "repetitions of ion and electron
+//! matrices similar to XGC runs ... the number of electron matrices is
+//! equal to the number of ion matrices in every batch". Each mesh node
+//! gets slightly different moments, so every matrix in the batch is a
+//! distinct numerical instance over the one shared pattern.
+
+use std::sync::Arc;
+
+use batsolv_formats::{BatchBanded, BatchCsr, BatchEll, BatchMatrix, BatchVectors, SparsityPattern};
+use batsolv_types::{BatchDims, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::grid::VelocityGrid;
+use crate::moments::Moments;
+use crate::operator_assembly::assemble_matrix;
+use crate::species::Species;
+
+/// A ready-to-solve linear-system batch in the paper's evaluation shape.
+#[derive(Clone, Debug)]
+pub struct XgcWorkload {
+    /// The velocity grid the matrices were assembled on.
+    pub grid: VelocityGrid,
+    /// Interleaved ion/electron matrices (`2k` = ion, `2k+1` = electron).
+    pub matrices: BatchCsr<f64>,
+    /// Right-hand sides (the old-time-level distributions).
+    pub rhs: BatchVectors<f64>,
+    /// A warm initial guess (the previous Picard iterate — here the RHS
+    /// itself, which is exactly what Picard iteration 0 uses).
+    pub warm_guess: BatchVectors<f64>,
+    /// Species name per batch entry.
+    pub species_of: Vec<&'static str>,
+}
+
+impl XgcWorkload {
+    /// Generate a combined batch of `num_pairs` (ion, electron) systems.
+    pub fn generate(grid: VelocityGrid, num_pairs: usize, seed: u64) -> Result<XgcWorkload> {
+        let pattern = Arc::new(grid.stencil_pattern());
+        Self::generate_with(grid, pattern, num_pairs, seed, &Species::xgc_pair())
+    }
+
+    /// Generate a single-species batch (`Figure 9`'s ion-only and
+    /// electron-only curves).
+    pub fn generate_single_species(
+        grid: VelocityGrid,
+        species: Species,
+        num_systems: usize,
+        seed: u64,
+    ) -> Result<XgcWorkload> {
+        let pattern = Arc::new(grid.stencil_pattern());
+        Self::generate_with(grid, pattern, num_systems, seed, &[species])
+    }
+
+    fn generate_with(
+        grid: VelocityGrid,
+        pattern: Arc<SparsityPattern>,
+        groups: usize,
+        seed: u64,
+        lineup: &[Species],
+    ) -> Result<XgcWorkload> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let per_group = lineup.len();
+        let total = groups * per_group;
+        let dims = BatchDims::new(total, grid.num_nodes())?;
+        let mut matrices = BatchCsr::zeros(total, Arc::clone(&pattern))?;
+        let mut rhs = BatchVectors::zeros(dims);
+        let mut species_of = Vec::with_capacity(total);
+        let mut vals = vec![0.0f64; pattern.nnz()];
+        for g in 0..groups {
+            // Node-local plasma conditions, shared by both species at
+            // this mesh node.
+            let n0: f64 = 0.8 + 0.4 * rng.gen::<f64>();
+            let u0: f64 = -0.3 + 0.6 * rng.gen::<f64>();
+            let t0: f64 = 0.85 + 0.3 * rng.gen::<f64>();
+            for (s, species) in lineup.iter().enumerate() {
+                let idx = g * per_group + s;
+                // RHS: the old-time distribution with a beam bump.
+                let main = grid.maxwellian(n0, u0, t0);
+                let bump = grid.maxwellian(0.25 * n0, u0 + 1.2, 0.4 * t0);
+                let f: Vec<f64> = main.iter().zip(bump.iter()).map(|(a, b)| a + b).collect();
+                let moments = Moments::compute(&grid, &f);
+                assemble_matrix(&grid, species, &moments, &pattern, &mut vals);
+                matrices.values_of_mut(idx).copy_from_slice(&vals);
+                rhs.system_mut(idx).copy_from_slice(&f);
+                species_of.push(species.name);
+            }
+        }
+        let warm_guess = rhs.clone();
+        Ok(XgcWorkload {
+            grid,
+            matrices,
+            rhs,
+            warm_guess,
+            species_of,
+        })
+    }
+
+    /// Batch size (systems).
+    pub fn num_systems(&self) -> usize {
+        self.matrices.dims().num_systems
+    }
+
+    /// ELL view of the batch (the paper's preferred format).
+    pub fn ell(&self) -> Result<BatchEll<f64>> {
+        BatchEll::from_csr(&self.matrices)
+    }
+
+    /// Banded view of the batch (for `dgbsv` and QR baselines).
+    pub fn banded(&self) -> Result<BatchBanded<f64>> {
+        BatchBanded::from_csr(&self.matrices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batsolv_formats::BatchMatrix;
+    use batsolv_gpusim::DeviceSpec;
+    use batsolv_solvers::{AbsResidual, BatchBicgstab, Jacobi};
+
+    #[test]
+    fn combined_batch_interleaves_species() {
+        let w = XgcWorkload::generate(VelocityGrid::small(8, 7), 3, 1).unwrap();
+        assert_eq!(w.num_systems(), 6);
+        assert_eq!(w.species_of, ["ion", "electron", "ion", "electron", "ion", "electron"]);
+    }
+
+    #[test]
+    fn systems_differ_across_mesh_nodes() {
+        let w = XgcWorkload::generate(VelocityGrid::small(8, 7), 2, 42).unwrap();
+        // Two ion matrices from different nodes must differ.
+        assert_ne!(w.matrices.values_of(0), w.matrices.values_of(2));
+        // And both species share the pattern.
+        assert_eq!(w.matrices.pattern().nnz(), w.grid.stencil_pattern().nnz());
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let a = XgcWorkload::generate(VelocityGrid::small(6, 5), 2, 9).unwrap();
+        let b = XgcWorkload::generate(VelocityGrid::small(6, 5), 2, 9).unwrap();
+        assert_eq!(a.matrices.values_of(1), b.matrices.values_of(1));
+        let c = XgcWorkload::generate(VelocityGrid::small(6, 5), 2, 10).unwrap();
+        assert_ne!(a.matrices.values_of(1), c.matrices.values_of(1));
+    }
+
+    #[test]
+    fn workload_solves_at_paper_tolerance() {
+        let w = XgcWorkload::generate(VelocityGrid::small(10, 9), 2, 5).unwrap();
+        let mut x = BatchVectors::zeros(w.rhs.dims());
+        let rep = BatchBicgstab::new(Jacobi, AbsResidual::new(1e-10))
+            .solve(&DeviceSpec::v100(), &w.matrices, &w.rhs, &mut x)
+            .unwrap();
+        assert!(rep.all_converged());
+        assert!(w.matrices.max_residual_norm(&x, &w.rhs).unwrap() < 1e-8);
+        // Electron entries (odd) take more iterations than ions (even).
+        assert!(rep.per_system[1].iterations > rep.per_system[0].iterations);
+    }
+
+    #[test]
+    fn single_species_generation() {
+        let w = XgcWorkload::generate_single_species(
+            VelocityGrid::small(6, 5),
+            Species::ion(),
+            4,
+            2,
+        )
+        .unwrap();
+        assert_eq!(w.num_systems(), 4);
+        assert!(w.species_of.iter().all(|s| *s == "ion"));
+    }
+
+    #[test]
+    fn format_views_are_consistent() {
+        let w = XgcWorkload::generate(VelocityGrid::small(6, 5), 1, 3).unwrap();
+        let ell = w.ell().unwrap();
+        let banded = w.banded().unwrap();
+        let x: Vec<f64> = (0..30).map(|k| (k as f64 * 0.3).sin()).collect();
+        let mut y1 = vec![0.0; 30];
+        let mut y2 = vec![0.0; 30];
+        let mut y3 = vec![0.0; 30];
+        w.matrices.spmv_system(1, &x, &mut y1);
+        ell.spmv_system(1, &x, &mut y2);
+        banded.spmv_system(1, &x, &mut y3);
+        for r in 0..30 {
+            assert!((y1[r] - y2[r]).abs() < 1e-13);
+            assert!((y1[r] - y3[r]).abs() < 1e-13);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the collision proxy: conservation by
+//! construction, assembly invariants, moment arithmetic.
+
+use batsolv_formats::{BatchCsr, BatchMatrix};
+use batsolv_xgc::operator_assembly::assemble_matrix;
+use batsolv_xgc::{Moments, Species, VelocityGrid};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn grid_strategy() -> impl Strategy<Value = VelocityGrid> {
+    (4usize..14, 4usize..14).prop_map(|(nx, ny)| VelocityGrid::small(nx, ny))
+}
+
+fn moments_strategy() -> impl Strategy<Value = Moments> {
+    (0.3f64..3.0, -0.8f64..0.8, 0.5f64..2.0).prop_map(|(density, mean_velocity, temperature)| {
+        Moments {
+            density,
+            mean_velocity,
+            temperature,
+        }
+    })
+}
+
+fn species_strategy() -> impl Strategy<Value = Species> {
+    (0.001f64..0.5, 0.0f64..0.6).prop_map(|(dt_nu, aniso)| Species {
+        name: "test",
+        mass: 1.0,
+        dt_nu,
+        aniso,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn column_sums_are_one_for_any_coefficients(
+        grid in grid_strategy(),
+        moments in moments_strategy(),
+        species in species_strategy(),
+    ) {
+        // Exact particle conservation regardless of physics parameters:
+        // the flux-form assembly telescopes.
+        let pattern = Arc::new(grid.stencil_pattern());
+        let mut vals = vec![0.0f64; pattern.nnz()];
+        assemble_matrix(&grid, &species, &moments, &pattern, &mut vals);
+        let mut m = BatchCsr::<f64>::zeros(1, pattern.clone()).unwrap();
+        m.values_of_mut(0).copy_from_slice(&vals);
+        let n = grid.num_nodes();
+        for c in 0..n {
+            let sum: f64 = (0..n).map(|r| m.entry(0, r, c)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-11, "column {c} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn assembly_diagonal_grows_with_collision_strength(
+        grid in grid_strategy(),
+        moments in moments_strategy(),
+    ) {
+        let pattern = Arc::new(grid.stencil_pattern());
+        let weak = Species { name: "w", mass: 1.0, dt_nu: 0.01, aniso: 0.2 };
+        let strong = Species { name: "s", mass: 1.0, dt_nu: 0.2, aniso: 0.2 };
+        let mut vw = vec![0.0f64; pattern.nnz()];
+        let mut vs = vec![0.0f64; pattern.nnz()];
+        assemble_matrix(&grid, &weak, &moments, &pattern, &mut vw);
+        assemble_matrix(&grid, &strong, &moments, &pattern, &mut vs);
+        // Interior diagonal entries: stronger collisions push the matrix
+        // further from the identity. (On very coarse grids the face drag
+        // can exceed the diffusion term, moving the diagonal *below* 1 —
+        // so compare distances from identity, not signed values.)
+        let r = grid.node(grid.n_par / 2, grid.n_perp / 2);
+        let k = pattern.diag_position(r).unwrap();
+        prop_assert!(
+            (vs[k] - 1.0).abs() > (vw[k] - 1.0).abs(),
+            "diag {} vs {}",
+            vs[k],
+            vw[k]
+        );
+    }
+
+    #[test]
+    fn moments_scale_linearly_with_density(
+        grid in grid_strategy(),
+        n0 in 0.2f64..4.0,
+        u0 in -0.5f64..0.5,
+        t0 in 0.6f64..1.5,
+        scale in 0.5f64..3.0,
+    ) {
+        let f = grid.maxwellian(n0, u0, t0);
+        let f2: Vec<f64> = f.iter().map(|v| v * scale).collect();
+        let m1 = Moments::compute(&grid, &f);
+        let m2 = Moments::compute(&grid, &f2);
+        prop_assert!((m2.density - scale * m1.density).abs() < 1e-10 * m1.density.abs());
+        // Mean velocity and temperature are density-invariant.
+        prop_assert!((m2.mean_velocity - m1.mean_velocity).abs() < 1e-9);
+        prop_assert!((m2.temperature - m1.temperature).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxwellian_moments_match_inputs_on_fine_grids(
+        n0 in 0.5f64..2.0,
+        u0 in -0.5f64..0.5,
+        t0 in 0.8f64..1.2,
+    ) {
+        let grid = VelocityGrid::small(64, 48);
+        let f = grid.maxwellian(n0, u0, t0);
+        let m = Moments::compute(&grid, &f);
+        // v_perp half-plane captures n0/2.
+        prop_assert!((m.density - n0 / 2.0).abs() < 0.05 * n0, "density {}", m.density);
+        prop_assert!((m.mean_velocity - u0).abs() < 0.05, "u {}", m.mean_velocity);
+        prop_assert!((m.temperature - t0).abs() < 0.15 * t0, "T {}", m.temperature);
+    }
+
+    #[test]
+    fn pattern_is_always_nine_point(grid in grid_strategy()) {
+        let p = grid.stencil_pattern();
+        prop_assert_eq!(p.num_rows(), grid.num_nodes());
+        prop_assert_eq!(p.max_nnz_per_row(), 9);
+        let (kl, ku) = p.bandwidths();
+        prop_assert_eq!(kl, grid.n_par + 1);
+        prop_assert_eq!(ku, grid.n_par + 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! A full implicit collision step of the XGC proxy app: backward Euler +
+//! 5 Picard iterations over a batch of mesh nodes, with warm-started
+//! batched linear solves and conservation diagnostics.
+//!
+//! ```text
+//! cargo run --release --example collision_step
+//! ```
+
+use batsolv::prelude::*;
+
+fn main() -> Result<()> {
+    // The proxy app: 32 spatial mesh nodes, each with an ion and an
+    // electron distribution on the standard 32×31 velocity grid.
+    let proxy = CollisionProxy::new(VelocityGrid::xgc_standard(), 32);
+    let device = DeviceSpec::a100();
+
+    println!("== implicit collision step: {} mesh nodes, 2 species ==", 32);
+    let mut state = proxy.initial_state(7);
+
+    // Run the Picard loop with the paper's production configuration:
+    // BatchEll + warm starts from the previous Picard iterate.
+    let report = proxy.run_picard(&mut state, &device, SolverKind::BicgstabEll, true)?;
+
+    println!("Picard sweep | ion iters | electron iters | Picard increment (electron)");
+    for (k, rec) in report.iterations.iter().enumerate() {
+        println!(
+            "      {k}      |   {:>3}     |     {:>3}        | {:.3e}",
+            rec.linear_iters[0].max, rec.linear_iters[1].max, rec.increment[1]
+        );
+    }
+    println!(
+        "total simulated solve time: {:.2} ms",
+        report.total_solve_time_s * 1e3
+    );
+    println!(
+        "conservation: density drift ion {:.2e}, electron {:.2e} (tolerance 1e-10 keeps these < 1e-7)",
+        report.density_drift[0], report.density_drift[1]
+    );
+
+    // Physics sanity: collisions conserve particles exactly while the
+    // beam bump thermalizes (the mean drift may wiggle slightly — the
+    // drag relaxes toward the self-consistent mean, not an external
+    // frame). Compare moments of mesh node 0 before/after.
+    let fresh = proxy.initial_state(7);
+    let before = Moments::compute(&proxy.grid, fresh.f[1].system(0));
+    let after = Moments::compute(&proxy.grid, state.f[1].system(0));
+    println!(
+        "electron node 0: density {:.6} → {:.6} (conserved), drift {:.4} → {:.4}",
+        before.density, after.density, before.mean_velocity, after.mean_velocity
+    );
+    assert!(
+        (before.density - after.density).abs() < 1e-7 * before.density,
+        "density must be conserved"
+    );
+    assert!(
+        (after.mean_velocity - before.mean_velocity).abs() < 0.05,
+        "bulk drift must stay near the self-consistent mean"
+    );
+
+    // Visualize the beam thermalizing in velocity space.
+    println!("\nelectron distribution, node 0 (v_par horizontal, v_perp vertical):");
+    println!("before:\n{}", proxy.grid.render_distribution_ascii(fresh.f[1].system(0)));
+    println!("after {} steps:\n{}", 1, proxy.grid.render_distribution_ascii(state.f[1].system(0)));
+
+    // Compare against the CPU production path (dgbsv on the Skylake
+    // node): identical physics, different simulated cost.
+    let proxy_cpu = CollisionProxy::new(VelocityGrid::xgc_standard(), 32);
+    let mut state_cpu = proxy_cpu.initial_state(7);
+    let cpu_report = proxy_cpu.run_picard(
+        &mut state_cpu,
+        &DeviceSpec::skylake_node(),
+        SolverKind::Dgbsv,
+        false,
+    )?;
+    println!(
+        "Skylake dgbsv path: {:.2} ms → GPU speedup {:.1}x (paper: 4-9x)",
+        cpu_report.total_solve_time_s * 1e3,
+        cpu_report.total_solve_time_s / report.total_solve_time_s
+    );
+    Ok(())
+}

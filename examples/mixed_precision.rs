@@ -1,0 +1,62 @@
+//! Mixed-precision batched refinement: f32 inner BiCGSTAB, f64 outer
+//! defect correction — full double-precision accuracy at half the
+//! per-block workspace.
+//!
+//! ```text
+//! cargo run --release --example mixed_precision
+//! ```
+
+use batsolv::prelude::*;
+
+fn main() -> Result<()> {
+    let workload = XgcWorkload::generate(VelocityGrid::xgc_standard(), 32, 11)?;
+    let dev = DeviceSpec::v100();
+
+    // Baseline: plain double-precision batched BiCGSTAB.
+    let ell = workload.ell()?;
+    let mut x64 = BatchVectors::zeros(workload.rhs.dims());
+    let plain = BatchBicgstab::new(Jacobi, AbsResidual::new(1e-10)).solve(
+        &dev,
+        &ell,
+        &workload.rhs,
+        &mut x64,
+    )?;
+
+    // Mixed precision: the matrix is demoted to f32 once; each outer
+    // sweep computes the f64 residual and solves a f32 correction.
+    let mut x_mp = BatchVectors::zeros(workload.rhs.dims());
+    let mixed =
+        MixedPrecisionBicgstab::default().solve(&dev, &workload.matrices, &workload.rhs, &mut x_mp)?;
+
+    println!("== f64 BiCGSTAB vs mixed-precision refinement (V100 model, 64 systems) ==\n");
+    println!(
+        "f64 BiCGSTAB:       {:>9.1} us | residual {:.1e} | {:>6} B shared/block | {}",
+        plain.time_s() * 1e6,
+        plain.max_residual(),
+        plain.shared_per_block,
+        plain.plan_description
+    );
+    let inner = mixed.inner.first().expect("at least one sweep");
+    println!(
+        "mixed refinement:   {:>9.1} us | residual {:.1e} | {:>6} B shared/block | {} outer sweeps",
+        mixed.time_s * 1e6,
+        mixed.max_residual(),
+        inner.shared_per_block,
+        mixed.max_outer_iterations()
+    );
+    println!(
+        "\nf32 workspace footprint is {:.0}% of f64's — on the V100 all 9 BiCGSTAB",
+        inner.shared_per_block as f64 / plain.shared_per_block as f64 * 100.0
+    );
+    println!("vectors fit in shared memory in single precision ({}).", inner.plan_description);
+
+    // Both deliver the same answer.
+    let mut worst: f64 = 0.0;
+    for (a, b) in x64.values().iter().zip(x_mp.values()) {
+        worst = worst.max((a - b).abs());
+    }
+    println!("\nmax difference between the two solutions: {worst:.2e}");
+    assert!(mixed.all_converged());
+    assert!(worst < 1e-8);
+    Ok(())
+}

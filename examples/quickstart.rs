@@ -1,0 +1,64 @@
+//! Quickstart: solve one batch of XGC-like collision systems with the
+//! batched BiCGSTAB solver and inspect the simulated-device report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use batsolv::prelude::*;
+
+fn main() -> Result<()> {
+    // 1. Build a workload: 64 mesh nodes, each contributing one ion and
+    //    one electron system on the paper's 32×31 velocity grid
+    //    (992 rows, nine-point stencil).
+    let grid = VelocityGrid::xgc_standard();
+    let workload = XgcWorkload::generate(grid, 64, 42)?;
+    println!(
+        "batch: {} systems of {} rows, {} nnz each (shared pattern)",
+        workload.num_systems(),
+        grid.num_nodes(),
+        workload.matrices.pattern().nnz()
+    );
+
+    // 2. Compose the solver exactly like the paper: BiCGSTAB + scalar
+    //    Jacobi + absolute residual tolerance 1e-10. The composition is
+    //    compile-time generic, mirroring Ginkgo's templated kernel.
+    let solver = BatchBicgstab::new(Jacobi, AbsResidual::new(1e-10));
+
+    // 3. Solve on three simulated devices. Numerics are identical;
+    //    simulated time differs.
+    for device in [DeviceSpec::v100(), DeviceSpec::a100(), DeviceSpec::mi100()] {
+        let mut x = BatchVectors::zeros(workload.rhs.dims());
+        let report = solver.solve(&device, &workload.matrices, &workload.rhs, &mut x)?;
+        assert!(report.all_converged());
+        println!(
+            "{:<18} {:>9.1} us | warp use {:>5.1}% | workspace: {}",
+            device.name,
+            report.time_s() * 1e6,
+            report.kernel.warp_utilization * 100.0,
+            report.plan_description
+        );
+        // Iterations differ per system: ions converge fast, electrons slowly.
+        let ion = &report.per_system[0];
+        let ele = &report.per_system[1];
+        println!(
+            "    ion: {} iterations (residual {:.1e}) | electron: {} iterations (residual {:.1e})",
+            ion.iterations, ion.residual, ele.iterations, ele.residual
+        );
+    }
+
+    // 4. The ELL format is the paper's winner — try it.
+    let ell = workload.ell()?;
+    let mut x = BatchVectors::zeros(workload.rhs.dims());
+    let report = solver.solve(&DeviceSpec::a100(), &ell, &workload.rhs, &mut x)?;
+    println!(
+        "A100 with BatchEll: {:.1} us (vs CSR above)",
+        report.time_s() * 1e6
+    );
+
+    // 5. Verify against the true residual, not just the solver's own
+    //    recurrence.
+    let true_residual = ell.max_residual_norm(&x, &workload.rhs)?;
+    println!("true residual over the whole batch: {true_residual:.2e}");
+    Ok(())
+}

@@ -1,0 +1,174 @@
+//! Cross-crate integration: workload generation → format conversion →
+//! batched solvers → simulated devices, verified against direct solvers.
+
+use batsolv::prelude::*;
+use batsolv::solvers::monolithic::MonolithicBicgstab;
+
+fn workload() -> XgcWorkload {
+    XgcWorkload::generate(VelocityGrid::small(12, 11), 6, 2024).unwrap()
+}
+
+#[test]
+fn all_formats_and_solvers_agree_on_the_solution() {
+    let w = workload();
+    let dims = w.rhs.dims();
+    let dev = DeviceSpec::v100();
+    let stop = AbsResidual::new(1e-11);
+
+    // Reference: banded LU direct solve.
+    let banded = w.banded().unwrap();
+    let mut x_ref = BatchVectors::zeros(dims);
+    let rep = BatchBandedLu.solve(&DeviceSpec::skylake_node(), &banded, &w.rhs, &mut x_ref).unwrap();
+    assert!(rep.all_converged());
+
+    let close = |x: &BatchVectors<f64>, label: &str| {
+        let scale = x_ref.values().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        for (i, (a, b)) in x.values().iter().zip(x_ref.values()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-7 * scale.max(1.0),
+                "{label}: entry {i} differs: {a} vs {b}"
+            );
+        }
+    };
+
+    // BiCGSTAB on CSR and ELL.
+    let mut x1 = BatchVectors::zeros(dims);
+    assert!(BatchBicgstab::new(Jacobi, stop)
+        .solve(&dev, &w.matrices, &w.rhs, &mut x1)
+        .unwrap()
+        .all_converged());
+    close(&x1, "bicgstab-csr");
+
+    let ell = w.ell().unwrap();
+    let mut x2 = BatchVectors::zeros(dims);
+    assert!(BatchBicgstab::new(Jacobi, stop)
+        .solve(&dev, &ell, &w.rhs, &mut x2)
+        .unwrap()
+        .all_converged());
+    close(&x2, "bicgstab-ell");
+
+    // GMRES.
+    let mut x3 = BatchVectors::zeros(dims);
+    assert!(BatchGmres::new(Jacobi, stop, 40)
+        .solve(&dev, &w.matrices, &w.rhs, &mut x3)
+        .unwrap()
+        .all_converged());
+    close(&x3, "gmres");
+
+    // Sparse QR.
+    let mut x4 = BatchVectors::zeros(dims);
+    assert!(BatchSparseQr
+        .solve(&dev, &banded, &w.rhs, &mut x4)
+        .unwrap()
+        .all_converged());
+    close(&x4, "sparse-qr");
+
+    // Monolithic block-diagonal.
+    let mut x5 = BatchVectors::zeros(dims);
+    assert!(MonolithicBicgstab::new(Jacobi, stop)
+        .solve(&dev, &w.matrices, &w.rhs, &mut x5)
+        .unwrap()
+        .all_converged());
+    close(&x5, "monolithic");
+}
+
+#[test]
+fn ilu0_and_block_jacobi_preconditioners_cut_iterations() {
+    let w = workload();
+    let dev = DeviceSpec::a100();
+    let stop = AbsResidual::new(1e-10);
+
+    let mut x0 = BatchVectors::zeros(w.rhs.dims());
+    let none = BatchBicgstab::new(Identity, stop)
+        .solve(&dev, &w.matrices, &w.rhs, &mut x0)
+        .unwrap();
+    let mut x1 = BatchVectors::zeros(w.rhs.dims());
+    let jac = BatchBicgstab::new(Jacobi, stop)
+        .solve(&dev, &w.matrices, &w.rhs, &mut x1)
+        .unwrap();
+    let mut x2 = BatchVectors::zeros(w.rhs.dims());
+    let ilu = BatchBicgstab::new(
+        Ilu0::new(std::sync::Arc::clone(w.matrices.pattern())),
+        stop,
+    )
+    .solve(&dev, &w.matrices, &w.rhs, &mut x2)
+    .unwrap();
+    let mut x3 = BatchVectors::zeros(w.rhs.dims());
+    let bj = BatchBicgstab::new(BlockJacobi::new(4), stop)
+        .solve(&dev, &w.matrices, &w.rhs, &mut x3)
+        .unwrap();
+
+    assert!(none.all_converged() && jac.all_converged() && ilu.all_converged() && bj.all_converged());
+    // ILU(0) is the strongest of the lot and must not lose to Jacobi.
+    assert!(ilu.mean_iterations() <= jac.mean_iterations());
+    // Jacobi ≈ none on these mildly-scaled systems; block-Jacobi with
+    // row-order blocks can slightly help or hurt — bound it loosely.
+    assert!(jac.mean_iterations() <= none.mean_iterations() + 1.0);
+    assert!(bj.mean_iterations() <= 1.5 * none.mean_iterations() + 2.0);
+}
+
+#[test]
+fn simulated_device_ordering_holds_end_to_end() {
+    let w = XgcWorkload::generate(VelocityGrid::xgc_standard(), 120, 5).unwrap();
+    let ell = w.ell().unwrap();
+    let solver = BatchBicgstab::new(Jacobi, AbsResidual::new(1e-10));
+
+    let mut times = std::collections::HashMap::new();
+    for dev in [DeviceSpec::v100(), DeviceSpec::a100(), DeviceSpec::mi100()] {
+        let mut x = BatchVectors::zeros(w.rhs.dims());
+        let rep = solver.solve(&dev, &ell, &w.rhs, &mut x).unwrap();
+        assert!(rep.all_converged());
+        times.insert(dev.name, rep.time_s());
+    }
+    // A100 is the fastest GPU; the MI100 trails on this workload.
+    assert!(times["NVIDIA A100-40GB"] < times["NVIDIA V100-16GB"]);
+    assert!(times["NVIDIA V100-16GB"] < times["AMD MI100-32GB"]);
+}
+
+#[test]
+fn matrix_market_roundtrip_preserves_solutions() {
+    use batsolv::formats::matrix_market;
+    let w = workload();
+    let dir = std::env::temp_dir().join(format!("batsolv_e2e_{}", std::process::id()));
+    matrix_market::write_batch_dir(&dir, &w.matrices, &w.rhs).unwrap();
+    let (m2, b2) = matrix_market::read_batch_dir::<f64>(&dir).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let dev = DeviceSpec::v100();
+    let solver = BatchBicgstab::new(Jacobi, AbsResidual::new(1e-10));
+    let mut x1 = BatchVectors::zeros(w.rhs.dims());
+    let r1 = solver.solve(&dev, &w.matrices, &w.rhs, &mut x1).unwrap();
+    let mut x2 = BatchVectors::zeros(b2.dims());
+    let r2 = solver.solve(&dev, &m2, &b2, &mut x2).unwrap();
+    assert!(r1.all_converged() && r2.all_converged());
+    for (a, b) in x1.values().iter().zip(x2.values()) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+    // Identical iteration counts: the roundtrip is bit-faithful enough
+    // that the Krylov trajectories coincide.
+    for (p, q) in r1.per_system.iter().zip(r2.per_system.iter()) {
+        assert_eq!(p.iterations, q.iterations);
+    }
+}
+
+#[test]
+fn f32_precision_also_solves_but_less_deeply() {
+    use batsolv::formats::BatchCsr;
+    use std::sync::Arc;
+    // Build an f32 batch directly (XGC generators are f64-only).
+    let p = Arc::new(SparsityPattern::stencil_2d(10, 9, true));
+    let mut m = BatchCsr::<f32>::zeros(3, p).unwrap();
+    for i in 0..3 {
+        m.fill_system(i, |r, c| if r == c { 9.0 + i as f32 } else { -0.9 });
+    }
+    let b = BatchVectors::<f32>::constant(m.dims(), 1.0);
+    let mut x = BatchVectors::<f32>::zeros(m.dims());
+    let rep = BatchBicgstab::new(Jacobi, AbsResidual::new(1e-5f32))
+        .solve(&DeviceSpec::v100(), &m, &b, &mut x)
+        .unwrap();
+    assert!(rep.all_converged());
+    assert!(m.max_residual_norm(&x, &b).unwrap() < 1e-3);
+    // Single precision halves the workspace footprint: more vectors fit
+    // in the V100's 48 KiB budget.
+    assert!(rep.shared_per_block <= 9 * 90 * 4);
+}

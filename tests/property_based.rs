@@ -1,0 +1,190 @@
+//! Property-based tests (proptest) over the core data structures and
+//! solver invariants, spanning the whole workspace.
+
+use std::sync::Arc;
+
+use batsolv::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random diagonally dominant stencil batch.
+fn dominant_batch() -> impl Strategy<Value = batsolv::formats::BatchCsr<f64>> {
+    (2usize..6, 2usize..6, 1usize..4, 0.05f64..0.9)
+        .prop_flat_map(|(nx, ny, ns, off_scale)| {
+            let n = nx * ny;
+            (
+                Just((nx, ny, ns, off_scale)),
+                proptest::collection::vec(0.5f64..2.0, ns * n),
+            )
+        })
+        .prop_map(|((nx, ny, ns, off_scale), diags)| {
+            let p = Arc::new(SparsityPattern::stencil_2d(nx, ny, true));
+            let mut m = batsolv::formats::BatchCsr::zeros(ns, p).unwrap();
+            let n = nx * ny;
+            for s in 0..ns {
+                m.fill_system(s, |r, c| {
+                    if r == c {
+                        // Dominant: 9 neighbours of magnitude ≤ off_scale.
+                        9.0 * diags[s * n + r]
+                    } else {
+                        -off_scale * (1.0 + ((r * 13 + c * 7) % 5) as f64 / 5.0) / 2.0
+                    }
+                });
+            }
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn spmv_agrees_across_all_formats(m in dominant_batch(), seed in 0u64..1000) {
+        let dims = m.dims();
+        let x = BatchVectors::from_fn(dims, |s, r| {
+            ((seed as usize + s * 31 + r * 7) % 23) as f64 / 23.0 - 0.5
+        });
+        let mut y_csr = BatchVectors::zeros(dims);
+        m.spmv(&x, &mut y_csr).unwrap();
+
+        let ell = batsolv::formats::BatchEll::from_csr(&m).unwrap();
+        let mut y_ell = BatchVectors::zeros(dims);
+        ell.spmv(&x, &mut y_ell).unwrap();
+
+        let banded = BatchBanded::from_csr(&m).unwrap();
+        let mut y_band = BatchVectors::zeros(dims);
+        banded.spmv(&x, &mut y_band).unwrap();
+
+        let dense = batsolv::formats::BatchDense::from_csr(&m);
+        let mut y_dense = BatchVectors::zeros(dims);
+        dense.spmv(&x, &mut y_dense).unwrap();
+
+        for (((a, b), c), d) in y_csr.values().iter()
+            .zip(y_ell.values())
+            .zip(y_band.values())
+            .zip(y_dense.values())
+        {
+            prop_assert!((a - b).abs() < 1e-12);
+            prop_assert!((a - c).abs() < 1e-12);
+            prop_assert!((a - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bicgstab_post_condition_holds(m in dominant_batch(), seed in 0u64..1000) {
+        let dims = m.dims();
+        let b = BatchVectors::from_fn(dims, |s, r| {
+            ((seed as usize * 3 + s * 17 + r * 11) % 19) as f64 / 19.0 - 0.4
+        });
+        let mut x = BatchVectors::zeros(dims);
+        let tol = 1e-9;
+        let rep = BatchBicgstab::new(Jacobi, AbsResidual::new(tol))
+            .solve(&DeviceSpec::v100(), &m, &b, &mut x)
+            .unwrap();
+        prop_assert!(rep.all_converged());
+        // Post-condition on the TRUE residual (recurrence drift bounded).
+        let res = m.max_residual_norm(&x, &b).unwrap();
+        prop_assert!(res < tol * 1e3, "true residual {res}");
+    }
+
+    #[test]
+    fn direct_solvers_invert_spmv(m in dominant_batch(), seed in 0u64..1000) {
+        let dims = m.dims();
+        let x_true = BatchVectors::from_fn(dims, |s, r| {
+            ((seed as usize + s * 5 + r * 29) % 13) as f64 / 13.0 - 0.5
+        });
+        let mut b = BatchVectors::zeros(dims);
+        m.spmv(&x_true, &mut b).unwrap();
+        let banded = BatchBanded::from_csr(&m).unwrap();
+
+        let mut x_lu = BatchVectors::zeros(dims);
+        let rep = BatchBandedLu
+            .solve(&DeviceSpec::skylake_node(), &banded, &b, &mut x_lu)
+            .unwrap();
+        prop_assert!(rep.all_converged());
+        let mut x_qr = BatchVectors::zeros(dims);
+        let rep = BatchSparseQr
+            .solve(&DeviceSpec::v100(), &banded, &b, &mut x_qr)
+            .unwrap();
+        prop_assert!(rep.all_converged());
+        for ((a, l), q) in x_true.values().iter().zip(x_lu.values()).zip(x_qr.values()) {
+            prop_assert!((a - l).abs() < 1e-9, "LU {a} vs {l}");
+            prop_assert!((a - q).abs() < 1e-8, "QR {a} vs {q}");
+        }
+    }
+
+    #[test]
+    fn warm_start_never_increases_iterations_much(m in dominant_batch()) {
+        let dims = m.dims();
+        let b = BatchVectors::constant(dims, 1.0);
+        let dev = DeviceSpec::v100();
+        let solver = BatchBicgstab::new(Jacobi, AbsResidual::new(1e-10));
+        // Solve once, then re-solve from the solution: must take ~0 iterations.
+        let mut x = BatchVectors::zeros(dims);
+        let cold = solver.solve(&dev, &m, &b, &mut x).unwrap();
+        prop_assert!(cold.all_converged());
+        let again = solver.solve(&dev, &m, &b, &mut x).unwrap();
+        prop_assert!(again.all_converged());
+        prop_assert!(again.max_iterations() <= 1, "restart took {}", again.max_iterations());
+    }
+
+    #[test]
+    fn makespan_bounds_hold_for_any_durations(
+        durations in proptest::collection::vec(1e-6f64..1e-2, 1..200),
+        slots in 1u32..130,
+    ) {
+        use batsolv::gpusim::{makespan, Scheduling};
+        let total: f64 = durations.iter().sum();
+        let longest = durations.iter().cloned().fold(0.0f64, f64::max);
+        for sched in [Scheduling::Greedy, Scheduling::WaveSynchronous] {
+            let m = makespan(&durations, slots, sched);
+            prop_assert!(m + 1e-15 >= longest);
+            prop_assert!(m + 1e-12 >= total / slots as f64);
+            prop_assert!(m <= total + 1e-12);
+        }
+        // Greedy dominates wave-synchronous dispatch.
+        let g = makespan(&durations, slots, Scheduling::Greedy);
+        let w = makespan(&durations, slots, Scheduling::WaveSynchronous);
+        prop_assert!(g <= w + 1e-12);
+    }
+
+    #[test]
+    fn eigenvalue_trace_invariant(n in 2usize..12, seed in 0u64..500) {
+        // Σλ = tr(A) for any real matrix.
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let eig = batsolv::eigen::eigenvalues(n, &a).unwrap();
+        let tr: f64 = (0..n).map(|i| a[i * n + i]).sum();
+        let sum_re: f64 = eig.iter().map(|e| e.re).sum();
+        let sum_im: f64 = eig.iter().map(|e| e.im).sum();
+        prop_assert!((sum_re - tr).abs() < 1e-7 * (1.0 + tr.abs()), "{sum_re} vs {tr}");
+        prop_assert!(sum_im.abs() < 1e-7);
+    }
+
+    #[test]
+    fn storage_formulas_are_exact(
+        ns in 1usize..500,
+        nx in 2usize..12,
+        ny in 2usize..12,
+    ) {
+        // The Figure 3 formulas must equal the bytes the formats
+        // actually allocate.
+        let p = Arc::new(SparsityPattern::stencil_2d(nx, ny, true));
+        let csr = batsolv::formats::BatchCsr::<f64>::zeros(ns, Arc::clone(&p)).unwrap();
+        let ell = batsolv::formats::BatchEll::<f64>::zeros(ns, Arc::clone(&p)).unwrap();
+        let report = batsolv::formats::StorageReport::compute(
+            ns, p.num_rows(), p.nnz(), p.max_nnz_per_row(), 8,
+        );
+        prop_assert_eq!(
+            report.csr_bytes,
+            ns * csr.value_bytes_per_system() + csr.shared_index_bytes()
+        );
+        prop_assert_eq!(
+            report.ell_bytes,
+            ns * ell.value_bytes_per_system() + ell.shared_index_bytes()
+        );
+    }
+}
