@@ -97,7 +97,9 @@ fn tridiagonal(c: &mut Criterion) {
     let n = 992;
     let dl: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { -1.0 }).collect();
     let d = vec![3.0f64; n];
-    let du: Vec<f64> = (0..n).map(|i| if i == n - 1 { 0.0 } else { -0.8 }).collect();
+    let du: Vec<f64> = (0..n)
+        .map(|i| if i == n - 1 { 0.0 } else { -0.8 })
+        .collect();
     let b: Vec<f64> = (0..n).map(|k| (k as f64 * 0.1).cos()).collect();
 
     let mut g = c.benchmark_group("tridiag_992");

@@ -1,0 +1,191 @@
+//! `batsolv-serve` — open-loop traffic generator for the solve service.
+//!
+//! Replays XGC ion/electron systems as concurrent solve requests: each
+//! submitter thread fires requests at a fixed open-loop rate (arrivals
+//! do not wait for completions), the service batches them dynamically,
+//! and the final stats snapshot is printed. With `--compare`, the run is
+//! repeated at batch target 1 and the simulated-throughput speedup is
+//! reported (the launch-amortization effect the paper's Figure 6 shows
+//! for pre-formed batches).
+//!
+//! ```text
+//! batsolv-serve [--pairs 100] [--threads 4] [--target 100] [--linger-us 2000]
+//!               [--rate 20000] [--queue 1024] [--quick] [--compare]
+//! ```
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use batsolv_gpusim::DeviceSpec;
+use batsolv_runtime::{RuntimeConfig, SolveRequest, SolveService, StatsSnapshot, SubmitError};
+use batsolv_xgc::{VelocityGrid, XgcWorkload};
+
+struct Args {
+    pairs: usize,
+    threads: usize,
+    target: usize,
+    linger_us: u64,
+    rate: f64,
+    queue: usize,
+    quick: bool,
+    compare: bool,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut out = Args {
+            pairs: 100,
+            threads: 4,
+            target: 100,
+            linger_us: 2000,
+            rate: 20_000.0,
+            queue: 1024,
+            quick: false,
+            compare: false,
+        };
+        let mut args = std::env::args().skip(1);
+        let next_usize = |args: &mut dyn Iterator<Item = String>, what: &str| -> usize {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{what} needs a positive integer");
+                std::process::exit(2);
+            })
+        };
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--pairs" => out.pairs = next_usize(&mut args, "--pairs"),
+                "--threads" => out.threads = next_usize(&mut args, "--threads"),
+                "--target" => out.target = next_usize(&mut args, "--target"),
+                "--queue" => out.queue = next_usize(&mut args, "--queue"),
+                "--linger-us" => out.linger_us = next_usize(&mut args, "--linger-us") as u64,
+                "--rate" => {
+                    out.rate = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--rate needs a number (requests/sec across all threads)");
+                        std::process::exit(2);
+                    })
+                }
+                "--quick" => out.quick = true,
+                "--compare" => out.compare = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: batsolv-serve [--pairs N] [--threads N] [--target N] \
+                         [--linger-us N] [--rate R] [--queue N] [--quick] [--compare]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unexpected argument `{other}` (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Fire every workload system at the service from `threads` open-loop
+/// submitters; returns (snapshot, converged, failed, rejected, wall).
+fn drive(
+    workload: &XgcWorkload,
+    args: &Args,
+    target: usize,
+) -> (StatsSnapshot, usize, usize, usize, Duration) {
+    let config = RuntimeConfig::new(DeviceSpec::v100())
+        .with_batch_target(target)
+        .with_linger(Duration::from_micros(args.linger_us))
+        .with_queue_capacity(args.queue);
+    let service = Arc::new(
+        SolveService::start(Arc::clone(workload.pattern()), config)
+            .expect("service failed to start"),
+    );
+    let total = workload.num_systems();
+    let gap = Duration::from_secs_f64(args.threads as f64 / args.rate);
+    let started = Instant::now();
+    let (converged, failed, rejected) = thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..args.threads {
+            let service = Arc::clone(&service);
+            // Round-robin partition of the batch across submitters.
+            let indices: Vec<usize> = (t..total).step_by(args.threads).collect();
+            handles.push(scope.spawn(move || {
+                let mut converged = 0usize;
+                let mut failed = 0usize;
+                let mut rejected = 0usize;
+                let mut tickets = Vec::with_capacity(indices.len());
+                for i in indices {
+                    let sys = workload.system(i);
+                    let req = SolveRequest::new(sys.values.to_vec(), sys.rhs.to_vec())
+                        .with_guess(sys.warm_guess.to_vec());
+                    match service.submit(req) {
+                        Ok(ticket) => tickets.push(ticket),
+                        Err(SubmitError::QueueFull { .. }) => rejected += 1,
+                        Err(e) => {
+                            eprintln!("submit error: {e}");
+                            rejected += 1;
+                        }
+                    }
+                    // Open loop: pace arrivals, never wait on outcomes.
+                    thread::sleep(gap);
+                }
+                for ticket in tickets {
+                    match ticket.wait() {
+                        Ok(_) => converged += 1,
+                        Err(_) => failed += 1,
+                    }
+                }
+                (converged, failed, rejected)
+            }));
+        }
+        handles.into_iter().fold((0, 0, 0), |acc, h| {
+            let (c, f, r) = h.join().expect("submitter panicked");
+            (acc.0 + c, acc.1 + f, acc.2 + r)
+        })
+    });
+    let wall = started.elapsed();
+    let service = Arc::into_inner(service).expect("submitters hold no service refs");
+    let stats = service.shutdown();
+    (stats, converged, failed, rejected, wall)
+}
+
+fn main() {
+    let args = Args::parse();
+    let grid = if args.quick {
+        VelocityGrid::small(10, 9)
+    } else {
+        VelocityGrid::xgc_standard()
+    };
+    let workload = XgcWorkload::generate(grid, args.pairs, 20220530).expect("workload generation");
+    println!(
+        "replaying {} XGC systems ({} ion/electron pairs, {} rows each) from {} threads at {:.0} req/s",
+        workload.num_systems(),
+        args.pairs,
+        workload.grid.num_nodes(),
+        args.threads,
+        args.rate,
+    );
+
+    let (stats, converged, failed, rejected, wall) = drive(&workload, &args, args.target);
+    println!(
+        "\n--- batch target {} (linger {} us) ---",
+        args.target, args.linger_us
+    );
+    println!(
+        "wall {:.2}s: {converged} converged, {failed} failed, {rejected} rejected at submission",
+        wall.as_secs_f64()
+    );
+    print!("{}", stats.render());
+
+    if args.compare {
+        let (base, ..) = drive(&workload, &args, 1);
+        let rate = stats.completed() as f64 / stats.sim_time_total_s;
+        let base_rate = base.completed() as f64 / base.sim_time_total_s;
+        println!("\n--- batch target 1 (baseline) ---");
+        print!("{}", base.render());
+        println!(
+            "\nsimulated throughput: {:.0} req/s batched vs {:.0} req/s unbatched => {:.1}x",
+            rate,
+            base_rate,
+            rate / base_rate
+        );
+    }
+}

@@ -5,7 +5,7 @@
 //! repro [--quick] fig1 fig2 ... fig9 table1 table2 table3
 //! repro [--quick] ablation-{monolithic,shared,solver,tolerance}
 //! repro [--quick] ext-{multispecies,multigpu,mixed-precision,gpu-direct,
-//!                      campaign,dia,precond,convergence,gridsize}
+//!                      campaign,dia,precond,convergence,gridsize,serving}
 //! ```
 //!
 //! CSV series land in `bench_out/` (override with `REPRO_OUT`); the
@@ -16,17 +16,34 @@
 use std::time::Instant;
 
 use batsolv_bench::experiments::*;
+use batsolv_bench::output::json_escape;
 use batsolv_bench::RunConfig;
-use serde::Serialize;
 
 /// Machine-readable record of one experiment, written to `summary.json`.
-#[derive(Serialize)]
 struct ExperimentRecord {
     name: String,
     passed: bool,
     duration_s: f64,
     /// The `[PASS]`/`[FAIL]` check lines of the report section.
     checks: Vec<String>,
+}
+
+impl ExperimentRecord {
+    /// Serialize as a JSON object (hand-rolled; no serde offline).
+    fn to_json(&self) -> String {
+        let checks: Vec<String> = self
+            .checks
+            .iter()
+            .map(|c| format!("\"{}\"", json_escape(c)))
+            .collect();
+        format!(
+            "{{\n    \"name\": \"{}\",\n    \"passed\": {},\n    \"duration_s\": {},\n    \"checks\": [{}]\n  }}",
+            json_escape(&self.name),
+            self.passed,
+            self.duration_s,
+            checks.join(", ")
+        )
+    }
 }
 
 type Runner = fn(&RunConfig) -> batsolv_types::Result<String>;
@@ -54,6 +71,7 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
     ("ext-precond", extensions2::preconditioners),
     ("ext-convergence", convergence::run),
     ("ext-gridsize", gridsize::run),
+    ("ext-serving", serving::run),
     ("ablation-shared", ablations::shared_memory),
     ("ablation-solver", ablations::solver_choice),
     ("ablation-tolerance", ablations::tolerance),
@@ -89,7 +107,10 @@ fn main() {
         match runner(&cfg) {
             Ok(section) => {
                 println!("{section}");
-                println!("[{name} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+                println!(
+                    "[{name} finished in {:.1}s]\n",
+                    started.elapsed().as_secs_f64()
+                );
                 let _ = batsolv_bench::output::append_report(&cfg.out_dir, &section);
                 let passed = !section.contains("FAIL");
                 if !passed {
@@ -118,10 +139,16 @@ fn main() {
             }
         }
     }
-    if let Ok(json) = serde_json::to_string_pretty(&records) {
-        let _ = std::fs::create_dir_all(&cfg.out_dir);
-        let _ = std::fs::write(cfg.out_dir.join("summary.json"), json);
-    }
+    let json = format!(
+        "[\n  {}\n]\n",
+        records
+            .iter()
+            .map(ExperimentRecord::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n  ")
+    );
+    let _ = std::fs::create_dir_all(&cfg.out_dir);
+    let _ = std::fs::write(cfg.out_dir.join("summary.json"), json);
     println!(
         "repro complete: {} experiments, {failures} with failures; CSV + summary.json in {}",
         names.len(),

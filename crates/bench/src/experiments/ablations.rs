@@ -53,7 +53,8 @@ pub fn monolithic(cfg: &RunConfig) -> Result<String> {
         &rows,
     )?;
 
-    let mut out = String::from("== Ablation: batched vs monolithic block-diagonal (Section II) ==\n");
+    let mut out =
+        String::from("== Ablation: batched vs monolithic block-diagonal (Section II) ==\n");
     out.push_str(&format!(
         "batched: {} (mean {:.1} iters, ions stop early) | monolithic: {} ({} global iters for every system)\n",
         fmt_time(batched.time_s()),
@@ -141,13 +142,21 @@ pub fn solver_choice(cfg: &RunConfig) -> Result<String> {
     {
         let mut x = BatchVectors::zeros(w.rhs.dims());
         let r = BatchBicgstab::new(Jacobi, stop).solve(&dev, &w.matrices, &w.rhs, &mut x)?;
-        entries.push(("bicgstab", r.all_converged(), r.max_iterations(), r.time_s()));
+        entries.push((
+            "bicgstab",
+            r.all_converged(),
+            r.max_iterations(),
+            r.time_s(),
+        ));
     }
     {
         let mut x = BatchVectors::zeros(w.rhs.dims());
-        let r = BatchCg::new(Jacobi, stop)
-            .with_max_iters(400)
-            .solve(&dev, &w.matrices, &w.rhs, &mut x)?;
+        let r = BatchCg::new(Jacobi, stop).with_max_iters(400).solve(
+            &dev,
+            &w.matrices,
+            &w.rhs,
+            &mut x,
+        )?;
         entries.push(("cg", r.all_converged(), r.max_iterations(), r.time_s()));
     }
     {
@@ -158,14 +167,24 @@ pub fn solver_choice(cfg: &RunConfig) -> Result<String> {
     {
         let mut x = BatchVectors::zeros(w.rhs.dims());
         let r = BatchGmres::new(Jacobi, stop, 30).solve(&dev, &w.matrices, &w.rhs, &mut x)?;
-        entries.push(("gmres(30)", r.all_converged(), r.max_iterations(), r.time_s()));
+        entries.push((
+            "gmres(30)",
+            r.all_converged(),
+            r.max_iterations(),
+            r.time_s(),
+        ));
     }
     {
         let mut x = BatchVectors::zeros(w.rhs.dims());
         let r = BatchRichardson::new(Jacobi, stop, 1.0)
             .with_max_iters(3000)
             .solve(&dev, &w.matrices, &w.rhs, &mut x)?;
-        entries.push(("richardson", r.all_converged(), r.max_iterations(), r.time_s()));
+        entries.push((
+            "richardson",
+            r.all_converged(),
+            r.max_iterations(),
+            r.time_s(),
+        ));
     }
     for (name, conv, iters, t) in &entries {
         rows.push(format!("{name},{conv},{iters},{t:.9}"));
@@ -214,7 +233,11 @@ pub fn tolerance(cfg: &RunConfig) -> Result<String> {
         table.row(&[
             format!("{tol:.0e}"),
             format!("{drift:.2e}"),
-            if drift < 1e-7 { "yes".into() } else { "no".to_string() },
+            if drift < 1e-7 {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
         ]);
         drift_at.insert(format!("{tol:e}"), drift);
     }

@@ -15,9 +15,7 @@ use batsolv_formats::{BatchBanded, BatchMatrix, BatchVectors};
 use batsolv_gpusim::{DeviceSpec, MultiGpu};
 use batsolv_solvers::direct::banded_lu::dgbsv_time_model;
 use batsolv_solvers::direct::dense_lu::dense_lu_time_model;
-use batsolv_solvers::{
-    AbsResidual, BatchBicgstab, Jacobi, MixedPrecisionBicgstab, NoopLogger,
-};
+use batsolv_solvers::{AbsResidual, BatchBicgstab, Jacobi, MixedPrecisionBicgstab, NoopLogger};
 use batsolv_types::Result;
 use batsolv_xgc::{MultiSpeciesProxy, VelocityGrid, XgcWorkload};
 
@@ -71,7 +69,9 @@ pub fn multi_species(cfg: &RunConfig) -> Result<String> {
         "ion_species,batch,electron_iters,total_s,per_system_s",
         &rows,
     )?;
-    let mut out = String::from("== Extension: multi-species proxy (paper's future XGC, ~10 ions + electrons) ==\n");
+    let mut out = String::from(
+        "== Extension: multi-species proxy (paper's future XGC, ~10 ions + electrons) ==\n",
+    );
     out.push_str(&table.render());
     // More species → bigger batch → better per-system amortization.
     let ok = per_system_times.last().unwrap() < &per_system_times[0];
@@ -143,8 +143,14 @@ pub fn multi_gpu(cfg: &RunConfig) -> Result<String> {
         ]);
         effs.push(eff);
     }
-    write_csv(&cfg.out_dir, "ext_multigpu.csv", "gpus,time_s,speedup,efficiency", &rows)?;
-    let mut out = String::from("== Extension: multi-GPU strong scaling (Summit node, 6 x V100) ==\n");
+    write_csv(
+        &cfg.out_dir,
+        "ext_multigpu.csv",
+        "gpus,time_s,speedup,efficiency",
+        &rows,
+    )?;
+    let mut out =
+        String::from("== Extension: multi-GPU strong scaling (Summit node, 6 x V100) ==\n");
     out.push_str(&table.render());
     let ok = effs[3] > 0.6 && effs.windows(2).all(|w| w[1] <= w[0] + 0.02);
     out.push_str(&format!(
@@ -162,14 +168,18 @@ pub fn mixed_precision(cfg: &RunConfig) -> Result<String> {
 
     let mut x64 = BatchVectors::zeros(w.rhs.dims());
     let ell = w.ell()?;
-    let plain = BatchBicgstab::new(Jacobi, AbsResidual::new(1e-10)).solve(
-        &dev, &ell, &w.rhs, &mut x64,
-    )?;
+    let plain =
+        BatchBicgstab::new(Jacobi, AbsResidual::new(1e-10)).solve(&dev, &ell, &w.rhs, &mut x64)?;
     let mut x_mp = BatchVectors::zeros(w.rhs.dims());
     let mixed = MixedPrecisionBicgstab::default().solve(&dev, &w.matrices, &w.rhs, &mut x_mp)?;
 
     let rows = vec![
-        format!("f64-bicgstab,{:.9},{:.3e},{}", plain.time_s(), plain.max_residual(), plain.shared_per_block),
+        format!(
+            "f64-bicgstab,{:.9},{:.3e},{}",
+            plain.time_s(),
+            plain.max_residual(),
+            plain.shared_per_block
+        ),
         format!(
             "mixed-precision,{:.9},{:.3e},{}",
             mixed.time_s,
@@ -184,7 +194,8 @@ pub fn mixed_precision(cfg: &RunConfig) -> Result<String> {
         &rows,
     )?;
 
-    let mut out = String::from("== Extension: mixed-precision refinement (f32 inner, f64 outer) ==\n");
+    let mut out =
+        String::from("== Extension: mixed-precision refinement (f32 inner, f64 outer) ==\n");
     out.push_str(&format!(
         "f64 BiCGSTAB:      {} | residual {:.1e} | {} B shared/block\n",
         fmt_time(plain.time_s()),
@@ -252,7 +263,10 @@ pub fn gpu_direct(cfg: &RunConfig) -> Result<String> {
         let t_direct = dgbsv_time_model::<f64>(&dev, batch, n, kl, ku);
         let mut x = BatchVectors::zeros(w.rhs.dims());
         let t_iter = solver.solve(&dev, &ell, &w.rhs, &mut x)?.time_s();
-        rows.push(format!("{},{t_dense:.9},{t_direct:.9},{t_iter:.9}", dev.name));
+        rows.push(format!(
+            "{},{t_dense:.9},{t_direct:.9},{t_iter:.9}",
+            dev.name
+        ));
         table.row(&[
             dev.name.into(),
             fmt_time(t_dense),

@@ -37,7 +37,11 @@ pub fn campaign(cfg: &RunConfig) -> Result<String> {
     for (k, (g, c)) in gpu.steps.iter().zip(cpu.steps.iter()).enumerate() {
         rows.push(format!(
             "{k},{:.9},{:.9},{:.9},{},{:.6e}",
-            g.solve_time_s, c.solve_time_s, c.transfer_time_s, g.electron_iters, g.non_maxwellianity
+            g.solve_time_s,
+            c.solve_time_s,
+            c.transfer_time_s,
+            g.electron_iters,
+            g.non_maxwellianity
         ));
     }
     write_csv(
@@ -47,7 +51,8 @@ pub fn campaign(cfg: &RunConfig) -> Result<String> {
         &rows,
     )?;
 
-    let mut out = String::from("== Extension: production campaign (multi-step, CPU vs GPU path) ==\n");
+    let mut out =
+        String::from("== Extension: production campaign (multi-step, CPU vs GPU path) ==\n");
     out.push_str(&format!(
         "{steps} steps x {nodes} nodes | GPU total {} | CPU total {} (of which transfers {}) | speedup {:.1}x\n",
         fmt_time(gpu.total_time_s),
@@ -82,7 +87,12 @@ pub fn dia_format(cfg: &RunConfig) -> Result<String> {
     let solver = BatchBicgstab::new(Jacobi, AbsResidual::new(1e-10));
 
     let mut rows = Vec::new();
-    let mut table = TextTable::new(&["format", "solve time", "shared structure bytes", "warp use %"]);
+    let mut table = TextTable::new(&[
+        "format",
+        "solve time",
+        "shared structure bytes",
+        "warp use %",
+    ]);
     let mut times = std::collections::BTreeMap::new();
     // CSR and ELL via the existing paths; DIA through the same solver.
     let mut x1 = BatchVectors::zeros(w.rhs.dims());
@@ -124,10 +134,11 @@ pub fn dia_format(cfg: &RunConfig) -> Result<String> {
 
     let mut out = String::from("== Extension: DIA format on the stencil (9 dense diagonals) ==\n");
     out.push_str(&table.render());
-    out.push_str(&format!("solutions agree across formats to {max_diff:.1e}\n"));
-    let ok = times["BatchDia"] < times["BatchCsr"]
-        && dia.shared_index_bytes() < 100
-        && max_diff < 1e-9;
+    out.push_str(&format!(
+        "solutions agree across formats to {max_diff:.1e}\n"
+    ));
+    let ok =
+        times["BatchDia"] < times["BatchCsr"] && dia.shared_index_bytes() < 100 && max_diff < 1e-9;
     out.push_str(&format!(
         "shape check: {} (DIA needs only {} bytes of shared structure and beats CSR; ELL remains the reference)\n",
         if ok { "PASS" } else { "FAIL" },
@@ -157,20 +168,35 @@ pub fn preconditioners(cfg: &RunConfig) -> Result<String> {
         let mut x = BatchVectors::zeros(w.rhs.dims());
         let r = BatchBicgstab::new(Jacobi, stop).solve(&dev, &ell, &w.rhs, &mut x)?;
         assert!(r.all_converged());
-        entries.push(("jacobi", r.max_iterations(), r.mean_iterations(), r.time_s()));
+        entries.push((
+            "jacobi",
+            r.max_iterations(),
+            r.mean_iterations(),
+            r.time_s(),
+        ));
     }
     {
         let mut x = BatchVectors::zeros(w.rhs.dims());
         let r = BatchBicgstab::new(BlockJacobi::new(8), stop).solve(&dev, &ell, &w.rhs, &mut x)?;
         assert!(r.all_converged());
-        entries.push(("block-jacobi(8)", r.max_iterations(), r.mean_iterations(), r.time_s()));
+        entries.push((
+            "block-jacobi(8)",
+            r.max_iterations(),
+            r.mean_iterations(),
+            r.time_s(),
+        ));
     }
     {
         let mut x = BatchVectors::zeros(w.rhs.dims());
         let r = BatchBicgstab::new(NeumannPolynomial::new(2), stop)
             .solve(&dev, &ell, &w.rhs, &mut x)?;
         assert!(r.all_converged());
-        entries.push(("neumann(2)", r.max_iterations(), r.mean_iterations(), r.time_s()));
+        entries.push((
+            "neumann(2)",
+            r.max_iterations(),
+            r.mean_iterations(),
+            r.time_s(),
+        ));
     }
     {
         let mut x = BatchVectors::zeros(w.rhs.dims());
@@ -195,7 +221,8 @@ pub fn preconditioners(cfg: &RunConfig) -> Result<String> {
         &rows,
     )?;
 
-    let mut out = String::from("== Extension: preconditioner lineup (BiCGSTAB, ELL, tol 1e-10) ==\n");
+    let mut out =
+        String::from("== Extension: preconditioner lineup (BiCGSTAB, ELL, tol 1e-10) ==\n");
     out.push_str(&table.render());
     let get = |n: &str| entries.iter().find(|e| e.0 == n).unwrap();
     // Stronger approximate inverses take fewer iterations.

@@ -30,7 +30,12 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
             format!("{},{},{:.9},{:.9}", s.label, lane, s.start_s, s.duration_s)
         })
         .collect();
-    write_csv(&cfg.out_dir, "fig1_timeline.csv", "label,lane,start_s,duration_s", &rows)?;
+    write_csv(
+        &cfg.out_dir,
+        "fig1_timeline.csv",
+        "label,lane,start_s,duration_s",
+        &rows,
+    )?;
 
     let mut out = String::from("== Figure 1: Picard-loop timeline (CPU solver configuration) ==\n");
     out.push_str(&render_ascii(&segments, 100));

@@ -20,7 +20,12 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
         *hist.entry(p.nnz_in_row(r)).or_insert(0usize) += 1;
     }
     let rows: Vec<String> = hist.iter().map(|(k, v)| format!("{k},{v}")).collect();
-    write_csv(&cfg.out_dir, "fig4_row_nnz_histogram.csv", "nnz_per_row,rows", &rows)?;
+    write_csv(
+        &cfg.out_dir,
+        "fig4_row_nnz_histogram.csv",
+        "nnz_per_row,rows",
+        &rows,
+    )?;
 
     // Coordinate dump for external spy plotting.
     let mut coords = Vec::with_capacity(p.nnz());

@@ -23,16 +23,32 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
     let mut rows = Vec::new();
     for warp in [6u32, 32, 64] {
         for (name, util) in [
-            ("CSR (warp-per-row)", csr.spmv_counts(warp).lane_utilization()),
-            ("ELL (thread-per-row)", ell.spmv_counts(warp).lane_utilization()),
+            (
+                "CSR (warp-per-row)",
+                csr.spmv_counts(warp).lane_utilization(),
+            ),
+            (
+                "ELL (thread-per-row)",
+                ell.spmv_counts(warp).lane_utilization(),
+            ),
         ] {
-            table.row(&[name.into(), warp.to_string(), format!("{:.1}", util * 100.0)]);
+            table.row(&[
+                name.into(),
+                warp.to_string(),
+                format!("{:.1}", util * 100.0),
+            ]);
             rows.push(format!("{name},{warp},{:.4}", util));
         }
     }
-    write_csv(&cfg.out_dir, "fig5_lane_utilization.csv", "format,warp,utilization", &rows)?;
+    write_csv(
+        &cfg.out_dir,
+        "fig5_lane_utilization.csv",
+        "format,warp,utilization",
+        &rows,
+    )?;
 
-    let mut out = String::from("== Figure 5: layout and warp orientation (SpMV lane activity) ==\n");
+    let mut out =
+        String::from("== Figure 5: layout and warp orientation (SpMV lane activity) ==\n");
     out.push_str(&table.render());
     let u_csr32 = csr.spmv_counts(32).lane_utilization();
     let u_ell32 = ell.spmv_counts(32).lane_utilization();

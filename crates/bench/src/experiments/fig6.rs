@@ -125,7 +125,11 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
     let mut rows = Vec::new();
     for s in &series {
         for &(batch, t) in &s.times {
-            rows.push(format!("{},{batch},{t:.9},{:.12}", s.name, t / batch as f64));
+            rows.push(format!(
+                "{},{batch},{t:.9},{:.12}",
+                s.name,
+                t / batch as f64
+            ));
         }
     }
     write_csv(
@@ -146,11 +150,7 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
     let mut table = TextTable::new(&["series", &format!("total @ {probe}"), "per entry"]);
     for s in &series {
         let t = s.at(probe);
-        table.row(&[
-            s.name.into(),
-            fmt_time(t),
-            fmt_time(t / probe as f64),
-        ]);
+        table.row(&[s.name.into(), fmt_time(t), fmt_time(t / probe as f64)]);
     }
     out.push_str(&table.render());
 
@@ -198,7 +198,10 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
         checks.push((format!("MI100 step at 120→128: {step:.2}x"), step > 1.5));
         let v = get("bicgstab-ell@V100");
         let smooth = v.at(128) / v.at(120);
-        checks.push((format!("V100 smooth at 120→128: {smooth:.2}x"), smooth < 1.4));
+        checks.push((
+            format!("V100 smooth at 120→128: {smooth:.2}x"),
+            smooth < 1.4,
+        ));
     }
     // 5. per-entry time falls with batch.
     let e = get("bicgstab-ell@A100");
@@ -206,27 +209,34 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
     let per_small = e.at(first) / first as f64;
     let per_large = e.at(probe) / probe as f64;
     checks.push((
-        format!("A100 per-entry time falls {:.1}x from batch {first} to {probe}", per_small / per_large),
+        format!(
+            "A100 per-entry time falls {:.1}x from batch {first} to {probe}",
+            per_small / per_large
+        ),
         per_large < per_small / 2.0,
     ));
 
     for (msg, ok) in &checks {
-        out.push_str(&format!("  [{}] {}\n", if *ok { "PASS" } else { "FAIL" }, msg));
+        out.push_str(&format!(
+            "  [{}] {}\n",
+            if *ok { "PASS" } else { "FAIL" },
+            msg
+        ));
     }
     let all = checks.iter().all(|(_, ok)| *ok);
     out.push_str(&format!(
         "shape check: {}\n",
-        if all { "PASS (all Figure 6 claims hold)" } else { "FAIL (see above)" }
+        if all {
+            "PASS (all Figure 6 claims hold)"
+        } else {
+            "FAIL (see above)"
+        }
     ));
     Ok(out)
 }
 
 fn anyhow_converged(results: &[SystemResult], label: &str) -> Result<()> {
-    if let Some((i, r)) = results
-        .iter()
-        .enumerate()
-        .find(|(_, r)| !r.converged)
-    {
+    if let Some((i, r)) = results.iter().enumerate().find(|(_, r)| !r.converged) {
         return Err(batsolv_types::Error::NotConverged {
             batch_index: i,
             iterations: r.iterations as usize,

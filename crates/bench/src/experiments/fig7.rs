@@ -76,7 +76,12 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
         rows.push(format!("{batch},{t_csr:.9},{t_ell:.9}"));
         last = (t_csr, t_ell);
     }
-    write_csv(&cfg.out_dir, "fig7_spmv_times.csv", "batch,csr_s,ell_s", &rows)?;
+    write_csv(
+        &cfg.out_dir,
+        "fig7_spmv_times.csv",
+        "batch,csr_s,ell_s",
+        &rows,
+    )?;
 
     let mut out = String::from("== Figure 7: SpMV kernel time on A100 ==\n");
     out.push_str(&format!(

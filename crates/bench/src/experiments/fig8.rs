@@ -17,7 +17,8 @@ use crate::output::{fmt_time, write_csv, TextTable};
 pub fn run(cfg: &RunConfig) -> Result<String> {
     let a100 = DeviceSpec::a100();
     let mut rows = Vec::new();
-    let mut out = String::from("== Figure 8: initial-guess effect (A100, 5 Picard iterations) ==\n");
+    let mut out =
+        String::from("== Figure 8: initial-guess effect (A100, 5 Picard iterations) ==\n");
     let mut table = TextTable::new(&["format", "nodes", "zero guess", "warm guess", "speedup"]);
     let mut speedups = vec![];
     for solver in [SolverKind::BicgstabCsr, SolverKind::BicgstabEll] {

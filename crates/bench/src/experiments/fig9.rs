@@ -38,8 +38,9 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
     ];
 
     let mut rows = Vec::new();
-    let mut out =
-        String::from("== Figure 9: speedup over Skylake dgbsv (5 Picard iterations, ELL, warm) ==\n");
+    let mut out = String::from(
+        "== Figure 9: speedup over Skylake dgbsv (5 Picard iterations, ELL, warm) ==\n",
+    );
     let mut table = TextTable::new(&["species", "nodes", "V100", "A100", "MI100"]);
     let mut combined_speedups: Vec<f64> = Vec::new();
     let mut ion_speedup_at_max = 0.0f64;
@@ -79,12 +80,20 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
             ]);
         }
     }
-    write_csv(&cfg.out_dir, "fig9_speedups.csv", "species,nodes,device,speedup", &rows)?;
+    write_csv(
+        &cfg.out_dir,
+        "fig9_speedups.csv",
+        "species,nodes,device,speedup",
+        &rows,
+    )?;
     out.push_str(&table.render());
 
     let mut checks: Vec<(String, bool)> = Vec::new();
     let (lo, hi) = (
-        combined_speedups.iter().cloned().fold(f64::INFINITY, f64::min),
+        combined_speedups
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min),
         combined_speedups.iter().cloned().fold(0.0f64, f64::max),
     );
     checks.push((
@@ -103,7 +112,11 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
         combined_speedups.iter().all(|&s| s > 1.0),
     ));
     for (msg, ok) in &checks {
-        out.push_str(&format!("  [{}] {}\n", if *ok { "PASS" } else { "FAIL" }, msg));
+        out.push_str(&format!(
+            "  [{}] {}\n",
+            if *ok { "PASS" } else { "FAIL" },
+            msg
+        ));
     }
     out.push_str(&format!(
         "shape check: {}\n",

@@ -5,7 +5,6 @@ pub mod convergence;
 pub mod extensions;
 pub mod extensions2;
 pub mod fig1;
-pub mod gridsize;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -14,6 +13,8 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod gridsize;
+pub mod serving;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -76,7 +76,11 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
         let ell_w = metrics[&(dev, "ELL")].0;
         let csr_w = metrics[&(dev, "CSR")].0;
         checks.push((
-            format!("{dev}: ELL warp use ({:.0}%) ≫ CSR ({:.0}%)", ell_w * 100.0, csr_w * 100.0),
+            format!(
+                "{dev}: ELL warp use ({:.0}%) ≫ CSR ({:.0}%)",
+                ell_w * 100.0,
+                csr_w * 100.0
+            ),
             ell_w > 0.85 && ell_w > csr_w + 0.1,
         ));
     }
@@ -90,11 +94,19 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
         metrics[&("A100", "CSR")].2 >= metrics[&("V100", "CSR")].2,
     ));
     for (msg, ok) in &checks {
-        out.push_str(&format!("  [{}] {}\n", if *ok { "PASS" } else { "FAIL" }, msg));
+        out.push_str(&format!(
+            "  [{}] {}\n",
+            if *ok { "PASS" } else { "FAIL" },
+            msg
+        ));
     }
     out.push_str(&format!(
         "shape check: {}\n",
-        if checks.iter().all(|(_, ok)| *ok) { "PASS" } else { "FAIL" }
+        if checks.iter().all(|(_, ok)| *ok) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
     Ok(out)
 }

@@ -44,7 +44,10 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
     ]);
     for k in 0..report.iterations.len() {
         let paper = PAPER.get(k).copied().unwrap_or([0, 0]);
-        rows.push(format!("{k},{},{},{},{}", ele[k], paper[1], ion[k], paper[0]));
+        rows.push(format!(
+            "{k},{},{},{},{}",
+            ele[k], paper[1], ion[k], paper[0]
+        ));
         table.row(&[
             k.to_string(),
             ele[k].to_string(),
@@ -60,7 +63,8 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
         &rows,
     )?;
 
-    let mut out = String::from("== Table III: iterations per Picard sweep (warm start, ELL, tol 1e-10) ==\n");
+    let mut out =
+        String::from("== Table III: iterations per Picard sweep (warm start, ELL, tol 1e-10) ==\n");
     out.push_str(&table.render());
     out.push_str(&format!(
         "conservation: density drift {:.2e} (ion), {:.2e} (electron) — paper requires < 1e-7\n",
@@ -73,18 +77,32 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
     let electron_magnitude = (20..=45).contains(&ele[0]);
     let conserved = report.density_drift.iter().all(|&d| d < 1e-7);
     let checks = [
-        ("electron iterations monotonically decrease", electron_decreases),
+        (
+            "electron iterations monotonically decrease",
+            electron_decreases,
+        ),
         ("electron count drops ≥25% by sweep 5", electron_drops),
-        ("electron first sweep within 20-45 (paper: 30)", electron_magnitude),
+        (
+            "electron first sweep within 20-45 (paper: 30)",
+            electron_magnitude,
+        ),
         ("ion counts small and decreasing to ≤3", ion_small),
         ("density conserved to 1e-7 at tol 1e-10", conserved),
     ];
     for (msg, ok) in &checks {
-        out.push_str(&format!("  [{}] {}\n", if *ok { "PASS" } else { "FAIL" }, msg));
+        out.push_str(&format!(
+            "  [{}] {}\n",
+            if *ok { "PASS" } else { "FAIL" },
+            msg
+        ));
     }
     out.push_str(&format!(
         "shape check: {}\n",
-        if checks.iter().all(|(_, ok)| *ok) { "PASS" } else { "FAIL" }
+        if checks.iter().all(|(_, ok)| *ok) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
     Ok(out)
 }

@@ -30,6 +30,23 @@ pub fn append_report(out_dir: &Path, section: &str) -> Result<()> {
     Ok(())
 }
 
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Format seconds with an adaptive unit.
 pub fn fmt_time(seconds: f64) -> String {
     if seconds >= 1.0 {

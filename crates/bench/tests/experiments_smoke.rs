@@ -76,11 +76,7 @@ fn fig7_spmv() {
 
 #[test]
 fn convergence_traces() {
-    run_and_check(
-        "conv",
-        convergence::run,
-        &["ext_convergence_traces.csv"],
-    );
+    run_and_check("conv", convergence::run, &["ext_convergence_traces.csv"]);
 }
 
 #[test]

@@ -172,7 +172,11 @@ mod tests {
         let mut a = vec![0.0f64; n * n];
         for r in 0..n {
             for c in 0..n {
-                a[r * n + c] = if r == c { 4.0 } else { 1.0 / (1.0 + (r + 2 * c) as f64) };
+                a[r * n + c] = if r == c {
+                    4.0
+                } else {
+                    1.0 / (1.0 + (r + 2 * c) as f64)
+                };
             }
         }
         let inv = dense_invert(n, &a).unwrap();

@@ -64,7 +64,11 @@ pub fn condition_estimate<T: Scalar>(a: &BatchCsr<T>, i: usize, iters: usize) ->
     } else {
         0.0
     };
-    Ok(if smin > 0.0 { smax / smin } else { f64::INFINITY })
+    Ok(if smin > 0.0 {
+        smax / smin
+    } else {
+        f64::INFINITY
+    })
 }
 
 /// Largest singular value by power iteration on `AᵀA` (the Aᵀ product is

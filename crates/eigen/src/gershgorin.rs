@@ -111,7 +111,10 @@ mod tests {
         let disks = gershgorin_disks(&m, 0);
         let (lo, hi) = spectrum_bounds(&disks);
         for e in eig {
-            assert!(e.re >= lo - 1e-10 && e.re <= hi + 1e-10, "{e} outside [{lo}, {hi}]");
+            assert!(
+                e.re >= lo - 1e-10 && e.re <= hi + 1e-10,
+                "{e} outside [{lo}, {hi}]"
+            );
         }
     }
 }

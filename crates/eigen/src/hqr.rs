@@ -167,8 +167,7 @@ pub fn hqr(n: usize, a: &mut [f64]) -> Result<Vec<Complex>> {
                 }
                 if k == m {
                     if l != m {
-                        a[k as usize * n + (k - 1) as usize] =
-                            -at(a, k as usize, (k - 1) as usize);
+                        a[k as usize * n + (k - 1) as usize] = -at(a, k as usize, (k - 1) as usize);
                     }
                 } else {
                     a[k as usize * n + (k - 1) as usize] = -s * x;
@@ -266,7 +265,8 @@ mod tests {
         }
         let eig = sort_by_re_im(eigenvalues(n, &a).unwrap());
         for (k, e) in eig.iter().enumerate() {
-            let expect = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            let expect =
+                2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
             assert!(
                 (e.re - expect).abs() < 1e-9 && e.im.abs() < 1e-9,
                 "k={k}: {} vs {}",
@@ -281,7 +281,9 @@ mod tests {
         let n = 24;
         let mut state = 12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let a: Vec<f64> = (0..n * n).map(|_| next()).collect();
@@ -308,7 +310,9 @@ mod tests {
         let n = 15;
         let mut state = 999u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let a: Vec<f64> = (0..n * n).map(|_| next()).collect();
@@ -336,7 +340,9 @@ mod tests {
             id[i * 3 + i] = 1.0;
         }
         let eig = eigenvalues(3, &id).unwrap();
-        assert!(eig.iter().all(|e| (e.re - 1.0).abs() < 1e-14 && e.im == 0.0));
+        assert!(eig
+            .iter()
+            .all(|e| (e.re - 1.0).abs() < 1e-14 && e.im == 0.0));
     }
 
     #[test]

@@ -35,10 +35,7 @@ impl<T: Scalar> BatchCsr<T> {
     }
 
     /// Build from per-system value arrays (each of length `pattern.nnz()`).
-    pub fn from_system_values(
-        pattern: Arc<SparsityPattern>,
-        systems: &[Vec<T>],
-    ) -> Result<Self> {
+    pub fn from_system_values(pattern: Arc<SparsityPattern>, systems: &[Vec<T>]) -> Result<Self> {
         let dims = BatchDims::new(systems.len(), pattern.num_rows())?;
         let nnz = pattern.nnz();
         let mut values = Vec::with_capacity(systems.len() * nnz);
@@ -60,7 +57,11 @@ impl<T: Scalar> BatchCsr<T> {
     }
 
     /// Replicate one system's values across a batch of `num_systems`.
-    pub fn replicate(num_systems: usize, pattern: Arc<SparsityPattern>, values: &[T]) -> Result<Self> {
+    pub fn replicate(
+        num_systems: usize,
+        pattern: Arc<SparsityPattern>,
+        values: &[T],
+    ) -> Result<Self> {
         if values.len() != pattern.nnz() {
             return Err(batsolv_types::dim_mismatch!(
                 "replicate: {} values vs {} nnz",
@@ -270,11 +271,25 @@ mod tests {
     fn small_batch() -> BatchCsr<f64> {
         let mut m = BatchCsr::zeros(2, small_pattern()).unwrap();
         // System 0 as in the comment above.
-        for &(r, c, v) in &[(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0), (1, 2, 1.0), (2, 0, 1.0), (2, 2, 4.0)] {
+        for &(r, c, v) in &[
+            (0, 0, 2.0),
+            (0, 1, 1.0),
+            (1, 1, 3.0),
+            (1, 2, 1.0),
+            (2, 0, 1.0),
+            (2, 2, 4.0),
+        ] {
             m.set(0, r, c, v).unwrap();
         }
         // System 1 = 10x system 0.
-        for &(r, c, v) in &[(0, 0, 20.0), (0, 1, 10.0), (1, 1, 30.0), (1, 2, 10.0), (2, 0, 10.0), (2, 2, 40.0)] {
+        for &(r, c, v) in &[
+            (0, 0, 20.0),
+            (0, 1, 10.0),
+            (1, 1, 30.0),
+            (1, 2, 10.0),
+            (2, 0, 10.0),
+            (2, 2, 40.0),
+        ] {
             m.set(1, r, c, v).unwrap();
         }
         m

@@ -202,7 +202,13 @@ mod tests {
     fn dense_spmv_matches_csr() {
         let p = Arc::new(SparsityPattern::stencil_2d(4, 4, true));
         let mut csr = BatchCsr::<f64>::zeros(1, p).unwrap();
-        csr.fill_system(0, |r, c| if r == c { 5.0 } else { -1.0 / (1.0 + (r + c) as f64) });
+        csr.fill_system(0, |r, c| {
+            if r == c {
+                5.0
+            } else {
+                -1.0 / (1.0 + (r + c) as f64)
+            }
+        });
         let dense = BatchDense::from_csr(&csr);
         let x: Vec<f64> = (0..16).map(|k| (k as f64).sin()).collect();
         let mut y1 = vec![0.0; 16];

@@ -48,9 +48,8 @@ impl<T: Scalar> BatchDia<T> {
         for r in 0..n {
             for &c in pattern.row_cols(r) {
                 let off = c as i64 - r as i64;
-                let off = i32::try_from(off).map_err(|_| {
-                    Error::InvalidFormat("diagonal offset exceeds i32".into())
-                })?;
+                let off = i32::try_from(off)
+                    .map_err(|_| Error::InvalidFormat("diagonal offset exceeds i32".into()))?;
                 if let Err(pos) = offsets.binary_search(&off) {
                     offsets.insert(pos, off);
                 }

@@ -46,8 +46,7 @@ impl StorageReport {
             ell_width,
             dense_bytes: num_systems * num_rows * num_rows * value_bytes,
             csr_bytes: num_systems * nnz * value_bytes + (num_rows + 1 + nnz) * ib,
-            ell_bytes: num_systems * ell_width * num_rows * value_bytes
-                + ell_width * num_rows * ib,
+            ell_bytes: num_systems * ell_width * num_rows * value_bytes + ell_width * num_rows * ib,
         }
     }
 

@@ -85,7 +85,8 @@ pub trait BatchMatrix<T: Scalar>: Send + Sync {
         let mut worst = T::ZERO;
         for i in 0..self.dims().num_systems {
             self.spmv_system(i, x.system(i), &mut r);
-            let norm = b.system(i)
+            let norm = b
+                .system(i)
                 .iter()
                 .zip(r.iter())
                 .map(|(&bi, &ri)| (bi - ri) * (bi - ri))

@@ -171,7 +171,10 @@ mod tests {
 
     #[test]
     fn norms() {
-        let v = BatchVectors::<f64>::from_fn(dims(2, 2), |s, r| if s == 1 { (r + 3) as f64 } else { 0.0 });
+        let v = BatchVectors::<f64>::from_fn(
+            dims(2, 2),
+            |s, r| if s == 1 { (r + 3) as f64 } else { 0.0 },
+        );
         assert_eq!(v.norm2(0), 0.0);
         assert!((v.norm2(1) - 5.0).abs() < 1e-14);
         assert!((v.max_norm2() - 5.0).abs() < 1e-14);

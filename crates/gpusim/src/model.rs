@@ -237,7 +237,7 @@ mod tests {
     fn greedy_v100_has_no_hard_step() {
         let v = DeviceSpec::v100();
         let k = SimKernel::new(&v, 50 * 1024); // 1 block/CU → 80 slots
-        // Heterogeneous durations (ion/electron mix) — greedy smooths.
+                                               // Heterogeneous durations (ion/electron mix) — greedy smooths.
         let blocks: Vec<BlockStats> = (0..161)
             .map(|i| {
                 if i % 2 == 0 {

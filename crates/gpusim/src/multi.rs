@@ -66,10 +66,7 @@ impl MultiGpu {
             .zip(partitions.iter())
             .map(|(d, part)| SimKernel::new(d, shared_per_block).price(part))
             .collect();
-        let makespan = per_device
-            .iter()
-            .map(|r| r.time_s)
-            .fold(0.0f64, f64::max);
+        let makespan = per_device.iter().map(|r| r.time_s).fold(0.0f64, f64::max);
         MultiGpuReport {
             time_s: makespan + self.coordination_s,
             blocks_per_device: partitions.iter().map(Vec::len).collect(),
@@ -79,11 +76,7 @@ impl MultiGpu {
 
     /// Strong-scaling efficiency against a single device of the first
     /// kind: `t(1) / (k · t(k))`.
-    pub fn strong_scaling_efficiency(
-        &self,
-        blocks: &[BlockStats],
-        shared_per_block: usize,
-    ) -> f64 {
+    pub fn strong_scaling_efficiency(&self, blocks: &[BlockStats], shared_per_block: usize) -> f64 {
         let single = SimKernel::new(&self.devices[0], shared_per_block)
             .price(blocks)
             .time_s;
@@ -154,7 +147,13 @@ mod tests {
         // so device makespans stay close.
         let node = MultiGpu::homogeneous(DeviceSpec::v100(), 3);
         let blocks: Vec<BlockStats> = (0..402)
-            .map(|i| if i % 2 == 0 { block(500, 60) } else { block(3000, 360) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    block(500, 60)
+                } else {
+                    block(3000, 360)
+                }
+            })
             .collect();
         let rep = node.price(&blocks, 40 * 1024);
         let times: Vec<f64> = rep.per_device.iter().map(|r| r.time_s).collect();

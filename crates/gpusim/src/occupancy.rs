@@ -38,7 +38,7 @@ pub fn max_threads_per_block(registers_per_thread: u32) -> u32 {
     if registers_per_thread == 0 {
         return 1024;
     }
-    (REGISTERS_PER_CU / registers_per_thread).min(1024).max(32)
+    (REGISTERS_PER_CU / registers_per_thread).clamp(32, 1024)
 }
 
 /// Warps per block for a device, given register pressure and the row

@@ -39,10 +39,7 @@ mod tests {
     #[test]
     fn cpu_transfers_are_free() {
         let s = DeviceSpec::skylake_node();
-        assert_eq!(
-            transfer_time(&s, 1 << 30, Direction::DeviceToHost),
-            0.0
-        );
+        assert_eq!(transfer_time(&s, 1 << 30, Direction::DeviceToHost), 0.0);
     }
 
     #[test]

@@ -3,8 +3,7 @@
 
 use batsolv_gpusim::cache::cache_outcome;
 use batsolv_gpusim::{
-    makespan, resident_blocks_per_cu, BlockStats, DeviceSpec, Scheduling, SimKernel,
-    TrafficProfile,
+    makespan, resident_blocks_per_cu, BlockStats, DeviceSpec, Scheduling, SimKernel, TrafficProfile,
 };
 use batsolv_types::OpCounts;
 use proptest::prelude::*;
@@ -26,15 +25,17 @@ fn traffic_strategy() -> impl Strategy<Value = TrafficProfile> {
         1u64..16,
         0u64..100_000,
     )
-        .prop_map(|(ro_ws, passes, rw_ws, rw_passes, write_once)| TrafficProfile {
-            ro_working_set: ro_ws,
-            shared_ro_working_set: ro_ws / 3,
-            ro_requested: ro_ws * passes,
-            rw_working_set: rw_ws,
-            rw_requested: rw_ws * rw_passes,
-            write_once,
-            shared_bytes: 0,
-        })
+        .prop_map(
+            |(ro_ws, passes, rw_ws, rw_passes, write_once)| TrafficProfile {
+                ro_working_set: ro_ws,
+                shared_ro_working_set: ro_ws / 3,
+                ro_requested: ro_ws * passes,
+                rw_working_set: rw_ws,
+                rw_requested: rw_ws * rw_passes,
+                write_once,
+                shared_bytes: 0,
+            },
+        )
 }
 
 fn block_strategy() -> impl Strategy<Value = BlockStats> {

@@ -1,0 +1,141 @@
+//! Service configuration.
+
+use std::time::Duration;
+
+use batsolv_gpusim::DeviceSpec;
+
+/// Tuning knobs of the solve service.
+///
+/// The two batching knobs trade latency against throughput exactly like a
+/// continuous-batching inference server: `batch_target` caps how many
+/// systems are fused into one launch (throughput), `linger` bounds how
+/// long the oldest queued request may wait for companions (latency).
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Simulated device batches are priced on.
+    pub device: DeviceSpec,
+    /// Bound on the submission queue; a full queue rejects new requests
+    /// with [`crate::SubmitError::QueueFull`] (explicit backpressure,
+    /// never a silent drop).
+    pub queue_capacity: usize,
+    /// Flush trigger 1: cut a batch as soon as this many requests are
+    /// pending.
+    pub batch_target: usize,
+    /// Flush trigger 2: cut a batch (of whatever size) once the oldest
+    /// pending request has waited this long.
+    pub linger: Duration,
+    /// Absolute residual tolerance used when a request does not carry its
+    /// own (the paper's production tolerance).
+    pub tolerance: f64,
+    /// Iteration cap of the iterative solver; systems still unconverged
+    /// at the cap go to the direct fallback.
+    pub max_iters: usize,
+    /// Whether non-converged systems are retried with the banded-LU
+    /// direct solver (the `dgbsv` baseline) before being reported failed.
+    pub enable_fallback: bool,
+}
+
+impl RuntimeConfig {
+    /// Defaults: V100 pricing, 1024-deep queue, batches of 128, 2 ms
+    /// linger, the paper's 1e-10 tolerance.
+    pub fn new(device: DeviceSpec) -> RuntimeConfig {
+        RuntimeConfig {
+            device,
+            queue_capacity: 1024,
+            batch_target: 128,
+            linger: Duration::from_millis(2),
+            tolerance: 1e-10,
+            max_iters: 500,
+            enable_fallback: true,
+        }
+    }
+
+    /// Override the submission-queue bound.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Override the batch-size flush target.
+    pub fn with_batch_target(mut self, target: usize) -> Self {
+        self.batch_target = target;
+        self
+    }
+
+    /// Override the linger time.
+    pub fn with_linger(mut self, linger: Duration) -> Self {
+        self.linger = linger;
+        self
+    }
+
+    /// Override the default tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Override the iteration cap.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Enable or disable the direct fallback.
+    pub fn with_fallback(mut self, enabled: bool) -> Self {
+        self.enable_fallback = enabled;
+        self
+    }
+
+    /// Validate the knob combination.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be at least 1".into());
+        }
+        if self.batch_target == 0 {
+            return Err("batch_target must be at least 1".into());
+        }
+        if self.tolerance.is_nan() || self.tolerance <= 0.0 {
+            return Err(format!(
+                "tolerance must be positive, got {}",
+                self.tolerance
+            ));
+        }
+        if self.max_iters == 0 {
+            return Err("max_iters must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_overrides() {
+        let c = RuntimeConfig::new(DeviceSpec::a100())
+            .with_queue_capacity(8)
+            .with_batch_target(4)
+            .with_linger(Duration::from_micros(500))
+            .with_tolerance(1e-8)
+            .with_max_iters(50)
+            .with_fallback(false);
+        assert_eq!(c.queue_capacity, 8);
+        assert_eq!(c.batch_target, 4);
+        assert_eq!(c.linger, Duration::from_micros(500));
+        assert_eq!(c.tolerance, 1e-8);
+        assert_eq!(c.max_iters, 50);
+        assert!(!c.enable_fallback);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_knobs() {
+        let base = RuntimeConfig::new(DeviceSpec::v100());
+        assert!(base.clone().with_queue_capacity(0).validate().is_err());
+        assert!(base.clone().with_batch_target(0).validate().is_err());
+        assert!(base.clone().with_tolerance(0.0).validate().is_err());
+        assert!(base.clone().with_max_iters(0).validate().is_err());
+        assert!(base.validate().is_ok());
+    }
+}

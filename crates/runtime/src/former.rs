@@ -1,0 +1,214 @@
+//! The batch former: groups pending requests into dispatchable batches.
+//!
+//! Pure data structure over virtual time (u64 nanoseconds) so the flush
+//! policy is testable without real clocks — the property tests drive it
+//! with randomized interleavings of pushes and polls.
+//!
+//! Two flush triggers, exactly like a continuous-batching inference
+//! scheduler:
+//! 1. **Target reached** — `target` requests are pending; cut a full
+//!    batch immediately.
+//! 2. **Linger expired** — the oldest pending request has waited
+//!    `linger_ns`; cut whatever is pending so latency stays bounded even
+//!    under trickle load.
+
+use std::collections::VecDeque;
+
+/// Why a batch was cut.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The target batch size was reached.
+    TargetReached,
+    /// The oldest pending request aged past the linger time.
+    LingerExpired,
+    /// The former was drained at shutdown.
+    Drain,
+}
+
+/// FIFO accumulator with the two-trigger flush policy.
+#[derive(Debug)]
+pub struct BatchFormer<T> {
+    target: usize,
+    linger_ns: u64,
+    pending: VecDeque<(T, u64)>,
+}
+
+impl<T> BatchFormer<T> {
+    /// A former cutting batches of `target`, holding the oldest request
+    /// at most `linger_ns` nanoseconds.
+    pub fn new(target: usize, linger_ns: u64) -> BatchFormer<T> {
+        assert!(target > 0, "batch target must be at least 1");
+        BatchFormer {
+            target,
+            linger_ns,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Number of pending (not yet flushed) requests.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Enqueue an item stamped with its arrival time.
+    ///
+    /// Arrival times must be non-decreasing across pushes (FIFO order is
+    /// assumed, not sorted).
+    pub fn push(&mut self, item: T, now_ns: u64) {
+        self.pending.push_back((item, now_ns));
+    }
+
+    /// Virtual time at which the linger trigger for the current oldest
+    /// request fires; `None` when nothing is pending. A full batch
+    /// (`len() >= target`) is flushable *now*, so this also returns
+    /// `Some(0)` in that case to mean "immediately".
+    pub fn next_flush_at(&self) -> Option<u64> {
+        if self.pending.len() >= self.target {
+            return Some(0);
+        }
+        self.pending
+            .front()
+            .map(|(_, t)| t.saturating_add(self.linger_ns))
+    }
+
+    /// Age of the oldest pending request at `now_ns`, if any.
+    pub fn oldest_age_ns(&self, now_ns: u64) -> Option<u64> {
+        self.pending.front().map(|(_, t)| now_ns.saturating_sub(*t))
+    }
+
+    /// Cut at most one batch if a trigger has fired. Call in a loop to
+    /// drain a backlog of more than `target` requests.
+    ///
+    /// Returns the flushed items in arrival order together with the
+    /// trigger that fired, or `None` when no trigger has fired yet.
+    pub fn poll(&mut self, now_ns: u64) -> Option<(Vec<T>, FlushReason)> {
+        if self.pending.len() >= self.target {
+            return Some((self.take(self.target), FlushReason::TargetReached));
+        }
+        match self.pending.front() {
+            Some((_, t)) if now_ns.saturating_sub(*t) >= self.linger_ns => {
+                let n = self.pending.len();
+                Some((self.take(n), FlushReason::LingerExpired))
+            }
+            _ => None,
+        }
+    }
+
+    /// Flush pending requests regardless of triggers (shutdown path).
+    /// Batches stay bounded by the target — call in a loop until `None`.
+    pub fn drain(&mut self) -> Option<(Vec<T>, FlushReason)> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let n = self.pending.len().min(self.target);
+        Some((self.take(n), FlushReason::Drain))
+    }
+
+    fn take(&mut self, n: usize) -> Vec<T> {
+        self.pending.drain(..n).map(|(item, _)| item).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_trigger_cuts_full_batch() {
+        let mut f = BatchFormer::new(3, 1_000_000);
+        f.push(1, 0);
+        f.push(2, 10);
+        assert!(f.poll(20).is_none());
+        f.push(3, 20);
+        let (batch, reason) = f.poll(20).unwrap();
+        assert_eq!(batch, vec![1, 2, 3]);
+        assert_eq!(reason, FlushReason::TargetReached);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn linger_trigger_cuts_partial_batch() {
+        let mut f = BatchFormer::new(100, 1_000);
+        f.push("a", 0);
+        f.push("b", 500);
+        assert!(f.poll(999).is_none());
+        let (batch, reason) = f.poll(1_000).unwrap();
+        assert_eq!(batch, vec!["a", "b"]);
+        assert_eq!(reason, FlushReason::LingerExpired);
+    }
+
+    #[test]
+    fn backlog_yields_multiple_target_batches() {
+        let mut f = BatchFormer::new(2, u64::MAX);
+        for i in 0..5 {
+            f.push(i, 0);
+        }
+        let (b1, r1) = f.poll(0).unwrap();
+        let (b2, r2) = f.poll(0).unwrap();
+        assert_eq!((b1, r1), (vec![0, 1], FlushReason::TargetReached));
+        assert_eq!((b2, r2), (vec![2, 3], FlushReason::TargetReached));
+        assert!(f.poll(0).is_none(), "leftover below target must wait");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn next_flush_at_tracks_oldest() {
+        let mut f = BatchFormer::new(10, 1_000);
+        assert_eq!(f.next_flush_at(), None);
+        f.push(1, 100);
+        f.push(2, 400);
+        assert_eq!(f.next_flush_at(), Some(1_100));
+        assert_eq!(f.oldest_age_ns(600), Some(500));
+        let _ = f.poll(1_100).unwrap();
+        assert_eq!(f.next_flush_at(), None);
+    }
+
+    #[test]
+    fn full_former_flushes_immediately() {
+        let mut f = BatchFormer::new(2, u64::MAX);
+        f.push(1, 0);
+        f.push(2, 0);
+        assert_eq!(f.next_flush_at(), Some(0));
+    }
+
+    #[test]
+    fn drain_takes_everything() {
+        let mut f = BatchFormer::new(100, u64::MAX);
+        assert!(f.drain().is_none());
+        f.push(1, 0);
+        f.push(2, 0);
+        let (batch, reason) = f.drain().unwrap();
+        assert_eq!(batch, vec![1, 2]);
+        assert_eq!(reason, FlushReason::Drain);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn drain_batches_stay_bounded_by_target() {
+        let mut f = BatchFormer::new(2, u64::MAX);
+        // Below target, so poll never fires; drain must chunk.
+        for i in 0..5 {
+            f.push(i, 0);
+        }
+        let _ = f.poll(0).map(|_| ()); // consume the two full batches
+        let _ = f.poll(0).map(|_| ());
+        let (batch, reason) = f.drain().unwrap();
+        assert_eq!(batch, vec![4]);
+        assert_eq!(reason, FlushReason::Drain);
+        assert!(f.drain().is_none());
+    }
+
+    #[test]
+    fn zero_linger_flushes_on_first_poll() {
+        let mut f = BatchFormer::new(100, 0);
+        f.push(7, 42);
+        let (batch, reason) = f.poll(42).unwrap();
+        assert_eq!(batch, vec![7]);
+        assert_eq!(reason, FlushReason::LingerExpired);
+    }
+}

@@ -1,0 +1,73 @@
+//! `batsolv-runtime` — a dynamic-batching solve service.
+//!
+//! The paper's batched solvers assume the caller already *has* a batch:
+//! XGC hands over all ~44k mesh-node systems of a time step at once. In
+//! a coupled-code or service setting the systems instead arrive one at a
+//! time, from many threads, and the launch-overhead amortization that
+//! makes batching pay (Figure 4) has to be manufactured at runtime. This
+//! crate does that with the continuous-batching shape used by inference
+//! servers:
+//!
+//! * a **bounded submission queue** with explicit backpressure — a full
+//!   queue rejects with [`SubmitError::QueueFull`], never silently drops;
+//! * a **batch former** with two flush triggers — target batch size
+//!   reached, or the oldest request aged past a configurable linger
+//!   time;
+//! * a **dispatcher** running each formed batch as one fused
+//!   [`BatchBicgstab`](batsolv_solvers::BatchBicgstab) launch, with a
+//!   banded-LU (`dgbsv` baseline) retry for systems that miss the
+//!   iteration cap;
+//! * **per-request outcomes** — converged solution with iteration count
+//!   and final residual, or a structured error (not converged, deadline
+//!   exceeded) — delivered through a [`Ticket`];
+//! * a **stats registry** (acceptance/rejection counters, batch-size
+//!   histogram, queue-wait percentiles, solver iterations) read via
+//!   [`SolveService::stats`].
+//!
+//! ```
+//! use std::sync::Arc;
+//! use batsolv_formats::SparsityPattern;
+//! use batsolv_gpusim::DeviceSpec;
+//! use batsolv_runtime::{RuntimeConfig, SolveRequest, SolveService};
+//!
+//! // Shared 5-point stencil; every request supplies its own values.
+//! let pattern = Arc::new(SparsityPattern::stencil_2d(8, 8, false));
+//! let config = RuntimeConfig::new(DeviceSpec::v100())
+//!     .with_batch_target(4)
+//!     .with_linger(std::time::Duration::from_millis(1));
+//! let service = SolveService::start(Arc::clone(&pattern), config).unwrap();
+//!
+//! // Diagonally dominant values: 8 on the diagonal, -1 off it.
+//! let values: Vec<f64> = (0..pattern.num_rows())
+//!     .flat_map(|r| {
+//!         pattern.row_cols(r).iter().map(move |&c| {
+//!             if c as usize == r { 8.0 } else { -1.0 }
+//!         })
+//!     })
+//!     .collect();
+//! let ticket = service
+//!     .submit(SolveRequest::new(values, vec![1.0; pattern.num_rows()]))
+//!     .unwrap();
+//! let solution = ticket.wait().unwrap();
+//! assert!(solution.residual <= 1e-10);
+//! let stats = service.shutdown();
+//! assert_eq!(stats.accepted, 1);
+//! ```
+
+pub mod config;
+pub mod dispatcher;
+pub mod former;
+pub mod queue;
+pub mod request;
+pub mod service;
+pub mod stats;
+
+pub use config::RuntimeConfig;
+pub use dispatcher::{BatchItem, BatchReport, BicgstabEngine, ItemOutcome, SolveEngine};
+pub use former::{BatchFormer, FlushReason};
+pub use queue::{BoundedQueue, PopResult, PushResult};
+pub use request::{
+    RequestId, Solution, SolveError, SolveMethod, SolveOutcome, SolveRequest, SubmitError, Ticket,
+};
+pub use service::SolveService;
+pub use stats::{StatsRegistry, StatsSnapshot};

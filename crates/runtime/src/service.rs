@@ -1,0 +1,323 @@
+//! The solve service: submission API, worker loop, lifecycle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use batsolv_formats::SparsityPattern;
+use batsolv_types::{Error, Result};
+
+use crate::config::RuntimeConfig;
+use crate::dispatcher::{BatchItem, BicgstabEngine, SolveEngine};
+use crate::former::{BatchFormer, FlushReason};
+use crate::queue::{BoundedQueue, PopResult, PushResult};
+use crate::request::{Solution, SolveError, SolveOutcome, SolveRequest, SubmitError, Ticket};
+use crate::stats::{BatchOutcomes, StatsRegistry, StatsSnapshot};
+
+/// A request as it travels through the queue and former.
+struct Pending {
+    item: BatchItem,
+    deadline: Option<Duration>,
+    enqueued_at: Instant,
+    reply: mpsc::Sender<SolveOutcome>,
+}
+
+struct Shared {
+    queue: BoundedQueue<Pending>,
+    stats: StatsRegistry,
+}
+
+/// Multi-threaded dynamic-batching solve service.
+///
+/// Submitters hand in individual systems over a shared
+/// [`SparsityPattern`]; a worker thread groups them into batches (target
+/// size or linger timeout, whichever fires first) and dispatches each
+/// batch as one fused solve. See the crate docs for an end-to-end
+/// example.
+pub struct SolveService {
+    shared: Arc<Shared>,
+    pattern: Arc<SparsityPattern>,
+    worker: Option<thread::JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl SolveService {
+    /// Start a service with the production engine
+    /// ([`BicgstabEngine`]: fused BiCGSTAB + banded-LU fallback).
+    pub fn start(pattern: Arc<SparsityPattern>, config: RuntimeConfig) -> Result<SolveService> {
+        let engine = Arc::new(BicgstabEngine::new(
+            config.device.clone(),
+            Arc::clone(&pattern),
+            config.tolerance,
+            config.max_iters,
+            config.enable_fallback,
+        ));
+        Self::start_with_engine(pattern, config, engine)
+    }
+
+    /// Start a service with a caller-provided engine (tests inject
+    /// doubles here).
+    pub fn start_with_engine(
+        pattern: Arc<SparsityPattern>,
+        config: RuntimeConfig,
+        engine: Arc<dyn SolveEngine>,
+    ) -> Result<SolveService> {
+        config.validate().map_err(Error::InvalidConfig)?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            stats: StatsRegistry::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = thread::Builder::new()
+            .name("batsolv-runtime-worker".into())
+            .spawn(move || worker_loop(worker_shared, config, engine))
+            .map_err(|e| Error::InvalidConfig(format!("failed to spawn worker: {e}")))?;
+        Ok(SolveService {
+            shared,
+            pattern,
+            worker: Some(worker),
+            next_id: AtomicU64::new(0),
+        })
+    }
+
+    /// The sparsity pattern every request must match.
+    pub fn pattern(&self) -> &Arc<SparsityPattern> {
+        &self.pattern
+    }
+
+    /// Submit one system. Non-blocking: a full queue rejects with
+    /// [`SubmitError::QueueFull`] instead of stalling the caller — the
+    /// backpressure signal of the service.
+    pub fn submit(&self, request: SolveRequest) -> std::result::Result<Ticket, SubmitError> {
+        let nnz = self.pattern.nnz();
+        let n = self.pattern.num_rows();
+        if request.values.len() != nnz {
+            self.shared.stats.on_rejected_shape();
+            return Err(SubmitError::ShapeMismatch {
+                field: "values",
+                expected: nnz,
+                got: request.values.len(),
+            });
+        }
+        if request.rhs.len() != n {
+            self.shared.stats.on_rejected_shape();
+            return Err(SubmitError::ShapeMismatch {
+                field: "rhs",
+                expected: n,
+                got: request.rhs.len(),
+            });
+        }
+        if let Some(g) = &request.guess {
+            if g.len() != n {
+                self.shared.stats.on_rejected_shape();
+                return Err(SubmitError::ShapeMismatch {
+                    field: "guess",
+                    expected: n,
+                    got: g.len(),
+                });
+            }
+        }
+
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let pending = Pending {
+            item: BatchItem {
+                id,
+                values: request.values,
+                rhs: request.rhs,
+                guess: request.guess,
+                tolerance: request.tolerance,
+            },
+            deadline: request.deadline,
+            enqueued_at: Instant::now(),
+            reply: tx,
+        };
+        match self.shared.queue.try_push(pending) {
+            PushResult::Ok => {
+                self.shared.stats.on_accepted();
+                Ok(Ticket { id, rx })
+            }
+            PushResult::Full(_) => {
+                self.shared.stats.on_rejected_full();
+                Err(SubmitError::QueueFull {
+                    capacity: self.shared.queue.capacity(),
+                })
+            }
+            PushResult::Closed(_) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Point-in-time copy of the service counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stop accepting work, drain everything already queued, and join
+    /// the worker. Outstanding tickets resolve before this returns.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown_in_place();
+        self.shared.stats.snapshot()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SolveService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// The single consumer: pops requests, forms batches, dispatches.
+fn worker_loop(shared: Arc<Shared>, config: RuntimeConfig, engine: Arc<dyn SolveEngine>) {
+    let linger_ns = u64::try_from(config.linger.as_nanos()).unwrap_or(u64::MAX);
+    let mut former: BatchFormer<Pending> = BatchFormer::new(config.batch_target, linger_ns);
+    let epoch = Instant::now();
+    let now_ns = |at: Instant| -> u64 {
+        u64::try_from(at.duration_since(epoch).as_nanos()).unwrap_or(u64::MAX)
+    };
+
+    'outer: loop {
+        // Sleep until the oldest pending request's linger deadline, or
+        // indefinitely-ish when nothing is pending.
+        let timeout = match former.next_flush_at() {
+            Some(0) => Duration::ZERO,
+            Some(deadline_ns) => {
+                Duration::from_nanos(deadline_ns.saturating_sub(now_ns(Instant::now())))
+            }
+            None => Duration::from_millis(100),
+        };
+        match shared.queue.pop_wait(timeout) {
+            PopResult::Item(p) => {
+                let stamp = now_ns(p.enqueued_at.max(epoch));
+                former.push(p, stamp);
+                // Greedily drain the backlog that piled up while the
+                // previous batch was solving: without this, requests
+                // already past their linger age would be flushed one at
+                // a time instead of fused into full batches.
+                while former.len() < config.batch_target {
+                    match shared.queue.pop_wait(Duration::ZERO) {
+                        PopResult::Item(p) => {
+                            let stamp = now_ns(p.enqueued_at.max(epoch));
+                            former.push(p, stamp);
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            PopResult::TimedOut => {}
+            PopResult::Closed => break 'outer,
+        }
+        while let Some((batch, reason)) = former.poll(now_ns(Instant::now())) {
+            dispatch(&shared, engine.as_ref(), batch, reason);
+        }
+    }
+
+    // Shutdown: flush the remainder below target/linger.
+    while let Some((batch, reason)) = former.drain() {
+        dispatch(&shared, engine.as_ref(), batch, reason);
+    }
+}
+
+/// Solve one formed batch and fulfill its tickets.
+fn dispatch(shared: &Shared, engine: &dyn SolveEngine, batch: Vec<Pending>, _reason: FlushReason) {
+    // Enforce queue-wait deadlines at the last moment before the solve:
+    // expired requests get a structured error, not a wasted solve slot.
+    let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+    for p in batch {
+        let waited = p.enqueued_at.elapsed();
+        match p.deadline {
+            Some(deadline) if waited > deadline => {
+                shared.stats.on_deadline_exceeded();
+                let _ = p
+                    .reply
+                    .send(Err(SolveError::DeadlineExceeded { waited, deadline }));
+            }
+            _ => live.push(p),
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let items: Vec<BatchItem> = live.iter().map(|p| p.item.clone()).collect();
+    let batch_size = items.len();
+    match engine.solve_batch(&items) {
+        Ok(report) => {
+            debug_assert_eq!(report.outcomes.len(), batch_size);
+            let waits: Vec<Duration> = live.iter().map(|p| p.enqueued_at.elapsed()).collect();
+            let iterations: Vec<u32> = report.outcomes.iter().map(|o| o.iterations).collect();
+            let mut converged_iterative = 0;
+            let mut converged_fallback = 0;
+            let mut failed = 0;
+            for (p, o) in live.into_iter().zip(report.outcomes) {
+                let wait = p.enqueued_at.elapsed();
+                let outcome = if o.converged {
+                    match o.method {
+                        crate::request::SolveMethod::Bicgstab => converged_iterative += 1,
+                        crate::request::SolveMethod::BandedLuFallback => converged_fallback += 1,
+                    }
+                    Ok(Solution {
+                        x: o.x,
+                        iterations: o.iterations,
+                        residual: o.residual,
+                        method: o.method,
+                        batch_size,
+                        queue_wait: wait,
+                    })
+                } else {
+                    failed += 1;
+                    Err(SolveError::NotConverged {
+                        iterations: o.iterations,
+                        residual: o.residual,
+                        breakdown: o.breakdown,
+                    })
+                };
+                let _ = p.reply.send(outcome);
+            }
+            shared.stats.on_batch(
+                batch_size,
+                &waits,
+                &iterations,
+                BatchOutcomes {
+                    converged_iterative,
+                    converged_fallback,
+                    failed,
+                },
+                report.sim_time_s,
+            );
+        }
+        Err(e) => {
+            // Engine-level failure (shape bug, singular banded factor):
+            // every ticket of the batch gets the structured error.
+            let msg: &'static str = match e {
+                Error::DimensionMismatch(_) => "engine dimension mismatch",
+                _ => "engine failure",
+            };
+            let waits: Vec<Duration> = live.iter().map(|p| p.enqueued_at.elapsed()).collect();
+            for p in live {
+                let _ = p.reply.send(Err(SolveError::NotConverged {
+                    iterations: 0,
+                    residual: f64::NAN,
+                    breakdown: Some(msg),
+                }));
+            }
+            shared.stats.on_batch(
+                batch_size,
+                &waits,
+                &[],
+                BatchOutcomes {
+                    failed: batch_size as u64,
+                    ..Default::default()
+                },
+                0.0,
+            );
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Service counters and latency statistics.
+//!
+//! Hot-path counters are atomics; the batch-size histogram and the
+//! queue-wait samples live behind a mutex touched once per *batch* (not
+//! per request), so contention stays negligible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of power-of-two histogram buckets: bucket `k` counts batches
+/// of size in `[2^k, 2^(k+1))`, so bucket 0 is size 1, bucket 10 covers
+/// 1024..2047, and everything larger lands in the last bucket.
+const HIST_BUCKETS: usize = 12;
+
+#[derive(Debug, Default)]
+struct Sampled {
+    batch_size_hist: [u64; HIST_BUCKETS],
+    /// Queue-wait samples in microseconds, one per dispatched request.
+    wait_samples_us: Vec<u64>,
+    iterations_total: u64,
+    iterations_max: u64,
+    sim_time_total_s: f64,
+}
+
+/// Shared counter registry written by the service, read via
+/// [`StatsRegistry::snapshot`].
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    accepted: AtomicU64,
+    rejected_full: AtomicU64,
+    rejected_shape: AtomicU64,
+    converged_iterative: AtomicU64,
+    converged_fallback: AtomicU64,
+    failed_not_converged: AtomicU64,
+    failed_deadline: AtomicU64,
+    batches_formed: AtomicU64,
+    sampled: Mutex<Sampled>,
+}
+
+impl StatsRegistry {
+    /// Fresh registry, all zeros.
+    pub fn new() -> StatsRegistry {
+        StatsRegistry::default()
+    }
+
+    pub(crate) fn on_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_rejected_full(&self) {
+        self.rejected_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_rejected_shape(&self) {
+        self.rejected_shape.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_deadline_exceeded(&self) {
+        self.failed_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one dispatched batch: its size, per-request queue waits,
+    /// per-request outcomes, and the simulated kernel time it cost.
+    pub(crate) fn on_batch(
+        &self,
+        batch_size: usize,
+        waits: &[Duration],
+        iterations: &[u32],
+        outcomes: BatchOutcomes,
+        sim_time_s: f64,
+    ) {
+        self.batches_formed.fetch_add(1, Ordering::Relaxed);
+        self.converged_iterative
+            .fetch_add(outcomes.converged_iterative, Ordering::Relaxed);
+        self.converged_fallback
+            .fetch_add(outcomes.converged_fallback, Ordering::Relaxed);
+        self.failed_not_converged
+            .fetch_add(outcomes.failed, Ordering::Relaxed);
+        let mut s = self.sampled.lock().unwrap();
+        let bucket = usize::try_from(batch_size.max(1).ilog2())
+            .unwrap()
+            .min(HIST_BUCKETS - 1);
+        s.batch_size_hist[bucket] += 1;
+        s.wait_samples_us
+            .extend(waits.iter().map(|w| w.as_micros() as u64));
+        for &it in iterations {
+            s.iterations_total += u64::from(it);
+            s.iterations_max = s.iterations_max.max(u64::from(it));
+        }
+        s.sim_time_total_s += sim_time_s;
+    }
+
+    /// Consistent point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let s = self.sampled.lock().unwrap();
+        let mut waits = s.wait_samples_us.clone();
+        waits.sort_unstable();
+        let pct = |p: f64| -> Duration {
+            if waits.is_empty() {
+                return Duration::ZERO;
+            }
+            let idx = ((waits.len() as f64 - 1.0) * p).round() as usize;
+            Duration::from_micros(waits[idx])
+        };
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_full.load(Ordering::Relaxed),
+            rejected_shape: self.rejected_shape.load(Ordering::Relaxed),
+            converged_iterative: self.converged_iterative.load(Ordering::Relaxed),
+            converged_fallback: self.converged_fallback.load(Ordering::Relaxed),
+            failed_not_converged: self.failed_not_converged.load(Ordering::Relaxed),
+            failed_deadline: self.failed_deadline.load(Ordering::Relaxed),
+            batches_formed: self.batches_formed.load(Ordering::Relaxed),
+            batch_size_hist: s.batch_size_hist,
+            queue_wait_p50: pct(0.50),
+            queue_wait_p99: pct(0.99),
+            solver_iterations_total: s.iterations_total,
+            solver_iterations_max: s.iterations_max,
+            sim_time_total_s: s.sim_time_total_s,
+        }
+    }
+}
+
+/// Per-batch outcome tallies handed to [`StatsRegistry::on_batch`].
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct BatchOutcomes {
+    /// Requests converged by the iterative solver.
+    pub converged_iterative: u64,
+    /// Requests converged by the banded-LU fallback.
+    pub converged_fallback: u64,
+    /// Requests that failed to converge.
+    pub failed: u64,
+}
+
+/// Point-in-time copy of the service counters.
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests rejected with [`crate::SubmitError::QueueFull`].
+    pub rejected_queue_full: u64,
+    /// Requests rejected with [`crate::SubmitError::ShapeMismatch`].
+    pub rejected_shape: u64,
+    /// Requests converged by the iterative solver.
+    pub converged_iterative: u64,
+    /// Requests converged by the banded-LU fallback.
+    pub converged_fallback: u64,
+    /// Requests that failed to converge on every path.
+    pub failed_not_converged: u64,
+    /// Requests abandoned past their queue-wait deadline.
+    pub failed_deadline: u64,
+    /// Fused batches dispatched.
+    pub batches_formed: u64,
+    /// Power-of-two batch-size histogram; bucket `k` counts batches of
+    /// size `[2^k, 2^(k+1))`.
+    pub batch_size_hist: [u64; HIST_BUCKETS],
+    /// Median queue wait across dispatched requests.
+    pub queue_wait_p50: Duration,
+    /// 99th-percentile queue wait across dispatched requests.
+    pub queue_wait_p99: Duration,
+    /// Total iterative-solver iterations spent.
+    pub solver_iterations_total: u64,
+    /// Worst single-system iteration count.
+    pub solver_iterations_max: u64,
+    /// Total simulated kernel time across dispatched batches, seconds.
+    pub sim_time_total_s: f64,
+}
+
+impl StatsSnapshot {
+    /// Requests that reached any terminal outcome.
+    pub fn completed(&self) -> u64 {
+        self.converged_iterative
+            + self.converged_fallback
+            + self.failed_not_converged
+            + self.failed_deadline
+    }
+
+    /// Mean batch size across dispatched batches.
+    pub fn mean_batch_size(&self) -> f64 {
+        let dispatched =
+            self.converged_iterative + self.converged_fallback + self.failed_not_converged;
+        if self.batches_formed == 0 {
+            0.0
+        } else {
+            dispatched as f64 / self.batches_formed as f64
+        }
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("solve service stats\n");
+        out.push_str(&format!(
+            "  requests : {} accepted, {} rejected (queue full), {} rejected (shape)\n",
+            self.accepted, self.rejected_queue_full, self.rejected_shape
+        ));
+        out.push_str(&format!(
+            "  outcomes : {} converged (iterative), {} converged (LU fallback), {} not converged, {} deadline exceeded\n",
+            self.converged_iterative,
+            self.converged_fallback,
+            self.failed_not_converged,
+            self.failed_deadline
+        ));
+        out.push_str(&format!(
+            "  batching : {} batches, mean size {:.1}\n",
+            self.batches_formed,
+            self.mean_batch_size()
+        ));
+        out.push_str("  batch-size histogram:\n");
+        for (k, &count) in self.batch_size_hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let lo = 1u64 << k;
+            let hi = (1u64 << (k + 1)) - 1;
+            let label = if k == self.batch_size_hist.len() - 1 {
+                format!("{lo}+")
+            } else if lo == hi {
+                format!("{lo}")
+            } else {
+                format!("{lo}-{hi}")
+            };
+            out.push_str(&format!("    [{label:>7}] {count}\n"));
+        }
+        out.push_str(&format!(
+            "  queue wait: p50 {:.3} ms, p99 {:.3} ms\n",
+            self.queue_wait_p50.as_secs_f64() * 1e3,
+            self.queue_wait_p99.as_secs_f64() * 1e3
+        ));
+        out.push_str(&format!(
+            "  solver   : {} iterations total, {} max per system, {:.3} ms simulated kernel time\n",
+            self.solver_iterations_total,
+            self.solver_iterations_max,
+            self.sim_time_total_s * 1e3
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = StatsRegistry::new();
+        r.on_accepted();
+        r.on_accepted();
+        r.on_rejected_full();
+        r.on_deadline_exceeded();
+        r.on_batch(
+            2,
+            &[Duration::from_micros(100), Duration::from_micros(300)],
+            &[10, 20],
+            BatchOutcomes {
+                converged_iterative: 2,
+                ..Default::default()
+            },
+            1.5e-4,
+        );
+        let s = r.snapshot();
+        assert_eq!(s.accepted, 2);
+        assert_eq!(s.rejected_queue_full, 1);
+        assert_eq!(s.failed_deadline, 1);
+        assert_eq!(s.batches_formed, 1);
+        assert_eq!(s.converged_iterative, 2);
+        assert_eq!(s.solver_iterations_total, 30);
+        assert_eq!(s.solver_iterations_max, 20);
+        assert_eq!(s.batch_size_hist[1], 1); // size 2 → bucket 1
+        assert!((s.sim_time_total_s - 1.5e-4).abs() < 1e-12);
+        assert_eq!(s.completed(), 3);
+    }
+
+    #[test]
+    fn percentiles_from_samples() {
+        let r = StatsRegistry::new();
+        let waits: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let iters = vec![1u32; 100];
+        r.on_batch(
+            100,
+            &waits,
+            &iters,
+            BatchOutcomes {
+                converged_iterative: 100,
+                ..Default::default()
+            },
+            0.0,
+        );
+        let s = r.snapshot();
+        // Index round((100-1)*0.5) = 50 → the 51 µs sample.
+        assert_eq!(s.queue_wait_p50, Duration::from_micros(51));
+        assert_eq!(s.queue_wait_p99, Duration::from_micros(99));
+        assert_eq!(s.batch_size_hist[6], 1); // size 100 → bucket 6 (64-127)
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = StatsRegistry::new().snapshot();
+        assert_eq!(s.completed(), 0);
+        assert_eq!(s.queue_wait_p50, Duration::ZERO);
+        assert_eq!(s.mean_batch_size(), 0.0);
+        assert!(s.render().contains("0 accepted"));
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let r = StatsRegistry::new();
+        r.on_batch(
+            1,
+            &[Duration::from_micros(5)],
+            &[3],
+            BatchOutcomes {
+                converged_fallback: 1,
+                ..Default::default()
+            },
+            1e-6,
+        );
+        let text = r.snapshot().render();
+        assert!(text.contains("batch-size histogram"));
+        assert!(text.contains("LU fallback"));
+        assert!(text.contains("queue wait"));
+    }
+}

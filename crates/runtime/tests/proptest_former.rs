@@ -1,0 +1,123 @@
+//! Property tests for the batch former's flush policy.
+//!
+//! The former is pure over virtual time, so randomized interleavings of
+//! pushes, polls, and time advances can be driven exhaustively:
+//!
+//! 1. **Conservation** — every pushed request is flushed exactly once
+//!    (no loss, no double-solve), in FIFO order.
+//! 2. **Size discipline** — no batch exceeds the target; target-reached
+//!    batches are exactly the target size.
+//! 3. **Linger bound** — after polling to exhaustion at time `t`, no
+//!    pending request has aged past the linger time.
+
+use batsolv_runtime::{BatchFormer, FlushReason};
+use proptest::prelude::*;
+
+/// One scripted event: advance virtual time, then maybe act.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Push,
+    Poll,
+    Tick,
+}
+
+fn decode(op: u8) -> Event {
+    match op % 4 {
+        0 | 1 => Event::Push,
+        2 => Event::Poll,
+        _ => Event::Tick,
+    }
+}
+
+/// Drive a former through the scripted events; returns flushed batches.
+fn run_script(
+    target: usize,
+    linger_ns: u64,
+    script: &[(u64, u8)],
+) -> (Vec<(Vec<u64>, FlushReason)>, usize) {
+    let mut former: BatchFormer<u64> = BatchFormer::new(target, linger_ns);
+    let mut now: u64 = 0;
+    let mut next_id: u64 = 0;
+    let mut flushed = Vec::new();
+    for &(delta, op) in script {
+        now += delta;
+        match decode(op) {
+            Event::Push => {
+                former.push(next_id, now);
+                next_id += 1;
+            }
+            Event::Poll => {
+                while let Some(batch) = former.poll(now) {
+                    flushed.push(batch);
+                }
+                // Linger bound: anything older than linger was flushed.
+                if let Some(age) = former.oldest_age_ns(now) {
+                    assert!(
+                        age < linger_ns,
+                        "pending request aged {age} ns past linger {linger_ns} ns"
+                    );
+                }
+                assert!(former.len() < target, "a full former must have flushed");
+            }
+            Event::Tick => {}
+        }
+    }
+    while let Some(batch) = former.drain() {
+        flushed.push(batch);
+    }
+    assert!(former.is_empty(), "drain must empty the former");
+    (flushed, next_id as usize)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn no_request_lost_or_double_solved(
+        target in 1usize..12,
+        linger in 0u64..5_000,
+        script in proptest::collection::vec((0u64..2_000, 0u8..4), 0..120),
+    ) {
+        let (flushed, pushed) = run_script(target, linger, &script);
+        // Conservation + FIFO: concatenating the batches reproduces the
+        // submission sequence 0, 1, 2, ... exactly once each.
+        let replay: Vec<u64> = flushed.iter().flat_map(|(b, _)| b.iter().copied()).collect();
+        let expected: Vec<u64> = (0..pushed as u64).collect();
+        prop_assert_eq!(replay, expected);
+    }
+
+    #[test]
+    fn batches_respect_target_size(
+        target in 1usize..12,
+        linger in 0u64..5_000,
+        script in proptest::collection::vec((0u64..2_000, 0u8..4), 0..120),
+    ) {
+        let (flushed, _) = run_script(target, linger, &script);
+        for (batch, reason) in &flushed {
+            prop_assert!(!batch.is_empty(), "empty batch flushed");
+            prop_assert!(batch.len() <= target, "batch of {} exceeds target {}", batch.len(), target);
+            if *reason == FlushReason::TargetReached {
+                prop_assert_eq!(batch.len(), target);
+            }
+        }
+    }
+
+    #[test]
+    fn linger_flush_bounds_queue_age_under_continuous_polling(
+        linger in 1u64..2_000,
+        deltas in proptest::collection::vec(0u64..500, 1..80),
+    ) {
+        // Target high enough that only the linger trigger fires: poll
+        // after every arrival, like a worker that is never busy.
+        let mut former: BatchFormer<usize> = BatchFormer::new(usize::MAX >> 1, linger);
+        let mut now = 0u64;
+        for (i, &d) in deltas.iter().enumerate() {
+            now += d;
+            former.push(i, now);
+            while former.poll(now).is_some() {}
+            if let Some(age) = former.oldest_age_ns(now) {
+                prop_assert!(age < linger);
+            }
+        }
+    }
+}

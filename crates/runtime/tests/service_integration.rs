@@ -1,0 +1,294 @@
+//! Integration tests of the full service: backpressure, deadlines,
+//! shutdown draining, and the real-solver paths (convergence and the
+//! banded-LU fallback) on XGC workloads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use batsolv_formats::SparsityPattern;
+use batsolv_gpusim::DeviceSpec;
+use batsolv_runtime::{
+    BatchItem, BatchReport, ItemOutcome, RuntimeConfig, SolveEngine, SolveError, SolveMethod,
+    SolveRequest, SolveService, SubmitError,
+};
+use batsolv_types::Result;
+use batsolv_xgc::{Species, VelocityGrid, XgcWorkload};
+
+/// Trivial test engine: "solves" by echoing the RHS. When `gate` is set,
+/// each dispatch blocks until the gate is released, which lets tests
+/// hold the worker busy and fill the queue deterministically.
+struct EchoEngine {
+    gate: Option<Arc<(Mutex<bool>, Condvar)>>,
+    dispatched_batches: AtomicUsize,
+}
+
+impl EchoEngine {
+    fn new() -> EchoEngine {
+        EchoEngine {
+            gate: None,
+            dispatched_batches: AtomicUsize::new(0),
+        }
+    }
+
+    fn gated(gate: Arc<(Mutex<bool>, Condvar)>) -> EchoEngine {
+        EchoEngine {
+            gate: Some(gate),
+            dispatched_batches: AtomicUsize::new(0),
+        }
+    }
+}
+
+fn release(gate: &(Mutex<bool>, Condvar)) {
+    *gate.0.lock().unwrap() = true;
+    gate.1.notify_all();
+}
+
+impl SolveEngine for EchoEngine {
+    fn solve_batch(&self, items: &[BatchItem]) -> Result<BatchReport> {
+        if let Some(gate) = &self.gate {
+            let (lock, cvar) = &**gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cvar.wait(open).unwrap();
+            }
+        }
+        self.dispatched_batches.fetch_add(1, Ordering::SeqCst);
+        Ok(BatchReport {
+            outcomes: items
+                .iter()
+                .map(|it| ItemOutcome {
+                    id: it.id,
+                    x: it.rhs.clone(),
+                    iterations: 1,
+                    residual: 0.0,
+                    converged: true,
+                    method: SolveMethod::Bicgstab,
+                    breakdown: None,
+                })
+                .collect(),
+            sim_time_s: 1e-6,
+        })
+    }
+}
+
+fn tiny_pattern() -> Arc<SparsityPattern> {
+    Arc::new(SparsityPattern::dense(2))
+}
+
+fn tiny_request() -> SolveRequest {
+    SolveRequest::new(vec![1.0, 0.0, 0.0, 1.0], vec![1.0, 2.0])
+}
+
+#[test]
+fn queue_full_rejects_with_structured_error() {
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let engine = Arc::new(EchoEngine::gated(Arc::clone(&gate)));
+    let config = RuntimeConfig::new(DeviceSpec::v100())
+        .with_queue_capacity(2)
+        .with_batch_target(1)
+        .with_linger(Duration::ZERO);
+    let service = SolveService::start_with_engine(tiny_pattern(), config, engine).unwrap();
+
+    // First request reaches the (blocked) engine; give the worker time
+    // to pop it out of the queue.
+    let t0 = service.submit(tiny_request()).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    // The next two fill the queue; the one after bounces.
+    let t1 = service.submit(tiny_request()).unwrap();
+    let t2 = service.submit(tiny_request()).unwrap();
+    match service.submit(tiny_request()) {
+        Err(SubmitError::QueueFull { capacity }) => assert_eq!(capacity, 2),
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+
+    release(&gate);
+    for t in [t0, t1, t2] {
+        assert!(t.wait().is_ok(), "accepted requests must still resolve");
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.accepted, 3);
+    assert_eq!(stats.rejected_queue_full, 1);
+    assert_eq!(stats.converged_iterative, 3);
+}
+
+#[test]
+fn expired_deadline_returns_structured_error() {
+    let engine = Arc::new(EchoEngine::new());
+    // Target 2 with a long linger: the first request sits in the former
+    // until the second arrives, guaranteeing its zero deadline expires.
+    let config = RuntimeConfig::new(DeviceSpec::v100())
+        .with_batch_target(2)
+        .with_linger(Duration::from_secs(3600));
+    let service = SolveService::start_with_engine(tiny_pattern(), config, engine).unwrap();
+
+    let doomed = service
+        .submit(tiny_request().with_deadline(Duration::ZERO))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    let healthy = service.submit(tiny_request()).unwrap();
+
+    match doomed.wait() {
+        Err(SolveError::DeadlineExceeded { waited, deadline }) => {
+            assert_eq!(deadline, Duration::ZERO);
+            assert!(waited > Duration::ZERO);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(healthy.wait().is_ok());
+    let stats = service.shutdown();
+    assert_eq!(stats.failed_deadline, 1);
+    assert_eq!(stats.converged_iterative, 1);
+}
+
+#[test]
+fn shutdown_drains_partial_batches() {
+    let engine = Arc::new(EchoEngine::new());
+    // Target far above the submission count and an hour of linger: only
+    // the shutdown drain can flush these.
+    let config = RuntimeConfig::new(DeviceSpec::v100())
+        .with_batch_target(1000)
+        .with_linger(Duration::from_secs(3600));
+    let service = SolveService::start_with_engine(tiny_pattern(), config, engine).unwrap();
+    let tickets: Vec<_> = (0..5)
+        .map(|_| service.submit(tiny_request()).unwrap())
+        .collect();
+    let stats = service.shutdown();
+    for t in tickets {
+        assert!(t.wait().is_ok(), "drained requests must resolve");
+    }
+    assert_eq!(stats.converged_iterative, 5);
+    assert_eq!(stats.batches_formed, 1, "one drain batch expected");
+}
+
+#[test]
+fn shape_mismatch_rejected_at_submission() {
+    let engine = Arc::new(EchoEngine::new());
+    let config = RuntimeConfig::new(DeviceSpec::v100());
+    let service = SolveService::start_with_engine(tiny_pattern(), config, engine).unwrap();
+    match service.submit(SolveRequest::new(vec![1.0; 3], vec![1.0, 2.0])) {
+        Err(SubmitError::ShapeMismatch {
+            field: "values",
+            expected: 4,
+            got: 3,
+        }) => {}
+        other => panic!("expected values ShapeMismatch, got {other:?}"),
+    }
+    match service.submit(SolveRequest::new(vec![1.0; 4], vec![1.0])) {
+        Err(SubmitError::ShapeMismatch { field: "rhs", .. }) => {}
+        other => panic!("expected rhs ShapeMismatch, got {other:?}"),
+    }
+    assert_eq!(service.stats().rejected_shape, 2);
+}
+
+#[test]
+fn wait_timeout_reports_pending_then_resolves() {
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let engine = Arc::new(EchoEngine::gated(Arc::clone(&gate)));
+    let config = RuntimeConfig::new(DeviceSpec::v100())
+        .with_batch_target(1)
+        .with_linger(Duration::ZERO);
+    let service = SolveService::start_with_engine(tiny_pattern(), config, engine).unwrap();
+    let ticket = service.submit(tiny_request()).unwrap();
+    assert!(
+        ticket.wait_timeout(Duration::from_millis(20)).is_none(),
+        "outcome must not be ready while the engine is gated"
+    );
+    release(&gate);
+    assert!(ticket.wait().is_ok());
+    let _ = service.shutdown();
+}
+
+#[test]
+fn real_engine_solves_ion_workload() {
+    let workload =
+        XgcWorkload::generate_single_species(VelocityGrid::small(8, 7), Species::ion(), 12, 3)
+            .unwrap();
+    let config = RuntimeConfig::new(DeviceSpec::v100())
+        .with_batch_target(4)
+        .with_linger(Duration::from_millis(1));
+    let service = SolveService::start(Arc::clone(workload.pattern()), config).unwrap();
+    let tickets: Vec<_> = workload
+        .systems()
+        .map(|sys| {
+            service
+                .submit(
+                    SolveRequest::new(sys.values.to_vec(), sys.rhs.to_vec())
+                        .with_guess(sys.warm_guess.to_vec()),
+                )
+                .unwrap()
+        })
+        .collect();
+    let stats = service.shutdown();
+    for t in tickets {
+        let sol = t.wait().expect("ion system must converge");
+        assert!(sol.residual <= 1e-10);
+        assert_eq!(sol.method, SolveMethod::Bicgstab);
+        assert!(sol.batch_size >= 1);
+    }
+    assert_eq!(stats.converged_iterative, 12);
+    assert_eq!(stats.failed_not_converged, 0);
+}
+
+#[test]
+fn starved_iterations_fall_back_to_banded_lu() {
+    // One BiCGSTAB iteration cannot reach 1e-12 on an electron system:
+    // the request must come back converged via the direct fallback, not
+    // as a panic or a lost ticket.
+    let workload =
+        XgcWorkload::generate_single_species(VelocityGrid::small(8, 7), Species::electron(), 3, 5)
+            .unwrap();
+    let config = RuntimeConfig::new(DeviceSpec::v100())
+        .with_batch_target(3)
+        .with_linger(Duration::from_millis(1))
+        .with_tolerance(1e-12)
+        .with_max_iters(1);
+    let service = SolveService::start(Arc::clone(workload.pattern()), config).unwrap();
+    let tickets: Vec<_> = workload
+        .systems()
+        .map(|sys| {
+            service
+                .submit(SolveRequest::new(sys.values.to_vec(), sys.rhs.to_vec()))
+                .unwrap()
+        })
+        .collect();
+    let stats = service.shutdown();
+    for t in tickets {
+        let sol = t.wait().expect("fallback must rescue the request");
+        assert_eq!(sol.method, SolveMethod::BandedLuFallback);
+        assert!(sol.residual < 1e-8, "direct residual {}", sol.residual);
+    }
+    assert_eq!(stats.converged_fallback, 3);
+    assert_eq!(stats.converged_iterative, 0);
+}
+
+#[test]
+fn fallback_disabled_yields_not_converged_error() {
+    let workload =
+        XgcWorkload::generate_single_species(VelocityGrid::small(8, 7), Species::electron(), 1, 5)
+            .unwrap();
+    let config = RuntimeConfig::new(DeviceSpec::v100())
+        .with_batch_target(1)
+        .with_linger(Duration::ZERO)
+        .with_tolerance(1e-12)
+        .with_max_iters(1)
+        .with_fallback(false);
+    let service = SolveService::start(Arc::clone(workload.pattern()), config).unwrap();
+    let sys = workload.system(0);
+    let ticket = service
+        .submit(SolveRequest::new(sys.values.to_vec(), sys.rhs.to_vec()))
+        .unwrap();
+    match ticket.wait() {
+        Err(SolveError::NotConverged {
+            iterations,
+            residual,
+            ..
+        }) => {
+            assert_eq!(iterations, 1);
+            assert!(residual > 1e-12);
+        }
+        other => panic!("expected NotConverged, got {other:?}"),
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.failed_not_converged, 1);
+}

@@ -463,8 +463,9 @@ mod tests {
         let cold = solver.solve(&dev, &m, &b, &mut x_cold).unwrap();
 
         // Warm guess: true solution perturbed by 1e-6.
-        let mut x_warm =
-            BatchVectors::from_fn(dims, |_, r| (r as f64 * 0.1).cos() + 1e-6 * (r as f64).sin());
+        let mut x_warm = BatchVectors::from_fn(dims, |_, r| {
+            (r as f64 * 0.1).cos() + 1e-6 * (r as f64).sin()
+        });
         let warm = solver.solve(&dev, &m, &b, &mut x_warm).unwrap();
         assert!(
             warm.max_iterations() < cold.max_iterations(),

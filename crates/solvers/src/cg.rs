@@ -84,7 +84,14 @@ where
             .iter()
             .map(|r| {
                 assemble_block_stats(
-                    a, &plan, r, &setup, &per_iter, SETUP_STAGES, ITER_STAGES, ro_req,
+                    a,
+                    &plan,
+                    r,
+                    &setup,
+                    &per_iter,
+                    SETUP_STAGES,
+                    ITER_STAGES,
+                    ro_req,
                 )
             })
             .collect();
@@ -245,13 +252,7 @@ mod tests {
         let p = Arc::new(SparsityPattern::stencil_2d(nx, nx, false));
         let mut m = BatchCsr::zeros(num_systems, p).unwrap();
         for i in 0..num_systems {
-            m.fill_system(i, |r, c| {
-                if r == c {
-                    4.5 + 0.1 * i as f64
-                } else {
-                    -1.0
-                }
-            });
+            m.fill_system(i, |r, c| if r == c { 4.5 + 0.1 * i as f64 } else { -1.0 });
         }
         m
     }

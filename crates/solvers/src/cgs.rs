@@ -94,7 +94,14 @@ where
             .iter()
             .map(|r| {
                 assemble_block_stats(
-                    a, &plan, r, &setup, &per_iter, SETUP_STAGES, ITER_STAGES, ro_req,
+                    a,
+                    &plan,
+                    r,
+                    &setup,
+                    &per_iter,
+                    SETUP_STAGES,
+                    ITER_STAGES,
+                    ro_req,
                 )
             })
             .collect();

@@ -43,7 +43,11 @@ pub struct BatchSolveReport {
 impl BatchSolveReport {
     /// Largest per-system iteration count.
     pub fn max_iterations(&self) -> u32 {
-        self.per_system.iter().map(|s| s.iterations).max().unwrap_or(0)
+        self.per_system
+            .iter()
+            .map(|s| s.iterations)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean per-system iteration count.
@@ -51,7 +55,10 @@ impl BatchSolveReport {
         if self.per_system.is_empty() {
             return 0.0;
         }
-        self.per_system.iter().map(|s| s.iterations as f64).sum::<f64>()
+        self.per_system
+            .iter()
+            .map(|s| s.iterations as f64)
+            .sum::<f64>()
             / self.per_system.len() as f64
     }
 

@@ -112,7 +112,7 @@ fn block_stats<T: Scalar>(
         dependent_steps: 2 * n64,
         traffic: TrafficProfile {
             shared_ro_working_set: 0, // no cross-block shared structure
-            ro_working_set: slab, // the pristine matrix, read once
+            ro_working_set: slab,     // the pristine matrix, read once
             ro_requested: slab,
             rw_working_set: slab,
             // Each of the kl update rows touches ~width entries per column.
@@ -284,7 +284,11 @@ mod tests {
             .unwrap();
         // Direct solvers hit machine precision — far below the 1e-10 the
         // iterative solver targets.
-        assert!(rep.max_residual() < 1e-12, "residual {}", rep.max_residual());
+        assert!(
+            rep.max_residual() < 1e-12,
+            "residual {}",
+            rep.max_residual()
+        );
     }
 
     #[test]

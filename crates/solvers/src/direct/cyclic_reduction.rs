@@ -244,7 +244,11 @@ mod tests {
             .solve(&DeviceSpec::a100(), &a, &b, &mut x)
             .unwrap();
         assert!(rep.all_converged());
-        assert!(rep.max_residual() < 1e-11, "residual {}", rep.max_residual());
+        assert!(
+            rep.max_residual() < 1e-11,
+            "residual {}",
+            rep.max_residual()
+        );
     }
 
     #[test]

@@ -16,6 +16,6 @@ pub mod dense_lu;
 pub mod sparse_qr;
 
 pub use banded_lu::BatchBandedLu;
-pub use dense_lu::BatchDenseLu;
 pub use cyclic_reduction::BatchCyclicReduction;
+pub use dense_lu::BatchDenseLu;
 pub use sparse_qr::BatchSparseQr;

@@ -83,7 +83,8 @@ where
         let n = dims.num_rows;
         let plan = WorkspacePlan::plan::<T>(device.shared_budget_bytes(), n, &GMRES_VECTORS);
 
-        let (precond, stop, m, max_iters) = (&self.precond, &self.stop, self.restart, self.max_iters);
+        let (precond, stop, m, max_iters) =
+            (&self.precond, &self.stop, self.restart, self.max_iters);
         let chunks: Vec<&mut [T]> = x.systems_mut().collect();
         let results: Vec<SystemResult> = run_batch_map_mut(chunks, |i, xi| {
             gmres_block(a, i, b.system(i), xi, precond, stop, m, max_iters)
@@ -100,7 +101,14 @@ where
             .iter()
             .map(|r| {
                 assemble_block_stats(
-                    a, &plan, r, &setup, &per_iter, SETUP_STAGES, iter_stages, ro_req,
+                    a,
+                    &plan,
+                    r,
+                    &setup,
+                    &per_iter,
+                    SETUP_STAGES,
+                    iter_stages,
+                    ro_req,
                 )
             })
             .collect();
@@ -280,7 +288,9 @@ where
             g[j] = cs[j] * gj;
             g[j + 1] = -sn[j] * gj;
             res = g[j + 1].abs();
-            if stop.is_converged(res, res0, bnorm) || total_iters as usize >= max_iters || hh == T::ZERO
+            if stop.is_converged(res, res0, bnorm)
+                || total_iters as usize >= max_iters
+                || hh == T::ZERO
             {
                 break;
             }

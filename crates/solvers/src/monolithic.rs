@@ -146,9 +146,8 @@ where
         let t_dense = 2.5 * total_rows * vb / bw;
         // 14 launches per iteration (2 SpMV + 12 vector/reduction ops).
         let launches_per_iter = 14.0;
-        let t_iter = launches_per_iter * device.launch_overhead_us * 1e-6
-            + 2.0 * t_spmv
-            + 12.0 * t_dense;
+        let t_iter =
+            launches_per_iter * device.launch_overhead_us * 1e-6 + 2.0 * t_spmv + 12.0 * t_dense;
         let setup = 3.0 * device.launch_overhead_us * 1e-6 + t_spmv + 2.0 * t_dense;
         let time_s = setup + iterations as f64 * t_iter;
         let launch_s =
@@ -227,10 +226,7 @@ mod tests {
         assert!(mono.all_converged());
         assert!(m.max_residual_norm(&x_mono, &b).unwrap() < 1e-8);
         // Both systems report the same (global) iteration count.
-        assert_eq!(
-            mono.per_system[0].iterations,
-            mono.per_system[1].iterations
-        );
+        assert_eq!(mono.per_system[0].iterations, mono.per_system[1].iterations);
 
         let mut x_batch = BatchVectors::zeros(m.dims());
         let batched = BatchBicgstab::new(Jacobi, AbsResidual::new(1e-10))

@@ -157,13 +157,7 @@ mod tests {
         let p = Arc::new(SparsityPattern::stencil_2d(9, 8, true));
         let mut m = BatchCsr::zeros(2, p).unwrap();
         for i in 0..2 {
-            m.fill_system(i, |r, c| {
-                if r == c {
-                    9.0 + 0.4 * i as f64
-                } else {
-                    -0.85
-                }
-            });
+            m.fill_system(i, |r, c| if r == c { 9.0 + 0.4 * i as f64 } else { -0.85 });
         }
         m
     }

@@ -256,12 +256,10 @@ impl<T: Scalar> Preconditioner<T> for Ilu0 {
                 if k >= r {
                     break;
                 }
-                let dk = p
-                    .diag_position(k)
-                    .ok_or_else(|| Error::SingularMatrix {
-                        batch_index: i,
-                        detail: format!("ILU0: no diagonal in row {k}"),
-                    })?;
+                let dk = p.diag_position(k).ok_or_else(|| Error::SingularMatrix {
+                    batch_index: i,
+                    detail: format!("ILU0: no diagonal in row {k}"),
+                })?;
                 let pivot = lu[dk];
                 if pivot == T::ZERO {
                     return Err(Error::SingularMatrix {
@@ -396,7 +394,16 @@ mod tests {
         let p = Arc::new(
             SparsityPattern::from_coords(
                 4,
-                &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (2, 3), (3, 2), (3, 3)],
+                &[
+                    (0, 0),
+                    (0, 1),
+                    (1, 0),
+                    (1, 1),
+                    (2, 2),
+                    (2, 3),
+                    (3, 2),
+                    (3, 3),
+                ],
             )
             .unwrap(),
         );
@@ -481,7 +488,12 @@ mod tests {
                 .sum::<f64>()
                 .sqrt()
         };
-        assert!(err(&mi) < err(&mj), "ilu {} vs jacobi {}", err(&mi), err(&mj));
+        assert!(
+            err(&mi) < err(&mj),
+            "ilu {} vs jacobi {}",
+            err(&mi),
+            err(&mj)
+        );
     }
 
     #[test]

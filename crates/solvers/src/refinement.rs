@@ -54,7 +54,11 @@ impl RefinementReport {
 
     /// Largest outer sweep count.
     pub fn max_outer_iterations(&self) -> u32 {
-        self.per_system.iter().map(|s| s.iterations).max().unwrap_or(0)
+        self.per_system
+            .iter()
+            .map(|s| s.iterations)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -143,7 +147,11 @@ impl MixedPrecisionBicgstab {
             // full relative accuracy even when ‖r‖ is tiny.
             let mut r32 = BatchVectors::<f32>::zeros(f32_dims);
             for i in 0..ns {
-                let scale = if residuals[i] > 0.0 { residuals[i] } else { 1.0 };
+                let scale = if residuals[i] > 0.0 {
+                    residuals[i]
+                } else {
+                    1.0
+                };
                 for (dst, src) in r32.system_mut(i).iter_mut().zip(r64.system(i)) {
                     *dst = (src / scale) as f32;
                 }
@@ -157,7 +165,11 @@ impl MixedPrecisionBicgstab {
                     continue;
                 }
                 outer_iters[i] += 1;
-                let scale = if residuals[i] > 0.0 { residuals[i] } else { 1.0 };
+                let scale = if residuals[i] > 0.0 {
+                    residuals[i]
+                } else {
+                    1.0
+                };
                 let xi = x.system_mut(i);
                 for (xv, dv) in xi.iter_mut().zip(d32.system(i)) {
                     *xv += *dv as f64 * scale;
@@ -214,7 +226,8 @@ mod tests {
     #[test]
     fn refinement_reaches_double_precision_accuracy() {
         let m = batch(3);
-        let x_true = BatchVectors::from_fn(m.dims(), |s, r| ((s + 1) as f64) * (r as f64 * 0.2).sin());
+        let x_true =
+            BatchVectors::from_fn(m.dims(), |s, r| ((s + 1) as f64) * (r as f64 * 0.2).sin());
         let mut b = BatchVectors::zeros(m.dims());
         m.spmv(&x_true, &mut b).unwrap();
         let mut x = BatchVectors::zeros(m.dims());
@@ -225,7 +238,11 @@ mod tests {
         // Well below anything f32 alone could deliver.
         assert!(rep.max_residual() < 1e-10);
         // A handful of outer sweeps suffice on well-conditioned systems.
-        assert!(rep.max_outer_iterations() <= 6, "{}", rep.max_outer_iterations());
+        assert!(
+            rep.max_outer_iterations() <= 6,
+            "{}",
+            rep.max_outer_iterations()
+        );
     }
 
     #[test]

@@ -72,7 +72,8 @@ where
         let n = dims.num_rows;
         let plan = WorkspacePlan::plan::<T>(device.shared_budget_bytes(), n, &RICHARDSON_VECTORS);
 
-        let (precond, stop, omega, max_iters) = (&self.precond, &self.stop, self.omega, self.max_iters);
+        let (precond, stop, omega, max_iters) =
+            (&self.precond, &self.stop, self.omega, self.max_iters);
         let chunks: Vec<&mut [T]> = x.systems_mut().collect();
         let results: Vec<SystemResult> = run_batch_map_mut(chunks, |i, xi| {
             richardson_block(a, i, b.system(i), xi, precond, stop, omega, max_iters)
@@ -83,7 +84,14 @@ where
             .iter()
             .map(|r| {
                 assemble_block_stats(
-                    a, &plan, r, &setup, &per_iter, SETUP_STAGES, ITER_STAGES, ro_req,
+                    a,
+                    &plan,
+                    r,
+                    &setup,
+                    &per_iter,
+                    SETUP_STAGES,
+                    ITER_STAGES,
+                    ro_req,
                 )
             })
             .collect();

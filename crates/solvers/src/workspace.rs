@@ -66,10 +66,8 @@ impl WorkspacePlan {
     pub fn plan<T: Scalar>(budget_bytes: usize, n: usize, vectors: &[VectorSpec]) -> Self {
         let per_vec = n * T::BYTES;
         let mut shared_bytes = 0usize;
-        let mut placements: Vec<(&'static str, MemSpace)> = vectors
-            .iter()
-            .map(|v| (v.name, MemSpace::Global))
-            .collect();
+        let mut placements: Vec<(&'static str, MemSpace)> =
+            vectors.iter().map(|v| (v.name, MemSpace::Global)).collect();
         for pass in [VectorClass::SpMV, VectorClass::Other] {
             for (k, v) in vectors.iter().enumerate() {
                 if v.class != pass {

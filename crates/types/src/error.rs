@@ -48,7 +48,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
-            Error::SingularMatrix { batch_index, detail } => {
+            Error::SingularMatrix {
+                batch_index,
+                detail,
+            } => {
                 write!(f, "singular matrix in batch entry {batch_index}: {detail}")
             }
             Error::NotConverged {
@@ -60,8 +63,14 @@ impl fmt::Display for Error {
                 "batch entry {batch_index} did not converge after {iterations} iterations \
                  (residual {residual:.3e})"
             ),
-            Error::Breakdown { batch_index, quantity } => {
-                write!(f, "Krylov breakdown ({quantity} vanished) in batch entry {batch_index}")
+            Error::Breakdown {
+                batch_index,
+                quantity,
+            } => {
+                write!(
+                    f,
+                    "Krylov breakdown ({quantity} vanished) in batch entry {batch_index}"
+                )
             }
             Error::InvalidFormat(msg) => write!(f, "invalid matrix format: {msg}"),
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),

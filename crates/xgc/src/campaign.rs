@@ -82,11 +82,20 @@ impl CampaignReport {
     /// it. (It is not strictly monotone — once the O(h²) discretization
     /// floor is reached, moment drift jiggles it within the floor.)
     pub fn relaxation_reaches_floor(&self) -> bool {
-        let first = self.steps.first().map(|s| s.non_maxwellianity).unwrap_or(0.0);
+        let first = self
+            .steps
+            .first()
+            .map(|s| s.non_maxwellianity)
+            .unwrap_or(0.0);
         self.steps
             .iter()
             .all(|s| s.non_maxwellianity <= first * 1.001)
-            && self.steps.last().map(|s| s.non_maxwellianity).unwrap_or(0.0) < 0.9 * first
+            && self
+                .steps
+                .last()
+                .map(|s| s.non_maxwellianity)
+                .unwrap_or(0.0)
+                < 0.9 * first
     }
 }
 
@@ -239,14 +248,17 @@ mod tests {
 
     #[test]
     fn cpu_path_pays_transfer_overhead_and_gpu_does_not() {
-        let gpu = run_campaign(&small_cfg(SolverKind::BicgstabEll, 2), &DeviceSpec::v100()).unwrap();
-        let cpu = run_campaign(&small_cfg(SolverKind::Dgbsv, 2), &DeviceSpec::skylake_node()).unwrap();
+        let gpu =
+            run_campaign(&small_cfg(SolverKind::BicgstabEll, 2), &DeviceSpec::v100()).unwrap();
+        let cpu = run_campaign(
+            &small_cfg(SolverKind::Dgbsv, 2),
+            &DeviceSpec::skylake_node(),
+        )
+        .unwrap();
         assert_eq!(gpu.steps[0].transfer_time_s, 0.0);
         assert!(cpu.steps[0].transfer_time_s > 0.0);
         // Physics agrees between the two paths.
-        let diff: f64 = gpu
-            .final_state
-            .f[1]
+        let diff: f64 = gpu.final_state.f[1]
             .values()
             .iter()
             .zip(cpu.final_state.f[1].values())

@@ -108,8 +108,7 @@ impl VelocityGrid {
             for i in 0..self.n_par {
                 let v = (f[self.node(i, j)].max(0.0) / fmax).max(floor);
                 let t = 1.0 - (v.ln() / floor.ln()); // 0 at floor, 1 at peak
-                let idx = ((t * (SHADES.len() - 1) as f64).round() as usize)
-                    .min(SHADES.len() - 1);
+                let idx = ((t * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
                 out.push(SHADES[idx] as char);
             }
             out.push_str("|\n");
@@ -126,8 +125,7 @@ impl VelocityGrid {
             for i in 0..self.n_par {
                 let dv = self.v_par(i) - drift;
                 let vp = self.v_perp(j);
-                f[self.node(i, j)] =
-                    norm * (-(dv * dv + vp * vp) / (2.0 * temperature)).exp();
+                f[self.node(i, j)] = norm * (-(dv * dv + vp * vp) / (2.0 * temperature)).exp();
             }
         }
         f
@@ -171,11 +169,7 @@ mod tests {
     fn maxwellian_density_integrates_to_n() {
         let g = VelocityGrid::small(64, 48);
         let f = g.maxwellian(2.5, 0.3, 1.0);
-        let n: f64 = f
-            .iter()
-            .enumerate()
-            .map(|(k, &v)| v * g.weight(k))
-            .sum();
+        let n: f64 = f.iter().enumerate().map(|(k, &v)| v * g.weight(k)).sum();
         // Half-plane in v_perp: the analytic integral over v_perp ∈ [0, ∞)
         // of exp(-v²/2) is half the full Gaussian, so expect n/2 up to
         // truncation at v_max = 4 and the node-centered rectangle rule's
@@ -193,7 +187,7 @@ mod tests {
         // Bottom row (v_perp = 0) carries the darkest shade at v_par = 0.
         let bottom = lines.last().unwrap();
         assert_eq!(bottom.as_bytes()[11], b'@'); // center column (+1 border)
-        // Top corners are near-empty.
+                                                 // Top corners are near-empty.
         assert_eq!(lines[0].as_bytes()[1], b' ');
     }
 
@@ -201,7 +195,9 @@ mod tests {
     fn maxwellian_peaks_at_drift() {
         let g = VelocityGrid::small(33, 9);
         let f = g.maxwellian(1.0, 1.0, 0.5);
-        let peak = (0..g.num_nodes()).max_by(|&a, &b| f[a].partial_cmp(&f[b]).unwrap()).unwrap();
+        let peak = (0..g.num_nodes())
+            .max_by(|&a, &b| f[a].partial_cmp(&f[b]).unwrap())
+            .unwrap();
         let (i, j) = g.coords(peak);
         assert_eq!(j, 0); // v_perp = 0
         assert!((g.v_par(i) - 1.0).abs() < g.h_par());

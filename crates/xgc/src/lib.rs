@@ -44,4 +44,4 @@ pub use moments::Moments;
 pub use multi_species::{MultiSpeciesProxy, MultiSpeciesReport};
 pub use picard::{CollisionProxy, PicardReport};
 pub use species::Species;
-pub use workload::XgcWorkload;
+pub use workload::{SystemView, XgcWorkload};

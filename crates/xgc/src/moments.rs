@@ -38,9 +38,17 @@ impl Moments {
         let mut momentum = 0.0;
         let mut energy = 0.0;
         for j in 0..grid.n_perp {
-            let wy = if j == 0 || j == grid.n_perp - 1 { 0.5 } else { 1.0 };
+            let wy = if j == 0 || j == grid.n_perp - 1 {
+                0.5
+            } else {
+                1.0
+            };
             for i in 0..grid.n_par {
-                let wx = if i == 0 || i == grid.n_par - 1 { 0.5 } else { 1.0 };
+                let wx = if i == 0 || i == grid.n_par - 1 {
+                    0.5
+                } else {
+                    1.0
+                };
                 let k = grid.node(i, j);
                 let w = grid.weight(k) * f[k];
                 density += w;
@@ -98,7 +106,11 @@ mod tests {
         let m = Moments::compute(&g, &f);
         // Half-plane v_perp grid integrates half the density.
         assert!((m.density - 1.5).abs() < 0.03, "density {}", m.density);
-        assert!((m.mean_velocity - 0.5).abs() < 0.02, "u {}", m.mean_velocity);
+        assert!(
+            (m.mean_velocity - 0.5).abs() < 0.02,
+            "u {}",
+            m.mean_velocity
+        );
         // Temperature estimate: v_par contributes T, v_perp (half-plane)
         // contributes T as well; modest truncation error at v_max = 4.
         assert!((m.temperature - 1.2).abs() < 0.12, "T {}", m.temperature);

@@ -99,8 +99,8 @@ impl MultiSpeciesProxy {
     /// and species.
     pub fn initial_state(&self, seed: u64) -> MultiSpeciesState {
         let mut rng = StdRng::seed_from_u64(seed);
-        let dims = BatchDims::new(self.num_mesh_nodes, self.grid.num_nodes())
-            .expect("valid proxy dims");
+        let dims =
+            BatchDims::new(self.num_mesh_nodes, self.grid.num_nodes()).expect("valid proxy dims");
         let f = self
             .species
             .iter()
@@ -140,7 +140,11 @@ impl MultiSpeciesProxy {
         let total = self.batch_size();
         let dims = BatchDims::new(total, self.grid.num_nodes())?;
         let f_n = self.interleave(state, dims)?;
-        let density0: Vec<f64> = state.f.iter().map(|f| total_density(&self.grid, f)).collect();
+        let density0: Vec<f64> = state
+            .f
+            .iter()
+            .map(|f| total_density(&self.grid, f))
+            .collect();
 
         let solver = BatchBicgstab::new(Jacobi, AbsResidual::new(self.tolerance));
         let mut iterate = state.clone();
@@ -198,11 +202,7 @@ impl MultiSpeciesProxy {
         })
     }
 
-    fn interleave(
-        &self,
-        state: &MultiSpeciesState,
-        dims: BatchDims,
-    ) -> Result<BatchVectors<f64>> {
+    fn interleave(&self, state: &MultiSpeciesState, dims: BatchDims) -> Result<BatchVectors<f64>> {
         let nsp = self.species.len();
         let mut v = BatchVectors::zeros(dims);
         for node in 0..self.num_mesh_nodes {

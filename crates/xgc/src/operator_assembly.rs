@@ -243,7 +243,10 @@ mod tests {
         // Drift-term discretization is O(h²); the equilibrium residual
         // must be small relative to the peak times the collision
         // strength (~10% at this grid resolution).
-        assert!(err < 0.12 * fmax * species.dt_nu, "equilibrium residual {err} vs peak {fmax}");
+        assert!(
+            err < 0.12 * fmax * species.dt_nu,
+            "equilibrium residual {err} vs peak {fmax}"
+        );
     }
 
     #[test]
@@ -263,7 +266,12 @@ mod tests {
             }
             s
         };
-        assert!(dev(&ion) * 10.0 < dev(&ele), "ion {} electron {}", dev(&ion), dev(&ele));
+        assert!(
+            dev(&ion) * 10.0 < dev(&ele),
+            "ion {} electron {}",
+            dev(&ion),
+            dev(&ele)
+        );
     }
 
     #[test]

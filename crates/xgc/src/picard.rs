@@ -149,8 +149,8 @@ impl CollisionProxy {
     /// non-equilibrium bump that the collision operator relaxes away.
     pub fn initial_state(&self, seed: u64) -> ProxyState {
         let mut rng = StdRng::seed_from_u64(seed);
-        let dims = BatchDims::new(self.num_mesh_nodes, self.grid.num_nodes())
-            .expect("valid proxy dims");
+        let dims =
+            BatchDims::new(self.num_mesh_nodes, self.grid.num_nodes()).expect("valid proxy dims");
         let make = |rng: &mut StdRng, grid: &VelocityGrid| {
             let mut v = BatchVectors::zeros(dims);
             for node in 0..self.num_mesh_nodes {
@@ -183,7 +183,13 @@ impl CollisionProxy {
         for node in 0..self.num_mesh_nodes {
             for (s, species) in self.species.iter().enumerate() {
                 let moments = Moments::compute(&self.grid, iterate.f[s].system(node));
-                assemble_matrix(&self.grid, species, &moments, &self.shared_pattern, &mut vals);
+                assemble_matrix(
+                    &self.grid,
+                    species,
+                    &moments,
+                    &self.shared_pattern,
+                    &mut vals,
+                );
                 m.values_of_mut(2 * node + s).copy_from_slice(&vals);
             }
         }
@@ -207,8 +213,8 @@ impl CollisionProxy {
 
     /// Inverse of [`Self::interleave`].
     pub fn deinterleave(&self, combined: &BatchVectors<f64>) -> ProxyState {
-        let dims = BatchDims::new(self.num_mesh_nodes, self.grid.num_nodes())
-            .expect("valid proxy dims");
+        let dims =
+            BatchDims::new(self.num_mesh_nodes, self.grid.num_nodes()).expect("valid proxy dims");
         let mut f = [BatchVectors::zeros(dims), BatchVectors::zeros(dims)];
         for node in 0..self.num_mesh_nodes {
             for (s, fs) in f.iter_mut().enumerate() {
@@ -380,10 +386,18 @@ mod tests {
         let proxy = small_proxy(2);
         let mut state = proxy.initial_state(3);
         let report = proxy
-            .run_picard(&mut state, &DeviceSpec::v100(), SolverKind::BicgstabEll, true)
+            .run_picard(
+                &mut state,
+                &DeviceSpec::v100(),
+                SolverKind::BicgstabEll,
+                true,
+            )
             .unwrap();
         let inc: Vec<f64> = report.iterations.iter().map(|r| r.increment[1]).collect();
-        assert!(inc.windows(2).all(|w| w[1] < w[0] * 1.01), "increments {inc:?}");
+        assert!(
+            inc.windows(2).all(|w| w[1] < w[0] * 1.01),
+            "increments {inc:?}"
+        );
         assert!(inc.last().unwrap() < &(0.3 * inc[0]), "increments {inc:?}");
     }
 
@@ -394,7 +408,12 @@ mod tests {
         let proxy = small_proxy(2);
         let mut state = proxy.initial_state(11);
         let report = proxy
-            .run_picard(&mut state, &DeviceSpec::v100(), SolverKind::BicgstabEll, true)
+            .run_picard(
+                &mut state,
+                &DeviceSpec::v100(),
+                SolverKind::BicgstabEll,
+                true,
+            )
             .unwrap();
         let [ion, ele] = report.iteration_table();
         assert!(
@@ -409,7 +428,12 @@ mod tests {
         let proxy = small_proxy(2);
         let mut state = proxy.initial_state(5);
         let report = proxy
-            .run_picard(&mut state, &DeviceSpec::v100(), SolverKind::BicgstabEll, false)
+            .run_picard(
+                &mut state,
+                &DeviceSpec::v100(),
+                SolverKind::BicgstabEll,
+                false,
+            )
             .unwrap();
         for rec in &report.iterations {
             assert!(
@@ -428,7 +452,12 @@ mod tests {
         let proxy = small_proxy(2);
         let mut state = proxy.initial_state(9);
         let report = proxy
-            .run_picard(&mut state, &DeviceSpec::v100(), SolverKind::BicgstabEll, true)
+            .run_picard(
+                &mut state,
+                &DeviceSpec::v100(),
+                SolverKind::BicgstabEll,
+                true,
+            )
             .unwrap();
         assert!(
             report.density_drift[0] < 1e-7 && report.density_drift[1] < 1e-7,
@@ -442,12 +471,22 @@ mod tests {
         let proxy = small_proxy(2).with_tolerance(1e-3);
         let mut state = proxy.initial_state(9);
         let loose = proxy
-            .run_picard(&mut state, &DeviceSpec::v100(), SolverKind::BicgstabEll, true)
+            .run_picard(
+                &mut state,
+                &DeviceSpec::v100(),
+                SolverKind::BicgstabEll,
+                true,
+            )
             .unwrap();
         let tight_proxy = small_proxy(2);
         let mut state2 = tight_proxy.initial_state(9);
         let tight = tight_proxy
-            .run_picard(&mut state2, &DeviceSpec::v100(), SolverKind::BicgstabEll, true)
+            .run_picard(
+                &mut state2,
+                &DeviceSpec::v100(),
+                SolverKind::BicgstabEll,
+                true,
+            )
             .unwrap();
         assert!(
             loose.density_drift[1] > 10.0 * tight.density_drift[1].max(1e-16),
@@ -471,10 +510,7 @@ mod tests {
             .run_picard(&mut s2, &dev_gpu, SolverKind::BicgstabEll, false)
             .unwrap();
         let diff = max_increment(&s1.f[1], &s2.f[1]);
-        let scale = s1.f[1]
-            .values()
-            .iter()
-            .fold(0.0f64, |m, &v| m.max(v.abs()));
+        let scale = s1.f[1].values().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         assert!(diff < 1e-7 * scale.max(1.0), "solutions differ by {diff}");
     }
 }

@@ -172,11 +172,7 @@ mod tests {
     use super::*;
 
     fn timeline() -> Vec<TimelineSegment> {
-        cpu_solver_timeline(
-            &DeviceSpec::v100(),
-            &DeviceSpec::skylake_node(),
-            512,
-        )
+        cpu_solver_timeline(&DeviceSpec::v100(), &DeviceSpec::skylake_node(), 512)
     }
 
     #[test]

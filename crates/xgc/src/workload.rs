@@ -8,7 +8,9 @@
 
 use std::sync::Arc;
 
-use batsolv_formats::{BatchBanded, BatchCsr, BatchEll, BatchMatrix, BatchVectors, SparsityPattern};
+use batsolv_formats::{
+    BatchBanded, BatchCsr, BatchEll, BatchMatrix, BatchVectors, SparsityPattern,
+};
 use batsolv_types::{BatchDims, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -102,6 +104,30 @@ impl XgcWorkload {
         self.matrices.dims().num_systems
     }
 
+    /// The sparsity pattern shared by every system of the workload.
+    pub fn pattern(&self) -> &Arc<SparsityPattern> {
+        self.matrices.pattern()
+    }
+
+    /// Borrow one mesh node's system — the unit of work a solve service
+    /// receives when XGC streams nodes instead of handing over the whole
+    /// batch.
+    pub fn system(&self, i: usize) -> SystemView<'_> {
+        assert!(i < self.num_systems(), "system index {i} out of range");
+        SystemView {
+            index: i,
+            species: self.species_of[i],
+            values: self.matrices.values_of(i),
+            rhs: self.rhs.system(i),
+            warm_guess: self.warm_guess.system(i),
+        }
+    }
+
+    /// Iterate over every per-node system in batch order.
+    pub fn systems(&self) -> impl Iterator<Item = SystemView<'_>> {
+        (0..self.num_systems()).map(|i| self.system(i))
+    }
+
     /// ELL view of the batch (the paper's preferred format).
     pub fn ell(&self) -> Result<BatchEll<f64>> {
         BatchEll::from_csr(&self.matrices)
@@ -111,6 +137,21 @@ impl XgcWorkload {
     pub fn banded(&self) -> Result<BatchBanded<f64>> {
         BatchBanded::from_csr(&self.matrices)
     }
+}
+
+/// One mesh node's linear system, borrowed out of a workload batch.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemView<'a> {
+    /// Position within the batch.
+    pub index: usize,
+    /// Species name ("ion" or "electron").
+    pub species: &'static str,
+    /// CSR values over the shared pattern.
+    pub values: &'a [f64],
+    /// Right-hand side (old-time distribution).
+    pub rhs: &'a [f64],
+    /// Warm initial guess (previous Picard iterate).
+    pub warm_guess: &'a [f64],
 }
 
 #[cfg(test)]
@@ -124,7 +165,10 @@ mod tests {
     fn combined_batch_interleaves_species() {
         let w = XgcWorkload::generate(VelocityGrid::small(8, 7), 3, 1).unwrap();
         assert_eq!(w.num_systems(), 6);
-        assert_eq!(w.species_of, ["ion", "electron", "ion", "electron", "ion", "electron"]);
+        assert_eq!(
+            w.species_of,
+            ["ion", "electron", "ion", "electron", "ion", "electron"]
+        );
     }
 
     #[test]
@@ -159,14 +203,36 @@ mod tests {
     }
 
     #[test]
+    fn per_node_extraction_matches_batch_storage() {
+        let w = XgcWorkload::generate(VelocityGrid::small(8, 7), 2, 11).unwrap();
+        let nnz = w.pattern().nnz();
+        let n = w.grid.num_nodes();
+        let mut seen = 0;
+        for (i, sys) in w.systems().enumerate() {
+            assert_eq!(sys.index, i);
+            assert_eq!(sys.values.len(), nnz);
+            assert_eq!(sys.rhs.len(), n);
+            assert_eq!(sys.warm_guess.len(), n);
+            assert_eq!(sys.values, w.matrices.values_of(i));
+            assert_eq!(sys.rhs, w.rhs.system(i));
+            assert_eq!(sys.species, w.species_of[i]);
+            seen += 1;
+        }
+        assert_eq!(seen, w.num_systems());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn per_node_extraction_bounds_checked() {
+        let w = XgcWorkload::generate(VelocityGrid::small(6, 5), 1, 0).unwrap();
+        let _ = w.system(99);
+    }
+
+    #[test]
     fn single_species_generation() {
-        let w = XgcWorkload::generate_single_species(
-            VelocityGrid::small(6, 5),
-            Species::ion(),
-            4,
-            2,
-        )
-        .unwrap();
+        let w =
+            XgcWorkload::generate_single_species(VelocityGrid::small(6, 5), Species::ion(), 4, 2)
+                .unwrap();
         assert_eq!(w.num_systems(), 4);
         assert!(w.species_of.iter().all(|s| *s == "ion"));
     }

@@ -14,7 +14,10 @@ fn main() -> Result<()> {
     let proxy = CollisionProxy::new(VelocityGrid::xgc_standard(), 32);
     let device = DeviceSpec::a100();
 
-    println!("== implicit collision step: {} mesh nodes, 2 species ==", 32);
+    println!(
+        "== implicit collision step: {} mesh nodes, 2 species ==",
+        32
+    );
     let mut state = proxy.initial_state(7);
 
     // Run the Picard loop with the paper's production configuration:
@@ -59,8 +62,15 @@ fn main() -> Result<()> {
 
     // Visualize the beam thermalizing in velocity space.
     println!("\nelectron distribution, node 0 (v_par horizontal, v_perp vertical):");
-    println!("before:\n{}", proxy.grid.render_distribution_ascii(fresh.f[1].system(0)));
-    println!("after {} steps:\n{}", 1, proxy.grid.render_distribution_ascii(state.f[1].system(0)));
+    println!(
+        "before:\n{}",
+        proxy.grid.render_distribution_ascii(fresh.f[1].system(0))
+    );
+    println!(
+        "after {} steps:\n{}",
+        1,
+        proxy.grid.render_distribution_ascii(state.f[1].system(0))
+    );
 
     // Compare against the CPU production path (dgbsv on the Skylake
     // node): identical physics, different simulated cost.

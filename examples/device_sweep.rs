@@ -23,7 +23,10 @@ fn main() -> Result<()> {
 
     let sizes: Vec<usize> = (1..=16).map(|k| k * 32).collect();
     println!("batched BiCGSTAB (ELL) time vs batch size — watch the MI100 steps at 120/240/360\n");
-    println!("{:>6} | {:>12} | {:>12} | {:>12}", "batch", "V100", "A100", "MI100");
+    println!(
+        "{:>6} | {:>12} | {:>12} | {:>12}",
+        "batch", "V100", "A100", "MI100"
+    );
     let devices = [DeviceSpec::v100(), DeviceSpec::a100(), DeviceSpec::mi100()];
     let mut table = Vec::new();
     for &b in &sizes {
@@ -49,12 +52,23 @@ fn main() -> Result<()> {
     for level in (1..=10).rev() {
         let mut line = String::from("  ");
         for &t in &mi {
-            line.push(if t / max * 10.0 >= level as f64 { '#' } else { ' ' });
+            line.push(if t / max * 10.0 >= level as f64 {
+                '#'
+            } else {
+                ' '
+            });
             line.push(' ');
         }
         println!("{line}");
     }
-    println!("  {}", sizes.iter().map(|b| if b % 120 < 32 { "^" } else { " " }).map(|s| format!("{s} ")).collect::<String>());
+    println!(
+        "  {}",
+        sizes
+            .iter()
+            .map(|b| if b % 120 < 32 { "^" } else { " " })
+            .map(|s| format!("{s} "))
+            .collect::<String>()
+    );
     println!("  (^ marks batch sizes just past a multiple of 120 CUs)");
 
     // Quantify the step: the jump crossing 120 vs the non-jump inside a wave.

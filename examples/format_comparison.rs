@@ -18,8 +18,11 @@ fn main() -> Result<()> {
     let pattern = csr.pattern();
 
     // --- storage (Figure 3) ---
-    println!("== storage for a batch of 10000 systems (n = {}, nnz = {}) ==",
-             grid.num_nodes(), pattern.nnz());
+    println!(
+        "== storage for a batch of 10000 systems (n = {}, nnz = {}) ==",
+        grid.num_nodes(),
+        pattern.nnz()
+    );
     let r = StorageReport::compute(
         10_000,
         grid.num_nodes(),
@@ -28,12 +31,21 @@ fn main() -> Result<()> {
         8,
     );
     println!("  BatchDense: {:>10.1} MB", r.dense_bytes as f64 / 1e6);
-    println!("  BatchCsr:   {:>10.1} MB (+ {:.1} KB shared indices)",
-             r.csr_bytes as f64 / 1e6, pattern.index_storage_bytes() as f64 / 1e3);
-    println!("  BatchEll:   {:>10.1} MB (padding fraction {:.1}%)",
-             r.ell_bytes as f64 / 1e6, ell.padding_fraction() * 100.0);
-    println!("  Banded:     {:>10.1} MB (dgbsv working storage, ldab = {})",
-             (10_000 * banded.ldab() * grid.num_nodes() * 8) as f64 / 1e6, banded.ldab());
+    println!(
+        "  BatchCsr:   {:>10.1} MB (+ {:.1} KB shared indices)",
+        r.csr_bytes as f64 / 1e6,
+        pattern.index_storage_bytes() as f64 / 1e3
+    );
+    println!(
+        "  BatchEll:   {:>10.1} MB (padding fraction {:.1}%)",
+        r.ell_bytes as f64 / 1e6,
+        ell.padding_fraction() * 100.0
+    );
+    println!(
+        "  Banded:     {:>10.1} MB (dgbsv working storage, ldab = {})",
+        (10_000 * banded.ldab() * grid.num_nodes() * 8) as f64 / 1e6,
+        banded.ldab()
+    );
 
     // --- SpMV agreement across formats ---
     let x = BatchVectors::from_fn(csr.dims(), |s, r| ((s * 31 + r) % 17) as f64 * 0.1);
@@ -66,7 +78,10 @@ fn main() -> Result<()> {
     }
 
     // --- simulated SpMV kernel time on each GPU ---
-    println!("\n== simulated batched SpMV, one launch, {} systems ==", csr.dims().num_systems);
+    println!(
+        "\n== simulated batched SpMV, one launch, {} systems ==",
+        csr.dims().num_systems
+    );
     for device in DeviceSpec::all_gpus() {
         let t = |counts: OpCounts, shared_idx: usize, values: usize| {
             use batsolv::gpusim::{BlockStats, TrafficProfile};

@@ -25,8 +25,12 @@ fn main() -> Result<()> {
     // Mixed precision: the matrix is demoted to f32 once; each outer
     // sweep computes the f64 residual and solves a f32 correction.
     let mut x_mp = BatchVectors::zeros(workload.rhs.dims());
-    let mixed =
-        MixedPrecisionBicgstab::default().solve(&dev, &workload.matrices, &workload.rhs, &mut x_mp)?;
+    let mixed = MixedPrecisionBicgstab::default().solve(
+        &dev,
+        &workload.matrices,
+        &workload.rhs,
+        &mut x_mp,
+    )?;
 
     println!("== f64 BiCGSTAB vs mixed-precision refinement (V100 model, 64 systems) ==\n");
     println!(
@@ -48,7 +52,10 @@ fn main() -> Result<()> {
         "\nf32 workspace footprint is {:.0}% of f64's — on the V100 all 9 BiCGSTAB",
         inner.shared_per_block as f64 / plain.shared_per_block as f64 * 100.0
     );
-    println!("vectors fit in shared memory in single precision ({}).", inner.plan_description);
+    println!(
+        "vectors fit in shared memory in single precision ({}).",
+        inner.plan_description
+    );
 
     // Both deliver the same answer.
     let mut worst: f64 = 0.0;

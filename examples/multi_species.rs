@@ -38,7 +38,10 @@ fn main() -> Result<()> {
 
     // Show the species lineup of the full configuration.
     let proxy = MultiSpeciesProxy::future_xgc(grid, 8, 10);
-    println!("\nspecies lineup ({} systems per linear solve):", proxy.batch_size());
+    println!(
+        "\nspecies lineup ({} systems per linear solve):",
+        proxy.batch_size()
+    );
     for s in &proxy.species {
         println!(
             "  {:<10} mass {:>7.4}  dt·nu {:>6.4}",

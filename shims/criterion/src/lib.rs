@@ -1,0 +1,185 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the small API surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `Bencher::iter` and `Bencher::iter_batched`) with a simple
+//! median-of-samples timer instead of criterion's full statistical
+//! machinery. Good enough to run `cargo bench` offline and eyeball
+//! relative kernel costs; not a replacement for real criterion numbers.
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration inputs are batched (API parity; the shim times each
+/// routine invocation individually regardless).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small input: setup cost is amortized over many iterations.
+    SmallInput,
+    /// Large input: one setup per iteration.
+    LargeInput,
+    /// One setup per iteration, no batching.
+    PerIteration,
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Median measured time per iteration, once run.
+    last_estimate: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            let out = routine();
+            times.push(t0.elapsed());
+            drop(out);
+        }
+        self.record(times);
+    }
+
+    /// Time `routine` over fresh inputs from `setup` (setup not timed).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            times.push(t0.elapsed());
+            drop(out);
+        }
+        self.record(times);
+    }
+
+    fn record(&mut self, mut times: Vec<Duration>) {
+        times.sort_unstable();
+        self.last_estimate = times.get(times.len() / 2).copied();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower the sample count for slow benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark and print its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            last_estimate: None,
+        };
+        f(&mut b);
+        match b.last_estimate {
+            Some(t) => println!(
+                "{}/{id}: median {:?} ({} samples)",
+                self.name, t, self.samples
+            ),
+            None => println!("{}/{id}: no samples recorded", self.name),
+        }
+        self
+    }
+
+    /// End the group (printing happens as benches run).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let samples = if self.samples == 0 { 20 } else { self.samples };
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Produce `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        let mut runs = 0usize;
+        g.sample_size(5).bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn iter_batched_calls_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        let mut setups = 0usize;
+        g.sample_size(4).bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+}

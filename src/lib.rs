@@ -46,11 +46,13 @@
 //! | [`solvers`] | `batsolv-solvers` | BiCGSTAB/CG/GMRES/Richardson, preconditioners, direct baselines |
 //! | [`eigen`] | `batsolv-eigen` | Hessenberg + Francis QR eigensolver |
 //! | [`xgc`] | `batsolv-xgc` | collision-kernel proxy app (grid, operator, Picard loop) |
+//! | [`runtime`] | `batsolv-runtime` | dynamic-batching solve service (queue, former, fallback, stats) |
 
 pub use batsolv_blas as blas;
 pub use batsolv_eigen as eigen;
 pub use batsolv_formats as formats;
 pub use batsolv_gpusim as gpusim;
+pub use batsolv_runtime as runtime;
 pub use batsolv_solvers as solvers;
 pub use batsolv_types as types;
 pub use batsolv_xgc as xgc;
@@ -59,15 +61,19 @@ pub use batsolv_xgc as xgc;
 pub mod prelude {
     pub use batsolv_formats::{
         BatchBanded, BatchCsr, BatchDense, BatchDia, BatchEll, BatchMatrix, BatchTridiag,
-        BatchVectors,
-        SparsityPattern,
+        BatchVectors, SparsityPattern,
     };
     pub use batsolv_gpusim::{DeviceSpec, MultiGpu, Scheduling, SimKernel};
-    pub use batsolv_solvers::direct::{BatchBandedLu, BatchCyclicReduction, BatchDenseLu, BatchSparseQr};
+    pub use batsolv_runtime::{
+        RuntimeConfig, SolveError, SolveMethod, SolveRequest, SolveService, SubmitError,
+    };
+    pub use batsolv_solvers::direct::{
+        BatchBandedLu, BatchCyclicReduction, BatchDenseLu, BatchSparseQr,
+    };
     pub use batsolv_solvers::{
-        AbsResidual, BatchBicgstab, BatchCg, BatchCgs, BatchGmres, BatchRichardson, BatchSolveReport,
-        BlockJacobi, Identity, Ilu0, Jacobi, MixedPrecisionBicgstab, NeumannPolynomial,
-        RelResidual, SystemResult,
+        AbsResidual, BatchBicgstab, BatchCg, BatchCgs, BatchGmres, BatchRichardson,
+        BatchSolveReport, BlockJacobi, Identity, Ilu0, Jacobi, MixedPrecisionBicgstab,
+        NeumannPolynomial, RelResidual, SystemResult,
     };
     pub use batsolv_types::{BatchDims, Complex, Error, OpCounts, Result, Scalar};
     pub use batsolv_xgc::picard::SolverKind;

@@ -18,7 +18,9 @@ fn all_formats_and_solvers_agree_on_the_solution() {
     // Reference: banded LU direct solve.
     let banded = w.banded().unwrap();
     let mut x_ref = BatchVectors::zeros(dims);
-    let rep = BatchBandedLu.solve(&DeviceSpec::skylake_node(), &banded, &w.rhs, &mut x_ref).unwrap();
+    let rep = BatchBandedLu
+        .solve(&DeviceSpec::skylake_node(), &banded, &w.rhs, &mut x_ref)
+        .unwrap();
     assert!(rep.all_converged());
 
     let close = |x: &BatchVectors<f64>, label: &str| {
@@ -87,18 +89,17 @@ fn ilu0_and_block_jacobi_preconditioners_cut_iterations() {
         .solve(&dev, &w.matrices, &w.rhs, &mut x1)
         .unwrap();
     let mut x2 = BatchVectors::zeros(w.rhs.dims());
-    let ilu = BatchBicgstab::new(
-        Ilu0::new(std::sync::Arc::clone(w.matrices.pattern())),
-        stop,
-    )
-    .solve(&dev, &w.matrices, &w.rhs, &mut x2)
-    .unwrap();
+    let ilu = BatchBicgstab::new(Ilu0::new(std::sync::Arc::clone(w.matrices.pattern())), stop)
+        .solve(&dev, &w.matrices, &w.rhs, &mut x2)
+        .unwrap();
     let mut x3 = BatchVectors::zeros(w.rhs.dims());
     let bj = BatchBicgstab::new(BlockJacobi::new(4), stop)
         .solve(&dev, &w.matrices, &w.rhs, &mut x3)
         .unwrap();
 
-    assert!(none.all_converged() && jac.all_converged() && ilu.all_converged() && bj.all_converged());
+    assert!(
+        none.all_converged() && jac.all_converged() && ilu.all_converged() && bj.all_converged()
+    );
     // ILU(0) is the strongest of the lot and must not lose to Jacobi.
     assert!(ilu.mean_iterations() <= jac.mean_iterations());
     // Jacobi ≈ none on these mildly-scaled systems; block-Jacobi with

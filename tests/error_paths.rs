@@ -118,7 +118,12 @@ fn picard_proxy_catches_banded_of_wrong_tolerance_sign() {
     let proxy = CollisionProxy::new(VelocityGrid::small(8, 7), 1).with_tolerance(0.0);
     let mut state = proxy.initial_state(1);
     let report = proxy
-        .run_picard(&mut state, &DeviceSpec::v100(), SolverKind::BicgstabEll, true)
+        .run_picard(
+            &mut state,
+            &DeviceSpec::v100(),
+            SolverKind::BicgstabEll,
+            true,
+        )
         .unwrap();
     // The solve ran to the cap; conservation still holds to the achieved
     // (machine-level) residual because the solver kept iterating.

@@ -33,16 +33,28 @@ fn every_format_reaches_the_same_solution() {
         }
     };
     let mut x = BatchVectors::zeros(w.rhs.dims());
-    assert!(solver.solve(&dev, &ell, &w.rhs, &mut x).unwrap().all_converged());
+    assert!(solver
+        .solve(&dev, &ell, &w.rhs, &mut x)
+        .unwrap()
+        .all_converged());
     check(&x, "ell");
     let mut x = BatchVectors::zeros(w.rhs.dims());
-    assert!(solver.solve(&dev, &dia, &w.rhs, &mut x).unwrap().all_converged());
+    assert!(solver
+        .solve(&dev, &dia, &w.rhs, &mut x)
+        .unwrap()
+        .all_converged());
     check(&x, "dia");
     let mut x = BatchVectors::zeros(w.rhs.dims());
-    assert!(solver.solve(&dev, &banded, &w.rhs, &mut x).unwrap().all_converged());
+    assert!(solver
+        .solve(&dev, &banded, &w.rhs, &mut x)
+        .unwrap()
+        .all_converged());
     check(&x, "banded");
     let mut x = BatchVectors::zeros(w.rhs.dims());
-    assert!(solver.solve(&dev, &dense, &w.rhs, &mut x).unwrap().all_converged());
+    assert!(solver
+        .solve(&dev, &dense, &w.rhs, &mut x)
+        .unwrap()
+        .all_converged());
     check(&x, "dense");
 }
 
@@ -99,7 +111,12 @@ fn neumann_polynomial_trades_iterations_for_spmvs() {
         assert!(r.all_converged());
         iters.push(r.max_iterations());
     }
-    assert!(iters[2] < iters[0], "degree 3 {} vs degree 0 {}", iters[2], iters[0]);
+    assert!(
+        iters[2] < iters[0],
+        "degree 3 {} vs degree 0 {}",
+        iters[2],
+        iters[0]
+    );
 }
 
 #[test]
@@ -119,7 +136,9 @@ fn multi_gpu_round_robin_reduces_makespan() {
     let ell = w.ell().unwrap();
     let solver = BatchBicgstab::new(Jacobi, AbsResidual::new(1e-10));
     let mut x = BatchVectors::zeros(w.rhs.dims());
-    let results = solver.run_numerics(&ell, &w.rhs, &mut x, |_| NoopLogger).unwrap();
+    let results = solver
+        .run_numerics(&ell, &w.rhs, &mut x, |_| NoopLogger)
+        .unwrap();
     let single = solver
         .price_results(&DeviceSpec::v100(), &ell, results)
         .kernel;

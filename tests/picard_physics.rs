@@ -8,7 +8,12 @@ fn table3_shape_on_full_grid() {
     let proxy = CollisionProxy::new(VelocityGrid::xgc_standard(), 4);
     let mut state = proxy.initial_state(20220530);
     let report = proxy
-        .run_picard(&mut state, &DeviceSpec::v100(), SolverKind::BicgstabEll, true)
+        .run_picard(
+            &mut state,
+            &DeviceSpec::v100(),
+            SolverKind::BicgstabEll,
+            true,
+        )
         .unwrap();
     let [ion, ele] = report.iteration_table();
 
@@ -26,7 +31,12 @@ fn table3_shape_on_full_grid() {
         "electron drops by >=25%: {ele:?}"
     );
     // Ion: an order of magnitude fewer iterations than electrons.
-    assert!(ion[0] <= ele[0] / 3, "ion {} vs electron {}", ion[0], ele[0]);
+    assert!(
+        ion[0] <= ele[0] / 3,
+        "ion {} vs electron {}",
+        ion[0],
+        ele[0]
+    );
     assert!(*ion.last().unwrap() <= 3);
 }
 
@@ -40,7 +50,12 @@ fn conservation_tracks_solver_tolerance() {
             let proxy = CollisionProxy::new(VelocityGrid::small(12, 11), 3).with_tolerance(tol);
             let mut state = proxy.initial_state(77);
             let rep = proxy
-                .run_picard(&mut state, &DeviceSpec::v100(), SolverKind::BicgstabEll, true)
+                .run_picard(
+                    &mut state,
+                    &DeviceSpec::v100(),
+                    SolverKind::BicgstabEll,
+                    true,
+                )
                 .unwrap();
             rep.density_drift[1]
         })
@@ -102,7 +117,12 @@ fn collisions_relax_toward_maxwellian() {
     let before = non_maxwellianity(state.f[1].system(0));
     for _ in 0..8 {
         proxy
-            .run_picard(&mut state, &DeviceSpec::v100(), SolverKind::BicgstabEll, true)
+            .run_picard(
+                &mut state,
+                &DeviceSpec::v100(),
+                SolverKind::BicgstabEll,
+                true,
+            )
             .unwrap();
     }
     let after = non_maxwellianity(state.f[1].system(0));
