@@ -1,0 +1,222 @@
+//! Chaos campaign: the solve service under seeded fault injection.
+//!
+//! XGC-shaped requests stream through a supervised `batsolv-runtime`
+//! service while a deterministic `batsolv-faults` plan poisons data
+//! (NaN/Inf values, zero diagonals, singular rows) and disrupts launches
+//! (worker panics, device failures, stalls). The report sweeps the fault
+//! rate and tallies where every request ended up — rejected at
+//! admission, converged on some escalation rung, or failed with a
+//! structured error. The shape checks are the service's robustness
+//! contract: every submission gets exactly one outcome, and a fault-free
+//! sweep converges everything.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use batsolv_faults::{FaultPlan, FaultRates};
+use batsolv_gpusim::DeviceSpec;
+use batsolv_runtime::{RuntimeConfig, SolveRequest, SolveService, SubmitError};
+use batsolv_types::{Error, Result};
+use batsolv_xgc::{VelocityGrid, XgcWorkload};
+
+use crate::config::RunConfig;
+use crate::output::{write_csv, TextTable};
+
+/// Injected worker panics are expected and supervised; keep their
+/// backtraces out of the report. Panics on any other thread still get
+/// the default reporting.
+fn quiet_worker_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n == "batsolv-runtime-supervisor");
+            if !worker {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Per-rate tallies of the chaos sweep.
+struct SweepPoint {
+    rate: f64,
+    submitted: usize,
+    rejected: u64,
+    converged: u64,
+    failed: u64,
+    panics: u64,
+    device: u64,
+    respawns: u64,
+    fallback: u64,
+}
+
+/// Drive every workload system through a faulted service; the plan's
+/// per-request rolls decide which submissions are corrupted before they
+/// reach the admission gate and which fused launches blow up.
+fn sweep(workload: &XgcWorkload, plan: &FaultPlan, batch_target: usize) -> Result<SweepPoint> {
+    let total = workload.num_systems();
+    let config = RuntimeConfig::new(DeviceSpec::v100())
+        .with_batch_target(batch_target)
+        .with_queue_capacity(total.max(1))
+        .with_linger(Duration::from_micros(200))
+        .with_watchdog(None)
+        .with_breaker(None);
+    let service = SolveService::start_with_hook(
+        Arc::clone(workload.pattern()),
+        config,
+        Arc::new(plan.clone()),
+    )?;
+
+    let mut tickets = Vec::with_capacity(total);
+    let mut rejected = 0u64;
+    for sys in workload.systems() {
+        let mut values = sys.values.to_vec();
+        let mut rhs = sys.rhs.to_vec();
+        plan.corrupt_system(sys.index as u64, workload.pattern(), &mut values, &mut rhs);
+        match service.submit(SolveRequest::new(values, rhs)) {
+            Ok(t) => tickets.push(t),
+            Err(SubmitError::Rejected { .. }) => rejected += 1,
+            Err(e) => {
+                return Err(Error::InvalidConfig(format!(
+                    "unexpected submit error: {e}"
+                )))
+            }
+        }
+    }
+
+    let mut converged = 0u64;
+    let mut failed = 0u64;
+    for t in tickets {
+        match t.wait_timeout(Duration::from_secs(60)) {
+            Some(Ok(sol)) => {
+                if !sol.x.iter().all(|v| v.is_finite()) {
+                    return Err(Error::InvalidConfig(
+                        "non-finite solution leaked out of the service".into(),
+                    ));
+                }
+                converged += 1;
+            }
+            Some(Err(_)) => failed += 1,
+            None => return Err(Error::InvalidConfig("a ticket never resolved".into())),
+        }
+    }
+    let stats = service.shutdown();
+
+    // Exactly-one-outcome: every submission either bounced at the gate
+    // or produced exactly one terminal ticket resolution.
+    if rejected + converged + failed != total as u64 {
+        return Err(Error::InvalidConfig(format!(
+            "outcome leak: {rejected} rejected + {converged} converged + {failed} failed != {total}"
+        )));
+    }
+    Ok(SweepPoint {
+        rate: 0.0,
+        submitted: total,
+        rejected,
+        converged,
+        failed,
+        panics: stats.failed_panic,
+        device: stats.failed_device,
+        respawns: stats.worker_respawns,
+        fallback: stats.converged_fallback,
+    })
+}
+
+/// Run the experiment; returns the report section.
+pub fn run(cfg: &RunConfig) -> Result<String> {
+    quiet_worker_panics();
+    let pairs = if cfg.quick { 30 } else { 100 };
+    let grid = VelocityGrid::small(8, 7);
+    let workload = XgcWorkload::generate(grid, pairs, cfg.seed)?;
+    let total = workload.num_systems();
+    let batch_target = 16;
+
+    let rates = [0.0, 0.02, 0.05, 0.10, 0.20];
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(&[
+        "fault_rate",
+        "rejected",
+        "converged",
+        "lu_fallback",
+        "failed",
+        "panics",
+        "device_fails",
+        "respawns",
+    ]);
+    let mut points = Vec::new();
+    for &rate in &rates {
+        let plan = FaultPlan::new(
+            cfg.seed ^ 0xC0A5,
+            FaultRates {
+                nan_values: rate / 2.0,
+                zero_diagonal: rate / 2.0,
+                panic: rate / 2.0,
+                device_fail: rate / 2.0,
+                ..FaultRates::default()
+            },
+        );
+        let mut point = sweep(&workload, &plan, batch_target)?;
+        point.rate = rate;
+        rows.push(format!(
+            "{rate},{},{},{},{},{},{},{}",
+            point.rejected,
+            point.converged,
+            point.fallback,
+            point.failed,
+            point.panics,
+            point.device,
+            point.respawns
+        ));
+        table.row(&[
+            format!("{rate:.2}"),
+            format!("{}", point.rejected),
+            format!("{}", point.converged),
+            format!("{}", point.fallback),
+            format!("{}", point.failed),
+            format!("{}", point.panics),
+            format!("{}", point.device),
+            format!("{}", point.respawns),
+        ]);
+        points.push(point);
+    }
+    write_csv(
+        &cfg.out_dir,
+        "chaos_sweep.csv",
+        "fault_rate,rejected,converged,lu_fallback,failed,panics,device_fails,respawns",
+        &rows,
+    )?;
+
+    let clean_ok = points[0].converged == total as u64 && points[0].rejected == 0;
+    let faults_seen = points
+        .iter()
+        .any(|p| p.rejected > 0 && (p.panics > 0 || p.device > 0));
+    let isolation_ok = points.iter().all(|p| {
+        // Faulted members never take healthy ones down with them: the
+        // non-faulted majority still converges at every rate.
+        p.converged + p.fallback
+            >= (p.submitted as u64).saturating_sub(2 * p.rejected + 2 * p.failed)
+    });
+
+    let mut out = String::from("== Chaos campaign: supervised service under fault injection ==\n");
+    out.push_str(&format!(
+        "{total} XGC systems per sweep, batch target {batch_target}, seeded plan (seed {})\n",
+        cfg.seed ^ 0xC0A5
+    ));
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "shape check: {} (fault-free sweep converges all {total} requests)\n",
+        if clean_ok { "PASS" } else { "FAIL" }
+    ));
+    out.push_str(&format!(
+        "shape check: {} (faulted sweeps exercise admission rejects and launch faults)\n",
+        if faults_seen { "PASS" } else { "FAIL" }
+    ));
+    out.push_str(&format!(
+        "shape check: {} (every submission resolves to exactly one outcome; healthy members survive)\n",
+        if isolation_ok { "PASS" } else { "FAIL" }
+    ));
+    Ok(out)
+}

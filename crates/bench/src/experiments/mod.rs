@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod ablations;
+pub mod chaos;
 pub mod convergence;
 pub mod extensions;
 pub mod extensions2;

@@ -1,0 +1,31 @@
+//! `batsolv-faults` — deterministic, seeded fault injection.
+//!
+//! The paper's premise is that per-system convergence monitoring lets a
+//! fused batched solve survive heterogeneous systems inside one launch.
+//! This crate manufactures the *hostile* end of that heterogeneity so the
+//! dispatch layer can be tested against it: NaN/Inf poisoning of matrix
+//! values or right-hand sides, zero and near-zero Jacobi diagonals,
+//! structurally singular systems, artificial solver stalls, simulated
+//! device/launch failures, worker panics, and queue-delay spikes.
+//!
+//! Everything is driven by a [`FaultPlan`]: a seed plus per-kind rates.
+//! Whether request `id` suffers fault kind `k` is a pure function of
+//! `(seed, k, id)` — replaying the same plan over the same ids reproduces
+//! the exact same fault pattern, which is what lets the chaos suite
+//! assert stats counters against *predicted* fault counts. A plan with
+//! all rates zero never touches the data and costs one branch per hook.
+//!
+//! Injection points:
+//!
+//! * **data faults** ([`FaultPlan::corrupt_system`]) mutate a system's
+//!   CSR values / RHS before submission — the shape of corruption an
+//!   upstream producer (or a broken transport) would introduce;
+//! * **launch faults** ([`FaultPlan`] implements
+//!   [`batsolv_gpusim::LaunchHook`]) disrupt a fused dispatch: fail the
+//!   launch, stall it, or panic the worker mid-solve;
+//! * **queue-delay spikes** ([`FaultPlan::queue_delay`]) are consumed by
+//!   traffic drivers to perturb arrival timing.
+
+pub mod plan;
+
+pub use plan::{FaultKind, FaultPlan, FaultRates, InjectedFault};

@@ -1,0 +1,476 @@
+//! The seeded fault plan: scenario rates + deterministic per-id rolls.
+
+use std::time::Duration;
+
+use batsolv_formats::SparsityPattern;
+use batsolv_gpusim::{LaunchDisruption, LaunchHook};
+
+/// The kinds of fault the plan can inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// One CSR value becomes NaN.
+    NanValues,
+    /// One CSR value becomes +Inf.
+    InfValues,
+    /// One RHS entry becomes NaN.
+    NanRhs,
+    /// One diagonal value becomes exactly zero (Jacobi poison).
+    ZeroDiagonal,
+    /// One diagonal value becomes 1e-300 (divergence bait that slips
+    /// past an exact-zero admission check).
+    NearZeroDiagonal,
+    /// One whole row is zeroed, diagonal included: a structurally
+    /// singular system that defeats every solver rung.
+    SingularRow,
+    /// The fused launch carrying this system stalls.
+    Stall,
+    /// The worker panics while launching this system's batch.
+    Panic,
+    /// The launch fails with a simulated device error.
+    DeviceFail,
+    /// The submitter suffers an arrival-time delay spike.
+    QueueDelay,
+}
+
+impl FaultKind {
+    /// All data-corruption kinds, in injection-priority order (at most
+    /// one data fault is applied per system).
+    pub const DATA_KINDS: [FaultKind; 6] = [
+        FaultKind::NanValues,
+        FaultKind::InfValues,
+        FaultKind::NanRhs,
+        FaultKind::ZeroDiagonal,
+        FaultKind::NearZeroDiagonal,
+        FaultKind::SingularRow,
+    ];
+
+    /// Stable tag mixed into the hash (never reorder: scenarios are
+    /// reproducible across versions only if tags stay fixed).
+    fn tag(self) -> u64 {
+        match self {
+            FaultKind::NanValues => 1,
+            FaultKind::InfValues => 2,
+            FaultKind::NanRhs => 3,
+            FaultKind::ZeroDiagonal => 4,
+            FaultKind::NearZeroDiagonal => 5,
+            FaultKind::SingularRow => 6,
+            FaultKind::Stall => 7,
+            FaultKind::Panic => 8,
+            FaultKind::DeviceFail => 9,
+            FaultKind::QueueDelay => 10,
+        }
+    }
+}
+
+/// Per-kind injection probabilities in `[0, 1]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultRates {
+    /// NaN in the CSR values.
+    pub nan_values: f64,
+    /// +Inf in the CSR values.
+    pub inf_values: f64,
+    /// NaN in the RHS.
+    pub nan_rhs: f64,
+    /// Exact-zero diagonal entry.
+    pub zero_diagonal: f64,
+    /// Near-zero (1e-300) diagonal entry.
+    pub near_zero_diagonal: f64,
+    /// Zeroed row (singular system).
+    pub singular_row: f64,
+    /// Launch stall.
+    pub stall: f64,
+    /// Worker panic.
+    pub panic: f64,
+    /// Device/launch failure.
+    pub device_fail: f64,
+    /// Submission delay spike.
+    pub queue_delay: f64,
+}
+
+impl FaultRates {
+    fn of(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::NanValues => self.nan_values,
+            FaultKind::InfValues => self.inf_values,
+            FaultKind::NanRhs => self.nan_rhs,
+            FaultKind::ZeroDiagonal => self.zero_diagonal,
+            FaultKind::NearZeroDiagonal => self.near_zero_diagonal,
+            FaultKind::SingularRow => self.singular_row,
+            FaultKind::Stall => self.stall,
+            FaultKind::Panic => self.panic,
+            FaultKind::DeviceFail => self.device_fail,
+            FaultKind::QueueDelay => self.queue_delay,
+        }
+    }
+}
+
+/// A data fault that was actually applied to a system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Which fault was applied.
+    pub kind: FaultKind,
+    /// Where: value index for value faults, row for RHS/diagonal/row
+    /// faults.
+    pub location: usize,
+}
+
+/// A seeded, scenario-driven fault plan.
+///
+/// Whether id `i` suffers fault `k` is `hash(seed, k, i) < rate(k)` — a
+/// pure function, so a driver, the service under test, and the test's
+/// own bookkeeping all agree on exactly which requests are faulty.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: FaultRates,
+    stall_for: Duration,
+    delay_for: Duration,
+}
+
+/// SplitMix64 finalizer — the same mixer the proptest shim uses.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// Plan with the given seed and rates; stalls and delay spikes last
+    /// 50 ms / 5 ms until overridden.
+    pub fn new(seed: u64, rates: FaultRates) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates,
+            stall_for: Duration::from_millis(50),
+            delay_for: Duration::from_millis(5),
+        }
+    }
+
+    /// A plan that never injects anything.
+    pub fn disabled() -> FaultPlan {
+        FaultPlan::new(0, FaultRates::default())
+    }
+
+    /// Override the stall duration.
+    pub fn with_stall_duration(mut self, d: Duration) -> Self {
+        self.stall_for = d;
+        self
+    }
+
+    /// Override the queue-delay spike duration.
+    pub fn with_delay_duration(mut self, d: Duration) -> Self {
+        self.delay_for = d;
+        self
+    }
+
+    /// The configured rates.
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// Deterministic decision: does `id` suffer `kind`?
+    pub fn rolls(&self, kind: FaultKind, id: u64) -> bool {
+        let rate = self.rates.of(kind);
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let h = mix(self.seed ^ kind.tag().wrapping_mul(0xA076_1D64_78BD_642F) ^ mix(id));
+        (h as f64 / u64::MAX as f64) < rate
+    }
+
+    /// Deterministic location pick in `[0, len)` for `kind` on `id`.
+    fn pick(&self, kind: FaultKind, id: u64, len: usize) -> usize {
+        debug_assert!(len > 0);
+        (mix(self.seed ^ kind.tag().wrapping_mul(0xE703_7ED1_A0B4_28DB) ^ id) % len as u64) as usize
+    }
+
+    /// The data fault `id` would suffer, if any (the first kind in
+    /// [`FaultKind::DATA_KINDS`] priority order that rolls). Pure
+    /// prediction — use it to compute expected fault counts.
+    pub fn data_fault_for(&self, id: u64) -> Option<FaultKind> {
+        FaultKind::DATA_KINDS
+            .into_iter()
+            .find(|&k| self.rolls(k, id))
+    }
+
+    /// Apply `id`'s data fault (if any) to a system over `pattern`.
+    /// Returns what was injected so drivers can account for it.
+    pub fn corrupt_system(
+        &self,
+        id: u64,
+        pattern: &SparsityPattern,
+        values: &mut [f64],
+        rhs: &mut [f64],
+    ) -> Option<InjectedFault> {
+        let kind = self.data_fault_for(id)?;
+        let n = pattern.num_rows();
+        let location = match kind {
+            FaultKind::NanValues => {
+                let k = self.pick(kind, id, values.len());
+                values[k] = f64::NAN;
+                k
+            }
+            FaultKind::InfValues => {
+                let k = self.pick(kind, id, values.len());
+                values[k] = f64::INFINITY;
+                k
+            }
+            FaultKind::NanRhs => {
+                let r = self.pick(kind, id, rhs.len());
+                rhs[r] = f64::NAN;
+                r
+            }
+            FaultKind::ZeroDiagonal | FaultKind::NearZeroDiagonal => {
+                let r = self.pick(kind, id, n);
+                if let Some(k) = pattern.find(r, r) {
+                    values[k] = if kind == FaultKind::ZeroDiagonal {
+                        0.0
+                    } else {
+                        1e-300
+                    };
+                }
+                r
+            }
+            FaultKind::SingularRow => {
+                let r = self.pick(kind, id, n);
+                let (b, e) = pattern.row_range(r);
+                for v in &mut values[b..e] {
+                    *v = 0.0;
+                }
+                r
+            }
+            _ => unreachable!("DATA_KINDS only contains data faults"),
+        };
+        Some(InjectedFault { kind, location })
+    }
+
+    /// Arrival-delay spike for `id`, if it rolls one.
+    pub fn queue_delay(&self, id: u64) -> Option<Duration> {
+        self.rolls(FaultKind::QueueDelay, id)
+            .then_some(self.delay_for)
+    }
+}
+
+impl LaunchHook for FaultPlan {
+    /// Launch-level faults keyed by the systems in the launch: a faulty
+    /// member disrupts its whole fused launch (and, deterministically,
+    /// any retry batch it lands in). Panic wins over device failure wins
+    /// over stall, so singleton-retry attribution stays stable.
+    fn disrupt(&self, launch_ids: &[u64]) -> LaunchDisruption {
+        if let Some(&id) = launch_ids
+            .iter()
+            .find(|&&i| self.rolls(FaultKind::Panic, i))
+        {
+            return LaunchDisruption::Panic {
+                reason: format!("injected worker panic (request {id})"),
+            };
+        }
+        if launch_ids
+            .iter()
+            .any(|&i| self.rolls(FaultKind::DeviceFail, i))
+        {
+            return LaunchDisruption::DeviceFail {
+                code: "injected_launch_failure",
+            };
+        }
+        if launch_ids.iter().any(|&i| self.rolls(FaultKind::Stall, i)) {
+            return LaunchDisruption::Stall(self.stall_for);
+        }
+        LaunchDisruption::Proceed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn tridiag_pattern(n: usize) -> Arc<SparsityPattern> {
+        let mut coords = Vec::new();
+        for r in 0..n {
+            if r > 0 {
+                coords.push((r, r - 1));
+            }
+            coords.push((r, r));
+            if r + 1 < n {
+                coords.push((r, r + 1));
+            }
+        }
+        Arc::new(SparsityPattern::from_coords(n, &coords).unwrap())
+    }
+
+    fn clean_system(p: &SparsityPattern) -> (Vec<f64>, Vec<f64>) {
+        let mut values = Vec::with_capacity(p.nnz());
+        for r in 0..p.num_rows() {
+            for &c in p.row_cols(r) {
+                values.push(if c as usize == r { 4.0 } else { -1.0 });
+            }
+        }
+        (values, vec![1.0; p.num_rows()])
+    }
+
+    #[test]
+    fn rolls_are_deterministic_and_seed_sensitive() {
+        let rates = FaultRates {
+            nan_values: 0.3,
+            ..Default::default()
+        };
+        let a = FaultPlan::new(7, rates);
+        let b = FaultPlan::new(7, rates);
+        let c = FaultPlan::new(8, rates);
+        let pick = |p: &FaultPlan| -> Vec<bool> {
+            (0..256).map(|i| p.rolls(FaultKind::NanValues, i)).collect()
+        };
+        assert_eq!(pick(&a), pick(&b));
+        assert_ne!(pick(&a), pick(&c));
+    }
+
+    #[test]
+    fn rate_zero_never_rolls_rate_one_always_rolls() {
+        let never = FaultPlan::disabled();
+        let always = FaultPlan::new(
+            1,
+            FaultRates {
+                panic: 1.0,
+                ..Default::default()
+            },
+        );
+        for i in 0..100 {
+            assert!(!never.rolls(FaultKind::Panic, i));
+            assert!(always.rolls(FaultKind::Panic, i));
+        }
+    }
+
+    #[test]
+    fn observed_rate_tracks_configured_rate() {
+        let plan = FaultPlan::new(
+            42,
+            FaultRates {
+                nan_rhs: 0.2,
+                ..Default::default()
+            },
+        );
+        let hits = (0..10_000)
+            .filter(|&i| plan.rolls(FaultKind::NanRhs, i))
+            .count();
+        assert!((1_700..2_300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn corrupt_system_matches_prediction() {
+        let p = tridiag_pattern(16);
+        let plan = FaultPlan::new(
+            3,
+            FaultRates {
+                nan_values: 0.15,
+                nan_rhs: 0.15,
+                singular_row: 0.15,
+                ..Default::default()
+            },
+        );
+        let mut injected = 0;
+        for id in 0..200u64 {
+            let (mut values, mut rhs) = clean_system(&p);
+            let predicted = plan.data_fault_for(id);
+            let applied = plan.corrupt_system(id, &p, &mut values, &mut rhs);
+            assert_eq!(predicted, applied.map(|f| f.kind));
+            match applied {
+                None => {
+                    assert!(values.iter().chain(rhs.iter()).all(|v| v.is_finite()));
+                }
+                Some(f) => {
+                    injected += 1;
+                    match f.kind {
+                        FaultKind::NanValues => assert!(values[f.location].is_nan()),
+                        FaultKind::NanRhs => assert!(rhs[f.location].is_nan()),
+                        FaultKind::SingularRow => {
+                            let (b, e) = p.row_range(f.location);
+                            assert!(values[b..e].iter().all(|&v| v == 0.0));
+                        }
+                        other => panic!("unexpected kind {other:?}"),
+                    }
+                }
+            }
+        }
+        assert!(injected > 10, "scenario should actually inject faults");
+    }
+
+    #[test]
+    fn diagonal_faults_hit_the_diagonal() {
+        let p = tridiag_pattern(12);
+        let plan = FaultPlan::new(
+            5,
+            FaultRates {
+                zero_diagonal: 1.0,
+                ..Default::default()
+            },
+        );
+        let (mut values, mut rhs) = clean_system(&p);
+        let f = plan.corrupt_system(9, &p, &mut values, &mut rhs).unwrap();
+        assert_eq!(f.kind, FaultKind::ZeroDiagonal);
+        let k = p.find(f.location, f.location).unwrap();
+        assert_eq!(values[k], 0.0);
+    }
+
+    #[test]
+    fn launch_hook_priorities_and_determinism() {
+        let plan = FaultPlan::new(
+            11,
+            FaultRates {
+                panic: 0.5,
+                device_fail: 1.0,
+                stall: 1.0,
+                ..Default::default()
+            },
+        )
+        .with_stall_duration(Duration::from_millis(1));
+        // Find an id that rolls panic and one that does not.
+        let panicky = (0..64).find(|&i| plan.rolls(FaultKind::Panic, i)).unwrap();
+        let calm = (0..64).find(|&i| !plan.rolls(FaultKind::Panic, i)).unwrap();
+        assert!(matches!(
+            plan.disrupt(&[calm, panicky]),
+            LaunchDisruption::Panic { .. }
+        ));
+        // Without a panicky member, device failure dominates stall.
+        assert_eq!(
+            plan.disrupt(&[calm]),
+            LaunchDisruption::DeviceFail {
+                code: "injected_launch_failure"
+            }
+        );
+        let quiet = FaultPlan::new(
+            11,
+            FaultRates {
+                stall: 1.0,
+                ..Default::default()
+            },
+        )
+        .with_stall_duration(Duration::from_millis(1));
+        assert_eq!(
+            quiet.disrupt(&[calm]),
+            LaunchDisruption::Stall(Duration::from_millis(1))
+        );
+        assert_eq!(
+            FaultPlan::disabled().disrupt(&[1, 2]),
+            LaunchDisruption::Proceed
+        );
+    }
+
+    #[test]
+    fn queue_delay_spikes() {
+        let plan = FaultPlan::new(
+            2,
+            FaultRates {
+                queue_delay: 1.0,
+                ..Default::default()
+            },
+        )
+        .with_delay_duration(Duration::from_micros(300));
+        assert_eq!(plan.queue_delay(4), Some(Duration::from_micros(300)));
+        assert_eq!(FaultPlan::disabled().queue_delay(4), None);
+    }
+}

@@ -39,6 +39,7 @@ pub use csr::BatchCsr;
 pub use dense::BatchDense;
 pub use dia::BatchDia;
 pub use ell::BatchEll;
+pub use matrix_market::MmError;
 pub use pattern::SparsityPattern;
 pub use storage::StorageReport;
 pub use traits::BatchMatrix;

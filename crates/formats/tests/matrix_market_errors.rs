@@ -1,0 +1,182 @@
+//! Fixture-driven tests of the Matrix Market loader's structured parse
+//! errors: every malformed fixture must map to the right [`MmError`]
+//! variant **with the right 1-indexed source line**, and the crate-level
+//! wrappers must surface that line number in their message.
+
+use batsolv_formats::matrix_market::{parse_matrix, parse_vector, read_matrix, read_vector};
+use batsolv_formats::MmError;
+use batsolv_types::Error;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn good_fixtures_parse() {
+    let (pat, vals) = parse_matrix::<f64>(&fixture("good_2x2.mtx")).unwrap();
+    assert_eq!(pat.num_rows(), 2);
+    assert_eq!(pat.nnz(), 4);
+    assert_eq!(vals[pat.find(1, 1).unwrap()], 3.5);
+
+    let v = parse_vector::<f64>(&fixture("vec_good.mtx")).unwrap();
+    assert_eq!(v, vec![1.5, -2.0, 0.25]);
+}
+
+#[test]
+fn bad_header_names_the_banner_line() {
+    let err = parse_matrix::<f64>(&fixture("bad_header.mtx")).unwrap_err();
+    assert_eq!(
+        err,
+        MmError::BadHeader {
+            line: 1,
+            found: "%%NotMatrixMarket something else".into(),
+            expected: "coordinate",
+        }
+    );
+    // An array banner fed to the coordinate parser is also a header
+    // error, not a size-line error further down.
+    let err = parse_matrix::<f64>(&fixture("vec_good.mtx")).unwrap_err();
+    assert!(matches!(err, MmError::BadHeader { line: 1, .. }));
+    let err = parse_vector::<f64>(&fixture("good_2x2.mtx")).unwrap_err();
+    assert!(matches!(err, MmError::BadHeader { line: 1, .. }));
+}
+
+#[test]
+fn bad_size_line_is_reported_with_its_line() {
+    // Line 1 banner, line 2 comment, line 3 size line.
+    let err = parse_matrix::<f64>(&fixture("bad_size.mtx")).unwrap_err();
+    assert_eq!(
+        err,
+        MmError::BadSizeLine {
+            line: 3,
+            found: "2 2 four".into(),
+        }
+    );
+}
+
+#[test]
+fn non_square_matrix_is_rejected() {
+    let err = parse_matrix::<f64>(&fixture("not_square.mtx")).unwrap_err();
+    assert_eq!(
+        err,
+        MmError::NotSquare {
+            line: 2,
+            rows: 2,
+            cols: 3,
+        }
+    );
+}
+
+#[test]
+fn truncated_entry_names_its_line() {
+    // Fixture layout: banner, size, entry, truncated entry on line 4.
+    let err = parse_matrix::<f64>(&fixture("truncated_entry.mtx")).unwrap_err();
+    assert_eq!(
+        err,
+        MmError::BadEntry {
+            line: 4,
+            found: "2 2".into(),
+        }
+    );
+}
+
+#[test]
+fn out_of_range_entry_names_line_and_coordinates() {
+    let err = parse_matrix::<f64>(&fixture("out_of_range.mtx")).unwrap_err();
+    assert_eq!(
+        err,
+        MmError::IndexOutOfRange {
+            line: 4,
+            row: 3,
+            col: 1,
+            n: 2,
+        }
+    );
+}
+
+#[test]
+fn entry_count_mismatch_reports_both_counts() {
+    let err = parse_matrix::<f64>(&fixture("count_mismatch.mtx")).unwrap_err();
+    assert_eq!(
+        err,
+        MmError::CountMismatch {
+            promised: 5,
+            found: 3,
+        }
+    );
+}
+
+#[test]
+fn duplicate_coordinates_name_the_second_occurrence() {
+    let err = parse_matrix::<f64>(&fixture("duplicate_entry.mtx")).unwrap_err();
+    assert_eq!(
+        err,
+        MmError::DuplicateEntry {
+            line: 4,
+            row: 1,
+            col: 1,
+        }
+    );
+}
+
+#[test]
+fn empty_and_header_only_inputs() {
+    assert_eq!(parse_matrix::<f64>("").unwrap_err(), MmError::Empty);
+    assert_eq!(parse_matrix::<f64>("\n \n").unwrap_err(), MmError::Empty);
+    assert_eq!(
+        parse_matrix::<f64>("%%MatrixMarket matrix coordinate real general\n% only comments\n")
+            .unwrap_err(),
+        MmError::MissingSizeLine
+    );
+}
+
+#[test]
+fn vector_errors_carry_lines() {
+    let err = parse_vector::<f64>(&fixture("vec_not_column.mtx")).unwrap_err();
+    assert_eq!(
+        err,
+        MmError::NotColumnVector {
+            line: 2,
+            rows: 3,
+            cols: 2,
+        }
+    );
+    // Banner, comment, size, value, bad value on line 5.
+    let err = parse_vector::<f64>(&fixture("vec_bad_value.mtx")).unwrap_err();
+    assert_eq!(
+        err,
+        MmError::BadEntry {
+            line: 5,
+            found: "oops".into(),
+        }
+    );
+    let err = parse_vector::<f64>(&fixture("vec_truncated.mtx")).unwrap_err();
+    assert_eq!(
+        err,
+        MmError::CountMismatch {
+            promised: 4,
+            found: 2,
+        }
+    );
+}
+
+#[test]
+fn crate_level_wrappers_surface_line_numbers() {
+    let err = read_matrix::<f64>(&fixture("truncated_entry.mtx")).unwrap_err();
+    match err {
+        Error::InvalidFormat(msg) => {
+            assert!(msg.contains("line 4"), "message lost the line: {msg}")
+        }
+        other => panic!("expected InvalidFormat, got {other:?}"),
+    }
+    let err = read_vector::<f64>(&fixture("vec_bad_value.mtx")).unwrap_err();
+    match err {
+        Error::InvalidFormat(msg) => {
+            assert!(msg.contains("line 5"), "message lost the line: {msg}")
+        }
+        other => panic!("expected InvalidFormat, got {other:?}"),
+    }
+}

@@ -1,0 +1,75 @@
+//! Launch-disruption hooks.
+//!
+//! A fused batched kernel is one launch: once it is in flight, nothing
+//! inside it can be cancelled or retried (the Rupp et al. observation
+//! that kernel fusion pushes all fault handling to the dispatch layer).
+//! This module gives the dispatch layer a seam to exercise exactly that:
+//! a [`LaunchHook`] is consulted immediately before a fused launch and
+//! may let it proceed, fail it like a device/launch error, stall it, or
+//! panic the launching worker. Production runs use [`NoDisruption`]
+//! (zero cost); chaos runs plug in a seeded fault plan.
+
+use std::time::Duration;
+
+/// What a [`LaunchHook`] decided to do to a launch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LaunchDisruption {
+    /// Launch normally.
+    Proceed,
+    /// Simulate a device-side launch failure (e.g.
+    /// `cudaErrorLaunchFailure`): the dispatch must fail the whole batch
+    /// with a structured error — per-system recovery is impossible.
+    DeviceFail {
+        /// Short machine-readable failure code.
+        code: &'static str,
+    },
+    /// Simulate a host-side crash while the launch is being issued: the
+    /// hook caller is expected to `panic!`, exercising the supervisor's
+    /// panic-isolation path.
+    Panic {
+        /// Panic payload text.
+        reason: String,
+    },
+    /// Simulate a stuck launch: the dispatch blocks this long before the
+    /// kernel makes progress (a few pathological systems stalling the
+    /// shared launch — the Adams et al. failure mode).
+    Stall(Duration),
+}
+
+/// Pre-launch hook consulted by batch dispatchers.
+///
+/// `launch_ids` are the dispatcher-assigned ids of the systems fused
+/// into this launch, so an implementation can make per-system-
+/// deterministic decisions (the same poisoned request disrupts its
+/// launch no matter which batch it lands in).
+pub trait LaunchHook: Send + Sync {
+    /// Decide the fate of a launch carrying these systems.
+    fn disrupt(&self, launch_ids: &[u64]) -> LaunchDisruption;
+}
+
+/// The production hook: never disrupts anything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoDisruption;
+
+impl LaunchHook for NoDisruption {
+    fn disrupt(&self, _launch_ids: &[u64]) -> LaunchDisruption {
+        LaunchDisruption::Proceed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_disruption_always_proceeds() {
+        assert_eq!(NoDisruption.disrupt(&[]), LaunchDisruption::Proceed);
+        assert_eq!(NoDisruption.disrupt(&[1, 2, 3]), LaunchDisruption::Proceed);
+    }
+
+    #[test]
+    fn hook_is_object_safe() {
+        let hook: Box<dyn LaunchHook> = Box::new(NoDisruption);
+        assert_eq!(hook.disrupt(&[7]), LaunchDisruption::Proceed);
+    }
+}

@@ -22,13 +22,17 @@
 //! * [`exec`] — actually runs the per-block numeric closures in parallel
 //!   on CPU threads (rayon), so results are bit-exact while time is
 //!   simulated;
-//! * [`transfer`] — host↔device copy model for the Figure 1 timeline.
+//! * [`transfer`] — host↔device copy model for the Figure 1 timeline;
+//! * [`hook`] — pre-launch disruption seam ([`LaunchHook`]) used by the
+//!   dispatch layer for chaos testing: simulated launch failures, stalls,
+//!   and worker panics.
 //!
 //! Numerics are always executed for real; only *time* is modeled.
 
 pub mod cache;
 pub mod device;
 pub mod exec;
+pub mod hook;
 pub mod model;
 pub mod multi;
 pub mod occupancy;
@@ -38,6 +42,7 @@ pub mod transfer;
 pub use cache::{CacheOutcome, TrafficProfile};
 pub use device::{DeviceClass, DeviceSpec, Scheduling};
 pub use exec::{run_batch, run_batch_map_mut, run_batch_mut};
+pub use hook::{LaunchDisruption, LaunchHook, NoDisruption};
 pub use model::{BlockStats, KernelReport, SimKernel};
 pub use multi::{MultiGpu, MultiGpuReport};
 pub use occupancy::{max_threads_per_block, resident_blocks_per_cu, warps_per_block};

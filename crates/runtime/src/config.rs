@@ -4,6 +4,8 @@ use std::time::Duration;
 
 use batsolv_gpusim::DeviceSpec;
 
+use crate::breaker::BreakerConfig;
+
 /// Tuning knobs of the solve service.
 ///
 /// The two batching knobs trade latency against throughput exactly like a
@@ -28,11 +30,30 @@ pub struct RuntimeConfig {
     /// own (the paper's production tolerance).
     pub tolerance: f64,
     /// Iteration cap of the iterative solver; systems still unconverged
-    /// at the cap go to the direct fallback.
+    /// at the cap climb the escalation ladder.
     pub max_iters: usize,
-    /// Whether non-converged systems are retried with the banded-LU
-    /// direct solver (the `dgbsv` baseline) before being reported failed.
+    /// Whether BiCGSTAB stragglers are retried with restarted GMRES
+    /// (rung 2 of the escalation ladder).
+    pub enable_gmres: bool,
+    /// GMRES restart length.
+    pub gmres_restart: usize,
+    /// GMRES total-iteration cap.
+    pub gmres_max_iters: usize,
+    /// Whether still-unconverged systems are retried with the banded-LU
+    /// direct solver (the `dgbsv` baseline, last rung) before being
+    /// reported failed.
     pub enable_fallback: bool,
+    /// Whether the admission gate validates payloads (finiteness, usable
+    /// Jacobi diagonal) at submission. Disable only in chaos tests that
+    /// deliberately feed poisoned systems to the ladder.
+    pub validate_admission: bool,
+    /// Diagonal magnitudes at or below this are rejected by the gate.
+    pub min_diag_abs: f64,
+    /// Dispatch-time budget of the watchdog; batches exceeding it are
+    /// counted as stalled. `None` disables the watchdog thread.
+    pub watchdog_budget: Option<Duration>,
+    /// Circuit-breaker knobs; `None` disables the breaker.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl RuntimeConfig {
@@ -46,7 +67,14 @@ impl RuntimeConfig {
             linger: Duration::from_millis(2),
             tolerance: 1e-10,
             max_iters: 500,
+            enable_gmres: true,
+            gmres_restart: 30,
+            gmres_max_iters: 300,
             enable_fallback: true,
+            validate_admission: true,
+            min_diag_abs: 0.0,
+            watchdog_budget: Some(Duration::from_secs(30)),
+            breaker: Some(BreakerConfig::default()),
         }
     }
 
@@ -86,6 +114,43 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enable or disable the GMRES escalation rung.
+    pub fn with_gmres(mut self, enabled: bool) -> Self {
+        self.enable_gmres = enabled;
+        self
+    }
+
+    /// Override the GMRES restart length and iteration cap.
+    pub fn with_gmres_limits(mut self, restart: usize, max_iters: usize) -> Self {
+        self.gmres_restart = restart;
+        self.gmres_max_iters = max_iters;
+        self
+    }
+
+    /// Enable or disable the admission gate.
+    pub fn with_admission(mut self, enabled: bool) -> Self {
+        self.validate_admission = enabled;
+        self
+    }
+
+    /// Override the admission gate's diagonal-magnitude floor.
+    pub fn with_min_diag_abs(mut self, floor: f64) -> Self {
+        self.min_diag_abs = floor;
+        self
+    }
+
+    /// Override (or with `None`, disable) the watchdog budget.
+    pub fn with_watchdog(mut self, budget: Option<Duration>) -> Self {
+        self.watchdog_budget = budget;
+        self
+    }
+
+    /// Override (or with `None`, disable) the circuit breaker.
+    pub fn with_breaker(mut self, breaker: Option<BreakerConfig>) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
     /// Validate the knob combination.
     pub fn validate(&self) -> Result<(), String> {
         if self.queue_capacity == 0 {
@@ -102,6 +167,26 @@ impl RuntimeConfig {
         }
         if self.max_iters == 0 {
             return Err("max_iters must be at least 1".into());
+        }
+        if self.enable_gmres && (self.gmres_restart == 0 || self.gmres_max_iters == 0) {
+            return Err("gmres_restart and gmres_max_iters must be at least 1".into());
+        }
+        if self.min_diag_abs.is_nan() || self.min_diag_abs < 0.0 {
+            return Err(format!(
+                "min_diag_abs must be non-negative, got {}",
+                self.min_diag_abs
+            ));
+        }
+        if let Some(b) = &self.breaker {
+            if b.trip_after == 0 {
+                return Err("breaker trip_after must be at least 1".into());
+            }
+            if !(0.0..=1.0).contains(&b.degraded_fraction) {
+                return Err(format!(
+                    "breaker degraded_fraction must be in [0, 1], got {}",
+                    b.degraded_fraction
+                ));
+            }
         }
         Ok(())
     }

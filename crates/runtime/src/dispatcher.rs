@@ -2,19 +2,25 @@
 //!
 //! The engine is a trait so the service loop can be exercised with a
 //! deterministic test double (e.g. a blocking engine for backpressure
-//! tests) while production uses [`BicgstabEngine`]: the paper's fused
-//! batched BiCGSTAB with a banded-LU (`dgbsv`) retry for systems that
-//! miss the iteration cap.
+//! tests) while production uses [`LadderEngine`]: the paper's fused
+//! batched BiCGSTAB, escalated per-system through restarted GMRES and
+//! finally the banded-LU (`dgbsv`) direct baseline. Each rung only
+//! reprocesses the systems the previous rung left behind, so a healthy
+//! batch pays exactly one BiCGSTAB launch.
+//!
+//! The engine consults a [`LaunchHook`] immediately before the fused
+//! launch — the chaos seam: a hook can fail the launch like a device
+//! error, stall it, or panic the worker (see `batsolv-faults`).
 
 use std::sync::Arc;
 
 use batsolv_formats::{BatchBanded, BatchCsr, BatchVectors, SparsityPattern};
-use batsolv_gpusim::DeviceSpec;
+use batsolv_gpusim::{DeviceSpec, LaunchDisruption, LaunchHook, NoDisruption};
 use batsolv_solvers::direct::BatchBandedLu;
-use batsolv_solvers::{AbsResidual, BatchBicgstab, Jacobi};
-use batsolv_types::{BatchDims, Result};
+use batsolv_solvers::{AbsResidual, BatchBicgstab, BatchGmres, Jacobi};
+use batsolv_types::{BatchDims, Error, Result};
 
-use crate::request::{RequestId, SolveMethod};
+use crate::request::{RequestId, RungAttempt, SolveMethod};
 
 /// One request's payload as handed to the engine.
 #[derive(Clone, Debug)]
@@ -38,7 +44,8 @@ pub struct ItemOutcome {
     pub id: RequestId,
     /// Solution vector (last iterate when not converged).
     pub x: Vec<f64>,
-    /// Iterative-solver iterations spent on this system.
+    /// Total iterative-solver iterations spent on this system, summed
+    /// across rungs.
     pub iterations: u32,
     /// Final residual 2-norm.
     pub residual: f64,
@@ -48,6 +55,8 @@ pub struct ItemOutcome {
     pub method: SolveMethod,
     /// Solver breakdown tag, if any.
     pub breakdown: Option<&'static str>,
+    /// Every ladder rung attempted, in order.
+    pub rungs: Vec<RungAttempt>,
 }
 
 /// What one fused dispatch produced.
@@ -55,7 +64,7 @@ pub struct ItemOutcome {
 pub struct BatchReport {
     /// Per-item outcomes, in batch order.
     pub outcomes: Vec<ItemOutcome>,
-    /// Simulated kernel time of the dispatch (iterative + any fallback).
+    /// Simulated kernel time of the dispatch (all rungs).
     pub sim_time_s: f64,
 }
 
@@ -66,31 +75,49 @@ pub trait SolveEngine: Send + Sync + 'static {
     fn solve_batch(&self, items: &[BatchItem]) -> Result<BatchReport>;
 }
 
-/// The production engine: fused batched BiCGSTAB (Jacobi-preconditioned,
-/// absolute-residual stop) with optional banded-LU retry.
-pub struct BicgstabEngine {
-    device: DeviceSpec,
-    pattern: Arc<SparsityPattern>,
-    default_tolerance: f64,
-    max_iters: usize,
-    enable_fallback: bool,
+/// Knobs of the escalation ladder.
+#[derive(Clone, Copy, Debug)]
+pub struct LadderConfig {
+    /// Tolerance used when an item carries none.
+    pub default_tolerance: f64,
+    /// BiCGSTAB iteration cap (rung 1).
+    pub max_iters: usize,
+    /// Whether rung 2 (restarted GMRES) runs at all.
+    pub enable_gmres: bool,
+    /// GMRES restart length.
+    pub gmres_restart: usize,
+    /// GMRES total-iteration cap.
+    pub gmres_max_iters: usize,
+    /// Whether rung 3 (banded LU) runs at all.
+    pub enable_fallback: bool,
 }
 
-impl BicgstabEngine {
-    /// Engine over `pattern`, priced on `device`.
-    pub fn new(
+/// The production engine: BiCGSTAB → restarted GMRES → banded LU.
+pub struct LadderEngine {
+    device: DeviceSpec,
+    pattern: Arc<SparsityPattern>,
+    cfg: LadderConfig,
+    hook: Arc<dyn LaunchHook>,
+}
+
+impl LadderEngine {
+    /// Engine over `pattern`, priced on `device`, with no disruption.
+    pub fn new(device: DeviceSpec, pattern: Arc<SparsityPattern>, cfg: LadderConfig) -> Self {
+        Self::with_hook(device, pattern, cfg, Arc::new(NoDisruption))
+    }
+
+    /// Engine with a caller-provided launch hook (chaos testing).
+    pub fn with_hook(
         device: DeviceSpec,
         pattern: Arc<SparsityPattern>,
-        default_tolerance: f64,
-        max_iters: usize,
-        enable_fallback: bool,
-    ) -> BicgstabEngine {
-        BicgstabEngine {
+        cfg: LadderConfig,
+        hook: Arc<dyn LaunchHook>,
+    ) -> LadderEngine {
+        LadderEngine {
             device,
             pattern,
-            default_tolerance,
-            max_iters,
-            enable_fallback,
+            cfg,
+            hook,
         }
     }
 
@@ -100,32 +127,59 @@ impl BicgstabEngine {
         items
             .iter()
             .filter_map(|it| it.tolerance)
-            .fold(self.default_tolerance, f64::min)
+            .fold(self.cfg.default_tolerance, f64::min)
+    }
+
+    /// Build the CSR batch / RHS vectors for a subset of items.
+    fn assemble(
+        &self,
+        items: &[BatchItem],
+        subset: &[usize],
+    ) -> Result<(BatchCsr<f64>, BatchVectors<f64>, BatchDims)> {
+        let n = self.pattern.num_rows();
+        let dims = BatchDims::new(subset.len(), n)?;
+        let values: Vec<Vec<f64>> = subset.iter().map(|&i| items[i].values.clone()).collect();
+        let a = BatchCsr::from_system_values(Arc::clone(&self.pattern), &values)?;
+        let mut rhs_flat = Vec::with_capacity(subset.len() * n);
+        for &i in subset {
+            rhs_flat.extend_from_slice(&items[i].rhs);
+        }
+        let b = BatchVectors::from_values(dims, rhs_flat)?;
+        Ok((a, b, dims))
     }
 }
 
-impl SolveEngine for BicgstabEngine {
+impl SolveEngine for LadderEngine {
     fn solve_batch(&self, items: &[BatchItem]) -> Result<BatchReport> {
-        let n = self.pattern.num_rows();
-        let ns = items.len();
-        let dims = BatchDims::new(ns, n)?;
-        let value_rows: Vec<Vec<f64>> = items.iter().map(|it| it.values.clone()).collect();
-        let a = BatchCsr::from_system_values(Arc::clone(&self.pattern), &value_rows)?;
-        let mut rhs_flat = Vec::with_capacity(ns * n);
-        for it in items {
-            rhs_flat.extend_from_slice(&it.rhs);
+        // Chaos seam: the hook sees the fused launch before it happens.
+        let ids: Vec<u64> = items.iter().map(|it| it.id).collect();
+        match self.hook.disrupt(&ids) {
+            LaunchDisruption::Proceed => {}
+            LaunchDisruption::DeviceFail { code } => {
+                return Err(Error::DeviceFailure { code });
+            }
+            LaunchDisruption::Panic { reason } => {
+                panic!("{reason}");
+            }
+            LaunchDisruption::Stall(d) => {
+                std::thread::sleep(d);
+            }
         }
-        let b = BatchVectors::from_values(dims, rhs_flat)?;
+
+        let n = self.pattern.num_rows();
+        let tol = self.effective_tolerance(items);
+        let all: Vec<usize> = (0..items.len()).collect();
+
+        // Rung 1: fused BiCGSTAB over the whole batch.
+        let (a, b, dims) = self.assemble(items, &all)?;
         let mut x = BatchVectors::zeros(dims);
         for (i, it) in items.iter().enumerate() {
             if let Some(g) = &it.guess {
                 x.system_mut(i).copy_from_slice(g);
             }
         }
-
-        let tol = self.effective_tolerance(items);
         let solver =
-            BatchBicgstab::new(Jacobi, AbsResidual::new(tol)).with_max_iters(self.max_iters);
+            BatchBicgstab::new(Jacobi, AbsResidual::new(tol)).with_max_iters(self.cfg.max_iters);
         let report = solver.solve(&self.device, &a, &b, &mut x)?;
         let mut sim_time_s = report.time_s();
 
@@ -142,47 +196,101 @@ impl SolveEngine for BicgstabEngine {
                     converged: r.converged,
                     method: SolveMethod::Bicgstab,
                     breakdown: r.breakdown,
+                    rungs: vec![RungAttempt {
+                        method: SolveMethod::Bicgstab,
+                        iterations: r.iterations,
+                        residual: r.residual,
+                        converged: r.converged,
+                        breakdown: r.breakdown,
+                    }],
                 }
             })
             .collect();
 
-        // Retry the stragglers as one direct sub-batch: the banded-LU
-        // baseline always produces a solution (modulo singularity), so a
-        // missed iteration cap degrades to dgbsv cost instead of an error.
-        if self.enable_fallback {
-            let stragglers: Vec<usize> = outcomes
+        let stragglers = |outcomes: &[ItemOutcome]| -> Vec<usize> {
+            outcomes
                 .iter()
                 .enumerate()
                 .filter(|(_, o)| !o.converged)
                 .map(|(i, _)| i)
-                .collect();
-            if !stragglers.is_empty() {
-                let sub_values: Vec<Vec<f64>> = stragglers
-                    .iter()
-                    .map(|&i| items[i].values.clone())
-                    .collect();
+                .collect()
+        };
+
+        // Rung 2: restarted GMRES on whatever BiCGSTAB left behind,
+        // warm-started from the (sanitized, finite) BiCGSTAB iterate.
+        if self.cfg.enable_gmres {
+            let sub = stragglers(&outcomes);
+            if !sub.is_empty() {
+                let (sub_a, sub_b, sub_dims) = self.assemble(items, &sub)?;
+                let mut sub_x = BatchVectors::zeros(sub_dims);
+                for (k, &i) in sub.iter().enumerate() {
+                    sub_x.system_mut(k).copy_from_slice(&outcomes[i].x);
+                }
+                let gmres = BatchGmres::new(Jacobi, AbsResidual::new(tol), self.cfg.gmres_restart)
+                    .with_max_iters(self.cfg.gmres_max_iters);
+                let g_report = gmres.solve(&self.device, &sub_a, &sub_b, &mut sub_x)?;
+                sim_time_s += g_report.time_s();
+                for (k, &i) in sub.iter().enumerate() {
+                    let r = &g_report.per_system[k];
+                    let o = &mut outcomes[i];
+                    o.rungs.push(RungAttempt {
+                        method: SolveMethod::Gmres,
+                        iterations: r.iterations,
+                        residual: r.residual,
+                        converged: r.converged,
+                        breakdown: r.breakdown,
+                    });
+                    o.iterations += r.iterations;
+                    if r.converged {
+                        o.x = sub_x.system(k).to_vec();
+                        o.residual = r.residual;
+                        o.converged = true;
+                        o.method = SolveMethod::Gmres;
+                        o.breakdown = None;
+                    } else {
+                        o.breakdown = r.breakdown.or(o.breakdown);
+                    }
+                }
+            }
+        }
+
+        // Rung 3: banded-LU direct solve — always produces a solution
+        // modulo genuine singularity, so a missed iteration cap degrades
+        // to dgbsv cost instead of an error.
+        if self.cfg.enable_fallback {
+            let sub = stragglers(&outcomes);
+            if !sub.is_empty() {
+                let sub_values: Vec<Vec<f64>> =
+                    sub.iter().map(|&i| items[i].values.clone()).collect();
                 let sub_a = BatchCsr::from_system_values(Arc::clone(&self.pattern), &sub_values)?;
                 let banded = BatchBanded::from_csr(&sub_a)?;
-                let sub_dims = BatchDims::new(stragglers.len(), n)?;
-                let mut sub_rhs = Vec::with_capacity(stragglers.len() * n);
-                for &i in &stragglers {
+                let sub_dims = BatchDims::new(sub.len(), n)?;
+                let mut sub_rhs = Vec::with_capacity(sub.len() * n);
+                for &i in &sub {
                     sub_rhs.extend_from_slice(&items[i].rhs);
                 }
                 let sub_b = BatchVectors::from_values(sub_dims, sub_rhs)?;
                 let mut sub_x = BatchVectors::zeros(sub_dims);
                 let lu_report = BatchBandedLu.solve(&self.device, &banded, &sub_b, &mut sub_x)?;
                 sim_time_s += lu_report.time_s();
-                for (k, &i) in stragglers.iter().enumerate() {
+                for (k, &i) in sub.iter().enumerate() {
                     let lr = &lu_report.per_system[k];
+                    let o = &mut outcomes[i];
+                    o.rungs.push(RungAttempt {
+                        method: SolveMethod::BandedLuFallback,
+                        iterations: lr.iterations,
+                        residual: lr.residual,
+                        converged: lr.converged,
+                        breakdown: lr.breakdown,
+                    });
                     if lr.converged {
-                        let o = &mut outcomes[i];
                         o.x = sub_x.system(k).to_vec();
                         o.residual = lr.residual;
                         o.converged = true;
                         o.method = SolveMethod::BandedLuFallback;
                         o.breakdown = None;
                     } else {
-                        outcomes[i].breakdown = lr.breakdown;
+                        o.breakdown = lr.breakdown.or(o.breakdown);
                     }
                 }
             }
@@ -198,6 +306,17 @@ impl SolveEngine for BicgstabEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn cfg(tol: f64, max_iters: usize) -> LadderConfig {
+        LadderConfig {
+            default_tolerance: tol,
+            max_iters,
+            enable_gmres: true,
+            gmres_restart: 30,
+            gmres_max_iters: 300,
+            enable_fallback: true,
+        }
+    }
 
     /// 1-D Laplacian values over a tridiagonal pattern, diagonally
     /// dominant so Jacobi-BiCGSTAB converges fast.
@@ -227,70 +346,121 @@ mod tests {
         (pattern, values, rhs)
     }
 
-    #[test]
-    fn engine_solves_a_batch() {
-        let (pattern, values, rhs) = laplacian_case(32);
-        let engine =
-            BicgstabEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), 1e-10, 200, true);
-        let items: Vec<BatchItem> = (0..4)
+    fn items_of(values: &[f64], rhs: &[f64], count: usize) -> Vec<BatchItem> {
+        (0..count as u64)
             .map(|id| BatchItem {
                 id,
-                values: values.clone(),
-                rhs: rhs.clone(),
+                values: values.to_vec(),
+                rhs: rhs.to_vec(),
                 guess: None,
                 tolerance: None,
             })
-            .collect();
-        let report = engine.solve_batch(&items).unwrap();
+            .collect()
+    }
+
+    #[test]
+    fn engine_solves_a_batch_on_the_first_rung() {
+        let (pattern, values, rhs) = laplacian_case(32);
+        let engine = LadderEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), cfg(1e-10, 200));
+        let report = engine.solve_batch(&items_of(&values, &rhs, 4)).unwrap();
         assert_eq!(report.outcomes.len(), 4);
         for o in &report.outcomes {
             assert!(o.converged, "system {} residual {}", o.id, o.residual);
             assert_eq!(o.method, SolveMethod::Bicgstab);
+            assert_eq!(o.rungs.len(), 1, "healthy systems climb no rungs");
             assert!(o.residual <= 1e-10);
         }
         assert!(report.sim_time_s > 0.0);
     }
 
     #[test]
-    fn starved_iteration_cap_triggers_lu_fallback() {
-        let (pattern, values, rhs) = laplacian_case(64);
-        // One iteration cannot reach 1e-12 — every system must fall back.
-        let engine = BicgstabEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), 1e-12, 1, true);
-        let items = vec![BatchItem {
-            id: 9,
-            values,
-            rhs,
-            guess: None,
-            tolerance: None,
-        }];
-        let report = engine.solve_batch(&items).unwrap();
+    fn starved_bicgstab_escalates_to_gmres() {
+        let (pattern, values, rhs) = laplacian_case(24);
+        // One BiCGSTAB iteration cannot reach 1e-10, but GMRES with
+        // restart >= n solves the system exactly within one cycle.
+        let mut c = cfg(1e-10, 1);
+        c.gmres_restart = 32;
+        let engine = LadderEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), c);
+        let report = engine.solve_batch(&items_of(&values, &rhs, 1)).unwrap();
         let o = &report.outcomes[0];
-        assert!(o.converged, "fallback must rescue the request");
+        assert!(o.converged);
+        assert_eq!(o.method, SolveMethod::Gmres);
+        assert_eq!(o.rungs.len(), 2);
+        assert_eq!(o.rungs[0].method, SolveMethod::Bicgstab);
+        assert!(!o.rungs[0].converged);
+        assert_eq!(o.rungs[1].method, SolveMethod::Gmres);
+        assert!(
+            o.iterations > o.rungs[0].iterations,
+            "iterations accumulate"
+        );
+    }
+
+    #[test]
+    fn starved_iterative_rungs_fall_through_to_lu() {
+        let (pattern, values, rhs) = laplacian_case(64);
+        // Cripple both iterative rungs: the direct rung must rescue it.
+        let mut c = cfg(1e-12, 1);
+        c.gmres_restart = 2;
+        c.gmres_max_iters = 2;
+        let engine = LadderEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), c);
+        let report = engine.solve_batch(&items_of(&values, &rhs, 1)).unwrap();
+        let o = &report.outcomes[0];
+        assert!(o.converged, "direct rung must rescue the request");
         assert_eq!(o.method, SolveMethod::BandedLuFallback);
+        assert_eq!(o.rungs.len(), 3, "all three rungs attempted");
         assert!(o.residual < 1e-8, "direct solve residual {}", o.residual);
     }
 
     #[test]
-    fn fallback_disabled_reports_not_converged() {
+    fn ladder_disabled_reports_not_converged() {
         let (pattern, values, rhs) = laplacian_case(64);
-        let engine = BicgstabEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), 1e-12, 1, false);
-        let items = vec![BatchItem {
-            id: 0,
-            values,
-            rhs,
-            guess: None,
-            tolerance: None,
-        }];
+        let mut c = cfg(1e-12, 1);
+        c.enable_gmres = false;
+        c.enable_fallback = false;
+        let engine = LadderEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), c);
+        let report = engine.solve_batch(&items_of(&values, &rhs, 1)).unwrap();
+        let o = &report.outcomes[0];
+        assert!(!o.converged);
+        assert_eq!(o.method, SolveMethod::Bicgstab);
+        assert_eq!(o.rungs.len(), 1);
+    }
+
+    #[test]
+    fn singular_system_fails_every_rung_without_poisoning_neighbors() {
+        let (pattern, values, rhs) = laplacian_case(16);
+        let mut bad_values = values.clone();
+        // Zero out row 5 entirely: structurally singular.
+        let (lo, hi) = pattern.row_range(5);
+        for v in &mut bad_values[lo..hi] {
+            *v = 0.0;
+        }
+        let mut items = items_of(&values, &rhs, 3);
+        items[1].values = bad_values;
+        let engine = LadderEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), cfg(1e-10, 50));
         let report = engine.solve_batch(&items).unwrap();
-        assert!(!report.outcomes[0].converged);
-        assert_eq!(report.outcomes[0].method, SolveMethod::Bicgstab);
+        assert!(report.outcomes[0].converged);
+        assert!(report.outcomes[2].converged);
+        let bad = &report.outcomes[1];
+        assert!(!bad.converged, "singular system cannot converge");
+        assert!(bad.breakdown.is_some());
+        assert_eq!(bad.rungs.len(), 3, "ladder exhausted");
+        assert!(
+            bad.x.iter().all(|v| v.is_finite()),
+            "failed outcome still returns finite x"
+        );
+        // Healthy neighbors solve to the same answer as a clean batch.
+        let clean = engine.solve_batch(&items_of(&values, &rhs, 3)).unwrap();
+        assert_eq!(report.outcomes[0].x, clean.outcomes[0].x);
+        assert_eq!(report.outcomes[2].x, clean.outcomes[2].x);
     }
 
     #[test]
     fn tightest_member_tolerance_wins() {
         let (pattern, values, rhs) = laplacian_case(16);
-        let engine =
-            BicgstabEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), 1e-4, 200, false);
+        let mut c = cfg(1e-4, 200);
+        c.enable_gmres = false;
+        c.enable_fallback = false;
+        let engine = LadderEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), c);
         let items: Vec<BatchItem> = [None, Some(1e-11)]
             .into_iter()
             .enumerate()
@@ -307,6 +477,27 @@ mod tests {
         for o in &report.outcomes {
             assert!(o.converged);
             assert!(o.residual <= 1e-11, "residual {} too loose", o.residual);
+        }
+    }
+
+    #[test]
+    fn device_fail_hook_fails_the_whole_launch() {
+        struct AlwaysFail;
+        impl LaunchHook for AlwaysFail {
+            fn disrupt(&self, _ids: &[u64]) -> LaunchDisruption {
+                LaunchDisruption::DeviceFail { code: "test_fail" }
+            }
+        }
+        let (pattern, values, rhs) = laplacian_case(8);
+        let engine = LadderEngine::with_hook(
+            DeviceSpec::v100(),
+            Arc::clone(&pattern),
+            cfg(1e-10, 50),
+            Arc::new(AlwaysFail),
+        );
+        match engine.solve_batch(&items_of(&values, &rhs, 2)) {
+            Err(Error::DeviceFailure { code }) => assert_eq!(code, "test_fail"),
+            other => panic!("expected DeviceFailure, got {other:?}"),
         }
     }
 }

@@ -1,4 +1,4 @@
-//! `batsolv-runtime` — a dynamic-batching solve service.
+//! `batsolv-runtime` — a dynamic-batching, supervised solve service.
 //!
 //! The paper's batched solvers assume the caller already *has* a batch:
 //! XGC hands over all ~44k mesh-node systems of a time step at once. In
@@ -6,23 +6,36 @@
 //! time, from many threads, and the launch-overhead amortization that
 //! makes batching pay (Figure 4) has to be manufactured at runtime. This
 //! crate does that with the continuous-batching shape used by inference
-//! servers:
+//! servers, hardened for faulty inputs and a faulty backend:
 //!
 //! * a **bounded submission queue** with explicit backpressure — a full
 //!   queue rejects with [`SubmitError::QueueFull`], never silently drops;
+//! * an **admission gate** — non-finite values/RHS/guess and unusable
+//!   Jacobi diagonals bounce with [`SubmitError::Rejected`] *before* they
+//!   can poison a fused launch shared with healthy requests;
 //! * a **batch former** with two flush triggers — target batch size
 //!   reached, or the oldest request aged past a configurable linger
 //!   time;
-//! * a **dispatcher** running each formed batch as one fused
-//!   [`BatchBicgstab`](batsolv_solvers::BatchBicgstab) launch, with a
-//!   banded-LU (`dgbsv` baseline) retry for systems that miss the
-//!   iteration cap;
-//! * **per-request outcomes** — converged solution with iteration count
-//!   and final residual, or a structured error (not converged, deadline
-//!   exceeded) — delivered through a [`Ticket`];
-//! * a **stats registry** (acceptance/rejection counters, batch-size
-//!   histogram, queue-wait percentiles, solver iterations) read via
-//!   [`SolveService::stats`].
+//! * an **escalation ladder** ([`LadderEngine`]) running each formed
+//!   batch as one fused [`BatchBicgstab`](batsolv_solvers::BatchBicgstab)
+//!   launch, retrying stragglers with restarted GMRES and, last, the
+//!   banded-LU direct solver (`dgbsv` baseline); every rung attempted is
+//!   recorded in the outcome ([`RungAttempt`]);
+//! * a **supervised worker** — a panic or simulated device failure during
+//!   a fused dispatch is caught, the batch is re-dispatched one system at
+//!   a time so blame lands on the request that provokes it
+//!   ([`SolveError::WorkerPanic`] / [`SolveError::DeviceFailure`]), and
+//!   healthy neighbors still get their solutions;
+//! * a **watchdog** thread flagging dispatches that exceed a time budget;
+//! * a **circuit breaker** shedding load with [`SubmitError::CircuitOpen`]
+//!   after a run of degraded batches, probing recovery via half-open
+//!   state with exponential backoff;
+//! * **per-request outcomes** — converged solution with iteration count,
+//!   final residual, and the rung trail, or a structured error — exactly
+//!   one per accepted request, delivered through a [`Ticket`];
+//! * a **stats registry** with a full failure taxonomy (rejects by
+//!   reason, breakdowns by kind, breaker trips, watchdog stalls, rung
+//!   histogram) read via [`SolveService::stats`].
 //!
 //! ```
 //! use std::sync::Arc;
@@ -54,6 +67,8 @@
 //! assert_eq!(stats.accepted, 1);
 //! ```
 
+pub mod admission;
+pub mod breaker;
 pub mod config;
 pub mod dispatcher;
 pub mod former;
@@ -61,13 +76,20 @@ pub mod queue;
 pub mod request;
 pub mod service;
 pub mod stats;
+pub mod watchdog;
 
+pub use admission::{AdmissionGate, RejectReason};
+pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use config::RuntimeConfig;
-pub use dispatcher::{BatchItem, BatchReport, BicgstabEngine, ItemOutcome, SolveEngine};
+pub use dispatcher::{
+    BatchItem, BatchReport, ItemOutcome, LadderConfig, LadderEngine, SolveEngine,
+};
 pub use former::{BatchFormer, FlushReason};
 pub use queue::{BoundedQueue, PopResult, PushResult};
 pub use request::{
-    RequestId, Solution, SolveError, SolveMethod, SolveOutcome, SolveRequest, SubmitError, Ticket,
+    RequestId, RungAttempt, Solution, SolveError, SolveMethod, SolveOutcome, SolveRequest,
+    SubmitError, Ticket,
 };
 pub use service::SolveService;
 pub use stats::{StatsRegistry, StatsSnapshot};
+pub use watchdog::{spawn_watchdog, WatchState};

@@ -60,11 +60,40 @@ impl SolveRequest {
 /// How a converged solution was obtained.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SolveMethod {
-    /// The fused batched BiCGSTAB kernel (the paper's Algorithm 1).
+    /// The fused batched BiCGSTAB kernel (the paper's Algorithm 1) — the
+    /// first rung of the escalation ladder.
     Bicgstab,
-    /// The banded-LU direct fallback (`dgbsv` baseline), used when the
-    /// iterative solver did not converge within its iteration cap.
+    /// Restarted GMRES — the second rung, retried on systems BiCGSTAB
+    /// broke down on or left unconverged.
+    Gmres,
+    /// The banded-LU direct fallback (`dgbsv` baseline) — the last rung.
     BandedLuFallback,
+}
+
+impl SolveMethod {
+    /// Short name for logs and stats.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveMethod::Bicgstab => "bicgstab",
+            SolveMethod::Gmres => "gmres",
+            SolveMethod::BandedLuFallback => "banded-lu",
+        }
+    }
+}
+
+/// One rung of the escalation ladder as attempted on a request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RungAttempt {
+    /// Which solver ran.
+    pub method: SolveMethod,
+    /// Iterations it spent (1 for the direct rung).
+    pub iterations: u32,
+    /// Residual it reached.
+    pub residual: f64,
+    /// Whether this rung converged the system.
+    pub converged: bool,
+    /// Breakdown tag, if the rung broke down.
+    pub breakdown: Option<&'static str>,
 }
 
 /// A converged solution.
@@ -83,6 +112,9 @@ pub struct Solution {
     pub batch_size: usize,
     /// Time the request spent queued before dispatch.
     pub queue_wait: Duration,
+    /// Every escalation rung attempted on this request, in order; the
+    /// last entry is the one that produced `x`.
+    pub rungs: Vec<RungAttempt>,
 }
 
 /// Structured failure of an accepted request.
@@ -96,8 +128,8 @@ pub enum SolveError {
         /// The deadline it carried.
         deadline: Duration,
     },
-    /// Neither the iterative solver nor the fallback (if enabled)
-    /// produced a solution within tolerance.
+    /// No rung of the escalation ladder produced a solution within
+    /// tolerance.
     NotConverged {
         /// Iterations spent.
         iterations: u32,
@@ -105,6 +137,21 @@ pub enum SolveError {
         residual: f64,
         /// Breakdown tag from the solver, if any (e.g. `rho_zero`).
         breakdown: Option<&'static str>,
+        /// Every rung attempted before giving up.
+        rungs: Vec<RungAttempt>,
+    },
+    /// The worker panicked while solving the batch this request was
+    /// isolated into. Healthy batch neighbors are re-dispatched; only the
+    /// request whose singleton dispatch still panicked gets this error.
+    WorkerPanic {
+        /// Panic payload, when it was a string.
+        detail: String,
+    },
+    /// The device (or its simulator) failed the fused launch carrying
+    /// this request, and its singleton retry failed too.
+    DeviceFailure {
+        /// Machine-readable failure code.
+        code: &'static str,
     },
     /// The service shut down before this request was dispatched.
     ServiceShutdown,
@@ -123,13 +170,22 @@ impl std::fmt::Display for SolveError {
                 iterations,
                 residual,
                 breakdown,
+                rungs,
             } => write!(
                 f,
-                "not converged after {iterations} iterations (residual {residual:.3e}{})",
+                "not converged after {iterations} iterations across {} rung(s) \
+                 (residual {residual:.3e}{})",
+                rungs.len().max(1),
                 breakdown
                     .map(|b| format!(", breakdown: {b}"))
                     .unwrap_or_default()
             ),
+            SolveError::WorkerPanic { detail } => {
+                write!(f, "worker panicked while solving this request: {detail}")
+            }
+            SolveError::DeviceFailure { code } => {
+                write!(f, "device failed the launch ({code})")
+            }
             SolveError::ServiceShutdown => write!(f, "service shut down before dispatch"),
         }
     }
@@ -158,6 +214,18 @@ pub enum SubmitError {
         /// Length submitted.
         got: usize,
     },
+    /// The admission gate refused the payload (non-finite data, unusable
+    /// Jacobi diagonal) before it could poison a fused launch.
+    Rejected {
+        /// The structured reason.
+        reason: crate::admission::RejectReason,
+    },
+    /// The circuit breaker is open after a run of degraded batches; the
+    /// service is shedding load while the backend recovers.
+    CircuitOpen {
+        /// Hint: how long until the next half-open probe is admitted.
+        retry_after: Duration,
+    },
     /// The service is shutting down and accepts no new work.
     ShuttingDown,
 }
@@ -173,6 +241,12 @@ impl std::fmt::Display for SubmitError {
                 expected,
                 got,
             } => write!(f, "{field} has length {got}, pattern requires {expected}"),
+            SubmitError::Rejected { reason } => write!(f, "rejected at admission: {reason}"),
+            SubmitError::CircuitOpen { retry_after } => write!(
+                f,
+                "circuit breaker open, retry in {:.1} ms",
+                retry_after.as_secs_f64() * 1e3
+            ),
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -232,10 +306,23 @@ mod tests {
             iterations: 500,
             residual: 1.2e-3,
             breakdown: None,
+            rungs: vec![],
         };
         assert!(e.to_string().contains("500 iterations"));
         let q = SubmitError::QueueFull { capacity: 64 };
         assert!(q.to_string().contains("64"));
+        let p = SolveError::WorkerPanic {
+            detail: "boom".into(),
+        };
+        assert!(p.to_string().contains("boom"));
+        let d = SolveError::DeviceFailure {
+            code: "launch_failure",
+        };
+        assert!(d.to_string().contains("launch_failure"));
+        let c = SubmitError::CircuitOpen {
+            retry_after: Duration::from_millis(5),
+        };
+        assert!(c.to_string().contains("circuit breaker open"));
     }
 
     #[test]

@@ -1,19 +1,34 @@
-//! The solve service: submission API, worker loop, lifecycle.
+//! The solve service: submission API, supervised worker, lifecycle.
+//!
+//! The worker is *supervised*: the batch loop runs under
+//! `catch_unwind`, and a panic during a fused dispatch does not take the
+//! service down. Instead the batch is re-dispatched one system at a time
+//! so the panic is attributed to the request that provokes it — its
+//! ticket resolves to [`SolveError::WorkerPanic`] while every innocent
+//! neighbor is solved normally. The same isolation applies to simulated
+//! device failures. A watchdog thread flags dispatches that exceed a time
+//! budget, and a circuit breaker sheds load after a run of degraded
+//! batches.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use batsolv_formats::SparsityPattern;
+use batsolv_gpusim::LaunchHook;
 use batsolv_types::{Error, Result};
 
+use crate::admission::{AdmissionGate, RejectReason};
+use crate::breaker::CircuitBreaker;
 use crate::config::RuntimeConfig;
-use crate::dispatcher::{BatchItem, BicgstabEngine, SolveEngine};
-use crate::former::{BatchFormer, FlushReason};
+use crate::dispatcher::{BatchItem, LadderConfig, LadderEngine, SolveEngine};
+use crate::former::BatchFormer;
 use crate::queue::{BoundedQueue, PopResult, PushResult};
 use crate::request::{Solution, SolveError, SolveOutcome, SolveRequest, SubmitError, Ticket};
 use crate::stats::{BatchOutcomes, StatsRegistry, StatsSnapshot};
+use crate::watchdog::{spawn_watchdog, WatchState};
 
 /// A request as it travels through the queue and former.
 struct Pending {
@@ -26,32 +41,51 @@ struct Pending {
 struct Shared {
     queue: BoundedQueue<Pending>,
     stats: StatsRegistry,
+    watch: Arc<WatchState>,
+    breaker: Option<CircuitBreaker>,
 }
 
 /// Multi-threaded dynamic-batching solve service.
 ///
 /// Submitters hand in individual systems over a shared
-/// [`SparsityPattern`]; a worker thread groups them into batches (target
-/// size or linger timeout, whichever fires first) and dispatches each
-/// batch as one fused solve. See the crate docs for an end-to-end
-/// example.
+/// [`SparsityPattern`]; a supervised worker thread groups them into
+/// batches (target size or linger timeout, whichever fires first) and
+/// dispatches each batch as one fused solve through the escalation
+/// ladder. See the crate docs for an end-to-end example.
 pub struct SolveService {
     shared: Arc<Shared>,
     pattern: Arc<SparsityPattern>,
+    gate: Option<AdmissionGate>,
     worker: Option<thread::JoinHandle<()>>,
+    watchdog: Option<thread::JoinHandle<()>>,
+    watchdog_stop: Arc<AtomicBool>,
     next_id: AtomicU64,
 }
 
 impl SolveService {
-    /// Start a service with the production engine
-    /// ([`BicgstabEngine`]: fused BiCGSTAB + banded-LU fallback).
+    /// Start a service with the production engine ([`LadderEngine`]:
+    /// fused BiCGSTAB → restarted GMRES → banded-LU fallback).
     pub fn start(pattern: Arc<SparsityPattern>, config: RuntimeConfig) -> Result<SolveService> {
-        let engine = Arc::new(BicgstabEngine::new(
+        let engine = Arc::new(LadderEngine::new(
             config.device.clone(),
             Arc::clone(&pattern),
-            config.tolerance,
-            config.max_iters,
-            config.enable_fallback,
+            ladder_config(&config),
+        ));
+        Self::start_with_engine(pattern, config, engine)
+    }
+
+    /// Start a service whose fused launches pass through `hook` first —
+    /// the fault-injection seam (see `batsolv-faults`).
+    pub fn start_with_hook(
+        pattern: Arc<SparsityPattern>,
+        config: RuntimeConfig,
+        hook: Arc<dyn LaunchHook>,
+    ) -> Result<SolveService> {
+        let engine = Arc::new(LadderEngine::with_hook(
+            config.device.clone(),
+            Arc::clone(&pattern),
+            ladder_config(&config),
+            hook,
         ));
         Self::start_with_engine(pattern, config, engine)
     }
@@ -67,16 +101,36 @@ impl SolveService {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             stats: StatsRegistry::new(),
+            watch: Arc::new(WatchState::new()),
+            breaker: config.breaker.map(CircuitBreaker::new),
         });
+        let gate = config
+            .validate_admission
+            .then(|| AdmissionGate::new(&pattern, config.min_diag_abs));
+
+        let watchdog_stop = Arc::new(AtomicBool::new(false));
+        let watchdog = config.watchdog_budget.map(|budget| {
+            let stats_shared = Arc::clone(&shared);
+            spawn_watchdog(
+                Arc::clone(&shared.watch),
+                budget,
+                Arc::clone(&watchdog_stop),
+                move || stats_shared.stats.on_watchdog_stall(),
+            )
+        });
+
         let worker_shared = Arc::clone(&shared);
         let worker = thread::Builder::new()
-            .name("batsolv-runtime-worker".into())
-            .spawn(move || worker_loop(worker_shared, config, engine))
+            .name("batsolv-runtime-supervisor".into())
+            .spawn(move || supervisor_loop(worker_shared, config, engine))
             .map_err(|e| Error::InvalidConfig(format!("failed to spawn worker: {e}")))?;
         Ok(SolveService {
             shared,
             pattern,
+            gate,
             worker: Some(worker),
+            watchdog,
+            watchdog_stop,
             next_id: AtomicU64::new(0),
         })
     }
@@ -88,7 +142,10 @@ impl SolveService {
 
     /// Submit one system. Non-blocking: a full queue rejects with
     /// [`SubmitError::QueueFull`] instead of stalling the caller — the
-    /// backpressure signal of the service.
+    /// backpressure signal of the service. Poisoned payloads bounce with
+    /// [`SubmitError::Rejected`] before they can share a fused launch
+    /// with healthy work, and an open circuit breaker sheds load with
+    /// [`SubmitError::CircuitOpen`].
     pub fn submit(&self, request: SolveRequest) -> std::result::Result<Ticket, SubmitError> {
         let nnz = self.pattern.nnz();
         let n = self.pattern.num_rows();
@@ -116,6 +173,22 @@ impl SolveService {
                     expected: n,
                     got: g.len(),
                 });
+            }
+        }
+        if let Some(gate) = &self.gate {
+            if let Err(reason) = gate.check(&request.values, &request.rhs, request.guess.as_deref())
+            {
+                match reason {
+                    RejectReason::NonFinite { .. } => self.shared.stats.on_rejected_nonfinite(),
+                    RejectReason::ZeroDiagonal { .. } => self.shared.stats.on_rejected_zero_diag(),
+                }
+                return Err(SubmitError::Rejected { reason });
+            }
+        }
+        if let Some(breaker) = &self.shared.breaker {
+            if let Err(retry_after) = breaker.check(Instant::now()) {
+                self.shared.stats.on_rejected_circuit_open();
+                return Err(SubmitError::CircuitOpen { retry_after });
             }
         }
 
@@ -165,6 +238,10 @@ impl SolveService {
         if let Some(handle) = self.worker.take() {
             let _ = handle.join();
         }
+        self.watchdog_stop.store(true, Ordering::Release);
+        if let Some(handle) = self.watchdog.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -174,11 +251,49 @@ impl Drop for SolveService {
     }
 }
 
-/// The single consumer: pops requests, forms batches, dispatches.
-fn worker_loop(shared: Arc<Shared>, config: RuntimeConfig, engine: Arc<dyn SolveEngine>) {
+fn ladder_config(config: &RuntimeConfig) -> LadderConfig {
+    LadderConfig {
+        default_tolerance: config.tolerance,
+        max_iters: config.max_iters,
+        enable_gmres: config.enable_gmres,
+        gmres_restart: config.gmres_restart,
+        gmres_max_iters: config.gmres_max_iters,
+        enable_fallback: config.enable_fallback,
+    }
+}
+
+/// The supervisor: keeps the worker loop alive across panics. The batch
+/// former lives *here*, outside the unwind boundary, so requests already
+/// pulled from the queue survive a worker crash and are re-dispatched by
+/// the respawned loop instead of being lost.
+fn supervisor_loop(shared: Arc<Shared>, config: RuntimeConfig, engine: Arc<dyn SolveEngine>) {
     let linger_ns = u64::try_from(config.linger.as_nanos()).unwrap_or(u64::MAX);
     let mut former: BatchFormer<Pending> = BatchFormer::new(config.batch_target, linger_ns);
     let epoch = Instant::now();
+    loop {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(&shared, &config, engine.as_ref(), &mut former, epoch)
+        }));
+        match result {
+            Ok(()) => break, // clean shutdown: queue closed and drained
+            Err(_) => {
+                // The worker panicked outside the per-batch isolation
+                // (a bug, or chaos injected outside dispatch). Respawn
+                // the loop; everything still in `former` re-dispatches.
+                shared.stats.on_worker_respawn();
+            }
+        }
+    }
+}
+
+/// The single consumer: pops requests, forms batches, dispatches.
+fn worker_loop(
+    shared: &Shared,
+    config: &RuntimeConfig,
+    engine: &dyn SolveEngine,
+    former: &mut BatchFormer<Pending>,
+    epoch: Instant,
+) {
     let now_ns = |at: Instant| -> u64 {
         u64::try_from(at.duration_since(epoch).as_nanos()).unwrap_or(u64::MAX)
     };
@@ -214,19 +329,19 @@ fn worker_loop(shared: Arc<Shared>, config: RuntimeConfig, engine: Arc<dyn Solve
             PopResult::TimedOut => {}
             PopResult::Closed => break 'outer,
         }
-        while let Some((batch, reason)) = former.poll(now_ns(Instant::now())) {
-            dispatch(&shared, engine.as_ref(), batch, reason);
+        while let Some((batch, _reason)) = former.poll(now_ns(Instant::now())) {
+            dispatch(shared, engine, batch);
         }
     }
 
     // Shutdown: flush the remainder below target/linger.
-    while let Some((batch, reason)) = former.drain() {
-        dispatch(&shared, engine.as_ref(), batch, reason);
+    while let Some((batch, _reason)) = former.drain() {
+        dispatch(shared, engine, batch);
     }
 }
 
 /// Solve one formed batch and fulfill its tickets.
-fn dispatch(shared: &Shared, engine: &dyn SolveEngine, batch: Vec<Pending>, _reason: FlushReason) {
+fn dispatch(shared: &Shared, engine: &dyn SolveEngine, batch: Vec<Pending>) {
     // Enforce queue-wait deadlines at the last moment before the solve:
     // expired requests get a structured error, not a wasted solve slot.
     let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
@@ -245,67 +360,52 @@ fn dispatch(shared: &Shared, engine: &dyn SolveEngine, batch: Vec<Pending>, _rea
     if live.is_empty() {
         return;
     }
+    run_batch(shared, engine, live);
+}
 
+/// Run one batch through the engine with panic/device-failure isolation.
+///
+/// A panic or device failure on a multi-system batch re-dispatches each
+/// member as a singleton: with a deterministic fault source the same
+/// request fails again *alone* and absorbs the blame, while every other
+/// member solves normally — a faulty neighbor never costs a healthy
+/// request its outcome.
+fn run_batch(shared: &Shared, engine: &dyn SolveEngine, live: Vec<Pending>) {
     let items: Vec<BatchItem> = live.iter().map(|p| p.item.clone()).collect();
     let batch_size = items.len();
-    match engine.solve_batch(&items) {
-        Ok(report) => {
-            debug_assert_eq!(report.outcomes.len(), batch_size);
-            let waits: Vec<Duration> = live.iter().map(|p| p.enqueued_at.elapsed()).collect();
-            let iterations: Vec<u32> = report.outcomes.iter().map(|o| o.iterations).collect();
-            let mut converged_iterative = 0;
-            let mut converged_fallback = 0;
-            let mut failed = 0;
-            for (p, o) in live.into_iter().zip(report.outcomes) {
-                let wait = p.enqueued_at.elapsed();
-                let outcome = if o.converged {
-                    match o.method {
-                        crate::request::SolveMethod::Bicgstab => converged_iterative += 1,
-                        crate::request::SolveMethod::BandedLuFallback => converged_fallback += 1,
-                    }
-                    Ok(Solution {
-                        x: o.x,
-                        iterations: o.iterations,
-                        residual: o.residual,
-                        method: o.method,
-                        batch_size,
-                        queue_wait: wait,
-                    })
-                } else {
-                    failed += 1;
-                    Err(SolveError::NotConverged {
-                        iterations: o.iterations,
-                        residual: o.residual,
-                        breakdown: o.breakdown,
-                    })
-                };
-                let _ = p.reply.send(outcome);
+    shared.watch.begin();
+    let solved = catch_unwind(AssertUnwindSafe(|| engine.solve_batch(&items)));
+    shared.watch.end();
+    match solved {
+        Ok(Ok(report)) => fulfill(shared, live, report.outcomes, report.sim_time_s),
+        Ok(Err(Error::DeviceFailure { code })) => {
+            if batch_size > 1 {
+                for p in live {
+                    run_batch(shared, engine, vec![p]);
+                }
+            } else {
+                note_degraded_batch(shared, 1);
+                for p in live {
+                    shared.stats.on_device_failure();
+                    let _ = p.reply.send(Err(SolveError::DeviceFailure { code }));
+                }
             }
-            shared.stats.on_batch(
-                batch_size,
-                &waits,
-                &iterations,
-                BatchOutcomes {
-                    converged_iterative,
-                    converged_fallback,
-                    failed,
-                },
-                report.sim_time_s,
-            );
         }
-        Err(e) => {
-            // Engine-level failure (shape bug, singular banded factor):
-            // every ticket of the batch gets the structured error.
+        Ok(Err(e)) => {
+            // Engine-level failure (shape bug): every ticket of the batch
+            // gets the structured error.
             let msg: &'static str = match e {
                 Error::DimensionMismatch(_) => "engine dimension mismatch",
                 _ => "engine failure",
             };
             let waits: Vec<Duration> = live.iter().map(|p| p.enqueued_at.elapsed()).collect();
+            let failed = live.len() as u64;
             for p in live {
                 let _ = p.reply.send(Err(SolveError::NotConverged {
                     iterations: 0,
                     residual: f64::NAN,
                     breakdown: Some(msg),
+                    rungs: vec![],
                 }));
             }
             shared.stats.on_batch(
@@ -313,11 +413,109 @@ fn dispatch(shared: &Shared, engine: &dyn SolveEngine, batch: Vec<Pending>, _rea
                 &waits,
                 &[],
                 BatchOutcomes {
-                    failed: batch_size as u64,
+                    failed,
+                    breakdowns: vec![msg; batch_size],
                     ..Default::default()
                 },
                 0.0,
             );
+            note_degraded_batch(shared, batch_size);
         }
+        Err(payload) => {
+            if batch_size > 1 {
+                for p in live {
+                    run_batch(shared, engine, vec![p]);
+                }
+            } else {
+                note_degraded_batch(shared, 1);
+                let detail = panic_detail(payload);
+                for p in live {
+                    shared.stats.on_worker_panic_outcome();
+                    let _ = p.reply.send(Err(SolveError::WorkerPanic {
+                        detail: detail.clone(),
+                    }));
+                }
+            }
+        }
+    }
+}
+
+/// Deliver per-item outcomes and record the batch in stats + breaker.
+fn fulfill(
+    shared: &Shared,
+    live: Vec<Pending>,
+    outcomes: Vec<crate::dispatcher::ItemOutcome>,
+    sim_time_s: f64,
+) {
+    let batch_size = live.len();
+    debug_assert_eq!(outcomes.len(), batch_size);
+    let waits: Vec<Duration> = live.iter().map(|p| p.enqueued_at.elapsed()).collect();
+    let iterations: Vec<u32> = outcomes.iter().map(|o| o.iterations).collect();
+    let mut tally = BatchOutcomes::default();
+    let mut degraded = 0usize;
+    for (p, o) in live.into_iter().zip(outcomes) {
+        let wait = p.enqueued_at.elapsed();
+        tally.rungs_attempted.push(o.rungs.len());
+        let outcome = if o.converged {
+            match o.method {
+                crate::request::SolveMethod::Bicgstab => tally.converged_iterative += 1,
+                crate::request::SolveMethod::Gmres => tally.converged_gmres += 1,
+                crate::request::SolveMethod::BandedLuFallback => {
+                    tally.converged_fallback += 1;
+                    degraded += 1;
+                }
+            }
+            Ok(Solution {
+                x: o.x,
+                iterations: o.iterations,
+                residual: o.residual,
+                method: o.method,
+                batch_size,
+                queue_wait: wait,
+                rungs: o.rungs,
+            })
+        } else {
+            tally.failed += 1;
+            degraded += 1;
+            if let Some(tag) = o.breakdown {
+                tally.breakdowns.push(tag);
+            }
+            Err(SolveError::NotConverged {
+                iterations: o.iterations,
+                residual: o.residual,
+                breakdown: o.breakdown,
+                rungs: o.rungs,
+            })
+        };
+        let _ = p.reply.send(outcome);
+    }
+    shared
+        .stats
+        .on_batch(batch_size, &waits, &iterations, tally, sim_time_s);
+    if let Some(breaker) = &shared.breaker {
+        if breaker.on_batch(Instant::now(), batch_size, degraded) {
+            shared.stats.on_breaker_trip();
+        }
+    }
+}
+
+/// Report a fully-degraded batch (device failure, panic, engine error)
+/// to the breaker.
+fn note_degraded_batch(shared: &Shared, size: usize) {
+    if let Some(breaker) = &shared.breaker {
+        if breaker.on_batch(Instant::now(), size, size) {
+            shared.stats.on_breaker_trip();
+        }
+    }
+}
+
+/// Best-effort panic payload text.
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }

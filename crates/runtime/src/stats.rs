@@ -1,9 +1,10 @@
-//! Service counters and latency statistics.
+//! Service counters, latency statistics, and the failure taxonomy.
 //!
-//! Hot-path counters are atomics; the batch-size histogram and the
-//! queue-wait samples live behind a mutex touched once per *batch* (not
-//! per request), so contention stays negligible.
+//! Hot-path counters are atomics; the batch-size histogram, breakdown
+//! taxonomy, and the queue-wait samples live behind a mutex touched once
+//! per *batch* (not per request), so contention stays negligible.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -13,6 +14,10 @@ use std::time::Duration;
 /// 1024..2047, and everything larger lands in the last bucket.
 const HIST_BUCKETS: usize = 12;
 
+/// Escalation-ladder depth buckets: requests whose dispatch attempted
+/// 1, 2, or 3 rungs.
+pub const RUNG_BUCKETS: usize = 3;
+
 #[derive(Debug, Default)]
 struct Sampled {
     batch_size_hist: [u64; HIST_BUCKETS],
@@ -21,6 +26,11 @@ struct Sampled {
     iterations_total: u64,
     iterations_max: u64,
     sim_time_total_s: f64,
+    /// Breakdown tag → occurrence count (terminal breakdowns only).
+    breakdowns: BTreeMap<&'static str, u64>,
+    /// `rung_hist[k]` counts requests whose dispatch attempted `k+1`
+    /// ladder rungs.
+    rung_hist: [u64; RUNG_BUCKETS],
 }
 
 /// Shared counter registry written by the service, read via
@@ -30,11 +40,20 @@ pub struct StatsRegistry {
     accepted: AtomicU64,
     rejected_full: AtomicU64,
     rejected_shape: AtomicU64,
+    rejected_nonfinite: AtomicU64,
+    rejected_zero_diag: AtomicU64,
+    rejected_circuit_open: AtomicU64,
     converged_iterative: AtomicU64,
+    converged_gmres: AtomicU64,
     converged_fallback: AtomicU64,
     failed_not_converged: AtomicU64,
     failed_deadline: AtomicU64,
+    failed_device: AtomicU64,
+    failed_panic: AtomicU64,
     batches_formed: AtomicU64,
+    breaker_trips: AtomicU64,
+    watchdog_stalls: AtomicU64,
+    worker_respawns: AtomicU64,
     sampled: Mutex<Sampled>,
 }
 
@@ -56,8 +75,40 @@ impl StatsRegistry {
         self.rejected_shape.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn on_rejected_nonfinite(&self) {
+        self.rejected_nonfinite.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_rejected_zero_diag(&self) {
+        self.rejected_zero_diag.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_rejected_circuit_open(&self) {
+        self.rejected_circuit_open.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn on_deadline_exceeded(&self) {
         self.failed_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_device_failure(&self) {
+        self.failed_device.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_worker_panic_outcome(&self) {
+        self.failed_panic.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_watchdog_stall(&self) {
+        self.watchdog_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one dispatched batch: its size, per-request queue waits,
@@ -73,6 +124,8 @@ impl StatsRegistry {
         self.batches_formed.fetch_add(1, Ordering::Relaxed);
         self.converged_iterative
             .fetch_add(outcomes.converged_iterative, Ordering::Relaxed);
+        self.converged_gmres
+            .fetch_add(outcomes.converged_gmres, Ordering::Relaxed);
         self.converged_fallback
             .fetch_add(outcomes.converged_fallback, Ordering::Relaxed);
         self.failed_not_converged
@@ -89,6 +142,12 @@ impl StatsRegistry {
             s.iterations_max = s.iterations_max.max(u64::from(it));
         }
         s.sim_time_total_s += sim_time_s;
+        for &tag in &outcomes.breakdowns {
+            *s.breakdowns.entry(tag).or_insert(0) += 1;
+        }
+        for &rungs in &outcomes.rungs_attempted {
+            s.rung_hist[rungs.clamp(1, RUNG_BUCKETS) - 1] += 1;
+        }
     }
 
     /// Consistent point-in-time copy of every counter.
@@ -107,12 +166,23 @@ impl StatsRegistry {
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_full.load(Ordering::Relaxed),
             rejected_shape: self.rejected_shape.load(Ordering::Relaxed),
+            rejected_nonfinite: self.rejected_nonfinite.load(Ordering::Relaxed),
+            rejected_zero_diag: self.rejected_zero_diag.load(Ordering::Relaxed),
+            rejected_circuit_open: self.rejected_circuit_open.load(Ordering::Relaxed),
             converged_iterative: self.converged_iterative.load(Ordering::Relaxed),
+            converged_gmres: self.converged_gmres.load(Ordering::Relaxed),
             converged_fallback: self.converged_fallback.load(Ordering::Relaxed),
             failed_not_converged: self.failed_not_converged.load(Ordering::Relaxed),
             failed_deadline: self.failed_deadline.load(Ordering::Relaxed),
+            failed_device: self.failed_device.load(Ordering::Relaxed),
+            failed_panic: self.failed_panic.load(Ordering::Relaxed),
             batches_formed: self.batches_formed.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            watchdog_stalls: self.watchdog_stalls.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
             batch_size_hist: s.batch_size_hist,
+            rung_hist: s.rung_hist,
+            breakdowns: s.breakdowns.clone(),
             queue_wait_p50: pct(0.50),
             queue_wait_p99: pct(0.99),
             solver_iterations_total: s.iterations_total,
@@ -123,14 +193,21 @@ impl StatsRegistry {
 }
 
 /// Per-batch outcome tallies handed to [`StatsRegistry::on_batch`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct BatchOutcomes {
-    /// Requests converged by the iterative solver.
+    /// Requests converged by BiCGSTAB (rung 1).
     pub converged_iterative: u64,
-    /// Requests converged by the banded-LU fallback.
+    /// Requests converged by GMRES (rung 2).
+    pub converged_gmres: u64,
+    /// Requests converged by the banded-LU fallback (rung 3).
     pub converged_fallback: u64,
     /// Requests that failed to converge.
     pub failed: u64,
+    /// Terminal breakdown tags across the batch (one per request that
+    /// ended with a breakdown).
+    pub breakdowns: Vec<&'static str>,
+    /// Ladder rungs attempted per dispatched request.
+    pub rungs_attempted: Vec<usize>,
 }
 
 /// Point-in-time copy of the service counters.
@@ -142,19 +219,42 @@ pub struct StatsSnapshot {
     pub rejected_queue_full: u64,
     /// Requests rejected with [`crate::SubmitError::ShapeMismatch`].
     pub rejected_shape: u64,
-    /// Requests converged by the iterative solver.
+    /// Requests rejected by the admission gate for non-finite payloads.
+    pub rejected_nonfinite: u64,
+    /// Requests rejected by the admission gate for unusable diagonals.
+    pub rejected_zero_diag: u64,
+    /// Requests shed with [`crate::SubmitError::CircuitOpen`].
+    pub rejected_circuit_open: u64,
+    /// Requests converged by BiCGSTAB (rung 1).
     pub converged_iterative: u64,
-    /// Requests converged by the banded-LU fallback.
+    /// Requests converged by GMRES (rung 2).
+    pub converged_gmres: u64,
+    /// Requests converged by the banded-LU fallback (rung 3).
     pub converged_fallback: u64,
-    /// Requests that failed to converge on every path.
+    /// Requests that failed to converge on every rung.
     pub failed_not_converged: u64,
     /// Requests abandoned past their queue-wait deadline.
     pub failed_deadline: u64,
+    /// Requests failed by a device/launch failure.
+    pub failed_device: u64,
+    /// Requests failed by a worker panic attributed to them.
+    pub failed_panic: u64,
     /// Fused batches dispatched.
     pub batches_formed: u64,
+    /// Circuit-breaker trips (closed/half-open → open transitions).
+    pub breaker_trips: u64,
+    /// Dispatches flagged by the watchdog as exceeding the time budget.
+    pub watchdog_stalls: u64,
+    /// Times the supervisor respawned a panicked worker.
+    pub worker_respawns: u64,
     /// Power-of-two batch-size histogram; bucket `k` counts batches of
     /// size `[2^k, 2^(k+1))`.
     pub batch_size_hist: [u64; HIST_BUCKETS],
+    /// `rung_hist[k]` counts requests whose dispatch attempted `k+1`
+    /// escalation rungs.
+    pub rung_hist: [u64; RUNG_BUCKETS],
+    /// Terminal breakdown tag → occurrence count.
+    pub breakdowns: BTreeMap<&'static str, u64>,
     /// Median queue wait across dispatched requests.
     pub queue_wait_p50: Duration,
     /// 99th-percentile queue wait across dispatched requests.
@@ -171,15 +271,29 @@ impl StatsSnapshot {
     /// Requests that reached any terminal outcome.
     pub fn completed(&self) -> u64 {
         self.converged_iterative
+            + self.converged_gmres
             + self.converged_fallback
             + self.failed_not_converged
             + self.failed_deadline
+            + self.failed_device
+            + self.failed_panic
+    }
+
+    /// Requests rejected before entering the queue, all causes.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_queue_full
+            + self.rejected_shape
+            + self.rejected_nonfinite
+            + self.rejected_zero_diag
+            + self.rejected_circuit_open
     }
 
     /// Mean batch size across dispatched batches.
     pub fn mean_batch_size(&self) -> f64 {
-        let dispatched =
-            self.converged_iterative + self.converged_fallback + self.failed_not_converged;
+        let dispatched = self.converged_iterative
+            + self.converged_gmres
+            + self.converged_fallback
+            + self.failed_not_converged;
         if self.batches_formed == 0 {
             0.0
         } else {
@@ -196,12 +310,34 @@ impl StatsSnapshot {
             self.accepted, self.rejected_queue_full, self.rejected_shape
         ));
         out.push_str(&format!(
-            "  outcomes : {} converged (iterative), {} converged (LU fallback), {} not converged, {} deadline exceeded\n",
+            "  admission: {} rejected (non-finite), {} rejected (zero diagonal), \
+             {} shed (circuit open)\n",
+            self.rejected_nonfinite, self.rejected_zero_diag, self.rejected_circuit_open
+        ));
+        out.push_str(&format!(
+            "  outcomes : {} converged (bicgstab), {} converged (gmres), \
+             {} converged (LU fallback), {} not converged, {} deadline exceeded\n",
             self.converged_iterative,
+            self.converged_gmres,
             self.converged_fallback,
             self.failed_not_converged,
             self.failed_deadline
         ));
+        out.push_str(&format!(
+            "  faults   : {} device failures, {} worker panics, {} worker respawns, \
+             {} breaker trips, {} watchdog stalls\n",
+            self.failed_device,
+            self.failed_panic,
+            self.worker_respawns,
+            self.breaker_trips,
+            self.watchdog_stalls
+        ));
+        if !self.breakdowns.is_empty() {
+            out.push_str("  breakdowns by kind:\n");
+            for (tag, count) in &self.breakdowns {
+                out.push_str(&format!("    [{tag:>14}] {count}\n"));
+            }
+        }
         out.push_str(&format!(
             "  batching : {} batches, mean size {:.1}\n",
             self.batches_formed,
@@ -222,6 +358,15 @@ impl StatsSnapshot {
                 format!("{lo}-{hi}")
             };
             out.push_str(&format!("    [{label:>7}] {count}\n"));
+        }
+        if self.rung_hist.iter().any(|&c| c > 0) {
+            out.push_str("  escalation rungs attempted:\n");
+            for (k, &count) in self.rung_hist.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                out.push_str(&format!("    [{} rung(s)] {count}\n", k + 1));
+            }
         }
         out.push_str(&format!(
             "  queue wait: p50 {:.3} ms, p99 {:.3} ms\n",
@@ -255,6 +400,7 @@ mod tests {
             &[10, 20],
             BatchOutcomes {
                 converged_iterative: 2,
+                rungs_attempted: vec![1, 1],
                 ..Default::default()
             },
             1.5e-4,
@@ -268,6 +414,7 @@ mod tests {
         assert_eq!(s.solver_iterations_total, 30);
         assert_eq!(s.solver_iterations_max, 20);
         assert_eq!(s.batch_size_hist[1], 1); // size 2 → bucket 1
+        assert_eq!(s.rung_hist, [2, 0, 0]);
         assert!((s.sim_time_total_s - 1.5e-4).abs() < 1e-12);
         assert_eq!(s.completed(), 3);
     }
@@ -298,6 +445,7 @@ mod tests {
     fn empty_snapshot_is_zeroed() {
         let s = StatsRegistry::new().snapshot();
         assert_eq!(s.completed(), 0);
+        assert_eq!(s.rejected_total(), 0);
         assert_eq!(s.queue_wait_p50, Duration::ZERO);
         assert_eq!(s.mean_batch_size(), 0.0);
         assert!(s.render().contains("0 accepted"));
@@ -312,6 +460,8 @@ mod tests {
             &[3],
             BatchOutcomes {
                 converged_fallback: 1,
+                breakdowns: vec!["divergence"],
+                rungs_attempted: vec![3],
                 ..Default::default()
             },
             1e-6,
@@ -320,5 +470,56 @@ mod tests {
         assert!(text.contains("batch-size histogram"));
         assert!(text.contains("LU fallback"));
         assert!(text.contains("queue wait"));
+        assert!(text.contains("divergence"));
+        assert!(text.contains("escalation rungs"));
+        assert!(text.contains("breaker trips"));
+    }
+
+    #[test]
+    fn failure_taxonomy_counters() {
+        let r = StatsRegistry::new();
+        r.on_rejected_nonfinite();
+        r.on_rejected_nonfinite();
+        r.on_rejected_zero_diag();
+        r.on_rejected_circuit_open();
+        r.on_device_failure();
+        r.on_worker_panic_outcome();
+        r.on_breaker_trip();
+        r.on_watchdog_stall();
+        r.on_worker_respawn();
+        let s = r.snapshot();
+        assert_eq!(s.rejected_nonfinite, 2);
+        assert_eq!(s.rejected_zero_diag, 1);
+        assert_eq!(s.rejected_circuit_open, 1);
+        assert_eq!(s.failed_device, 1);
+        assert_eq!(s.failed_panic, 1);
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.watchdog_stalls, 1);
+        assert_eq!(s.worker_respawns, 1);
+        assert_eq!(s.rejected_total(), 4);
+        assert_eq!(s.completed(), 2, "device + panic count as terminal");
+    }
+
+    #[test]
+    fn breakdowns_aggregate_by_tag() {
+        let r = StatsRegistry::new();
+        for tags in [vec!["rho", "singular"], vec!["rho"]] {
+            r.on_batch(
+                2,
+                &[],
+                &[],
+                BatchOutcomes {
+                    failed: tags.len() as u64,
+                    breakdowns: tags,
+                    rungs_attempted: vec![3, 3],
+                    ..Default::default()
+                },
+                0.0,
+            );
+        }
+        let s = r.snapshot();
+        assert_eq!(s.breakdowns.get("rho"), Some(&2));
+        assert_eq!(s.breakdowns.get("singular"), Some(&1));
+        assert_eq!(s.rung_hist, [0, 0, 4]);
     }
 }

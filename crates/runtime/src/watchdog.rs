@@ -1,0 +1,183 @@
+//! Dispatch watchdog: detects batches stuck past a time budget.
+//!
+//! A fused launch cannot be cancelled from outside (the kernel owns its
+//! thread blocks until it returns), so the watchdog does the next best
+//! thing: it *observes*. The worker stamps a lock-free [`WatchState`]
+//! around every dispatch; a separate watchdog thread polls it and flags
+//! each dispatch that exceeds the budget exactly once. The flag feeds the
+//! stats taxonomy (`watchdog_stalls`), turning a silent multi-second hang
+//! into a visible, countable event.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Lock-free dispatch progress record shared between the worker and the
+/// watchdog thread.
+#[derive(Debug)]
+pub struct WatchState {
+    epoch: Instant,
+    /// Nanoseconds since `epoch` when the in-flight dispatch started;
+    /// 0 = no dispatch in flight (the epoch offset starts at 1).
+    started_ns: AtomicU64,
+    /// Monotonic dispatch counter, incremented at each begin.
+    seq: AtomicU64,
+    /// Highest `seq` the watchdog has already flagged as stalled.
+    flagged: AtomicU64,
+}
+
+impl WatchState {
+    /// Fresh state, no dispatch in flight.
+    pub fn new() -> WatchState {
+        WatchState {
+            epoch: Instant::now(),
+            started_ns: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            flagged: AtomicU64::new(0),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        // +1 so a dispatch starting exactly at the epoch is not confused
+        // with the idle sentinel 0.
+        u64::try_from(self.epoch.elapsed().as_nanos())
+            .unwrap_or(u64::MAX - 1)
+            .saturating_add(1)
+    }
+
+    /// Worker: a dispatch is starting now.
+    pub fn begin(&self) {
+        self.seq.fetch_add(1, Ordering::Relaxed);
+        self.started_ns.store(self.now_ns(), Ordering::Release);
+    }
+
+    /// Worker: the in-flight dispatch finished.
+    pub fn end(&self) {
+        self.started_ns.store(0, Ordering::Release);
+    }
+
+    /// Watchdog: if the in-flight dispatch has been running longer than
+    /// `budget` and has not been flagged yet, flag it and return `true`.
+    pub fn check_stalled(&self, budget: Duration) -> bool {
+        let started = self.started_ns.load(Ordering::Acquire);
+        if started == 0 {
+            return false;
+        }
+        let elapsed_ns = self.now_ns().saturating_sub(started);
+        if Duration::from_nanos(elapsed_ns) <= budget {
+            return false;
+        }
+        // Flag each dispatch at most once, even across many poll rounds.
+        // Only the watchdog thread writes `flagged`, so load+store is
+        // race-free.
+        let seq = self.seq.load(Ordering::Relaxed);
+        if self.flagged.load(Ordering::Relaxed) >= seq {
+            return false;
+        }
+        self.flagged.store(seq, Ordering::Relaxed);
+        true
+    }
+}
+
+impl Default for WatchState {
+    fn default() -> Self {
+        WatchState::new()
+    }
+}
+
+/// Spawn the watchdog thread. It polls at `budget / 4` (at least 1 ms)
+/// and calls `on_stall` once per dispatch that exceeds `budget`. The
+/// thread exits promptly once `stop` is set.
+pub fn spawn_watchdog<F>(
+    state: Arc<WatchState>,
+    budget: Duration,
+    stop: Arc<AtomicBool>,
+    on_stall: F,
+) -> thread::JoinHandle<()>
+where
+    F: Fn() + Send + 'static,
+{
+    let poll = (budget / 4).max(Duration::from_millis(1));
+    // Sleep in short slices so a long budget does not delay shutdown:
+    // `stop` is rechecked between slices, bounding join latency.
+    let slice = poll.min(Duration::from_millis(20));
+    thread::Builder::new()
+        .name("batsolv-runtime-watchdog".into())
+        .spawn(move || {
+            let mut last_poll = Instant::now();
+            while !stop.load(Ordering::Acquire) {
+                if last_poll.elapsed() >= poll {
+                    last_poll = Instant::now();
+                    if state.check_stalled(budget) {
+                        on_stall();
+                    }
+                }
+                thread::sleep(slice);
+            }
+        })
+        .expect("spawn watchdog thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn idle_state_never_stalls() {
+        let s = WatchState::new();
+        assert!(!s.check_stalled(Duration::ZERO));
+        s.begin();
+        s.end();
+        assert!(!s.check_stalled(Duration::ZERO));
+    }
+
+    #[test]
+    fn long_dispatch_is_flagged_exactly_once() {
+        let s = WatchState::new();
+        s.begin();
+        thread::sleep(Duration::from_millis(5));
+        assert!(s.check_stalled(Duration::from_millis(1)));
+        assert!(
+            !s.check_stalled(Duration::from_millis(1)),
+            "the same dispatch must not be flagged twice"
+        );
+        s.end();
+        // The next dispatch is flaggable again.
+        s.begin();
+        thread::sleep(Duration::from_millis(5));
+        assert!(s.check_stalled(Duration::from_millis(1)));
+        s.end();
+    }
+
+    #[test]
+    fn fast_dispatch_is_not_flagged() {
+        let s = WatchState::new();
+        s.begin();
+        assert!(!s.check_stalled(Duration::from_secs(60)));
+        s.end();
+    }
+
+    #[test]
+    fn watchdog_thread_counts_a_stall_and_stops() {
+        let state = Arc::new(WatchState::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let stalls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&stalls);
+        let handle = spawn_watchdog(
+            Arc::clone(&state),
+            Duration::from_millis(2),
+            Arc::clone(&stop),
+            move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        state.begin();
+        thread::sleep(Duration::from_millis(20));
+        state.end();
+        stop.store(true, Ordering::Release);
+        handle.join().unwrap();
+        assert_eq!(stalls.load(Ordering::SeqCst), 1);
+    }
+}

@@ -65,6 +65,7 @@ impl SolveEngine for EchoEngine {
                     converged: true,
                     method: SolveMethod::Bicgstab,
                     breakdown: None,
+                    rungs: vec![],
                 })
                 .collect(),
             sim_time_s: 1e-6,
@@ -242,7 +243,8 @@ fn starved_iterations_fall_back_to_banded_lu() {
         .with_batch_target(3)
         .with_linger(Duration::from_millis(1))
         .with_tolerance(1e-12)
-        .with_max_iters(1);
+        .with_max_iters(1)
+        .with_gmres(false);
     let service = SolveService::start(Arc::clone(workload.pattern()), config).unwrap();
     let tickets: Vec<_> = workload
         .systems()
@@ -272,6 +274,7 @@ fn fallback_disabled_yields_not_converged_error() {
         .with_linger(Duration::ZERO)
         .with_tolerance(1e-12)
         .with_max_iters(1)
+        .with_gmres(false)
         .with_fallback(false);
     let service = SolveService::start(Arc::clone(workload.pattern()), config).unwrap();
     let sys = workload.system(0);

@@ -16,7 +16,9 @@ use batsolv_formats::{BatchMatrix, BatchVectors};
 use batsolv_gpusim::{run_batch_map_mut, DeviceSpec, SimKernel};
 use batsolv_types::{OpCounts, Result, Scalar};
 
-use crate::common::{assemble_block_stats, placed_spmv_counts, BatchSolveReport, SystemResult};
+use crate::common::{
+    assemble_block_stats, placed_spmv_counts, sanitize_block_result, BatchSolveReport, SystemResult,
+};
 use crate::logger::{IterationLogger, NoopLogger};
 use crate::precond::Preconditioner;
 use crate::stop::StopCriterion;
@@ -119,7 +121,9 @@ where
         let chunks: Vec<&mut [T]> = x.systems_mut().collect();
         Ok(run_batch_map_mut(chunks, |i, xi| {
             let mut logger = make_logger(i);
-            bicgstab_block(a, i, b.system(i), xi, precond, stop, max_iters, &mut logger)
+            let x0 = xi.to_vec();
+            let r = bicgstab_block(a, i, b.system(i), xi, precond, stop, max_iters, &mut logger);
+            sanitize_block_result(&x0, xi, r)
         }))
     }
 

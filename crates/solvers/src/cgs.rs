@@ -16,7 +16,9 @@ use batsolv_formats::{BatchMatrix, BatchVectors};
 use batsolv_gpusim::{run_batch_map_mut, DeviceSpec, SimKernel};
 use batsolv_types::{OpCounts, Result, Scalar};
 
-use crate::common::{assemble_block_stats, placed_spmv_counts, BatchSolveReport, SystemResult};
+use crate::common::{
+    assemble_block_stats, placed_spmv_counts, sanitize_block_result, BatchSolveReport, SystemResult,
+};
 use crate::precond::Preconditioner;
 use crate::stop::StopCriterion;
 use crate::workspace::{VectorClass, VectorSpec, WorkspacePlan};
@@ -86,7 +88,9 @@ where
         let (precond, stop, max_iters) = (&self.precond, &self.stop, self.max_iters);
         let chunks: Vec<&mut [T]> = x.systems_mut().collect();
         let results: Vec<SystemResult> = run_batch_map_mut(chunks, |i, xi| {
-            cgs_block(a, i, b.system(i), xi, precond, stop, max_iters)
+            let x0 = xi.to_vec();
+            let r = cgs_block(a, i, b.system(i), xi, precond, stop, max_iters);
+            sanitize_block_result(&x0, xi, r)
         });
 
         let (setup, per_iter, ro_req) = self.cost_decomposition(a, device, &plan);

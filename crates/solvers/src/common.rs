@@ -81,6 +81,42 @@ impl BatchSolveReport {
     }
 }
 
+/// Enforce the solver result contract on one system's outcome:
+///
+/// * a reported breakdown always means `converged == false`;
+/// * a NaN residual is normalized to `+inf` (orderable, unambiguous);
+/// * the returned iterate never contains non-finite entries — if the
+///   block left NaN/Inf in `x` (divergence, poisoned input), `x` is
+///   restored to the pre-solve snapshot `x0` and the system is reported
+///   as a `"nonfinite"` breakdown (unless a more specific tag exists).
+///
+/// Every batched solver funnels its per-block result through this guard,
+/// so downstream layers (fallback ladders, services) can rely on the
+/// invariant instead of re-scanning solutions.
+pub fn sanitize_block_result<T: Scalar>(
+    x0: &[T],
+    x: &mut [T],
+    mut r: SystemResult,
+) -> SystemResult {
+    if r.residual.is_nan() {
+        r.residual = f64::INFINITY;
+    }
+    if r.breakdown.is_some() {
+        r.converged = false;
+    }
+    if x.iter().any(|v| !v.is_finite()) {
+        x.copy_from_slice(x0);
+        r.converged = false;
+        if r.breakdown.is_none() {
+            r.breakdown = Some("nonfinite");
+        }
+        if r.residual.is_finite() {
+            r.residual = f64::INFINITY;
+        }
+    }
+    r
+}
+
 /// SpMV counts with the solver's vector placement applied: the `x` gather
 /// and `y` write that the format booked as global traffic move to shared
 /// when the workspace plan put those vectors in shared memory.

@@ -11,7 +11,7 @@ use batsolv_formats::{BatchBanded, BatchMatrix, BatchVectors};
 use batsolv_gpusim::{run_batch_map_mut, BlockStats, DeviceSpec, SimKernel, TrafficProfile};
 use batsolv_types::{OpCounts, Result, Scalar};
 
-use crate::common::{BatchSolveReport, SystemResult};
+use crate::common::{sanitize_block_result, BatchSolveReport, SystemResult};
 
 /// The batched `dgbsv`-style direct solver.
 #[derive(Clone, Copy, Debug, Default)]
@@ -35,10 +35,11 @@ impl BatchBandedLu {
 
         let chunks: Vec<&mut [T]> = x.systems_mut().collect();
         let results: Vec<SystemResult> = run_batch_map_mut(chunks, |i, xi| {
+            let x0 = xi.to_vec();
             xi.copy_from_slice(b.system(i));
             let mut ab = a.ab_of(i).to_vec();
             let mut piv = vec![0usize; n];
-            match gbtrf(n, kl, ku, ldab, &mut ab, &mut piv) {
+            let sys = match gbtrf(n, kl, ku, ldab, &mut ab, &mut piv) {
                 Ok(()) => {
                     gbtrs(n, kl, ku, ldab, &ab, &piv, xi);
                     // True residual for the report.
@@ -50,12 +51,20 @@ impl BatchBandedLu {
                         .zip(r.iter())
                         .map(|(&bv, &rv)| (bv - rv) * (bv - rv))
                         .fold(T::ZERO, |acc, v| acc + v)
-                        .sqrt();
+                        .sqrt()
+                        .to_f64();
                     SystemResult {
                         iterations: 1,
-                        residual: res.to_f64(),
-                        converged: true,
-                        breakdown: None,
+                        residual: res,
+                        // A factor+solve with a poisoned input can finish
+                        // and still produce garbage: accept only finite
+                        // residuals as solved.
+                        converged: res.is_finite(),
+                        breakdown: if res.is_finite() {
+                            None
+                        } else {
+                            Some("nonfinite")
+                        },
                     }
                 }
                 Err(_) => SystemResult {
@@ -64,7 +73,8 @@ impl BatchBandedLu {
                     converged: false,
                     breakdown: Some("singular"),
                 },
-            }
+            };
+            sanitize_block_result(&x0, xi, sys)
         });
 
         let stats = block_stats::<T>(device, n, kl, ku, ldab);

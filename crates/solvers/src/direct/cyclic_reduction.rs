@@ -12,7 +12,7 @@ use batsolv_formats::{BatchMatrix, BatchTridiag, BatchVectors};
 use batsolv_gpusim::{run_batch_map_mut, BlockStats, DeviceSpec, SimKernel, TrafficProfile};
 use batsolv_types::{Error, OpCounts, Result, Scalar};
 
-use crate::common::{BatchSolveReport, SystemResult};
+use crate::common::{sanitize_block_result, BatchSolveReport, SystemResult};
 
 /// The batched cyclic-reduction solver.
 #[derive(Clone, Copy, Debug, Default)]
@@ -34,7 +34,8 @@ impl BatchCyclicReduction {
 
         let chunks: Vec<&mut [T]> = x.systems_mut().collect();
         let results: Vec<SystemResult> = run_batch_map_mut(chunks, |i, xi| {
-            match cr_solve(a.dl_of(i), a.d_of(i), a.du_of(i), b.system(i)) {
+            let x0 = xi.to_vec();
+            let sys = match cr_solve(a.dl_of(i), a.d_of(i), a.du_of(i), b.system(i)) {
                 Ok(sol) => {
                     xi.copy_from_slice(&sol);
                     let mut r = vec![T::ZERO; n];
@@ -45,12 +46,17 @@ impl BatchCyclicReduction {
                         .zip(r.iter())
                         .map(|(&bv, &rv)| (bv - rv) * (bv - rv))
                         .fold(T::ZERO, |acc, v| acc + v)
-                        .sqrt();
+                        .sqrt()
+                        .to_f64();
                     SystemResult {
                         iterations: 1,
-                        residual: res.to_f64(),
-                        converged: true,
-                        breakdown: None,
+                        residual: res,
+                        converged: res.is_finite(),
+                        breakdown: if res.is_finite() {
+                            None
+                        } else {
+                            Some("nonfinite")
+                        },
                     }
                 }
                 Err(_) => SystemResult {
@@ -59,7 +65,8 @@ impl BatchCyclicReduction {
                     converged: false,
                     breakdown: Some("zero pivot"),
                 },
-            }
+            };
+            sanitize_block_result(&x0, xi, sys)
         });
 
         let stats = block_stats::<T>(device, n);

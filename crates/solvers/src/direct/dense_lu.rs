@@ -14,7 +14,7 @@ use batsolv_formats::{BatchDense, BatchMatrix, BatchVectors};
 use batsolv_gpusim::{run_batch_map_mut, BlockStats, DeviceSpec, SimKernel, TrafficProfile};
 use batsolv_types::{OpCounts, Result, Scalar};
 
-use crate::common::{BatchSolveReport, SystemResult};
+use crate::common::{sanitize_block_result, BatchSolveReport, SystemResult};
 
 /// The batched dense LU direct solver.
 #[derive(Clone, Copy, Debug, Default)]
@@ -36,10 +36,11 @@ impl BatchDenseLu {
 
         let chunks: Vec<&mut [T]> = x.systems_mut().collect();
         let results: Vec<SystemResult> = run_batch_map_mut(chunks, |i, xi| {
+            let x0 = xi.to_vec();
             xi.copy_from_slice(b.system(i));
             let mut lu = a.matrix_of(i).to_vec();
             let mut piv = vec![0usize; n];
-            match lu_factor(n, &mut lu, &mut piv) {
+            let sys = match lu_factor(n, &mut lu, &mut piv) {
                 Ok(()) => {
                     lu_solve(n, &lu, &piv, xi);
                     let mut r = vec![T::ZERO; n];
@@ -50,12 +51,17 @@ impl BatchDenseLu {
                         .zip(r.iter())
                         .map(|(&bv, &rv)| (bv - rv) * (bv - rv))
                         .fold(T::ZERO, |acc, v| acc + v)
-                        .sqrt();
+                        .sqrt()
+                        .to_f64();
                     SystemResult {
                         iterations: 1,
-                        residual: res.to_f64(),
-                        converged: true,
-                        breakdown: None,
+                        residual: res,
+                        converged: res.is_finite(),
+                        breakdown: if res.is_finite() {
+                            None
+                        } else {
+                            Some("nonfinite")
+                        },
                     }
                 }
                 Err(_) => SystemResult {
@@ -64,7 +70,8 @@ impl BatchDenseLu {
                     converged: false,
                     breakdown: Some("singular"),
                 },
-            }
+            };
+            sanitize_block_result(&x0, xi, sys)
         });
 
         let stats = block_stats::<T>(device, n);

@@ -14,7 +14,7 @@ use batsolv_formats::{BatchBanded, BatchMatrix, BatchVectors};
 use batsolv_gpusim::{run_batch_map_mut, BlockStats, DeviceSpec, SimKernel, TrafficProfile};
 use batsolv_types::{OpCounts, Result, Scalar};
 
-use crate::common::{BatchSolveReport, SystemResult};
+use crate::common::{sanitize_block_result, BatchSolveReport, SystemResult};
 
 /// The batched sparse QR direct solver.
 #[derive(Clone, Copy, Debug, Default)]
@@ -37,9 +37,10 @@ impl BatchSparseQr {
 
         let chunks: Vec<&mut [T]> = x.systems_mut().collect();
         let results: Vec<SystemResult> = run_batch_map_mut(chunks, |i, xi| {
+            let x0 = xi.to_vec();
             xi.copy_from_slice(b.system(i));
             let mut ab = a.ab_of(i).to_vec();
-            match givens_qr_solve(n, kl, ku, ldab, &mut ab, xi) {
+            let sys = match givens_qr_solve(n, kl, ku, ldab, &mut ab, xi) {
                 Ok(()) => {
                     let mut r = vec![T::ZERO; n];
                     a.spmv_system(i, xi, &mut r);
@@ -49,12 +50,17 @@ impl BatchSparseQr {
                         .zip(r.iter())
                         .map(|(&bv, &rv)| (bv - rv) * (bv - rv))
                         .fold(T::ZERO, |acc, v| acc + v)
-                        .sqrt();
+                        .sqrt()
+                        .to_f64();
                     SystemResult {
                         iterations: 1,
-                        residual: res.to_f64(),
-                        converged: true,
-                        breakdown: None,
+                        residual: res,
+                        converged: res.is_finite(),
+                        breakdown: if res.is_finite() {
+                            None
+                        } else {
+                            Some("nonfinite")
+                        },
                     }
                 }
                 Err(_) => SystemResult {
@@ -63,7 +69,8 @@ impl BatchSparseQr {
                     converged: false,
                     breakdown: Some("singular"),
                 },
-            }
+            };
+            sanitize_block_result(&x0, xi, sys)
         });
 
         let stats = block_stats::<T>(device, n, kl, ku, ldab);

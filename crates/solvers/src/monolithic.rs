@@ -16,7 +16,7 @@ use batsolv_gpusim::{DeviceSpec, KernelReport};
 use batsolv_types::{BatchDims, Result, Scalar};
 
 use crate::bicgstab::bicgstab_block;
-use crate::common::BatchSolveReport;
+use crate::common::{sanitize_block_result, BatchSolveReport};
 use crate::logger::NoopLogger;
 use crate::precond::Preconditioner;
 use crate::stop::StopCriterion;
@@ -94,6 +94,7 @@ where
         let big_dims = BatchDims::new(1, ns * n)?;
         let b_flat = BatchVectors::from_values(big_dims, b.values().to_vec())?;
         let mut logger = NoopLogger;
+        let x0 = x.values().to_vec();
         let result = bicgstab_block(
             &big,
             0,
@@ -104,6 +105,7 @@ where
             self.max_iters,
             &mut logger,
         );
+        let result = sanitize_block_result(&x0, x.values_mut(), result);
 
         // Every system pays the global iteration count — the paper's
         // first objection to the monolithic design.

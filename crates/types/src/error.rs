@@ -42,6 +42,13 @@ pub enum Error {
     InvalidConfig(String),
     /// Matrix Market (or other) I/O failed.
     Io(String),
+    /// The device (or its simulator) failed to execute a launch. The whole
+    /// fused batch is lost: per-system recovery inside a failed launch is
+    /// impossible, so callers must retry or fail every member.
+    DeviceFailure {
+        /// Short machine-readable failure code (e.g. `launch_failure`).
+        code: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -75,6 +82,9 @@ impl fmt::Display for Error {
             Error::InvalidFormat(msg) => write!(f, "invalid matrix format: {msg}"),
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Io(msg) => write!(f, "I/O error: {msg}"),
+            Error::DeviceFailure { code } => {
+                write!(f, "device failure ({code}): fused launch lost")
+            }
         }
     }
 }

@@ -154,6 +154,24 @@ pub struct SystemView<'a> {
     pub warm_guess: &'a [f64],
 }
 
+impl SystemView<'_> {
+    /// First non-finite entry across the system's payload, as
+    /// `(field, index)` — `None` when the node is clean. A NaN/Inf here
+    /// would otherwise flow untouched into a fused launch shared with
+    /// thousands of healthy nodes; submitters (and the runtime's
+    /// admission gate) use this to bounce the poisoned node alone.
+    pub fn first_non_finite(&self) -> Option<(&'static str, usize)> {
+        let scan = |field: &'static str, data: &[f64]| {
+            data.iter()
+                .position(|v| !v.is_finite())
+                .map(|idx| (field, idx))
+        };
+        scan("values", self.values)
+            .or_else(|| scan("rhs", self.rhs))
+            .or_else(|| scan("warm_guess", self.warm_guess))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +237,17 @@ mod tests {
             seen += 1;
         }
         assert_eq!(seen, w.num_systems());
+    }
+
+    #[test]
+    fn first_non_finite_flags_poisoned_nodes() {
+        let mut w = XgcWorkload::generate(VelocityGrid::small(6, 5), 1, 4).unwrap();
+        assert!(w.systems().all(|s| s.first_non_finite().is_none()));
+        // Poison one node's RHS and one node's matrix values.
+        w.rhs.system_mut(0)[7] = f64::NAN;
+        w.matrices.values_of_mut(1)[3] = f64::INFINITY;
+        assert_eq!(w.system(0).first_non_finite(), Some(("rhs", 7)));
+        assert_eq!(w.system(1).first_non_finite(), Some(("values", 3)));
     }
 
     #[test]

@@ -46,10 +46,12 @@
 //! | [`solvers`] | `batsolv-solvers` | BiCGSTAB/CG/GMRES/Richardson, preconditioners, direct baselines |
 //! | [`eigen`] | `batsolv-eigen` | Hessenberg + Francis QR eigensolver |
 //! | [`xgc`] | `batsolv-xgc` | collision-kernel proxy app (grid, operator, Picard loop) |
-//! | [`runtime`] | `batsolv-runtime` | dynamic-batching solve service (queue, former, fallback, stats) |
+//! | [`runtime`] | `batsolv-runtime` | supervised dynamic-batching solve service (admission gate, escalation ladder, panic isolation, watchdog, circuit breaker, stats) |
+//! | [`faults`] | `batsolv-faults` | deterministic fault injection (seeded `FaultPlan`, data poisoning, launch disruption) |
 
 pub use batsolv_blas as blas;
 pub use batsolv_eigen as eigen;
+pub use batsolv_faults as faults;
 pub use batsolv_formats as formats;
 pub use batsolv_gpusim as gpusim;
 pub use batsolv_runtime as runtime;
@@ -65,7 +67,8 @@ pub mod prelude {
     };
     pub use batsolv_gpusim::{DeviceSpec, MultiGpu, Scheduling, SimKernel};
     pub use batsolv_runtime::{
-        RuntimeConfig, SolveError, SolveMethod, SolveRequest, SolveService, SubmitError,
+        RejectReason, RungAttempt, RuntimeConfig, SolveError, SolveMethod, SolveRequest,
+        SolveService, SubmitError,
     };
     pub use batsolv_solvers::direct::{
         BatchBandedLu, BatchCyclicReduction, BatchDenseLu, BatchSparseQr,
