@@ -8,17 +8,35 @@
 //! reported (the launch-amortization effect the paper's Figure 6 shows
 //! for pre-formed batches).
 //!
+//! Tracing and telemetry (the observability layer):
+//!
+//! * `--trace-out PATH` streams the structured event log to PATH as
+//!   JSONL while the run is live;
+//! * `--metrics-out PATH` writes the final stats snapshot as a
+//!   Prometheus text page;
+//! * `--flight-recorder` keeps a ring of recent events and writes
+//!   `flight_dump.jsonl` if a breaker trip or watchdog stall dumped it;
+//! * `--stats-interval-ms N` prints the Prometheus page of the *live*
+//!   snapshot every N milliseconds instead of only at shutdown.
+//!
 //! ```text
 //! batsolv-serve [--pairs 100] [--threads 4] [--target 100] [--linger-us 2000]
 //!               [--rate 20000] [--queue 1024] [--quick] [--compare]
+//!               [--trace-out trace.jsonl] [--metrics-out metrics.prom]
+//!               [--flight-recorder] [--stats-interval-ms 1000]
 //! ```
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
 use batsolv_gpusim::DeviceSpec;
-use batsolv_runtime::{RuntimeConfig, SolveRequest, SolveService, StatsSnapshot, SubmitError};
+use batsolv_runtime::{
+    prometheus_text, RuntimeConfig, SolveRequest, SolveService, StatsSnapshot, SubmitError,
+};
+use batsolv_trace::{FlightRecorder, JsonlFileSink, TraceSink, Tracer, DEFAULT_FLIGHT_CAPACITY};
 use batsolv_xgc::{VelocityGrid, XgcWorkload};
 
 struct Args {
@@ -30,6 +48,10 @@ struct Args {
     queue: usize,
     quick: bool,
     compare: bool,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    flight_recorder: bool,
+    stats_interval_ms: u64,
 }
 
 impl Args {
@@ -43,6 +65,10 @@ impl Args {
             queue: 1024,
             quick: false,
             compare: false,
+            trace_out: None,
+            metrics_out: None,
+            flight_recorder: false,
+            stats_interval_ms: 0,
         };
         let mut args = std::env::args().skip(1);
         let next_usize = |args: &mut dyn Iterator<Item = String>, what: &str| -> usize {
@@ -66,10 +92,28 @@ impl Args {
                 }
                 "--quick" => out.quick = true,
                 "--compare" => out.compare = true,
+                "--flight-recorder" => out.flight_recorder = true,
+                "--trace-out" => {
+                    out.trace_out = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                        eprintln!("--trace-out needs a file path");
+                        std::process::exit(2);
+                    })))
+                }
+                "--metrics-out" => {
+                    out.metrics_out = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                        eprintln!("--metrics-out needs a file path");
+                        std::process::exit(2);
+                    })))
+                }
+                "--stats-interval-ms" => {
+                    out.stats_interval_ms = next_usize(&mut args, "--stats-interval-ms") as u64
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: batsolv-serve [--pairs N] [--threads N] [--target N] \
-                         [--linger-us N] [--rate R] [--queue N] [--quick] [--compare]"
+                         [--linger-us N] [--rate R] [--queue N] [--quick] [--compare] \
+                         [--trace-out PATH] [--metrics-out PATH] [--flight-recorder] \
+                         [--stats-interval-ms N]"
                     );
                     std::process::exit(0);
                 }
@@ -89,15 +133,37 @@ fn drive(
     workload: &XgcWorkload,
     args: &Args,
     target: usize,
+    tracer: Tracer,
 ) -> (StatsSnapshot, usize, usize, usize, Duration) {
     let config = RuntimeConfig::new(DeviceSpec::v100())
         .with_batch_target(target)
         .with_linger(Duration::from_micros(args.linger_us))
-        .with_queue_capacity(args.queue);
+        .with_queue_capacity(args.queue)
+        .with_tracer(tracer);
     let service = Arc::new(
         SolveService::start(Arc::clone(workload.pattern()), config)
             .expect("service failed to start"),
     );
+    // Periodic live telemetry: print the Prometheus page of the running
+    // snapshot at the configured cadence (0 = only at shutdown).
+    let stop_stats = Arc::new(AtomicBool::new(false));
+    let stats_printer = (args.stats_interval_ms > 0).then(|| {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop_stats);
+        let every = Duration::from_millis(args.stats_interval_ms);
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                thread::sleep(every);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                println!(
+                    "--- live metrics ---\n{}",
+                    prometheus_text(&service.stats())
+                );
+            }
+        })
+    });
     let total = workload.num_systems();
     let gap = Duration::from_secs_f64(args.threads as f64 / args.rate);
     let started = Instant::now();
@@ -142,6 +208,10 @@ fn drive(
         })
     });
     let wall = started.elapsed();
+    stop_stats.store(true, Ordering::Relaxed);
+    if let Some(h) = stats_printer {
+        let _ = h.join();
+    }
     let service = Arc::into_inner(service).expect("submitters hold no service refs");
     let stats = service.shutdown();
     (stats, converged, failed, rejected, wall)
@@ -164,7 +234,30 @@ fn main() {
         args.rate,
     );
 
-    let (stats, converged, failed, rejected, wall) = drive(&workload, &args, args.target);
+    // Assemble the tracer from the observability flags. With none set the
+    // tracer is disabled and the service runs the untraced (NoopLogger)
+    // hot path.
+    let recorder = args
+        .flight_recorder
+        .then(|| Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)));
+    let sink: Option<Arc<dyn TraceSink>> = args.trace_out.as_deref().map(|path| {
+        let sink = JsonlFileSink::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create trace file {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        Arc::new(sink) as Arc<dyn TraceSink>
+    });
+    let tracer = match (sink, &recorder) {
+        (None, None) => Tracer::disabled(),
+        (Some(s), None) => Tracer::new(s),
+        (None, Some(r)) => {
+            Tracer::with_flight_recorder(Arc::new(batsolv_trace::NoopSink), Arc::clone(r))
+        }
+        (Some(s), Some(r)) => Tracer::with_flight_recorder(s, Arc::clone(r)),
+    };
+
+    let (stats, converged, failed, rejected, wall) =
+        drive(&workload, &args, args.target, tracer.clone());
     println!(
         "\n--- batch target {} (linger {} us) ---",
         args.target, args.linger_us
@@ -175,8 +268,37 @@ fn main() {
     );
     print!("{}", stats.render());
 
+    tracer.flush();
+    if let Some(path) = &args.trace_out {
+        println!("trace written to {}", path.display());
+    }
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, prometheus_text(&stats)).unwrap_or_else(|e| {
+            eprintln!("cannot write metrics file {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        println!("metrics written to {}", path.display());
+    }
+    if let Some(r) = &recorder {
+        match r.last_dump() {
+            Some(dump) => {
+                let path = PathBuf::from("flight_dump.jsonl");
+                std::fs::write(&path, dump.to_jsonl()).unwrap_or_else(|e| {
+                    eprintln!("cannot write flight dump {}: {e}", path.display());
+                    std::process::exit(2);
+                });
+                println!(
+                    "flight recorder dumped ({}): {}",
+                    dump.reason,
+                    path.display()
+                );
+            }
+            None => println!("flight recorder armed; no dump was triggered"),
+        }
+    }
+
     if args.compare {
-        let (base, ..) = drive(&workload, &args, 1);
+        let (base, ..) = drive(&workload, &args, 1, Tracer::disabled());
         let rate = stats.completed() as f64 / stats.sim_time_total_s;
         let base_rate = base.completed() as f64 / base.sim_time_total_s;
         println!("\n--- batch target 1 (baseline) ---");

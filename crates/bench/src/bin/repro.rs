@@ -5,7 +5,7 @@
 //! repro [--quick] fig1 fig2 ... fig9 table1 table2 table3
 //! repro [--quick] ablation-{monolithic,shared,solver,tolerance}
 //! repro [--quick] ext-{multispecies,multigpu,mixed-precision,gpu-direct,
-//!                      campaign,dia,precond,convergence,gridsize,serving,chaos}
+//!                      campaign,dia,precond,convergence,gridsize,serving,chaos,trace}
 //! ```
 //!
 //! CSV series land in `bench_out/` (override with `REPRO_OUT`); the
@@ -73,6 +73,7 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
     ("ext-gridsize", gridsize::run),
     ("ext-serving", serving::run),
     ("ext-chaos", chaos::run),
+    ("ext-trace", tracing::run),
     ("ablation-shared", ablations::shared_memory),
     ("ablation-solver", ablations::solver_choice),
     ("ablation-tolerance", ablations::tolerance),

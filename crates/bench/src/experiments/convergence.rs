@@ -69,7 +69,7 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
         histories.sort_by_key(|(i, _)| *i);
         for (i, h) in &histories {
             let species = if i % 2 == 0 { "ion" } else { "electron" };
-            for (it, r) in h.residuals.iter().enumerate() {
+            for (it, r) in &h.residuals {
                 rows.push(format!("{pname},{species},{it},{r:e}"));
             }
             rates.push((

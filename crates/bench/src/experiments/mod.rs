@@ -19,3 +19,4 @@ pub mod serving;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod tracing;

@@ -1,0 +1,189 @@
+//! End-to-end tracing demonstration (`ext-trace`).
+//!
+//! Streams an XGC-shaped workload through a *traced* solve service and
+//! exercises every exporter on the captured event log:
+//!
+//! * `trace_events.jsonl` — the raw structured log, one JSON object per
+//!   line;
+//! * `trace_chrome.json` — a `chrome://tracing` timeline (request spans
+//!   on wall-clock time, kernel/transfer lanes on cumulative sim time);
+//! * `metrics.prom` — the Prometheus text page of the final snapshot.
+//!
+//! The shape checks are the tracing layer's acceptance contract: exactly
+//! one terminal event per accepted request, rung spans nested inside
+//! their request span, a Chrome trace that parses as JSON, and a
+//! Prometheus page that agrees with the `StatsSnapshot`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use batsolv_gpusim::DeviceSpec;
+use batsolv_runtime::{prometheus_text, RuntimeConfig, SolveRequest, SolveService};
+use batsolv_trace::{
+    chrome_trace, parse_prom_value, to_jsonl, validate_json, EventKind, FlightRecorder, MemorySink,
+    TraceEvent, Tracer,
+};
+use batsolv_types::{Error, Result};
+use batsolv_xgc::{VelocityGrid, XgcWorkload};
+
+use crate::config::RunConfig;
+
+fn check(out: &mut String, ok: bool, what: &str) -> bool {
+    out.push_str(&format!(
+        "shape check: {} ({what})\n",
+        if ok { "PASS" } else { "FAIL" }
+    ));
+    ok
+}
+
+/// Run the experiment; returns the report section.
+pub fn run(cfg: &RunConfig) -> Result<String> {
+    let pairs = if cfg.quick { 20 } else { 100 };
+    let grid = if cfg.quick {
+        VelocityGrid::small(10, 9)
+    } else {
+        VelocityGrid::xgc_standard()
+    };
+    let workload = XgcWorkload::generate(grid, pairs, cfg.seed)?;
+    let total = workload.num_systems();
+
+    let sink = Arc::new(MemorySink::new());
+    let recorder = Arc::new(FlightRecorder::new(4096));
+    let tracer = Tracer::with_flight_recorder(sink.clone(), Arc::clone(&recorder));
+    let config = RuntimeConfig::new(DeviceSpec::v100())
+        .with_batch_target(32)
+        .with_linger(Duration::from_millis(1))
+        .with_queue_capacity(total.max(1))
+        .with_tracer(tracer);
+    let service = SolveService::start(Arc::clone(workload.pattern()), config)?;
+    let mut tickets = Vec::with_capacity(total);
+    for sys in workload.systems() {
+        let req = SolveRequest::new(sys.values.to_vec(), sys.rhs.to_vec())
+            .with_guess(sys.warm_guess.to_vec());
+        let ticket = service
+            .submit(req)
+            .map_err(|e| Error::InvalidConfig(format!("submit failed: {e}")))?;
+        tickets.push(ticket);
+    }
+    let stats = service.shutdown();
+    for t in tickets {
+        t.wait()
+            .map_err(|e| Error::InvalidConfig(format!("solve failed: {e}")))?;
+    }
+
+    let events = sink.snapshot();
+
+    // Exporter 1: the JSONL log, every line independently valid JSON.
+    let jsonl = to_jsonl(&events);
+    let jsonl_ok = jsonl.lines().all(|l| validate_json(l).is_ok());
+    std::fs::create_dir_all(&cfg.out_dir).map_err(|e| Error::InvalidConfig(e.to_string()))?;
+    std::fs::write(cfg.out_dir.join("trace_events.jsonl"), &jsonl)
+        .map_err(|e| Error::InvalidConfig(e.to_string()))?;
+
+    // Exporter 2: the Chrome timeline, one JSON document.
+    let chrome = chrome_trace(&events);
+    let chrome_ok = validate_json(&chrome).is_ok();
+    std::fs::write(cfg.out_dir.join("trace_chrome.json"), &chrome)
+        .map_err(|e| Error::InvalidConfig(e.to_string()))?;
+
+    // Exporter 3: the Prometheus page of the final snapshot.
+    let prom = prometheus_text(&stats);
+    std::fs::write(cfg.out_dir.join("metrics.prom"), &prom)
+        .map_err(|e| Error::InvalidConfig(e.to_string()))?;
+
+    // Contract 1: exactly one terminal event per accepted request.
+    let mut terminals: HashMap<u64, usize> = HashMap::new();
+    let mut submitted = 0u64;
+    for e in &events {
+        match e.kind {
+            EventKind::Submitted { .. } => submitted += 1,
+            EventKind::Terminal { .. } => {
+                *terminals.entry(e.trace_id.unwrap_or(u64::MAX)).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    let terminal_ok = submitted == stats.accepted
+        && terminals.len() as u64 == stats.accepted
+        && terminals.values().all(|&c| c == 1);
+
+    // Contract 2: rung spans nest inside their request's
+    // submitted → terminal window.
+    let window_of = |id: u64| -> Option<(u64, u64)> {
+        let start = events
+            .iter()
+            .find(|e| e.trace_id == Some(id) && matches!(e.kind, EventKind::Submitted { .. }))?;
+        let end = events
+            .iter()
+            .find(|e| e.trace_id == Some(id) && matches!(e.kind, EventKind::Terminal { .. }))?;
+        Some((start.t_us, end.t_us))
+    };
+    let rung_events: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::RungBegin { .. } | EventKind::RungEnd { .. }
+            )
+        })
+        .collect();
+    let nesting_ok = !rung_events.is_empty()
+        && rung_events.iter().all(|e| {
+            e.trace_id
+                .and_then(window_of)
+                .is_some_and(|(start, end)| e.t_us >= start && e.t_us <= end)
+        });
+
+    // Contract 3: the Prometheus page agrees with the snapshot.
+    let prom_ok = parse_prom_value(&prom, "batsolv_requests_accepted_total")
+        == Some(stats.accepted as f64)
+        && parse_prom_value(&prom, "batsolv_requests_completed_total")
+            == Some(stats.completed() as f64)
+        && parse_prom_value(&prom, "batsolv_batches_formed_total")
+            == Some(stats.batches_formed as f64)
+        && parse_prom_value(&prom, "batsolv_solver_iterations_total")
+            == Some(stats.solver_iterations_total as f64);
+
+    let launches = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::KernelLaunch { .. }))
+        .count();
+    let iteration_events = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::SolverIteration { .. }))
+        .count();
+
+    let mut out = String::from("== Tracing: per-request spans, kernel timeline, exporters ==\n");
+    out.push_str(&format!(
+        "{total} XGC requests traced through the service: {} events captured \
+         ({launches} kernel launches, {iteration_events} solver iterations)\n",
+        events.len()
+    ));
+    out.push_str(&format!(
+        "exports: trace_events.jsonl ({} lines), trace_chrome.json ({} bytes), metrics.prom ({} series)\n",
+        jsonl.lines().count(),
+        chrome.len(),
+        prom.lines().filter(|l| !l.starts_with('#')).count()
+    ));
+    let mut ok = true;
+    ok &= check(
+        &mut out,
+        terminal_ok,
+        "every accepted request has exactly one terminal event",
+    );
+    ok &= check(
+        &mut out,
+        nesting_ok,
+        "rung spans nest inside their request span",
+    );
+    ok &= check(&mut out, jsonl_ok, "every JSONL line is valid JSON");
+    ok &= check(&mut out, chrome_ok, "Chrome trace parses as valid JSON");
+    ok &= check(
+        &mut out,
+        prom_ok,
+        "Prometheus page agrees with the stats snapshot",
+    );
+    let _ = ok;
+    Ok(out)
+}

@@ -23,6 +23,8 @@
 //!   on CPU threads (rayon), so results are bit-exact while time is
 //!   simulated;
 //! * [`transfer`] — host↔device copy model for the Figure 1 timeline;
+//! * [`timeline`] — builders folding priced launches and transfers into
+//!   `batsolv-trace` timeline events;
 //! * [`hook`] — pre-launch disruption seam ([`LaunchHook`]) used by the
 //!   dispatch layer for chaos testing: simulated launch failures, stalls,
 //!   and worker panics.
@@ -37,6 +39,7 @@ pub mod model;
 pub mod multi;
 pub mod occupancy;
 pub mod schedule;
+pub mod timeline;
 pub mod transfer;
 
 pub use cache::{CacheOutcome, TrafficProfile};
@@ -47,3 +50,5 @@ pub use model::{BlockStats, KernelReport, SimKernel};
 pub use multi::{MultiGpu, MultiGpuReport};
 pub use occupancy::{max_threads_per_block, resident_blocks_per_cu, warps_per_block};
 pub use schedule::makespan;
+pub use timeline::{kernel_launch_event, transfer_event};
+pub use transfer::{transfer_time, Direction};

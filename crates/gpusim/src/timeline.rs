@@ -1,0 +1,127 @@
+//! Bridges from simulator records to trace events.
+//!
+//! The simulator prices kernels and transfers; the trace layer records
+//! them. These builders fold a [`KernelReport`] (plus the occupancy facts
+//! that shaped it) into one [`EventKind::KernelLaunch`] record, and a
+//! priced copy into one [`EventKind::Transfer`], so the dispatch layer
+//! emits timeline events without re-deriving simulator internals.
+
+use batsolv_trace::EventKind;
+
+use crate::device::DeviceSpec;
+use crate::model::KernelReport;
+use crate::occupancy::{resident_blocks_per_cu, total_slots};
+use crate::transfer::{transfer_time, Direction};
+
+/// Build the kernel-launch timeline record for one priced launch.
+///
+/// `spilled_vector_bytes` is the workspace planner's shared-memory spill
+/// decision: bytes of per-system solver vectors that did not fit the
+/// shared carve-out and live in global memory instead (0 = fully fused).
+pub fn kernel_launch_event(
+    seq: u64,
+    solver: &'static str,
+    device: &DeviceSpec,
+    blocks: usize,
+    shared_per_block_bytes: usize,
+    spilled_vector_bytes: usize,
+    report: &KernelReport,
+) -> EventKind {
+    EventKind::KernelLaunch {
+        seq,
+        solver,
+        device: device.name,
+        blocks,
+        resident_per_cu: resident_blocks_per_cu(device, shared_per_block_bytes),
+        total_slots: total_slots(device, shared_per_block_bytes),
+        shared_per_block_bytes,
+        spilled_vector_bytes,
+        launch_us: report.launch_s * 1e6,
+        exec_us: report.makespan_s * 1e6,
+        dram_bytes: report.dram_bytes,
+        flops: report.flops,
+    }
+}
+
+/// Build (and price) the transfer record for one host↔device copy.
+pub fn transfer_event(device: &DeviceSpec, bytes: u64, dir: Direction) -> EventKind {
+    EventKind::Transfer {
+        direction: match dir {
+            Direction::HostToDevice => "h2d",
+            Direction::DeviceToHost => "d2h",
+        },
+        bytes,
+        sim_us: transfer_time(device, bytes, dir) * 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BlockStats, SimKernel};
+
+    #[test]
+    fn launch_event_carries_occupancy_and_time_split() {
+        let v = DeviceSpec::v100();
+        let shared = 50 * 1024; // forces 1 resident block per CU
+        let stats = vec![BlockStats::default(); 8];
+        let report = SimKernel::new(&v, shared).price(&stats);
+        let ev = kernel_launch_event(3, "bicgstab", &v, 8, shared, 128, &report);
+        match ev {
+            EventKind::KernelLaunch {
+                seq,
+                solver,
+                device,
+                blocks,
+                resident_per_cu,
+                total_slots,
+                shared_per_block_bytes,
+                spilled_vector_bytes,
+                launch_us,
+                exec_us,
+                ..
+            } => {
+                assert_eq!(seq, 3);
+                assert_eq!(solver, "bicgstab");
+                assert_eq!(device, "NVIDIA V100-16GB");
+                assert_eq!(blocks, 8);
+                assert_eq!(resident_per_cu, 1);
+                assert_eq!(total_slots, v.num_cus);
+                assert_eq!(shared_per_block_bytes, shared);
+                assert_eq!(spilled_vector_bytes, 128);
+                assert!((launch_us - report.launch_s * 1e6).abs() < 1e-9);
+                assert!((exec_us - report.makespan_s * 1e6).abs() < 1e-9);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transfer_event_prices_the_copy() {
+        let v = DeviceSpec::v100();
+        let ev = transfer_event(&v, 1 << 20, Direction::HostToDevice);
+        match ev {
+            EventKind::Transfer {
+                direction,
+                bytes,
+                sim_us,
+            } => {
+                assert_eq!(direction, "h2d");
+                assert_eq!(bytes, 1 << 20);
+                let expect = transfer_time(&v, 1 << 20, Direction::HostToDevice) * 1e6;
+                assert!((sim_us - expect).abs() < 1e-9);
+                assert!(sim_us >= 10.0, "latency floor is 10 µs");
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cpu_transfers_trace_as_free() {
+        let s = DeviceSpec::skylake_node();
+        match transfer_event(&s, 1 << 30, Direction::DeviceToHost) {
+            EventKind::Transfer { sim_us, .. } => assert_eq!(sim_us, 0.0),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+}

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use batsolv_gpusim::DeviceSpec;
+use batsolv_trace::Tracer;
 
 use crate::breaker::BreakerConfig;
 
@@ -54,6 +55,10 @@ pub struct RuntimeConfig {
     pub watchdog_budget: Option<Duration>,
     /// Circuit-breaker knobs; `None` disables the breaker.
     pub breaker: Option<BreakerConfig>,
+    /// Structured-event tracer threaded through the service, ladder, and
+    /// solver layers. Defaults to [`Tracer::disabled`], which reduces
+    /// every emission site to a single branch.
+    pub tracer: Tracer,
 }
 
 impl RuntimeConfig {
@@ -75,6 +80,7 @@ impl RuntimeConfig {
             min_diag_abs: 0.0,
             watchdog_budget: Some(Duration::from_secs(30)),
             breaker: Some(BreakerConfig::default()),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -148,6 +154,13 @@ impl RuntimeConfig {
     /// Override (or with `None`, disable) the circuit breaker.
     pub fn with_breaker(mut self, breaker: Option<BreakerConfig>) -> Self {
         self.breaker = breaker;
+        self
+    }
+
+    /// Attach a tracer; every service, ladder, and solver event flows
+    /// into its sink (and flight recorder, if one is configured).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 

@@ -12,12 +12,19 @@
 //! launch — the chaos seam: a hook can fail the launch like a device
 //! error, stall it, or panic the worker (see `batsolv-faults`).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use batsolv_formats::{BatchBanded, BatchCsr, BatchVectors, SparsityPattern};
-use batsolv_gpusim::{DeviceSpec, LaunchDisruption, LaunchHook, NoDisruption};
+use batsolv_gpusim::{
+    kernel_launch_event, transfer_event, DeviceSpec, Direction, LaunchDisruption, LaunchHook,
+    NoDisruption,
+};
 use batsolv_solvers::direct::BatchBandedLu;
-use batsolv_solvers::{AbsResidual, BatchBicgstab, BatchGmres, Jacobi};
+use batsolv_solvers::{
+    AbsResidual, BatchBicgstab, BatchGmres, BatchSolveReport, Jacobi, TraceLogger,
+};
+use batsolv_trace::{EventKind, Tracer};
 use batsolv_types::{BatchDims, Error, Result};
 
 use crate::request::{RequestId, RungAttempt, SolveMethod};
@@ -98,6 +105,9 @@ pub struct LadderEngine {
     pattern: Arc<SparsityPattern>,
     cfg: LadderConfig,
     hook: Arc<dyn LaunchHook>,
+    tracer: Tracer,
+    /// Monotonic kernel-launch sequence across the engine's lifetime.
+    launch_seq: AtomicU64,
 }
 
 impl LadderEngine {
@@ -118,7 +128,49 @@ impl LadderEngine {
             pattern,
             cfg,
             hook,
+            tracer: Tracer::disabled(),
+            launch_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Attach a tracer: rung spans, per-iteration residuals, and the
+    /// kernel-launch/transfer timeline flow into its sink.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Emit the simulated-device records of one fused launch: the h2d
+    /// upload of the subset's operands, then the launch itself.
+    fn trace_launch(&self, blocks: usize, upload_bytes: u64, report: &BatchSolveReport) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        self.tracer.emit(
+            None,
+            transfer_event(&self.device, upload_bytes, Direction::HostToDevice),
+        );
+        let seq = self.launch_seq.fetch_add(1, Ordering::Relaxed);
+        self.tracer.emit(
+            None,
+            kernel_launch_event(
+                seq,
+                report.solver,
+                &self.device,
+                blocks,
+                report.shared_per_block,
+                report.global_vector_bytes,
+                &report.kernel,
+            ),
+        );
+    }
+
+    /// Bytes a subset's operands (values + RHS) occupy on the wire.
+    fn upload_bytes(items: &[BatchItem], subset: &[usize]) -> u64 {
+        subset
+            .iter()
+            .map(|&i| ((items[i].values.len() + items[i].rhs.len()) * 8) as u64)
+            .sum()
     }
 
     /// Tightest tolerance requested across the batch (a fused launch has
@@ -178,9 +230,42 @@ impl SolveEngine for LadderEngine {
                 x.system_mut(i).copy_from_slice(g);
             }
         }
+        let traced = self.tracer.is_enabled();
         let solver =
             BatchBicgstab::new(Jacobi, AbsResidual::new(tol)).with_max_iters(self.cfg.max_iters);
-        let report = solver.solve(&self.device, &a, &b, &mut x)?;
+        let report = if traced {
+            for it in items {
+                self.tracer.emit(
+                    Some(it.id),
+                    EventKind::RungBegin {
+                        rung: 1,
+                        method: "bicgstab",
+                    },
+                );
+            }
+            solver.solve_logged(&self.device, &a, &b, &mut x, |k| {
+                TraceLogger::new(&self.tracer, items[k].id, 1)
+            })?
+        } else {
+            solver.solve(&self.device, &a, &b, &mut x)?
+        };
+        if traced {
+            self.trace_launch(items.len(), Self::upload_bytes(items, &all), &report);
+            for (i, it) in items.iter().enumerate() {
+                let r = &report.per_system[i];
+                self.tracer.emit(
+                    Some(it.id),
+                    EventKind::RungEnd {
+                        rung: 1,
+                        method: "bicgstab",
+                        iterations: r.iterations,
+                        residual: r.residual,
+                        converged: r.converged,
+                        breakdown: r.breakdown,
+                    },
+                );
+            }
+        }
         let mut sim_time_s = report.time_s();
 
         let mut outcomes: Vec<ItemOutcome> = items
@@ -228,7 +313,39 @@ impl SolveEngine for LadderEngine {
                 }
                 let gmres = BatchGmres::new(Jacobi, AbsResidual::new(tol), self.cfg.gmres_restart)
                     .with_max_iters(self.cfg.gmres_max_iters);
-                let g_report = gmres.solve(&self.device, &sub_a, &sub_b, &mut sub_x)?;
+                let g_report = if traced {
+                    for &i in &sub {
+                        self.tracer.emit(
+                            Some(items[i].id),
+                            EventKind::RungBegin {
+                                rung: 2,
+                                method: "gmres",
+                            },
+                        );
+                    }
+                    gmres.solve_logged(&self.device, &sub_a, &sub_b, &mut sub_x, |k| {
+                        TraceLogger::new(&self.tracer, items[sub[k]].id, 2)
+                    })?
+                } else {
+                    gmres.solve(&self.device, &sub_a, &sub_b, &mut sub_x)?
+                };
+                if traced {
+                    self.trace_launch(sub.len(), Self::upload_bytes(items, &sub), &g_report);
+                    for (k, &i) in sub.iter().enumerate() {
+                        let r = &g_report.per_system[k];
+                        self.tracer.emit(
+                            Some(items[i].id),
+                            EventKind::RungEnd {
+                                rung: 2,
+                                method: "gmres",
+                                iterations: r.iterations,
+                                residual: r.residual,
+                                converged: r.converged,
+                                breakdown: r.breakdown,
+                            },
+                        );
+                    }
+                }
                 sim_time_s += g_report.time_s();
                 for (k, &i) in sub.iter().enumerate() {
                     let r = &g_report.per_system[k];
@@ -271,7 +388,35 @@ impl SolveEngine for LadderEngine {
                 }
                 let sub_b = BatchVectors::from_values(sub_dims, sub_rhs)?;
                 let mut sub_x = BatchVectors::zeros(sub_dims);
+                if traced {
+                    for &i in &sub {
+                        self.tracer.emit(
+                            Some(items[i].id),
+                            EventKind::RungBegin {
+                                rung: 3,
+                                method: "banded-lu",
+                            },
+                        );
+                    }
+                }
                 let lu_report = BatchBandedLu.solve(&self.device, &banded, &sub_b, &mut sub_x)?;
+                if traced {
+                    self.trace_launch(sub.len(), Self::upload_bytes(items, &sub), &lu_report);
+                    for (k, &i) in sub.iter().enumerate() {
+                        let lr = &lu_report.per_system[k];
+                        self.tracer.emit(
+                            Some(items[i].id),
+                            EventKind::RungEnd {
+                                rung: 3,
+                                method: "banded-lu",
+                                iterations: lr.iterations,
+                                residual: lr.residual,
+                                converged: lr.converged,
+                                breakdown: lr.breakdown,
+                            },
+                        );
+                    }
+                }
                 sim_time_s += lu_report.time_s();
                 for (k, &i) in sub.iter().enumerate() {
                     let lr = &lu_report.per_system[k];
@@ -294,6 +439,18 @@ impl SolveEngine for LadderEngine {
                     }
                 }
             }
+        }
+
+        // Download of the solutions, one fused d2h copy for the batch.
+        if traced {
+            self.tracer.emit(
+                None,
+                transfer_event(
+                    &self.device,
+                    (items.len() * n * 8) as u64,
+                    Direction::DeviceToHost,
+                ),
+            );
         }
 
         Ok(BatchReport {
@@ -477,6 +634,79 @@ mod tests {
         for o in &report.outcomes {
             assert!(o.converged);
             assert!(o.residual <= 1e-11, "residual {} too loose", o.residual);
+        }
+    }
+
+    #[test]
+    fn traced_engine_emits_rung_spans_and_launch_timeline() {
+        use batsolv_trace::MemorySink;
+        let sink = Arc::new(MemorySink::new());
+        let (pattern, values, rhs) = laplacian_case(16);
+        let engine = LadderEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), cfg(1e-10, 200))
+            .with_tracer(Tracer::new(sink.clone()));
+        engine.solve_batch(&items_of(&values, &rhs, 2)).unwrap();
+        let events = sink.snapshot();
+        let count =
+            |pred: &dyn Fn(&EventKind) -> bool| events.iter().filter(|e| pred(&e.kind)).count();
+        assert_eq!(
+            count(&|k| matches!(k, EventKind::RungBegin { rung: 1, .. })),
+            2
+        );
+        assert_eq!(
+            count(&|k| matches!(
+                k,
+                EventKind::RungEnd {
+                    rung: 1,
+                    converged: true,
+                    ..
+                }
+            )),
+            2
+        );
+        assert_eq!(
+            count(&|k| matches!(k, EventKind::KernelLaunch { .. })),
+            1,
+            "healthy batch pays exactly one launch"
+        );
+        assert_eq!(count(&|k| matches!(k, EventKind::Transfer { .. })), 2);
+        assert!(
+            count(&|k| matches!(k, EventKind::SolverIteration { rung: 1, .. })) > 0,
+            "per-iteration residuals bridge through the TraceLogger"
+        );
+        // Iteration events carry the owning request's id.
+        assert!(events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SolverIteration { .. }))
+            .all(|e| matches!(e.trace_id, Some(0) | Some(1))));
+    }
+
+    #[test]
+    fn escalation_traces_every_rung_and_launch() {
+        use batsolv_trace::MemorySink;
+        let sink = Arc::new(MemorySink::new());
+        let (pattern, values, rhs) = laplacian_case(64);
+        let mut c = cfg(1e-12, 1);
+        c.gmres_restart = 2;
+        c.gmres_max_iters = 2;
+        let engine = LadderEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), c)
+            .with_tracer(Tracer::new(sink.clone()));
+        engine.solve_batch(&items_of(&values, &rhs, 1)).unwrap();
+        let events = sink.snapshot();
+        let launches: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::KernelLaunch { seq, .. } => Some(seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(launches, vec![0, 1, 2], "one launch per rung, ordered seq");
+        for rung in 1..=3u8 {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e.kind, EventKind::RungBegin { rung: r, .. } if r == rung)),
+                "rung {rung} begin missing"
+            );
         }
     }
 

@@ -72,8 +72,10 @@ pub mod breaker;
 pub mod config;
 pub mod dispatcher;
 pub mod former;
+pub mod metrics;
 pub mod queue;
 pub mod request;
+pub mod reservoir;
 pub mod service;
 pub mod stats;
 pub mod watchdog;
@@ -85,11 +87,13 @@ pub use dispatcher::{
     BatchItem, BatchReport, ItemOutcome, LadderConfig, LadderEngine, SolveEngine,
 };
 pub use former::{BatchFormer, FlushReason};
+pub use metrics::prometheus_text;
 pub use queue::{BoundedQueue, PopResult, PushResult};
 pub use request::{
     RequestId, RungAttempt, Solution, SolveError, SolveMethod, SolveOutcome, SolveRequest,
     SubmitError, Ticket,
 };
+pub use reservoir::{Reservoir, DEFAULT_RESERVOIR_CAPACITY};
 pub use service::SolveService;
 pub use stats::{StatsRegistry, StatsSnapshot};
 pub use watchdog::{spawn_watchdog, WatchState};

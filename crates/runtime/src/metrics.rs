@@ -1,0 +1,246 @@
+//! Prometheus text-exposition rendering of a [`StatsSnapshot`].
+//!
+//! Pure function of the snapshot: every exposed series is derived from
+//! snapshot fields only, so a scrape and a [`StatsSnapshot::render`] call
+//! taken at the same instant can never disagree. `parse_prom_value` (from
+//! the trace crate) reads the page back, which the integration tests and
+//! the `ext-trace` experiment use to assert exporter/snapshot agreement.
+
+use batsolv_trace::PromText;
+
+use crate::stats::StatsSnapshot;
+
+/// Render the snapshot as a Prometheus text-format metrics page.
+pub fn prometheus_text(s: &StatsSnapshot) -> String {
+    let mut p = PromText::new();
+    p.counter(
+        "batsolv_requests_accepted_total",
+        "Requests admitted to the queue.",
+        s.accepted,
+    );
+
+    p.family(
+        "batsolv_requests_rejected_total",
+        "counter",
+        "Requests rejected before entering the queue, by reason.",
+    );
+    for (reason, count) in [
+        ("queue_full", s.rejected_queue_full),
+        ("shape", s.rejected_shape),
+        ("nonfinite", s.rejected_nonfinite),
+        ("zero_diag", s.rejected_zero_diag),
+        ("circuit_open", s.rejected_circuit_open),
+    ] {
+        p.sample(
+            "batsolv_requests_rejected_total",
+            &[("reason", reason)],
+            count as f64,
+        );
+    }
+
+    p.family(
+        "batsolv_outcomes_total",
+        "counter",
+        "Terminal request outcomes, by kind.",
+    );
+    for (outcome, count) in [
+        ("converged_bicgstab", s.converged_iterative),
+        ("converged_gmres", s.converged_gmres),
+        ("converged_banded_lu", s.converged_fallback),
+        ("not_converged", s.failed_not_converged),
+        ("deadline_exceeded", s.failed_deadline),
+        ("device_failure", s.failed_device),
+        ("worker_panic", s.failed_panic),
+    ] {
+        p.sample(
+            "batsolv_outcomes_total",
+            &[("outcome", outcome)],
+            count as f64,
+        );
+    }
+    p.counter(
+        "batsolv_requests_completed_total",
+        "Requests that reached any terminal outcome.",
+        s.completed(),
+    );
+
+    p.counter(
+        "batsolv_batches_formed_total",
+        "Fused batches dispatched.",
+        s.batches_formed,
+    );
+    p.gauge(
+        "batsolv_batch_size_mean",
+        "Mean batch size across dispatched batches.",
+        s.mean_batch_size(),
+    );
+    p.family(
+        "batsolv_batch_size_bucket",
+        "histogram",
+        "Power-of-two batch-size histogram (bucket k counts sizes in [2^k, 2^(k+1))).",
+    );
+    for (k, &count) in s.batch_size_hist.iter().enumerate() {
+        let le = format!("{}", (1u64 << (k + 1)) - 1);
+        p.sample("batsolv_batch_size_bucket", &[("le", &le)], count as f64);
+    }
+
+    p.family(
+        "batsolv_rungs_attempted_total",
+        "counter",
+        "Requests by number of escalation rungs their dispatch attempted.",
+    );
+    for (k, &count) in s.rung_hist.iter().enumerate() {
+        let rungs = format!("{}", k + 1);
+        p.sample(
+            "batsolv_rungs_attempted_total",
+            &[("rungs", &rungs)],
+            count as f64,
+        );
+    }
+
+    if !s.breakdowns.is_empty() {
+        p.family(
+            "batsolv_breakdowns_total",
+            "counter",
+            "Terminal solver breakdowns, by tag.",
+        );
+        for (tag, &count) in &s.breakdowns {
+            p.sample("batsolv_breakdowns_total", &[("kind", tag)], count as f64);
+        }
+    }
+
+    p.counter(
+        "batsolv_breaker_trips_total",
+        "Circuit-breaker trips (closed/half-open to open transitions).",
+        s.breaker_trips,
+    );
+    p.counter(
+        "batsolv_watchdog_stalls_total",
+        "Dispatches flagged by the watchdog as exceeding the time budget.",
+        s.watchdog_stalls,
+    );
+    p.counter(
+        "batsolv_worker_respawns_total",
+        "Times the supervisor respawned a panicked worker.",
+        s.worker_respawns,
+    );
+
+    p.gauge(
+        "batsolv_queue_wait_p50_us",
+        "Median queue wait across dispatched requests, microseconds.",
+        s.queue_wait_p50.as_secs_f64() * 1e6,
+    );
+    p.gauge(
+        "batsolv_queue_wait_p99_us",
+        "99th-percentile queue wait across dispatched requests, microseconds.",
+        s.queue_wait_p99.as_secs_f64() * 1e6,
+    );
+    p.counter(
+        "batsolv_solver_iterations_total",
+        "Total iterative-solver iterations spent.",
+        s.solver_iterations_total,
+    );
+    p.gauge(
+        "batsolv_solver_iterations_max",
+        "Worst single-system iteration count.",
+        s.solver_iterations_max as f64,
+    );
+    p.gauge(
+        "batsolv_sim_kernel_time_seconds",
+        "Total simulated kernel time across dispatched batches.",
+        s.sim_time_total_s,
+    );
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StatsRegistry;
+    use batsolv_trace::parse_prom_value;
+    use std::time::Duration;
+
+    #[test]
+    fn page_agrees_with_the_snapshot() {
+        let r = StatsRegistry::new();
+        r.on_accepted();
+        r.on_accepted();
+        r.on_rejected_full();
+        r.on_breaker_trip();
+        r.on_batch(
+            2,
+            &[Duration::from_micros(40), Duration::from_micros(60)],
+            &[7, 9],
+            crate::stats::BatchOutcomes {
+                converged_iterative: 1,
+                converged_fallback: 1,
+                breakdowns: vec!["rho"],
+                rungs_attempted: vec![1, 3],
+                ..Default::default()
+            },
+            2.5e-4,
+        );
+        let s = r.snapshot();
+        let page = prometheus_text(&s);
+        assert_eq!(
+            parse_prom_value(&page, "batsolv_requests_accepted_total"),
+            Some(s.accepted as f64)
+        );
+        assert_eq!(
+            parse_prom_value(&page, "batsolv_requests_rejected_total"),
+            Some(s.rejected_queue_full as f64),
+            "first rejected sample is the queue_full label"
+        );
+        assert_eq!(
+            parse_prom_value(&page, "batsolv_requests_completed_total"),
+            Some(s.completed() as f64)
+        );
+        assert_eq!(
+            parse_prom_value(&page, "batsolv_batches_formed_total"),
+            Some(1.0)
+        );
+        assert_eq!(
+            parse_prom_value(&page, "batsolv_solver_iterations_total"),
+            Some(16.0)
+        );
+        assert_eq!(
+            parse_prom_value(&page, "batsolv_queue_wait_p50_us"),
+            Some(s.queue_wait_p50.as_secs_f64() * 1e6)
+        );
+        assert!(
+            (parse_prom_value(&page, "batsolv_sim_kernel_time_seconds").unwrap() - 2.5e-4).abs()
+                < 1e-12
+        );
+        assert!(page.contains("batsolv_breakdowns_total{kind=\"rho\"} 1\n"));
+        assert!(page.contains("batsolv_rungs_attempted_total{rungs=\"3\"} 1\n"));
+        assert_eq!(
+            parse_prom_value(&page, "batsolv_breaker_trips_total"),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders_a_complete_page() {
+        let page = prometheus_text(&StatsRegistry::new().snapshot());
+        for name in [
+            "batsolv_requests_accepted_total",
+            "batsolv_requests_rejected_total",
+            "batsolv_outcomes_total",
+            "batsolv_batches_formed_total",
+            "batsolv_batch_size_bucket",
+            "batsolv_queue_wait_p50_us",
+            "batsolv_sim_kernel_time_seconds",
+        ] {
+            assert!(
+                page.contains(&format!("# TYPE {name} ")),
+                "{name} family missing"
+            );
+        }
+        // No samples: breakdowns are omitted, everything else is zero.
+        assert!(!page.contains("batsolv_breakdowns_total"));
+        assert_eq!(
+            parse_prom_value(&page, "batsolv_requests_accepted_total"),
+            Some(0.0)
+        );
+    }
+}

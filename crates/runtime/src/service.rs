@@ -18,13 +18,14 @@ use std::time::{Duration, Instant};
 
 use batsolv_formats::SparsityPattern;
 use batsolv_gpusim::LaunchHook;
+use batsolv_trace::{EventKind, Tracer};
 use batsolv_types::{Error, Result};
 
 use crate::admission::{AdmissionGate, RejectReason};
 use crate::breaker::CircuitBreaker;
 use crate::config::RuntimeConfig;
 use crate::dispatcher::{BatchItem, LadderConfig, LadderEngine, SolveEngine};
-use crate::former::BatchFormer;
+use crate::former::{BatchFormer, FlushReason};
 use crate::queue::{BoundedQueue, PopResult, PushResult};
 use crate::request::{Solution, SolveError, SolveOutcome, SolveRequest, SubmitError, Ticket};
 use crate::stats::{BatchOutcomes, StatsRegistry, StatsSnapshot};
@@ -43,6 +44,10 @@ struct Shared {
     stats: StatsRegistry,
     watch: Arc<WatchState>,
     breaker: Option<CircuitBreaker>,
+    tracer: Tracer,
+    /// Monotonic batch sequence; lives here (not in the worker) so it
+    /// survives worker respawns.
+    batch_seq: AtomicU64,
 }
 
 /// Multi-threaded dynamic-batching solve service.
@@ -66,11 +71,14 @@ impl SolveService {
     /// Start a service with the production engine ([`LadderEngine`]:
     /// fused BiCGSTAB → restarted GMRES → banded-LU fallback).
     pub fn start(pattern: Arc<SparsityPattern>, config: RuntimeConfig) -> Result<SolveService> {
-        let engine = Arc::new(LadderEngine::new(
-            config.device.clone(),
-            Arc::clone(&pattern),
-            ladder_config(&config),
-        ));
+        let engine = Arc::new(
+            LadderEngine::new(
+                config.device.clone(),
+                Arc::clone(&pattern),
+                ladder_config(&config),
+            )
+            .with_tracer(config.tracer.clone()),
+        );
         Self::start_with_engine(pattern, config, engine)
     }
 
@@ -81,12 +89,15 @@ impl SolveService {
         config: RuntimeConfig,
         hook: Arc<dyn LaunchHook>,
     ) -> Result<SolveService> {
-        let engine = Arc::new(LadderEngine::with_hook(
-            config.device.clone(),
-            Arc::clone(&pattern),
-            ladder_config(&config),
-            hook,
-        ));
+        let engine = Arc::new(
+            LadderEngine::with_hook(
+                config.device.clone(),
+                Arc::clone(&pattern),
+                ladder_config(&config),
+                hook,
+            )
+            .with_tracer(config.tracer.clone()),
+        );
         Self::start_with_engine(pattern, config, engine)
     }
 
@@ -103,6 +114,8 @@ impl SolveService {
             stats: StatsRegistry::new(),
             watch: Arc::new(WatchState::new()),
             breaker: config.breaker.map(CircuitBreaker::new),
+            tracer: config.tracer.clone(),
+            batch_seq: AtomicU64::new(0),
         });
         let gate = config
             .validate_admission
@@ -111,11 +124,20 @@ impl SolveService {
         let watchdog_stop = Arc::new(AtomicBool::new(false));
         let watchdog = config.watchdog_budget.map(|budget| {
             let stats_shared = Arc::clone(&shared);
+            let budget_us = u64::try_from(budget.as_micros()).unwrap_or(u64::MAX);
             spawn_watchdog(
                 Arc::clone(&shared.watch),
                 budget,
                 Arc::clone(&watchdog_stop),
-                move || stats_shared.stats.on_watchdog_stall(),
+                move || {
+                    stats_shared.stats.on_watchdog_stall();
+                    stats_shared
+                        .tracer
+                        .emit(None, EventKind::WatchdogStall { budget_us });
+                    // A stalled dispatch is exactly the moment the recent
+                    // event history matters: freeze it.
+                    let _ = stats_shared.tracer.dump_flight("watchdog_stall");
+                },
             )
         });
 
@@ -149,8 +171,14 @@ impl SolveService {
     pub fn submit(&self, request: SolveRequest) -> std::result::Result<Ticket, SubmitError> {
         let nnz = self.pattern.nnz();
         let n = self.pattern.num_rows();
+        let reject = |reason: &'static str| {
+            self.shared
+                .tracer
+                .emit(None, EventKind::Rejected { reason });
+        };
         if request.values.len() != nnz {
             self.shared.stats.on_rejected_shape();
+            reject("shape");
             return Err(SubmitError::ShapeMismatch {
                 field: "values",
                 expected: nnz,
@@ -159,6 +187,7 @@ impl SolveService {
         }
         if request.rhs.len() != n {
             self.shared.stats.on_rejected_shape();
+            reject("shape");
             return Err(SubmitError::ShapeMismatch {
                 field: "rhs",
                 expected: n,
@@ -168,6 +197,7 @@ impl SolveService {
         if let Some(g) = &request.guess {
             if g.len() != n {
                 self.shared.stats.on_rejected_shape();
+                reject("shape");
                 return Err(SubmitError::ShapeMismatch {
                     field: "guess",
                     expected: n,
@@ -179,8 +209,14 @@ impl SolveService {
             if let Err(reason) = gate.check(&request.values, &request.rhs, request.guess.as_deref())
             {
                 match reason {
-                    RejectReason::NonFinite { .. } => self.shared.stats.on_rejected_nonfinite(),
-                    RejectReason::ZeroDiagonal { .. } => self.shared.stats.on_rejected_zero_diag(),
+                    RejectReason::NonFinite { .. } => {
+                        self.shared.stats.on_rejected_nonfinite();
+                        reject("nonfinite");
+                    }
+                    RejectReason::ZeroDiagonal { .. } => {
+                        self.shared.stats.on_rejected_zero_diag();
+                        reject("zero_diag");
+                    }
                 }
                 return Err(SubmitError::Rejected { reason });
             }
@@ -188,6 +224,7 @@ impl SolveService {
         if let Some(breaker) = &self.shared.breaker {
             if let Err(retry_after) = breaker.check(Instant::now()) {
                 self.shared.stats.on_rejected_circuit_open();
+                reject("circuit_open");
                 return Err(SubmitError::CircuitOpen { retry_after });
             }
         }
@@ -209,10 +246,19 @@ impl SolveService {
         match self.shared.queue.try_push(pending) {
             PushResult::Ok => {
                 self.shared.stats.on_accepted();
+                self.shared
+                    .tracer
+                    .emit(Some(id), EventKind::Submitted { n });
                 Ok(Ticket { id, rx })
             }
             PushResult::Full(_) => {
                 self.shared.stats.on_rejected_full();
+                self.shared.tracer.emit(
+                    Some(id),
+                    EventKind::Rejected {
+                        reason: "queue_full",
+                    },
+                );
                 Err(SubmitError::QueueFull {
                     capacity: self.shared.queue.capacity(),
                 })
@@ -281,6 +327,7 @@ fn supervisor_loop(shared: Arc<Shared>, config: RuntimeConfig, engine: Arc<dyn S
                 // (a bug, or chaos injected outside dispatch). Respawn
                 // the loop; everything still in `former` re-dispatches.
                 shared.stats.on_worker_respawn();
+                shared.tracer.emit(None, EventKind::WorkerRespawn);
             }
         }
     }
@@ -329,15 +376,34 @@ fn worker_loop(
             PopResult::TimedOut => {}
             PopResult::Closed => break 'outer,
         }
-        while let Some((batch, _reason)) = former.poll(now_ns(Instant::now())) {
+        while let Some((batch, reason)) = former.poll(now_ns(Instant::now())) {
+            trace_batch_formed(shared, batch.len(), reason);
             dispatch(shared, engine, batch);
         }
     }
 
     // Shutdown: flush the remainder below target/linger.
-    while let Some((batch, _reason)) = former.drain() {
+    while let Some((batch, reason)) = former.drain() {
+        trace_batch_formed(shared, batch.len(), reason);
         dispatch(shared, engine, batch);
     }
+}
+
+/// Emit the batch-formed event with a sequence number that survives
+/// worker respawns.
+fn trace_batch_formed(shared: &Shared, size: usize, reason: FlushReason) {
+    if !shared.tracer.is_enabled() {
+        return;
+    }
+    let seq = shared.batch_seq.fetch_add(1, Ordering::Relaxed);
+    let reason = match reason {
+        FlushReason::TargetReached => "target",
+        FlushReason::LingerExpired => "linger",
+        FlushReason::Drain => "drain",
+    };
+    shared
+        .tracer
+        .emit(None, EventKind::BatchFormed { seq, size, reason });
 }
 
 /// Solve one formed batch and fulfill its tickets.
@@ -350,11 +416,28 @@ fn dispatch(shared: &Shared, engine: &dyn SolveEngine, batch: Vec<Pending>) {
         match p.deadline {
             Some(deadline) if waited > deadline => {
                 shared.stats.on_deadline_exceeded();
+                shared.tracer.emit(
+                    Some(p.item.id),
+                    EventKind::Terminal {
+                        outcome: "deadline_exceeded",
+                        iterations: 0,
+                        residual: f64::NAN,
+                        rungs: 0,
+                    },
+                );
                 let _ = p
                     .reply
                     .send(Err(SolveError::DeadlineExceeded { waited, deadline }));
             }
-            _ => live.push(p),
+            _ => {
+                shared.tracer.emit(
+                    Some(p.item.id),
+                    EventKind::Dequeued {
+                        wait_us: u64::try_from(waited.as_micros()).unwrap_or(u64::MAX),
+                    },
+                );
+                live.push(p);
+            }
         }
     }
     if live.is_empty() {
@@ -387,6 +470,15 @@ fn run_batch(shared: &Shared, engine: &dyn SolveEngine, live: Vec<Pending>) {
                 note_degraded_batch(shared, 1);
                 for p in live {
                     shared.stats.on_device_failure();
+                    shared.tracer.emit(
+                        Some(p.item.id),
+                        EventKind::Terminal {
+                            outcome: "device_failure",
+                            iterations: 0,
+                            residual: f64::NAN,
+                            rungs: 0,
+                        },
+                    );
                     let _ = p.reply.send(Err(SolveError::DeviceFailure { code }));
                 }
             }
@@ -401,6 +493,15 @@ fn run_batch(shared: &Shared, engine: &dyn SolveEngine, live: Vec<Pending>) {
             let waits: Vec<Duration> = live.iter().map(|p| p.enqueued_at.elapsed()).collect();
             let failed = live.len() as u64;
             for p in live {
+                shared.tracer.emit(
+                    Some(p.item.id),
+                    EventKind::Terminal {
+                        outcome: "engine_failure",
+                        iterations: 0,
+                        residual: f64::NAN,
+                        rungs: 0,
+                    },
+                );
                 let _ = p.reply.send(Err(SolveError::NotConverged {
                     iterations: 0,
                     residual: f64::NAN,
@@ -431,6 +532,15 @@ fn run_batch(shared: &Shared, engine: &dyn SolveEngine, live: Vec<Pending>) {
                 let detail = panic_detail(payload);
                 for p in live {
                     shared.stats.on_worker_panic_outcome();
+                    shared.tracer.emit(
+                        Some(p.item.id),
+                        EventKind::Terminal {
+                            outcome: "worker_panic",
+                            iterations: 0,
+                            residual: f64::NAN,
+                            rungs: 0,
+                        },
+                    );
                     let _ = p.reply.send(Err(SolveError::WorkerPanic {
                         detail: detail.clone(),
                     }));
@@ -456,6 +566,24 @@ fn fulfill(
     for (p, o) in live.into_iter().zip(outcomes) {
         let wait = p.enqueued_at.elapsed();
         tally.rungs_attempted.push(o.rungs.len());
+        let outcome_tag = if o.converged {
+            match o.method {
+                crate::request::SolveMethod::Bicgstab => "converged_bicgstab",
+                crate::request::SolveMethod::Gmres => "converged_gmres",
+                crate::request::SolveMethod::BandedLuFallback => "converged_banded_lu",
+            }
+        } else {
+            "not_converged"
+        };
+        shared.tracer.emit(
+            Some(o.id),
+            EventKind::Terminal {
+                outcome: outcome_tag,
+                iterations: o.iterations,
+                residual: o.residual,
+                rungs: o.rungs.len(),
+            },
+        );
         let outcome = if o.converged {
             match o.method {
                 crate::request::SolveMethod::Bicgstab => tally.converged_iterative += 1,
@@ -494,7 +622,7 @@ fn fulfill(
         .on_batch(batch_size, &waits, &iterations, tally, sim_time_s);
     if let Some(breaker) = &shared.breaker {
         if breaker.on_batch(Instant::now(), batch_size, degraded) {
-            shared.stats.on_breaker_trip();
+            note_breaker_trip(shared);
         }
     }
 }
@@ -504,9 +632,16 @@ fn fulfill(
 fn note_degraded_batch(shared: &Shared, size: usize) {
     if let Some(breaker) = &shared.breaker {
         if breaker.on_batch(Instant::now(), size, size) {
-            shared.stats.on_breaker_trip();
+            note_breaker_trip(shared);
         }
     }
+}
+
+/// Count a breaker trip and freeze the event history that led to it.
+fn note_breaker_trip(shared: &Shared) {
+    shared.stats.on_breaker_trip();
+    shared.tracer.emit(None, EventKind::BreakerTrip);
+    let _ = shared.tracer.dump_flight("breaker_trip");
 }
 
 /// Best-effort panic payload text.

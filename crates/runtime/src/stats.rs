@@ -9,6 +9,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use crate::reservoir::Reservoir;
+
 /// Number of power-of-two histogram buckets: bucket `k` counts batches
 /// of size in `[2^k, 2^(k+1))`, so bucket 0 is size 1, bucket 10 covers
 /// 1024..2047, and everything larger lands in the last bucket.
@@ -22,7 +24,10 @@ pub const RUNG_BUCKETS: usize = 3;
 struct Sampled {
     batch_size_hist: [u64; HIST_BUCKETS],
     /// Queue-wait samples in microseconds, one per dispatched request.
-    wait_samples_us: Vec<u64>,
+    /// Bounded: a fixed-capacity reservoir (Algorithm R, seeded), so a
+    /// long-running service never grows the registry without limit while
+    /// percentiles stay exact under the cap and representative above it.
+    wait_samples_us: Reservoir,
     iterations_total: u64,
     iterations_max: u64,
     sim_time_total_s: f64,
@@ -135,8 +140,9 @@ impl StatsRegistry {
             .unwrap()
             .min(HIST_BUCKETS - 1);
         s.batch_size_hist[bucket] += 1;
-        s.wait_samples_us
-            .extend(waits.iter().map(|w| w.as_micros() as u64));
+        for w in waits {
+            s.wait_samples_us.push(w.as_micros() as u64);
+        }
         for &it in iterations {
             s.iterations_total += u64::from(it);
             s.iterations_max = s.iterations_max.max(u64::from(it));
@@ -153,7 +159,7 @@ impl StatsRegistry {
     /// Consistent point-in-time copy of every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         let s = self.sampled.lock().unwrap();
-        let mut waits = s.wait_samples_us.clone();
+        let mut waits = s.wait_samples_us.samples().to_vec();
         waits.sort_unstable();
         let pct = |p: f64| -> Duration {
             if waits.is_empty() {
@@ -498,6 +504,112 @@ mod tests {
         assert_eq!(s.worker_respawns, 1);
         assert_eq!(s.rejected_total(), 4);
         assert_eq!(s.completed(), 2, "device + panic count as terminal");
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let r = StatsRegistry::new();
+        r.on_batch(
+            1,
+            &[Duration::from_micros(777)],
+            &[1],
+            BatchOutcomes {
+                converged_iterative: 1,
+                rungs_attempted: vec![1],
+                ..Default::default()
+            },
+            0.0,
+        );
+        let s = r.snapshot();
+        assert_eq!(s.queue_wait_p50, Duration::from_micros(777));
+        assert_eq!(s.queue_wait_p99, Duration::from_micros(777));
+        assert_eq!(s.batch_size_hist[0], 1); // size 1 → bucket 0
+    }
+
+    #[test]
+    fn histogram_buckets_at_power_of_two_boundaries() {
+        // Sizes 2^k land in bucket k; 2^k − 1 lands in bucket k − 1.
+        for (size, bucket) in [
+            (1, 0),
+            (2, 1),
+            (3, 1),
+            (4, 2),
+            (7, 2),
+            (8, 3),
+            (1 << 11, 11),
+        ] {
+            let r = StatsRegistry::new();
+            r.on_batch(size, &[], &[], BatchOutcomes::default(), 0.0);
+            let s = r.snapshot();
+            assert_eq!(
+                s.batch_size_hist[bucket], 1,
+                "size {size} should land in bucket {bucket}"
+            );
+            assert_eq!(s.batch_size_hist.iter().sum::<u64>(), 1);
+        }
+        // Oversized batches clamp into the last bucket.
+        let r = StatsRegistry::new();
+        r.on_batch(1 << 13, &[], &[], BatchOutcomes::default(), 0.0);
+        assert_eq!(r.snapshot().batch_size_hist[HIST_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn percentiles_at_power_of_two_sample_counts() {
+        // n = 2^k and n = 2^k − 1 exercise both parities of the
+        // round((n−1)·p) index formula.
+        for n in [1u64, 2, 4, 8, 16, 3, 7, 15] {
+            let r = StatsRegistry::new();
+            let waits: Vec<Duration> = (1..=n).map(Duration::from_micros).collect();
+            let iters = vec![1u32; n as usize];
+            r.on_batch(n as usize, &waits, &iters, BatchOutcomes::default(), 0.0);
+            let s = r.snapshot();
+            let idx = ((n - 1) as f64 * 0.5).round() as u64;
+            assert_eq!(
+                s.queue_wait_p50,
+                Duration::from_micros(idx + 1),
+                "p50 of 1..={n}"
+            );
+            assert_eq!(s.queue_wait_p99, Duration::from_micros(n), "p99 of 1..={n}");
+        }
+    }
+
+    #[test]
+    fn wait_samples_stay_bounded_and_percentiles_stable() {
+        use crate::reservoir::DEFAULT_RESERVOIR_CAPACITY;
+        let r = StatsRegistry::new();
+        // Feed far more samples than the reservoir holds, all 500 µs.
+        let waits = vec![Duration::from_micros(500); 4096];
+        let iters = vec![1u32; 4096];
+        for _ in 0..8 {
+            r.on_batch(4096, &waits, &iters, BatchOutcomes::default(), 0.0);
+        }
+        let s = r.snapshot();
+        // 32k offered, at most DEFAULT_RESERVOIR_CAPACITY retained — and
+        // a uniform subsample of a constant stream has exact percentiles.
+        assert_eq!(s.queue_wait_p50, Duration::from_micros(500));
+        assert_eq!(s.queue_wait_p99, Duration::from_micros(500));
+        let retained = {
+            let sampled = r.sampled.lock().unwrap();
+            sampled.wait_samples_us.len()
+        };
+        assert!(retained <= DEFAULT_RESERVOIR_CAPACITY);
+        assert_eq!(retained, DEFAULT_RESERVOIR_CAPACITY);
+    }
+
+    #[test]
+    fn reservoir_percentiles_track_a_skewed_stream() {
+        // 90% fast (100 µs), 10% slow (10 ms): after heavy subsampling
+        // p50 must stay fast and p99 must stay slow.
+        let r = StatsRegistry::new();
+        let mut waits = vec![Duration::from_micros(100); 900];
+        waits.extend(vec![Duration::from_micros(10_000); 100]);
+        let iters = vec![1u32; 1000];
+        for _ in 0..40 {
+            r.on_batch(1000, &waits, &iters, BatchOutcomes::default(), 0.0);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.queue_wait_p50, Duration::from_micros(100));
+        assert_eq!(s.queue_wait_p99, Duration::from_micros(10_000));
     }
 
     #[test]

@@ -583,3 +583,48 @@ fn poisoned_xgc_node_is_rejected_at_submission() {
     assert_eq!(stats.rejected_nonfinite, 1);
     assert_eq!(stats.accepted, 3);
 }
+
+/// Flight recorder: an injected stall trips the watchdog, which dumps
+/// the ring — and the dump contains the guilty request's trace id
+/// (carried in by its `submitted`/`dequeued` events, which precede the
+/// stalled launch).
+#[test]
+fn watchdog_stall_dumps_flight_recorder_with_guilty_trace() {
+    use batsolv_trace::{FlightRecorder, MemorySink, Tracer};
+    let rates = FaultRates {
+        stall: 1.0,
+        ..Default::default()
+    };
+    let plan = FaultPlan::new(2, rates).with_stall_duration(Duration::from_millis(60));
+    let pattern = tridiag_pattern(16);
+    let sink = Arc::new(MemorySink::new());
+    let recorder = Arc::new(FlightRecorder::new(256));
+    let config = base_config(1)
+        .with_watchdog(Some(Duration::from_millis(5)))
+        .with_tracer(Tracer::with_flight_recorder(
+            sink.clone(),
+            Arc::clone(&recorder),
+        ));
+    let service =
+        SolveService::start_with_hook(Arc::clone(&pattern), config, Arc::new(plan)).unwrap();
+    let (values, rhs) = clean_system(&pattern, 0);
+    let t = service.submit(SolveRequest::new(values, rhs)).unwrap();
+    let sol = t.wait_timeout(OUTCOME_TIMEOUT).unwrap();
+    assert!(sol.is_ok(), "a stalled launch still completes: {sol:?}");
+    let stats = service.shutdown();
+    assert!(stats.watchdog_stalls >= 1, "stall must be flagged");
+    let dump = recorder
+        .last_dump()
+        .expect("watchdog stall must dump the flight recorder");
+    assert_eq!(dump.reason, "watchdog_stall");
+    assert!(
+        dump.contains_trace(0),
+        "dump must contain the stalled request's trace id"
+    );
+    // The dump marker also reached the ordinary sink.
+    use batsolv_trace::EventKind;
+    assert!(sink
+        .snapshot()
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::FlightDump { .. })));
+}

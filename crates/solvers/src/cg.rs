@@ -105,6 +105,7 @@ where
             kernel,
             plan_description: plan.describe(),
             shared_per_block: plan.shared_bytes,
+            global_vector_bytes: plan.global_vector_bytes(),
             solver: "cg",
             format: a.format_name(),
             device: device.name,

@@ -115,6 +115,7 @@ where
             kernel,
             plan_description: plan.describe(),
             shared_per_block: plan.shared_bytes,
+            global_vector_bytes: plan.global_vector_bytes(),
             solver: "cgs",
             format: a.format_name(),
             device: device.name,

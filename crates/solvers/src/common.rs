@@ -32,6 +32,9 @@ pub struct BatchSolveReport {
     pub plan_description: String,
     /// Dynamic shared memory per block, bytes.
     pub shared_per_block: usize,
+    /// Workspace vectors spilled to global memory, bytes per system —
+    /// the planner's shared-memory spill decision (0 = fully fused).
+    pub global_vector_bytes: usize,
     /// Solver name (`"bicgstab"`, ...).
     pub solver: &'static str,
     /// Matrix format name.
@@ -261,6 +264,7 @@ mod tests {
                 .price(&[]),
             plan_description: String::new(),
             shared_per_block: 0,
+            global_vector_bytes: 0,
             solver: "bicgstab",
             format: "BatchCsr",
             device: "test",

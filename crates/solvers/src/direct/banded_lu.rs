@@ -85,6 +85,7 @@ impl BatchBandedLu {
             kernel,
             plan_description: "band storage in core-local cache".into(),
             shared_per_block: 0,
+            global_vector_bytes: 0,
             solver: "dgbsv",
             format: "BatchBanded",
             device: device.name,

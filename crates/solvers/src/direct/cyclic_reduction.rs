@@ -77,6 +77,7 @@ impl BatchCyclicReduction {
             kernel,
             plan_description: "interleaved diagonals, log-depth reduction".into(),
             shared_per_block: 0,
+            global_vector_bytes: 0,
             solver: "cyclic-reduction",
             format: "BatchTridiag",
             device: device.name,

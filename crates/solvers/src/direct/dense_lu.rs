@@ -82,6 +82,7 @@ impl BatchDenseLu {
             kernel,
             plan_description: "dense n x n factors in global memory".into(),
             shared_per_block: 0,
+            global_vector_bytes: 0,
             solver: "dense-lu",
             format: "BatchDense",
             device: device.name,

@@ -81,6 +81,7 @@ impl BatchSparseQr {
             kernel,
             plan_description: "band-profile R in global memory".into(),
             shared_per_block: 0,
+            global_vector_bytes: 0,
             solver: "sparse-qr",
             format: "BatchBanded",
             device: device.name,

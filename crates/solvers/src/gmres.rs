@@ -19,6 +19,7 @@ use batsolv_types::{OpCounts, Result, Scalar};
 use crate::common::{
     assemble_block_stats, placed_spmv_counts, sanitize_block_result, BatchSolveReport, SystemResult,
 };
+use crate::logger::{IterationLogger, NoopLogger};
 use crate::precond::Preconditioner;
 use crate::stop::StopCriterion;
 use crate::workspace::{VectorClass, VectorSpec, WorkspacePlan};
@@ -79,6 +80,27 @@ where
         b: &BatchVectors<T>,
         x: &mut BatchVectors<T>,
     ) -> Result<BatchSolveReport> {
+        self.solve_logged(device, a, b, x, |_| NoopLogger)
+    }
+
+    /// [`Self::solve`] with a per-system logger factory. The logger sees
+    /// the cheap Givens residual estimate during inner iterations and the
+    /// recomputed true residual at every restart boundary — the boundary
+    /// re-logs under the same iteration number, which is why histories
+    /// record `(iteration, residual)` pairs.
+    pub fn solve_logged<M, L, F>(
+        &self,
+        device: &DeviceSpec,
+        a: &M,
+        b: &BatchVectors<T>,
+        x: &mut BatchVectors<T>,
+        make_logger: F,
+    ) -> Result<BatchSolveReport>
+    where
+        M: BatchMatrix<T>,
+        L: IterationLogger<T>,
+        F: Fn(usize) -> L + Sync + Send,
+    {
         let dims = a.dims();
         dims.ensure_same(&b.dims(), "gmres b")?;
         dims.ensure_same(&x.dims(), "gmres x")?;
@@ -89,8 +111,19 @@ where
             (&self.precond, &self.stop, self.restart, self.max_iters);
         let chunks: Vec<&mut [T]> = x.systems_mut().collect();
         let results: Vec<SystemResult> = run_batch_map_mut(chunks, |i, xi| {
+            let mut logger = make_logger(i);
             let x0 = xi.to_vec();
-            let r = gmres_block(a, i, b.system(i), xi, precond, stop, m, max_iters);
+            let r = gmres_block(
+                a,
+                i,
+                b.system(i),
+                xi,
+                precond,
+                stop,
+                m,
+                max_iters,
+                &mut logger,
+            );
             sanitize_block_result(&x0, xi, r)
         });
 
@@ -122,6 +155,7 @@ where
             kernel,
             plan_description: plan.describe(),
             shared_per_block: plan.shared_bytes,
+            global_vector_bytes: plan.global_vector_bytes(),
             solver: "gmres",
             format: a.format_name(),
             device: device.name,
@@ -165,7 +199,7 @@ where
 
 /// Per-block right-preconditioned restarted GMRES kernel.
 #[allow(clippy::too_many_arguments)]
-fn gmres_block<T, M, P, S>(
+fn gmres_block<T, M, P, S, L>(
     a: &M,
     i: usize,
     b: &[T],
@@ -174,23 +208,26 @@ fn gmres_block<T, M, P, S>(
     stop: &S,
     m: usize,
     max_iters: usize,
+    logger: &mut L,
 ) -> SystemResult
 where
     T: Scalar,
     M: BatchMatrix<T> + ?Sized,
     P: Preconditioner<T>,
     S: StopCriterion<T>,
+    L: IterationLogger<T>,
 {
     let n = b.len();
     let pstate = match precond.generate(a, i) {
         Ok(s) => s,
         Err(_) => {
+            logger.log_finish(0, T::ZERO, false);
             return SystemResult {
                 iterations: 0,
                 residual: f64::INFINITY,
                 converged: false,
                 breakdown: Some("preconditioner"),
-            }
+            };
         }
     };
     let bnorm = blas::nrm2(b);
@@ -216,9 +253,15 @@ where
         let beta = blas::nrm2(&r);
         if total_iters == 0 {
             res0 = beta;
+        } else {
+            // Restart boundary: the true residual, re-logged under the
+            // iteration number the inner loop just finished on (the last
+            // inner log was the Givens estimate for the same iteration).
+            logger.log_iteration(total_iters, beta);
         }
         res = beta;
         if stop.is_converged(res, res0, bnorm) {
+            logger.log_finish(total_iters, res, true);
             return SystemResult {
                 iterations: total_iters,
                 residual: res.to_f64(),
@@ -227,6 +270,7 @@ where
             };
         }
         if total_iters as usize >= max_iters {
+            logger.log_finish(total_iters, res, false);
             return SystemResult {
                 iterations: total_iters,
                 residual: res.to_f64(),
@@ -235,6 +279,7 @@ where
             };
         }
         if beta == T::ZERO || !beta.is_finite() {
+            logger.log_finish(total_iters, res, false);
             return SystemResult {
                 iterations: total_iters,
                 residual: res.to_f64(),
@@ -292,6 +337,7 @@ where
             g[j] = cs[j] * gj;
             g[j + 1] = -sn[j] * gj;
             res = g[j + 1].abs();
+            logger.log_iteration(total_iters, res);
             if stop.is_converged(res, res0, bnorm)
                 || total_iters as usize >= max_iters
                 || hh == T::ZERO
@@ -309,6 +355,7 @@ where
             }
             let d = h[row * m + row];
             if d == T::ZERO {
+                logger.log_finish(total_iters, res, false);
                 return SystemResult {
                     iterations: total_iters,
                     residual: res.to_f64(),
@@ -398,6 +445,48 @@ mod tests {
             .unwrap();
         assert!(rep.all_converged());
         assert_eq!(rep.max_iterations(), 0);
+    }
+
+    #[test]
+    fn restart_boundary_relogs_the_true_residual() {
+        use crate::logger::ConvergenceHistory;
+        use std::sync::Mutex;
+        let m = nonsym_batch(1);
+        let b = BatchVectors::constant(m.dims(), 1.0);
+        let mut x = BatchVectors::zeros(m.dims());
+        let histories: Mutex<Vec<ConvergenceHistory<f64>>> = Mutex::new(vec![]);
+        struct Collector<'a> {
+            inner: ConvergenceHistory<f64>,
+            sink: &'a Mutex<Vec<ConvergenceHistory<f64>>>,
+        }
+        impl IterationLogger<f64> for Collector<'_> {
+            fn log_iteration(&mut self, it: u32, r: f64) {
+                self.inner.log_iteration(it, r);
+            }
+            fn log_finish(&mut self, it: u32, r: f64, c: bool) {
+                self.inner.log_finish(it, r, c);
+                self.sink.lock().unwrap().push(self.inner.clone());
+            }
+        }
+        // Restart length 3 forces several restart cycles.
+        let rep = BatchGmres::new(Jacobi, AbsResidual::new(1e-10), 3)
+            .solve_logged(&DeviceSpec::v100(), &m, &b, &mut x, |_| Collector {
+                inner: ConvergenceHistory::default(),
+                sink: &histories,
+            })
+            .unwrap();
+        assert!(rep.all_converged());
+        let hs = histories.into_inner().unwrap();
+        assert_eq!(hs.len(), 1);
+        let h = &hs[0];
+        assert!(h.converged);
+        assert_eq!(h.iterations, rep.max_iterations() as u32);
+        // Each restart recomputes r = b - A x and logs it under the same
+        // iteration number as the last inner estimate.
+        assert!(h.has_restart_boundary(), "{:?}", h.residuals);
+        // Iteration numbers never decrease, and duplicates only appear
+        // at restart boundaries.
+        assert!(h.residuals.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod precond;
 pub mod refinement;
 pub mod richardson;
 pub mod stop;
+pub mod trace_adapter;
 pub mod workspace;
 
 pub use bicgstab::BatchBicgstab;
@@ -47,4 +48,5 @@ pub use precond::{BlockJacobi, Identity, Ilu0, Jacobi, Preconditioner};
 pub use refinement::{MixedPrecisionBicgstab, RefinementReport};
 pub use richardson::BatchRichardson;
 pub use stop::{AbsResidual, RelResidual, StopCriterion};
+pub use trace_adapter::TraceLogger;
 pub use workspace::{VectorClass, WorkspacePlan};

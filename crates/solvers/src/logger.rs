@@ -32,8 +32,13 @@ impl<T: Scalar> IterationLogger<T> for NoopLogger {
 /// Records the residual norm of every iteration of one system.
 #[derive(Clone, Debug, Default)]
 pub struct ConvergenceHistory<T> {
-    /// Residual norm after each iteration.
-    pub residuals: Vec<T>,
+    /// `(iteration, residual)` per logged step. The iteration number is
+    /// recorded because it is *not* always a dense 1..k sequence: a
+    /// restarted solver (GMRES) logs the cheap in-progress estimate
+    /// during inner iterations and the true residual at each restart
+    /// boundary under the same iteration number, so restart boundaries
+    /// appear as duplicate indices with (possibly) corrected residuals.
+    pub residuals: Vec<(u32, T)>,
     /// Final iteration count.
     pub iterations: u32,
     /// Final residual.
@@ -43,8 +48,8 @@ pub struct ConvergenceHistory<T> {
 }
 
 impl<T: Scalar> IterationLogger<T> for ConvergenceHistory<T> {
-    fn log_iteration(&mut self, _iteration: u32, residual: T) {
-        self.residuals.push(residual);
+    fn log_iteration(&mut self, iteration: u32, residual: T) {
+        self.residuals.push((iteration, residual));
     }
 
     fn log_finish(&mut self, iterations: u32, residual: T, converged: bool) {
@@ -60,12 +65,23 @@ impl<T: Scalar> ConvergenceHistory<T> {
         if self.residuals.len() < 2 {
             return f64::NAN;
         }
-        let first = self.residuals.first().unwrap().to_f64().abs();
-        let last = self.residuals.last().unwrap().to_f64().abs();
+        let first = self.residuals.first().unwrap().1.to_f64().abs();
+        let last = self.residuals.last().unwrap().1.to_f64().abs();
         if first == 0.0 {
             return 0.0;
         }
         (last / first).powf(1.0 / (self.residuals.len() - 1) as f64)
+    }
+
+    /// Residual norms alone, in log order.
+    pub fn residual_norms(&self) -> Vec<T> {
+        self.residuals.iter().map(|&(_, r)| r).collect()
+    }
+
+    /// Whether any iteration number was logged twice — the signature of
+    /// a restart boundary (see [`ConvergenceHistory::residuals`]).
+    pub fn has_restart_boundary(&self) -> bool {
+        self.residuals.windows(2).any(|w| w[0].0 == w[1].0)
     }
 }
 
@@ -84,14 +100,28 @@ mod tests {
     fn history_records_trace() {
         let mut h = ConvergenceHistory::<f64>::default();
         for (i, r) in [1.0, 0.1, 0.01].iter().enumerate() {
-            h.log_iteration(i as u32, *r);
+            h.log_iteration(i as u32 + 1, *r);
         }
         h.log_finish(3, 0.01, true);
-        assert_eq!(h.residuals, vec![1.0, 0.1, 0.01]);
+        assert_eq!(h.residuals, vec![(1, 1.0), (2, 0.1), (3, 0.01)]);
+        assert_eq!(h.residual_norms(), vec![1.0, 0.1, 0.01]);
         assert_eq!(h.iterations, 3);
         assert!(h.converged);
+        assert!(!h.has_restart_boundary());
         // Rate of 0.1 per iteration.
         assert!((h.mean_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_iteration_indices_mark_restart_boundaries() {
+        let mut h = ConvergenceHistory::<f64>::default();
+        // Inner estimate at iteration 3, then the true residual logged
+        // again at 3 when the restart recomputes r = b - A x.
+        h.log_iteration(1, 1.0);
+        h.log_iteration(2, 0.5);
+        h.log_iteration(3, 0.2);
+        h.log_iteration(3, 0.25);
+        assert!(h.has_restart_boundary());
     }
 
     #[test]

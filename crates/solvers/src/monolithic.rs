@@ -119,6 +119,7 @@ where
                 ns
             ),
             shared_per_block: 0,
+            global_vector_bytes: 0,
             solver: "monolithic-bicgstab",
             format: "BatchCsr(block-diagonal)",
             device: device.name,

@@ -1,0 +1,92 @@
+//! Bridge from the solver-layer [`IterationLogger`] to the trace layer.
+//!
+//! The solver kernels stay generic over their logger (monomorphized, so
+//! the untraced path keeps compiling `NoopLogger` down to nothing);
+//! [`TraceLogger`] is the instantiation a traced runtime passes in. It
+//! owns the request's trace id and the ladder rung it is observing, and
+//! forwards every residual as a `solver_iteration` event.
+
+use batsolv_trace::{EventKind, TraceId, Tracer};
+use batsolv_types::Scalar;
+
+use crate::logger::IterationLogger;
+
+/// An [`IterationLogger`] that emits each iteration's residual into a
+/// [`Tracer`] under the owning request's trace id.
+///
+/// This is dyn dispatch at *per-iteration* granularity, so it is only
+/// ever constructed when tracing is enabled — callers should pick it (vs
+/// `NoopLogger`) behind `tracer.is_enabled()`.
+pub struct TraceLogger<'a> {
+    tracer: &'a Tracer,
+    trace_id: TraceId,
+    rung: u8,
+}
+
+impl<'a> TraceLogger<'a> {
+    /// Logger for one system of one ladder rung.
+    pub fn new(tracer: &'a Tracer, trace_id: TraceId, rung: u8) -> TraceLogger<'a> {
+        TraceLogger {
+            tracer,
+            trace_id,
+            rung,
+        }
+    }
+}
+
+impl<T: Scalar> IterationLogger<T> for TraceLogger<'_> {
+    fn log_iteration(&mut self, iteration: u32, residual: T) {
+        self.tracer.emit(
+            Some(self.trace_id),
+            EventKind::SolverIteration {
+                rung: self.rung,
+                iteration,
+                residual: residual.to_f64(),
+            },
+        );
+    }
+
+    fn log_finish(&mut self, _iterations: u32, _residual: T, _converged: bool) {
+        // The rung span (`rung_end`) is emitted by the dispatch layer,
+        // which also knows breakdown tags and warm-start context.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batsolv_trace::MemorySink;
+    use std::sync::Arc;
+
+    #[test]
+    fn forwards_iterations_with_owning_trace_id() {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        let mut logger = TraceLogger::new(&tracer, 42, 2);
+        IterationLogger::<f64>::log_iteration(&mut logger, 1, 0.5);
+        IterationLogger::<f64>::log_iteration(&mut logger, 2, 0.1);
+        IterationLogger::<f64>::log_finish(&mut logger, 2, 0.1, true);
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 2, "finish does not emit");
+        assert!(events.iter().all(|e| e.trace_id == Some(42)));
+        match events[1].kind {
+            EventKind::SolverIteration {
+                rung,
+                iteration,
+                residual,
+            } => {
+                assert_eq!(rung, 2);
+                assert_eq!(iteration, 2);
+                assert!((residual - 0.1).abs() < 1e-15);
+            }
+            ref other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_swallows_everything() {
+        let tracer = Tracer::disabled();
+        let mut logger = TraceLogger::new(&tracer, 1, 1);
+        IterationLogger::<f64>::log_iteration(&mut logger, 1, 0.5);
+    }
+}

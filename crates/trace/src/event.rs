@@ -1,0 +1,432 @@
+//! The structured event model.
+//!
+//! One [`TraceEvent`] is one timestamped observation: a lifecycle edge of
+//! a request (submitted, dequeued, rung begun/ended, terminal outcome), a
+//! simulated-device record (kernel launch, host↔device transfer), or a
+//! service-level incident (breaker trip, watchdog stall, worker respawn).
+//! Events that belong to a request carry its trace id (the service
+//! request id, assigned at submission); batch- and service-scoped events
+//! carry none.
+//!
+//! Serialization is hand-rolled JSON — the offline build has no serde,
+//! and the format is small enough that a line writer is clearer anyway.
+
+/// Identifier tying events to the request that caused them. Equal to the
+/// service's `RequestId` — one id namespace, no translation table.
+pub type TraceId = u64;
+
+/// One timestamped structured event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Wall-clock microseconds since the owning tracer's epoch.
+    pub t_us: u64,
+    /// Owning request, when the event is request-scoped.
+    pub trace_id: Option<TraceId>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Every event kind the three layers emit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A request passed admission and entered the queue (`n` = rows).
+    Submitted {
+        /// System size (rows).
+        n: usize,
+    },
+    /// A request bounced at submission.
+    Rejected {
+        /// Which admission check failed (`"shape"`, `"nonfinite"`, ...).
+        reason: &'static str,
+    },
+    /// A request left the queue and joined a dispatching batch.
+    Dequeued {
+        /// Time spent queued, microseconds.
+        wait_us: u64,
+    },
+    /// The former cut a batch.
+    BatchFormed {
+        /// Monotonic batch sequence number.
+        seq: u64,
+        /// Requests fused into the batch.
+        size: usize,
+        /// Why the batch flushed (`"target"` or `"linger"`).
+        reason: &'static str,
+    },
+    /// An escalation rung started working on the owning request.
+    RungBegin {
+        /// Ladder position, 1-based.
+        rung: u8,
+        /// Solver name (`"bicgstab"`, `"gmres"`, `"banded-lu"`).
+        method: &'static str,
+    },
+    /// An escalation rung finished with the owning request.
+    RungEnd {
+        /// Ladder position, 1-based.
+        rung: u8,
+        /// Solver name.
+        method: &'static str,
+        /// Iterations this rung spent on the system.
+        iterations: u32,
+        /// Residual the rung left behind.
+        residual: f64,
+        /// Whether this rung converged the system.
+        converged: bool,
+        /// Breakdown tag, if the rung broke down.
+        breakdown: Option<&'static str>,
+    },
+    /// One solver iteration of the owning request (residual bridge from
+    /// the solver-layer `IterationLogger`).
+    SolverIteration {
+        /// Ladder position the iteration ran on.
+        rung: u8,
+        /// Iteration number within the rung (restarted solvers may
+        /// repeat a number at a restart boundary — see the GMRES trace).
+        iteration: u32,
+        /// Residual norm after the iteration.
+        residual: f64,
+    },
+    /// A simulated kernel launch (one fused rung over a batch subset).
+    KernelLaunch {
+        /// Monotonic launch sequence number (per engine).
+        seq: u64,
+        /// Solver the launch ran.
+        solver: &'static str,
+        /// Device the launch was priced on.
+        device: &'static str,
+        /// Thread blocks (= batch systems) launched.
+        blocks: usize,
+        /// Occupancy: blocks resident per compute unit.
+        resident_per_cu: u32,
+        /// Occupancy: concurrent block slots device-wide.
+        total_slots: u32,
+        /// Dynamic shared memory per block, bytes.
+        shared_per_block_bytes: usize,
+        /// Workspace vectors spilled to global memory, bytes per system
+        /// (the shared-memory spill decision of the workspace planner).
+        spilled_vector_bytes: usize,
+        /// Launch-overhead share of the simulated time, microseconds.
+        launch_us: f64,
+        /// Execution (makespan) share of the simulated time, µs.
+        exec_us: f64,
+        /// Simulated DRAM traffic, bytes.
+        dram_bytes: u64,
+        /// Floating-point operations executed.
+        flops: u64,
+    },
+    /// A simulated host↔device transfer.
+    Transfer {
+        /// `"h2d"` or `"d2h"`.
+        direction: &'static str,
+        /// Payload size, bytes.
+        bytes: u64,
+        /// Simulated transfer time, microseconds.
+        sim_us: f64,
+    },
+    /// The owning request reached its exactly-once terminal outcome.
+    Terminal {
+        /// Outcome tag (`"converged_bicgstab"`, `"worker_panic"`, ...).
+        outcome: &'static str,
+        /// Total iterations across rungs.
+        iterations: u32,
+        /// Final residual.
+        residual: f64,
+        /// Ladder rungs attempted.
+        rungs: usize,
+    },
+    /// The circuit breaker tripped open.
+    BreakerTrip,
+    /// The watchdog flagged a dispatch past its budget.
+    WatchdogStall {
+        /// The exceeded budget, microseconds.
+        budget_us: u64,
+    },
+    /// The supervisor respawned a panicked worker loop.
+    WorkerRespawn,
+    /// The flight recorder dumped its ring.
+    FlightDump {
+        /// What triggered the dump.
+        reason: &'static str,
+        /// Events captured in the dump.
+        events: usize,
+        /// Events the ring had already evicted.
+        dropped: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case discriminator used in every export format.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Submitted { .. } => "submitted",
+            EventKind::Rejected { .. } => "rejected",
+            EventKind::Dequeued { .. } => "dequeued",
+            EventKind::BatchFormed { .. } => "batch_formed",
+            EventKind::RungBegin { .. } => "rung_begin",
+            EventKind::RungEnd { .. } => "rung_end",
+            EventKind::SolverIteration { .. } => "solver_iteration",
+            EventKind::KernelLaunch { .. } => "kernel_launch",
+            EventKind::Transfer { .. } => "transfer",
+            EventKind::Terminal { .. } => "terminal",
+            EventKind::BreakerTrip => "breaker_trip",
+            EventKind::WatchdogStall { .. } => "watchdog_stall",
+            EventKind::WorkerRespawn => "worker_respawn",
+            EventKind::FlightDump { .. } => "flight_dump",
+        }
+    }
+}
+
+/// Format a float as a JSON value (`null` for non-finite — JSON has no
+/// Inf/NaN literals, and a poisoned residual must not poison the log).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl TraceEvent {
+    /// One JSON object (no trailing newline): the JSONL line format.
+    pub fn to_json(&self) -> String {
+        let mut f = String::with_capacity(96);
+        f.push_str(&format!("{{\"t_us\":{},", self.t_us));
+        match self.trace_id {
+            Some(id) => f.push_str(&format!("\"trace_id\":{id},")),
+            None => f.push_str("\"trace_id\":null,"),
+        }
+        f.push_str(&format!("\"kind\":\"{}\"", self.kind.name()));
+        match &self.kind {
+            EventKind::Submitted { n } => f.push_str(&format!(",\"n\":{n}")),
+            EventKind::Rejected { reason } => {
+                f.push_str(&format!(",\"reason\":\"{}\"", json_escape(reason)));
+            }
+            EventKind::Dequeued { wait_us } => f.push_str(&format!(",\"wait_us\":{wait_us}")),
+            EventKind::BatchFormed { seq, size, reason } => {
+                f.push_str(&format!(
+                    ",\"seq\":{seq},\"size\":{size},\"reason\":\"{}\"",
+                    json_escape(reason)
+                ));
+            }
+            EventKind::RungBegin { rung, method } => {
+                f.push_str(&format!(",\"rung\":{rung},\"method\":\"{method}\""));
+            }
+            EventKind::RungEnd {
+                rung,
+                method,
+                iterations,
+                residual,
+                converged,
+                breakdown,
+            } => {
+                f.push_str(&format!(
+                    ",\"rung\":{rung},\"method\":\"{method}\",\"iterations\":{iterations},\
+                     \"residual\":{},\"converged\":{converged},\"breakdown\":{}",
+                    json_f64(*residual),
+                    match breakdown {
+                        Some(tag) => format!("\"{}\"", json_escape(tag)),
+                        None => "null".to_string(),
+                    }
+                ));
+            }
+            EventKind::SolverIteration {
+                rung,
+                iteration,
+                residual,
+            } => {
+                f.push_str(&format!(
+                    ",\"rung\":{rung},\"iteration\":{iteration},\"residual\":{}",
+                    json_f64(*residual)
+                ));
+            }
+            EventKind::KernelLaunch {
+                seq,
+                solver,
+                device,
+                blocks,
+                resident_per_cu,
+                total_slots,
+                shared_per_block_bytes,
+                spilled_vector_bytes,
+                launch_us,
+                exec_us,
+                dram_bytes,
+                flops,
+            } => {
+                f.push_str(&format!(
+                    ",\"seq\":{seq},\"solver\":\"{solver}\",\"device\":\"{}\",\
+                     \"blocks\":{blocks},\"resident_per_cu\":{resident_per_cu},\
+                     \"total_slots\":{total_slots},\
+                     \"shared_per_block_bytes\":{shared_per_block_bytes},\
+                     \"spilled_vector_bytes\":{spilled_vector_bytes},\
+                     \"launch_us\":{},\"exec_us\":{},\"dram_bytes\":{dram_bytes},\
+                     \"flops\":{flops}",
+                    json_escape(device),
+                    json_f64(*launch_us),
+                    json_f64(*exec_us),
+                ));
+            }
+            EventKind::Transfer {
+                direction,
+                bytes,
+                sim_us,
+            } => {
+                f.push_str(&format!(
+                    ",\"direction\":\"{direction}\",\"bytes\":{bytes},\"sim_us\":{}",
+                    json_f64(*sim_us)
+                ));
+            }
+            EventKind::Terminal {
+                outcome,
+                iterations,
+                residual,
+                rungs,
+            } => {
+                f.push_str(&format!(
+                    ",\"outcome\":\"{outcome}\",\"iterations\":{iterations},\
+                     \"residual\":{},\"rungs\":{rungs}",
+                    json_f64(*residual)
+                ));
+            }
+            EventKind::WatchdogStall { budget_us } => {
+                f.push_str(&format!(",\"budget_us\":{budget_us}"));
+            }
+            EventKind::FlightDump {
+                reason,
+                events,
+                dropped,
+            } => {
+                f.push_str(&format!(
+                    ",\"reason\":\"{}\",\"events\":{events},\"dropped\":{dropped}",
+                    json_escape(reason)
+                ));
+            }
+            EventKind::BreakerTrip | EventKind::WorkerRespawn => {}
+        }
+        f.push('}');
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::json::validate_json;
+
+    #[test]
+    fn every_kind_serializes_to_valid_json() {
+        let kinds = vec![
+            EventKind::Submitted { n: 992 },
+            EventKind::Rejected {
+                reason: "nonfinite",
+            },
+            EventKind::Dequeued { wait_us: 1234 },
+            EventKind::BatchFormed {
+                seq: 7,
+                size: 100,
+                reason: "target",
+            },
+            EventKind::RungBegin {
+                rung: 1,
+                method: "bicgstab",
+            },
+            EventKind::RungEnd {
+                rung: 2,
+                method: "gmres",
+                iterations: 30,
+                residual: 1e-11,
+                converged: true,
+                breakdown: None,
+            },
+            EventKind::SolverIteration {
+                rung: 1,
+                iteration: 4,
+                residual: 0.5,
+            },
+            EventKind::KernelLaunch {
+                seq: 3,
+                solver: "bicgstab",
+                device: "NVIDIA V100-16GB",
+                blocks: 100,
+                resident_per_cu: 2,
+                total_slots: 160,
+                shared_per_block_bytes: 47_616,
+                spilled_vector_bytes: 23_808,
+                launch_us: 10.0,
+                exec_us: 85.5,
+                dram_bytes: 1 << 20,
+                flops: 1 << 24,
+            },
+            EventKind::Transfer {
+                direction: "h2d",
+                bytes: 65536,
+                sim_us: 12.5,
+            },
+            EventKind::Terminal {
+                outcome: "converged_bicgstab",
+                iterations: 23,
+                residual: 4.2e-11,
+                rungs: 1,
+            },
+            EventKind::BreakerTrip,
+            EventKind::WatchdogStall { budget_us: 5000 },
+            EventKind::WorkerRespawn,
+            EventKind::FlightDump {
+                reason: "watchdog_stall",
+                events: 256,
+                dropped: 12,
+            },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let name = kind.name();
+            let ev = TraceEvent {
+                t_us: 1000 + i as u64,
+                trace_id: if i % 2 == 0 { Some(i as u64) } else { None },
+                kind,
+            };
+            let line = ev.to_json();
+            validate_json(&line).unwrap_or_else(|e| panic!("{name}: {e}\n{line}"));
+            assert!(line.contains(&format!("\"kind\":\"{name}\"")), "{line}");
+        }
+    }
+
+    #[test]
+    fn non_finite_residuals_become_null() {
+        let ev = TraceEvent {
+            t_us: 0,
+            trace_id: Some(1),
+            kind: EventKind::Terminal {
+                outcome: "not_converged",
+                iterations: 500,
+                residual: f64::INFINITY,
+                rungs: 3,
+            },
+        };
+        let line = ev.to_json();
+        assert!(line.contains("\"residual\":null"), "{line}");
+        validate_json(&line).unwrap();
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,330 @@
+//! Chrome trace-event export (`chrome://tracing` / Perfetto).
+//!
+//! Two synthetic processes:
+//!
+//! * **pid 1 — requests (wall clock)**: one track (`tid`) per trace id.
+//!   The request span runs from its `submitted` event to its `terminal`
+//!   event; rung spans (`rung_begin`/`rung_end`) nest inside it on the
+//!   same track. Service incidents render as instants.
+//! * **pid 2 — simulated device**: the kernel-launch and transfer
+//!   records laid end to end on a cumulative sim-time cursor (the
+//!   simulator prices time; it does not schedule it on the wall clock).
+//!
+//! All timestamps are microseconds, which is Chrome's native `ts` unit.
+
+use std::collections::HashMap;
+
+use crate::event::{json_escape, EventKind, TraceEvent, TraceId};
+
+const PID_REQUESTS: u64 = 1;
+const PID_SIM_DEVICE: u64 = 2;
+const TID_SIM_KERNELS: u64 = 1;
+const TID_SIM_TRANSFERS: u64 = 2;
+const TID_SERVICE: u64 = 0;
+
+fn complete(name: &str, pid: u64, tid: u64, ts_us: f64, dur_us: f64, args: &str) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts_us:?},\
+         \"dur\":{:?},\"args\":{{{args}}}}}",
+        json_escape(name),
+        dur_us.max(1.0),
+    )
+}
+
+fn instant(name: &str, pid: u64, tid: u64, ts_us: f64, args: &str) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"g\",\"pid\":{pid},\"tid\":{tid},\
+         \"ts\":{ts_us:?},\"args\":{{{args}}}}}",
+        json_escape(name),
+    )
+}
+
+fn metadata(pid: u64, process_name: &str) -> String {
+    format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        json_escape(process_name),
+    )
+}
+
+/// Render a captured event stream as a Chrome trace JSON document.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out: Vec<String> = vec![
+        metadata(PID_REQUESTS, "requests (wall clock)"),
+        metadata(PID_SIM_DEVICE, "simulated device"),
+    ];
+
+    // Open spans awaiting their closing event.
+    let mut submitted_at: HashMap<TraceId, u64> = HashMap::new();
+    let mut rung_open: HashMap<(TraceId, u8), (u64, &'static str)> = HashMap::new();
+    // Cumulative sim-time cursor for the device process.
+    let mut sim_cursor_us = 0.0f64;
+
+    for ev in events {
+        let ts = ev.t_us as f64;
+        match &ev.kind {
+            EventKind::Submitted { n } => {
+                if let Some(id) = ev.trace_id {
+                    submitted_at.insert(id, ev.t_us);
+                    // Queue-wait and solve both live inside this span;
+                    // emitted when the terminal event closes it.
+                    let _ = n;
+                }
+            }
+            EventKind::Terminal {
+                outcome,
+                iterations,
+                residual,
+                rungs,
+            } => {
+                if let Some(id) = ev.trace_id {
+                    let start = submitted_at.remove(&id).unwrap_or(ev.t_us);
+                    out.push(complete(
+                        &format!("req {id}: {outcome}"),
+                        PID_REQUESTS,
+                        id,
+                        start as f64,
+                        (ev.t_us - start) as f64,
+                        &format!(
+                            "\"outcome\":\"{outcome}\",\"iterations\":{iterations},\
+                             \"rungs\":{rungs},\"residual\":\"{residual:e}\""
+                        ),
+                    ));
+                }
+            }
+            EventKind::RungBegin { rung, method } => {
+                if let Some(id) = ev.trace_id {
+                    rung_open.insert((id, *rung), (ev.t_us, method));
+                }
+            }
+            EventKind::RungEnd {
+                rung,
+                method,
+                iterations,
+                residual,
+                converged,
+                ..
+            } => {
+                if let Some(id) = ev.trace_id {
+                    let (start, _) = rung_open.remove(&(id, *rung)).unwrap_or((ev.t_us, method));
+                    out.push(complete(
+                        &format!("rung {rung}: {method}"),
+                        PID_REQUESTS,
+                        id,
+                        start as f64,
+                        (ev.t_us - start) as f64,
+                        &format!(
+                            "\"iterations\":{iterations},\"converged\":{converged},\
+                             \"residual\":\"{residual:e}\""
+                        ),
+                    ));
+                }
+            }
+            EventKind::KernelLaunch {
+                seq,
+                solver,
+                blocks,
+                resident_per_cu,
+                total_slots,
+                shared_per_block_bytes,
+                spilled_vector_bytes,
+                launch_us,
+                exec_us,
+                ..
+            } => {
+                let dur = launch_us + exec_us;
+                out.push(complete(
+                    &format!("{solver} launch #{seq}"),
+                    PID_SIM_DEVICE,
+                    TID_SIM_KERNELS,
+                    sim_cursor_us,
+                    dur,
+                    &format!(
+                        "\"blocks\":{blocks},\"resident_per_cu\":{resident_per_cu},\
+                         \"total_slots\":{total_slots},\
+                         \"shared_per_block_bytes\":{shared_per_block_bytes},\
+                         \"spilled_vector_bytes\":{spilled_vector_bytes},\
+                         \"launch_us\":{launch_us:?},\"exec_us\":{exec_us:?}"
+                    ),
+                ));
+                sim_cursor_us += dur.max(0.0);
+            }
+            EventKind::Transfer {
+                direction,
+                bytes,
+                sim_us,
+            } => {
+                out.push(complete(
+                    &format!("{direction} {bytes} B"),
+                    PID_SIM_DEVICE,
+                    TID_SIM_TRANSFERS,
+                    sim_cursor_us,
+                    *sim_us,
+                    &format!("\"bytes\":{bytes}"),
+                ));
+                sim_cursor_us += sim_us.max(0.0);
+            }
+            EventKind::Rejected { reason } => {
+                out.push(instant(
+                    &format!("rejected: {reason}"),
+                    PID_REQUESTS,
+                    ev.trace_id.unwrap_or(TID_SERVICE),
+                    ts,
+                    "",
+                ));
+            }
+            EventKind::BatchFormed { seq, size, reason } => {
+                out.push(instant(
+                    &format!("batch #{seq} ({size}, {reason})"),
+                    PID_REQUESTS,
+                    TID_SERVICE,
+                    ts,
+                    &format!("\"size\":{size}"),
+                ));
+            }
+            EventKind::BreakerTrip => {
+                out.push(instant("breaker trip", PID_REQUESTS, TID_SERVICE, ts, ""));
+            }
+            EventKind::WatchdogStall { budget_us } => {
+                out.push(instant(
+                    "watchdog stall",
+                    PID_REQUESTS,
+                    TID_SERVICE,
+                    ts,
+                    &format!("\"budget_us\":{budget_us}"),
+                ));
+            }
+            EventKind::WorkerRespawn => {
+                out.push(instant("worker respawn", PID_REQUESTS, TID_SERVICE, ts, ""));
+            }
+            EventKind::FlightDump { reason, events, .. } => {
+                out.push(instant(
+                    &format!("flight dump: {reason}"),
+                    PID_REQUESTS,
+                    TID_SERVICE,
+                    ts,
+                    &format!("\"events\":{events}"),
+                ));
+            }
+            // Per-iteration residuals and queue plumbing stay in the
+            // JSONL log; as Chrome spans they would only be noise.
+            EventKind::Dequeued { .. } | EventKind::SolverIteration { .. } => {}
+        }
+    }
+
+    format!(
+        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}",
+        out.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::json::validate_json;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                t_us: 10,
+                trace_id: Some(4),
+                kind: EventKind::Submitted { n: 16 },
+            },
+            TraceEvent {
+                t_us: 20,
+                trace_id: Some(4),
+                kind: EventKind::RungBegin {
+                    rung: 1,
+                    method: "bicgstab",
+                },
+            },
+            TraceEvent {
+                t_us: 21,
+                trace_id: None,
+                kind: EventKind::KernelLaunch {
+                    seq: 0,
+                    solver: "bicgstab",
+                    device: "V100",
+                    blocks: 1,
+                    resident_per_cu: 2,
+                    total_slots: 160,
+                    shared_per_block_bytes: 1024,
+                    spilled_vector_bytes: 0,
+                    launch_us: 10.0,
+                    exec_us: 40.0,
+                    dram_bytes: 4096,
+                    flops: 1 << 16,
+                },
+            },
+            TraceEvent {
+                t_us: 25,
+                trace_id: None,
+                kind: EventKind::Transfer {
+                    direction: "d2h",
+                    bytes: 128,
+                    sim_us: 11.0,
+                },
+            },
+            TraceEvent {
+                t_us: 30,
+                trace_id: Some(4),
+                kind: EventKind::RungEnd {
+                    rung: 1,
+                    method: "bicgstab",
+                    iterations: 9,
+                    residual: 1e-11,
+                    converged: true,
+                    breakdown: None,
+                },
+            },
+            TraceEvent {
+                t_us: 40,
+                trace_id: Some(4),
+                kind: EventKind::Terminal {
+                    outcome: "converged_bicgstab",
+                    iterations: 9,
+                    residual: 1e-11,
+                    rungs: 1,
+                },
+            },
+            TraceEvent {
+                t_us: 50,
+                trace_id: None,
+                kind: EventKind::WatchdogStall { budget_us: 5000 },
+            },
+        ]
+    }
+
+    #[test]
+    fn produces_valid_json_document() {
+        let doc = chrome_trace(&sample());
+        validate_json(&doc).unwrap();
+        assert!(doc.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn request_and_rung_spans_share_a_track() {
+        let doc = chrome_trace(&sample());
+        assert!(doc.contains("req 4: converged_bicgstab"), "{doc}");
+        assert!(doc.contains("rung 1: bicgstab"), "{doc}");
+        // Both live on pid 1, tid = trace id 4.
+        assert_eq!(doc.matches("\"pid\":1,\"tid\":4").count(), 2, "{doc}");
+    }
+
+    #[test]
+    fn sim_device_events_advance_a_cumulative_cursor() {
+        let doc = chrome_trace(&sample());
+        // Kernel at cursor 0 for 50 µs, transfer starts at 50.
+        assert!(doc.contains("\"ts\":0.0,\"dur\":50.0"), "{doc}");
+        assert!(doc.contains("\"ts\":50.0,\"dur\":11.0"), "{doc}");
+    }
+
+    #[test]
+    fn incidents_become_instants() {
+        let doc = chrome_trace(&sample());
+        assert!(
+            doc.contains("\"name\":\"watchdog stall\",\"ph\":\"i\""),
+            "{doc}"
+        );
+    }
+}

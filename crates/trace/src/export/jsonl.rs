@@ -1,0 +1,127 @@
+//! JSONL export: one [`TraceEvent`] per line.
+//!
+//! Two shapes: [`to_jsonl`] renders a captured slice (experiments with a
+//! `MemorySink`), and [`JsonlFileSink`] streams events to a file as they
+//! happen (the long-running server, where holding the full log in memory
+//! defeats the flight recorder's purpose).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+use crate::sink::TraceSink;
+
+/// Render events as JSONL (each line a self-contained JSON object).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(96 * events.len());
+    for ev in events {
+        out.push_str(&ev.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render and write events to `path` in one shot.
+pub fn write_jsonl(events: &[TraceEvent], path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_jsonl(events))
+}
+
+/// A [`TraceSink`] that appends each event to a buffered file as a JSONL
+/// line. Writes are serialized by an internal lock; IO errors after a
+/// successful open are counted rather than panicking the emitter.
+pub struct JsonlFileSink {
+    writer: Mutex<BufWriter<File>>,
+    errors: std::sync::atomic::AtomicU64,
+}
+
+impl JsonlFileSink {
+    /// Create (truncate) `path` for streaming.
+    pub fn create(path: &Path) -> std::io::Result<JsonlFileSink> {
+        Ok(JsonlFileSink {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+            errors: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Write errors swallowed so far (emitters must not panic the
+    /// solve path over a full disk).
+    pub fn io_errors(&self) -> u64 {
+        self.errors.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl TraceSink for JsonlFileSink {
+    fn emit(&self, event: &TraceEvent) {
+        let mut w = self.writer.lock().unwrap();
+        let line = event.to_json();
+        if writeln!(w, "{line}").is_err() {
+            self.errors
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    fn flush(&self) {
+        if self.writer.lock().unwrap().flush().is_err() {
+            self.errors
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::export::json::validate_json;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                t_us: 1,
+                trace_id: Some(0),
+                kind: EventKind::Submitted { n: 16 },
+            },
+            TraceEvent {
+                t_us: 9,
+                trace_id: Some(0),
+                kind: EventKind::Terminal {
+                    outcome: "converged_bicgstab",
+                    iterations: 12,
+                    residual: 3.0e-11,
+                    rungs: 1,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn every_line_is_valid_json() {
+        let text = to_jsonl(&sample_events());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            validate_json(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn file_sink_streams_lines() {
+        let dir = std::env::temp_dir().join("batsolv-trace-jsonl-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.jsonl");
+        let sink = JsonlFileSink::create(&path).unwrap();
+        for ev in sample_events() {
+            sink.emit(&ev);
+        }
+        sink.flush();
+        assert_eq!(sink.io_errors(), 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            validate_json(line).unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,11 @@
+//! Export formats for captured event streams.
+//!
+//! * [`jsonl`] — one JSON object per line; the canonical raw log.
+//! * [`chrome`] — Chrome trace-event JSON for `chrome://tracing`.
+//! * [`prom`] — Prometheus text exposition for metrics pages.
+//! * [`json`] — the in-crate JSON validator the tests lean on.
+
+pub mod chrome;
+pub mod json;
+pub mod jsonl;
+pub mod prom;

@@ -1,0 +1,206 @@
+//! The flight recorder: a fixed-capacity ring of recent events, dumped
+//! on demand for post-mortems.
+//!
+//! Tracing every event of a sustained workload to disk is expensive and
+//! mostly useless — what matters is the window *just before* something
+//! went wrong. The recorder keeps the last `capacity` events in a ring
+//! (older ones are evicted and counted, never reallocated past the cap),
+//! and [`FlightRecorder::trigger`] snapshots the ring into a
+//! [`FlightDump`] when a breaker trip or watchdog stall fires.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+use crate::sink::TraceSink;
+
+/// Default ring capacity: enough to cover several batches of spans
+/// without unbounded growth.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// A point-in-time snapshot of the ring, produced by a trigger.
+#[derive(Clone, Debug)]
+pub struct FlightDump {
+    /// What triggered the dump (`"breaker_trip"`, `"watchdog_stall"`,
+    /// or a caller-chosen tag).
+    pub reason: String,
+    /// Tracer-epoch timestamp of the trigger, microseconds.
+    pub t_us: u64,
+    /// The retained window, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events the ring had evicted before the trigger.
+    pub dropped: u64,
+}
+
+impl FlightDump {
+    /// Serialize the dump as JSONL: one header line, then one line per
+    /// retained event.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.events.len() + 1));
+        out.push_str(&format!(
+            "{{\"flight_dump\":{{\"reason\":\"{}\",\"t_us\":{},\"events\":{},\"dropped\":{}}}}}\n",
+            crate::event::json_escape(&self.reason),
+            self.t_us,
+            self.events.len(),
+            self.dropped
+        ));
+        for ev in &self.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Whether any retained event belongs to `trace_id`.
+    pub fn contains_trace(&self, trace_id: u64) -> bool {
+        self.events.iter().any(|e| e.trace_id == Some(trace_id))
+    }
+}
+
+/// The ring-buffer recorder. Implements [`TraceSink`] so it can ride a
+/// fanout next to a file sink, or be fed directly by a tracer.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<Ring>,
+    last_dump: Mutex<Option<FlightDump>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Recorder retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            ring: Mutex::new(Ring::default()),
+            last_dump: Mutex::new(None),
+        }
+    }
+
+    /// The retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().events.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
+    }
+
+    /// Snapshot the ring into a dump, remember it as the most recent
+    /// dump, and return it. The ring keeps recording afterwards.
+    pub fn trigger(&self, reason: &str, t_us: u64) -> FlightDump {
+        let ring = self.ring.lock().unwrap();
+        let dump = FlightDump {
+            reason: reason.to_string(),
+            t_us,
+            events: ring.events.iter().cloned().collect(),
+            dropped: ring.dropped,
+        };
+        drop(ring);
+        *self.last_dump.lock().unwrap() = Some(dump.clone());
+        dump
+    }
+
+    /// The most recent dump, if any trigger has fired.
+    pub fn last_dump(&self) -> Option<FlightDump> {
+        self.last_dump.lock().unwrap().clone()
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn emit(&self, event: &TraceEvent) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(t: u64, id: u64) -> TraceEvent {
+        TraceEvent {
+            t_us: t,
+            trace_id: Some(id),
+            kind: EventKind::Dequeued { wait_us: t },
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let r = FlightRecorder::new(3);
+        for t in 0..5 {
+            r.emit(&ev(t, t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let dump = r.trigger("test", 99);
+        assert_eq!(dump.events.len(), 3);
+        assert_eq!(dump.events[0].t_us, 2, "oldest retained is t=2");
+        assert_eq!(dump.dropped, 2);
+        assert!(dump.contains_trace(4));
+        assert!(!dump.contains_trace(1), "evicted trace is gone");
+    }
+
+    #[test]
+    fn trigger_remembers_last_dump_and_keeps_recording() {
+        let r = FlightRecorder::new(8);
+        r.emit(&ev(1, 1));
+        assert!(r.last_dump().is_none());
+        r.trigger("breaker_trip", 10);
+        r.emit(&ev(2, 2));
+        let last = r.last_dump().unwrap();
+        assert_eq!(last.reason, "breaker_trip");
+        assert_eq!(last.events.len(), 1, "dump is a snapshot, not a live view");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn dump_serializes_with_header() {
+        let r = FlightRecorder::new(4);
+        r.emit(&ev(5, 7));
+        let text = r.trigger("watchdog_stall", 42).to_jsonl();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("\"flight_dump\""), "{header}");
+        assert!(header.contains("watchdog_stall"));
+        crate::export::json::validate_json(header).unwrap();
+        crate::export::json::validate_json(lines.next().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let r = FlightRecorder::new(0);
+        r.emit(&ev(1, 1));
+        r.emit(&ev(2, 2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.capacity(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Event sinks.
+//!
+//! [`TraceSink`] is the compile-time seam mirroring the solver crate's
+//! `IterationLogger`: code that is generic over a sink monomorphizes, so
+//! the [`NoopSink`] instantiation compiles to nothing. Layers that
+//! operate per-request or per-batch (where an indirect call is noise
+//! next to a fused solve) hold an `Arc<dyn TraceSink>` instead — the
+//! dynamic dispatch never sits on the per-iteration hot path.
+
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+
+/// Receives structured events. Implementations must tolerate concurrent
+/// `emit` calls (submitters, the worker, and the watchdog all emit).
+pub trait TraceSink: Send + Sync {
+    /// Whether emitting is worthwhile at all; callers may skip event
+    /// construction entirely when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event.
+    fn emit(&self, event: &TraceEvent);
+
+    /// Flush any buffering (file sinks); default is a no-op.
+    fn flush(&self) {}
+}
+
+/// The disabled sink: reports `enabled() == false` and compiles to
+/// nothing when monomorphized into a kernel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn emit(&self, _event: &TraceEvent) {}
+}
+
+/// Collects every event in memory — the test/experiment sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// Empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Copy of everything captured so far.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Drain the captured events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().unwrap())
+    }
+
+    /// Number of events captured.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&self, event: &TraceEvent) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+/// Broadcasts each event to several sinks (e.g. a JSONL file and the
+/// flight recorder and an in-memory copy).
+pub struct FanoutSink {
+    sinks: Vec<std::sync::Arc<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    /// Fan out to `sinks`, in order.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn TraceSink>>) -> FanoutSink {
+        FanoutSink { sinks }
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn emit(&self, event: &TraceEvent) {
+        for s in &self.sinks {
+            s.emit(event);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use std::sync::Arc;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent {
+            t_us: t,
+            trace_id: Some(1),
+            kind: EventKind::Submitted { n: 4 },
+        }
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        let s = NoopSink;
+        assert!(!s.enabled());
+        s.emit(&ev(0)); // must be callable and do nothing
+    }
+
+    #[test]
+    fn memory_sink_captures_in_order() {
+        let s = MemorySink::new();
+        assert!(s.is_empty());
+        s.emit(&ev(1));
+        s.emit(&ev(2));
+        let got = s.snapshot();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].t_us, 1);
+        assert_eq!(got[1].t_us, 2);
+        assert_eq!(s.take().len(), 2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let f = FanoutSink::new(vec![a.clone(), b.clone()]);
+        assert!(f.enabled());
+        f.emit(&ev(7));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn fanout_of_noops_reports_disabled() {
+        let f = FanoutSink::new(vec![Arc::new(NoopSink), Arc::new(NoopSink)]);
+        assert!(!f.enabled());
+    }
+}

@@ -1,0 +1,187 @@
+//! The tracer handle threaded through the runtime.
+//!
+//! [`Tracer`] is a cheap clonable handle: disabled it is a `None` — the
+//! emit path is one branch and no event is ever constructed, which is
+//! the whole-runtime analogue of the solver kernels' `NoopLogger`
+//! monomorphization. Enabled it stamps events against a fixed epoch and
+//! forwards them to one [`TraceSink`] plus (optionally) a
+//! [`FlightRecorder`] ring.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::event::{EventKind, TraceEvent, TraceId};
+use crate::flight::{FlightDump, FlightRecorder};
+use crate::sink::TraceSink;
+
+struct TracerInner {
+    epoch: Instant,
+    sink: Arc<dyn TraceSink>,
+    flight: Option<Arc<FlightRecorder>>,
+}
+
+/// Clonable tracing handle. The default is disabled.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Tracer(disabled)"),
+            Some(inner) => f
+                .debug_struct("Tracer")
+                .field("flight_recorder", &inner.flight.is_some())
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer: every `emit` is a single `None` check.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Tracer emitting to `sink`, with timestamps measured from now.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                epoch: Instant::now(),
+                sink,
+                flight: None,
+            })),
+        }
+    }
+
+    /// Tracer emitting to `sink` and mirroring every event into the
+    /// flight-recorder ring.
+    pub fn with_flight_recorder(sink: Arc<dyn TraceSink>, flight: Arc<FlightRecorder>) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                epoch: Instant::now(),
+                sink,
+                flight: Some(flight),
+            })),
+        }
+    }
+
+    /// Whether events are recorded at all. Callers with non-trivial
+    /// event construction should check this first.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds since the tracer's epoch (0 when disabled).
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => u64::try_from(inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX),
+            None => 0,
+        }
+    }
+
+    /// Emit one event, stamped now. A disabled tracer returns
+    /// immediately without constructing anything.
+    #[inline]
+    pub fn emit(&self, trace_id: Option<TraceId>, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            let event = TraceEvent {
+                t_us: u64::try_from(inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX),
+                trace_id,
+                kind,
+            };
+            inner.sink.emit(&event);
+            if let Some(flight) = &inner.flight {
+                flight.emit(&event);
+            }
+        }
+    }
+
+    /// The flight recorder, when one is attached.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.inner.as_ref().and_then(|i| i.flight.as_ref())
+    }
+
+    /// Trigger a flight dump (no-op without a recorder): snapshots the
+    /// ring, emits a [`EventKind::FlightDump`] marker to the sink, and
+    /// returns the dump.
+    pub fn dump_flight(&self, reason: &'static str) -> Option<FlightDump> {
+        let inner = self.inner.as_ref()?;
+        let flight = inner.flight.as_ref()?;
+        let dump = flight.trigger(reason, self.now_us());
+        self.emit(
+            None,
+            EventKind::FlightDump {
+                reason,
+                events: dump.events.len(),
+                dropped: dump.dropped,
+            },
+        );
+        Some(dump)
+    }
+
+    /// Flush the underlying sink (file sinks buffer).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_tracer_emits_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(Some(1), EventKind::Submitted { n: 8 });
+        assert_eq!(t.now_us(), 0);
+        assert!(t.dump_flight("x").is_none());
+        t.flush();
+    }
+
+    #[test]
+    fn enabled_tracer_stamps_and_forwards() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Tracer::new(sink.clone());
+        assert!(t.is_enabled());
+        t.emit(Some(7), EventKind::Submitted { n: 8 });
+        t.emit(None, EventKind::WorkerRespawn);
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].trace_id, Some(7));
+        assert!(events[1].t_us >= events[0].t_us, "monotonic timestamps");
+    }
+
+    #[test]
+    fn flight_recorder_mirrors_and_dumps() {
+        let sink = Arc::new(MemorySink::new());
+        let flight = Arc::new(FlightRecorder::new(16));
+        let t = Tracer::with_flight_recorder(sink.clone(), flight.clone());
+        t.emit(Some(3), EventKind::Dequeued { wait_us: 10 });
+        let dump = t.dump_flight("breaker_trip").unwrap();
+        assert_eq!(dump.events.len(), 1);
+        assert!(dump.contains_trace(3));
+        // The dump marker reached the primary sink.
+        assert!(sink
+            .snapshot()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::FlightDump { .. })));
+        assert!(flight.last_dump().is_some());
+    }
+
+    #[test]
+    fn clones_share_the_epoch_and_sink() {
+        let sink = Arc::new(MemorySink::new());
+        let t1 = Tracer::new(sink.clone());
+        let t2 = t1.clone();
+        t1.emit(None, EventKind::BreakerTrip);
+        t2.emit(None, EventKind::WorkerRespawn);
+        assert_eq!(sink.len(), 2);
+    }
+}
