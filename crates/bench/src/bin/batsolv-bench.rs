@@ -1,0 +1,194 @@
+//! `batsolv-bench` — the perf harness and regression gate.
+//!
+//! Runs the SpMV (format × layout) and full-solve (sequential vs
+//! concurrent executor) sweeps over the 992-row XGC workload, writes
+//! `BENCH_spmv.json` / `BENCH_solve.json`, and gates the deterministic
+//! simulated metrics against the committed baseline.
+//!
+//! ```text
+//! batsolv-bench [--quick] [--out-dir DIR] [--baseline FILE]
+//!               [--tolerance F] [--update-baseline] [--no-check]
+//! ```
+//!
+//! Exit code 0 = ran and (when checking) passed the gate; 1 = regression
+//! or error. CI runs `batsolv-bench --quick`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use batsolv_bench::perf::baseline::Baseline;
+use batsolv_bench::perf::{validate_artifact, PerfRun, SOLVE_REQUIRED, SPMV_REQUIRED};
+
+struct Args {
+    quick: bool,
+    out_dir: PathBuf,
+    baseline: PathBuf,
+    tolerance: Option<f64>,
+    update_baseline: bool,
+    check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: batsolv-bench [--quick] [--out-dir DIR] [--baseline FILE] \
+         [--tolerance F] [--update-baseline] [--no-check]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out_dir: PathBuf::from("."),
+        baseline: PathBuf::from("crates/bench/baselines/bench_baseline.json"),
+        tolerance: None,
+        update_baseline: false,
+        check: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--out-dir" => args.out_dir = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--baseline" => args.baseline = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--tolerance" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                match v.parse::<f64>() {
+                    Ok(t) if t >= 0.0 => args.tolerance = Some(t),
+                    _ => usage(),
+                }
+            }
+            "--update-baseline" => args.update_baseline = true,
+            "--no-check" => args.check = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    println!(
+        "batsolv-bench: running {} sweeps (992-row XGC stencil, v100 model)...",
+        if args.quick { "quick" } else { "full" }
+    );
+    let run = match PerfRun::execute(args.quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("batsolv-bench: sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Human summary.
+    for c in &run.spmv.cells {
+        println!(
+            "  spmv  {:8} b={:<4} wall {:9.1} us   sim {:9.1} us   {:6.1} GB/s   lanes {:4.1}%",
+            c.key,
+            c.batch,
+            c.wall_us,
+            c.sim_us,
+            c.modeled_gbs,
+            c.lane_utilization * 100.0
+        );
+    }
+    for p in &run.solve.pairs {
+        for c in [&p.sequential, &p.concurrent] {
+            println!(
+                "  solve {:11} b={:<4} wall {:8.2} ms   sim {:8.3} ms   {:4} launches{}",
+                c.mode.short_name(),
+                c.batch,
+                c.wall_ms,
+                c.sim_ms,
+                c.launches,
+                if c.all_converged {
+                    ""
+                } else {
+                    "  [NOT CONVERGED]"
+                }
+            );
+        }
+        println!(
+            "  solve speedup       b={:<4} {:.2}x (simulated device time, fused vs loop)",
+            p.concurrent.batch,
+            p.speedup_sim()
+        );
+    }
+
+    if let Err(e) = run.write_artifacts(&args.out_dir) {
+        eprintln!("batsolv-bench: writing artifacts failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} and {}",
+        args.out_dir.join("BENCH_spmv.json").display(),
+        args.out_dir.join("BENCH_solve.json").display()
+    );
+
+    // Self-validate what we just wrote (the same check CI applies).
+    for (file, schema, required) in [
+        ("BENCH_spmv.json", "batsolv-bench/spmv/v1", SPMV_REQUIRED),
+        ("BENCH_solve.json", "batsolv-bench/solve/v1", SOLVE_REQUIRED),
+    ] {
+        match validate_artifact(&args.out_dir.join(file), schema, required) {
+            Ok(rows) => println!("validated {file}: {rows} result rows"),
+            Err(e) => {
+                eprintln!("batsolv-bench: artifact validation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if args.update_baseline {
+        let tol = args.tolerance.unwrap_or(0.25);
+        let b = run.to_baseline(tol);
+        if let Some(dir) = args.baseline.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("batsolv-bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(&args.baseline, b.to_json().pretty()) {
+            eprintln!("batsolv-bench: writing baseline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "updated baseline {} (tolerance {tol})",
+            args.baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.check {
+        let baseline = match Baseline::load(&args.baseline) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "batsolv-bench: no usable baseline ({e}); run with \
+                     --update-baseline to create one"
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        let regressions = run.check(&baseline, args.tolerance);
+        if regressions.is_empty() {
+            println!(
+                "gate: PASS ({} metrics within {:.0}%)",
+                baseline.lower_is_better.len() + baseline.higher_is_better.len(),
+                args.tolerance.unwrap_or(baseline.tolerance) * 100.0
+            );
+        } else {
+            eprintln!("gate: FAIL — {} regression(s):", regressions.len());
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

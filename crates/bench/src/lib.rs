@@ -10,6 +10,7 @@
 pub mod config;
 pub mod experiments;
 pub mod output;
+pub mod perf;
 pub mod solve_dir;
 
 pub use config::RunConfig;

@@ -1,0 +1,248 @@
+//! Perf-regression gate: compare the current run against a committed
+//! baseline with a configurable tolerance.
+//!
+//! Only the *simulated* metrics are gated: they are deterministic
+//! functions of the workload and the device model, so any drift is a
+//! real change in modeled behavior (kernel counts, layout traffic,
+//! launch fan-out), not host noise. Wall-clock medians are recorded in
+//! the artifacts for trend-watching but never fail the gate — CI runners
+//! are too noisy for that to be signal.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use batsolv_types::{Error, Result};
+
+use super::json::{obj, Json};
+
+/// A committed performance baseline.
+#[derive(Clone, Debug)]
+pub struct Baseline {
+    /// Allowed fractional drift (0.25 = fail beyond ±25%).
+    pub tolerance: f64,
+    /// Metrics where smaller is better (times).
+    pub lower_is_better: BTreeMap<String, f64>,
+    /// Metrics where larger is better (speedups, throughput).
+    pub higher_is_better: BTreeMap<String, f64>,
+}
+
+/// One gate violation.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    pub metric: String,
+    pub baseline: f64,
+    pub current: f64,
+    /// Fractional drift in the *bad* direction (always positive).
+    pub drift: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: baseline {:.6e}, current {:.6e} ({:+.1}% drift)",
+            self.metric,
+            self.baseline,
+            self.current,
+            self.drift * 100.0
+        )
+    }
+}
+
+fn metric_map(v: Option<&Json>, which: &str) -> Result<BTreeMap<String, f64>> {
+    let mut m = BTreeMap::new();
+    let Some(v) = v else {
+        return Ok(m);
+    };
+    let o = v
+        .as_obj()
+        .ok_or_else(|| Error::Io(format!("baseline: '{which}' must be an object")))?;
+    for (k, v) in o {
+        let num = v
+            .as_f64()
+            .ok_or_else(|| Error::Io(format!("baseline metric '{k}' is not a number")))?;
+        m.insert(k.clone(), num);
+    }
+    Ok(m)
+}
+
+impl Baseline {
+    /// Parse a baseline document.
+    pub fn from_json(doc: &Json) -> Result<Baseline> {
+        if doc.get("schema").and_then(Json::as_str) != Some("batsolv-bench/baseline/v1") {
+            return Err(Error::Io("baseline: missing/unknown schema tag".into()));
+        }
+        let tolerance = doc
+            .get("tolerance")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| Error::Io("baseline: missing numeric 'tolerance'".into()))?;
+        Ok(Baseline {
+            tolerance,
+            lower_is_better: metric_map(doc.get("lower_is_better"), "lower_is_better")?,
+            higher_is_better: metric_map(doc.get("higher_is_better"), "higher_is_better")?,
+        })
+    }
+
+    /// Load from a file.
+    pub fn load(path: &Path) -> Result<Baseline> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Error::Io(format!("baseline {}: {e}", path.display())))?;
+        Self::from_json(&Json::parse(&text)?)
+    }
+
+    /// Build a fresh baseline from measured metrics.
+    pub fn from_metrics(
+        tolerance: f64,
+        lower: &[(String, f64)],
+        higher: &[(String, f64)],
+    ) -> Baseline {
+        Baseline {
+            tolerance,
+            lower_is_better: lower.iter().cloned().collect(),
+            higher_is_better: higher.iter().cloned().collect(),
+        }
+    }
+
+    /// Serialize for committing.
+    pub fn to_json(&self) -> Json {
+        let pack = |m: &BTreeMap<String, f64>| {
+            Json::Obj(m.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect())
+        };
+        obj(vec![
+            ("schema", Json::Str("batsolv-bench/baseline/v1".into())),
+            ("tolerance", Json::Num(self.tolerance)),
+            ("lower_is_better", pack(&self.lower_is_better)),
+            ("higher_is_better", pack(&self.higher_is_better)),
+        ])
+    }
+
+    /// Gate the current metrics; `tolerance_override` replaces the
+    /// committed tolerance when given. Metrics absent from the baseline
+    /// are ignored (new metrics enter on the next `--update-baseline`);
+    /// baseline metrics absent from the run are reported as regressions
+    /// (a silently vanished measurement must not pass).
+    pub fn check(
+        &self,
+        lower: &[(String, f64)],
+        higher: &[(String, f64)],
+        tolerance_override: Option<f64>,
+    ) -> Vec<Regression> {
+        let tol = tolerance_override.unwrap_or(self.tolerance);
+        let mut regressions = Vec::new();
+        let current_lower: BTreeMap<&str, f64> =
+            lower.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let current_higher: BTreeMap<&str, f64> =
+            higher.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+
+        for (metric, &base) in &self.lower_is_better {
+            match current_lower.get(metric.as_str()) {
+                Some(&cur) if cur <= base * (1.0 + tol) => {}
+                Some(&cur) => regressions.push(Regression {
+                    metric: metric.clone(),
+                    baseline: base,
+                    current: cur,
+                    drift: cur / base - 1.0,
+                }),
+                None => regressions.push(Regression {
+                    metric: metric.clone(),
+                    baseline: base,
+                    current: f64::NAN,
+                    drift: f64::INFINITY,
+                }),
+            }
+        }
+        for (metric, &base) in &self.higher_is_better {
+            match current_higher.get(metric.as_str()) {
+                Some(&cur) if cur >= base * (1.0 - tol) => {}
+                Some(&cur) => regressions.push(Regression {
+                    metric: metric.clone(),
+                    baseline: base,
+                    current: cur,
+                    drift: 1.0 - cur / base,
+                }),
+                None => regressions.push(Regression {
+                    metric: metric.clone(),
+                    baseline: base,
+                    current: f64::NAN,
+                    drift: f64::INFINITY,
+                }),
+            }
+        }
+        regressions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> Baseline {
+        Baseline::from_metrics(
+            0.25,
+            &[("t.sim_us".into(), 100.0)],
+            &[("t.speedup".into(), 8.0)],
+        )
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let b = baseline();
+        let r = b.check(
+            &[("t.sim_us".into(), 120.0)],
+            &[("t.speedup".into(), 7.0)],
+            None,
+        );
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn slower_time_and_lower_speedup_fail() {
+        let b = baseline();
+        let r = b.check(
+            &[("t.sim_us".into(), 130.0)],
+            &[("t.speedup".into(), 5.0)],
+            None,
+        );
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|x| x.drift > 0.25));
+    }
+
+    #[test]
+    fn faster_is_never_a_regression() {
+        let b = baseline();
+        let r = b.check(
+            &[("t.sim_us".into(), 10.0)],
+            &[("t.speedup".into(), 80.0)],
+            None,
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn missing_metric_is_a_regression() {
+        let b = baseline();
+        let r = b.check(&[], &[("t.speedup".into(), 8.0)], None);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].metric, "t.sim_us");
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let b = baseline();
+        let again = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(again.tolerance, 0.25);
+        assert_eq!(again.lower_is_better.get("t.sim_us"), Some(&100.0));
+        assert_eq!(again.higher_is_better.get("t.speedup"), Some(&8.0));
+    }
+
+    #[test]
+    fn override_tolerance_tightens_the_gate() {
+        let b = baseline();
+        let r = b.check(
+            &[("t.sim_us".into(), 120.0)],
+            &[("t.speedup".into(), 8.0)],
+            Some(0.1),
+        );
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Full-solve perf sweep: sequential vs concurrent batch execution.
+//!
+//! The headline experiment: the same batched BiCGSTAB over the same
+//! 992-row XGC systems, dispatched once as `N` single-system launches
+//! ([`ExecMode::Sequential`]) and once as one fused launch with a worker
+//! task per system ([`ExecMode::Concurrent`]). The differential suite
+//! proves both produce bitwise-identical solutions, so the simulated
+//! device-time ratio is a genuine speedup — the paper's Figure 4/6
+//! batching argument, now a regression-gated number.
+
+use std::time::Instant;
+
+use batsolv_formats::{BatchEll, BatchMatrix};
+use batsolv_gpusim::DeviceSpec;
+use batsolv_runtime::{BatchExecutor, ExecMode};
+use batsolv_solvers::{BatchBicgstab, Jacobi, RelResidual};
+use batsolv_types::{Error, Result};
+use batsolv_xgc::{VelocityGrid, XgcWorkload};
+
+use super::json::{obj, Json};
+use super::median_us;
+
+/// One measured (mode, batch) cell.
+#[derive(Clone, Debug)]
+pub struct SolveCell {
+    pub mode: ExecMode,
+    pub batch: usize,
+    /// Simulated device time of the whole batch solve, milliseconds.
+    pub sim_ms: f64,
+    /// Kernel launches the dispatch paid.
+    pub launches: usize,
+    /// Median wall time of the whole batch solve, milliseconds.
+    pub wall_ms: f64,
+    /// Batch throughput in simulated time, systems per second.
+    pub systems_per_sim_s: f64,
+    /// Largest per-system iteration count.
+    pub max_iterations: u32,
+    /// Whether every system converged.
+    pub all_converged: bool,
+}
+
+/// Sequential-vs-concurrent comparison at one batch size.
+#[derive(Clone, Debug)]
+pub struct SolvePair {
+    pub sequential: SolveCell,
+    pub concurrent: SolveCell,
+}
+
+impl SolvePair {
+    /// Fused-over-loop speedup in simulated device time.
+    pub fn speedup_sim(&self) -> f64 {
+        self.sequential.sim_ms / self.concurrent.sim_ms.max(1e-30)
+    }
+}
+
+/// The whole sweep.
+#[derive(Clone, Debug)]
+pub struct SolveSweep {
+    pub rows: usize,
+    pub pairs: Vec<SolvePair>,
+}
+
+fn run_mode(
+    device: &DeviceSpec,
+    mode: ExecMode,
+    ell: &BatchEll<f64>,
+    w: &XgcWorkload,
+    reps: usize,
+) -> Result<SolveCell> {
+    let solver = BatchBicgstab::new(Jacobi, RelResidual::new(1e-8)).with_max_iters(300);
+    let executor = BatchExecutor::new(device.clone(), mode);
+    let mut samples = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let mut x = w.warm_guess.clone();
+        let t0 = Instant::now();
+        let report = executor.execute(&solver, ell, &w.rhs, &mut x)?;
+        samples.push(t0.elapsed().as_secs_f64() * 1e6);
+        last = Some(report);
+    }
+    let report = last.ok_or_else(|| Error::InvalidConfig("solve sweep needs reps >= 1".into()))?;
+    let batch = ell.dims().num_systems;
+    let sim_ms = report.sim_time_s * 1e3;
+    Ok(SolveCell {
+        mode,
+        batch,
+        sim_ms,
+        launches: report.launches,
+        wall_ms: median_us(&mut samples) / 1e3,
+        systems_per_sim_s: batch as f64 / report.sim_time_s.max(1e-30),
+        max_iterations: report
+            .per_system
+            .iter()
+            .map(|s| s.iterations)
+            .max()
+            .unwrap_or(0),
+        all_converged: report.all_converged(),
+    })
+}
+
+/// Run the sweep on the paper's ELL (column-major) fast path.
+pub fn run(device: &DeviceSpec, quick: bool) -> Result<SolveSweep> {
+    let batches: &[usize] = if quick { &[64] } else { &[16, 64, 256] };
+    let reps = if quick { 3 } else { 7 };
+    let grid = VelocityGrid::xgc_standard();
+    let rows = grid.num_nodes();
+    let mut pairs = Vec::new();
+    for &batch in batches {
+        let w = XgcWorkload::generate(grid.clone(), batch / 2, 99)?;
+        let ell = w.ell()?;
+        let sequential = run_mode(device, ExecMode::Sequential, &ell, &w, reps)?;
+        let concurrent = run_mode(device, ExecMode::Concurrent, &ell, &w, reps)?;
+        pairs.push(SolvePair {
+            sequential,
+            concurrent,
+        });
+    }
+    Ok(SolveSweep { rows, pairs })
+}
+
+fn cell_json(c: &SolveCell) -> Json {
+    obj(vec![
+        ("mode", Json::Str(c.mode.short_name().into())),
+        ("batch", Json::Num(c.batch as f64)),
+        ("sim_ms", Json::Num(c.sim_ms)),
+        ("launches", Json::Num(c.launches as f64)),
+        ("wall_median_ms", Json::Num(c.wall_ms)),
+        ("systems_per_sim_s", Json::Num(c.systems_per_sim_s)),
+        ("max_iterations", Json::Num(c.max_iterations as f64)),
+        ("all_converged", Json::Bool(c.all_converged)),
+    ])
+}
+
+impl SolveSweep {
+    /// The `BENCH_solve.json` document.
+    pub fn to_json(&self, device: &DeviceSpec, quick: bool) -> Json {
+        let results: Vec<Json> = self
+            .pairs
+            .iter()
+            .flat_map(|p| [cell_json(&p.sequential), cell_json(&p.concurrent)])
+            .collect();
+        let speedups: Vec<Json> = self
+            .pairs
+            .iter()
+            .map(|p| {
+                obj(vec![
+                    ("batch", Json::Num(p.concurrent.batch as f64)),
+                    ("sim", Json::Num(p.speedup_sim())),
+                    (
+                        "wall",
+                        Json::Num(p.sequential.wall_ms / p.concurrent.wall_ms.max(1e-30)),
+                    ),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("schema", Json::Str("batsolv-bench/solve/v1".into())),
+            ("quick", Json::Bool(quick)),
+            ("device", Json::Str(device.name.into())),
+            ("rows", Json::Num(self.rows as f64)),
+            ("solver", Json::Str("bicgstab".into())),
+            ("format", Json::Str("BatchEll".into())),
+            ("results", Json::Arr(results)),
+            ("speedup", Json::Arr(speedups)),
+        ])
+    }
+
+    /// Deterministic metrics for the regression gate.
+    pub fn gate_metrics(&self) -> (Vec<(String, f64)>, Vec<(String, f64)>) {
+        let mut lower = Vec::new();
+        let mut higher = Vec::new();
+        for p in &self.pairs {
+            let b = p.concurrent.batch;
+            lower.push((format!("solve.sequential.b{b}.sim_ms"), p.sequential.sim_ms));
+            lower.push((format!("solve.concurrent.b{b}.sim_ms"), p.concurrent.sim_ms));
+            higher.push((format!("solve.b{b}.speedup_sim"), p.speedup_sim()));
+        }
+        (lower, higher)
+    }
+}

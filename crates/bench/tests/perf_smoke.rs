@@ -1,0 +1,80 @@
+//! Smoke test for the `batsolv-bench` perf harness: a quick sweep must
+//! produce schema-valid artifacts, a sane baseline round-trip, and the
+//! headline fused-over-sequential speedup the paper's batching argument
+//! rests on.
+
+use batsolv_bench::perf::{validate_artifact, PerfRun, SOLVE_REQUIRED, SPMV_REQUIRED};
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("batsolv-perf-smoke-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn quick_run_emits_valid_artifacts_and_a_real_speedup() {
+    let run = PerfRun::execute(true).unwrap();
+
+    // Artifacts parse and carry the documented schema.
+    let dir = tmp_dir("artifacts");
+    run.write_artifacts(&dir).unwrap();
+    let spmv_rows = validate_artifact(
+        &dir.join("BENCH_spmv.json"),
+        "batsolv-bench/spmv/v1",
+        SPMV_REQUIRED,
+    )
+    .unwrap();
+    let solve_rows = validate_artifact(
+        &dir.join("BENCH_solve.json"),
+        "batsolv-bench/solve/v1",
+        SOLVE_REQUIRED,
+    )
+    .unwrap();
+    // quick mode: 5 format/layout cells, one (sequential, concurrent) pair.
+    assert_eq!(spmv_rows, 5);
+    assert_eq!(solve_rows, 2);
+
+    // Every system of every solve cell converged.
+    for p in &run.solve.pairs {
+        assert!(p.sequential.all_converged, "sequential did not converge");
+        assert!(p.concurrent.all_converged, "concurrent did not converge");
+        // The acceptance bar: fusing the batch is at least 2x in
+        // simulated device time at batch >= 64.
+        let s = p.speedup_sim();
+        assert!(
+            s >= 2.0,
+            "fused speedup {s:.2}x < 2x at batch {}",
+            p.concurrent.batch
+        );
+    }
+
+    // The run gates cleanly against a baseline derived from itself, and
+    // a deliberately tightened fake baseline catches the drift.
+    let baseline = run.to_baseline(0.25);
+    assert!(run.check(&baseline, None).is_empty());
+    let mut strict = baseline.clone();
+    for v in strict.lower_is_better.values_mut() {
+        *v /= 10.0; // pretend everything used to be 10x faster
+    }
+    assert!(
+        !run.check(&strict, None).is_empty(),
+        "gate failed to flag a 10x sim-time regression"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn committed_baseline_matches_the_current_quick_run() {
+    // The baseline in-tree must stay in sync with the code: a quick run
+    // today has to pass the committed gate at its committed tolerance.
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines/bench_baseline.json");
+    let baseline = batsolv_bench::perf::baseline::Baseline::load(&path).unwrap();
+    let run = PerfRun::execute(true).unwrap();
+    let regressions = run.check(&baseline, None);
+    assert!(
+        regressions.is_empty(),
+        "committed baseline regressions: {regressions:?}"
+    );
+}

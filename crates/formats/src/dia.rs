@@ -8,12 +8,20 @@
 //! (no column indices to load at all), at the price of padding near the
 //! matrix edges and inflexibility for irregular patterns. It completes
 //! the format-exploration story of the paper's Section IV.A.
+//!
+//! Like [`BatchEll`](crate::BatchEll), the per-system value slab is
+//! stored in a caller-selected [`ValueLayout`]: the default column-major
+//! order keeps each diagonal contiguous (entry `(row, d)` at
+//! `d * num_rows + row` — coalesced thread-per-row access and unit-stride
+//! host loops), while row-major keeps each row's diagonal entries
+//! contiguous (`row * num_diagonals + d`), the strided baseline.
 
 use std::sync::Arc;
 
 use batsolv_types::{BatchDims, Error, OpCounts, Result, Scalar};
 
 use crate::csr::BatchCsr;
+use crate::layout::ValueLayout;
 use crate::pattern::SparsityPattern;
 use crate::traits::BatchMatrix;
 
@@ -25,14 +33,15 @@ pub struct BatchDia<T> {
     pattern: Arc<SparsityPattern>,
     /// Shared diagonal offsets, ascending (`0` = main diagonal).
     offsets: Vec<i32>,
-    /// Values, system-major; within a system, diagonal-major: diagonal
-    /// `d`'s slab is `values[sys][d*n .. (d+1)*n]`, indexed by **row**.
-    /// Slots outside the matrix are zero padding.
+    /// Memory order of each per-system value slab.
+    layout: ValueLayout,
+    /// Values, system-major; within a system a `num_diagonals * n` slab
+    /// in `layout` order. Slots outside the matrix are zero padding.
     values: Vec<T>,
 }
 
 impl<T: Scalar> BatchDia<T> {
-    /// A zero-valued DIA batch over `pattern`.
+    /// A zero-valued column-major DIA batch over `pattern`.
     ///
     /// Fails if the pattern needs more than `max_diagonals` distinct
     /// offsets (DIA degenerates for irregular patterns; the stencil
@@ -41,6 +50,16 @@ impl<T: Scalar> BatchDia<T> {
         num_systems: usize,
         pattern: Arc<SparsityPattern>,
         max_diagonals: usize,
+    ) -> Result<Self> {
+        Self::zeros_in(num_systems, pattern, max_diagonals, ValueLayout::ColMajor)
+    }
+
+    /// A zero-valued DIA batch over `pattern` with an explicit layout.
+    pub fn zeros_in(
+        num_systems: usize,
+        pattern: Arc<SparsityPattern>,
+        max_diagonals: usize,
+        layout: ValueLayout,
     ) -> Result<Self> {
         let n = pattern.num_rows();
         let dims = BatchDims::new(num_systems, n)?;
@@ -66,16 +85,27 @@ impl<T: Scalar> BatchDia<T> {
             dims,
             pattern,
             offsets,
+            layout,
             values,
         })
     }
 
     /// Convert a CSR batch (same pattern constraints as [`Self::zeros`]).
     pub fn from_csr(csr: &BatchCsr<T>, max_diagonals: usize) -> Result<Self> {
-        let mut dia = Self::zeros(
+        Self::from_csr_in(csr, max_diagonals, ValueLayout::ColMajor)
+    }
+
+    /// Convert a CSR batch with an explicit value layout.
+    pub fn from_csr_in(
+        csr: &BatchCsr<T>,
+        max_diagonals: usize,
+        layout: ValueLayout,
+    ) -> Result<Self> {
+        let mut dia = Self::zeros_in(
             csr.dims().num_systems,
             Arc::clone(csr.pattern()),
             max_diagonals,
+            layout,
         )?;
         let n = dia.dims.num_rows;
         for i in 0..csr.dims().num_systems {
@@ -92,11 +122,22 @@ impl<T: Scalar> BatchDia<T> {
                         .binary_search(&(off as i32))
                         .expect("offset present by construction");
                     debug_assert!(d < ndiag);
-                    slab[d * n + r] = src[k];
+                    slab[layout.index(n, ndiag, r, d)] = src[k];
                 }
             }
         }
         Ok(dia)
+    }
+
+    /// Convert back to CSR (only entries of the originating pattern are
+    /// copied; edge-padding slots are dropped).
+    pub fn to_csr(&self) -> BatchCsr<T> {
+        let mut csr = BatchCsr::zeros(self.dims.num_systems, Arc::clone(&self.pattern))
+            .expect("dims already validated");
+        for i in 0..self.dims.num_systems {
+            csr.fill_system(i, |r, c| self.entry(i, r, c));
+        }
+        csr
     }
 
     /// The shared diagonal offsets.
@@ -109,7 +150,14 @@ impl<T: Scalar> BatchDia<T> {
         self.offsets.len()
     }
 
-    /// Value slab of system `i` (`num_diagonals * n`, diagonal-major).
+    /// Memory order of the value slabs.
+    #[inline]
+    pub fn layout(&self) -> ValueLayout {
+        self.layout
+    }
+
+    /// Value slab of system `i` (`num_diagonals * n`, in
+    /// [`Self::layout`] order).
     pub fn values_of(&self, i: usize) -> &[T] {
         let slab = self.offsets.len() * self.dims.num_rows;
         &self.values[i * slab..(i + 1) * slab]
@@ -134,7 +182,10 @@ impl<T: Scalar> BatchMatrix<T> for BatchDia<T> {
     }
 
     fn format_name(&self) -> &'static str {
-        "BatchDia"
+        match self.layout {
+            ValueLayout::ColMajor => "BatchDia",
+            ValueLayout::RowMajor => "BatchDia(row-major)",
+        }
     }
 
     fn stored_per_system(&self) -> usize {
@@ -143,27 +194,67 @@ impl<T: Scalar> BatchMatrix<T> for BatchDia<T> {
 
     fn spmv_system(&self, i: usize, x: &[T], y: &mut [T]) {
         let n = self.dims.num_rows;
+        let ndiag = self.offsets.len();
         let slab = self.values_of(i);
-        y.iter_mut().for_each(|v| *v = T::ZERO);
-        for (d, &off) in self.offsets.iter().enumerate() {
-            let vals = &slab[d * n..(d + 1) * n];
-            // Row range for which r + off is a valid column.
-            let (r_lo, r_hi) = if off >= 0 {
-                (0usize, n - off as usize)
-            } else {
-                ((-off) as usize, n)
-            };
-            for r in r_lo..r_hi {
-                let c = (r as i64 + off as i64) as usize;
-                y[r] = vals[r].mul_add(x[c], y[r]);
+        match self.layout {
+            // One unit-stride pass per diagonal: y, the value slab, and x
+            // all advance with stride one — the branch-light loop LLVM
+            // autovectorizes.
+            ValueLayout::ColMajor => {
+                y.iter_mut().for_each(|v| *v = T::ZERO);
+                for (d, &off) in self.offsets.iter().enumerate() {
+                    let vals = &slab[d * n..(d + 1) * n];
+                    // Row range for which r + off is a valid column.
+                    let (r_lo, r_hi) = if off >= 0 {
+                        (0usize, n - off as usize)
+                    } else {
+                        ((-off) as usize, n)
+                    };
+                    let c_lo = (r_lo as i64 + off as i64) as usize;
+                    let span = r_hi - r_lo;
+                    for ((yr, &v), &xc) in y[r_lo..r_hi]
+                        .iter_mut()
+                        .zip(&vals[r_lo..r_hi])
+                        .zip(&x[c_lo..c_lo + span])
+                    {
+                        *yr = v.mul_add(xc, *yr);
+                    }
+                }
+            }
+            // Row-at-a-time over the contiguous per-row diagonal entries;
+            // ascending-d accumulation keeps results bitwise identical to
+            // the column-major path.
+            ValueLayout::RowMajor => {
+                let offsets = &self.offsets;
+                for (r, (yr, vals)) in y.iter_mut().zip(slab.chunks_exact(ndiag)).enumerate() {
+                    let mut acc = T::ZERO;
+                    for (&off, &v) in offsets.iter().zip(vals) {
+                        let c = r as i64 + off as i64;
+                        if c >= 0 && (c as usize) < n {
+                            acc = v.mul_add(x[c as usize], acc);
+                        }
+                    }
+                    *yr = acc;
+                }
             }
         }
     }
 
     fn extract_diagonal(&self, i: usize, diag: &mut [T]) {
         let n = self.dims.num_rows;
+        let ndiag = self.offsets.len();
         match self.offsets.binary_search(&0) {
-            Ok(d) => diag.copy_from_slice(&self.values_of(i)[d * n..(d + 1) * n]),
+            Ok(d) => match self.layout {
+                ValueLayout::ColMajor => {
+                    diag.copy_from_slice(&self.values_of(i)[d * n..(d + 1) * n])
+                }
+                ValueLayout::RowMajor => {
+                    let slab = self.values_of(i);
+                    for (r, dv) in diag.iter_mut().enumerate() {
+                        *dv = slab[r * ndiag + d];
+                    }
+                }
+            },
             Err(_) => diag.iter_mut().for_each(|v| *v = T::ZERO),
         }
     }
@@ -174,7 +265,12 @@ impl<T: Scalar> BatchMatrix<T> for BatchDia<T> {
             .ok()
             .and_then(|o| self.offsets.binary_search(&o).ok())
         {
-            Some(d) => self.values_of(i)[d * self.dims.num_rows + row],
+            Some(d) => {
+                let idx = self
+                    .layout
+                    .index(self.dims.num_rows, self.offsets.len(), row, d);
+                self.values_of(i)[idx]
+            }
             None => T::ZERO,
         }
     }
@@ -190,8 +286,7 @@ impl<T: Scalar> BatchMatrix<T> for BatchDia<T> {
         let warps = n.div_ceil(w);
         // Thread-per-row, one pass per diagonal — like ELL, but with no
         // index loads at all and unit-stride x accesses per diagonal.
-        for (d, &off) in self.offsets.iter().enumerate() {
-            let _ = d;
+        for &off in self.offsets.iter() {
             let active = n - off.unsigned_abs() as u64;
             c.lane_total += warps * w;
             c.lane_active += active;
@@ -199,7 +294,9 @@ impl<T: Scalar> BatchMatrix<T> for BatchDia<T> {
         }
         let vb = T::BYTES as u64;
         let slots = self.offsets.len() as u64 * n;
-        c.global_read_bytes += slots * vb; // values incl. padding
+        // Row-major slabs pay the strided-access amplification.
+        let amp = self.layout.traffic_amplification(self.offsets.len());
+        c.global_read_bytes += slots * vb * amp; // values incl. padding
         c.global_read_bytes += self.offsets.len() as u64 * 4; // offsets only!
         c.global_read_bytes += (self.pattern.nnz() as u64) * vb; // x
         c.global_write_bytes += n * vb;
@@ -261,21 +358,53 @@ mod tests {
     }
 
     #[test]
+    fn layouts_produce_bitwise_identical_spmv() {
+        let csr = stencil_csr(6, 5);
+        let col = BatchDia::from_csr_in(&csr, 16, ValueLayout::ColMajor).unwrap();
+        let row = BatchDia::from_csr_in(&csr, 16, ValueLayout::RowMajor).unwrap();
+        assert_eq!(col.format_name(), "BatchDia");
+        assert_eq!(row.format_name(), "BatchDia(row-major)");
+        let x = BatchVectors::from_fn(csr.dims(), |s, r| ((s * 7 + r) as f64 * 0.21).cos());
+        let mut y_col = BatchVectors::zeros(csr.dims());
+        let mut y_row = BatchVectors::zeros(csr.dims());
+        col.spmv(&x, &mut y_col).unwrap();
+        row.spmv(&x, &mut y_row).unwrap();
+        assert_eq!(y_col.values(), y_row.values());
+    }
+
+    #[test]
+    fn roundtrip_csr_dia_csr_both_layouts() {
+        let csr = stencil_csr(5, 4);
+        for layout in [ValueLayout::ColMajor, ValueLayout::RowMajor] {
+            let back = BatchDia::from_csr_in(&csr, 16, layout).unwrap().to_csr();
+            for i in 0..2 {
+                assert_eq!(csr.values_of(i), back.values_of(i), "{layout:?}");
+            }
+        }
+    }
+
+    #[test]
     fn entries_and_diagonal_agree_with_csr() {
         let csr = stencil_csr(5, 4);
-        let dia = BatchDia::from_csr(&csr, 16).unwrap();
         let n = 20;
-        for i in 0..2 {
-            for r in 0..n {
-                for c in 0..n {
-                    assert_eq!(dia.entry(i, r, c), csr.get(i, r, c), "({i},{r},{c})");
+        for layout in [ValueLayout::ColMajor, ValueLayout::RowMajor] {
+            let dia = BatchDia::from_csr_in(&csr, 16, layout).unwrap();
+            for i in 0..2 {
+                for r in 0..n {
+                    for c in 0..n {
+                        assert_eq!(
+                            dia.entry(i, r, c),
+                            csr.get(i, r, c),
+                            "({i},{r},{c}) {layout:?}"
+                        );
+                    }
                 }
+                let mut d1 = vec![0.0; n];
+                let mut d2 = vec![0.0; n];
+                dia.extract_diagonal(i, &mut d1);
+                csr.extract_diagonal(i, &mut d2);
+                assert_eq!(d1, d2);
             }
-            let mut d1 = vec![0.0; n];
-            let mut d2 = vec![0.0; n];
-            dia.extract_diagonal(i, &mut d1);
-            csr.extract_diagonal(i, &mut d2);
-            assert_eq!(d1, d2);
         }
     }
 
@@ -303,6 +432,14 @@ mod tests {
         let dia = BatchDia::from_csr(&csr, 16).unwrap();
         let u = dia.spmv_counts(32).lane_utilization();
         assert!(u > 0.85, "utilization {u}");
+    }
+
+    #[test]
+    fn row_major_pays_coalescing_penalty_in_the_model() {
+        let csr = stencil_csr(32, 31);
+        let col = BatchDia::from_csr_in(&csr, 16, ValueLayout::ColMajor).unwrap();
+        let row = BatchDia::from_csr_in(&csr, 16, ValueLayout::RowMajor).unwrap();
+        assert!(row.spmv_counts(32).global_read_bytes > 5 * col.spmv_counts(32).global_read_bytes);
     }
 
     #[test]

@@ -1,17 +1,20 @@
 //! `BatchEll`: ELLPACK storage with shared column indices.
 //!
 //! Rows are padded to a uniform width (9 for the XGC stencil, with padding
-//! only at grid-boundary rows), removing the row-pointer array. Both the
-//! column indices and each system's values are stored **column-major**
-//! (entry `(row, k)` at `k * num_rows + row`) so that consecutive GPU
-//! threads — one thread per row — access consecutive memory: the coalesced
-//! layout of the paper's Figure 5(b).
+//! only at grid-boundary rows), removing the row-pointer array. The column
+//! indices and each system's values are stored in a caller-selected
+//! [`ValueLayout`]: **column-major** (entry `(row, k)` at
+//! `k * num_rows + row`, the default) places consecutive rows' entries at
+//! consecutive addresses so that consecutive GPU threads — one thread per
+//! row — issue coalesced loads: the layout of the paper's Figure 5(b).
+//! The row-major order is kept as the measured baseline.
 
 use std::sync::Arc;
 
 use batsolv_types::{BatchDims, Error, OpCounts, Result, Scalar};
 
 use crate::csr::BatchCsr;
+use crate::layout::ValueLayout;
 use crate::pattern::SparsityPattern;
 use crate::traits::BatchMatrix;
 
@@ -27,17 +30,29 @@ pub struct BatchEll<T> {
     pattern: Arc<SparsityPattern>,
     /// Uniform row width (`max_nnz_per_row` of the pattern).
     width: usize,
-    /// Shared column indices, column-major, `width * num_rows` entries,
-    /// padding slots hold [`ELL_PAD`].
+    /// Memory order of `col_idxs` and each per-system value slab.
+    layout: ValueLayout,
+    /// Shared column indices, in `layout` order, `width * num_rows`
+    /// entries, padding slots hold [`ELL_PAD`].
     col_idxs: Vec<u32>,
-    /// Values, system-major outer; within a system, column-major
-    /// (`width * num_rows` entries including padding zeros).
+    /// Values, system-major outer; within a system a `width * num_rows`
+    /// slab in `layout` order (including padding zeros).
     values: Vec<T>,
 }
 
 impl<T: Scalar> BatchEll<T> {
-    /// A zero-valued ELL batch over `pattern`.
+    /// A zero-valued ELL batch over `pattern` in the paper's
+    /// column-major layout.
     pub fn zeros(num_systems: usize, pattern: Arc<SparsityPattern>) -> Result<Self> {
+        Self::zeros_in(num_systems, pattern, ValueLayout::ColMajor)
+    }
+
+    /// A zero-valued ELL batch over `pattern` with an explicit layout.
+    pub fn zeros_in(
+        num_systems: usize,
+        pattern: Arc<SparsityPattern>,
+        layout: ValueLayout,
+    ) -> Result<Self> {
         let n = pattern.num_rows();
         let dims = BatchDims::new(num_systems, n)?;
         let width = pattern.max_nnz_per_row();
@@ -47,7 +62,7 @@ impl<T: Scalar> BatchEll<T> {
         let mut col_idxs = vec![ELL_PAD; width * n];
         for r in 0..n {
             for (k, &c) in pattern.row_cols(r).iter().enumerate() {
-                col_idxs[k * n + r] = c;
+                col_idxs[layout.index(n, width, r, k)] = c;
             }
         }
         let values = vec![T::ZERO; num_systems * width * n];
@@ -55,26 +70,55 @@ impl<T: Scalar> BatchEll<T> {
             dims,
             pattern,
             width,
+            layout,
             col_idxs,
             values,
         })
     }
 
-    /// Convert a CSR batch to ELL (values copied into the padded layout).
+    /// Convert a CSR batch to column-major ELL (the paper's layout).
     pub fn from_csr(csr: &BatchCsr<T>) -> Result<Self> {
-        let mut ell = Self::zeros(csr.dims().num_systems, Arc::clone(csr.pattern()))?;
+        Self::from_csr_in(csr, ValueLayout::ColMajor)
+    }
+
+    /// Convert a CSR batch to ELL with an explicit value layout.
+    pub fn from_csr_in(csr: &BatchCsr<T>, layout: ValueLayout) -> Result<Self> {
+        let mut ell = Self::zeros_in(csr.dims().num_systems, Arc::clone(csr.pattern()), layout)?;
         let n = ell.dims.num_rows;
+        let width = ell.width;
         for i in 0..csr.dims().num_systems {
             let src = csr.values_of(i);
             let slab = ell.values_of_mut(i);
             for r in 0..n {
                 let (b, e) = csr.pattern().row_range(r);
                 for (k, kk) in (b..e).enumerate() {
-                    slab[k * n + r] = src[kk];
+                    slab[layout.index(n, width, r, k)] = src[kk];
                 }
             }
         }
         Ok(ell)
+    }
+
+    /// Re-order the batch into another layout (values are copied; the
+    /// numeric content is unchanged).
+    pub fn to_layout(&self, layout: ValueLayout) -> Self {
+        if layout == self.layout {
+            return self.clone();
+        }
+        let n = self.dims.num_rows;
+        let width = self.width;
+        let mut out = Self::zeros_in(self.dims.num_systems, Arc::clone(&self.pattern), layout)
+            .expect("dims already validated");
+        for i in 0..self.dims.num_systems {
+            let src = self.values_of(i);
+            let dst = out.values_of_mut(i);
+            for r in 0..n {
+                for k in 0..width {
+                    dst[layout.index(n, width, r, k)] = src[self.layout.index(n, width, r, k)];
+                }
+            }
+        }
+        out
     }
 
     /// Convert back to CSR.
@@ -82,6 +126,8 @@ impl<T: Scalar> BatchEll<T> {
         let mut csr = BatchCsr::zeros(self.dims.num_systems, Arc::clone(&self.pattern))
             .expect("dims already validated");
         let n = self.dims.num_rows;
+        let width = self.width;
+        let layout = self.layout;
         for i in 0..self.dims.num_systems {
             let slab = self.values_of(i);
             // fill_system visits pattern entries in CSR order; map each to
@@ -93,7 +139,7 @@ impl<T: Scalar> BatchEll<T> {
                     .iter()
                     .position(|&cc| cc as usize == c)
                     .expect("entry present");
-                slab[k * n + r]
+                slab[layout.index(n, width, r, k)]
             });
         }
         csr
@@ -105,19 +151,27 @@ impl<T: Scalar> BatchEll<T> {
         self.width
     }
 
+    /// Memory order of the value slabs and index array.
+    #[inline]
+    pub fn layout(&self) -> ValueLayout {
+        self.layout
+    }
+
     /// The originating sparsity pattern.
     #[inline]
     pub fn pattern(&self) -> &Arc<SparsityPattern> {
         &self.pattern
     }
 
-    /// Shared column-index array (column-major, padding = [`ELL_PAD`]).
+    /// Shared column-index array (in [`Self::layout`] order, padding =
+    /// [`ELL_PAD`]).
     #[inline]
     pub fn col_idxs(&self) -> &[u32] {
         &self.col_idxs
     }
 
-    /// Value slab of system `i` (column-major, `width * num_rows`).
+    /// Value slab of system `i` (`width * num_rows`, in
+    /// [`Self::layout`] order).
     #[inline]
     pub fn values_of(&self, i: usize) -> &[T] {
         let slab = self.width * self.dims.num_rows;
@@ -135,8 +189,9 @@ impl<T: Scalar> BatchEll<T> {
     pub fn get(&self, i: usize, row: usize, col: usize) -> T {
         let n = self.dims.num_rows;
         for k in 0..self.width {
-            if self.col_idxs[k * n + row] == col as u32 {
-                return self.values_of(i)[k * n + row];
+            let idx = self.layout.index(n, self.width, row, k);
+            if self.col_idxs[idx] == col as u32 {
+                return self.values_of(i)[idx];
             }
         }
         T::ZERO
@@ -146,13 +201,15 @@ impl<T: Scalar> BatchEll<T> {
     pub fn fill_system(&mut self, i: usize, mut f: impl FnMut(usize, usize) -> T) {
         let n = self.dims.num_rows;
         let width = self.width;
+        let layout = self.layout;
         let cols = self.col_idxs.clone();
         let slab = self.values_of_mut(i);
-        for k in 0..width {
-            for r in 0..n {
-                let c = cols[k * n + r];
+        for r in 0..n {
+            for k in 0..width {
+                let idx = layout.index(n, width, r, k);
+                let c = cols[idx];
                 if c != ELL_PAD {
-                    slab[k * n + r] = f(r, c as usize);
+                    slab[idx] = f(r, c as usize);
                 }
             }
         }
@@ -173,7 +230,10 @@ impl<T: Scalar> BatchMatrix<T> for BatchEll<T> {
     }
 
     fn format_name(&self) -> &'static str {
-        "BatchEll"
+        match self.layout {
+            ValueLayout::ColMajor => "BatchEll",
+            ValueLayout::RowMajor => "BatchEll(row-major)",
+        }
     }
 
     fn stored_per_system(&self) -> usize {
@@ -185,37 +245,48 @@ impl<T: Scalar> BatchMatrix<T> for BatchEll<T> {
         debug_assert_eq!(y.len(), self.dims.num_rows);
         let n = self.dims.num_rows;
         let slab = self.values_of(i);
-        // Thread-per-row mapping: the outer k loop walks the stencil
-        // entries; for each k, "threads" (rows) access consecutive slots.
-        y.iter_mut().for_each(|v| *v = T::ZERO);
-        for k in 0..self.width {
-            let cols = &self.col_idxs[k * n..(k + 1) * n];
-            let vals = &slab[k * n..(k + 1) * n];
-            for r in 0..n {
-                let c = cols[r];
-                if c != ELL_PAD {
-                    y[r] = vals[r].mul_add(x[c as usize], y[r]);
+        match self.layout {
+            // Thread-per-row mapping: the outer k loop walks the stencil
+            // entries; for each k, "threads" (rows) stream consecutive
+            // slots — a unit-stride zip the compiler can vectorize.
+            ValueLayout::ColMajor => {
+                y.iter_mut().for_each(|v| *v = T::ZERO);
+                for k in 0..self.width {
+                    let cols = &self.col_idxs[k * n..(k + 1) * n];
+                    let vals = &slab[k * n..(k + 1) * n];
+                    for ((yr, &c), &v) in y.iter_mut().zip(cols).zip(vals) {
+                        if c != ELL_PAD {
+                            *yr = v.mul_add(x[c as usize], *yr);
+                        }
+                    }
+                }
+            }
+            // Row-at-a-time: each row's `width` entries are contiguous.
+            // Accumulation visits k in the same ascending order as the
+            // column-major path, so results are bitwise identical.
+            ValueLayout::RowMajor => {
+                let rows = self
+                    .col_idxs
+                    .chunks_exact(self.width)
+                    .zip(slab.chunks_exact(self.width));
+                for (yr, (cols, vals)) in y.iter_mut().zip(rows) {
+                    let mut acc = T::ZERO;
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        if c != ELL_PAD {
+                            acc = v.mul_add(x[c as usize], acc);
+                        }
+                    }
+                    *yr = acc;
                 }
             }
         }
     }
 
     fn spmv_system_advanced(&self, i: usize, alpha: T, x: &[T], beta: T, y: &mut [T]) {
-        let n = self.dims.num_rows;
-        let slab = self.values_of(i);
-        let mut acc = vec![T::ZERO; n];
-        for k in 0..self.width {
-            let cols = &self.col_idxs[k * n..(k + 1) * n];
-            let vals = &slab[k * n..(k + 1) * n];
-            for r in 0..n {
-                let c = cols[r];
-                if c != ELL_PAD {
-                    acc[r] = vals[r].mul_add(x[c as usize], acc[r]);
-                }
-            }
-        }
-        for r in 0..n {
-            y[r] = alpha * acc[r] + beta * y[r];
+        let mut acc = vec![T::ZERO; y.len()];
+        self.spmv_system(i, x, &mut acc);
+        for (yr, &a) in y.iter_mut().zip(acc.iter()) {
+            *yr = alpha * a + beta * *yr;
         }
     }
 
@@ -225,8 +296,9 @@ impl<T: Scalar> BatchMatrix<T> for BatchEll<T> {
         for r in 0..n {
             let mut d = T::ZERO;
             for k in 0..self.width {
-                if self.col_idxs[k * n + r] == r as u32 {
-                    d = slab[k * n + r];
+                let idx = self.layout.index(n, self.width, r, k);
+                if self.col_idxs[idx] == r as u32 {
+                    d = slab[idx];
                     break;
                 }
             }
@@ -260,8 +332,11 @@ impl<T: Scalar> BatchMatrix<T> for BatchEll<T> {
         }
         let vb = T::BYTES as u64;
         let slots = (self.width as u64) * n;
-        c.global_read_bytes += slots * vb; // values incl. padding (streamed)
-        c.global_read_bytes += slots * 4; // shared column indices
+        // Slab traffic (values + indices) pays the layout's coalescing
+        // factor: column-major streams, row-major strides by `width`.
+        let amp = self.layout.traffic_amplification(self.width);
+        c.global_read_bytes += slots * vb * amp; // values incl. padding
+        c.global_read_bytes += slots * 4 * amp; // shared column indices
         c.global_read_bytes += (self.pattern.nnz() as u64) * vb; // gathered x
         c.global_write_bytes += n * vb; // y
         c
@@ -318,11 +393,40 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_csr_ell_csr() {
+    fn layouts_produce_bitwise_identical_spmv() {
+        let csr = stencil_csr(7, 6);
+        let col = BatchEll::from_csr_in(&csr, ValueLayout::ColMajor).unwrap();
+        let row = BatchEll::from_csr_in(&csr, ValueLayout::RowMajor).unwrap();
+        assert_eq!(col.format_name(), "BatchEll");
+        assert_eq!(row.format_name(), "BatchEll(row-major)");
+        let x = BatchVectors::from_fn(csr.dims(), |s, r| ((s * 13 + r) as f64 * 0.37).sin());
+        let mut y_col = BatchVectors::zeros(csr.dims());
+        let mut y_row = BatchVectors::zeros(csr.dims());
+        col.spmv(&x, &mut y_col).unwrap();
+        row.spmv(&x, &mut y_row).unwrap();
+        // Same accumulation order per row — not just close, identical.
+        assert_eq!(y_col.values(), y_row.values());
+    }
+
+    #[test]
+    fn to_layout_round_trips() {
+        let csr = stencil_csr(5, 5);
+        let col = BatchEll::from_csr(&csr).unwrap();
+        let row = col.to_layout(ValueLayout::RowMajor);
+        assert_eq!(row.layout(), ValueLayout::RowMajor);
+        let back = row.to_layout(ValueLayout::ColMajor);
+        assert_eq!(back.values_of(1), col.values_of(1));
+        assert_eq!(back.col_idxs(), col.col_idxs());
+    }
+
+    #[test]
+    fn roundtrip_csr_ell_csr_both_layouts() {
         let csr = stencil_csr(4, 3);
-        let back = BatchEll::from_csr(&csr).unwrap().to_csr();
-        for i in 0..2 {
-            assert_eq!(csr.values_of(i), back.values_of(i));
+        for layout in [ValueLayout::ColMajor, ValueLayout::RowMajor] {
+            let back = BatchEll::from_csr_in(&csr, layout).unwrap().to_csr();
+            for i in 0..2 {
+                assert_eq!(csr.values_of(i), back.values_of(i), "{layout:?}");
+            }
         }
     }
 
@@ -337,14 +441,16 @@ mod tests {
     }
 
     #[test]
-    fn diagonal_matches_csr() {
+    fn diagonal_matches_csr_in_both_layouts() {
         let csr = stencil_csr(5, 5);
-        let ell = BatchEll::from_csr(&csr).unwrap();
         let mut d_csr = vec![0.0; 25];
-        let mut d_ell = vec![0.0; 25];
         csr.extract_diagonal(1, &mut d_csr);
-        ell.extract_diagonal(1, &mut d_ell);
-        assert_eq!(d_csr, d_ell);
+        for layout in [ValueLayout::ColMajor, ValueLayout::RowMajor] {
+            let ell = BatchEll::from_csr_in(&csr, layout).unwrap();
+            let mut d_ell = vec![0.0; 25];
+            ell.extract_diagonal(1, &mut d_ell);
+            assert_eq!(d_csr, d_ell, "{layout:?}");
+        }
     }
 
     #[test]
@@ -359,24 +465,41 @@ mod tests {
     }
 
     #[test]
+    fn row_major_pays_coalescing_penalty_in_the_model() {
+        let csr = stencil_csr(32, 31);
+        let col = BatchEll::from_csr_in(&csr, ValueLayout::ColMajor).unwrap();
+        let row = BatchEll::from_csr_in(&csr, ValueLayout::RowMajor).unwrap();
+        let col_bytes = col.spmv_counts(32).global_read_bytes;
+        let row_bytes = row.spmv_counts(32).global_read_bytes;
+        assert!(
+            row_bytes > 5 * col_bytes,
+            "row-major {row_bytes} should amplify traffic vs col-major {col_bytes}"
+        );
+    }
+
+    #[test]
     fn get_reads_stored_and_padding() {
         let csr = stencil_csr(3, 3);
-        let ell = BatchEll::from_csr(&csr).unwrap();
-        assert_eq!(ell.get(0, 4, 4), csr.get(0, 4, 4));
-        assert_eq!(ell.get(0, 0, 8), 0.0); // not in pattern
+        for layout in [ValueLayout::ColMajor, ValueLayout::RowMajor] {
+            let ell = BatchEll::from_csr_in(&csr, layout).unwrap();
+            assert_eq!(ell.get(0, 4, 4), csr.get(0, 4, 4), "{layout:?}");
+            assert_eq!(ell.get(0, 0, 8), 0.0); // not in pattern
+        }
     }
 
     #[test]
     fn fill_system_matches_csr_fill() {
-        let p = Arc::new(SparsityPattern::stencil_2d(4, 4, true));
-        let mut csr = BatchCsr::<f64>::zeros(1, p.clone()).unwrap();
-        let mut ell = BatchEll::<f64>::zeros(1, p).unwrap();
-        let f = |r: usize, c: usize| (r * 31 + c) as f64;
-        csr.fill_system(0, f);
-        ell.fill_system(0, f);
-        for r in 0..16 {
-            for c in 0..16 {
-                assert_eq!(csr.get(0, r, c), ell.get(0, r, c), "({r},{c})");
+        for layout in [ValueLayout::ColMajor, ValueLayout::RowMajor] {
+            let p = Arc::new(SparsityPattern::stencil_2d(4, 4, true));
+            let mut csr = BatchCsr::<f64>::zeros(1, p.clone()).unwrap();
+            let mut ell = BatchEll::<f64>::zeros_in(1, p, layout).unwrap();
+            let f = |r: usize, c: usize| (r * 31 + c) as f64;
+            csr.fill_system(0, f);
+            ell.fill_system(0, f);
+            for r in 0..16 {
+                for c in 0..16 {
+                    assert_eq!(csr.get(0, r, c), ell.get(0, r, c), "({r},{c}) {layout:?}");
+                }
             }
         }
     }

@@ -27,8 +27,10 @@ pub mod csr;
 pub mod dense;
 pub mod dia;
 pub mod ell;
+pub mod layout;
 pub mod matrix_market;
 pub mod pattern;
+pub mod slice;
 pub mod storage;
 pub mod traits;
 pub mod tridiag;
@@ -39,8 +41,10 @@ pub use csr::BatchCsr;
 pub use dense::BatchDense;
 pub use dia::BatchDia;
 pub use ell::BatchEll;
+pub use layout::ValueLayout;
 pub use matrix_market::MmError;
 pub use pattern::SparsityPattern;
+pub use slice::SystemSlice;
 pub use storage::StorageReport;
 pub use traits::BatchMatrix;
 pub use tridiag::BatchTridiag;

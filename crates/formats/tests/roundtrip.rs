@@ -1,0 +1,144 @@
+#![allow(clippy::needless_range_loop)]
+//! Property-based round-trip tests across the whole format family:
+//! CSR ↔ ELL ↔ DIA ↔ dense conversions must preserve every stored value
+//! and the shared sparsity pattern, in **both** value layouts. These are
+//! the pattern/value-integrity half of the differential story; the solver
+//! crate's differential suite covers the kernels.
+
+use std::sync::Arc;
+
+use batsolv_formats::{
+    BatchCsr, BatchDense, BatchDia, BatchEll, BatchMatrix, BatchVectors, SparsityPattern,
+    ValueLayout,
+};
+use proptest::prelude::*;
+
+const LAYOUTS: [ValueLayout; 2] = [ValueLayout::ColMajor, ValueLayout::RowMajor];
+
+/// A random batched stencil matrix: random grid, batch size, and values
+/// (deterministic in the seed), diagonally dominant so solvers downstream
+/// can reuse the same generator.
+fn stencil_batch() -> impl Strategy<Value = BatchCsr<f64>> {
+    (2usize..8, 2usize..8, 1usize..5, any::<u32>()).prop_map(|(nx, ny, ns, seed)| {
+        let p = Arc::new(SparsityPattern::stencil_2d(nx, ny, true));
+        let mut m = BatchCsr::zeros(ns, p).unwrap();
+        for s in 0..ns {
+            m.fill_system(s, |r, c| {
+                let h = ((seed as usize)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(s * 977 + r * 131 + c * 17)
+                    % 2000) as f64
+                    / 1000.0
+                    - 1.0;
+                if r == c {
+                    9.0 + h
+                } else {
+                    0.5 * h
+                }
+            });
+        }
+        m
+    })
+}
+
+/// Dense comparator built straight from CSR entries.
+fn to_dense(csr: &BatchCsr<f64>) -> BatchDense<f64> {
+    BatchDense::from_csr(csr)
+}
+
+/// Rebuild a CSR from any format via its `entry` accessor (the generic
+/// "slow but obviously correct" conversion used as the oracle).
+fn csr_via_entries<M: BatchMatrix<f64>>(m: &M, pattern: &Arc<SparsityPattern>) -> BatchCsr<f64> {
+    let mut csr = BatchCsr::zeros(m.dims().num_systems, Arc::clone(pattern)).unwrap();
+    for i in 0..m.dims().num_systems {
+        csr.fill_system(i, |r, c| m.entry(i, r, c));
+    }
+    csr
+}
+
+fn assert_same_values(a: &BatchCsr<f64>, b: &BatchCsr<f64>) {
+    assert_eq!(a.dims(), b.dims());
+    assert_eq!(a.pattern().nnz(), b.pattern().nnz());
+    for i in 0..a.dims().num_systems {
+        assert_eq!(a.values_of(i), b.values_of(i), "system {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn csr_ell_csr_roundtrip_both_layouts(m in stencil_batch()) {
+        for layout in LAYOUTS {
+            let ell = BatchEll::from_csr_in(&m, layout).unwrap();
+            prop_assert_eq!(ell.layout(), layout);
+            assert_same_values(&m, &ell.to_csr());
+        }
+    }
+
+    #[test]
+    fn csr_dia_csr_roundtrip_both_layouts(m in stencil_batch()) {
+        for layout in LAYOUTS {
+            let dia = BatchDia::from_csr_in(&m, 16, layout).unwrap();
+            prop_assert_eq!(dia.layout(), layout);
+            assert_same_values(&m, &dia.to_csr());
+        }
+    }
+
+    #[test]
+    fn ell_layout_conversion_is_lossless(m in stencil_batch()) {
+        let col = BatchEll::from_csr(&m).unwrap();
+        let there_and_back = col
+            .to_layout(ValueLayout::RowMajor)
+            .to_layout(ValueLayout::ColMajor);
+        for i in 0..m.dims().num_systems {
+            prop_assert_eq!(col.values_of(i), there_and_back.values_of(i));
+        }
+        assert_same_values(&m, &there_and_back.to_csr());
+    }
+
+    #[test]
+    fn dense_agrees_with_every_format(m in stencil_batch()) {
+        let dense = to_dense(&m);
+        let pattern = Arc::clone(m.pattern());
+        assert_same_values(&m, &csr_via_entries(&dense, &pattern));
+        for layout in LAYOUTS {
+            let ell = BatchEll::from_csr_in(&m, layout).unwrap();
+            let dia = BatchDia::from_csr_in(&m, 16, layout).unwrap();
+            assert_same_values(&m, &csr_via_entries(&ell, &pattern));
+            assert_same_values(&m, &csr_via_entries(&dia, &pattern));
+            // Entry-wise agreement with dense, including structural zeros.
+            let n = m.dims().num_rows;
+            for i in 0..m.dims().num_systems {
+                for r in 0..n {
+                    for c in 0..n {
+                        prop_assert_eq!(ell.entry(i, r, c), dense.at(i, r, c));
+                        prop_assert_eq!(dia.entry(i, r, c), dense.at(i, r, c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_format_and_layout_computes_the_same_spmv(m in stencil_batch()) {
+        let dims = m.dims();
+        let x = BatchVectors::from_fn(dims, |s, r| ((s * 37 + r * 13) as f64 * 0.11).sin());
+        let mut y_ref = BatchVectors::zeros(dims);
+        to_dense(&m).spmv(&x, &mut y_ref).unwrap();
+
+        let check = |mat: &dyn BatchMatrix<f64>| {
+            let mut y = BatchVectors::zeros(dims);
+            mat.spmv(&x, &mut y).unwrap();
+            for (a, b) in y.values().iter().zip(y_ref.values()) {
+                assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                    "{} deviates: {} vs {}", mat.format_name(), a, b);
+            }
+        };
+        check(&m);
+        for layout in LAYOUTS {
+            check(&BatchEll::from_csr_in(&m, layout).unwrap());
+            check(&BatchDia::from_csr_in(&m, 16, layout).unwrap());
+        }
+    }
+}

@@ -27,6 +27,7 @@ use batsolv_solvers::{
 use batsolv_trace::{EventKind, Tracer};
 use batsolv_types::{BatchDims, Error, Result};
 
+use crate::executor::{BatchExecutor, ExecMode};
 use crate::request::{RequestId, RungAttempt, SolveMethod};
 
 /// One request's payload as handed to the engine.
@@ -108,6 +109,11 @@ pub struct LadderEngine {
     tracer: Tracer,
     /// Monotonic kernel-launch sequence across the engine's lifetime.
     launch_seq: AtomicU64,
+    /// Concurrent batch executor carrying the fused rung-1 launch. The
+    /// engine keeps its own chaos/trace seams (hook consulted and launch
+    /// events emitted here, where rung context is known), so the inner
+    /// executor runs bare.
+    executor: BatchExecutor,
 }
 
 impl LadderEngine {
@@ -124,6 +130,7 @@ impl LadderEngine {
         hook: Arc<dyn LaunchHook>,
     ) -> LadderEngine {
         LadderEngine {
+            executor: BatchExecutor::new(device.clone(), ExecMode::Concurrent),
             device,
             pattern,
             cfg,
@@ -247,7 +254,13 @@ impl SolveEngine for LadderEngine {
                 TraceLogger::new(&self.tracer, items[k].id, 1)
             })?
         } else {
-            solver.solve(&self.device, &a, &b, &mut x)?
+            // Production path: the fused launch rides the concurrent
+            // batch executor — one worker task per system, results
+            // reduced in batch order.
+            self.executor
+                .execute(&solver, &a, &b, &mut x)?
+                .fused
+                .expect("concurrent execution returns the fused report")
         };
         if traced {
             self.trace_launch(items.len(), Self::upload_bytes(items, &all), &report);

@@ -71,6 +71,7 @@ pub mod admission;
 pub mod breaker;
 pub mod config;
 pub mod dispatcher;
+pub mod executor;
 pub mod former;
 pub mod metrics;
 pub mod queue;
@@ -86,6 +87,7 @@ pub use config::RuntimeConfig;
 pub use dispatcher::{
     BatchItem, BatchReport, ItemOutcome, LadderConfig, LadderEngine, SolveEngine,
 };
+pub use executor::{BatchExecutor, ExecMode, ExecReport};
 pub use former::{BatchFormer, FlushReason};
 pub use metrics::prometheus_text;
 pub use queue::{BoundedQueue, PopResult, PushResult};

@@ -21,6 +21,7 @@
 //!   into one block-diagonal system and solved by a single non-batched
 //!   BiCGSTAB with global (worst-system) convergence.
 
+pub mod api;
 pub mod bicgstab;
 pub mod cg;
 pub mod cgs;
@@ -37,6 +38,7 @@ pub mod stop;
 pub mod trace_adapter;
 pub mod workspace;
 
+pub use api::IterativeSolver;
 pub use bicgstab::BatchBicgstab;
 pub use cg::BatchCg;
 pub use cgs::BatchCgs;

@@ -49,6 +49,17 @@ pub enum Error {
         /// Short machine-readable failure code (e.g. `launch_failure`).
         code: &'static str,
     },
+    /// An index into a batch (or other indexed collection) is out of
+    /// range. The structured form lets dynamic fan-out code report the
+    /// failing lane instead of panicking in release builds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Number of valid entries (valid indices are `0..len`).
+        len: usize,
+        /// What was being indexed (static description of the access site).
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -84,6 +95,16 @@ impl fmt::Display for Error {
             Error::Io(msg) => write!(f, "I/O error: {msg}"),
             Error::DeviceFailure { code } => {
                 write!(f, "device failure ({code}): fused launch lost")
+            }
+            Error::IndexOutOfBounds {
+                index,
+                len,
+                context,
+            } => {
+                write!(
+                    f,
+                    "index {index} out of bounds for {context} of length {len}"
+                )
             }
         }
     }
@@ -136,6 +157,19 @@ mod tests {
             e.to_string(),
             "dimension mismatch: spmv: matrix 4x4 vs vector 5"
         );
+    }
+
+    #[test]
+    fn index_out_of_bounds_names_the_access_site() {
+        let e = Error::IndexOutOfBounds {
+            index: 9,
+            len: 4,
+            context: "XGC workload systems",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("index 9"));
+        assert!(msg.contains("length 4"));
+        assert!(msg.contains("XGC workload systems"));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use batsolv_formats::{
     BatchBanded, BatchCsr, BatchEll, BatchMatrix, BatchVectors, SparsityPattern,
 };
-use batsolv_types::{BatchDims, Result};
+use batsolv_types::{BatchDims, Error, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -111,16 +111,32 @@ impl XgcWorkload {
 
     /// Borrow one mesh node's system — the unit of work a solve service
     /// receives when XGC streams nodes instead of handing over the whole
-    /// batch.
+    /// batch. Panics on an out-of-range index; dynamic callers (fan-out
+    /// code indexing by request payload) should use [`Self::try_system`].
     pub fn system(&self, i: usize) -> SystemView<'_> {
-        assert!(i < self.num_systems(), "system index {i} out of range");
-        SystemView {
+        self.try_system(i)
+            .unwrap_or_else(|_| panic!("system index {i} out of range"))
+    }
+
+    /// Checked variant of [`Self::system`]: a structured
+    /// [`Error::IndexOutOfBounds`] instead of a panic, in every build
+    /// profile (the underlying slice math would otherwise only be
+    /// assert-guarded in debug builds).
+    pub fn try_system(&self, i: usize) -> Result<SystemView<'_>> {
+        if i >= self.num_systems() {
+            return Err(Error::IndexOutOfBounds {
+                index: i,
+                len: self.num_systems(),
+                context: "XGC workload systems",
+            });
+        }
+        Ok(SystemView {
             index: i,
             species: self.species_of[i],
             values: self.matrices.values_of(i),
             rhs: self.rhs.system(i),
             warm_guess: self.warm_guess.system(i),
-        }
+        })
     }
 
     /// Iterate over every per-node system in batch order.
@@ -255,6 +271,24 @@ mod tests {
     fn per_node_extraction_bounds_checked() {
         let w = XgcWorkload::generate(VelocityGrid::small(6, 5), 1, 0).unwrap();
         let _ = w.system(99);
+    }
+
+    #[test]
+    fn try_system_returns_structured_error_not_panic() {
+        let w = XgcWorkload::generate(VelocityGrid::small(6, 5), 1, 0).unwrap();
+        assert_eq!(w.try_system(1).unwrap().index, 1);
+        match w.try_system(99) {
+            Err(Error::IndexOutOfBounds {
+                index,
+                len,
+                context,
+            }) => {
+                assert_eq!(index, 99);
+                assert_eq!(len, 2);
+                assert_eq!(context, "XGC workload systems");
+            }
+            other => panic!("expected IndexOutOfBounds, got {other:?}"),
+        }
     }
 
     #[test]
