@@ -26,12 +26,18 @@ struct Args {
     tolerance: Option<f64>,
     update_baseline: bool,
     check: bool,
+    solver: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: batsolv-bench [--quick] [--out-dir DIR] [--baseline FILE] \
-         [--tolerance F] [--update-baseline] [--no-check]"
+         [--tolerance F] [--update-baseline] [--check] [--no-check] [--solver NAME]"
+    );
+    eprintln!(
+        "  --solver NAME  restrict the variant sweep to one solver \
+         (one of: {}); implies --no-check",
+        batsolv_bench::perf::solve::VARIANT_NAMES.join(", ")
     );
     std::process::exit(2);
 }
@@ -44,6 +50,7 @@ fn parse_args() -> Args {
         tolerance: None,
         update_baseline: false,
         check: true,
+        solver: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -59,13 +66,20 @@ fn parse_args() -> Args {
                 }
             }
             "--update-baseline" => args.update_baseline = true,
+            "--check" => args.check = true,
             "--no-check" => args.check = false,
+            "--solver" => args.solver = Some(it.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
                 usage();
             }
         }
+    }
+    // A filtered run's gate metrics are incomplete against the baseline.
+    if args.solver.is_some() {
+        args.check = false;
+        args.update_baseline = false;
     }
     args
 }
@@ -77,7 +91,7 @@ fn main() -> ExitCode {
         "batsolv-bench: running {} sweeps (992-row XGC stencil, v100 model)...",
         if args.quick { "quick" } else { "full" }
     );
-    let run = match PerfRun::execute(args.quick) {
+    let run = match PerfRun::execute_with(args.quick, args.solver.as_deref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("batsolv-bench: sweep failed: {e}");
@@ -119,6 +133,26 @@ fn main() -> ExitCode {
             p.speedup_sim()
         );
     }
+    for v in &run.solve.variants {
+        let c = &v.cell;
+        let vs = match (v.classical, v.speedup_vs_classical) {
+            (Some(base), Some(s)) => format!("   {s:.2}x vs {base}"),
+            _ => String::new(),
+        };
+        println!(
+            "  solve {:18} b={:<4} sim {:8.3} ms   {:3.0} syncs/iter{}{}",
+            c.solver,
+            c.batch,
+            c.sim_ms,
+            c.syncs_per_iteration,
+            vs,
+            if c.all_converged {
+                ""
+            } else {
+                "  [NOT CONVERGED]"
+            }
+        );
+    }
 
     if let Err(e) = run.write_artifacts(&args.out_dir) {
         eprintln!("batsolv-bench: writing artifacts failed: {e}");
@@ -141,6 +175,23 @@ fn main() -> ExitCode {
                 eprintln!("batsolv-bench: artifact validation failed: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+
+    // The acceptance bar of the pipelined variants: fewer syncs/iteration
+    // and >= 1.3x simulated speedup over the classical counterpart at
+    // batch 64. Checked on every unfiltered run, including the one that
+    // writes the baseline, so a failing state can never be committed.
+    if args.solver.is_none() {
+        let violations = run.solve.acceptance_violations(64, 1.3);
+        if violations.is_empty() {
+            println!("acceptance: PASS (pipelined variants >= 1.3x at batch 64)");
+        } else {
+            eprintln!("acceptance: FAIL — {} violation(s):", violations.len());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            return ExitCode::FAILURE;
         }
     }
 

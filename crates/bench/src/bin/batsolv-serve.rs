@@ -22,9 +22,15 @@
 //! ```text
 //! batsolv-serve [--pairs 100] [--threads 4] [--target 100] [--linger-us 2000]
 //!               [--rate 20000] [--queue 1024] [--quick] [--compare]
-//!               [--trace-out trace.jsonl] [--metrics-out metrics.prom]
-//!               [--flight-recorder] [--stats-interval-ms 1000]
+//!               [--solver pipelined-bicgstab] [--trace-out trace.jsonl]
+//!               [--metrics-out metrics.prom] [--flight-recorder]
+//!               [--stats-interval-ms 1000]
 //! ```
+//!
+//! `--solver` picks the fused solver variant carrying rung 1 of the
+//! escalation ladder; the chosen variant and its cumulative simulated
+//! sync count surface in the stats page (`batsolv_solver_info`,
+//! `batsolv_sim_syncs_total`).
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,7 +40,8 @@ use std::time::{Duration, Instant};
 
 use batsolv_gpusim::DeviceSpec;
 use batsolv_runtime::{
-    prometheus_text, RuntimeConfig, SolveRequest, SolveService, StatsSnapshot, SubmitError,
+    prometheus_text, RuntimeConfig, SolveRequest, SolveService, SolverVariant, StatsSnapshot,
+    SubmitError,
 };
 use batsolv_trace::{FlightRecorder, JsonlFileSink, TraceSink, Tracer, DEFAULT_FLIGHT_CAPACITY};
 use batsolv_xgc::{VelocityGrid, XgcWorkload};
@@ -48,6 +55,7 @@ struct Args {
     queue: usize,
     quick: bool,
     compare: bool,
+    solver: SolverVariant,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     flight_recorder: bool,
@@ -65,6 +73,7 @@ impl Args {
             queue: 1024,
             quick: false,
             compare: false,
+            solver: SolverVariant::default(),
             trace_out: None,
             metrics_out: None,
             flight_recorder: false,
@@ -92,6 +101,13 @@ impl Args {
                 }
                 "--quick" => out.quick = true,
                 "--compare" => out.compare = true,
+                "--solver" => {
+                    let name = args.next().unwrap_or_default();
+                    out.solver = SolverVariant::parse(&name).unwrap_or_else(|| {
+                        eprintln!("--solver needs one of: {}", SolverVariant::NAMES.join(", "));
+                        std::process::exit(2);
+                    })
+                }
                 "--flight-recorder" => out.flight_recorder = true,
                 "--trace-out" => {
                     out.trace_out = Some(PathBuf::from(args.next().unwrap_or_else(|| {
@@ -112,8 +128,10 @@ impl Args {
                     eprintln!(
                         "usage: batsolv-serve [--pairs N] [--threads N] [--target N] \
                          [--linger-us N] [--rate R] [--queue N] [--quick] [--compare] \
-                         [--trace-out PATH] [--metrics-out PATH] [--flight-recorder] \
-                         [--stats-interval-ms N]"
+                         [--solver NAME] [--trace-out PATH] [--metrics-out PATH] \
+                         [--flight-recorder] [--stats-interval-ms N]\n\
+                         --solver: rung-1 variant, one of {}",
+                        SolverVariant::NAMES.join(", ")
                     );
                     std::process::exit(0);
                 }
@@ -139,6 +157,7 @@ fn drive(
         .with_batch_target(target)
         .with_linger(Duration::from_micros(args.linger_us))
         .with_queue_capacity(args.queue)
+        .with_solver(args.solver)
         .with_tracer(tracer);
     let service = Arc::new(
         SolveService::start(Arc::clone(workload.pattern()), config)

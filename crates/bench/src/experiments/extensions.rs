@@ -99,28 +99,31 @@ pub fn multi_gpu(cfg: &RunConfig) -> Result<String> {
     // Reconstruct the block stats through the public pricing API: price
     // on one device to get per-block times is not enough for MultiGpu,
     // so assemble BlockStats through the same path the solver uses.
-    use batsolv_solvers::common::assemble_block_stats;
+    use batsolv_solvers::common::{assemble_block_stats, StageCosts, SyncProfile};
     use batsolv_solvers::workspace::{WorkspacePlan, BICGSTAB_VECTORS};
     let plan = WorkspacePlan::plan::<f64>(
         DeviceSpec::v100().shared_budget_bytes(),
         ell.dims().num_rows,
         &BICGSTAB_VECTORS,
     );
-    let per_iter = ell.spmv_counts(32) * 2;
+    let costs = StageCosts {
+        setup: batsolv_types::OpCounts::ZERO,
+        per_iter: ell.spmv_counts(32) * 2,
+        setup_stages: 3,
+        iter_stages: 10,
+        ro_req_per_iter: 2
+            * (ell.value_bytes_per_system() as u64 + ell.shared_index_bytes() as u64),
+        sync: SyncProfile {
+            setup_syncs: 2,
+            setup_reductions: 2,
+            iter_syncs: 6,
+            iter_reductions: 6,
+            iter_hidden_reductions: 0,
+        },
+    };
     let blocks: Vec<_> = results
         .iter()
-        .map(|r| {
-            assemble_block_stats(
-                &ell,
-                &plan,
-                r,
-                &batsolv_types::OpCounts::ZERO,
-                &per_iter,
-                5,
-                16,
-                2 * (ell.value_bytes_per_system() as u64 + ell.shared_index_bytes() as u64),
-            )
-        })
+        .map(|r| assemble_block_stats(&ell, &plan, r, &costs))
         .collect();
 
     let mut rows = Vec::new();

@@ -28,6 +28,9 @@ fn spmv_block<M: BatchMatrix<f64>>(a: &M, device: &DeviceSpec) -> BlockStats {
     BlockStats {
         iterations: 1,
         converged: true,
+        syncs: 0,
+        reductions: 0,
+        hidden_reductions: 0,
         counts,
         dependent_steps: steps,
         traffic: TrafficProfile {

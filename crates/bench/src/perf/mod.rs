@@ -50,10 +50,18 @@ pub struct PerfRun {
 impl PerfRun {
     /// Execute both sweeps.
     pub fn execute(quick: bool) -> Result<PerfRun> {
+        PerfRun::execute_with(quick, None)
+    }
+
+    /// Execute both sweeps, restricting the solver-variant rows to one
+    /// named solver (plus its classical counterpart). A filtered run's
+    /// gate metrics are incomplete, so the caller must skip the baseline
+    /// check.
+    pub fn execute_with(quick: bool, solver_filter: Option<&str>) -> Result<PerfRun> {
         let device = DeviceSpec::v100();
         Ok(PerfRun {
             spmv: spmv::run(&device, quick)?,
-            solve: solve::run(&device, quick)?,
+            solve: solve::run(&device, quick, solver_filter)?,
             device,
             quick,
         })
@@ -139,10 +147,15 @@ pub const SPMV_REQUIRED: &[&str] = &[
 
 /// Required per-row fields of `BENCH_solve.json`.
 pub const SOLVE_REQUIRED: &[&str] = &[
+    "solver",
+    "matrix",
     "mode",
     "batch",
     "sim_ms",
     "launches",
+    "syncs",
+    "reductions",
+    "syncs_per_iteration",
     "wall_median_ms",
     "systems_per_sim_s",
     "all_converged",

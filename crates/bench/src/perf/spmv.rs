@@ -53,6 +53,9 @@ fn price_spmv<M: BatchMatrix<f64>>(device: &DeviceSpec, a: &M) -> (f64, u64, f64
     let block = BlockStats {
         iterations: 1,
         converged: true,
+        syncs: 0,
+        reductions: 0,
+        hidden_reductions: 0,
         counts,
         dependent_steps: 1,
         traffic: TrafficProfile {
@@ -70,6 +73,7 @@ fn price_spmv<M: BatchMatrix<f64>>(device: &DeviceSpec, a: &M) -> (f64, u64, f64
         device,
         shared_per_block: 0,
         launches: 1,
+        reduction_width: 0,
     }
     .price(&blocks);
     let gbs = report.dram_bytes as f64 / report.time_s.max(1e-30) / 1e9;

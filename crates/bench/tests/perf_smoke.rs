@@ -30,9 +30,13 @@ fn quick_run_emits_valid_artifacts_and_a_real_speedup() {
         SOLVE_REQUIRED,
     )
     .unwrap();
-    // quick mode: 5 format/layout cells, one (sequential, concurrent) pair.
+    // quick mode: 5 format/layout cells; two (sequential, concurrent)
+    // pairs (b8, b64) plus one variant row per solver at b64.
     assert_eq!(spmv_rows, 5);
-    assert_eq!(solve_rows, 2);
+    assert_eq!(
+        solve_rows,
+        2 * 2 + batsolv_bench::perf::solve::VARIANT_NAMES.len()
+    );
 
     // Every system of every solve cell converged.
     for p in &run.solve.pairs {
@@ -41,12 +45,32 @@ fn quick_run_emits_valid_artifacts_and_a_real_speedup() {
         // The acceptance bar: fusing the batch is at least 2x in
         // simulated device time at batch >= 64.
         let s = p.speedup_sim();
-        assert!(
-            s >= 2.0,
-            "fused speedup {s:.2}x < 2x at batch {}",
-            p.concurrent.batch
-        );
+        if p.concurrent.batch >= 64 {
+            assert!(
+                s >= 2.0,
+                "fused speedup {s:.2}x < 2x at batch {}",
+                p.concurrent.batch
+            );
+        }
     }
+
+    // The pipelined acceptance bar: fewer syncs/iteration than the
+    // classical counterpart and >= 1.3x simulated speedup at batch 64.
+    let violations = run.solve.acceptance_violations(64, 1.3);
+    assert!(violations.is_empty(), "{violations:?}");
+    let spi = |name: &str| {
+        run.solve
+            .variants
+            .iter()
+            .find(|v| v.cell.solver == name && v.cell.batch == 64)
+            .map(|v| v.cell.syncs_per_iteration)
+            .unwrap()
+    };
+    assert_eq!(spi("cg"), 3.0);
+    assert_eq!(spi("pipelined-cg"), 1.0);
+    assert_eq!(spi("bicgstab"), 6.0);
+    assert_eq!(spi("bicgstab-fused"), 5.0);
+    assert_eq!(spi("pipelined-bicgstab"), 2.0);
 
     // The run gates cleanly against a baseline derived from itself, and
     // a deliberately tightened fake baseline catches the drift.

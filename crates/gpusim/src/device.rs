@@ -82,6 +82,17 @@ pub struct DeviceSpec {
     /// bandwidth cap is enforced as a kernel-wide roofline floor rather
     /// than a per-block fair share (blocks rarely stream simultaneously).
     pub cu_stream_bw_gbps: f64,
+    /// Fixed cost of one global synchronization point (the barrier at
+    /// which a reduction result becomes visible to every lane), in ns.
+    /// Unlike `step_latency_ns` this is *not* hidden by co-residency:
+    /// at a reduction barrier every warp of the block stalls together,
+    /// so there is nothing else for the CU to run.
+    pub sync_ns: f64,
+    /// Latency of one level of a tree reduction, in ns. An exposed
+    /// reduction over `w` participants pays `ceil(log2 w)` levels on top
+    /// of its synchronization; a reduction fused into (and overlapped
+    /// with) an SpMV pays only the sync.
+    pub reduction_ns_per_level: f64,
     /// Dispatch discipline.
     pub scheduling: Scheduling,
     /// Host link (PCIe/NVLink) bandwidth in GB/s, for the Figure 1
@@ -110,6 +121,8 @@ impl DeviceSpec {
             step_latency_ns: 810.0,
             cross_lane_ns: 0.4,
             cu_stream_bw_gbps: 60.0,
+            sync_ns: 500.0,
+            reduction_ns_per_level: 60.0,
             scheduling: Scheduling::Greedy,
             host_link_gbps: 25.0, // NVLink effective per direction
         }
@@ -135,6 +148,8 @@ impl DeviceSpec {
             step_latency_ns: 700.0,
             cross_lane_ns: 0.3,
             cu_stream_bw_gbps: 80.0,
+            sync_ns: 430.0,
+            reduction_ns_per_level: 50.0,
             scheduling: Scheduling::Greedy,
             host_link_gbps: 25.0, // PCIe 4
         }
@@ -160,6 +175,8 @@ impl DeviceSpec {
             step_latency_ns: 520.0,
             cross_lane_ns: 5.5,
             cu_stream_bw_gbps: 50.0,
+            sync_ns: 650.0,
+            reduction_ns_per_level: 110.0,
             scheduling: Scheduling::WaveSynchronous,
             host_link_gbps: 25.0,
         }
@@ -189,6 +206,8 @@ impl DeviceSpec {
             step_latency_ns: 12.0,
             cross_lane_ns: 0.5,
             cu_stream_bw_gbps: 12.0,
+            sync_ns: 30.0,
+            reduction_ns_per_level: 8.0,
             scheduling: Scheduling::Greedy,
             host_link_gbps: f64::INFINITY, // data already on host
         }

@@ -19,6 +19,8 @@
 //!   into DRAM traffic and produces the hit rates of Table II;
 //! * [`model`] — the per-block timing model (issued warp instructions +
 //!   memory time + serialized-stage latency) and whole-kernel pricing;
+//! * [`sync`] — global-synchronization and tree-reduction pricing (the
+//!   per-iteration barrier costs the pipelined solver variants attack);
 //! * [`exec`] — actually runs the per-block numeric closures in parallel
 //!   on CPU threads (rayon), so results are bit-exact while time is
 //!   simulated;
@@ -39,6 +41,7 @@ pub mod model;
 pub mod multi;
 pub mod occupancy;
 pub mod schedule;
+pub mod sync;
 pub mod timeline;
 pub mod transfer;
 
@@ -50,5 +53,6 @@ pub use model::{BlockStats, KernelReport, SimKernel};
 pub use multi::{MultiGpu, MultiGpuReport};
 pub use occupancy::{max_threads_per_block, resident_blocks_per_cu, warps_per_block};
 pub use schedule::makespan;
-pub use timeline::{kernel_launch_event, transfer_event};
+pub use sync::{reduction_depth, reduction_time_s, sync_time_s};
+pub use timeline::{kernel_launch_event, reduction_event, sync_point_event, transfer_event};
 pub use transfer::{transfer_time, Direction};

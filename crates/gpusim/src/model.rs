@@ -25,6 +25,17 @@ pub struct BlockStats {
     /// Number of serialized stages (dependent vector ops separated by
     /// block synchronization) the block executed.
     pub dependent_steps: u64,
+    /// Global synchronization points (reduction barriers) the block
+    /// executed. Each costs [`DeviceSpec::sync_ns`], never hidden by
+    /// co-residency.
+    pub syncs: u64,
+    /// Exposed tree reductions: each pays `depth(rows × batch)` levels
+    /// of reduction latency on top of its sync.
+    pub reductions: u64,
+    /// Reductions fused into (and overlapped with) an SpMV — the
+    /// pipelined-solver trick. They pay only their sync; counted here so
+    /// the profiler totals stay honest.
+    pub hidden_reductions: u64,
     /// Memory-traffic description for the cache model.
     pub traffic: TrafficProfile,
 }
@@ -40,6 +51,11 @@ pub struct SimKernel<'a> {
     pub shared_per_block: usize,
     /// Number of kernel launches (launch overhead is paid per launch).
     pub launches: u32,
+    /// Rows per system, the per-block width of reduction trees. The
+    /// device-wide tree spans `reduction_width × concurrent blocks`
+    /// participants (rows × batch). 0 when the kernel performs no
+    /// reductions.
+    pub reduction_width: u64,
 }
 
 /// Result of pricing a kernel.
@@ -64,6 +80,15 @@ pub struct KernelReport {
     pub flops: u64,
     /// Achieved FP64 rate, GFLOP/s (flops / time).
     pub achieved_gflops: f64,
+    /// Synchronization points on the critical path (max over blocks —
+    /// blocks sync independently, so the slowest block's count is the
+    /// launch's count).
+    pub syncs: u64,
+    /// Reductions on the critical path (exposed + hidden, max over
+    /// blocks).
+    pub reductions: u64,
+    /// Sync + exposed-reduction time of the critical block, seconds.
+    pub sync_s: f64,
     /// Per-block simulated durations, seconds (for ablation plots).
     pub block_times: Vec<f64>,
 }
@@ -75,7 +100,25 @@ impl<'a> SimKernel<'a> {
             device,
             shared_per_block,
             launches: 1,
+            reduction_width: 0,
         }
+    }
+
+    /// Set the per-system reduction width (rows), enabling tree-depth
+    /// pricing of exposed reductions.
+    pub fn with_reduction_width(mut self, rows: u64) -> Self {
+        self.reduction_width = rows;
+        self
+    }
+
+    /// Sync + exposed-reduction time of one block, seconds.
+    fn sync_time(&self, stats: &BlockStats, concurrent_blocks: u32) -> f64 {
+        if stats.syncs == 0 && stats.reductions == 0 {
+            return 0.0;
+        }
+        let width = self.reduction_width.max(1) * concurrent_blocks.max(1) as u64;
+        stats.syncs as f64 * crate::sync::sync_time_s(self.device)
+            + stats.reductions as f64 * crate::sync::reduction_time_s(self.device, width)
     }
 
     /// Time one block in isolation (before scheduling), seconds.
@@ -105,7 +148,12 @@ impl<'a> SimKernel<'a> {
         // dependent vector operations. Co-residency hides part of it.
         let lat_t = stats.dependent_steps as f64 * d.step_latency_ns * 1e-9 / resident;
 
-        instr_t.max(mem_t) + lat_t
+        // Reduction barriers and exposed tree reductions: dependency
+        // latency, NOT divided by residency (every warp of the block
+        // stalls at the barrier together).
+        let sync_t = self.sync_time(stats, concurrent_blocks);
+
+        instr_t.max(mem_t) + lat_t + sync_t
     }
 
     /// Price the whole kernel.
@@ -147,6 +195,19 @@ impl<'a> SimKernel<'a> {
         let bw_floor = dram as f64 / (d.mem_bw_gbps * 1e9);
         let makespan_s = sched_makespan.max(bw_floor);
         let time_s = makespan_s + launch_s;
+
+        // Sync/reduction counters: blocks synchronize independently, so
+        // the launch executes as many sync points as its slowest block.
+        let syncs = blocks.iter().map(|b| b.syncs).max().unwrap_or(0);
+        let reductions = blocks
+            .iter()
+            .map(|b| b.reductions + b.hidden_reductions)
+            .max()
+            .unwrap_or(0);
+        let sync_s = blocks
+            .iter()
+            .map(|b| self.sync_time(b, concurrent.max(1)))
+            .fold(0.0f64, f64::max);
         KernelReport {
             time_s,
             makespan_s,
@@ -165,6 +226,9 @@ impl<'a> SimKernel<'a> {
             } else {
                 0.0
             },
+            syncs,
+            reductions,
+            sync_s,
             block_times,
         }
     }
@@ -182,6 +246,9 @@ mod tests {
         BlockStats {
             iterations: passes as u32,
             converged: true,
+            syncs: 0,
+            reductions: 0,
+            hidden_reductions: 0,
             counts,
             dependent_steps: steps,
             traffic: TrafficProfile {
@@ -264,6 +331,73 @@ mod tests {
         assert!(r.dram_bytes > 0);
         assert!(r.achieved_gflops > 0.0);
         assert_eq!(r.block_times.len(), 500);
+    }
+
+    #[test]
+    fn exposed_syncs_add_unhidden_latency() {
+        let v = DeviceSpec::v100();
+        let k = SimKernel::new(&v, 40 * 1024).with_reduction_width(992);
+        let plain = block(1000, 100, 100, 10, 32);
+        let mut synced = plain.clone();
+        synced.syncs = 30;
+        synced.reductions = 30;
+        let t0 = k.price(&vec![plain; 64]).time_s;
+        let r1 = k.price(&vec![synced; 64]);
+        // Each sync pays the full fixed cost (no residency hiding), each
+        // exposed reduction at least one tree level on top.
+        assert!(
+            r1.time_s > t0 + 30.0 * v.sync_ns * 1e-9,
+            "{} {}",
+            r1.time_s,
+            t0
+        );
+        assert_eq!(r1.syncs, 30);
+        assert_eq!(r1.reductions, 30);
+        assert!(r1.sync_s > 0.0);
+    }
+
+    #[test]
+    fn hidden_reductions_pay_only_their_sync() {
+        let v = DeviceSpec::v100();
+        let k = SimKernel::new(&v, 40 * 1024).with_reduction_width(992);
+        let mut exposed = block(1000, 100, 100, 10, 32);
+        exposed.syncs = 30;
+        exposed.reductions = 30;
+        let mut hidden = block(1000, 100, 100, 10, 32);
+        hidden.syncs = 30;
+        hidden.hidden_reductions = 30;
+        let te = k.price(&vec![exposed; 64]);
+        let th = k.price(&vec![hidden; 64]);
+        // Overlapping the tree with the SpMV removes the depth term...
+        assert!(th.time_s < te.time_s);
+        // ...but the profiler still counts the reductions.
+        assert_eq!(th.reductions, 30);
+    }
+
+    #[test]
+    fn reduction_cost_grows_logarithmically_with_batch() {
+        let v = DeviceSpec::v100();
+        let k = SimKernel::new(&v, 40 * 1024).with_reduction_width(992);
+        let mut b = block(100, 10, 100, 1, 32);
+        b.syncs = 100;
+        b.reductions = 100;
+        let t8 = k.price(&vec![b.clone(); 8]);
+        let t64 = k.price(&vec![b; 64]);
+        // 8x the batch adds 3 tree levels, not 8x the reduction time.
+        assert!(t64.sync_s > t8.sync_s);
+        assert!(t64.sync_s < 1.5 * t8.sync_s, "{} {}", t64.sync_s, t8.sync_s);
+    }
+
+    #[test]
+    fn sync_free_kernels_price_unchanged() {
+        // Non-solver kernels (SpMV benches, transfers) carry zero sync
+        // counts and must price exactly as before.
+        let v = DeviceSpec::v100();
+        let k = SimKernel::new(&v, 40 * 1024);
+        let r = k.price(&vec![block(1000, 100, 100, 10, 32); 64]);
+        assert_eq!(r.syncs, 0);
+        assert_eq!(r.reductions, 0);
+        assert_eq!(r.sync_s, 0.0);
     }
 
     #[test]

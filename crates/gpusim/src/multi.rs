@@ -99,6 +99,9 @@ mod tests {
         BlockStats {
             iterations: 10,
             converged: true,
+            syncs: 0,
+            reductions: 0,
+            hidden_reductions: 0,
             counts,
             dependent_steps: steps,
             traffic: TrafficProfile {

@@ -1,0 +1,86 @@
+//! Global-synchronization and tree-reduction pricing.
+//!
+//! Every dot-product or norm inside a fused batched solver ends in a
+//! barrier: partial sums are combined in a tree and the result must be
+//! visible to every lane before the iteration can continue. Rupp et al.
+//! ("Pipelined Iterative Solvers with Kernel Fusion for GPUs") show this
+//! latency dominates at small-to-medium system sizes — exactly the
+//! paper's per-mesh-node collision systems. This module prices the two
+//! components separately:
+//!
+//! * **sync** — the fixed barrier cost ([`DeviceSpec::sync_ns`]). Paid
+//!   once per synchronization point. Not hidden by co-residency: at the
+//!   barrier every warp of the block stalls together.
+//! * **reduction** — the tree combine. An *exposed* reduction over `w`
+//!   participants pays `ceil(log2 w)` levels of
+//!   [`DeviceSpec::reduction_ns_per_level`]; a reduction fused into an
+//!   SpMV (the pipelined solvers) overlaps its tree with the matrix
+//!   pass and pays only the sync.
+//!
+//! The width is `rows × concurrent blocks` — the reduction tree a
+//! device-wide implementation would build over the whole batch; per-sync
+//! cost is constant while tree depth grows only logarithmically, which
+//! is why the per-iteration *count* of synchronization points is the
+//! quantity the pipelined reformulations attack.
+
+use crate::device::DeviceSpec;
+
+/// Depth of a binary reduction tree over `width` participants.
+pub fn reduction_depth(width: u64) -> u32 {
+    let w = width.max(2);
+    64 - (w - 1).leading_zeros()
+}
+
+/// Fixed cost of one synchronization point, seconds.
+pub fn sync_time_s(device: &DeviceSpec) -> f64 {
+    device.sync_ns * 1e-9
+}
+
+/// Latency of one exposed tree reduction over `width` participants,
+/// seconds (the tree alone — the accompanying barrier is priced
+/// separately via [`sync_time_s`]).
+pub fn reduction_time_s(device: &DeviceSpec, width: u64) -> f64 {
+    reduction_depth(width) as f64 * device.reduction_ns_per_level * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_is_ceil_log2() {
+        assert_eq!(reduction_depth(2), 1);
+        assert_eq!(reduction_depth(3), 2);
+        assert_eq!(reduction_depth(4), 2);
+        assert_eq!(reduction_depth(992), 10);
+        assert_eq!(reduction_depth(992 * 64), 16);
+        // Degenerate widths still cost one level.
+        assert_eq!(reduction_depth(0), 1);
+        assert_eq!(reduction_depth(1), 1);
+    }
+
+    #[test]
+    fn depth_grows_logarithmically_with_batch() {
+        // Quadrupling the batch adds exactly two tree levels.
+        let d1 = reduction_depth(992 * 16);
+        let d4 = reduction_depth(992 * 64);
+        assert_eq!(d4, d1 + 2);
+    }
+
+    #[test]
+    fn gpu_syncs_cost_far_more_than_cpu() {
+        let v = DeviceSpec::v100();
+        let s = DeviceSpec::skylake_node();
+        assert!(sync_time_s(&v) > 10.0 * sync_time_s(&s));
+        assert!(reduction_time_s(&v, 992 * 64) > 5.0 * reduction_time_s(&s, 992 * 64));
+    }
+
+    #[test]
+    fn exposed_reduction_is_microsecond_scale_on_v100() {
+        // 992 rows × batch 64 → 16 tree levels ≈ 1 µs: the per-iteration
+        // cost the pipelined variants amortize into one sync.
+        let v = DeviceSpec::v100();
+        let t = reduction_time_s(&v, 992 * 64);
+        assert!(t > 0.5e-6 && t < 2e-6, "{t}");
+    }
+}

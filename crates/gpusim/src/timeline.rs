@@ -18,6 +18,10 @@ use crate::transfer::{transfer_time, Direction};
 /// `spilled_vector_bytes` is the workspace planner's shared-memory spill
 /// decision: bytes of per-system solver vectors that did not fit the
 /// shared carve-out and live in global memory instead (0 = fully fused).
+/// `syncs_per_iteration` is the solver's synchronization-point density
+/// (classical BiCGSTAB 6, pipelined 2; classical CG 3, pipelined 1;
+/// 0 for direct solvers).
+#[allow(clippy::too_many_arguments)]
 pub fn kernel_launch_event(
     seq: u64,
     solver: &'static str,
@@ -25,6 +29,7 @@ pub fn kernel_launch_event(
     blocks: usize,
     shared_per_block_bytes: usize,
     spilled_vector_bytes: usize,
+    syncs_per_iteration: f64,
     report: &KernelReport,
 ) -> EventKind {
     EventKind::KernelLaunch {
@@ -40,6 +45,40 @@ pub fn kernel_launch_event(
         exec_us: report.makespan_s * 1e6,
         dram_bytes: report.dram_bytes,
         flops: report.flops,
+        syncs: report.syncs,
+        reductions: report.reductions,
+        sync_us: report.sync_s * 1e6,
+        syncs_per_iteration,
+    }
+}
+
+/// Build the synchronization-point record for one priced launch: how many
+/// global barriers the launch contained and the simulated time they cost
+/// (already folded into the launch's `exec_us`).
+pub fn sync_point_event(seq: u64, solver: &'static str, report: &KernelReport) -> EventKind {
+    EventKind::SyncPoint {
+        seq,
+        solver,
+        syncs: report.syncs,
+        sim_us: report.sync_s * 1e6,
+    }
+}
+
+/// Build the reduction record for one priced launch: how many tree
+/// reductions the launch performed and the tree shape they paid for
+/// (`width` participants → `depth` combine levels).
+pub fn reduction_event(
+    seq: u64,
+    solver: &'static str,
+    width: u64,
+    report: &KernelReport,
+) -> EventKind {
+    EventKind::Reduction {
+        seq,
+        solver,
+        reductions: report.reductions,
+        width,
+        depth: crate::sync::reduction_depth(width),
     }
 }
 
@@ -66,7 +105,7 @@ mod tests {
         let shared = 50 * 1024; // forces 1 resident block per CU
         let stats = vec![BlockStats::default(); 8];
         let report = SimKernel::new(&v, shared).price(&stats);
-        let ev = kernel_launch_event(3, "bicgstab", &v, 8, shared, 128, &report);
+        let ev = kernel_launch_event(3, "bicgstab", &v, 8, shared, 128, 6.0, &report);
         match ev {
             EventKind::KernelLaunch {
                 seq,
@@ -79,6 +118,7 @@ mod tests {
                 spilled_vector_bytes,
                 launch_us,
                 exec_us,
+                syncs_per_iteration,
                 ..
             } => {
                 assert_eq!(seq, 3);
@@ -91,6 +131,41 @@ mod tests {
                 assert_eq!(spilled_vector_bytes, 128);
                 assert!((launch_us - report.launch_s * 1e6).abs() < 1e-9);
                 assert!((exec_us - report.makespan_s * 1e6).abs() < 1e-9);
+                assert_eq!(syncs_per_iteration, 6.0);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_and_reduction_events_mirror_the_report() {
+        let v = DeviceSpec::v100();
+        let stats = vec![BlockStats {
+            syncs: 18,
+            reductions: 9,
+            hidden_reductions: 9,
+            ..BlockStats::default()
+        }];
+        let report = SimKernel::new(&v, 0)
+            .with_reduction_width(992)
+            .price(&stats);
+        match sync_point_event(1, "bicgstab", &report) {
+            EventKind::SyncPoint { syncs, sim_us, .. } => {
+                assert_eq!(syncs, 18);
+                assert!(sim_us > 0.0);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match reduction_event(1, "bicgstab", 992 * 64, &report) {
+            EventKind::Reduction {
+                reductions,
+                width,
+                depth,
+                ..
+            } => {
+                assert_eq!(reductions, 18, "exposed + hidden");
+                assert_eq!(width, 992 * 64);
+                assert_eq!(depth, 16);
             }
             other => panic!("wrong kind: {other:?}"),
         }

@@ -39,8 +39,15 @@ fn traffic_strategy() -> impl Strategy<Value = TrafficProfile> {
 }
 
 fn block_strategy() -> impl Strategy<Value = BlockStats> {
-    (1u32..200, 1u64..100_000, 1u64..10_000, traffic_strategy()).prop_map(
-        |(iterations, lanes, steps, traffic)| {
+    (
+        1u32..200,
+        1u64..100_000,
+        1u64..10_000,
+        0u64..20,
+        0u64..8,
+        traffic_strategy(),
+    )
+        .prop_map(|(iterations, lanes, steps, syncs, reductions, traffic)| {
             let mut counts = OpCounts::ZERO;
             counts.lane_total = lanes * 32;
             counts.lane_active = lanes * 20;
@@ -49,12 +56,14 @@ fn block_strategy() -> impl Strategy<Value = BlockStats> {
             BlockStats {
                 iterations,
                 converged: true,
+                syncs,
+                reductions,
+                hidden_reductions: reductions / 2,
                 counts,
                 dependent_steps: steps,
                 traffic,
             }
-        },
-    )
+        })
 }
 
 proptest! {
@@ -95,6 +104,9 @@ proptest! {
             let mut b2 = b.clone();
             b2.counts = b2.counts * 2;
             b2.dependent_steps *= 2;
+            b2.syncs *= 2;
+            b2.reductions *= 2;
+            b2.hidden_reductions *= 2;
             b2.traffic.ro_requested = b2.traffic.ro_requested.saturating_mul(2);
             b2.traffic.rw_requested = b2.traffic.rw_requested.saturating_mul(2);
             let t2 = k.block_time(&b2, 100);

@@ -6,6 +6,7 @@ use batsolv_gpusim::DeviceSpec;
 use batsolv_trace::Tracer;
 
 use crate::breaker::BreakerConfig;
+use crate::dispatcher::SolverVariant;
 
 /// Tuning knobs of the solve service.
 ///
@@ -33,6 +34,8 @@ pub struct RuntimeConfig {
     /// Iteration cap of the iterative solver; systems still unconverged
     /// at the cap climb the escalation ladder.
     pub max_iters: usize,
+    /// Which fused solver variant carries rung 1 of the ladder.
+    pub solver: SolverVariant,
     /// Whether BiCGSTAB stragglers are retried with restarted GMRES
     /// (rung 2 of the escalation ladder).
     pub enable_gmres: bool,
@@ -72,6 +75,7 @@ impl RuntimeConfig {
             linger: Duration::from_millis(2),
             tolerance: 1e-10,
             max_iters: 500,
+            solver: SolverVariant::Bicgstab,
             enable_gmres: true,
             gmres_restart: 30,
             gmres_max_iters: 300,
@@ -111,6 +115,12 @@ impl RuntimeConfig {
     /// Override the iteration cap.
     pub fn with_max_iters(mut self, max_iters: usize) -> Self {
         self.max_iters = max_iters;
+        self
+    }
+
+    /// Override the rung-1 solver variant.
+    pub fn with_solver(mut self, solver: SolverVariant) -> Self {
+        self.solver = solver;
         self
     }
 

@@ -17,12 +17,13 @@ use std::sync::Arc;
 
 use batsolv_formats::{BatchBanded, BatchCsr, BatchVectors, SparsityPattern};
 use batsolv_gpusim::{
-    kernel_launch_event, transfer_event, DeviceSpec, Direction, LaunchDisruption, LaunchHook,
-    NoDisruption,
+    kernel_launch_event, reduction_event, sync_point_event, transfer_event, DeviceSpec, Direction,
+    LaunchDisruption, LaunchHook, NoDisruption,
 };
 use batsolv_solvers::direct::BatchBandedLu;
 use batsolv_solvers::{
-    AbsResidual, BatchBicgstab, BatchGmres, BatchSolveReport, Jacobi, TraceLogger,
+    AbsResidual, BatchBicgstab, BatchCg, BatchGmres, BatchSolveReport, Jacobi, PipelinedBicgstab,
+    PipelinedCg, TraceLogger,
 };
 use batsolv_trace::{EventKind, Tracer};
 use batsolv_types::{BatchDims, Error, Result};
@@ -74,6 +75,63 @@ pub struct BatchReport {
     pub outcomes: Vec<ItemOutcome>,
     /// Simulated kernel time of the dispatch (all rungs).
     pub sim_time_s: f64,
+    /// Synchronization points paid across all rungs (worst block).
+    pub syncs: u64,
+    /// Reduction trees performed across all rungs (exposed + hidden).
+    pub reductions: u64,
+    /// Name of the rung-1 solver variant that ran.
+    pub solver: &'static str,
+}
+
+/// Which fused solver variant carries rung 1 of the ladder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SolverVariant {
+    /// Classical batched BiCGSTAB (Algorithm 1): 6 syncs/iteration.
+    #[default]
+    Bicgstab,
+    /// BiCGSTAB with the fused-AXPY vector pass — bitwise-identical
+    /// numerics, 5 syncs/iteration.
+    BicgstabFused,
+    /// Pipelined BiCGSTAB (fused reductions): 2 syncs/iteration.
+    PipelinedBicgstab,
+    /// Classical batched CG (SPD systems): 3 syncs/iteration.
+    Cg,
+    /// Pipelined CG (Ghysels–Vanroose): 1 sync/iteration.
+    PipelinedCg,
+}
+
+impl SolverVariant {
+    /// Parse a `--solver` flag value; `None` on an unknown name.
+    pub fn parse(s: &str) -> Option<SolverVariant> {
+        match s {
+            "bicgstab" => Some(SolverVariant::Bicgstab),
+            "bicgstab-fused" => Some(SolverVariant::BicgstabFused),
+            "pipelined-bicgstab" => Some(SolverVariant::PipelinedBicgstab),
+            "cg" => Some(SolverVariant::Cg),
+            "pipelined-cg" => Some(SolverVariant::PipelinedCg),
+            _ => None,
+        }
+    }
+
+    /// The name used in reports, traces and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverVariant::Bicgstab => "bicgstab",
+            SolverVariant::BicgstabFused => "bicgstab-fused",
+            SolverVariant::PipelinedBicgstab => "pipelined-bicgstab",
+            SolverVariant::Cg => "cg",
+            SolverVariant::PipelinedCg => "pipelined-cg",
+        }
+    }
+
+    /// Every accepted `--solver` value, for usage/error messages.
+    pub const NAMES: &'static [&'static str] = &[
+        "bicgstab",
+        "bicgstab-fused",
+        "pipelined-bicgstab",
+        "cg",
+        "pipelined-cg",
+    ];
 }
 
 /// A batch solver the service can dispatch to.
@@ -98,6 +156,8 @@ pub struct LadderConfig {
     pub gmres_max_iters: usize,
     /// Whether rung 3 (banded LU) runs at all.
     pub enable_fallback: bool,
+    /// Which fused solver variant carries rung 1.
+    pub solver: SolverVariant,
 }
 
 /// The production engine: BiCGSTAB → restarted GMRES → banded LU.
@@ -167,9 +227,23 @@ impl LadderEngine {
                 blocks,
                 report.shared_per_block,
                 report.global_vector_bytes,
+                report.syncs_per_iteration,
                 &report.kernel,
             ),
         );
+        // Marker events for the device lane: where the launch's barriers
+        // and reduction trees sit (direct rungs have none).
+        if report.kernel.syncs > 0 {
+            self.tracer
+                .emit(None, sync_point_event(seq, report.solver, &report.kernel));
+        }
+        if report.kernel.reductions > 0 {
+            let width = (self.pattern.num_rows() * blocks) as u64;
+            self.tracer.emit(
+                None,
+                reduction_event(seq, report.solver, width, &report.kernel),
+            );
+        }
     }
 
     /// Bytes a subset's operands (values + RHS) occupy on the wire.
@@ -238,29 +312,73 @@ impl SolveEngine for LadderEngine {
             }
         }
         let traced = self.tracer.is_enabled();
-        let solver =
-            BatchBicgstab::new(Jacobi, AbsResidual::new(tol)).with_max_iters(self.cfg.max_iters);
-        let report = if traced {
+        let method = self.cfg.solver.name();
+        if traced {
             for it in items {
-                self.tracer.emit(
-                    Some(it.id),
-                    EventKind::RungBegin {
-                        rung: 1,
-                        method: "bicgstab",
-                    },
-                );
+                self.tracer
+                    .emit(Some(it.id), EventKind::RungBegin { rung: 1, method });
             }
-            solver.solve_logged(&self.device, &a, &b, &mut x, |k| {
-                TraceLogger::new(&self.tracer, items[k].id, 1)
-            })?
-        } else {
-            // Production path: the fused launch rides the concurrent
-            // batch executor — one worker task per system, results
-            // reduced in batch order.
-            self.executor
-                .execute(&solver, &a, &b, &mut x)?
-                .fused
-                .expect("concurrent execution returns the fused report")
+        }
+        // Untraced (production) path: the fused launch rides the
+        // concurrent batch executor — one worker task per system, results
+        // reduced in batch order. Traced, the BiCGSTAB-family variants
+        // bridge per-iteration residuals through their logger seam; the
+        // CG variants have none, but rung spans and the launch timeline
+        // still flow.
+        let report = match self.cfg.solver {
+            SolverVariant::Bicgstab | SolverVariant::BicgstabFused => {
+                let solver = BatchBicgstab::new(Jacobi, AbsResidual::new(tol))
+                    .with_max_iters(self.cfg.max_iters)
+                    .with_fused_axpy(self.cfg.solver == SolverVariant::BicgstabFused);
+                if traced {
+                    solver.solve_logged(&self.device, &a, &b, &mut x, |k| {
+                        TraceLogger::new(&self.tracer, items[k].id, 1)
+                    })?
+                } else {
+                    self.executor
+                        .execute(&solver, &a, &b, &mut x)?
+                        .fused
+                        .expect("concurrent execution returns the fused report")
+                }
+            }
+            SolverVariant::PipelinedBicgstab => {
+                let solver = PipelinedBicgstab::new(Jacobi, AbsResidual::new(tol))
+                    .with_max_iters(self.cfg.max_iters);
+                if traced {
+                    solver.solve_logged(&self.device, &a, &b, &mut x, |k| {
+                        TraceLogger::new(&self.tracer, items[k].id, 1)
+                    })?
+                } else {
+                    self.executor
+                        .execute(&solver, &a, &b, &mut x)?
+                        .fused
+                        .expect("concurrent execution returns the fused report")
+                }
+            }
+            SolverVariant::Cg => {
+                let solver =
+                    BatchCg::new(Jacobi, AbsResidual::new(tol)).with_max_iters(self.cfg.max_iters);
+                if traced {
+                    solver.solve(&self.device, &a, &b, &mut x)?
+                } else {
+                    self.executor
+                        .execute(&solver, &a, &b, &mut x)?
+                        .fused
+                        .expect("concurrent execution returns the fused report")
+                }
+            }
+            SolverVariant::PipelinedCg => {
+                let solver = PipelinedCg::new(Jacobi, AbsResidual::new(tol))
+                    .with_max_iters(self.cfg.max_iters);
+                if traced {
+                    solver.solve(&self.device, &a, &b, &mut x)?
+                } else {
+                    self.executor
+                        .execute(&solver, &a, &b, &mut x)?
+                        .fused
+                        .expect("concurrent execution returns the fused report")
+                }
+            }
         };
         if traced {
             self.trace_launch(items.len(), Self::upload_bytes(items, &all), &report);
@@ -270,7 +388,7 @@ impl SolveEngine for LadderEngine {
                     Some(it.id),
                     EventKind::RungEnd {
                         rung: 1,
-                        method: "bicgstab",
+                        method,
                         iterations: r.iterations,
                         residual: r.residual,
                         converged: r.converged,
@@ -280,6 +398,8 @@ impl SolveEngine for LadderEngine {
             }
         }
         let mut sim_time_s = report.time_s();
+        let mut syncs = report.syncs();
+        let mut reductions = report.reductions();
 
         let mut outcomes: Vec<ItemOutcome> = items
             .iter()
@@ -360,6 +480,8 @@ impl SolveEngine for LadderEngine {
                     }
                 }
                 sim_time_s += g_report.time_s();
+                syncs += g_report.syncs();
+                reductions += g_report.reductions();
                 for (k, &i) in sub.iter().enumerate() {
                     let r = &g_report.per_system[k];
                     let o = &mut outcomes[i];
@@ -431,6 +553,8 @@ impl SolveEngine for LadderEngine {
                     }
                 }
                 sim_time_s += lu_report.time_s();
+                syncs += lu_report.syncs();
+                reductions += lu_report.reductions();
                 for (k, &i) in sub.iter().enumerate() {
                     let lr = &lu_report.per_system[k];
                     let o = &mut outcomes[i];
@@ -469,6 +593,9 @@ impl SolveEngine for LadderEngine {
         Ok(BatchReport {
             outcomes,
             sim_time_s,
+            syncs,
+            reductions,
+            solver: method,
         })
     }
 }
@@ -485,6 +612,7 @@ mod tests {
             gmres_restart: 30,
             gmres_max_iters: 300,
             enable_fallback: true,
+            solver: SolverVariant::Bicgstab,
         }
     }
 

@@ -33,7 +33,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use batsolv_formats::{BatchMatrix, BatchVectors, SystemSlice};
-use batsolv_gpusim::{kernel_launch_event, DeviceSpec, LaunchDisruption, LaunchHook, NoDisruption};
+use batsolv_gpusim::{
+    kernel_launch_event, reduction_event, sync_point_event, DeviceSpec, LaunchDisruption,
+    LaunchHook, NoDisruption,
+};
 use batsolv_solvers::{BatchSolveReport, IterativeSolver, SystemResult};
 use batsolv_trace::Tracer;
 use batsolv_types::{Error, Result, Scalar};
@@ -67,6 +70,13 @@ pub struct ExecReport {
     pub sim_time_s: f64,
     /// Kernel launches performed (1 fused, or one per system).
     pub launches: usize,
+    /// Synchronization points paid across all launches (worst block).
+    pub syncs: u64,
+    /// Reduction trees performed across all launches (exposed + hidden).
+    pub reductions: u64,
+    /// Synchronization points per solver iteration (a property of the
+    /// solver variant, identical for every launch of the batch).
+    pub syncs_per_iteration: f64,
     /// The mode that ran.
     pub mode: ExecMode,
     /// The fused solve report (concurrent mode only).
@@ -130,7 +140,7 @@ impl BatchExecutor {
         }
     }
 
-    fn trace_launch(&self, blocks: usize, report: &BatchSolveReport) {
+    fn trace_launch(&self, blocks: usize, rows: usize, report: &BatchSolveReport) {
         if !self.tracer.is_enabled() {
             return;
         }
@@ -144,9 +154,22 @@ impl BatchExecutor {
                 blocks,
                 report.shared_per_block,
                 report.global_vector_bytes,
+                report.syncs_per_iteration,
                 &report.kernel,
             ),
         );
+        // Marker events for the device lane: where the launch's barriers
+        // and reduction trees sit (direct solvers have none).
+        if report.kernel.syncs > 0 {
+            self.tracer
+                .emit(None, sync_point_event(seq, report.solver, &report.kernel));
+        }
+        if report.kernel.reductions > 0 {
+            self.tracer.emit(
+                None,
+                reduction_event(seq, report.solver, (rows * blocks) as u64, &report.kernel),
+            );
+        }
     }
 
     /// Solve `A_i x_i = b_i` for the whole batch, `x` as initial guess.
@@ -176,11 +199,14 @@ impl BatchExecutor {
             ExecMode::Concurrent => {
                 self.consult_hook(&ids)?;
                 let report = solver.solve_batch(&self.device, a, b, x)?;
-                self.trace_launch(dims.num_systems, &report);
+                self.trace_launch(dims.num_systems, dims.num_rows, &report);
                 Ok(ExecReport {
                     per_system: report.per_system.clone(),
                     sim_time_s: report.time_s(),
                     launches: 1,
+                    syncs: report.syncs(),
+                    reductions: report.reductions(),
+                    syncs_per_iteration: report.syncs_per_iteration,
                     mode: self.mode,
                     fused: Some(report),
                 })
@@ -189,6 +215,9 @@ impl BatchExecutor {
                 let mut per_system = Vec::with_capacity(dims.num_systems);
                 let mut sim_time_s = 0.0;
                 let mut launches = 0usize;
+                let mut syncs = 0u64;
+                let mut reductions = 0u64;
+                let mut syncs_per_iteration = 0.0;
                 for i in 0..dims.num_systems {
                     if let Err(Error::DeviceFailure { .. }) = self.consult_hook(&ids[i..=i]) {
                         per_system.push(SystemResult {
@@ -204,15 +233,21 @@ impl BatchExecutor {
                     let mut xi = BatchVectors::from_values(slice.dims(), x.system(i).to_vec())?;
                     let report = solver.solve_batch(&self.device, &slice, &bi, &mut xi)?;
                     x.system_mut(i).copy_from_slice(xi.system(0));
-                    self.trace_launch(1, &report);
+                    self.trace_launch(1, dims.num_rows, &report);
                     sim_time_s += report.time_s();
                     launches += 1;
+                    syncs += report.syncs();
+                    reductions += report.reductions();
+                    syncs_per_iteration = report.syncs_per_iteration;
                     per_system.push(report.per_system[0]);
                 }
                 Ok(ExecReport {
                     per_system,
                     sim_time_s,
                     launches,
+                    syncs,
+                    reductions,
+                    syncs_per_iteration,
                     mode: self.mode,
                     fused: None,
                 })

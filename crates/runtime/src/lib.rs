@@ -85,7 +85,7 @@ pub use admission::{AdmissionGate, RejectReason};
 pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use config::RuntimeConfig;
 pub use dispatcher::{
-    BatchItem, BatchReport, ItemOutcome, LadderConfig, LadderEngine, SolveEngine,
+    BatchItem, BatchReport, ItemOutcome, LadderConfig, LadderEngine, SolveEngine, SolverVariant,
 };
 pub use executor::{BatchExecutor, ExecMode, ExecReport};
 pub use former::{BatchFormer, FlushReason};

@@ -150,6 +150,24 @@ pub fn prometheus_text(s: &StatsSnapshot) -> String {
         "Total simulated kernel time across dispatched batches.",
         s.sim_time_total_s,
     );
+    p.counter(
+        "batsolv_sim_syncs_total",
+        "Total simulated synchronization points across dispatched batches.",
+        s.sim_syncs_total,
+    );
+    p.counter(
+        "batsolv_sim_reductions_total",
+        "Total simulated reduction trees (exposed + hidden) across dispatched batches.",
+        s.sim_reductions_total,
+    );
+    if !s.solver.is_empty() {
+        p.family(
+            "batsolv_solver_info",
+            "gauge",
+            "Configured rung-1 solver variant (constant 1, variant in the label).",
+        );
+        p.sample("batsolv_solver_info", &[("solver", s.solver)], 1.0);
+    }
     p.finish()
 }
 

@@ -117,6 +117,7 @@ impl SolveService {
             tracer: config.tracer.clone(),
             batch_seq: AtomicU64::new(0),
         });
+        shared.stats.set_solver(config.solver.name());
         let gate = config
             .validate_admission
             .then(|| AdmissionGate::new(&pattern, config.min_diag_abs));
@@ -305,6 +306,7 @@ fn ladder_config(config: &RuntimeConfig) -> LadderConfig {
         gmres_restart: config.gmres_restart,
         gmres_max_iters: config.gmres_max_iters,
         enable_fallback: config.enable_fallback,
+        solver: config.solver,
     }
 }
 
@@ -460,7 +462,10 @@ fn run_batch(shared: &Shared, engine: &dyn SolveEngine, live: Vec<Pending>) {
     let solved = catch_unwind(AssertUnwindSafe(|| engine.solve_batch(&items)));
     shared.watch.end();
     match solved {
-        Ok(Ok(report)) => fulfill(shared, live, report.outcomes, report.sim_time_s),
+        Ok(Ok(report)) => {
+            shared.stats.on_sync_counts(report.syncs, report.reductions);
+            fulfill(shared, live, report.outcomes, report.sim_time_s)
+        }
         Ok(Err(Error::DeviceFailure { code })) => {
             if batch_size > 1 {
                 for p in live {

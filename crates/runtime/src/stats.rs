@@ -36,6 +36,8 @@ struct Sampled {
     /// `rung_hist[k]` counts requests whose dispatch attempted `k+1`
     /// ladder rungs.
     rung_hist: [u64; RUNG_BUCKETS],
+    /// Name of the configured rung-1 solver variant ("" until set).
+    solver: &'static str,
 }
 
 /// Shared counter registry written by the service, read via
@@ -59,6 +61,8 @@ pub struct StatsRegistry {
     breaker_trips: AtomicU64,
     watchdog_stalls: AtomicU64,
     worker_respawns: AtomicU64,
+    sim_syncs_total: AtomicU64,
+    sim_reductions_total: AtomicU64,
     sampled: Mutex<Sampled>,
 }
 
@@ -114,6 +118,18 @@ impl StatsRegistry {
 
     pub(crate) fn on_worker_respawn(&self) {
         self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the configured rung-1 solver variant (once, at startup).
+    pub(crate) fn set_solver(&self, name: &'static str) {
+        self.sampled.lock().unwrap().solver = name;
+    }
+
+    /// Accumulate one dispatch's simulated synchronization counters.
+    pub(crate) fn on_sync_counts(&self, syncs: u64, reductions: u64) {
+        self.sim_syncs_total.fetch_add(syncs, Ordering::Relaxed);
+        self.sim_reductions_total
+            .fetch_add(reductions, Ordering::Relaxed);
     }
 
     /// Record one dispatched batch: its size, per-request queue waits,
@@ -194,6 +210,9 @@ impl StatsRegistry {
             solver_iterations_total: s.iterations_total,
             solver_iterations_max: s.iterations_max,
             sim_time_total_s: s.sim_time_total_s,
+            sim_syncs_total: self.sim_syncs_total.load(Ordering::Relaxed),
+            sim_reductions_total: self.sim_reductions_total.load(Ordering::Relaxed),
+            solver: s.solver,
         }
     }
 }
@@ -271,6 +290,13 @@ pub struct StatsSnapshot {
     pub solver_iterations_max: u64,
     /// Total simulated kernel time across dispatched batches, seconds.
     pub sim_time_total_s: f64,
+    /// Total simulated synchronization points across dispatched batches.
+    pub sim_syncs_total: u64,
+    /// Total simulated reduction trees (exposed + hidden) across
+    /// dispatched batches.
+    pub sim_reductions_total: u64,
+    /// Configured rung-1 solver variant ("" until the service sets it).
+    pub solver: &'static str,
 }
 
 impl StatsSnapshot {
@@ -385,6 +411,12 @@ impl StatsSnapshot {
             self.solver_iterations_max,
             self.sim_time_total_s * 1e3
         ));
+        if !self.solver.is_empty() {
+            out.push_str(&format!(
+                "  variant  : {} ({} syncs, {} reductions simulated)\n",
+                self.solver, self.sim_syncs_total, self.sim_reductions_total
+            ));
+        }
         out
     }
 }

@@ -69,6 +69,9 @@ impl SolveEngine for EchoEngine {
                 })
                 .collect(),
             sim_time_s: 1e-6,
+            syncs: 0,
+            reductions: 0,
+            solver: "echo",
         })
     }
 }

@@ -18,6 +18,8 @@ use crate::cg::BatchCg;
 use crate::cgs::BatchCgs;
 use crate::common::BatchSolveReport;
 use crate::gmres::BatchGmres;
+use crate::pipelined_bicgstab::PipelinedBicgstab;
+use crate::pipelined_cg::PipelinedCg;
 use crate::precond::Preconditioner;
 use crate::richardson::BatchRichardson;
 use crate::stop::StopCriterion;
@@ -69,6 +71,8 @@ impl_iterative_solver!(BatchCg, "cg");
 impl_iterative_solver!(BatchCgs, "cgs");
 impl_iterative_solver!(BatchGmres, "gmres");
 impl_iterative_solver!(BatchRichardson, "richardson");
+impl_iterative_solver!(PipelinedBicgstab, "pipelined-bicgstab");
+impl_iterative_solver!(PipelinedCg, "pipelined-cg");
 
 #[cfg(test)]
 mod tests {

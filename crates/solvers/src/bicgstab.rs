@@ -17,19 +17,41 @@ use batsolv_gpusim::{run_batch_map_mut, DeviceSpec, SimKernel};
 use batsolv_types::{OpCounts, Result, Scalar};
 
 use crate::common::{
-    assemble_block_stats, placed_spmv_counts, sanitize_block_result, BatchSolveReport, SystemResult,
+    assemble_block_stats, placed_spmv_counts, sanitize_block_result, BatchSolveReport, StageCosts,
+    SyncProfile, SystemResult,
 };
 use crate::logger::{IterationLogger, NoopLogger};
 use crate::precond::Preconditioner;
 use crate::stop::StopCriterion;
 use crate::workspace::{WorkspacePlan, BICGSTAB_VECTORS};
 
-/// Serialized stages in the setup phase (initial residual, copies,
-/// preconditioner generation, norms).
-const SETUP_STAGES: u64 = 5;
+/// Serialized stages in the setup phase (initial residual, copy,
+/// preconditioner generation). Reduction barriers are priced separately
+/// via [`SyncProfile`].
+const SETUP_STAGES: u64 = 3;
 /// Serialized stages per BiCGSTAB iteration (Algorithm 1's dependent
-/// vector operations and reductions).
-const ITER_STAGES: u64 = 16;
+/// vector operations; the 6 reduction barriers are priced via
+/// [`SyncProfile`], not counted here).
+const ITER_STAGES: u64 = 10;
+/// Synchronization-point density of classical BiCGSTAB: 2 setup norms;
+/// per iteration ‖r‖, ρ=(r̂,r), (r̂,v), ‖s‖, (t,s), (t,t) — 6 exposed
+/// reductions, each with its own barrier.
+const SYNC: SyncProfile = SyncProfile {
+    setup_syncs: 2,
+    setup_reductions: 2,
+    iter_syncs: 6,
+    iter_reductions: 6,
+    iter_hidden_reductions: 0,
+};
+/// With the fused-AXPY path, (t,s) and (t,t) are computed in one fused
+/// pass sharing a single barrier: 5 syncs/iteration, same 6 reductions.
+const SYNC_FUSED: SyncProfile = SyncProfile {
+    setup_syncs: 2,
+    setup_reductions: 2,
+    iter_syncs: 5,
+    iter_reductions: 6,
+    iter_hidden_reductions: 0,
+};
 
 /// The batched BiCGSTAB solver.
 #[derive(Clone, Debug)]
@@ -40,6 +62,11 @@ pub struct BatchBicgstab<T, P, S> {
     pub stop: S,
     /// Iteration cap.
     pub max_iters: usize,
+    /// Fused-AXPY path: merge the `x ← x + αp̂ + ωŝ` / `r ← s − ωt`
+    /// updates into one vector pass and compute `(t,s)`,`(t,t)` under a
+    /// single barrier. Bitwise-identical numerics, one less stage and one
+    /// less sync per iteration.
+    pub fused_axpy: bool,
     _marker: PhantomData<T>,
 }
 
@@ -55,6 +82,7 @@ where
             precond,
             stop,
             max_iters: 500,
+            fused_axpy: false,
             _marker: PhantomData,
         }
     }
@@ -62,6 +90,14 @@ where
     /// Override the iteration cap.
     pub fn with_max_iters(mut self, max_iters: usize) -> Self {
         self.max_iters = max_iters;
+        self
+    }
+
+    /// Enable the fused-AXPY path (merged vector updates, shared `(t,s)`
+    /// / `(t,t)` barrier). Numerics are bitwise-identical to the classical
+    /// path; only the simulated stage/sync pricing changes.
+    pub fn with_fused_axpy(mut self, fused: bool) -> Self {
+        self.fused_axpy = fused;
         self
     }
 
@@ -122,7 +158,17 @@ where
         Ok(run_batch_map_mut(chunks, |i, xi| {
             let mut logger = make_logger(i);
             let x0 = xi.to_vec();
-            let r = bicgstab_block(a, i, b.system(i), xi, precond, stop, max_iters, &mut logger);
+            let r = bicgstab_block(
+                a,
+                i,
+                b.system(i),
+                xi,
+                precond,
+                stop,
+                max_iters,
+                self.fused_axpy,
+                &mut logger,
+            );
             sanitize_block_result(&x0, xi, r)
         }))
     }
@@ -140,22 +186,25 @@ where
         let n = a.dims().num_rows;
         let plan = WorkspacePlan::plan::<T>(device.shared_budget_bytes(), n, &BICGSTAB_VECTORS);
         let (setup, per_iter, ro_req_per_iter) = self.cost_decomposition(a, device, &plan);
+        let costs = StageCosts {
+            setup,
+            per_iter,
+            setup_stages: SETUP_STAGES,
+            iter_stages: if self.fused_axpy {
+                ITER_STAGES - 1
+            } else {
+                ITER_STAGES
+            },
+            ro_req_per_iter,
+            sync: if self.fused_axpy { SYNC_FUSED } else { SYNC },
+        };
         let blocks: Vec<_> = results
             .iter()
-            .map(|r| {
-                assemble_block_stats(
-                    a,
-                    &plan,
-                    r,
-                    &setup,
-                    &per_iter,
-                    SETUP_STAGES,
-                    ITER_STAGES,
-                    ro_req_per_iter,
-                )
-            })
+            .map(|r| assemble_block_stats(a, &plan, r, &costs))
             .collect();
-        let kernel = SimKernel::new(device, plan.shared_bytes).price(&blocks);
+        let kernel = SimKernel::new(device, plan.shared_bytes)
+            .with_reduction_width(n as u64)
+            .price(&blocks);
         BatchSolveReport {
             per_system: results,
             kernel,
@@ -165,6 +214,7 @@ where
             solver: "bicgstab",
             format: a.format_name(),
             device: device.name,
+            syncs_per_iteration: costs.sync.syncs_per_iteration(),
         }
     }
 
@@ -233,6 +283,7 @@ pub(crate) fn bicgstab_block<T, M, P, S, L>(
     precond: &P,
     stop: &S,
     max_iters: usize,
+    fused_axpy: bool,
     logger: &mut L,
 ) -> SystemResult
 where
@@ -329,13 +380,21 @@ where
         if omega == T::ZERO {
             return finish(iter, snorm, false, Some("omega"), logger);
         }
-        // x ← x + α p̂ + ω ŝ
-        for k in 0..n {
-            x[k] = x[k] + alpha * p_hat[k] + omega * s_hat[k];
-        }
-        // r ← s − ω t
-        for k in 0..n {
-            r[k] = s[k] - omega * t[k];
+        // x ← x + α p̂ + ω ŝ ; r ← s − ω t. The fused path merges both
+        // updates into one vector pass — IEEE-identical per element, so
+        // the two paths produce bitwise-equal iterates.
+        if fused_axpy {
+            for k in 0..n {
+                x[k] = x[k] + alpha * p_hat[k] + omega * s_hat[k];
+                r[k] = s[k] - omega * t[k];
+            }
+        } else {
+            for k in 0..n {
+                x[k] = x[k] + alpha * p_hat[k] + omega * s_hat[k];
+            }
+            for k in 0..n {
+                r[k] = s[k] - omega * t[k];
+            }
         }
         res = blas::nrm2(&r);
         if !res.is_finite() {

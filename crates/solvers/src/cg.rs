@@ -16,14 +16,26 @@ use batsolv_gpusim::{run_batch_map_mut, DeviceSpec, SimKernel};
 use batsolv_types::{OpCounts, Result, Scalar};
 
 use crate::common::{
-    assemble_block_stats, placed_spmv_counts, sanitize_block_result, BatchSolveReport, SystemResult,
+    assemble_block_stats, placed_spmv_counts, sanitize_block_result, BatchSolveReport, StageCosts,
+    SyncProfile, SystemResult,
 };
 use crate::precond::Preconditioner;
 use crate::stop::StopCriterion;
 use crate::workspace::{WorkspacePlan, CG_VECTORS};
 
-const SETUP_STAGES: u64 = 6;
-const ITER_STAGES: u64 = 9;
+/// Reduction barriers are priced separately via [`SyncProfile`];
+/// stage counts cover only the dependent vector operations.
+const SETUP_STAGES: u64 = 4;
+const ITER_STAGES: u64 = 6;
+/// Classical CG: setup (r,z) and ‖r‖; per iteration (p,q), ‖r‖, (r,z) —
+/// 3 exposed reductions with their own barriers.
+const SYNC: SyncProfile = SyncProfile {
+    setup_syncs: 2,
+    setup_reductions: 2,
+    iter_syncs: 3,
+    iter_reductions: 3,
+    iter_hidden_reductions: 0,
+};
 
 /// The batched CG solver.
 #[derive(Clone, Debug)]
@@ -34,6 +46,10 @@ pub struct BatchCg<T, P, S> {
     pub stop: S,
     /// Iteration cap.
     pub max_iters: usize,
+    /// Fused-AXPY path: merge the `x ← x + αp` / `r ← r − αq` updates
+    /// into one vector pass. Bitwise-identical numerics, one less stage
+    /// per iteration.
+    pub fused_axpy: bool,
     _marker: PhantomData<T>,
 }
 
@@ -49,6 +65,7 @@ where
             precond,
             stop,
             max_iters: 500,
+            fused_axpy: false,
             _marker: PhantomData,
         }
     }
@@ -56,6 +73,13 @@ where
     /// Override the iteration cap.
     pub fn with_max_iters(mut self, max_iters: usize) -> Self {
         self.max_iters = max_iters;
+        self
+    }
+
+    /// Enable the fused-AXPY path (merged x/r updates). Numerics are
+    /// bitwise-identical; only the simulated stage pricing changes.
+    pub fn with_fused_axpy(mut self, fused: bool) -> Self {
+        self.fused_axpy = fused;
         self
     }
 
@@ -77,29 +101,29 @@ where
         let stop = &self.stop;
         let max_iters = self.max_iters;
         let chunks: Vec<&mut [T]> = x.systems_mut().collect();
+        let fused = self.fused_axpy;
         let results: Vec<SystemResult> = run_batch_map_mut(chunks, |i, xi| {
             let x0 = xi.to_vec();
-            let r = cg_block(a, i, b.system(i), xi, precond, stop, max_iters);
+            let r = cg_block(a, i, b.system(i), xi, precond, stop, max_iters, fused);
             sanitize_block_result(&x0, xi, r)
         });
 
         let (setup, per_iter, ro_req) = self.cost_decomposition(a, device, &plan);
+        let costs = StageCosts {
+            setup,
+            per_iter,
+            setup_stages: SETUP_STAGES,
+            iter_stages: if fused { ITER_STAGES - 1 } else { ITER_STAGES },
+            ro_req_per_iter: ro_req,
+            sync: SYNC,
+        };
         let blocks: Vec<_> = results
             .iter()
-            .map(|r| {
-                assemble_block_stats(
-                    a,
-                    &plan,
-                    r,
-                    &setup,
-                    &per_iter,
-                    SETUP_STAGES,
-                    ITER_STAGES,
-                    ro_req,
-                )
-            })
+            .map(|r| assemble_block_stats(a, &plan, r, &costs))
             .collect();
-        let kernel = SimKernel::new(device, plan.shared_bytes).price(&blocks);
+        let kernel = SimKernel::new(device, plan.shared_bytes)
+            .with_reduction_width(n as u64)
+            .price(&blocks);
         Ok(BatchSolveReport {
             per_system: results,
             kernel,
@@ -109,6 +133,7 @@ where
             solver: "cg",
             format: a.format_name(),
             device: device.name,
+            syncs_per_iteration: costs.sync.syncs_per_iteration(),
         })
     }
 
@@ -150,6 +175,7 @@ where
 }
 
 /// Per-block preconditioned CG kernel.
+#[allow(clippy::too_many_arguments)]
 fn cg_block<T, M, P, S>(
     a: &M,
     i: usize,
@@ -158,6 +184,7 @@ fn cg_block<T, M, P, S>(
     precond: &P,
     stop: &S,
     max_iters: usize,
+    fused_axpy: bool,
 ) -> SystemResult
 where
     T: Scalar,
@@ -211,8 +238,18 @@ where
             };
         }
         let alpha = rz / pq;
-        blas::axpy(alpha, &p, x);
-        blas::axpy(-alpha, &q, &mut r);
+        // x ← x + αp ; r ← r − αq. The fused path merges both updates
+        // into one vector pass — IEEE-identical per element.
+        if fused_axpy {
+            // mul_add mirrors blas::axpy's FMA exactly.
+            for k in 0..n {
+                x[k] = alpha.mul_add(p[k], x[k]);
+                r[k] = (-alpha).mul_add(q[k], r[k]);
+            }
+        } else {
+            blas::axpy(alpha, &p, x);
+            blas::axpy(-alpha, &q, &mut r);
+        }
         res = blas::nrm2(&r);
         if !res.is_finite() {
             return SystemResult {

@@ -17,14 +17,25 @@ use batsolv_gpusim::{run_batch_map_mut, DeviceSpec, SimKernel};
 use batsolv_types::{OpCounts, Result, Scalar};
 
 use crate::common::{
-    assemble_block_stats, placed_spmv_counts, sanitize_block_result, BatchSolveReport, SystemResult,
+    assemble_block_stats, placed_spmv_counts, sanitize_block_result, BatchSolveReport, StageCosts,
+    SyncProfile, SystemResult,
 };
 use crate::precond::Preconditioner;
 use crate::stop::StopCriterion;
 use crate::workspace::{VectorClass, VectorSpec, WorkspacePlan};
 
-const SETUP_STAGES: u64 = 5;
-const ITER_STAGES: u64 = 13;
+/// Reduction barriers are priced separately via [`SyncProfile`].
+const SETUP_STAGES: u64 = 4;
+const ITER_STAGES: u64 = 10;
+/// CGS: setup ‖r‖; per iteration ‖r‖, ρ=(r̂,r), σ=(r̂,v) — 3 exposed
+/// reductions with their own barriers.
+const SYNC: SyncProfile = SyncProfile {
+    setup_syncs: 1,
+    setup_reductions: 1,
+    iter_syncs: 3,
+    iter_reductions: 3,
+    iter_hidden_reductions: 0,
+};
 
 /// CGS workspace: two SpMV pairs plus the BiCG auxiliaries.
 const CGS_VECTORS: [VectorSpec; 7] = [
@@ -94,22 +105,21 @@ where
         });
 
         let (setup, per_iter, ro_req) = self.cost_decomposition(a, device, &plan);
+        let costs = StageCosts {
+            setup,
+            per_iter,
+            setup_stages: SETUP_STAGES,
+            iter_stages: ITER_STAGES,
+            ro_req_per_iter: ro_req,
+            sync: SYNC,
+        };
         let blocks: Vec<_> = results
             .iter()
-            .map(|r| {
-                assemble_block_stats(
-                    a,
-                    &plan,
-                    r,
-                    &setup,
-                    &per_iter,
-                    SETUP_STAGES,
-                    ITER_STAGES,
-                    ro_req,
-                )
-            })
+            .map(|r| assemble_block_stats(a, &plan, r, &costs))
             .collect();
-        let kernel = SimKernel::new(device, plan.shared_bytes).price(&blocks);
+        let kernel = SimKernel::new(device, plan.shared_bytes)
+            .with_reduction_width(n as u64)
+            .price(&blocks);
         Ok(BatchSolveReport {
             per_system: results,
             kernel,
@@ -119,6 +129,7 @@ where
             solver: "cgs",
             format: a.format_name(),
             device: device.name,
+            syncs_per_iteration: SYNC.syncs_per_iteration(),
         })
     }
 

@@ -41,6 +41,10 @@ pub struct BatchSolveReport {
     pub format: &'static str,
     /// Device name.
     pub device: &'static str,
+    /// Synchronization points per iteration — the quantity the pipelined
+    /// variants reduce (classical BiCGSTAB 6, pipelined 2; classical CG 3,
+    /// pipelined 1; direct solvers 0).
+    pub syncs_per_iteration: f64,
 }
 
 impl BatchSolveReport {
@@ -82,6 +86,62 @@ impl BatchSolveReport {
     pub fn time_s(&self) -> f64 {
         self.kernel.time_s
     }
+
+    /// Synchronization points on the solve's critical path.
+    pub fn syncs(&self) -> u64 {
+        self.kernel.syncs
+    }
+
+    /// Reductions (exposed + hidden) on the solve's critical path.
+    pub fn reductions(&self) -> u64 {
+        self.kernel.reductions
+    }
+}
+
+/// Synchronization-point density of a solver: how many global barriers,
+/// exposed tree reductions, and SpMV-hidden reductions one setup phase
+/// and one iteration execute. The per-solve totals in [`BlockStats`]
+/// scale the iteration terms by each system's iteration count.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SyncProfile {
+    /// Barriers in the setup phase (initial residual norms, `(r̂,r)`).
+    pub setup_syncs: u64,
+    /// Exposed reductions in the setup phase.
+    pub setup_reductions: u64,
+    /// Barriers per iteration.
+    pub iter_syncs: u64,
+    /// Exposed reductions per iteration (each pays the full tree depth).
+    pub iter_reductions: u64,
+    /// Reductions per iteration fused into an SpMV — they pay only their
+    /// barrier (the pipelined-solver trick).
+    pub iter_hidden_reductions: u64,
+}
+
+impl SyncProfile {
+    /// Barriers per iteration, as the ratio reported to benches/traces.
+    pub fn syncs_per_iteration(&self) -> f64 {
+        self.iter_syncs as f64
+    }
+}
+
+/// One solver's cost decomposition: operation counts and serialized-stage
+/// counts for the setup phase and for one iteration, plus the cache
+/// model's read-only traffic and the synchronization profile.
+#[derive(Clone, Copy, Debug)]
+pub struct StageCosts {
+    /// One-time counts (initial residual, preconditioner setup).
+    pub setup: OpCounts,
+    /// Counts of one iteration.
+    pub per_iter: OpCounts,
+    /// Serialized stages in the setup phase.
+    pub setup_stages: u64,
+    /// Serialized stages per iteration (reduction barriers are *not*
+    /// counted here — they are priced separately via `sync`).
+    pub iter_stages: u64,
+    /// Read-only (matrix + indices) bytes requested per iteration.
+    pub ro_req_per_iter: u64,
+    /// Synchronization-point density.
+    pub sync: SyncProfile,
 }
 
 /// Enforce the solver result contract on one system's outcome:
@@ -144,38 +204,32 @@ pub fn placed_spmv_counts<T: Scalar, M: BatchMatrix<T> + ?Sized>(
 }
 
 /// Assemble the [`BlockStats`] of one system from the solver's cost
-/// decomposition.
-///
-/// * `setup` — one-time counts (initial residual, preconditioner setup);
-/// * `per_iter` — counts of one iteration;
-/// * `iterations` — iterations the system actually ran;
-/// * `setup_stages` / `iter_stages` — serialized-stage counts;
-/// * `ro_req_per_iter` — read-only (matrix + indices) bytes requested per
-///   iteration, for the cache model.
-#[allow(clippy::too_many_arguments)]
+/// decomposition ([`StageCosts`]): setup counts plus `iterations ×`
+/// per-iteration counts, serialized stages, read-only cache traffic, and
+/// the synchronization totals the sync model prices.
 pub fn assemble_block_stats<T: Scalar, M: BatchMatrix<T> + ?Sized>(
     a: &M,
     plan: &WorkspacePlan,
     result: &SystemResult,
-    setup: &OpCounts,
-    per_iter: &OpCounts,
-    setup_stages: u64,
-    iter_stages: u64,
-    ro_req_per_iter: u64,
+    costs: &StageCosts,
 ) -> BlockStats {
     let n = a.dims().num_rows;
     let iters = result.iterations as u64;
-    let counts = *setup + *per_iter * iters;
+    let counts = costs.setup + costs.per_iter * iters;
     let ro_working_set =
         (a.value_bytes_per_system() + a.shared_index_bytes() + n * T::BYTES) as u64;
-    let ro_requested = ro_working_set + ro_req_per_iter * iters;
+    let ro_requested = ro_working_set + costs.ro_req_per_iter * iters;
     let total_global = counts.global_read_bytes + counts.global_write_bytes;
     let rw_requested = total_global.saturating_sub(ro_requested);
+    let sync = &costs.sync;
     BlockStats {
         iterations: result.iterations,
         converged: result.converged,
         counts,
-        dependent_steps: setup_stages + iter_stages * iters,
+        dependent_steps: costs.setup_stages + costs.iter_stages * iters,
+        syncs: sync.setup_syncs + sync.iter_syncs * iters,
+        reductions: sync.setup_reductions + sync.iter_reductions * iters,
+        hidden_reductions: sync.iter_hidden_reductions * iters,
         traffic: TrafficProfile {
             ro_working_set,
             shared_ro_working_set: a.shared_index_bytes() as u64,
@@ -219,6 +273,20 @@ mod tests {
         let plan = WorkspacePlan::plan::<f64>(48 * 1024, 64, &BICGSTAB_VECTORS);
         let per_iter = m.spmv_counts(32);
         let setup = OpCounts::ZERO;
+        let costs = StageCosts {
+            setup,
+            per_iter,
+            setup_stages: 3,
+            iter_stages: 14,
+            ro_req_per_iter: 1000,
+            sync: SyncProfile {
+                setup_syncs: 2,
+                setup_reductions: 2,
+                iter_syncs: 6,
+                iter_reductions: 4,
+                iter_hidden_reductions: 2,
+            },
+        };
         let mk = |iters: u32| {
             assemble_block_stats(
                 &m,
@@ -229,11 +297,7 @@ mod tests {
                     converged: true,
                     breakdown: None,
                 },
-                &setup,
-                &per_iter,
-                3,
-                14,
-                1000,
+                &costs,
             )
         };
         let b5 = mk(5);
@@ -241,6 +305,11 @@ mod tests {
         assert_eq!(b30.counts.flops, 6 * b5.counts.flops);
         assert!(b30.dependent_steps > 5 * b5.dependent_steps);
         assert!(b30.traffic.ro_requested > 5 * b5.traffic.ro_requested / 6);
+        // Sync totals scale with iterations on top of the setup constant.
+        assert_eq!(b5.syncs, 2 + 6 * 5);
+        assert_eq!(b30.syncs, 2 + 6 * 30);
+        assert_eq!(b30.reductions, 2 + 4 * 30);
+        assert_eq!(b30.hidden_reductions, 2 * 30);
     }
 
     #[test]
@@ -268,6 +337,7 @@ mod tests {
             solver: "bicgstab",
             format: "BatchCsr",
             device: "test",
+            syncs_per_iteration: 6.0,
         };
         assert_eq!(report.max_iterations(), 30);
         assert!((report.mean_iterations() - 17.5).abs() < 1e-12);

@@ -89,6 +89,7 @@ impl BatchBandedLu {
             solver: "dgbsv",
             format: "BatchBanded",
             device: device.name,
+            syncs_per_iteration: 0.0,
         })
     }
 }
@@ -118,6 +119,9 @@ fn block_stats<T: Scalar>(
     BlockStats {
         iterations: 1,
         converged: true,
+        syncs: 0,
+        reductions: 0,
+        hidden_reductions: 0,
         counts,
         // Columns factor sequentially; each depends on the previous.
         dependent_steps: 2 * n64,

@@ -81,6 +81,7 @@ impl BatchCyclicReduction {
             solver: "cyclic-reduction",
             format: "BatchTridiag",
             device: device.name,
+            syncs_per_iteration: 0.0,
         })
     }
 }
@@ -104,6 +105,9 @@ fn block_stats<T: Scalar>(device: &DeviceSpec, n: usize) -> BlockStats {
     BlockStats {
         iterations: 1,
         converged: true,
+        syncs: 0,
+        reductions: 0,
+        hidden_reductions: 0,
         counts,
         // Log-depth: two sweeps of `levels` dependent stages.
         dependent_steps: 2 * levels,

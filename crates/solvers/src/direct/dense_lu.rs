@@ -86,6 +86,7 @@ impl BatchDenseLu {
             solver: "dense-lu",
             format: "BatchDense",
             device: device.name,
+            syncs_per_iteration: 0.0,
         })
     }
 }
@@ -106,6 +107,9 @@ fn block_stats<T: Scalar>(device: &DeviceSpec, n: usize) -> BlockStats {
     BlockStats {
         iterations: 1,
         converged: true,
+        syncs: 0,
+        reductions: 0,
+        hidden_reductions: 0,
         counts,
         dependent_steps: 2 * n64, // column pipeline + triangular solves
         traffic: TrafficProfile {

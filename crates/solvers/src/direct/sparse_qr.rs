@@ -85,6 +85,7 @@ impl BatchSparseQr {
             solver: "sparse-qr",
             format: "BatchBanded",
             device: device.name,
+            syncs_per_iteration: 0.0,
         })
     }
 }
@@ -113,6 +114,9 @@ fn block_stats<T: Scalar>(
     BlockStats {
         iterations: 1,
         converged: true,
+        syncs: 0,
+        reductions: 0,
+        hidden_reductions: 0,
         counts,
         // Rotations form long sequential chains — the fundamental reason
         // a factorization cannot exploit the thread block the way the

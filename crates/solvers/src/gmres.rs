@@ -17,14 +17,16 @@ use batsolv_gpusim::{run_batch_map_mut, DeviceSpec, SimKernel};
 use batsolv_types::{OpCounts, Result, Scalar};
 
 use crate::common::{
-    assemble_block_stats, placed_spmv_counts, sanitize_block_result, BatchSolveReport, SystemResult,
+    assemble_block_stats, placed_spmv_counts, sanitize_block_result, BatchSolveReport, StageCosts,
+    SyncProfile, SystemResult,
 };
 use crate::logger::{IterationLogger, NoopLogger};
 use crate::precond::Preconditioner;
 use crate::stop::StopCriterion;
 use crate::workspace::{VectorClass, VectorSpec, WorkspacePlan};
 
-const SETUP_STAGES: u64 = 4;
+/// Reduction barriers are priced separately via [`SyncProfile`].
+const SETUP_STAGES: u64 = 3;
 
 /// Plannable vectors of GMRES — the Krylov basis itself always lives in
 /// global memory (it is `(m+1) × n`, far beyond any shared budget).
@@ -129,27 +131,34 @@ where
 
         let (setup, per_iter, ro_req) = self.cost_decomposition(a, device, &plan);
         // Modified Gram–Schmidt is inherently sequential: the j-th inner
-        // iteration performs ~j dependent (dot, axpy) pairs. Averaged
-        // over a restart cycle that is ~(m+1)/2 pairs per iteration —
-        // this serialization is exactly why GMRES loses to BiCGSTAB for
-        // these small systems despite needing only one SpMV.
-        let iter_stages = 5 + (self.restart as u64 + 1);
+        // iteration performs ~j dependent (dot, axpy) pairs — ~(m+1)/2
+        // averaged over a restart cycle. Each of those dots is also a
+        // reduction barrier, plus the ‖w‖ normalization: the MGS sweep's
+        // synchronization density is exactly why GMRES loses to BiCGSTAB
+        // for these small systems despite needing only one SpMV.
+        let depth = (self.restart as u64).div_ceil(2);
+        let sync = SyncProfile {
+            setup_syncs: 1,
+            setup_reductions: 1,
+            iter_syncs: depth + 1,
+            iter_reductions: depth + 1,
+            iter_hidden_reductions: 0,
+        };
+        let costs = StageCosts {
+            setup,
+            per_iter,
+            setup_stages: SETUP_STAGES,
+            iter_stages: 4 + depth,
+            ro_req_per_iter: ro_req,
+            sync,
+        };
         let blocks: Vec<_> = results
             .iter()
-            .map(|r| {
-                assemble_block_stats(
-                    a,
-                    &plan,
-                    r,
-                    &setup,
-                    &per_iter,
-                    SETUP_STAGES,
-                    iter_stages,
-                    ro_req,
-                )
-            })
+            .map(|r| assemble_block_stats(a, &plan, r, &costs))
             .collect();
-        let kernel = SimKernel::new(device, plan.shared_bytes).price(&blocks);
+        let kernel = SimKernel::new(device, plan.shared_bytes)
+            .with_reduction_width(n as u64)
+            .price(&blocks);
         Ok(BatchSolveReport {
             per_system: results,
             kernel,
@@ -159,6 +168,7 @@ where
             solver: "gmres",
             format: a.format_name(),
             device: device.name,
+            syncs_per_iteration: sync.syncs_per_iteration(),
         })
     }
 

@@ -11,6 +11,11 @@
 //! * [`cg`], [`gmres`], [`richardson`] — the other preconditionable
 //!   batched Krylov/fixed-point solvers ("we implement batched versions
 //!   of several preconditionable iterative solvers"; BiCGSTAB won);
+//! * [`pipelined_cg`], [`pipelined_bicgstab`] — communication-avoiding
+//!   reformulations (Ghysels–Vanroose / Cools–Vanroose recurrences) that
+//!   fuse the per-iteration dot products into one reduction overlapped
+//!   with the SpMV: 1 and 2 synchronization points per iteration versus
+//!   3 and 6 for the classical variants;
 //! * [`workspace`] — the automatic shared-memory configuration of
 //!   Section IV.D: SpMV-operand ("red") vectors are placed in shared
 //!   memory first, other intermediates next, the rest spill to global;
@@ -30,6 +35,8 @@ pub mod direct;
 pub mod gmres;
 pub mod logger;
 pub mod monolithic;
+pub mod pipelined_bicgstab;
+pub mod pipelined_cg;
 pub mod polynomial;
 pub mod precond;
 pub mod refinement;
@@ -45,6 +52,8 @@ pub use cgs::BatchCgs;
 pub use common::{BatchSolveReport, SystemResult};
 pub use gmres::BatchGmres;
 pub use logger::{ConvergenceHistory, IterationLogger, NoopLogger};
+pub use pipelined_bicgstab::PipelinedBicgstab;
+pub use pipelined_cg::PipelinedCg;
 pub use polynomial::NeumannPolynomial;
 pub use precond::{BlockJacobi, Identity, Ilu0, Jacobi, Preconditioner};
 pub use refinement::{MixedPrecisionBicgstab, RefinementReport};

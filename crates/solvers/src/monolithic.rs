@@ -103,6 +103,7 @@ where
             &self.precond,
             &self.stop,
             self.max_iters,
+            false,
             &mut logger,
         );
         let result = sanitize_block_result(&x0, x.values_mut(), result);
@@ -123,6 +124,7 @@ where
             solver: "monolithic-bicgstab",
             format: "BatchCsr(block-diagonal)",
             device: device.name,
+            syncs_per_iteration: 6.0,
         })
     }
 
@@ -170,6 +172,12 @@ where
             } else {
                 0.0
             },
+            // Every reduction is its own device-wide kernel: the barrier
+            // is the launch boundary itself, so its cost lives in
+            // `launch_s` rather than a separate sync term.
+            syncs: 2 + 6 * iterations as u64,
+            reductions: 2 + 6 * iterations as u64,
+            sync_s: 0.0,
             block_times: vec![],
         }
     }

@@ -14,14 +14,24 @@ use batsolv_gpusim::{run_batch_map_mut, DeviceSpec, SimKernel};
 use batsolv_types::{OpCounts, Result, Scalar};
 
 use crate::common::{
-    assemble_block_stats, placed_spmv_counts, sanitize_block_result, BatchSolveReport, SystemResult,
+    assemble_block_stats, placed_spmv_counts, sanitize_block_result, BatchSolveReport, StageCosts,
+    SyncProfile, SystemResult,
 };
 use crate::precond::Preconditioner;
 use crate::stop::StopCriterion;
 use crate::workspace::{WorkspacePlan, RICHARDSON_VECTORS};
 
-const SETUP_STAGES: u64 = 3;
-const ITER_STAGES: u64 = 5;
+/// Reduction barriers are priced separately via [`SyncProfile`].
+const SETUP_STAGES: u64 = 2;
+const ITER_STAGES: u64 = 4;
+/// Richardson: setup ‖b‖; per iteration one residual norm.
+const SYNC: SyncProfile = SyncProfile {
+    setup_syncs: 1,
+    setup_reductions: 1,
+    iter_syncs: 1,
+    iter_reductions: 1,
+    iter_hidden_reductions: 0,
+};
 
 /// The batched Richardson solver.
 #[derive(Clone, Debug)]
@@ -84,22 +94,21 @@ where
         });
 
         let (setup, per_iter, ro_req) = self.cost_decomposition(a, device, &plan);
+        let costs = StageCosts {
+            setup,
+            per_iter,
+            setup_stages: SETUP_STAGES,
+            iter_stages: ITER_STAGES,
+            ro_req_per_iter: ro_req,
+            sync: SYNC,
+        };
         let blocks: Vec<_> = results
             .iter()
-            .map(|r| {
-                assemble_block_stats(
-                    a,
-                    &plan,
-                    r,
-                    &setup,
-                    &per_iter,
-                    SETUP_STAGES,
-                    ITER_STAGES,
-                    ro_req,
-                )
-            })
+            .map(|r| assemble_block_stats(a, &plan, r, &costs))
             .collect();
-        let kernel = SimKernel::new(device, plan.shared_bytes).price(&blocks);
+        let kernel = SimKernel::new(device, plan.shared_bytes)
+            .with_reduction_width(n as u64)
+            .price(&blocks);
         Ok(BatchSolveReport {
             per_system: results,
             kernel,
@@ -109,6 +118,7 @@ where
             solver: "richardson",
             format: a.format_name(),
             device: device.name,
+            syncs_per_iteration: SYNC.syncs_per_iteration(),
         })
     }
 

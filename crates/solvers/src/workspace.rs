@@ -164,6 +164,22 @@ pub const CG_VECTORS: [VectorSpec; 4] = [
     VectorSpec::new("z", VectorClass::Other),
 ];
 
+/// The 10 vectors of pipelined CG (Ghysels–Vanroose recurrences): `m` and
+/// `n = A·m` carry the single SpMV; the recurrence vectors `z`, `q`, `s`
+/// follow `w`, `u`, `r` so the fused reduction reads shared operands.
+pub const PIPELINED_CG_VECTORS: [VectorSpec; 10] = [
+    VectorSpec::new("m", VectorClass::SpMV),
+    VectorSpec::new("n", VectorClass::SpMV),
+    VectorSpec::new("r", VectorClass::Other),
+    VectorSpec::new("u", VectorClass::Other),
+    VectorSpec::new("w", VectorClass::Other),
+    VectorSpec::new("z", VectorClass::Other),
+    VectorSpec::new("q", VectorClass::Other),
+    VectorSpec::new("s", VectorClass::Other),
+    VectorSpec::new("p", VectorClass::Other),
+    VectorSpec::new("x", VectorClass::Other),
+];
+
 /// The 3 vectors of preconditioned Richardson iteration.
 pub const RICHARDSON_VECTORS: [VectorSpec; 3] = [
     VectorSpec::new("r", VectorClass::SpMV),

@@ -24,7 +24,7 @@ use batsolv_formats::{
 use batsolv_gpusim::DeviceSpec;
 use batsolv_solvers::{
     BatchBicgstab, BatchCg, BatchCgs, BatchGmres, BatchRichardson, IterativeSolver, Jacobi,
-    RelResidual,
+    PipelinedBicgstab, PipelinedCg, RelResidual,
 };
 use batsolv_types::BatchDims;
 
@@ -124,6 +124,84 @@ fn gmres_fused_matches_sequential_bitwise() {
 #[test]
 fn richardson_fused_matches_sequential_bitwise() {
     assert_fused_matches_sequential(&BatchRichardson::new(Jacobi, RelResidual::new(1e-8), 0.08));
+}
+
+#[test]
+fn pipelined_bicgstab_fused_matches_sequential_bitwise() {
+    assert_fused_matches_sequential(&PipelinedBicgstab::new(Jacobi, RelResidual::new(1e-10)));
+}
+
+#[test]
+fn pipelined_cg_fused_matches_sequential_bitwise() {
+    assert_fused_matches_sequential(&PipelinedCg::new(Jacobi, RelResidual::new(1e-10)));
+}
+
+/// A symmetric (hence SPD, by diagonal dominance) fill of the same
+/// stencil, for the CG pair below.
+fn spd_batch(seed: u64) -> BatchCsr<f64> {
+    let p = Arc::new(SparsityPattern::stencil_2d(NX, NY, true));
+    let mut m = BatchCsr::zeros(NS, p).unwrap();
+    for s in 0..NS {
+        m.fill_system(s, |r, c| {
+            let (lo, hi) = (r.min(c), r.max(c));
+            let h = (seed as usize)
+                .wrapping_mul(2654435761)
+                .wrapping_add(s * 8191 + lo * 131 + hi * 17);
+            let v = (h % 1000) as f64 / 1000.0 - 0.5;
+            if r == c {
+                10.0 + v
+            } else {
+                0.6 * v
+            }
+        });
+    }
+    m
+}
+
+/// The fused-AXPY toggle folds the vector updates into single loops but
+/// computes identical FMA sequences per element, so the whole iteration
+/// path — solutions, iteration counts, residuals — must stay bitwise
+/// equal to the classical two-kernel path.
+fn assert_fused_axpy_is_bitwise_identical<S1, S2>(classical: &S1, fused: &S2, m: &BatchCsr<f64>)
+where
+    S1: IterativeSolver<f64>,
+    S2: IterativeSolver<f64>,
+{
+    let device = DeviceSpec::v100();
+    let b = rhs(m.dims());
+    let mut x_classical = BatchVectors::zeros(m.dims());
+    let rep_classical = classical
+        .solve_batch(&device, m, &b, &mut x_classical)
+        .unwrap();
+    let mut x_fused = BatchVectors::zeros(m.dims());
+    let rep_fused = fused.solve_batch(&device, m, &b, &mut x_fused).unwrap();
+
+    assert_eq!(x_classical.values(), x_fused.values());
+    for (c, f) in rep_classical.per_system.iter().zip(&rep_fused.per_system) {
+        assert_eq!(c.iterations, f.iterations);
+        assert_eq!(c.residual.to_bits(), f.residual.to_bits());
+        assert_eq!(c.converged, f.converged);
+    }
+}
+
+#[test]
+fn bicgstab_fused_axpy_is_bitwise_identical() {
+    let stop = RelResidual::new(1e-10);
+    assert_fused_axpy_is_bitwise_identical(
+        &BatchBicgstab::new(Jacobi, stop.clone()),
+        &BatchBicgstab::new(Jacobi, stop).with_fused_axpy(true),
+        &batch(42),
+    );
+}
+
+#[test]
+fn cg_fused_axpy_is_bitwise_identical() {
+    let stop = RelResidual::new(1e-10);
+    assert_fused_axpy_is_bitwise_identical(
+        &BatchCg::new(Jacobi, stop.clone()),
+        &BatchCg::new(Jacobi, stop).with_fused_axpy(true),
+        &spd_batch(42),
+    );
 }
 
 /// Textbook reference SpMV: dense triple loop over `entry()`. Slow and

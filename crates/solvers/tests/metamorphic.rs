@@ -17,7 +17,10 @@ use std::sync::Arc;
 
 use batsolv_formats::{BatchCsr, BatchEll, BatchMatrix, BatchVectors, SparsityPattern};
 use batsolv_gpusim::DeviceSpec;
-use batsolv_solvers::{BatchBicgstab, BatchCg, BatchGmres, IterativeSolver, Jacobi, RelResidual};
+use batsolv_solvers::{
+    BatchBicgstab, BatchCg, BatchGmres, IterativeSolver, Jacobi, PipelinedBicgstab, PipelinedCg,
+    RelResidual,
+};
 
 const NX: usize = 7;
 const NY: usize = 6;
@@ -225,6 +228,116 @@ fn cg_is_invariant_under_row_permutation() {
 #[test]
 fn gmres_is_invariant_under_row_permutation() {
     run_permutation_relation(&BatchGmres::new(Jacobi, RelResidual::new(1e-10), 25), 1e-6);
+}
+
+/// Symmetric (hence SPD) fill of the same stencil, for the CG pair.
+fn spd_batch(seed: u64) -> BatchCsr<f64> {
+    let p = Arc::new(SparsityPattern::stencil_2d(NX, NY, true));
+    let mut m = BatchCsr::zeros(NS, p).unwrap();
+    for s in 0..NS {
+        m.fill_system(s, |r, c| {
+            let (lo, hi) = (r.min(c), r.max(c));
+            let h = (seed as usize)
+                .wrapping_mul(2654435761)
+                .wrapping_add(s * 8191 + lo * 131 + hi * 17);
+            let v = (h % 1000) as f64 / 1000.0 - 0.5;
+            if r == c {
+                10.0 + v
+            } else {
+                0.6 * v
+            }
+        });
+    }
+    m
+}
+
+/// Per-system true residual norms `||b - A x||`.
+fn true_residuals<M: BatchMatrix<f64>>(
+    m: &M,
+    x: &BatchVectors<f64>,
+    b: &BatchVectors<f64>,
+) -> Vec<f64> {
+    let mut ax = BatchVectors::zeros(m.dims());
+    m.spmv(x, &mut ax).unwrap();
+    (0..m.dims().num_systems)
+        .map(|i| {
+            b.system(i)
+                .iter()
+                .zip(ax.system(i))
+                .map(|(bv, av)| (bv - av) * (bv - av))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .collect()
+}
+
+/// Pipelined-vs-classical equivalence: the recurrence reformulation is
+/// the "transform" here. It merges the iteration's dot-products into one
+/// fused reduction and advances the residual by scalar recurrences, so
+/// the floats round differently — but the Krylov trajectory is the same
+/// up to that rounding. The relation: iteration counts within ±1 and
+/// true residuals `||b - A x||` within `10 * eps * ||b||` of each other.
+fn run_pipelined_relation<SC, SP, M>(classical: &SC, pipelined: &SP, m: &M)
+where
+    SC: IterativeSolver<f64>,
+    SP: IterativeSolver<f64>,
+    M: BatchMatrix<f64>,
+{
+    let b = rhs_dims(m.dims());
+    let base = solve(classical, m, &b);
+    let pipe = solve(pipelined, m, &b);
+    assert_iterations_close(pipelined.name(), &pipe.iterations, &base.iterations);
+
+    let res_base = true_residuals(m, &base.x, &b);
+    let res_pipe = true_residuals(m, &pipe.x, &b);
+    for i in 0..m.dims().num_systems {
+        let bnorm = b.system(i).iter().map(|v| v * v).sum::<f64>().sqrt();
+        let bound = 10.0 * f64::EPSILON * bnorm;
+        assert!(
+            (res_pipe[i] - res_base[i]).abs() <= bound,
+            "{}: system {i} true residual {:.3e} vs classical {:.3e} \
+             (bound {bound:.3e})",
+            pipelined.name(),
+            res_pipe[i],
+            res_base[i]
+        );
+    }
+}
+
+fn rhs_dims(dims: batsolv_types::BatchDims) -> BatchVectors<f64> {
+    BatchVectors::from_fn(dims, |s, r| ((s * 41 + r * 5) as f64 * 0.083).sin())
+}
+
+#[test]
+fn pipelined_bicgstab_is_equivalent_to_classical() {
+    let stop = RelResidual::new(1e-10);
+    run_pipelined_relation(
+        &BatchBicgstab::new(Jacobi, stop.clone()),
+        &PipelinedBicgstab::new(Jacobi, stop),
+        &batch(31),
+    );
+}
+
+#[test]
+fn pipelined_cg_is_equivalent_to_classical() {
+    let stop = RelResidual::new(1e-10);
+    run_pipelined_relation(
+        &BatchCg::new(Jacobi, stop.clone()),
+        &PipelinedCg::new(Jacobi, stop),
+        &spd_batch(31),
+    );
+}
+
+/// The pipelined equivalence must also hold on the fast ELL path
+/// (column-major) — the layout the executor actually runs.
+#[test]
+fn pipelined_equivalence_holds_on_ell_column_major() {
+    let stop = RelResidual::new(1e-10);
+    run_pipelined_relation(
+        &BatchBicgstab::new(Jacobi, stop.clone()),
+        &PipelinedBicgstab::new(Jacobi, stop),
+        &BatchEll::from_csr(&batch(31)).unwrap(),
+    );
 }
 
 /// The relations must also hold on the fast ELL path (column-major) —

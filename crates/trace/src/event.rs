@@ -113,6 +113,41 @@ pub enum EventKind {
         dram_bytes: u64,
         /// Floating-point operations executed.
         flops: u64,
+        /// Synchronization points on the launch's critical path.
+        syncs: u64,
+        /// Reductions (exposed + SpMV-fused) on the critical path.
+        reductions: u64,
+        /// Sync + exposed-reduction share of the simulated time, µs.
+        sync_us: f64,
+        /// Steady-state synchronization points per solver iteration
+        /// (classical BiCGSTAB 6, pipelined 2; classical CG 3,
+        /// pipelined 1; 0 for direct solvers).
+        syncs_per_iteration: f64,
+    },
+    /// Aggregated global-synchronization record for one launch: how many
+    /// reduction barriers the critical block executed and what they cost.
+    SyncPoint {
+        /// Launch sequence number this record belongs to.
+        seq: u64,
+        /// Solver that executed the syncs.
+        solver: &'static str,
+        /// Synchronization points on the critical path.
+        syncs: u64,
+        /// Simulated time spent in syncs + exposed reductions, µs.
+        sim_us: f64,
+    },
+    /// Aggregated device-wide reduction record for one launch.
+    Reduction {
+        /// Launch sequence number this record belongs to.
+        seq: u64,
+        /// Solver that executed the reductions.
+        solver: &'static str,
+        /// Tree reductions (exposed + fused) on the critical path.
+        reductions: u64,
+        /// Participants per tree: rows × concurrent blocks.
+        width: u64,
+        /// Levels of each tree, `ceil(log2 width)`.
+        depth: u32,
     },
     /// A simulated host↔device transfer.
     Transfer {
@@ -166,6 +201,8 @@ impl EventKind {
             EventKind::RungEnd { .. } => "rung_end",
             EventKind::SolverIteration { .. } => "solver_iteration",
             EventKind::KernelLaunch { .. } => "kernel_launch",
+            EventKind::SyncPoint { .. } => "sync_point",
+            EventKind::Reduction { .. } => "reduction",
             EventKind::Transfer { .. } => "transfer",
             EventKind::Terminal { .. } => "terminal",
             EventKind::BreakerTrip => "breaker_trip",
@@ -269,6 +306,10 @@ impl TraceEvent {
                 exec_us,
                 dram_bytes,
                 flops,
+                syncs,
+                reductions,
+                sync_us,
+                syncs_per_iteration,
             } => {
                 f.push_str(&format!(
                     ",\"seq\":{seq},\"solver\":\"{solver}\",\"device\":\"{}\",\
@@ -277,10 +318,36 @@ impl TraceEvent {
                      \"shared_per_block_bytes\":{shared_per_block_bytes},\
                      \"spilled_vector_bytes\":{spilled_vector_bytes},\
                      \"launch_us\":{},\"exec_us\":{},\"dram_bytes\":{dram_bytes},\
-                     \"flops\":{flops}",
+                     \"flops\":{flops},\"syncs\":{syncs},\"reductions\":{reductions},\
+                     \"sync_us\":{},\"syncs_per_iteration\":{}",
                     json_escape(device),
                     json_f64(*launch_us),
                     json_f64(*exec_us),
+                    json_f64(*sync_us),
+                    json_f64(*syncs_per_iteration),
+                ));
+            }
+            EventKind::SyncPoint {
+                seq,
+                solver,
+                syncs,
+                sim_us,
+            } => {
+                f.push_str(&format!(
+                    ",\"seq\":{seq},\"solver\":\"{solver}\",\"syncs\":{syncs},\"sim_us\":{}",
+                    json_f64(*sim_us)
+                ));
+            }
+            EventKind::Reduction {
+                seq,
+                solver,
+                reductions,
+                width,
+                depth,
+            } => {
+                f.push_str(&format!(
+                    ",\"seq\":{seq},\"solver\":\"{solver}\",\"reductions\":{reductions},\
+                     \"width\":{width},\"depth\":{depth}"
                 ));
             }
             EventKind::Transfer {
@@ -373,6 +440,23 @@ mod tests {
                 exec_us: 85.5,
                 dram_bytes: 1 << 20,
                 flops: 1 << 24,
+                syncs: 188,
+                reductions: 188,
+                sync_us: 42.5,
+                syncs_per_iteration: 6.0,
+            },
+            EventKind::SyncPoint {
+                seq: 3,
+                solver: "bicgstab",
+                syncs: 188,
+                sim_us: 42.5,
+            },
+            EventKind::Reduction {
+                seq: 3,
+                solver: "pipelined-cg",
+                reductions: 31,
+                width: 992 * 64,
+                depth: 16,
             },
             EventKind::Transfer {
                 direction: "h2d",

@@ -130,6 +130,10 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                 spilled_vector_bytes,
                 launch_us,
                 exec_us,
+                syncs,
+                reductions,
+                sync_us,
+                syncs_per_iteration,
                 ..
             } => {
                 let dur = launch_us + exec_us;
@@ -144,10 +148,44 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                          \"total_slots\":{total_slots},\
                          \"shared_per_block_bytes\":{shared_per_block_bytes},\
                          \"spilled_vector_bytes\":{spilled_vector_bytes},\
-                         \"launch_us\":{launch_us:?},\"exec_us\":{exec_us:?}"
+                         \"launch_us\":{launch_us:?},\"exec_us\":{exec_us:?},\
+                         \"syncs\":{syncs},\"reductions\":{reductions},\
+                         \"sync_us\":{sync_us:?},\
+                         \"syncs_per_iteration\":{syncs_per_iteration:?}"
                     ),
                 ));
                 sim_cursor_us += dur.max(0.0);
+            }
+            EventKind::SyncPoint {
+                seq,
+                solver,
+                syncs,
+                sim_us,
+            } => {
+                // Markers at the owning launch's position on the device
+                // lane; the kernel span already accounts for their time.
+                out.push(instant(
+                    &format!("{solver} #{seq}: {syncs} syncs"),
+                    PID_SIM_DEVICE,
+                    TID_SIM_KERNELS,
+                    sim_cursor_us,
+                    &format!("\"syncs\":{syncs},\"sim_us\":{sim_us:?}"),
+                ));
+            }
+            EventKind::Reduction {
+                seq,
+                solver,
+                reductions,
+                width,
+                depth,
+            } => {
+                out.push(instant(
+                    &format!("{solver} #{seq}: {reductions} reductions"),
+                    PID_SIM_DEVICE,
+                    TID_SIM_KERNELS,
+                    sim_cursor_us,
+                    &format!("\"reductions\":{reductions},\"width\":{width},\"depth\":{depth}"),
+                ));
             }
             EventKind::Transfer {
                 direction,
@@ -254,6 +292,31 @@ mod tests {
                     exec_us: 40.0,
                     dram_bytes: 4096,
                     flops: 1 << 16,
+                    syncs: 54,
+                    reductions: 54,
+                    sync_us: 3.2,
+                    syncs_per_iteration: 6.0,
+                },
+            },
+            TraceEvent {
+                t_us: 22,
+                trace_id: None,
+                kind: EventKind::SyncPoint {
+                    seq: 0,
+                    solver: "bicgstab",
+                    syncs: 54,
+                    sim_us: 27.0,
+                },
+            },
+            TraceEvent {
+                t_us: 23,
+                trace_id: None,
+                kind: EventKind::Reduction {
+                    seq: 0,
+                    solver: "bicgstab",
+                    reductions: 54,
+                    width: 992 * 64,
+                    depth: 16,
                 },
             },
             TraceEvent {
@@ -317,6 +380,15 @@ mod tests {
         // Kernel at cursor 0 for 50 µs, transfer starts at 50.
         assert!(doc.contains("\"ts\":0.0,\"dur\":50.0"), "{doc}");
         assert!(doc.contains("\"ts\":50.0,\"dur\":11.0"), "{doc}");
+    }
+
+    #[test]
+    fn sync_and_reduction_records_render_in_the_device_lane() {
+        let doc = chrome_trace(&sample());
+        assert!(doc.contains("bicgstab #0: 54 syncs"), "{doc}");
+        assert!(doc.contains("bicgstab #0: 54 reductions"), "{doc}");
+        assert!(doc.contains("\"syncs_per_iteration\":6.0"), "{doc}");
+        assert!(doc.contains("\"depth\":16"), "{doc}");
     }
 
     #[test]

@@ -89,6 +89,9 @@ fn main() -> Result<()> {
             let block = BlockStats {
                 iterations: 1,
                 converged: true,
+                syncs: 0,
+                reductions: 0,
+                hidden_reductions: 0,
                 counts,
                 dependent_steps: 9,
                 traffic: TrafficProfile {
