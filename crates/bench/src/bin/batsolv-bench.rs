@@ -17,7 +17,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use batsolv_bench::perf::baseline::Baseline;
-use batsolv_bench::perf::{validate_artifact, PerfRun, SOLVE_REQUIRED, SPMV_REQUIRED};
+use batsolv_bench::perf::{
+    validate_artifact, PerfRun, FLEET_REQUIRED, SOLVE_REQUIRED, SPMV_REQUIRED,
+};
 
 struct Args {
     quick: bool,
@@ -154,20 +156,39 @@ fn main() -> ExitCode {
         );
     }
 
+    for r in &run.fleet.rows {
+        println!(
+            "  fleet {:11} dev={:8} chunks {:3}   sim {:8.3} ms   {:8.0} sys/sim-s   steals {}in/{}out",
+            r.mode, r.device_label, r.chunks, r.sim_ms, r.systems_per_sim_s, r.steals_in,
+            r.steals_out
+        );
+    }
+    println!(
+        "  fleet makespan {:.3} ms over {} devices ({} systems, {} spilled; \
+         steal-skew pass stole {} chunks)",
+        run.fleet.makespan_ms,
+        run.fleet.devices,
+        run.fleet.systems,
+        run.fleet.spilled,
+        run.fleet.steals
+    );
+
     if let Err(e) = run.write_artifacts(&args.out_dir) {
         eprintln!("batsolv-bench: writing artifacts failed: {e}");
         return ExitCode::FAILURE;
     }
     println!(
-        "wrote {} and {}",
+        "wrote {}, {} and {}",
         args.out_dir.join("BENCH_spmv.json").display(),
-        args.out_dir.join("BENCH_solve.json").display()
+        args.out_dir.join("BENCH_solve.json").display(),
+        args.out_dir.join("BENCH_fleet.json").display()
     );
 
     // Self-validate what we just wrote (the same check CI applies).
     for (file, schema, required) in [
         ("BENCH_spmv.json", "batsolv-bench/spmv/v1", SPMV_REQUIRED),
         ("BENCH_solve.json", "batsolv-bench/solve/v1", SOLVE_REQUIRED),
+        ("BENCH_fleet.json", "batsolv-bench/fleet/v1", FLEET_REQUIRED),
     ] {
         match validate_artifact(&args.out_dir.join(file), schema, required) {
             Ok(rows) => println!("validated {file}: {rows} result rows"),

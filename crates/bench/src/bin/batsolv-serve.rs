@@ -19,12 +19,26 @@
 //! * `--stats-interval-ms N` prints the Prometheus page of the *live*
 //!   snapshot every N milliseconds instead of only at shutdown.
 //!
+//! Fleet serving (`--devices N` with N >= 1): instead of one
+//! `SolveService`, traffic is sharded over a `batsolv-fleet`
+//! `DeviceRange` of N simulated GPUs plus the CPU banded-LU spill pool.
+//! Submitters send *groups* of `--target` systems; groups below
+//! `--min-batch-size` spill to the CPU pool, idle shards steal queued
+//! chunks unless `--no-steal`, and `--device-profile` picks the device
+//! model behind every shard. The periodic `--stats-interval-ms` page and
+//! the final report show the per-shard breakdown (queue depth, breaker
+//! state, steals in/out); `--metrics-out` writes the Prometheus page
+//! with per-device labels. `--compare` reruns with stealing toggled off
+//! and reports the fleet p99/makespan delta.
+//!
 //! ```text
 //! batsolv-serve [--pairs 100] [--threads 4] [--target 100] [--linger-us 2000]
 //!               [--rate 20000] [--queue 1024] [--quick] [--compare]
 //!               [--solver pipelined-bicgstab] [--trace-out trace.jsonl]
 //!               [--metrics-out metrics.prom] [--flight-recorder]
 //!               [--stats-interval-ms 1000]
+//!               [--devices N] [--min-batch-size N] [--steal | --no-steal]
+//!               [--device-profile v100|a100|mi100]
 //! ```
 //!
 //! `--solver` picks the fused solver variant carrying rung 1 of the
@@ -38,6 +52,10 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use batsolv_fleet::{
+    fleet_prometheus_text, DeviceProfile, FleetConfig, FleetService, FleetSnapshot,
+    DEFAULT_MIN_BATCH_SIZE,
+};
 use batsolv_gpusim::DeviceSpec;
 use batsolv_runtime::{
     prometheus_text, RuntimeConfig, SolveRequest, SolveService, SolverVariant, StatsSnapshot,
@@ -60,6 +78,11 @@ struct Args {
     metrics_out: Option<PathBuf>,
     flight_recorder: bool,
     stats_interval_ms: u64,
+    /// 0 = classic single-service mode; >= 1 shards over a fleet.
+    devices: usize,
+    min_batch_size: usize,
+    steal: bool,
+    profile: DeviceProfile,
 }
 
 impl Args {
@@ -78,6 +101,10 @@ impl Args {
             metrics_out: None,
             flight_recorder: false,
             stats_interval_ms: 0,
+            devices: 0,
+            min_batch_size: DEFAULT_MIN_BATCH_SIZE,
+            steal: true,
+            profile: DeviceProfile::V100,
         };
         let mut args = std::env::args().skip(1);
         let next_usize = |args: &mut dyn Iterator<Item = String>, what: &str| -> usize {
@@ -124,14 +151,35 @@ impl Args {
                 "--stats-interval-ms" => {
                     out.stats_interval_ms = next_usize(&mut args, "--stats-interval-ms") as u64
                 }
+                "--devices" => out.devices = next_usize(&mut args, "--devices"),
+                "--min-batch-size" => {
+                    out.min_batch_size = next_usize(&mut args, "--min-batch-size")
+                }
+                "--steal" => out.steal = true,
+                "--no-steal" => out.steal = false,
+                "--device-profile" => {
+                    let name = args.next().unwrap_or_default();
+                    out.profile = DeviceProfile::parse(&name).unwrap_or_else(|| {
+                        eprintln!(
+                            "--device-profile needs one of: {}",
+                            DeviceProfile::NAMES.join(", ")
+                        );
+                        std::process::exit(2);
+                    })
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: batsolv-serve [--pairs N] [--threads N] [--target N] \
                          [--linger-us N] [--rate R] [--queue N] [--quick] [--compare] \
                          [--solver NAME] [--trace-out PATH] [--metrics-out PATH] \
-                         [--flight-recorder] [--stats-interval-ms N]\n\
-                         --solver: rung-1 variant, one of {}",
-                        SolverVariant::NAMES.join(", ")
+                         [--flight-recorder] [--stats-interval-ms N] \
+                         [--devices N] [--min-batch-size N] [--steal|--no-steal] \
+                         [--device-profile NAME]\n\
+                         --solver: rung-1 variant, one of {}\n\
+                         --devices: >= 1 shards traffic over a multi-device fleet\n\
+                         --device-profile: one of {}",
+                        SolverVariant::NAMES.join(", "),
+                        DeviceProfile::NAMES.join(", ")
                     );
                     std::process::exit(0);
                 }
@@ -236,6 +284,111 @@ fn drive(
     (stats, converged, failed, rejected, wall)
 }
 
+/// Fleet mode: fire groups of `--target` systems at a sharded
+/// `FleetService`; returns (snapshot, converged, failed, rejected, wall).
+fn drive_fleet(
+    workload: &XgcWorkload,
+    args: &Args,
+    steal: bool,
+    tracer: Tracer,
+) -> (FleetSnapshot, usize, usize, usize, Duration) {
+    let config = FleetConfig::new(args.devices)
+        .with_profile(args.profile)
+        .with_min_batch_size(args.min_batch_size)
+        .with_queue_capacity(args.queue)
+        .with_steal(steal)
+        .with_tracer(tracer);
+    let service = Arc::new(
+        FleetService::start(Arc::clone(workload.pattern()), config).expect("fleet failed to start"),
+    );
+    // Periodic live telemetry: the per-shard breakdown (queue depth,
+    // breaker state, steals in/out) at the configured cadence.
+    let stop_stats = Arc::new(AtomicBool::new(false));
+    let stats_printer = (args.stats_interval_ms > 0).then(|| {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop_stats);
+        let every = Duration::from_millis(args.stats_interval_ms);
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                thread::sleep(every);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                println!("--- live fleet stats ---\n{}", service.snapshot().render());
+            }
+        })
+    });
+    let total = workload.num_systems();
+    let group_size = args.target.max(1);
+    let groups: Vec<(usize, usize)> = (0..total)
+        .step_by(group_size)
+        .map(|start| (start, (start + group_size).min(total)))
+        .collect();
+    let gap = Duration::from_secs_f64(args.threads as f64 / args.rate);
+    let started = Instant::now();
+    let (converged, failed, rejected) = thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..args.threads {
+            let service = Arc::clone(&service);
+            // Round-robin partition of the group stream across submitters.
+            let mine: Vec<(usize, usize)> = groups
+                .iter()
+                .skip(t)
+                .step_by(args.threads)
+                .copied()
+                .collect();
+            handles.push(scope.spawn(move || {
+                let mut rejected = 0usize;
+                let mut tickets = Vec::with_capacity(mine.len());
+                for (start, end) in mine {
+                    let group: Vec<SolveRequest> = (start..end)
+                        .map(|i| {
+                            let sys = workload.system(i);
+                            SolveRequest::new(sys.values.to_vec(), sys.rhs.to_vec())
+                                .with_guess(sys.warm_guess.to_vec())
+                        })
+                        .collect();
+                    let size = group.len();
+                    match service.submit_group(group, None) {
+                        Ok(ticket) => tickets.push(ticket),
+                        Err(SubmitError::QueueFull { .. })
+                        | Err(SubmitError::CircuitOpen { .. }) => rejected += size,
+                        Err(e) => {
+                            eprintln!("submit error: {e}");
+                            rejected += size;
+                        }
+                    }
+                    // Open loop: pace arrivals, never wait on outcomes.
+                    thread::sleep(gap * size as u32);
+                }
+                let mut converged = 0usize;
+                let mut failed = 0usize;
+                for ticket in tickets {
+                    for outcome in ticket.wait_all() {
+                        match outcome {
+                            Ok(_) => converged += 1,
+                            Err(_) => failed += 1,
+                        }
+                    }
+                }
+                (converged, failed, rejected)
+            }));
+        }
+        handles.into_iter().fold((0, 0, 0), |acc, h| {
+            let (c, f, r) = h.join().expect("submitter panicked");
+            (acc.0 + c, acc.1 + f, acc.2 + r)
+        })
+    });
+    let wall = started.elapsed();
+    stop_stats.store(true, Ordering::Relaxed);
+    if let Some(h) = stats_printer {
+        let _ = h.join();
+    }
+    let service = Arc::into_inner(service).expect("submitters hold no service refs");
+    let snap = service.shutdown();
+    (snap, converged, failed, rejected, wall)
+}
+
 fn main() {
     let args = Args::parse();
     let grid = if args.quick {
@@ -274,6 +427,72 @@ fn main() {
         }
         (Some(s), Some(r)) => Tracer::with_flight_recorder(s, Arc::clone(r)),
     };
+
+    if args.devices > 0 {
+        let (snap, converged, failed, rejected, wall) =
+            drive_fleet(&workload, &args, args.steal, tracer.clone());
+        println!(
+            "\n--- fleet: {} x {} shards + cpu pool (groups of {}, min batch {}, steal {}) ---",
+            args.devices,
+            args.profile.name(),
+            args.target.max(1),
+            args.min_batch_size,
+            if args.steal { "on" } else { "off" }
+        );
+        println!(
+            "wall {:.2}s: {converged} converged, {failed} failed, {rejected} rejected at submission",
+            wall.as_secs_f64()
+        );
+        print!("{}", snap.render());
+
+        tracer.flush();
+        if let Some(path) = &args.trace_out {
+            println!("trace written to {}", path.display());
+        }
+        if let Some(path) = &args.metrics_out {
+            std::fs::write(path, fleet_prometheus_text(&snap)).unwrap_or_else(|e| {
+                eprintln!("cannot write metrics file {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            println!("metrics written to {}", path.display());
+        }
+        if let Some(r) = &recorder {
+            match r.last_dump() {
+                Some(dump) => {
+                    let path = PathBuf::from("flight_dump.jsonl");
+                    std::fs::write(&path, dump.to_jsonl()).unwrap_or_else(|e| {
+                        eprintln!("cannot write flight dump {}: {e}", path.display());
+                        std::process::exit(2);
+                    });
+                    println!(
+                        "flight recorder dumped ({}): {}",
+                        dump.reason,
+                        path.display()
+                    );
+                }
+                None => println!("flight recorder armed; no dump was triggered"),
+            }
+        }
+
+        if args.compare {
+            // Baseline: the same stream with stealing toggled the other way.
+            let (base, ..) = drive_fleet(&workload, &args, !args.steal, Tracer::disabled());
+            let label = |steal: bool| if steal { "steal" } else { "no-steal" };
+            println!("\n--- fleet baseline ({}) ---", label(!args.steal));
+            print!("{}", base.render());
+            println!(
+                "\nfleet p99 latency: {} {:.3} ms vs {} {:.3} ms; \
+                 makespan {:.3} ms vs {:.3} ms",
+                label(args.steal),
+                snap.latency_p99.as_secs_f64() * 1e3,
+                label(!args.steal),
+                base.latency_p99.as_secs_f64() * 1e3,
+                snap.makespan_s * 1e3,
+                base.makespan_s * 1e3,
+            );
+        }
+        return;
+    }
 
     let (stats, converged, failed, rejected, wall) =
         drive(&workload, &args, args.target, tracer.clone());

@@ -5,7 +5,7 @@
 //! repro [--quick] fig1 fig2 ... fig9 table1 table2 table3
 //! repro [--quick] ablation-{monolithic,shared,solver,tolerance}
 //! repro [--quick] ext-{multispecies,multigpu,mixed-precision,gpu-direct,
-//!                      campaign,dia,precond,convergence,gridsize,serving,chaos,trace}
+//!                      campaign,dia,precond,convergence,gridsize,serving,chaos,trace,fleet}
 //! ```
 //!
 //! CSV series land in `bench_out/` (override with `REPRO_OUT`); the
@@ -74,6 +74,7 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
     ("ext-serving", serving::run),
     ("ext-chaos", chaos::run),
     ("ext-trace", tracing::run),
+    ("ext-fleet", fleet::run),
     ("ablation-shared", ablations::shared_memory),
     ("ablation-solver", ablations::solver_choice),
     ("ablation-tolerance", ablations::tolerance),

@@ -1,0 +1,281 @@
+//! Fleet serving: sustained open-loop load across a multi-device
+//! shard range, with work stealing under a skewed arrival pattern.
+//!
+//! The paper benchmarks one GPU; a node runs several. This experiment
+//! drives the `batsolv-fleet` scheduler with an open-loop stream of
+//! XGC-shaped groups whose placement hints are heavily skewed toward
+//! shard 0 (a hot mesh partition), twice: with `--no-steal` semantics
+//! and with stealing on. The same submission schedule, workload, and
+//! seeds are used for both runs, so the only difference is whether idle
+//! shards may raid the hot shard's queue. The PASS gate requires the
+//! fleet-wide p99 latency to *improve* under stealing — a regression
+//! fails the binary (exit 1 through the repro driver).
+//!
+//! Sub-`MIN_BATCH_SIZE` group remainders spill to the CPU banded-LU
+//! pool; the experiment cross-checks that the trace events and the
+//! Prometheus per-device labels agree about every spilled system.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use batsolv_fleet::{FleetConfig, FleetService, FleetSnapshot};
+use batsolv_runtime::SolveRequest;
+use batsolv_trace::{parse_prom_value, EventKind, MemorySink, TraceSink, Tracer};
+use batsolv_types::{Error, Result};
+use batsolv_xgc::{VelocityGrid, XgcWorkload};
+
+use crate::config::RunConfig;
+use crate::output::{write_csv, TextTable};
+
+/// Spill cutoff for the experiment (systems).
+const MIN_BATCH: usize = 8;
+/// Chunking ceiling (systems).
+const MAX_BATCH: usize = 32;
+/// Group-size cycle: mostly GPU-sized groups, every sixth group one
+/// system below the cutoff so the spill path stays exercised.
+const SIZES: [usize; 6] = [MAX_BATCH, 16, 16, 12, MIN_BATCH, MIN_BATCH - 1];
+/// 8 of every 10 groups aim at shard 0 — the skewed arrival pattern.
+const SKEW_NUM: usize = 8;
+const SKEW_DEN: usize = 10;
+
+pub(crate) struct DriveReport {
+    pub snap: FleetSnapshot,
+    pub wall: Duration,
+    pub spill_events: u64,
+    pub spill_systems_traced: u64,
+    pub page: String,
+}
+
+/// Replay the workload through a fleet as an open-loop group stream.
+/// `skew` aims 8/10 groups at shard 0 (the hot-partition pattern); a
+/// non-skewed run round-robins hints, which with stealing off makes the
+/// whole schedule — and therefore every simulated-time metric —
+/// deterministic (the perf harness gates on exactly that).
+pub(crate) fn drive(
+    workload: &XgcWorkload,
+    devices: usize,
+    steal: bool,
+    skew: bool,
+    pace: Duration,
+) -> Result<DriveReport> {
+    let sink = Arc::new(MemorySink::new());
+    let cfg = FleetConfig::new(devices)
+        .with_min_batch_size(MIN_BATCH)
+        .with_max_batch_size(MAX_BATCH)
+        .with_queue_capacity(4096)
+        .with_steal(steal)
+        .with_tracer(Tracer::new(Arc::clone(&sink) as Arc<dyn TraceSink>));
+    let service = FleetService::start(Arc::clone(workload.pattern()), cfg)?;
+
+    let total = workload.num_systems();
+    let start = Instant::now();
+    let mut tickets = Vec::new();
+    let mut i = 0usize;
+    let mut g = 0usize;
+    while i < total {
+        let size = SIZES[g % SIZES.len()].min(total - i);
+        let group: Vec<SolveRequest> = (i..i + size)
+            .map(|k| {
+                let sys = workload.system(k);
+                SolveRequest::new(sys.values.to_vec(), sys.rhs.to_vec())
+                    .with_guess(sys.warm_guess.to_vec())
+            })
+            .collect();
+        let hint = if skew && g % SKEW_DEN < SKEW_NUM {
+            Some(0)
+        } else {
+            Some((g % devices) as u32)
+        };
+        let ticket = service
+            .submit_group(group, hint)
+            .map_err(|e| Error::InvalidConfig(format!("fleet submit failed: {e}")))?;
+        tickets.push(ticket);
+        i += size;
+        g += 1;
+        if !pace.is_zero() {
+            std::thread::sleep(pace);
+        }
+    }
+    let mut completed = 0usize;
+    for t in tickets {
+        for outcome in t.wait_all() {
+            let s =
+                outcome.map_err(|e| Error::InvalidConfig(format!("fleet solve failed: {e}")))?;
+            if !s.residual.is_finite() || s.residual > 1e-8 {
+                return Err(Error::InvalidConfig(format!(
+                    "fleet residual {} too large",
+                    s.residual
+                )));
+            }
+            completed += 1;
+        }
+    }
+    let wall = start.elapsed();
+    if completed != total {
+        return Err(Error::InvalidConfig(format!(
+            "only {completed} of {total} fleet requests completed"
+        )));
+    }
+    let snap = service.shutdown();
+    let page = batsolv_fleet::fleet_prometheus_text(&snap);
+
+    let mut spill_events = 0u64;
+    let mut spill_systems_traced = 0u64;
+    for e in sink.snapshot() {
+        if let EventKind::CpuSpill { size, .. } = e.kind {
+            spill_events += 1;
+            spill_systems_traced += size as u64;
+        }
+    }
+    Ok(DriveReport {
+        snap,
+        wall,
+        spill_events,
+        spill_systems_traced,
+        page,
+    })
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Run the experiment; returns the report section.
+pub fn run(cfg: &RunConfig) -> Result<String> {
+    let devices = if cfg.quick { 4 } else { 8 };
+    let pairs = if cfg.quick { 450 } else { 1500 };
+    let grid = VelocityGrid::small(10, 9);
+    let workload = XgcWorkload::generate(grid, pairs, cfg.seed)?;
+    let total = workload.num_systems();
+    let pace = Duration::from_micros(40);
+
+    let no_steal = drive(&workload, devices, false, true, pace)?;
+    let steal = drive(&workload, devices, true, true, pace)?;
+
+    // -- Spill agreement: trace events vs Prometheus per-device labels.
+    let spilled_prom = parse_prom_value(&steal.page, "batsolv_fleet_spilled_systems_total")
+        .ok_or_else(|| Error::InvalidConfig("spill counter missing from metrics".into()))?
+        as u64;
+    if steal.spill_systems_traced != spilled_prom
+        || steal.snap.spilled != spilled_prom
+        || steal.snap.cpu_pool.completed != spilled_prom
+    {
+        return Err(Error::InvalidConfig(format!(
+            "spill disagreement: trace {} vs prometheus {} vs snapshot {} vs cpu pool {}",
+            steal.spill_systems_traced,
+            spilled_prom,
+            steal.snap.spilled,
+            steal.snap.cpu_pool.completed
+        )));
+    }
+
+    let mut table = TextTable::new(&[
+        "mode",
+        "shard",
+        "device",
+        "chunks",
+        "steals_in",
+        "steals_out",
+        "wait_p50_ms",
+        "wait_p99_ms",
+        "lat_p50_ms",
+        "lat_p99_ms",
+    ]);
+    let mut rows = Vec::new();
+    for (mode, rep) in [("no-steal", &no_steal), ("steal", &steal)] {
+        for s in rep
+            .snap
+            .shards
+            .iter()
+            .chain(std::iter::once(&rep.snap.cpu_pool))
+        {
+            table.row(&[
+                mode.to_string(),
+                format!("{}", s.shard),
+                if (s.shard as usize) < devices {
+                    "gpu".to_string()
+                } else {
+                    "cpu-pool".to_string()
+                },
+                format!("{}", s.chunks_executed),
+                format!("{}", s.steals_in),
+                format!("{}", s.steals_out),
+                format!("{:.3}", ms(s.wait_p50)),
+                format!("{:.3}", ms(s.wait_p99)),
+                format!("{:.3}", ms(s.latency_p50)),
+                format!("{:.3}", ms(s.latency_p99)),
+            ]);
+            rows.push(format!(
+                "{mode},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6}",
+                s.shard,
+                if (s.shard as usize) < devices {
+                    "gpu"
+                } else {
+                    "cpu-pool"
+                },
+                s.chunks_executed,
+                s.steals_in,
+                s.steals_out,
+                ms(s.wait_p50),
+                ms(s.wait_p99),
+                ms(s.latency_p50),
+                ms(s.latency_p99),
+            ));
+        }
+    }
+    write_csv(
+        &cfg.out_dir,
+        "fleet_shards.csv",
+        "mode,shard,device,chunks,steals_in,steals_out,wait_p50_ms,wait_p99_ms,lat_p50_ms,lat_p99_ms",
+        &rows,
+    )?;
+
+    let p99_no_steal = no_steal.snap.latency_p99;
+    let p99_steal = steal.snap.latency_p99;
+    let improvement = if p99_steal.as_secs_f64() > 0.0 {
+        p99_no_steal.as_secs_f64() / p99_steal.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+    // The gate: under the skewed arrival pattern stealing must improve
+    // the fleet-wide tail. Regression fails the run (repro exits 1).
+    let ok = steal.snap.steals() > 0 && p99_steal < p99_no_steal;
+
+    let mut out = String::from("== Fleet serving: sharded multi-device with work stealing ==\n");
+    out.push_str(&format!(
+        "{total} XGC systems streamed open-loop over {devices} simulated V100 shards \
+         ({}/{} groups hinted at shard 0; {} systems/group cycle; \
+         sub-{MIN_BATCH} remainders spill to the 38-worker Skylake LU pool)\n",
+        SKEW_NUM,
+        SKEW_DEN,
+        SIZES.map(|s| s.to_string()).join("/"),
+    ));
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "fleet p99 latency: no-steal {:.3} ms -> steal {:.3} ms ({improvement:.2}x better, \
+         {} steals; wall {:.0} ms -> {:.0} ms)\n",
+        ms(p99_no_steal),
+        ms(p99_steal),
+        steal.snap.steals(),
+        ms(no_steal.wall),
+        ms(steal.wall),
+    ));
+    out.push_str(&format!(
+        "cpu spill: {} systems in {} chunks; trace events, Prometheus device=\"cpu-pool\" \
+         labels, and the fleet snapshot agree\n",
+        spilled_prom, steal.spill_events,
+    ));
+    out.push_str(&format!(
+        "gate: stealing reduces fleet p99 under skew .............. {}\n",
+        if ok { "PASS" } else { "FAIL" }
+    ));
+    if !ok {
+        return Err(Error::InvalidConfig(format!(
+            "fleet steal gate failed: p99 no-steal {:.3} ms vs steal {:.3} ms, {} steals",
+            ms(p99_no_steal),
+            ms(p99_steal),
+            steal.snap.steals()
+        )));
+    }
+    Ok(out)
+}

@@ -1,0 +1,184 @@
+//! Fleet sweep: multi-device sharded serving through `batsolv-fleet`.
+//!
+//! Two passes over the same XGC group stream:
+//!
+//! * **round-robin** — stealing off, hints round-robined, no pacing.
+//!   With a deterministic submission schedule and no stealing, every
+//!   chunk lands on its hinted shard, so per-shard simulated time, the
+//!   fleet makespan, and the spill census are pure functions of the
+//!   workload and device model. These are the gated metrics.
+//! * **steal-skew** — stealing on, 8/10 groups hinted at shard 0. Steal
+//!   counts and wall clock are recorded in the artifact for
+//!   trend-watching but never gated: which thief wins a race is
+//!   scheduler timing, not modeled behavior.
+//!
+//! Results land in `BENCH_fleet.json` (schema `batsolv-bench/fleet/v1`).
+
+use std::time::Duration;
+
+use batsolv_gpusim::DeviceSpec;
+use batsolv_types::Result;
+use batsolv_xgc::{VelocityGrid, XgcWorkload};
+
+use super::json::{obj, Json};
+use crate::experiments::fleet::drive;
+
+/// Shards in the perf fleet. Fixed across quick/full so the gate-metric
+/// names (and the committed baseline) stay mode-independent.
+pub const FLEET_DEVICES: usize = 4;
+
+/// One per-device row of one pass.
+pub struct FleetRow {
+    /// `"round-robin"` (gated) or `"steal-skew"` (informational).
+    pub mode: &'static str,
+    /// Device label as it appears in the Prometheus series: the shard
+    /// index for GPUs, `"cpu-pool"` for the spill pool.
+    pub device_label: String,
+    /// Device-model name behind the shard.
+    pub profile: &'static str,
+    /// Chunks this device executed.
+    pub chunks: u64,
+    /// Systems this device completed.
+    pub completed: u64,
+    /// Simulated busy time, milliseconds.
+    pub sim_ms: f64,
+    /// Per-shard throughput: completed systems per simulated second.
+    pub systems_per_sim_s: f64,
+    /// Chunks stolen from peers / lost to thieves.
+    pub steals_in: u64,
+    pub steals_out: u64,
+}
+
+/// Everything the fleet sweep measured.
+pub struct FleetSweep {
+    pub devices: usize,
+    pub systems: usize,
+    pub rows: Vec<FleetRow>,
+    /// Round-robin pass: slowest shard's simulated time (ms) — the
+    /// fleet completes when its last device drains.
+    pub makespan_ms: f64,
+    /// Round-robin pass: summed simulated time across devices (ms).
+    pub sim_total_ms: f64,
+    /// Round-robin pass: fleet throughput, systems per simulated
+    /// second of makespan.
+    pub systems_per_sim_s: f64,
+    /// Round-robin pass: systems spilled to the CPU pool.
+    pub spilled: u64,
+    /// Steal-skew pass: chunks stolen fleet-wide (informational).
+    pub steals: u64,
+    /// Steal-skew pass: host wall clock, ms (informational).
+    pub wall_ms: f64,
+}
+
+fn rows_for(mode: &'static str, snap: &batsolv_fleet::FleetSnapshot) -> Vec<FleetRow> {
+    snap.shards
+        .iter()
+        .map(|s| (s, format!("{}", s.shard)))
+        .chain(std::iter::once((&snap.cpu_pool, "cpu-pool".to_string())))
+        .map(|(s, device_label)| FleetRow {
+            mode,
+            device_label,
+            profile: s.device,
+            chunks: s.chunks_executed,
+            completed: s.completed,
+            sim_ms: s.sim_time_s * 1e3,
+            systems_per_sim_s: if s.sim_time_s > 0.0 {
+                s.completed as f64 / s.sim_time_s
+            } else {
+                0.0
+            },
+            steals_in: s.steals_in,
+            steals_out: s.steals_out,
+        })
+        .collect()
+}
+
+/// Run the fleet sweep.
+pub fn run(quick: bool) -> Result<FleetSweep> {
+    let pairs = if quick { 60 } else { 300 };
+    let workload = XgcWorkload::generate(VelocityGrid::small(10, 9), pairs, 20220530)?;
+    let systems = workload.num_systems();
+
+    // Gated pass: deterministic schedule (no steal, no skew, no pacing).
+    let rr = drive(&workload, FLEET_DEVICES, false, false, Duration::ZERO)?;
+    // Informational pass: skewed arrivals with stealing on.
+    let sk = drive(&workload, FLEET_DEVICES, true, true, Duration::ZERO)?;
+
+    let mut rows = rows_for("round-robin", &rr.snap);
+    rows.extend(rows_for("steal-skew", &sk.snap));
+
+    let makespan_ms = rr.snap.makespan_s * 1e3;
+    Ok(FleetSweep {
+        devices: FLEET_DEVICES,
+        systems,
+        rows,
+        makespan_ms,
+        sim_total_ms: rr.snap.sim_time_total_s * 1e3,
+        systems_per_sim_s: if rr.snap.makespan_s > 0.0 {
+            rr.snap.completed() as f64 / rr.snap.makespan_s
+        } else {
+            0.0
+        },
+        spilled: rr.snap.spilled,
+        steals: sk.snap.steals(),
+        wall_ms: sk.wall.as_secs_f64() * 1e3,
+    })
+}
+
+fn row_json(r: &FleetRow) -> Json {
+    obj(vec![
+        ("mode", Json::Str(r.mode.into())),
+        ("device", Json::Str(r.device_label.clone())),
+        ("profile", Json::Str(r.profile.into())),
+        ("chunks", Json::Num(r.chunks as f64)),
+        ("completed", Json::Num(r.completed as f64)),
+        ("sim_ms", Json::Num(r.sim_ms)),
+        ("systems_per_sim_s", Json::Num(r.systems_per_sim_s)),
+        ("steals_in", Json::Num(r.steals_in as f64)),
+        ("steals_out", Json::Num(r.steals_out as f64)),
+    ])
+}
+
+impl FleetSweep {
+    /// The `BENCH_fleet.json` document.
+    pub fn to_json(&self, device: &DeviceSpec, quick: bool) -> Json {
+        obj(vec![
+            ("schema", Json::Str("batsolv-bench/fleet/v1".into())),
+            ("quick", Json::Bool(quick)),
+            ("device", Json::Str(device.name.into())),
+            ("devices", Json::Num(self.devices as f64)),
+            ("systems", Json::Num(self.systems as f64)),
+            ("makespan_ms", Json::Num(self.makespan_ms)),
+            ("sim_total_ms", Json::Num(self.sim_total_ms)),
+            ("systems_per_sim_s", Json::Num(self.systems_per_sim_s)),
+            ("spilled", Json::Num(self.spilled as f64)),
+            ("steals", Json::Num(self.steals as f64)),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            (
+                "results",
+                Json::Arr(self.rows.iter().map(row_json).collect()),
+            ),
+        ])
+    }
+
+    /// Deterministic gate metrics: the round-robin pass only.
+    pub fn gate_metrics(&self) -> (Vec<(String, f64)>, Vec<(String, f64)>) {
+        let mut lower = vec![
+            ("fleet.makespan_ms".to_string(), self.makespan_ms),
+            ("fleet.sim_total_ms".to_string(), self.sim_total_ms),
+        ];
+        for r in self.rows.iter().filter(|r| r.mode == "round-robin") {
+            let name = if r.device_label == "cpu-pool" {
+                "fleet.cpu-pool.sim_ms".to_string()
+            } else {
+                format!("fleet.device{}.sim_ms", r.device_label)
+            };
+            lower.push((name, r.sim_ms));
+        }
+        let higher = vec![(
+            "fleet.systems_per_sim_s".to_string(),
+            self.systems_per_sim_s,
+        )];
+        (lower, higher)
+    }
+}

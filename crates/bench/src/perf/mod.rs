@@ -7,14 +7,19 @@
 //!   device pricing (the coalescing story);
 //! * [`solve`] — full batched BiCGSTAB solves, sequential vs concurrent
 //!   execution through the runtime's `BatchExecutor` (the launch-fusion
-//!   story).
+//!   story);
+//! * [`fleet`] — the same workload sharded over a multi-device
+//!   `batsolv-fleet` range (the serving story: per-shard throughput,
+//!   fleet makespan, CPU spill, steal counts).
 //!
-//! Results land in `BENCH_spmv.json` / `BENCH_solve.json`; the
+//! Results land in `BENCH_spmv.json` / `BENCH_solve.json` /
+//! `BENCH_fleet.json`; the
 //! deterministic subset is gated against the committed baseline in
 //! `crates/bench/baselines/bench_baseline.json` by [`baseline`]. See
 //! README "Benchmarking" for the schema.
 
 pub mod baseline;
+pub mod fleet;
 pub mod json;
 pub mod solve;
 pub mod spmv;
@@ -43,6 +48,7 @@ pub fn median_us(samples: &mut [f64]) -> f64 {
 pub struct PerfRun {
     pub spmv: spmv::SpmvSweep,
     pub solve: solve::SolveSweep,
+    pub fleet: fleet::FleetSweep,
     pub device: DeviceSpec,
     pub quick: bool,
 }
@@ -62,6 +68,7 @@ impl PerfRun {
         Ok(PerfRun {
             spmv: spmv::run(&device, quick)?,
             solve: solve::run(&device, quick, solver_filter)?,
+            fleet: fleet::run(quick)?,
             device,
             quick,
         })
@@ -78,13 +85,20 @@ impl PerfRun {
             out_dir.join("BENCH_solve.json"),
             self.solve.to_json(&self.device, self.quick).pretty(),
         )?;
+        std::fs::write(
+            out_dir.join("BENCH_fleet.json"),
+            self.fleet.to_json(&self.device, self.quick).pretty(),
+        )?;
         Ok(())
     }
 
     /// The deterministic gate metrics of this run.
     pub fn gate_metrics(&self) -> (Vec<(String, f64)>, Vec<(String, f64)>) {
-        let (mut lower, higher) = self.solve.gate_metrics();
+        let (mut lower, mut higher) = self.solve.gate_metrics();
         lower.extend(self.spmv.gate_metrics());
+        let (fleet_lower, fleet_higher) = self.fleet.gate_metrics();
+        lower.extend(fleet_lower);
+        higher.extend(fleet_higher);
         (lower, higher)
     }
 
@@ -143,6 +157,19 @@ pub const SPMV_REQUIRED: &[&str] = &[
     "sim_us",
     "modeled_bandwidth_gbs",
     "lane_utilization",
+];
+
+/// Required per-row fields of `BENCH_fleet.json`.
+pub const FLEET_REQUIRED: &[&str] = &[
+    "mode",
+    "device",
+    "profile",
+    "chunks",
+    "completed",
+    "sim_ms",
+    "systems_per_sim_s",
+    "steals_in",
+    "steals_out",
 ];
 
 /// Required per-row fields of `BENCH_solve.json`.

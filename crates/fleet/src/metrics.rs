@@ -1,0 +1,286 @@
+//! Prometheus text-exposition rendering of a [`FleetSnapshot`], with
+//! per-device labels.
+//!
+//! Every per-shard series carries `device="N"` (the shard id) plus
+//! `profile` (the simulated hardware behind it); the CPU spill pool
+//! exposes the same series under `device="cpu-pool"`, so a dashboard
+//! can stack GPU shards against the spill path without a second metric
+//! namespace. Pure function of the snapshot, like the runtime's
+//! `prometheus_text`: a scrape and a [`FleetSnapshot::render`] page
+//! taken at the same instant can never disagree.
+
+use batsolv_trace::PromText;
+
+use crate::stats::{FleetSnapshot, ShardSnapshot};
+
+fn device_label(s: &ShardSnapshot, gpu_shards: usize) -> String {
+    if (s.shard as usize) < gpu_shards {
+        s.shard.to_string()
+    } else {
+        "cpu-pool".to_string()
+    }
+}
+
+/// Render the fleet snapshot as a Prometheus text-format metrics page.
+pub fn fleet_prometheus_text(f: &FleetSnapshot) -> String {
+    let gpu_shards = f.shards.len();
+    let mut p = PromText::new();
+
+    p.counter(
+        "batsolv_fleet_requests_accepted_total",
+        "Systems accepted by the fleet scheduler.",
+        f.accepted,
+    );
+    p.counter(
+        "batsolv_fleet_requests_rejected_total",
+        "Systems rejected at submit (shape, backpressure, breaker).",
+        f.rejected,
+    );
+    p.counter(
+        "batsolv_fleet_gpu_chunks_total",
+        "Chunks dispatched to GPU shards.",
+        f.gpu_chunks,
+    );
+    p.counter(
+        "batsolv_fleet_spilled_systems_total",
+        "Systems spilled to the CPU banded-LU pool.",
+        f.spilled,
+    );
+    p.gauge(
+        "batsolv_fleet_makespan_seconds",
+        "Busiest device's simulated time.",
+        f.makespan_s,
+    );
+    p.gauge(
+        "batsolv_fleet_sim_time_seconds_total",
+        "Simulated device time summed across the fleet.",
+        f.sim_time_total_s,
+    );
+    p.family(
+        "batsolv_fleet_wait_seconds",
+        "gauge",
+        "Fleet-wide queue-wait percentiles, merged across shards.",
+    );
+    p.sample(
+        "batsolv_fleet_wait_seconds",
+        &[("quantile", "0.5")],
+        f.wait_p50.as_secs_f64(),
+    );
+    p.sample(
+        "batsolv_fleet_wait_seconds",
+        &[("quantile", "0.99")],
+        f.wait_p99.as_secs_f64(),
+    );
+    p.family(
+        "batsolv_fleet_latency_seconds",
+        "gauge",
+        "Fleet-wide submit-to-outcome latency percentiles.",
+    );
+    p.sample(
+        "batsolv_fleet_latency_seconds",
+        &[("quantile", "0.5")],
+        f.latency_p50.as_secs_f64(),
+    );
+    p.sample(
+        "batsolv_fleet_latency_seconds",
+        &[("quantile", "0.99")],
+        f.latency_p99.as_secs_f64(),
+    );
+
+    let all: Vec<&ShardSnapshot> = f
+        .shards
+        .iter()
+        .chain(std::iter::once(&f.cpu_pool))
+        .collect();
+
+    macro_rules! per_device_counter {
+        ($name:literal, $help:literal, $get:expr) => {
+            p.family($name, "counter", $help);
+            for s in &all {
+                let dev = device_label(s, gpu_shards);
+                let get: fn(&ShardSnapshot) -> u64 = $get;
+                p.sample(
+                    $name,
+                    &[("device", dev.as_str()), ("profile", s.device)],
+                    get(s) as f64,
+                );
+            }
+        };
+    }
+
+    per_device_counter!(
+        "batsolv_fleet_device_chunks_total",
+        "Chunks executed per device (own plus stolen).",
+        |s| s.chunks_executed
+    );
+    per_device_counter!(
+        "batsolv_fleet_device_completed_total",
+        "Systems converged per device.",
+        |s| s.completed
+    );
+    per_device_counter!(
+        "batsolv_fleet_device_failed_total",
+        "Systems terminally failed per device.",
+        |s| s.failed
+    );
+    per_device_counter!(
+        "batsolv_fleet_device_steals_in_total",
+        "Chunks this device stole from loaded peers.",
+        |s| s.steals_in
+    );
+    per_device_counter!(
+        "batsolv_fleet_device_steals_out_total",
+        "Chunks loaded peers stole from this device's queue.",
+        |s| s.steals_out
+    );
+    per_device_counter!(
+        "batsolv_fleet_device_breaker_trips_total",
+        "Circuit-breaker trips per device.",
+        |s| s.breaker_trips
+    );
+
+    p.family(
+        "batsolv_fleet_device_queue_depth",
+        "gauge",
+        "Chunks queued per device right now.",
+    );
+    for s in &all {
+        let dev = device_label(s, gpu_shards);
+        p.sample(
+            "batsolv_fleet_device_queue_depth",
+            &[("device", dev.as_str()), ("profile", s.device)],
+            s.queue_depth as f64,
+        );
+    }
+    p.family(
+        "batsolv_fleet_device_breaker_open",
+        "gauge",
+        "Whether the device's circuit breaker is open (1) or closed (0).",
+    );
+    for s in &all {
+        let dev = device_label(s, gpu_shards);
+        p.sample(
+            "batsolv_fleet_device_breaker_open",
+            &[("device", dev.as_str()), ("profile", s.device)],
+            if s.breaker_open { 1.0 } else { 0.0 },
+        );
+    }
+    p.family(
+        "batsolv_fleet_device_sim_time_seconds",
+        "gauge",
+        "Simulated device time accumulated per device.",
+    );
+    for s in &all {
+        let dev = device_label(s, gpu_shards);
+        p.sample(
+            "batsolv_fleet_device_sim_time_seconds",
+            &[("device", dev.as_str()), ("profile", s.device)],
+            s.sim_time_s,
+        );
+    }
+    p.family(
+        "batsolv_fleet_device_wait_seconds",
+        "gauge",
+        "Per-device queue-wait percentiles.",
+    );
+    for s in &all {
+        let dev = device_label(s, gpu_shards);
+        p.sample(
+            "batsolv_fleet_device_wait_seconds",
+            &[("device", dev.as_str()), ("quantile", "0.5")],
+            s.wait_p50.as_secs_f64(),
+        );
+        p.sample(
+            "batsolv_fleet_device_wait_seconds",
+            &[("device", dev.as_str()), ("quantile", "0.99")],
+            s.wait_p99.as_secs_f64(),
+        );
+    }
+    p.family(
+        "batsolv_fleet_device_latency_seconds",
+        "gauge",
+        "Per-device submit-to-outcome latency percentiles.",
+    );
+    for s in &all {
+        let dev = device_label(s, gpu_shards);
+        p.sample(
+            "batsolv_fleet_device_latency_seconds",
+            &[("device", dev.as_str()), ("quantile", "0.5")],
+            s.latency_p50.as_secs_f64(),
+        );
+        p.sample(
+            "batsolv_fleet_device_latency_seconds",
+            &[("device", dev.as_str()), ("quantile", "0.99")],
+            s.latency_p99.as_secs_f64(),
+        );
+    }
+
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn shard(id: u32, device: &'static str) -> ShardSnapshot {
+        ShardSnapshot {
+            shard: id,
+            device,
+            queue_depth: id as usize,
+            breaker_open: id == 1,
+            chunks_executed: 10 + id as u64,
+            completed: 100 * (id as u64 + 1),
+            failed: id as u64,
+            steals_in: 2,
+            steals_out: 3,
+            breaker_trips: 0,
+            sim_time_s: 0.5 * (id as f64 + 1.0),
+            wait_p50: Duration::from_micros(100),
+            wait_p99: Duration::from_micros(900),
+            latency_p50: Duration::from_micros(200),
+            latency_p99: Duration::from_micros(1800),
+        }
+    }
+
+    fn snapshot() -> FleetSnapshot {
+        FleetSnapshot {
+            shards: vec![shard(0, "NVIDIA V100-16GB"), shard(1, "NVIDIA V100-16GB")],
+            cpu_pool: shard(2, "2x Intel Xeon Gold 6148 (38 worker cores)"),
+            accepted: 640,
+            rejected: 3,
+            gpu_chunks: 20,
+            spilled: 11,
+            wait_p50: Duration::from_micros(150),
+            wait_p99: Duration::from_micros(950),
+            latency_p50: Duration::from_micros(250),
+            latency_p99: Duration::from_micros(1900),
+            makespan_s: 1.0,
+            sim_time_total_s: 2.5,
+        }
+    }
+
+    #[test]
+    fn per_device_labels_cover_gpu_shards_and_cpu_pool() {
+        let page = fleet_prometheus_text(&snapshot());
+        assert!(page.contains("batsolv_fleet_device_completed_total{device=\"0\""));
+        assert!(page.contains("batsolv_fleet_device_completed_total{device=\"1\""));
+        assert!(page.contains("batsolv_fleet_device_completed_total{device=\"cpu-pool\""));
+        assert!(page.contains("profile=\"2x Intel Xeon Gold 6148 (38 worker cores)\""));
+        assert!(page.contains("batsolv_fleet_spilled_systems_total 11"));
+        assert!(page.contains("batsolv_fleet_device_breaker_open{device=\"1\""));
+    }
+
+    #[test]
+    fn page_agrees_with_the_snapshot() {
+        let f = snapshot();
+        let page = fleet_prometheus_text(&f);
+        let accepted =
+            batsolv_trace::parse_prom_value(&page, "batsolv_fleet_requests_accepted_total")
+                .unwrap();
+        assert_eq!(accepted as u64, f.accepted);
+        let makespan =
+            batsolv_trace::parse_prom_value(&page, "batsolv_fleet_makespan_seconds").unwrap();
+        assert!((makespan - f.makespan_s).abs() < 1e-12);
+    }
+}

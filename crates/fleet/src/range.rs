@@ -1,0 +1,230 @@
+//! The `DeviceRange` scheduler: size-aware routing of batches across
+//! the fleet's device shards.
+//!
+//! Mirrors the SPH-EXA batch solver's dispatch shape: a contiguous range
+//! of device ids (`device_begin .. device_end`) absorbs batches in
+//! chunks of at most `MAX_BATCH_SIZE`, and anything smaller than
+//! `MIN_BATCH_SIZE` falls back to the CPU solver — here the paper's
+//! 38-worker Skylake banded-LU pool. The boundary is inclusive on the
+//! GPU side: a chunk of *exactly* `min_batch_size` systems stays on a
+//! GPU shard; only `min_batch_size - 1` and below spill (an off-by-one
+//! here silently shifts the paper's CPU/GPU crossover).
+//!
+//! Routing is pure arithmetic over sizes — no queues, no clocks — so
+//! every policy decision is unit-testable in isolation from the
+//! threaded service around it.
+
+/// Where one chunk of systems executes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// On the GPU shard with this id.
+    Shard(u32),
+    /// On the CPU banded-LU spill pool.
+    CpuPool,
+}
+
+/// One routed chunk: a half-open range into the submitted group plus
+/// its destination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// Start index into the group (inclusive).
+    pub start: usize,
+    /// End index into the group (exclusive).
+    pub end: usize,
+    /// Where the chunk goes.
+    pub route: Route,
+}
+
+/// Size-aware dispatch policy over a contiguous device-id range.
+#[derive(Clone, Debug)]
+pub struct DeviceRange {
+    /// First GPU shard id (inclusive).
+    pub device_begin: u32,
+    /// One past the last GPU shard id.
+    pub device_end: u32,
+    /// Chunks below this spill to the CPU pool.
+    pub min_batch_size: usize,
+    /// Chunks never exceed this.
+    pub max_batch_size: usize,
+}
+
+impl DeviceRange {
+    /// A range over shards `0..devices` with the given cutoffs.
+    pub fn new(devices: usize, min_batch_size: usize, max_batch_size: usize) -> DeviceRange {
+        assert!(devices >= 1 && min_batch_size >= 1 && max_batch_size >= min_batch_size);
+        DeviceRange {
+            device_begin: 0,
+            device_end: devices as u32,
+            min_batch_size,
+            max_batch_size,
+        }
+    }
+
+    /// Number of GPU shards in the range.
+    pub fn num_devices(&self) -> usize {
+        (self.device_end - self.device_begin) as usize
+    }
+
+    /// The shard id of the CPU spill pool: one past the GPU range, so
+    /// per-device trace lanes and Prometheus labels stay disjoint.
+    pub fn cpu_shard(&self) -> u32 {
+        self.device_end
+    }
+
+    /// Map a caller affinity hint (e.g. a mesh-partition id) or, absent
+    /// one, a round-robin counter onto a shard of the range.
+    pub fn pick_shard(&self, hint: Option<u32>, round_robin: u64) -> u32 {
+        let n = self.num_devices() as u64;
+        match hint {
+            Some(h) => self.device_begin + (h as u64 % n) as u32,
+            None => self.device_begin + (round_robin % n) as u32,
+        }
+    }
+
+    /// Split a group of `size` systems into routed chunks.
+    ///
+    /// Greedy chunking: full `max_batch_size` chunks first, then the
+    /// remainder. Each chunk of at least `min_batch_size` systems lands
+    /// on a GPU shard (starting at the picked shard, then walking the
+    /// range so one group fans out); a sub-`min_batch_size` remainder —
+    /// including a group that is entirely below the cutoff — spills to
+    /// the CPU pool.
+    pub fn route_group(&self, size: usize, first_shard: u32) -> Vec<Placement> {
+        let mut placements = Vec::new();
+        let mut start = 0usize;
+        let mut shard = first_shard;
+        while start < size {
+            let end = (start + self.max_batch_size).min(size);
+            let route = if end - start >= self.min_batch_size {
+                let r = Route::Shard(shard);
+                shard = self.next_shard(shard);
+                r
+            } else {
+                Route::CpuPool
+            };
+            placements.push(Placement { start, end, route });
+            start = end;
+        }
+        placements
+    }
+
+    /// The shard after `shard`, wrapping inside the range.
+    pub fn next_shard(&self, shard: u32) -> u32 {
+        let next = shard + 1;
+        if next >= self.device_end {
+            self.device_begin
+        } else {
+            next
+        }
+    }
+}
+
+/// The deterministic victim-visit order for one thief: a seeded
+/// Fisher–Yates shuffle of every other shard in the range. Fixing the
+/// permutation at startup makes steal schedules reproducible — the same
+/// seed and shard count always probe victims in the same order.
+pub fn victim_order(devices: usize, thief: u32, seed: u64) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..devices as u32).filter(|&s| s != thief).collect();
+    let mut state = seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(thief as u64 + 1));
+    let mut next = || {
+        // splitmix64, as in the stats reservoir.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..order.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_min_batch_size_goes_to_a_gpu_shard() {
+        let range = DeviceRange::new(4, 8, 64);
+        let routed = range.route_group(8, 0);
+        assert_eq!(
+            routed,
+            vec![Placement {
+                start: 0,
+                end: 8,
+                route: Route::Shard(0)
+            }]
+        );
+    }
+
+    #[test]
+    fn one_below_min_batch_size_spills_to_the_cpu_pool() {
+        let range = DeviceRange::new(4, 8, 64);
+        let routed = range.route_group(7, 0);
+        assert_eq!(
+            routed,
+            vec![Placement {
+                start: 0,
+                end: 7,
+                route: Route::CpuPool
+            }]
+        );
+    }
+
+    #[test]
+    fn large_groups_chunk_at_max_and_fan_out_across_shards() {
+        let range = DeviceRange::new(3, 8, 64);
+        let routed = range.route_group(200, 1);
+        // 64 + 64 + 64 + 8: the remainder is exactly min, so it stays
+        // on a GPU shard too.
+        assert_eq!(routed.len(), 4);
+        assert_eq!(
+            routed.iter().map(|p| p.end - p.start).collect::<Vec<_>>(),
+            vec![64, 64, 64, 8]
+        );
+        assert_eq!(
+            routed.iter().map(|p| p.route.clone()).collect::<Vec<_>>(),
+            vec![
+                Route::Shard(1),
+                Route::Shard(2),
+                Route::Shard(0),
+                Route::Shard(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn sub_min_remainder_of_a_large_group_spills() {
+        let range = DeviceRange::new(2, 8, 64);
+        let routed = range.route_group(70, 0);
+        assert_eq!(routed.len(), 2);
+        assert_eq!(routed[0].route, Route::Shard(0));
+        assert_eq!(routed[1].end - routed[1].start, 6);
+        assert_eq!(routed[1].route, Route::CpuPool);
+    }
+
+    #[test]
+    fn pick_shard_wraps_hints_and_round_robin() {
+        let range = DeviceRange::new(4, 8, 64);
+        assert_eq!(range.pick_shard(Some(6), 0), 2);
+        assert_eq!(range.pick_shard(None, 9), 1);
+        assert_eq!(range.cpu_shard(), 4);
+    }
+
+    #[test]
+    fn victim_order_is_seeded_and_excludes_the_thief() {
+        let a = victim_order(6, 2, 42);
+        let b = victim_order(6, 2, 42);
+        assert_eq!(a, b, "same seed, same order");
+        assert_eq!(a.len(), 5);
+        assert!(!a.contains(&2));
+        let c = victim_order(6, 2, 43);
+        assert_ne!(a, c, "different seed shuffles differently");
+        // Thieves probe in different orders so they do not stampede the
+        // same victim.
+        let d = victim_order(6, 3, 42);
+        assert!(!d.contains(&3));
+    }
+}

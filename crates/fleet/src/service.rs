@@ -1,0 +1,420 @@
+//! [`FleetService`]: sharded multi-device serving with size-aware
+//! dispatch, work stealing, and CPU spill.
+//!
+//! One service owns `devices` GPU shards — each a simulated device, a
+//! bounded chunk queue, a worker thread, a circuit breaker, and stats —
+//! plus the CPU banded-LU spill pool. Groups submitted through
+//! [`FleetService::submit_group`] are routed by the [`DeviceRange`]
+//! policy and placed *atomically*: a submit lock serializes placement
+//! planning, and workers only ever drain queues, so a group either
+//! lands whole or is rejected whole (no half-dispatched groups whose
+//! orphaned members never resolve).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use batsolv_formats::SparsityPattern;
+use batsolv_gpusim::{LaunchHook, NoDisruption};
+use batsolv_runtime::{CircuitBreaker, LadderEngine, SolveEngine, SolveRequest, SubmitError};
+use batsolv_trace::{EventKind, Tracer};
+use batsolv_types::Result;
+
+use crate::config::FleetConfig;
+use crate::metrics::fleet_prometheus_text;
+use crate::range::{victim_order, DeviceRange, Route};
+use crate::shard::{spawn_shard_worker, ChunkQueue, ShardShared, ShardStats};
+use crate::spill::CpuLuEngine;
+use crate::stats::{percentile_us, snapshot_shard, FleetSnapshot};
+use crate::work::{Chunk, GroupTicket, Pending};
+
+/// A running fleet: GPU shards plus the CPU spill pool.
+pub struct FleetService {
+    range: DeviceRange,
+    shards: Arc<Vec<Arc<ShardShared>>>,
+    cpu: Arc<ShardShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Serializes placement planning against concurrent submitters and
+    /// shutdown, making group placement all-or-nothing.
+    submit_lock: Mutex<()>,
+    shutting_down: AtomicBool,
+    next_id: AtomicU64,
+    round_robin: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    gpu_chunks: AtomicU64,
+    spilled: AtomicU64,
+    queue_capacity: usize,
+    nnz: usize,
+    n: usize,
+    tracer: Tracer,
+}
+
+impl FleetService {
+    /// Start a fleet over `pattern` with the given knobs.
+    pub fn start(pattern: Arc<SparsityPattern>, cfg: FleetConfig) -> Result<FleetService> {
+        let hooks = vec![Arc::new(NoDisruption) as Arc<dyn LaunchHook>; cfg.devices];
+        FleetService::start_with_hooks(pattern, cfg, hooks)
+    }
+
+    /// Start a fleet with a chaos [`LaunchHook`] per GPU shard
+    /// (`hooks[i]` disrupts shard `i`) — the seam the deterministic
+    /// fault-injection tests drive.
+    pub fn start_with_hooks(
+        pattern: Arc<SparsityPattern>,
+        cfg: FleetConfig,
+        hooks: Vec<Arc<dyn LaunchHook>>,
+    ) -> Result<FleetService> {
+        cfg.validate()?;
+        assert_eq!(hooks.len(), cfg.devices, "one hook per GPU shard");
+        let range = DeviceRange::new(cfg.devices, cfg.min_batch_size, cfg.max_batch_size);
+
+        let shards: Arc<Vec<Arc<ShardShared>>> = Arc::new(
+            (0..cfg.devices as u32)
+                .map(|id| {
+                    Arc::new(ShardShared {
+                        id,
+                        device_name: cfg.profile.spec().name,
+                        queue: ChunkQueue::new(cfg.queue_capacity),
+                        stats: ShardStats::new(),
+                        breaker: CircuitBreaker::new(cfg.breaker),
+                    })
+                })
+                .collect(),
+        );
+        let cpu = Arc::new(ShardShared {
+            id: range.cpu_shard(),
+            device_name: batsolv_gpusim::DeviceSpec::skylake_node().name,
+            queue: ChunkQueue::new(cfg.queue_capacity),
+            stats: ShardStats::new(),
+            breaker: CircuitBreaker::new(cfg.breaker),
+        });
+
+        let mut workers = Vec::with_capacity(cfg.devices + 1);
+        for (i, shard) in shards.iter().enumerate() {
+            let engine: Arc<dyn SolveEngine> = Arc::new(
+                LadderEngine::with_hook(
+                    cfg.profile.spec(),
+                    Arc::clone(&pattern),
+                    cfg.ladder,
+                    Arc::clone(&hooks[i]),
+                )
+                .with_tracer(cfg.tracer.clone())
+                .with_shard(shard.id),
+            );
+            let victims = if cfg.steal {
+                victim_order(cfg.devices, shard.id, cfg.steal_seed)
+            } else {
+                Vec::new()
+            };
+            workers.push(spawn_shard_worker(
+                Arc::clone(shard),
+                Arc::clone(&shards),
+                engine,
+                victims,
+                cfg.tracer.clone(),
+            ));
+        }
+        // The CPU pool is one more worker over the same machinery: a
+        // banded-LU engine instead of the ladder, and it never steals
+        // (GPU backlogs would defeat the size cutoff that routed work
+        // away from it).
+        let cpu_engine: Arc<dyn SolveEngine> = Arc::new(CpuLuEngine::new(
+            Arc::clone(&pattern),
+            cfg.cpu_workers,
+            range.cpu_shard(),
+            cfg.tracer.clone(),
+        ));
+        workers.push(spawn_shard_worker(
+            Arc::clone(&cpu),
+            Arc::clone(&shards),
+            cpu_engine,
+            Vec::new(),
+            cfg.tracer.clone(),
+        ));
+
+        Ok(FleetService {
+            range,
+            shards,
+            cpu,
+            workers: Mutex::new(workers),
+            submit_lock: Mutex::new(()),
+            shutting_down: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            round_robin: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            gpu_chunks: AtomicU64::new(0),
+            spilled: AtomicU64::new(0),
+            queue_capacity: cfg.queue_capacity,
+            nnz: pattern.nnz(),
+            n: pattern.num_rows(),
+            tracer: cfg.tracer,
+        })
+    }
+
+    /// Number of GPU shards.
+    pub fn num_devices(&self) -> usize {
+        self.range.num_devices()
+    }
+
+    /// The dispatch policy in force.
+    pub fn range(&self) -> &DeviceRange {
+        &self.range
+    }
+
+    /// Submit a group of systems over the fleet's shared pattern.
+    ///
+    /// `hint` is an optional placement affinity (e.g. a mesh-partition
+    /// id); absent one, groups round-robin across shards. The group is
+    /// routed by [`DeviceRange::route_group`] and placed atomically:
+    /// either every chunk is queued (`Ok`) or none is (`Err`). Chunks
+    /// aimed at a breaker-open or full shard walk the range to the next
+    /// healthy one; only when every GPU shard refuses does the submit
+    /// fail with [`SubmitError::CircuitOpen`] (all breakers open) or
+    /// [`SubmitError::QueueFull`].
+    pub fn submit_group(
+        &self,
+        requests: Vec<SolveRequest>,
+        hint: Option<u32>,
+    ) -> std::result::Result<GroupTicket, SubmitError> {
+        if requests.is_empty() {
+            return Err(SubmitError::ShapeMismatch {
+                field: "group",
+                expected: 1,
+                got: 0,
+            });
+        }
+        for r in &requests {
+            if r.values.len() != self.nnz {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::ShapeMismatch {
+                    field: "values",
+                    expected: self.nnz,
+                    got: r.values.len(),
+                });
+            }
+            if r.rhs.len() != self.n {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::ShapeMismatch {
+                    field: "rhs",
+                    expected: self.n,
+                    got: r.rhs.len(),
+                });
+            }
+            if let Some(g) = &r.guess {
+                if g.len() != self.n {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::ShapeMismatch {
+                        field: "guess",
+                        expected: self.n,
+                        got: g.len(),
+                    });
+                }
+            }
+        }
+
+        let _placement = self.submit_lock.lock().unwrap();
+        if self.shutting_down.load(Ordering::Relaxed) {
+            return Err(SubmitError::ShuttingDown);
+        }
+
+        // Plan every chunk's destination before queueing anything.
+        let first = self
+            .range
+            .pick_shard(hint, self.round_robin.fetch_add(1, Ordering::Relaxed));
+        let placements = self.range.route_group(requests.len(), first);
+        let now = Instant::now();
+        let devices = self.range.num_devices();
+        let mut planned = vec![0usize; devices + 1]; // [devices] = CPU pool
+        let mut targets: Vec<Route> = Vec::with_capacity(placements.len());
+        for p in &placements {
+            match p.route {
+                Route::CpuPool => {
+                    if self.cpu.queue.len() + planned[devices] >= self.queue_capacity {
+                        self.rejected
+                            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+                        return Err(SubmitError::QueueFull {
+                            capacity: self.queue_capacity,
+                        });
+                    }
+                    planned[devices] += 1;
+                    targets.push(Route::CpuPool);
+                }
+                Route::Shard(s) => {
+                    let mut chosen = None;
+                    let mut open_retry: Option<Duration> = None;
+                    let mut cur = s;
+                    for _ in 0..devices {
+                        let shard = &self.shards[cur as usize];
+                        match shard.breaker.check(now) {
+                            Err(retry) => {
+                                open_retry =
+                                    Some(open_retry.map_or(retry, |r: Duration| r.min(retry)));
+                            }
+                            Ok(()) => {
+                                if shard.queue.len() + planned[cur as usize] < self.queue_capacity {
+                                    chosen = Some(cur);
+                                    break;
+                                }
+                            }
+                        }
+                        cur = self.range.next_shard(cur);
+                    }
+                    match chosen {
+                        Some(c) => {
+                            planned[c as usize] += 1;
+                            targets.push(Route::Shard(c));
+                        }
+                        None => {
+                            self.rejected
+                                .fetch_add(requests.len() as u64, Ordering::Relaxed);
+                            return Err(match open_retry {
+                                Some(retry_after) => SubmitError::CircuitOpen { retry_after },
+                                None => SubmitError::QueueFull {
+                                    capacity: self.queue_capacity,
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Placement is feasible: mint ids, build the ticket, queue every
+        // chunk. Pushes cannot fail now — capacity was planned under the
+        // submit lock and workers only drain.
+        let total = requests.len();
+        let base = self.next_id.fetch_add(total as u64, Ordering::Relaxed);
+        let enqueued = Instant::now();
+        let mut ids = Vec::with_capacity(total);
+        let mut rxs = Vec::with_capacity(total);
+        let mut pendings = Vec::with_capacity(total);
+        for (k, r) in requests.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            let id = base + k as u64;
+            ids.push(id);
+            rxs.push(rx);
+            pendings.push(Pending {
+                id,
+                values: r.values,
+                rhs: r.rhs,
+                guess: r.guess,
+                tolerance: r.tolerance,
+                enqueued,
+                tx,
+            });
+        }
+
+        let mut rest = pendings;
+        for (p, target) in placements.iter().zip(targets) {
+            let tail = rest.split_off(p.end - p.start);
+            let items = rest;
+            rest = tail;
+            let size = items.len();
+            match target {
+                Route::Shard(s) => {
+                    let shard = &self.shards[s as usize];
+                    shard
+                        .queue
+                        .try_push(Chunk { items, origin: s })
+                        .ok()
+                        .expect("planned GPU chunk placement cannot fail");
+                    self.gpu_chunks.fetch_add(1, Ordering::Relaxed);
+                    self.tracer.emit(
+                        None,
+                        EventKind::ShardDispatch {
+                            shard: s,
+                            device: shard.device_name,
+                            size,
+                            queue_depth: shard.queue.len(),
+                        },
+                    );
+                }
+                Route::CpuPool => {
+                    self.cpu
+                        .queue
+                        .try_push(Chunk {
+                            items,
+                            origin: self.cpu.id,
+                        })
+                        .ok()
+                        .expect("planned CPU chunk placement cannot fail");
+                    self.spilled.fetch_add(size as u64, Ordering::Relaxed);
+                    self.tracer.emit(
+                        None,
+                        EventKind::CpuSpill {
+                            size,
+                            min_batch_size: self.range.min_batch_size,
+                        },
+                    );
+                }
+            }
+        }
+        debug_assert!(rest.is_empty());
+        self.accepted.fetch_add(total as u64, Ordering::Relaxed);
+        Ok(GroupTicket { ids, rxs })
+    }
+
+    /// Point-in-time fleet rollup: every shard, the CPU pool, merged
+    /// percentiles, and scheduler counters.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        let now = Instant::now();
+        let mut wait_us = Vec::new();
+        let mut latency_us = Vec::new();
+        let shards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| snapshot_shard(s, now, &mut wait_us, &mut latency_us))
+            .collect();
+        let cpu_pool = snapshot_shard(&self.cpu, now, &mut wait_us, &mut latency_us);
+        wait_us.sort_unstable();
+        latency_us.sort_unstable();
+        let makespan_s = shards
+            .iter()
+            .map(|s| s.sim_time_s)
+            .chain(std::iter::once(cpu_pool.sim_time_s))
+            .fold(0.0f64, f64::max);
+        let sim_time_total_s =
+            shards.iter().map(|s| s.sim_time_s).sum::<f64>() + cpu_pool.sim_time_s;
+        FleetSnapshot {
+            wait_p50: percentile_us(&wait_us, 0.50),
+            wait_p99: percentile_us(&wait_us, 0.99),
+            latency_p50: percentile_us(&latency_us, 0.50),
+            latency_p99: percentile_us(&latency_us, 0.99),
+            shards,
+            cpu_pool,
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            gpu_chunks: self.gpu_chunks.load(Ordering::Relaxed),
+            spilled: self.spilled.load(Ordering::Relaxed),
+            makespan_s,
+            sim_time_total_s,
+        }
+    }
+
+    /// Render the current snapshot as a Prometheus metrics page with
+    /// per-device labels.
+    pub fn prometheus_text(&self) -> String {
+        fleet_prometheus_text(&self.snapshot())
+    }
+
+    /// Drain every queue, stop every worker, and return the final
+    /// rollup. Queued work still executes: queues drain before closing.
+    pub fn shutdown(self) -> FleetSnapshot {
+        {
+            let _placement = self.submit_lock.lock().unwrap();
+            self.shutting_down.store(true, Ordering::Relaxed);
+            for s in self.shards.iter() {
+                s.queue.close();
+            }
+            self.cpu.queue.close();
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        for w in workers {
+            let _ = w.join();
+        }
+        self.snapshot()
+    }
+}

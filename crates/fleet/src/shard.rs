@@ -1,0 +1,384 @@
+//! One fleet shard: a bounded chunk queue, a worker thread driving an
+//! escalation-ladder engine on the shard's own simulated device, a
+//! per-shard circuit breaker, and per-shard stats.
+//!
+//! The worker's steal protocol: when its own queue stays empty past a
+//! poll interval, it walks its fixed, seeded victim order and takes the
+//! *oldest* queued chunk from the first victim with a backlog — the
+//! chunk with the worst wait so far, which is what shortens the fleet's
+//! tail. A steal is one atomic queue pop, so a chunk executes exactly
+//! once no matter how thief, victim, and breaker interleave.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use batsolv_runtime::{
+    BatchItem, CircuitBreaker, Reservoir, Solution, SolveEngine, SolveError, SolveMethod,
+};
+use batsolv_trace::{EventKind, Tracer};
+use batsolv_types::Error;
+
+use crate::work::Chunk;
+
+/// How long a worker waits on its empty queue before probing victims.
+const POLL_INTERVAL: Duration = Duration::from_millis(2);
+
+/// Result of a blocking pop.
+pub(crate) enum Popped {
+    Chunk(Chunk),
+    TimedOut,
+    /// Closed *and* drained — time to exit.
+    Closed,
+}
+
+struct QueueState {
+    chunks: VecDeque<Chunk>,
+    closed: bool,
+}
+
+/// Bounded MPMC chunk queue. Push rejects when full (explicit
+/// backpressure, like the service queue); `steal` pops the oldest
+/// entry from any thread.
+pub(crate) struct ChunkQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl ChunkQueue {
+    pub fn new(capacity: usize) -> ChunkQueue {
+        ChunkQueue {
+            state: Mutex::new(QueueState {
+                chunks: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Push a chunk; hands it back when the queue is full or closed.
+    pub fn try_push(&self, chunk: Chunk) -> Result<(), Chunk> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed || s.chunks.len() >= self.capacity {
+            return Err(chunk);
+        }
+        s.chunks.push_back(chunk);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop with a timeout. A closed queue drains before
+    /// reporting [`Popped::Closed`], so accepted work always executes.
+    pub fn pop_wait(&self, timeout: Duration) -> Popped {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(chunk) = s.chunks.pop_front() {
+                return Popped::Chunk(chunk);
+            }
+            if s.closed {
+                return Popped::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Popped::TimedOut;
+            }
+            let (guard, _) = self.cv.wait_timeout(s, deadline - now).unwrap();
+            s = guard;
+        }
+    }
+
+    /// Steal the oldest queued chunk (used by other shards' workers).
+    pub fn steal(&self) -> Option<Chunk> {
+        self.state.lock().unwrap().chunks.pop_front()
+    }
+
+    /// Queued chunks right now.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().chunks.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Close the queue: pushes fail, pops drain then report closed.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct SampledShardStats {
+    pub wait_us: Reservoir,
+    pub latency_us: Reservoir,
+}
+
+/// Per-shard counters; lock-free on the hot path, reservoirs for
+/// percentile estimates.
+pub(crate) struct ShardStats {
+    pub chunks_executed: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub steals_in: AtomicU64,
+    pub steals_out: AtomicU64,
+    pub breaker_trips: AtomicU64,
+    /// Simulated device time, nanoseconds (atomics hold no f64).
+    pub sim_time_ns: AtomicU64,
+    pub sampled: Mutex<SampledShardStats>,
+}
+
+impl ShardStats {
+    pub fn new() -> ShardStats {
+        ShardStats {
+            chunks_executed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            steals_in: AtomicU64::new(0),
+            steals_out: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            sim_time_ns: AtomicU64::new(0),
+            sampled: Mutex::new(SampledShardStats::default()),
+        }
+    }
+
+    fn add_sim_time(&self, seconds: f64) {
+        let ns = (seconds * 1e9).max(0.0) as u64;
+        self.sim_time_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+/// Everything a shard shares with the scheduler and with thieving
+/// peers: its queue, breaker, stats, and identity.
+pub(crate) struct ShardShared {
+    pub id: u32,
+    pub device_name: &'static str,
+    pub queue: ChunkQueue,
+    pub stats: ShardStats,
+    pub breaker: CircuitBreaker,
+}
+
+/// Spawn one shard's worker loop.
+///
+/// `victims` is this thief's fixed victim-visit order (empty disables
+/// stealing); `peers` indexes every GPU shard by id.
+pub(crate) fn spawn_shard_worker(
+    shard: Arc<ShardShared>,
+    peers: Arc<Vec<Arc<ShardShared>>>,
+    engine: Arc<dyn SolveEngine>,
+    victims: Vec<u32>,
+    tracer: Tracer,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("fleet-shard-{}", shard.id))
+        .spawn(move || loop {
+            match shard.queue.pop_wait(POLL_INTERVAL) {
+                Popped::Chunk(chunk) => {
+                    execute_chunk(engine.as_ref(), &shard, chunk, &tracer);
+                }
+                Popped::Closed => break,
+                Popped::TimedOut => {
+                    // Raid greedily while idle: once a steal succeeds,
+                    // keep taking chunks (re-checking our own queue
+                    // between them) instead of paying the poll interval
+                    // per stolen chunk.
+                    while shard.queue.is_empty() {
+                        let mut stole = false;
+                        for &v in &victims {
+                            let victim = &peers[v as usize];
+                            if let Some(chunk) = victim.queue.steal() {
+                                victim.stats.steals_out.fetch_add(1, Ordering::Relaxed);
+                                shard.stats.steals_in.fetch_add(1, Ordering::Relaxed);
+                                tracer.emit(
+                                    None,
+                                    EventKind::ShardSteal {
+                                        thief: shard.id,
+                                        victim: chunk.origin,
+                                        size: chunk.len(),
+                                    },
+                                );
+                                execute_chunk(engine.as_ref(), &shard, chunk, &tracer);
+                                stole = true;
+                                break;
+                            }
+                        }
+                        if !stole {
+                            break;
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn fleet shard worker")
+}
+
+/// Execute one chunk on `shard`'s engine and deliver exactly one
+/// terminal outcome per item — through every path, including an engine
+/// error or a worker panic.
+pub(crate) fn execute_chunk(
+    engine: &dyn SolveEngine,
+    shard: &ShardShared,
+    chunk: Chunk,
+    tracer: &Tracer,
+) {
+    let n = chunk.len();
+    if n == 0 {
+        return;
+    }
+    let dispatch_start = Instant::now();
+    let mut meta = Vec::with_capacity(n);
+    let mut items = Vec::with_capacity(n);
+    for p in chunk.items {
+        let wait = dispatch_start.saturating_duration_since(p.enqueued);
+        meta.push((p.id, p.tx, p.enqueued, wait));
+        items.push(BatchItem {
+            id: p.id,
+            values: p.values,
+            rhs: p.rhs,
+            guess: p.guess,
+            tolerance: p.tolerance,
+        });
+    }
+
+    let result = catch_unwind(AssertUnwindSafe(|| engine.solve_batch(&items)));
+    shard.stats.chunks_executed.fetch_add(1, Ordering::Relaxed);
+
+    let mut degraded = 0usize;
+    match result {
+        Ok(Ok(report)) => {
+            shard.stats.add_sim_time(report.sim_time_s);
+            {
+                let mut s = shard.stats.sampled.lock().unwrap();
+                for (_, _, enqueued, wait) in &meta {
+                    s.wait_us.push(wait.as_micros() as u64);
+                    s.latency_us.push(enqueued.elapsed().as_micros() as u64);
+                }
+            }
+            for (outcome, (_, tx, _, wait)) in report.outcomes.into_iter().zip(meta) {
+                if outcome.converged {
+                    if outcome.method == SolveMethod::BandedLuFallback {
+                        degraded += 1;
+                    }
+                    shard.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(Ok(Solution {
+                        x: outcome.x,
+                        iterations: outcome.iterations,
+                        residual: outcome.residual,
+                        method: outcome.method,
+                        batch_size: n,
+                        queue_wait: wait,
+                        rungs: outcome.rungs,
+                    }));
+                } else {
+                    degraded += 1;
+                    shard.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(Err(SolveError::NotConverged {
+                        iterations: outcome.iterations,
+                        residual: outcome.residual,
+                        breakdown: outcome.breakdown,
+                        rungs: outcome.rungs,
+                    }));
+                }
+            }
+        }
+        Ok(Err(err)) => {
+            // The engine failed the whole fused launch (e.g. a simulated
+            // device fault): every member fails, none is lost.
+            degraded = n;
+            let code = match err {
+                Error::DeviceFailure { code } => code,
+                _ => "engine_error",
+            };
+            shard.stats.failed.fetch_add(n as u64, Ordering::Relaxed);
+            for (_, tx, _, _) in meta {
+                let _ = tx.send(Err(SolveError::DeviceFailure { code }));
+            }
+        }
+        Err(panic) => {
+            degraded = n;
+            let detail = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            shard.stats.failed.fetch_add(n as u64, Ordering::Relaxed);
+            for (_, tx, _, _) in meta {
+                let _ = tx.send(Err(SolveError::WorkerPanic {
+                    detail: detail.clone(),
+                }));
+            }
+        }
+    }
+
+    if shard.breaker.on_batch(Instant::now(), n, degraded) {
+        shard.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        tracer.emit(None, EventKind::BreakerTrip);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_chunk() -> Chunk {
+        Chunk {
+            items: Vec::new(),
+            origin: 0,
+        }
+    }
+
+    #[test]
+    fn queue_backpressure_and_drain_on_close() {
+        let q = ChunkQueue::new(2);
+        assert!(q.try_push(empty_chunk()).is_ok());
+        assert!(q.try_push(empty_chunk()).is_ok());
+        assert!(q.try_push(empty_chunk()).is_err(), "full queue rejects");
+        q.close();
+        assert!(q.try_push(empty_chunk()).is_err(), "closed queue rejects");
+        // Drain-first: both queued chunks come out before Closed.
+        assert!(matches!(
+            q.pop_wait(Duration::from_millis(1)),
+            Popped::Chunk(_)
+        ));
+        assert!(matches!(
+            q.pop_wait(Duration::from_millis(1)),
+            Popped::Chunk(_)
+        ));
+        assert!(matches!(
+            q.pop_wait(Duration::from_millis(1)),
+            Popped::Closed
+        ));
+    }
+
+    #[test]
+    fn steal_takes_the_oldest_chunk() {
+        let q = ChunkQueue::new(8);
+        q.try_push(Chunk {
+            items: Vec::new(),
+            origin: 7,
+        })
+        .map_err(|_| ())
+        .unwrap();
+        q.try_push(Chunk {
+            items: Vec::new(),
+            origin: 9,
+        })
+        .map_err(|_| ())
+        .unwrap();
+        assert_eq!(q.steal().unwrap().origin, 7, "FIFO steal");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_steal_returns_none() {
+        let q = ChunkQueue::new(1);
+        assert!(q.steal().is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! The CPU spill pool: sub-`min_batch_size` chunks run as banded-LU
+//! direct solves on the paper's dual-socket Skylake baseline instead of
+//! paying a GPU launch they cannot amortize.
+//!
+//! The pool is just another shard to the rest of the fleet — same
+//! queue, same stats, same exactly-once outcome delivery — with a
+//! [`SolveEngine`] that prices work on [`DeviceSpec::skylake_node`]
+//! (its compute units model the 38 Kokkos solve workers) rather than a
+//! GPU profile, and never escalates: banded LU *is* its only rung.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use batsolv_formats::{BatchBanded, BatchCsr, BatchVectors, SparsityPattern};
+use batsolv_gpusim::{kernel_launch_event, DeviceSpec};
+use batsolv_runtime::{BatchItem, BatchReport, ItemOutcome, RungAttempt, SolveEngine, SolveMethod};
+use batsolv_solvers::direct::BatchBandedLu;
+use batsolv_trace::Tracer;
+use batsolv_types::{BatchDims, Result};
+
+/// Banded-LU engine on the Skylake host node, tagged with the CPU
+/// pool's shard id so its kernel reports land in their own trace lane.
+pub(crate) struct CpuLuEngine {
+    pattern: Arc<SparsityPattern>,
+    device: DeviceSpec,
+    shard: u32,
+    tracer: Tracer,
+    seq: AtomicU64,
+}
+
+impl CpuLuEngine {
+    /// Build the pool's engine. `workers` overrides the node's solve
+    /// worker count (the paper's baseline uses 38).
+    pub fn new(
+        pattern: Arc<SparsityPattern>,
+        workers: usize,
+        shard: u32,
+        tracer: Tracer,
+    ) -> CpuLuEngine {
+        let mut device = DeviceSpec::skylake_node();
+        device.num_cus = workers as u32;
+        CpuLuEngine {
+            pattern,
+            device,
+            shard,
+            tracer,
+            seq: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SolveEngine for CpuLuEngine {
+    fn solve_batch(&self, items: &[BatchItem]) -> Result<BatchReport> {
+        let n = self.pattern.num_rows();
+        let values: Vec<Vec<f64>> = items.iter().map(|it| it.values.clone()).collect();
+        let a = BatchCsr::from_system_values(Arc::clone(&self.pattern), &values)?;
+        let banded = BatchBanded::from_csr(&a)?;
+        let dims = BatchDims::new(items.len(), n)?;
+        let mut rhs = Vec::with_capacity(items.len() * n);
+        for it in items {
+            rhs.extend_from_slice(&it.rhs);
+        }
+        let b = BatchVectors::from_values(dims, rhs)?;
+        let mut x = BatchVectors::zeros(dims);
+        let report = BatchBandedLu.solve(&self.device, &banded, &b, &mut x)?;
+
+        if self.tracer.is_enabled() {
+            self.tracer.emit(
+                None,
+                kernel_launch_event(
+                    self.seq.fetch_add(1, Ordering::Relaxed),
+                    report.solver,
+                    &self.device,
+                    items.len(),
+                    report.shared_per_block,
+                    report.global_vector_bytes,
+                    report.syncs_per_iteration,
+                    &report.kernel,
+                )
+                .with_shard(self.shard),
+            );
+        }
+
+        let outcomes = items
+            .iter()
+            .enumerate()
+            .map(|(k, it)| {
+                let r = &report.per_system[k];
+                ItemOutcome {
+                    id: it.id,
+                    x: x.system(k).to_vec(),
+                    iterations: r.iterations,
+                    residual: r.residual,
+                    converged: r.converged,
+                    method: SolveMethod::BandedLuFallback,
+                    breakdown: r.breakdown,
+                    rungs: vec![RungAttempt {
+                        method: SolveMethod::BandedLuFallback,
+                        iterations: r.iterations,
+                        residual: r.residual,
+                        converged: r.converged,
+                        breakdown: r.breakdown,
+                    }],
+                }
+            })
+            .collect();
+
+        Ok(BatchReport {
+            outcomes,
+            sim_time_s: report.time_s(),
+            syncs: report.syncs(),
+            reductions: report.reductions(),
+            solver: report.solver,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dominant_values(pattern: &SparsityPattern) -> Vec<f64> {
+        (0..pattern.num_rows())
+            .flat_map(|r| {
+                pattern
+                    .row_cols(r)
+                    .iter()
+                    .map(move |&c| if c as usize == r { 8.0 } else { -1.0 })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cpu_engine_solves_on_the_skylake_profile() {
+        let pattern = Arc::new(SparsityPattern::stencil_2d(4, 4, false));
+        let n = pattern.num_rows();
+        let engine = CpuLuEngine::new(Arc::clone(&pattern), 38, 4, Tracer::disabled());
+        assert_eq!(engine.device.num_cus, 38);
+        let items: Vec<BatchItem> = (0..3)
+            .map(|i| BatchItem {
+                id: i as u64,
+                values: dominant_values(&pattern),
+                rhs: vec![1.0; n],
+                guess: None,
+                tolerance: None,
+            })
+            .collect();
+        let report = engine.solve_batch(&items).unwrap();
+        assert_eq!(report.outcomes.len(), 3);
+        for o in &report.outcomes {
+            assert!(o.converged);
+            assert_eq!(o.method, SolveMethod::BandedLuFallback);
+            assert_eq!(o.rungs.len(), 1, "the pool never escalates");
+        }
+        assert!(report.sim_time_s > 0.0, "host dispatch is still priced");
+    }
+}

@@ -1,0 +1,203 @@
+//! Fleet observability: per-shard snapshots rolled up into a
+//! fleet-wide view with merged percentiles.
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use crate::shard::ShardShared;
+
+/// Point-in-time copy of one shard's counters and percentiles. The CPU
+/// spill pool reports through the same shape (its `shard` id is one
+/// past the GPU range, its `device` is the Skylake node).
+#[derive(Clone, Debug)]
+pub struct ShardSnapshot {
+    /// Shard id (GPU shards `0..devices`; the CPU pool is `devices`).
+    pub shard: u32,
+    /// Simulated device behind the shard.
+    pub device: &'static str,
+    /// Chunks queued right now.
+    pub queue_depth: usize,
+    /// Whether the shard's circuit breaker is open right now.
+    pub breaker_open: bool,
+    /// Chunks this shard's worker executed (own plus stolen).
+    pub chunks_executed: u64,
+    /// Systems that reached a converged solution here.
+    pub completed: u64,
+    /// Systems that reached a terminal failure here.
+    pub failed: u64,
+    /// Chunks this shard stole from loaded peers.
+    pub steals_in: u64,
+    /// Chunks loaded peers stole from this shard's queue.
+    pub steals_out: u64,
+    /// Times this shard's breaker tripped open.
+    pub breaker_trips: u64,
+    /// Simulated device time this shard accumulated, seconds.
+    pub sim_time_s: f64,
+    /// Median queue wait of systems executed here.
+    pub wait_p50: Duration,
+    /// 99th-percentile queue wait of systems executed here.
+    pub wait_p99: Duration,
+    /// Median submit-to-outcome latency of systems executed here.
+    pub latency_p50: Duration,
+    /// 99th-percentile submit-to-outcome latency.
+    pub latency_p99: Duration,
+}
+
+/// Fleet-wide rollup: every shard's snapshot plus merged percentiles
+/// and scheduler counters.
+#[derive(Clone, Debug)]
+pub struct FleetSnapshot {
+    /// GPU shards, ordered by id.
+    pub shards: Vec<ShardSnapshot>,
+    /// The CPU banded-LU spill pool.
+    pub cpu_pool: ShardSnapshot,
+    /// Systems accepted by the scheduler.
+    pub accepted: u64,
+    /// Systems rejected at submit (shape, backpressure, breaker).
+    pub rejected: u64,
+    /// Chunks dispatched to GPU shards.
+    pub gpu_chunks: u64,
+    /// Systems spilled to the CPU pool (sub-`min_batch_size` chunks).
+    pub spilled: u64,
+    /// Fleet-wide median queue wait (samples merged across shards).
+    pub wait_p50: Duration,
+    /// Fleet-wide 99th-percentile queue wait.
+    pub wait_p99: Duration,
+    /// Fleet-wide median submit-to-outcome latency.
+    pub latency_p50: Duration,
+    /// Fleet-wide 99th-percentile submit-to-outcome latency.
+    pub latency_p99: Duration,
+    /// Fleet makespan: the busiest device's simulated time, seconds.
+    pub makespan_s: f64,
+    /// Sum of simulated device time across the fleet, seconds.
+    pub sim_time_total_s: f64,
+}
+
+impl FleetSnapshot {
+    /// Systems that reached a converged solution anywhere.
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.completed).sum::<u64>() + self.cpu_pool.completed
+    }
+
+    /// Systems that reached a terminal failure anywhere.
+    pub fn failed(&self) -> u64 {
+        self.shards.iter().map(|s| s.failed).sum::<u64>() + self.cpu_pool.failed
+    }
+
+    /// Total steals across the fleet (each steal counts once).
+    pub fn steals(&self) -> u64 {
+        self.shards.iter().map(|s| s.steals_in).sum()
+    }
+
+    /// Total breaker trips across the fleet.
+    pub fn breaker_trips(&self) -> u64 {
+        self.shards.iter().map(|s| s.breaker_trips).sum()
+    }
+
+    /// Human-readable multi-line report with a per-shard breakdown —
+    /// the periodic stats page of `batsolv-serve --devices N`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet stats: {} accepted, {} rejected, {} completed, {} failed, \
+             {} steals, {} spilled systems\n",
+            self.accepted,
+            self.rejected,
+            self.completed(),
+            self.failed(),
+            self.steals(),
+            self.spilled,
+        ));
+        out.push_str(&format!(
+            "  fleet    : wait p50 {:?} p99 {:?} | latency p50 {:?} p99 {:?} | \
+             makespan {:.6}s of {:.6}s total sim\n",
+            self.wait_p50,
+            self.wait_p99,
+            self.latency_p50,
+            self.latency_p99,
+            self.makespan_s,
+            self.sim_time_total_s,
+        ));
+        for s in self.shards.iter().chain(std::iter::once(&self.cpu_pool)) {
+            out.push_str(&format!(
+                "  shard {:>2} : {} | queue {} | breaker {} | {} chunks, {} ok, {} failed, \
+                 steals {}/{} in/out | wait p50 {:?} p99 {:?} | sim {:.6}s\n",
+                s.shard,
+                s.device,
+                s.queue_depth,
+                if s.breaker_open { "OPEN" } else { "closed" },
+                s.chunks_executed,
+                s.completed,
+                s.failed,
+                s.steals_in,
+                s.steals_out,
+                s.wait_p50,
+                s.wait_p99,
+                s.sim_time_s,
+            ));
+        }
+        out
+    }
+}
+
+/// Percentile over a *sorted* µs sample slice — same nearest-rank
+/// convention as the runtime stats registry.
+pub(crate) fn percentile_us(sorted: &[u64], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    Duration::from_micros(sorted[idx])
+}
+
+/// Snapshot one shard, appending its raw samples to the fleet-wide
+/// merge vectors.
+pub(crate) fn snapshot_shard(
+    shared: &ShardShared,
+    now: Instant,
+    merged_wait_us: &mut Vec<u64>,
+    merged_latency_us: &mut Vec<u64>,
+) -> ShardSnapshot {
+    let (mut wait, mut latency) = {
+        let s = shared.stats.sampled.lock().unwrap();
+        (
+            s.wait_us.samples().to_vec(),
+            s.latency_us.samples().to_vec(),
+        )
+    };
+    merged_wait_us.extend_from_slice(&wait);
+    merged_latency_us.extend_from_slice(&latency);
+    wait.sort_unstable();
+    latency.sort_unstable();
+    ShardSnapshot {
+        shard: shared.id,
+        device: shared.device_name,
+        queue_depth: shared.queue.len(),
+        breaker_open: shared.breaker.is_open(now),
+        chunks_executed: shared.stats.chunks_executed.load(Ordering::Relaxed),
+        completed: shared.stats.completed.load(Ordering::Relaxed),
+        failed: shared.stats.failed.load(Ordering::Relaxed),
+        steals_in: shared.stats.steals_in.load(Ordering::Relaxed),
+        steals_out: shared.stats.steals_out.load(Ordering::Relaxed),
+        breaker_trips: shared.stats.breaker_trips.load(Ordering::Relaxed),
+        sim_time_s: shared.stats.sim_time_ns.load(Ordering::Relaxed) as f64 / 1e9,
+        wait_p50: percentile_us(&wait, 0.50),
+        wait_p99: percentile_us(&wait, 0.99),
+        latency_p50: percentile_us(&latency, 0.50),
+        latency_p99: percentile_us(&latency, 0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_follows_the_runtime_convention() {
+        assert_eq!(percentile_us(&[], 0.99), Duration::ZERO);
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&sorted, 0.50), Duration::from_micros(51));
+        assert_eq!(percentile_us(&sorted, 0.99), Duration::from_micros(99));
+        assert_eq!(percentile_us(&[7], 0.99), Duration::from_micros(7));
+    }
+}

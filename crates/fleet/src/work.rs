@@ -1,0 +1,73 @@
+//! Work items flowing through the fleet: pending systems, routed
+//! chunks, and the group ticket callers redeem for outcomes.
+
+use std::sync::mpsc;
+use std::time::Instant;
+
+use batsolv_runtime::{RequestId, SolveError, SolveOutcome};
+
+/// One accepted system awaiting execution, with its reply channel.
+pub(crate) struct Pending {
+    /// Fleet-assigned request id (one namespace across shards).
+    pub id: RequestId,
+    /// CSR values over the fleet's shared pattern.
+    pub values: Vec<f64>,
+    /// Right-hand side.
+    pub rhs: Vec<f64>,
+    /// Optional warm-start guess.
+    pub guess: Option<Vec<f64>>,
+    /// Per-request tolerance override.
+    pub tolerance: Option<f64>,
+    /// When the system entered a queue (wait measurement).
+    pub enqueued: Instant,
+    /// Exactly-once outcome channel.
+    pub tx: mpsc::Sender<SolveOutcome>,
+}
+
+/// A routed unit of execution: the systems of one placement, tagged
+/// with the shard the scheduler assigned them to. A thief executing a
+/// stolen chunk keeps `origin` so steals stay attributable.
+pub(crate) struct Chunk {
+    pub items: Vec<Pending>,
+    /// The shard the scheduler originally dispatched the chunk to.
+    pub origin: u32,
+}
+
+impl Chunk {
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Handle for one submitted group: redeem it for every member's
+/// terminal outcome, in submission order.
+#[derive(Debug)]
+pub struct GroupTicket {
+    pub(crate) ids: Vec<RequestId>,
+    pub(crate) rxs: Vec<mpsc::Receiver<SolveOutcome>>,
+}
+
+impl GroupTicket {
+    /// Request ids assigned to the group, in submission order.
+    pub fn ids(&self) -> &[RequestId] {
+        &self.ids
+    }
+
+    /// Systems in the group.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True for an empty group (never produced by a successful submit).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Block until every member reaches its terminal outcome.
+    pub fn wait_all(self) -> Vec<SolveOutcome> {
+        self.rxs
+            .into_iter()
+            .map(|rx| rx.recv().unwrap_or(Err(SolveError::ServiceShutdown)))
+            .collect()
+    }
+}

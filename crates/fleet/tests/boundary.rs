@@ -1,0 +1,166 @@
+//! The `MIN_BATCH_SIZE` boundary, end to end: a chunk of exactly
+//! `min_batch_size` systems executes on a GPU shard; one system fewer
+//! spills to the CPU banded-LU pool — and the trace events, the fleet
+//! snapshot, and the Prometheus per-device labels all agree about it.
+
+use std::sync::Arc;
+
+use batsolv_fleet::{FleetConfig, FleetService};
+use batsolv_formats::SparsityPattern;
+use batsolv_runtime::{SolveMethod, SolveRequest};
+use batsolv_trace::{parse_prom_value, EventKind, MemorySink, Tracer};
+
+fn dominant_values(pattern: &SparsityPattern) -> Vec<f64> {
+    (0..pattern.num_rows())
+        .flat_map(|r| {
+            pattern
+                .row_cols(r)
+                .iter()
+                .map(move |&c| if c as usize == r { 8.0 } else { -1.0 })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn group(pattern: &SparsityPattern, size: usize) -> Vec<SolveRequest> {
+    (0..size)
+        .map(|_| SolveRequest::new(dominant_values(pattern), vec![1.0; pattern.num_rows()]))
+        .collect()
+}
+
+const MIN: usize = 8;
+
+fn fleet_with_trace(pattern: &Arc<SparsityPattern>) -> (FleetService, Arc<MemorySink>) {
+    let sink = Arc::new(MemorySink::new());
+    let tracer = Tracer::new(Arc::clone(&sink) as Arc<dyn batsolv_trace::TraceSink>);
+    let cfg = FleetConfig::new(2)
+        .with_min_batch_size(MIN)
+        .with_max_batch_size(64)
+        .with_tracer(tracer);
+    (FleetService::start(Arc::clone(pattern), cfg).unwrap(), sink)
+}
+
+#[test]
+fn exactly_min_batch_size_executes_on_a_gpu_shard() {
+    let pattern = Arc::new(SparsityPattern::stencil_2d(6, 6, false));
+    let (service, sink) = fleet_with_trace(&pattern);
+
+    let ticket = service.submit_group(group(&pattern, MIN), Some(0)).unwrap();
+    for outcome in ticket.wait_all() {
+        let s = outcome.unwrap();
+        assert!(s.residual <= 1e-10);
+        assert_ne!(
+            s.method,
+            SolveMethod::BandedLuFallback,
+            "a min-size chunk stays on the GPU ladder, not the CPU pool"
+        );
+    }
+
+    let snap = service.shutdown();
+    assert_eq!(snap.spilled, 0, "nothing spilled at exactly MIN_BATCH_SIZE");
+    assert_eq!(snap.cpu_pool.completed, 0);
+    assert_eq!(
+        snap.shards.iter().map(|s| s.completed).sum::<u64>(),
+        MIN as u64
+    );
+
+    let events = sink.snapshot();
+    let dispatches: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::ShardDispatch { shard, size, .. } => Some((shard, size)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(dispatches, vec![(0, MIN)], "one GPU dispatch, to shard 0");
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CpuSpill { .. })),
+        "no spill event at exactly MIN_BATCH_SIZE"
+    );
+
+    let page = batsolv_fleet::fleet_prometheus_text(&snap);
+    assert_eq!(
+        parse_prom_value(&page, "batsolv_fleet_spilled_systems_total"),
+        Some(0.0)
+    );
+    assert!(
+        page.contains(r#"batsolv_fleet_device_completed_total{device="cpu-pool""#),
+        "cpu-pool series is exposed even when idle"
+    );
+}
+
+#[test]
+fn one_below_min_batch_size_spills_to_the_cpu_pool() {
+    let pattern = Arc::new(SparsityPattern::stencil_2d(6, 6, false));
+    let (service, sink) = fleet_with_trace(&pattern);
+
+    let ticket = service
+        .submit_group(group(&pattern, MIN - 1), Some(0))
+        .unwrap();
+    for outcome in ticket.wait_all() {
+        let s = outcome.unwrap();
+        assert!(s.residual <= 1e-8);
+        assert_eq!(
+            s.method,
+            SolveMethod::BandedLuFallback,
+            "spilled systems solve by banded LU on the CPU pool"
+        );
+    }
+
+    let snap = service.shutdown();
+    assert_eq!(snap.spilled, (MIN - 1) as u64);
+    assert_eq!(snap.cpu_pool.completed, (MIN - 1) as u64);
+    assert_eq!(
+        snap.shards.iter().map(|s| s.completed).sum::<u64>(),
+        0,
+        "no GPU shard saw the group"
+    );
+    assert!(
+        snap.cpu_pool.sim_time_s > 0.0,
+        "the spill was priced on the host device profile"
+    );
+
+    let events = sink.snapshot();
+    let spills: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::CpuSpill {
+                size,
+                min_batch_size,
+            } => Some((size, min_batch_size)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(spills, vec![(MIN - 1, MIN)]);
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ShardDispatch { .. })),
+        "no GPU dispatch below the cutoff"
+    );
+    // The CPU pool's priced launch lands in its own per-device lane.
+    let cpu_lane_launches = events
+        .iter()
+        .filter(|e| {
+            matches!(e.kind, EventKind::KernelLaunch { shard, .. }
+                if shard == snap.cpu_pool.shard)
+        })
+        .count();
+    assert_eq!(cpu_lane_launches, 1);
+
+    // Trace and Prometheus agree about where the work went.
+    let page = batsolv_fleet::fleet_prometheus_text(&snap);
+    assert_eq!(
+        parse_prom_value(&page, "batsolv_fleet_spilled_systems_total"),
+        Some((MIN - 1) as f64)
+    );
+    let cpu_completed = page
+        .lines()
+        .find(|l| l.starts_with(r#"batsolv_fleet_device_completed_total{device="cpu-pool""#))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap();
+    assert_eq!(cpu_completed as u64, (MIN - 1) as u64);
+}

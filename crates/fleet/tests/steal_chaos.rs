@@ -1,0 +1,213 @@
+//! Deterministic steal/chaos tests (fixed seeds, no wall-clock
+//! assertions):
+//!
+//! 1. when one shard slow-fails every launch and its breaker trips
+//!    while peers are stealing from its queue, every submitted request
+//!    still gets exactly one terminal outcome;
+//! 2. chunks executed by a thief produce *bitwise-identical* solutions
+//!    to the same chunks executed without stealing — device placement
+//!    changes simulated pricing, never numerics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use batsolv_fleet::{FleetConfig, FleetService};
+use batsolv_formats::SparsityPattern;
+use batsolv_gpusim::{DeviceSpec, LaunchDisruption, LaunchHook, NoDisruption};
+use batsolv_runtime::{
+    BatchItem, BreakerConfig, LadderEngine, SolveEngine, SolveError, SolveRequest,
+};
+
+fn dominant_values(pattern: &SparsityPattern, bump: f64) -> Vec<f64> {
+    (0..pattern.num_rows())
+        .flat_map(|r| {
+            pattern
+                .row_cols(r)
+                .iter()
+                .map(move |&c| if c as usize == r { 8.0 + bump } else { -1.0 })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Stalls every launch long enough for peers to raid the queue, then
+/// fails it — the "sick device" a breaker exists for.
+struct SlowFail {
+    launches: AtomicU64,
+}
+
+impl LaunchHook for SlowFail {
+    fn disrupt(&self, _ids: &[u64]) -> LaunchDisruption {
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(15));
+        LaunchDisruption::DeviceFail {
+            code: "sick_device",
+        }
+    }
+}
+
+/// Stalls shard 0 without failing it, so its queue backs up and peers
+/// must steal to make progress.
+struct Slow;
+
+impl LaunchHook for Slow {
+    fn disrupt(&self, _ids: &[u64]) -> LaunchDisruption {
+        LaunchDisruption::Stall(Duration::from_millis(40))
+    }
+}
+
+#[test]
+fn every_request_gets_exactly_one_outcome_when_a_breaker_trips_mid_steal() {
+    let pattern = Arc::new(SparsityPattern::stencil_2d(5, 5, false));
+    let n = pattern.num_rows();
+    let cfg = FleetConfig::new(3)
+        .with_min_batch_size(2)
+        .with_max_batch_size(8)
+        .with_steal(true)
+        .with_steal_seed(0xc4a05)
+        // trip_after: 1 so the trip follows deterministically from the
+        // sick shard failing its first chunk — how many chunks it pops
+        // before peers drain its queue is a thread-timing race (release
+        // builds drain faster than debug), and the test must not depend
+        // on it.
+        .with_breaker(BreakerConfig {
+            trip_after: 1,
+            cooldown: Duration::from_secs(60),
+            max_backoff: Duration::from_secs(60),
+            degraded_fraction: 0.5,
+        });
+    let hooks: Vec<Arc<dyn LaunchHook>> = vec![
+        Arc::new(SlowFail {
+            launches: AtomicU64::new(0),
+        }),
+        Arc::new(NoDisruption),
+        Arc::new(NoDisruption),
+    ];
+    let service = FleetService::start_with_hooks(Arc::clone(&pattern), cfg, hooks).unwrap();
+
+    // Aim every group at the sick shard; stealing and, after the trip,
+    // dispatch-time breaker avoidance route around it.
+    let groups = 12usize;
+    let per_group = 8usize;
+    let mut tickets = Vec::new();
+    for _ in 0..groups {
+        let group: Vec<SolveRequest> = (0..per_group)
+            .map(|_| SolveRequest::new(dominant_values(&pattern, 0.0), vec![1.0; n]))
+            .collect();
+        tickets.push(service.submit_group(group, Some(0)).unwrap());
+    }
+
+    let mut ok = 0usize;
+    let mut device_failures = 0usize;
+    let mut other = 0usize;
+    for t in tickets {
+        let outcomes = t.wait_all();
+        assert_eq!(outcomes.len(), per_group, "one terminal outcome each");
+        for o in outcomes {
+            match o {
+                Ok(s) => {
+                    assert!(s.residual <= 1e-8);
+                    ok += 1;
+                }
+                Err(SolveError::DeviceFailure { code }) => {
+                    assert_eq!(code, "sick_device");
+                    device_failures += 1;
+                }
+                Err(_) => other += 1,
+            }
+        }
+    }
+    assert_eq!(ok + device_failures + other, groups * per_group);
+    assert_eq!(other, 0, "only the injected fault fails requests");
+    assert!(
+        device_failures > 0,
+        "the sick shard executed (and failed) at least one chunk"
+    );
+    assert!(ok > 0, "healthy shards carried the rest");
+
+    let snap = service.shutdown();
+    assert!(
+        snap.shards[0].breaker_trips >= 1,
+        "the sick shard's breaker tripped"
+    );
+    assert!(
+        snap.steals() >= 1,
+        "peers stole from the sick shard's backlog"
+    );
+    assert_eq!(
+        snap.completed() + snap.failed(),
+        (groups * per_group) as u64,
+        "fleet accounting matches delivered outcomes"
+    );
+}
+
+#[test]
+fn stolen_chunks_solve_bitwise_identical_to_unstolen_execution() {
+    let pattern = Arc::new(SparsityPattern::stencil_2d(6, 6, false));
+    let n = pattern.num_rows();
+    let base_cfg = FleetConfig::new(2)
+        .with_min_batch_size(4)
+        .with_max_batch_size(16)
+        .with_steal(true)
+        .with_steal_seed(0x5eed);
+    let ladder = base_cfg.ladder;
+    let hooks: Vec<Arc<dyn LaunchHook>> = vec![Arc::new(Slow), Arc::new(NoDisruption)];
+    let service = FleetService::start_with_hooks(Arc::clone(&pattern), base_cfg, hooks).unwrap();
+
+    // Four single-chunk groups, all aimed at the stalled shard 0: it
+    // absorbs one launch per 40 ms stall while shard 1 (2 ms poll)
+    // steals the backlog.
+    let groups: Vec<Vec<SolveRequest>> = (0..4)
+        .map(|g| {
+            (0..16)
+                .map(|i| {
+                    SolveRequest::new(
+                        dominant_values(&pattern, (g * 16 + i) as f64 * 1e-3),
+                        vec![1.0 + i as f64 * 0.25; n],
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let tickets: Vec<_> = groups
+        .iter()
+        .map(|g| service.submit_group(g.clone(), Some(0)).unwrap())
+        .collect();
+    let fleet_solutions: Vec<Vec<Vec<f64>>> = tickets
+        .into_iter()
+        .map(|t| t.wait_all().into_iter().map(|o| o.unwrap().x).collect())
+        .collect();
+
+    let snap = service.shutdown();
+    assert!(
+        snap.shards[1].steals_in >= 1,
+        "the healthy shard stole from the stalled one (got {})",
+        snap.shards[1].steals_in
+    );
+
+    // Reference: the same chunks through a lone engine, no fleet, no
+    // stealing. Solver numerics are placement-independent, so every
+    // component must match bit for bit.
+    let reference = LadderEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), ladder);
+    for (g, group) in groups.iter().enumerate() {
+        let items: Vec<BatchItem> = group
+            .iter()
+            .enumerate()
+            .map(|(i, r)| BatchItem {
+                id: i as u64,
+                values: r.values.clone(),
+                rhs: r.rhs.clone(),
+                guess: r.guess.clone(),
+                tolerance: r.tolerance,
+            })
+            .collect();
+        let report = reference.solve_batch(&items).unwrap();
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(
+                fleet_solutions[g][i], outcome.x,
+                "group {g} item {i}: stolen execution must be bitwise identical"
+            );
+        }
+    }
+}

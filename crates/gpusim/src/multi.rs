@@ -7,8 +7,11 @@
 //! no inter-device communication inside the solve), and the step costs
 //! the slowest device plus a per-step coordination overhead.
 
+use batsolv_trace::EventKind;
+
 use crate::device::DeviceSpec;
 use crate::model::{BlockStats, KernelReport, SimKernel};
+use crate::timeline::kernel_launch_event;
 
 /// A set of devices working one batch together.
 #[derive(Clone, Debug)]
@@ -29,6 +32,46 @@ pub struct MultiGpuReport {
     pub per_device: Vec<KernelReport>,
     /// How many blocks each device received.
     pub blocks_per_device: Vec<usize>,
+}
+
+impl MultiGpuReport {
+    /// Fold the per-device [`KernelReport`]s into one shard-tagged
+    /// [`EventKind::KernelLaunch`] per device, so a multi-GPU launch
+    /// renders as one chrome-trace timeline lane per device instead of
+    /// collapsing onto a single device lane.
+    ///
+    /// `gpus` must be the device set this report was priced on; device
+    /// `i` becomes shard `i`. Launch sequence numbers run
+    /// `base_seq .. base_seq + devices`.
+    pub fn launch_events(
+        &self,
+        gpus: &MultiGpu,
+        solver: &'static str,
+        base_seq: u64,
+        shared_per_block: usize,
+        syncs_per_iteration: f64,
+    ) -> Vec<EventKind> {
+        assert_eq!(gpus.devices.len(), self.per_device.len());
+        gpus.devices
+            .iter()
+            .zip(self.per_device.iter())
+            .zip(self.blocks_per_device.iter())
+            .enumerate()
+            .map(|(i, ((device, report), &blocks))| {
+                kernel_launch_event(
+                    base_seq + i as u64,
+                    solver,
+                    device,
+                    blocks,
+                    shared_per_block,
+                    0,
+                    syncs_per_iteration,
+                    report,
+                )
+                .with_shard(i as u32)
+            })
+            .collect()
+    }
 }
 
 impl MultiGpu {
@@ -170,5 +213,24 @@ mod tests {
         let node = MultiGpu::summit_node();
         let rep = node.price(&[block(10, 2)], 0);
         assert!(rep.time_s >= node.coordination_s);
+    }
+
+    #[test]
+    fn launch_events_tag_one_lane_per_device() {
+        let node = MultiGpu::homogeneous(DeviceSpec::v100(), 4);
+        let blocks = vec![block(100, 10); 10];
+        let rep = node.price(&blocks, 0);
+        let events = rep.launch_events(&node, "bicgstab", 7, 0, 6.0);
+        assert_eq!(events.len(), 4);
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.shard(), Some(i as u32));
+            match ev {
+                EventKind::KernelLaunch { seq, blocks, .. } => {
+                    assert_eq!(*seq, 7 + i as u64);
+                    assert_eq!(*blocks, rep.blocks_per_device[i]);
+                }
+                other => panic!("wrong kind: {other:?}"),
+            }
+        }
     }
 }

@@ -33,6 +33,7 @@ pub fn kernel_launch_event(
     report: &KernelReport,
 ) -> EventKind {
     EventKind::KernelLaunch {
+        shard: 0,
         seq,
         solver,
         device: device.name,
@@ -57,6 +58,7 @@ pub fn kernel_launch_event(
 /// (already folded into the launch's `exec_us`).
 pub fn sync_point_event(seq: u64, solver: &'static str, report: &KernelReport) -> EventKind {
     EventKind::SyncPoint {
+        shard: 0,
         seq,
         solver,
         syncs: report.syncs,
@@ -74,6 +76,7 @@ pub fn reduction_event(
     report: &KernelReport,
 ) -> EventKind {
     EventKind::Reduction {
+        shard: 0,
         seq,
         solver,
         reductions: report.reductions,
@@ -85,6 +88,7 @@ pub fn reduction_event(
 /// Build (and price) the transfer record for one host↔device copy.
 pub fn transfer_event(device: &DeviceSpec, bytes: u64, dir: Direction) -> EventKind {
     EventKind::Transfer {
+        shard: 0,
         direction: match dir {
             Direction::HostToDevice => "h2d",
             Direction::DeviceToHost => "d2h",
@@ -180,6 +184,7 @@ mod tests {
                 direction,
                 bytes,
                 sim_us,
+                ..
             } => {
                 assert_eq!(direction, "h2d");
                 assert_eq!(bytes, 1 << 20);

@@ -167,6 +167,9 @@ pub struct LadderEngine {
     cfg: LadderConfig,
     hook: Arc<dyn LaunchHook>,
     tracer: Tracer,
+    /// Fleet shard id stamped onto every simulated-device record the
+    /// engine emits (0 = the single-device service default).
+    shard: u32,
     /// Monotonic kernel-launch sequence across the engine's lifetime.
     launch_seq: AtomicU64,
     /// Concurrent batch executor carrying the fused rung-1 launch. The
@@ -196,6 +199,7 @@ impl LadderEngine {
             cfg,
             hook,
             tracer: Tracer::disabled(),
+            shard: 0,
             launch_seq: AtomicU64::new(0),
         }
     }
@@ -207,6 +211,14 @@ impl LadderEngine {
         self
     }
 
+    /// Tag the engine with a fleet shard id: every kernel-launch,
+    /// sync, reduction, and transfer record it emits carries the id,
+    /// which the chrome exporter turns into one device lane per shard.
+    pub fn with_shard(mut self, shard: u32) -> Self {
+        self.shard = shard;
+        self
+    }
+
     /// Emit the simulated-device records of one fused launch: the h2d
     /// upload of the subset's operands, then the launch itself.
     fn trace_launch(&self, blocks: usize, upload_bytes: u64, report: &BatchSolveReport) {
@@ -215,7 +227,8 @@ impl LadderEngine {
         }
         self.tracer.emit(
             None,
-            transfer_event(&self.device, upload_bytes, Direction::HostToDevice),
+            transfer_event(&self.device, upload_bytes, Direction::HostToDevice)
+                .with_shard(self.shard),
         );
         let seq = self.launch_seq.fetch_add(1, Ordering::Relaxed);
         self.tracer.emit(
@@ -229,19 +242,22 @@ impl LadderEngine {
                 report.global_vector_bytes,
                 report.syncs_per_iteration,
                 &report.kernel,
-            ),
+            )
+            .with_shard(self.shard),
         );
         // Marker events for the device lane: where the launch's barriers
         // and reduction trees sit (direct rungs have none).
         if report.kernel.syncs > 0 {
-            self.tracer
-                .emit(None, sync_point_event(seq, report.solver, &report.kernel));
+            self.tracer.emit(
+                None,
+                sync_point_event(seq, report.solver, &report.kernel).with_shard(self.shard),
+            );
         }
         if report.kernel.reductions > 0 {
             let width = (self.pattern.num_rows() * blocks) as u64;
             self.tracer.emit(
                 None,
-                reduction_event(seq, report.solver, width, &report.kernel),
+                reduction_event(seq, report.solver, width, &report.kernel).with_shard(self.shard),
             );
         }
     }
@@ -586,7 +602,8 @@ impl SolveEngine for LadderEngine {
                     &self.device,
                     (items.len() * n * 8) as u64,
                     Direction::DeviceToHost,
-                ),
+                )
+                .with_shard(self.shard),
             );
         }
 

@@ -88,6 +88,9 @@ pub enum EventKind {
     },
     /// A simulated kernel launch (one fused rung over a batch subset).
     KernelLaunch {
+        /// Fleet shard (= simulated device index) the launch ran on.
+        /// 0 for single-device services.
+        shard: u32,
         /// Monotonic launch sequence number (per engine).
         seq: u64,
         /// Solver the launch ran.
@@ -127,6 +130,8 @@ pub enum EventKind {
     /// Aggregated global-synchronization record for one launch: how many
     /// reduction barriers the critical block executed and what they cost.
     SyncPoint {
+        /// Fleet shard the owning launch ran on.
+        shard: u32,
         /// Launch sequence number this record belongs to.
         seq: u64,
         /// Solver that executed the syncs.
@@ -138,6 +143,8 @@ pub enum EventKind {
     },
     /// Aggregated device-wide reduction record for one launch.
     Reduction {
+        /// Fleet shard the owning launch ran on.
+        shard: u32,
         /// Launch sequence number this record belongs to.
         seq: u64,
         /// Solver that executed the reductions.
@@ -151,12 +158,41 @@ pub enum EventKind {
     },
     /// A simulated host↔device transfer.
     Transfer {
+        /// Fleet shard (device index) the copy targets.
+        shard: u32,
         /// `"h2d"` or `"d2h"`.
         direction: &'static str,
         /// Payload size, bytes.
         bytes: u64,
         /// Simulated transfer time, microseconds.
         sim_us: f64,
+    },
+    /// The fleet scheduler assigned a batch chunk to a GPU shard.
+    ShardDispatch {
+        /// Target shard (simulated device index).
+        shard: u32,
+        /// Device profile name behind the shard.
+        device: &'static str,
+        /// Systems in the dispatched chunk.
+        size: usize,
+        /// Shard queue depth observed at dispatch (before the push).
+        queue_depth: usize,
+    },
+    /// An idle shard stole a queued chunk from a loaded one.
+    ShardSteal {
+        /// The stealing (idle) shard.
+        thief: u32,
+        /// The shard the chunk was queued on.
+        victim: u32,
+        /// Systems in the stolen chunk.
+        size: usize,
+    },
+    /// A sub-`MIN_BATCH_SIZE` batch spilled to the CPU banded-LU pool.
+    CpuSpill {
+        /// Systems in the spilled batch.
+        size: usize,
+        /// The cutoff that routed it to the host pool.
+        min_batch_size: usize,
     },
     /// The owning request reached its exactly-once terminal outcome.
     Terminal {
@@ -204,11 +240,43 @@ impl EventKind {
             EventKind::SyncPoint { .. } => "sync_point",
             EventKind::Reduction { .. } => "reduction",
             EventKind::Transfer { .. } => "transfer",
+            EventKind::ShardDispatch { .. } => "shard_dispatch",
+            EventKind::ShardSteal { .. } => "shard_steal",
+            EventKind::CpuSpill { .. } => "cpu_spill",
             EventKind::Terminal { .. } => "terminal",
             EventKind::BreakerTrip => "breaker_trip",
             EventKind::WatchdogStall { .. } => "watchdog_stall",
             EventKind::WorkerRespawn => "worker_respawn",
             EventKind::FlightDump { .. } => "flight_dump",
+        }
+    }
+
+    /// Re-tag a simulated-device record with the fleet shard that owns
+    /// it. The timeline builders default to shard 0 (the single-device
+    /// service); fleet shards re-stamp records as they emit them. A
+    /// no-op for kinds that carry no shard.
+    pub fn with_shard(mut self, shard_id: u32) -> EventKind {
+        match &mut self {
+            EventKind::KernelLaunch { shard, .. }
+            | EventKind::SyncPoint { shard, .. }
+            | EventKind::Reduction { shard, .. }
+            | EventKind::Transfer { shard, .. } => *shard = shard_id,
+            _ => {}
+        }
+        self
+    }
+
+    /// The fleet shard a simulated-device record is tagged with, when
+    /// the kind carries one.
+    pub fn shard(&self) -> Option<u32> {
+        match self {
+            EventKind::KernelLaunch { shard, .. }
+            | EventKind::SyncPoint { shard, .. }
+            | EventKind::Reduction { shard, .. }
+            | EventKind::Transfer { shard, .. }
+            | EventKind::ShardDispatch { shard, .. } => Some(*shard),
+            EventKind::ShardSteal { thief, .. } => Some(*thief),
+            _ => None,
         }
     }
 }
@@ -294,6 +362,7 @@ impl TraceEvent {
                 ));
             }
             EventKind::KernelLaunch {
+                shard,
                 seq,
                 solver,
                 device,
@@ -312,7 +381,7 @@ impl TraceEvent {
                 syncs_per_iteration,
             } => {
                 f.push_str(&format!(
-                    ",\"seq\":{seq},\"solver\":\"{solver}\",\"device\":\"{}\",\
+                    ",\"shard\":{shard},\"seq\":{seq},\"solver\":\"{solver}\",\"device\":\"{}\",\
                      \"blocks\":{blocks},\"resident_per_cu\":{resident_per_cu},\
                      \"total_slots\":{total_slots},\
                      \"shared_per_block_bytes\":{shared_per_block_bytes},\
@@ -328,17 +397,20 @@ impl TraceEvent {
                 ));
             }
             EventKind::SyncPoint {
+                shard,
                 seq,
                 solver,
                 syncs,
                 sim_us,
             } => {
                 f.push_str(&format!(
-                    ",\"seq\":{seq},\"solver\":\"{solver}\",\"syncs\":{syncs},\"sim_us\":{}",
+                    ",\"shard\":{shard},\"seq\":{seq},\"solver\":\"{solver}\",\
+                     \"syncs\":{syncs},\"sim_us\":{}",
                     json_f64(*sim_us)
                 ));
             }
             EventKind::Reduction {
+                shard,
                 seq,
                 solver,
                 reductions,
@@ -346,18 +418,49 @@ impl TraceEvent {
                 depth,
             } => {
                 f.push_str(&format!(
-                    ",\"seq\":{seq},\"solver\":\"{solver}\",\"reductions\":{reductions},\
-                     \"width\":{width},\"depth\":{depth}"
+                    ",\"shard\":{shard},\"seq\":{seq},\"solver\":\"{solver}\",\
+                     \"reductions\":{reductions},\"width\":{width},\"depth\":{depth}"
                 ));
             }
             EventKind::Transfer {
+                shard,
                 direction,
                 bytes,
                 sim_us,
             } => {
                 f.push_str(&format!(
-                    ",\"direction\":\"{direction}\",\"bytes\":{bytes},\"sim_us\":{}",
+                    ",\"shard\":{shard},\"direction\":\"{direction}\",\"bytes\":{bytes},\
+                     \"sim_us\":{}",
                     json_f64(*sim_us)
+                ));
+            }
+            EventKind::ShardDispatch {
+                shard,
+                device,
+                size,
+                queue_depth,
+            } => {
+                f.push_str(&format!(
+                    ",\"shard\":{shard},\"device\":\"{}\",\"size\":{size},\
+                     \"queue_depth\":{queue_depth}",
+                    json_escape(device)
+                ));
+            }
+            EventKind::ShardSteal {
+                thief,
+                victim,
+                size,
+            } => {
+                f.push_str(&format!(
+                    ",\"thief\":{thief},\"victim\":{victim},\"size\":{size}"
+                ));
+            }
+            EventKind::CpuSpill {
+                size,
+                min_batch_size,
+            } => {
+                f.push_str(&format!(
+                    ",\"size\":{size},\"min_batch_size\":{min_batch_size}"
                 ));
             }
             EventKind::Terminal {
@@ -428,6 +531,7 @@ mod tests {
                 residual: 0.5,
             },
             EventKind::KernelLaunch {
+                shard: 2,
                 seq: 3,
                 solver: "bicgstab",
                 device: "NVIDIA V100-16GB",
@@ -446,12 +550,14 @@ mod tests {
                 syncs_per_iteration: 6.0,
             },
             EventKind::SyncPoint {
+                shard: 0,
                 seq: 3,
                 solver: "bicgstab",
                 syncs: 188,
                 sim_us: 42.5,
             },
             EventKind::Reduction {
+                shard: 1,
                 seq: 3,
                 solver: "pipelined-cg",
                 reductions: 31,
@@ -459,9 +565,25 @@ mod tests {
                 depth: 16,
             },
             EventKind::Transfer {
+                shard: 5,
                 direction: "h2d",
                 bytes: 65536,
                 sim_us: 12.5,
+            },
+            EventKind::ShardDispatch {
+                shard: 3,
+                device: "NVIDIA V100-16GB",
+                size: 96,
+                queue_depth: 2,
+            },
+            EventKind::ShardSteal {
+                thief: 1,
+                victim: 0,
+                size: 64,
+            },
+            EventKind::CpuSpill {
+                size: 7,
+                min_batch_size: 8,
             },
             EventKind::Terminal {
                 outcome: "converged_bicgstab",
@@ -512,5 +634,27 @@ mod tests {
     fn escaping_handles_quotes_and_control_chars() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn with_shard_retags_device_records_only() {
+        let kind = EventKind::Transfer {
+            shard: 0,
+            direction: "h2d",
+            bytes: 64,
+            sim_us: 1.0,
+        };
+        assert_eq!(kind.clone().with_shard(4).shard(), Some(4));
+        // Non-device kinds pass through unchanged.
+        let kept = EventKind::Submitted { n: 8 }.with_shard(4);
+        assert_eq!(kept, EventKind::Submitted { n: 8 });
+        assert_eq!(kept.shard(), None);
+        // Steals report the thief's shard.
+        let steal = EventKind::ShardSteal {
+            thief: 2,
+            victim: 0,
+            size: 16,
+        };
+        assert_eq!(steal.shard(), Some(2));
     }
 }

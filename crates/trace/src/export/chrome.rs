@@ -6,21 +6,34 @@
 //!   The request span runs from its `submitted` event to its `terminal`
 //!   event; rung spans (`rung_begin`/`rung_end`) nest inside it on the
 //!   same track. Service incidents render as instants.
-//! * **pid 2 — simulated device**: the kernel-launch and transfer
+//! * **pid 2 — simulated devices**: the kernel-launch and transfer
 //!   records laid end to end on a cumulative sim-time cursor (the
 //!   simulator prices time; it does not schedule it on the wall clock).
+//!   Each fleet shard gets its own pair of lanes (kernels + transfers)
+//!   keyed by the shard id the records carry, so a multi-device run
+//!   renders one timeline lane per device instead of collapsing onto
+//!   one. Shard 0 is the single-device default.
 //!
 //! All timestamps are microseconds, which is Chrome's native `ts` unit.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::event::{json_escape, EventKind, TraceEvent, TraceId};
 
 const PID_REQUESTS: u64 = 1;
 const PID_SIM_DEVICE: u64 = 2;
-const TID_SIM_KERNELS: u64 = 1;
-const TID_SIM_TRANSFERS: u64 = 2;
 const TID_SERVICE: u64 = 0;
+
+/// Kernel lane of one shard: shards get interleaved (kernel, transfer)
+/// tid pairs starting at 1, so shard 0 keeps the historical tids 1/2.
+fn tid_kernels(shard: u32) -> u64 {
+    1 + 2 * shard as u64
+}
+
+/// Transfer lane of one shard.
+fn tid_transfers(shard: u32) -> u64 {
+    2 + 2 * shard as u64
+}
 
 fn complete(name: &str, pid: u64, tid: u64, ts_us: f64, dur_us: f64, args: &str) -> String {
     format!(
@@ -47,6 +60,14 @@ fn metadata(pid: u64, process_name: &str) -> String {
     )
 }
 
+fn thread_metadata(pid: u64, tid: u64, thread_name: &str) -> String {
+    format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        json_escape(thread_name),
+    )
+}
+
 /// Render a captured event stream as a Chrome trace JSON document.
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
     let mut out: Vec<String> = vec![
@@ -57,8 +78,10 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
     // Open spans awaiting their closing event.
     let mut submitted_at: HashMap<TraceId, u64> = HashMap::new();
     let mut rung_open: HashMap<(TraceId, u8), (u64, &'static str)> = HashMap::new();
-    // Cumulative sim-time cursor for the device process.
-    let mut sim_cursor_us = 0.0f64;
+    // One cumulative sim-time cursor per shard (device): each shard's
+    // kernels and transfers advance its own lane independently.
+    let mut sim_cursor_us: HashMap<u32, f64> = HashMap::new();
+    let mut shards_seen: BTreeSet<u32> = BTreeSet::new();
 
     for ev in events {
         let ts = ev.t_us as f64;
@@ -121,6 +144,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                 }
             }
             EventKind::KernelLaunch {
+                shard,
                 seq,
                 solver,
                 blocks,
@@ -137,14 +161,17 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                 ..
             } => {
                 let dur = launch_us + exec_us;
+                let cursor = sim_cursor_us.entry(*shard).or_insert(0.0);
+                shards_seen.insert(*shard);
                 out.push(complete(
                     &format!("{solver} launch #{seq}"),
                     PID_SIM_DEVICE,
-                    TID_SIM_KERNELS,
-                    sim_cursor_us,
+                    tid_kernels(*shard),
+                    *cursor,
                     dur,
                     &format!(
-                        "\"blocks\":{blocks},\"resident_per_cu\":{resident_per_cu},\
+                        "\"shard\":{shard},\"blocks\":{blocks},\
+                         \"resident_per_cu\":{resident_per_cu},\
                          \"total_slots\":{total_slots},\
                          \"shared_per_block_bytes\":{shared_per_block_bytes},\
                          \"spilled_vector_bytes\":{spilled_vector_bytes},\
@@ -154,53 +181,103 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                          \"syncs_per_iteration\":{syncs_per_iteration:?}"
                     ),
                 ));
-                sim_cursor_us += dur.max(0.0);
+                *cursor += dur.max(0.0);
             }
             EventKind::SyncPoint {
+                shard,
                 seq,
                 solver,
                 syncs,
                 sim_us,
             } => {
-                // Markers at the owning launch's position on the device
+                // Markers at the owning launch's position on its shard's
                 // lane; the kernel span already accounts for their time.
+                let cursor = sim_cursor_us.get(shard).copied().unwrap_or(0.0);
                 out.push(instant(
                     &format!("{solver} #{seq}: {syncs} syncs"),
                     PID_SIM_DEVICE,
-                    TID_SIM_KERNELS,
-                    sim_cursor_us,
+                    tid_kernels(*shard),
+                    cursor,
                     &format!("\"syncs\":{syncs},\"sim_us\":{sim_us:?}"),
                 ));
             }
             EventKind::Reduction {
+                shard,
                 seq,
                 solver,
                 reductions,
                 width,
                 depth,
             } => {
+                let cursor = sim_cursor_us.get(shard).copied().unwrap_or(0.0);
                 out.push(instant(
                     &format!("{solver} #{seq}: {reductions} reductions"),
                     PID_SIM_DEVICE,
-                    TID_SIM_KERNELS,
-                    sim_cursor_us,
+                    tid_kernels(*shard),
+                    cursor,
                     &format!("\"reductions\":{reductions},\"width\":{width},\"depth\":{depth}"),
                 ));
             }
             EventKind::Transfer {
+                shard,
                 direction,
                 bytes,
                 sim_us,
             } => {
+                let cursor = sim_cursor_us.entry(*shard).or_insert(0.0);
+                shards_seen.insert(*shard);
                 out.push(complete(
                     &format!("{direction} {bytes} B"),
                     PID_SIM_DEVICE,
-                    TID_SIM_TRANSFERS,
-                    sim_cursor_us,
+                    tid_transfers(*shard),
+                    *cursor,
                     *sim_us,
-                    &format!("\"bytes\":{bytes}"),
+                    &format!("\"shard\":{shard},\"bytes\":{bytes}"),
                 ));
-                sim_cursor_us += sim_us.max(0.0);
+                *cursor += sim_us.max(0.0);
+            }
+            EventKind::ShardDispatch {
+                shard,
+                device,
+                size,
+                queue_depth,
+            } => {
+                out.push(instant(
+                    &format!("dispatch -> shard {shard} ({size} systems)"),
+                    PID_REQUESTS,
+                    TID_SERVICE,
+                    ts,
+                    &format!(
+                        "\"shard\":{shard},\"device\":\"{}\",\"size\":{size},\
+                         \"queue_depth\":{queue_depth}",
+                        json_escape(device)
+                    ),
+                ));
+            }
+            EventKind::ShardSteal {
+                thief,
+                victim,
+                size,
+            } => {
+                out.push(instant(
+                    &format!("steal: shard {thief} <- shard {victim} ({size} systems)"),
+                    PID_REQUESTS,
+                    TID_SERVICE,
+                    ts,
+                    &format!("\"thief\":{thief},\"victim\":{victim},\"size\":{size}"),
+                ));
+            }
+            EventKind::CpuSpill {
+                size,
+                min_batch_size,
+            } => {
+                out.push(instant(
+                    &format!("spill -> cpu pool ({size} < {min_batch_size})"),
+                    PID_REQUESTS,
+                    TID_SERVICE,
+                    ts,
+                    &format!("\"size\":{size},\"min_batch_size\":{min_batch_size}"),
+                ));
             }
             EventKind::Rejected { reason } => {
                 out.push(instant(
@@ -250,6 +327,21 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
         }
     }
 
+    // Name the device lanes so Perfetto shows "device N kernels" instead
+    // of bare tids — one lane pair per shard that emitted records.
+    for shard in &shards_seen {
+        out.push(thread_metadata(
+            PID_SIM_DEVICE,
+            tid_kernels(*shard),
+            &format!("device {shard} kernels"),
+        ));
+        out.push(thread_metadata(
+            PID_SIM_DEVICE,
+            tid_transfers(*shard),
+            &format!("device {shard} transfers"),
+        ));
+    }
+
     format!(
         "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}",
         out.join(",\n")
@@ -280,6 +372,7 @@ mod tests {
                 t_us: 21,
                 trace_id: None,
                 kind: EventKind::KernelLaunch {
+                    shard: 0,
                     seq: 0,
                     solver: "bicgstab",
                     device: "V100",
@@ -302,6 +395,7 @@ mod tests {
                 t_us: 22,
                 trace_id: None,
                 kind: EventKind::SyncPoint {
+                    shard: 0,
                     seq: 0,
                     solver: "bicgstab",
                     syncs: 54,
@@ -312,6 +406,7 @@ mod tests {
                 t_us: 23,
                 trace_id: None,
                 kind: EventKind::Reduction {
+                    shard: 0,
                     seq: 0,
                     solver: "bicgstab",
                     reductions: 54,
@@ -323,6 +418,7 @@ mod tests {
                 t_us: 25,
                 trace_id: None,
                 kind: EventKind::Transfer {
+                    shard: 0,
                     direction: "d2h",
                     bytes: 128,
                     sim_us: 11.0,
@@ -398,5 +494,88 @@ mod tests {
             doc.contains("\"name\":\"watchdog stall\",\"ph\":\"i\""),
             "{doc}"
         );
+    }
+
+    fn launch(shard: u32, seq: u64, exec_us: f64) -> TraceEvent {
+        TraceEvent {
+            t_us: seq,
+            trace_id: None,
+            kind: EventKind::KernelLaunch {
+                shard,
+                seq,
+                solver: "bicgstab",
+                device: "V100",
+                blocks: 1,
+                resident_per_cu: 2,
+                total_slots: 160,
+                shared_per_block_bytes: 1024,
+                spilled_vector_bytes: 0,
+                launch_us: 10.0,
+                exec_us,
+                dram_bytes: 4096,
+                flops: 1 << 16,
+                syncs: 0,
+                reductions: 0,
+                sync_us: 0.0,
+                syncs_per_iteration: 6.0,
+            },
+        }
+    }
+
+    #[test]
+    fn each_shard_gets_its_own_lane_and_cursor() {
+        // Interleaved launches on shards 0 and 2: each lane's cursor
+        // starts at 0 and advances independently of the other's.
+        let doc = chrome_trace(&[launch(0, 0, 40.0), launch(2, 1, 90.0), launch(0, 2, 40.0)]);
+        // Shard 0 lane (tid 1): spans at 0 and 50.
+        assert!(doc.contains("\"tid\":1,\"ts\":0.0,\"dur\":50.0"), "{doc}");
+        assert!(doc.contains("\"tid\":1,\"ts\":50.0,\"dur\":50.0"), "{doc}");
+        // Shard 2 lane (tid 5): its own cursor, starting at 0.
+        assert!(doc.contains("\"tid\":5,\"ts\":0.0,\"dur\":100.0"), "{doc}");
+        // Both lanes are named.
+        assert!(doc.contains("device 0 kernels"), "{doc}");
+        assert!(doc.contains("device 2 kernels"), "{doc}");
+        validate_json(&doc).unwrap();
+    }
+
+    #[test]
+    fn fleet_scheduler_events_become_service_instants() {
+        let events = vec![
+            TraceEvent {
+                t_us: 5,
+                trace_id: None,
+                kind: EventKind::ShardDispatch {
+                    shard: 3,
+                    device: "NVIDIA V100-16GB",
+                    size: 96,
+                    queue_depth: 1,
+                },
+            },
+            TraceEvent {
+                t_us: 6,
+                trace_id: None,
+                kind: EventKind::ShardSteal {
+                    thief: 1,
+                    victim: 3,
+                    size: 96,
+                },
+            },
+            TraceEvent {
+                t_us: 7,
+                trace_id: None,
+                kind: EventKind::CpuSpill {
+                    size: 5,
+                    min_batch_size: 8,
+                },
+            },
+        ];
+        let doc = chrome_trace(&events);
+        assert!(doc.contains("dispatch -> shard 3 (96 systems)"), "{doc}");
+        assert!(
+            doc.contains("steal: shard 1 <- shard 3 (96 systems)"),
+            "{doc}"
+        );
+        assert!(doc.contains("spill -> cpu pool (5 < 8)"), "{doc}");
+        validate_json(&doc).unwrap();
     }
 }
