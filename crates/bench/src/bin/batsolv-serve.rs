@@ -31,6 +31,13 @@
 //! with per-device labels. `--compare` reruns with stealing toggled off
 //! and reports the fleet p99/makespan delta.
 //!
+//! Robustness flags (fleet mode): `--deadline-ms N` attaches a deadline
+//! budget to every request (infeasible deadlines are rejected at
+//! admission, spent budgets shed at dispatch), `--retries N` re-routes
+//! retryably failed chunks to a different shard up to N extra times
+//! with deterministic backoff, and `--hedge` lets idle shards duplicate
+//! straggling peer flights (first terminal outcome wins).
+//!
 //! ```text
 //! batsolv-serve [--pairs 100] [--threads 4] [--target 100] [--linger-us 2000]
 //!               [--rate 20000] [--queue 1024] [--quick] [--compare]
@@ -39,6 +46,7 @@
 //!               [--stats-interval-ms 1000]
 //!               [--devices N] [--min-batch-size N] [--steal | --no-steal]
 //!               [--device-profile v100|a100|mi100]
+//!               [--deadline-ms N] [--retries N] [--hedge | --no-hedge]
 //! ```
 //!
 //! `--solver` picks the fused solver variant carrying rung 1 of the
@@ -53,8 +61,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use batsolv_fleet::{
-    fleet_prometheus_text, DeviceProfile, FleetConfig, FleetService, FleetSnapshot,
-    DEFAULT_MIN_BATCH_SIZE,
+    fleet_prometheus_text, DeviceProfile, FleetConfig, FleetService, FleetSnapshot, HedgeConfig,
+    RetryPolicy, DEFAULT_MIN_BATCH_SIZE,
 };
 use batsolv_gpusim::DeviceSpec;
 use batsolv_runtime::{
@@ -83,6 +91,14 @@ struct Args {
     min_batch_size: usize,
     steal: bool,
     profile: DeviceProfile,
+    /// Per-request deadline in milliseconds (0 = no deadline). Requests
+    /// whose budget a chunk cannot possibly meet are rejected at
+    /// admission; spent budgets shed at dispatch.
+    deadline_ms: u64,
+    /// Extra retry attempts after a retryable failure (0 = retries off).
+    retries: u32,
+    /// Hedge straggling flights from idle shards.
+    hedge: bool,
 }
 
 impl Args {
@@ -105,6 +121,9 @@ impl Args {
             min_batch_size: DEFAULT_MIN_BATCH_SIZE,
             steal: true,
             profile: DeviceProfile::V100,
+            deadline_ms: 0,
+            retries: 0,
+            hedge: false,
         };
         let mut args = std::env::args().skip(1);
         let next_usize = |args: &mut dyn Iterator<Item = String>, what: &str| -> usize {
@@ -157,6 +176,10 @@ impl Args {
                 }
                 "--steal" => out.steal = true,
                 "--no-steal" => out.steal = false,
+                "--deadline-ms" => out.deadline_ms = next_usize(&mut args, "--deadline-ms") as u64,
+                "--retries" => out.retries = next_usize(&mut args, "--retries") as u32,
+                "--hedge" => out.hedge = true,
+                "--no-hedge" => out.hedge = false,
                 "--device-profile" => {
                     let name = args.next().unwrap_or_default();
                     out.profile = DeviceProfile::parse(&name).unwrap_or_else(|| {
@@ -174,10 +197,14 @@ impl Args {
                          [--solver NAME] [--trace-out PATH] [--metrics-out PATH] \
                          [--flight-recorder] [--stats-interval-ms N] \
                          [--devices N] [--min-batch-size N] [--steal|--no-steal] \
-                         [--device-profile NAME]\n\
+                         [--device-profile NAME] [--deadline-ms N] [--retries N] \
+                         [--hedge|--no-hedge]\n\
                          --solver: rung-1 variant, one of {}\n\
                          --devices: >= 1 shards traffic over a multi-device fleet\n\
-                         --device-profile: one of {}",
+                         --device-profile: one of {}\n\
+                         --deadline-ms: per-request deadline budget (0 = none)\n\
+                         --retries: extra attempts after retryable failures (0 = off)\n\
+                         --hedge: duplicate straggling flights from idle shards",
                         SolverVariant::NAMES.join(", "),
                         DeviceProfile::NAMES.join(", ")
                     );
@@ -292,11 +319,24 @@ fn drive_fleet(
     steal: bool,
     tracer: Tracer,
 ) -> (FleetSnapshot, usize, usize, usize, Duration) {
+    let retry = if args.retries > 0 {
+        // `--retries N` = N extra attempts on top of the first execution.
+        RetryPolicy::new(args.retries + 1)
+    } else {
+        RetryPolicy::disabled()
+    };
+    let hedge = if args.hedge {
+        HedgeConfig::enabled()
+    } else {
+        HedgeConfig::disabled()
+    };
     let config = FleetConfig::new(args.devices)
         .with_profile(args.profile)
         .with_min_batch_size(args.min_batch_size)
         .with_queue_capacity(args.queue)
         .with_steal(steal)
+        .with_retry(retry)
+        .with_hedge(hedge)
         .with_tracer(tracer);
     let service = Arc::new(
         FleetService::start(Arc::clone(workload.pattern()), config).expect("fleet failed to start"),
@@ -344,15 +384,20 @@ fn drive_fleet(
                     let group: Vec<SolveRequest> = (start..end)
                         .map(|i| {
                             let sys = workload.system(i);
-                            SolveRequest::new(sys.values.to_vec(), sys.rhs.to_vec())
-                                .with_guess(sys.warm_guess.to_vec())
+                            let mut req = SolveRequest::new(sys.values.to_vec(), sys.rhs.to_vec())
+                                .with_guess(sys.warm_guess.to_vec());
+                            if args.deadline_ms > 0 {
+                                req = req.with_deadline(Duration::from_millis(args.deadline_ms));
+                            }
+                            req
                         })
                         .collect();
                     let size = group.len();
                     match service.submit_group(group, None) {
                         Ok(ticket) => tickets.push(ticket),
                         Err(SubmitError::QueueFull { .. })
-                        | Err(SubmitError::CircuitOpen { .. }) => rejected += size,
+                        | Err(SubmitError::CircuitOpen { .. })
+                        | Err(SubmitError::Infeasible { .. }) => rejected += size,
                         Err(e) => {
                             eprintln!("submit error: {e}");
                             rejected += size;
@@ -432,12 +477,20 @@ fn main() {
         let (snap, converged, failed, rejected, wall) =
             drive_fleet(&workload, &args, args.steal, tracer.clone());
         println!(
-            "\n--- fleet: {} x {} shards + cpu pool (groups of {}, min batch {}, steal {}) ---",
+            "\n--- fleet: {} x {} shards + cpu pool (groups of {}, min batch {}, steal {}, \
+             deadline {}, retries {}, hedge {}) ---",
             args.devices,
             args.profile.name(),
             args.target.max(1),
             args.min_batch_size,
-            if args.steal { "on" } else { "off" }
+            if args.steal { "on" } else { "off" },
+            if args.deadline_ms > 0 {
+                format!("{} ms", args.deadline_ms)
+            } else {
+                "off".to_string()
+            },
+            args.retries,
+            if args.hedge { "on" } else { "off" }
         );
         println!(
             "wall {:.2}s: {converged} converged, {failed} failed, {rejected} rejected at submission",

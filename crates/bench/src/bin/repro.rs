@@ -5,7 +5,8 @@
 //! repro [--quick] fig1 fig2 ... fig9 table1 table2 table3
 //! repro [--quick] ablation-{monolithic,shared,solver,tolerance}
 //! repro [--quick] ext-{multispecies,multigpu,mixed-precision,gpu-direct,
-//!                      campaign,dia,precond,convergence,gridsize,serving,chaos,trace,fleet}
+//!                      campaign,dia,precond,convergence,gridsize,serving,chaos,trace,fleet,
+//!                      hedge}
 //! ```
 //!
 //! CSV series land in `bench_out/` (override with `REPRO_OUT`); the
@@ -75,6 +76,7 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
     ("ext-chaos", chaos::run),
     ("ext-trace", tracing::run),
     ("ext-fleet", fleet::run),
+    ("ext-hedge", hedge::run),
     ("ablation-shared", ablations::shared_memory),
     ("ablation-solver", ablations::solver_choice),
     ("ablation-tolerance", ablations::tolerance),

@@ -175,7 +175,14 @@ pub fn multi_gpu(cfg: &RunConfig) -> Result<String> {
     let mut out =
         String::from("== Extension: multi-GPU strong scaling (Summit node, 6 x V100) ==\n");
     out.push_str(&table.render());
-    let ok = effs[3] > 0.6
+    // Efficiency floor at 6 GPUs: the sync-priced device model charges
+    // every iteration's grid-wide syncs and reductions per device, so
+    // splitting a fixed batch 6 ways amortizes launches worse than the
+    // pre-sync model did (measured ~41% here vs ~65% before reduction
+    // pricing landed). 0.35 keeps the gate meaningful — a scheduler
+    // regression that serializes devices still trips it — without
+    // re-litigating the device model.
+    let ok = effs[3] > 0.35
         && effs.windows(2).all(|w| w[1] <= w[0] + 0.02)
         && lanes == node.devices.len();
     out.push_str(&format!(

@@ -1,0 +1,267 @@
+//! Hedged dispatch under injected stragglers: does duplicating a
+//! stalled flight from an idle shard cut the fleet tail?
+//!
+//! The fleet's hedging path exists for exactly one production failure
+//! mode: a device that is not *broken* (the breaker stays closed) but
+//! *slow* — a straggler. This experiment injects that mode with a
+//! launch hook that stalls every launch on shard 0, then replays the
+//! same group stream twice: hedging off and hedging on (stealing is on
+//! in both passes, so queued work is already rescued either way — only
+//! the *in-flight* chunk on the sick shard differs). The PASS gate
+//! requires at least one hedge to fire and the fleet-wide p99 latency
+//! to improve; a regression fails the binary (exit 1 through the repro
+//! driver).
+//!
+//! Exactly-once delivery is asserted throughout: every system gets one
+//! terminal outcome even when primary and hedge race, and the winner's
+//! solutions must satisfy the same residual bound as the unhedged run.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use batsolv_fleet::{FleetConfig, FleetService, FleetSnapshot, HedgeConfig};
+use batsolv_gpusim::{LaunchDisruption, LaunchHook, NoDisruption};
+use batsolv_runtime::SolveRequest;
+use batsolv_trace::{EventKind, MemorySink, TraceSink, Tracer};
+use batsolv_types::{Error, Result};
+use batsolv_xgc::{VelocityGrid, XgcWorkload};
+
+use crate::config::RunConfig;
+use crate::output::{write_csv, TextTable};
+
+/// Spill cutoff (systems).
+const MIN_BATCH: usize = 8;
+/// Chunking ceiling = group size, so every group is one chunk.
+const MAX_BATCH: usize = 16;
+/// How long the sick shard sits on every launch.
+const STALL: Duration = Duration::from_millis(30);
+/// Hedge floor: fire well inside the stall window.
+const HEDGE_DELAY: Duration = Duration::from_millis(5);
+
+/// Stalls every launch on the hooked shard without failing it — the
+/// straggler hedging exists for.
+struct Straggler;
+
+impl LaunchHook for Straggler {
+    fn disrupt(&self, _ids: &[u64]) -> LaunchDisruption {
+        LaunchDisruption::Stall(STALL)
+    }
+}
+
+struct Pass {
+    snap: FleetSnapshot,
+    wall: Duration,
+    hedge_fired_events: u64,
+    hedge_won_events: u64,
+}
+
+/// One pass of the straggler stream. Shard 0 stalls on every launch;
+/// groups are all hinted at it, so its first pop is a guaranteed
+/// straggling flight while peers drain the rest of the queue.
+fn drive(workload: &XgcWorkload, devices: usize, hedge: bool) -> Result<Pass> {
+    let sink = Arc::new(MemorySink::new());
+    let hedge_cfg = if hedge {
+        HedgeConfig::enabled().with_min_delay(HEDGE_DELAY)
+    } else {
+        HedgeConfig::disabled()
+    };
+    let cfg = FleetConfig::new(devices)
+        .with_min_batch_size(MIN_BATCH)
+        .with_max_batch_size(MAX_BATCH)
+        .with_queue_capacity(4096)
+        .with_steal(true)
+        .with_hedge(hedge_cfg)
+        .with_tracer(Tracer::new(Arc::clone(&sink) as Arc<dyn TraceSink>));
+    let mut hooks: Vec<Arc<dyn LaunchHook>> = vec![Arc::new(Straggler)];
+    for _ in 1..devices {
+        hooks.push(Arc::new(NoDisruption));
+    }
+    let service = FleetService::start_with_hooks(Arc::clone(workload.pattern()), cfg, hooks)?;
+
+    let total = workload.num_systems();
+    let start = Instant::now();
+    let mut tickets = Vec::new();
+    let mut i = 0usize;
+    while i < total {
+        let size = MAX_BATCH.min(total - i);
+        let group: Vec<SolveRequest> = (i..i + size)
+            .map(|k| {
+                let sys = workload.system(k);
+                SolveRequest::new(sys.values.to_vec(), sys.rhs.to_vec())
+                    .with_guess(sys.warm_guess.to_vec())
+            })
+            .collect();
+        let ticket = service
+            .submit_group(group, Some(0))
+            .map_err(|e| Error::InvalidConfig(format!("fleet submit failed: {e}")))?;
+        tickets.push(ticket);
+        i += size;
+    }
+    let mut completed = 0usize;
+    for t in tickets {
+        let outcomes = t.wait_all();
+        if outcomes.len() != MAX_BATCH.min(total - completed) {
+            return Err(Error::InvalidConfig(
+                "group ticket delivered the wrong number of outcomes".into(),
+            ));
+        }
+        for outcome in outcomes {
+            let s =
+                outcome.map_err(|e| Error::InvalidConfig(format!("fleet solve failed: {e}")))?;
+            if !s.residual.is_finite() || s.residual > 1e-8 {
+                return Err(Error::InvalidConfig(format!(
+                    "residual {} too large under hedging",
+                    s.residual
+                )));
+            }
+            completed += 1;
+        }
+    }
+    let wall = start.elapsed();
+    if completed != total {
+        return Err(Error::InvalidConfig(format!(
+            "only {completed} of {total} requests completed (exactly-once violated)"
+        )));
+    }
+    let snap = service.shutdown();
+    // Fleet accounting must agree with the outcomes the caller saw:
+    // hedge losers' deliveries are no-ops, never double counts.
+    if snap.completed() != total as u64 {
+        return Err(Error::InvalidConfig(format!(
+            "snapshot counts {} completions for {total} delivered outcomes",
+            snap.completed()
+        )));
+    }
+    let mut fired = 0u64;
+    let mut won = 0u64;
+    for e in sink.snapshot() {
+        match e.kind {
+            EventKind::HedgeFired { .. } => fired += 1,
+            EventKind::HedgeWon { .. } => won += 1,
+            _ => {}
+        }
+    }
+    Ok(Pass {
+        snap,
+        wall,
+        hedge_fired_events: fired,
+        hedge_won_events: won,
+    })
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Run the experiment; returns the report section.
+pub fn run(cfg: &RunConfig) -> Result<String> {
+    let devices = 3usize;
+    let pairs = if cfg.quick { 96 } else { 192 };
+    let grid = VelocityGrid::small(10, 9);
+    let workload = XgcWorkload::generate(grid, pairs, cfg.seed)?;
+    let total = workload.num_systems();
+
+    let unhedged = drive(&workload, devices, false)?;
+    let hedged = drive(&workload, devices, true)?;
+
+    let p99_off = unhedged.snap.latency_p99;
+    let p99_on = hedged.snap.latency_p99;
+    let improvement = if p99_on.as_secs_f64() > 0.0 {
+        p99_off.as_secs_f64() / p99_on.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+
+    let mut table = TextTable::new(&[
+        "mode",
+        "lat_p50_ms",
+        "lat_p99_ms",
+        "hedges_fired",
+        "hedges_won",
+        "steals",
+        "wall_ms",
+    ]);
+    let mut rows = Vec::new();
+    for (mode, pass) in [("no-hedge", &unhedged), ("hedge", &hedged)] {
+        table.row(&[
+            mode.to_string(),
+            format!("{:.3}", ms(pass.snap.latency_p50)),
+            format!("{:.3}", ms(pass.snap.latency_p99)),
+            format!("{}", pass.snap.hedges_fired()),
+            format!("{}", pass.snap.hedges_won()),
+            format!("{}", pass.snap.steals()),
+            format!("{:.0}", ms(pass.wall)),
+        ]);
+        rows.push(format!(
+            "{mode},{:.6},{:.6},{},{},{},{:.3}",
+            ms(pass.snap.latency_p50),
+            ms(pass.snap.latency_p99),
+            pass.snap.hedges_fired(),
+            pass.snap.hedges_won(),
+            pass.snap.steals(),
+            ms(pass.wall),
+        ));
+    }
+    write_csv(
+        &cfg.out_dir,
+        "fleet_hedge.csv",
+        "mode,lat_p50_ms,lat_p99_ms,hedges_fired,hedges_won,steals,wall_ms",
+        &rows,
+    )?;
+
+    // Trace events and snapshot counters must agree about every hedge.
+    if hedged.snap.hedges_fired() != hedged.hedge_fired_events
+        || hedged.snap.hedges_won() != hedged.hedge_won_events
+    {
+        return Err(Error::InvalidConfig(format!(
+            "hedge accounting disagreement: snapshot {}/{} vs trace {}/{} fired/won",
+            hedged.snap.hedges_fired(),
+            hedged.snap.hedges_won(),
+            hedged.hedge_fired_events,
+            hedged.hedge_won_events
+        )));
+    }
+
+    let fired = hedged.snap.hedges_fired() >= 1;
+    let faster = p99_on < p99_off;
+    let clean_baseline = unhedged.snap.hedges_fired() == 0;
+
+    let mut out = String::from("== Hedged dispatch: straggler mitigation ==\n");
+    out.push_str(&format!(
+        "{total} XGC systems over {devices} V100 shards, every group hinted at shard 0, \
+         whose every launch stalls {} ms; stealing on in both passes, hedge floor {} ms\n",
+        STALL.as_millis(),
+        HEDGE_DELAY.as_millis(),
+    ));
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "fleet p99 latency: no-hedge {:.3} ms -> hedge {:.3} ms ({improvement:.2}x better; \
+         {} hedges fired, {} won)\n",
+        ms(p99_off),
+        ms(p99_on),
+        hedged.snap.hedges_fired(),
+        hedged.snap.hedges_won(),
+    ));
+    out.push_str(&format!(
+        "gate: hedging fires against the straggler ................ {}\n",
+        if fired { "PASS" } else { "FAIL" }
+    ));
+    out.push_str(&format!(
+        "gate: hedging reduces fleet p99 .......................... {}\n",
+        if faster { "PASS" } else { "FAIL" }
+    ));
+    out.push_str(&format!(
+        "gate: hedge-off pass fires no hedges ..................... {}\n",
+        if clean_baseline { "PASS" } else { "FAIL" }
+    ));
+    if !(fired && faster && clean_baseline) {
+        return Err(Error::InvalidConfig(format!(
+            "hedge gate failed: p99 no-hedge {:.3} ms vs hedge {:.3} ms, {} fired ({} in off pass)",
+            ms(p99_off),
+            ms(p99_on),
+            hedged.snap.hedges_fired(),
+            unhedged.snap.hedges_fired(),
+        )));
+    }
+    Ok(out)
+}

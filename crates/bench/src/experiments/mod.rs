@@ -16,6 +16,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fleet;
 pub mod gridsize;
+pub mod hedge;
 pub mod serving;
 pub mod table1;
 pub mod table2;

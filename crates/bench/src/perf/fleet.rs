@@ -11,10 +11,18 @@
 //!   counts and wall clock are recorded in the artifact for
 //!   trend-watching but never gated: which thief wins a race is
 //!   scheduler timing, not modeled behavior.
+//! * **hedge** — the round-robin schedule again with hedged dispatch
+//!   *armed* but its delay floor set far above any chunk's latency, so
+//!   no hedge ever fires: the pass prices the hedge bookkeeping
+//!   (in-flight registration, slot claims) on the deterministic
+//!   schedule. Its makespan and throughput are gated like round-robin's;
+//!   the fired/won counters in its rows must stay zero.
 //!
 //! Results land in `BENCH_fleet.json` (schema `batsolv-bench/fleet/v1`).
 
 use std::time::Duration;
+
+use batsolv_fleet::HedgeConfig;
 
 use batsolv_gpusim::DeviceSpec;
 use batsolv_types::Result;
@@ -47,6 +55,13 @@ pub struct FleetRow {
     /// Chunks stolen from peers / lost to thieves.
     pub steals_in: u64,
     pub steals_out: u64,
+    /// Chunks this device re-queued elsewhere after retryable failures.
+    pub retries: u64,
+    /// Hedge duplicates launched / won by this device.
+    pub hedges_fired: u64,
+    pub hedges_won: u64,
+    /// Systems shed at dispatch (spent deadline budgets).
+    pub shed: u64,
 }
 
 /// Everything the fleet sweep measured.
@@ -68,6 +83,15 @@ pub struct FleetSweep {
     pub steals: u64,
     /// Steal-skew pass: host wall clock, ms (informational).
     pub wall_ms: f64,
+    /// Hedge pass: slowest shard's simulated time (ms); gated like the
+    /// round-robin makespan (the armed-but-idle hedge path must not
+    /// cost simulated time).
+    pub hedge_makespan_ms: f64,
+    /// Hedge pass: fleet throughput over the makespan.
+    pub hedge_systems_per_sim_s: f64,
+    /// Hedge pass: hedges actually fired (deterministically zero — the
+    /// delay floor exceeds every chunk latency by construction).
+    pub hedge_fired: u64,
 }
 
 fn rows_for(mode: &'static str, snap: &batsolv_fleet::FleetSnapshot) -> Vec<FleetRow> {
@@ -89,6 +113,10 @@ fn rows_for(mode: &'static str, snap: &batsolv_fleet::FleetSnapshot) -> Vec<Flee
             },
             steals_in: s.steals_in,
             steals_out: s.steals_out,
+            retries: s.retries,
+            hedges_fired: s.hedges_fired,
+            hedges_won: s.hedges_won,
+            shed: s.shed,
         })
         .collect()
 }
@@ -100,12 +128,27 @@ pub fn run(quick: bool) -> Result<FleetSweep> {
     let systems = workload.num_systems();
 
     // Gated pass: deterministic schedule (no steal, no skew, no pacing).
-    let rr = drive(&workload, FLEET_DEVICES, false, false, Duration::ZERO)?;
+    let rr = drive(&workload, FLEET_DEVICES, false, false, Duration::ZERO, None)?;
     // Informational pass: skewed arrivals with stealing on.
-    let sk = drive(&workload, FLEET_DEVICES, true, true, Duration::ZERO)?;
+    let sk = drive(&workload, FLEET_DEVICES, true, true, Duration::ZERO, None)?;
+    // Gated pass: the round-robin schedule with hedging armed but its
+    // delay floor far above any chunk latency — nothing fires, so the
+    // metrics stay deterministic while the hedge bookkeeping is priced.
+    let hedge_cfg = HedgeConfig::enabled()
+        .with_min_delay(Duration::from_millis(250))
+        .with_p99_factor(4.0);
+    let hg = drive(
+        &workload,
+        FLEET_DEVICES,
+        false,
+        false,
+        Duration::ZERO,
+        Some(hedge_cfg),
+    )?;
 
     let mut rows = rows_for("round-robin", &rr.snap);
     rows.extend(rows_for("steal-skew", &sk.snap));
+    rows.extend(rows_for("hedge", &hg.snap));
 
     let makespan_ms = rr.snap.makespan_s * 1e3;
     Ok(FleetSweep {
@@ -122,6 +165,13 @@ pub fn run(quick: bool) -> Result<FleetSweep> {
         spilled: rr.snap.spilled,
         steals: sk.snap.steals(),
         wall_ms: sk.wall.as_secs_f64() * 1e3,
+        hedge_makespan_ms: hg.snap.makespan_s * 1e3,
+        hedge_systems_per_sim_s: if hg.snap.makespan_s > 0.0 {
+            hg.snap.completed() as f64 / hg.snap.makespan_s
+        } else {
+            0.0
+        },
+        hedge_fired: hg.snap.hedges_fired(),
     })
 }
 
@@ -136,6 +186,10 @@ fn row_json(r: &FleetRow) -> Json {
         ("systems_per_sim_s", Json::Num(r.systems_per_sim_s)),
         ("steals_in", Json::Num(r.steals_in as f64)),
         ("steals_out", Json::Num(r.steals_out as f64)),
+        ("retries", Json::Num(r.retries as f64)),
+        ("hedges_fired", Json::Num(r.hedges_fired as f64)),
+        ("hedges_won", Json::Num(r.hedges_won as f64)),
+        ("shed", Json::Num(r.shed as f64)),
     ])
 }
 
@@ -154,6 +208,12 @@ impl FleetSweep {
             ("spilled", Json::Num(self.spilled as f64)),
             ("steals", Json::Num(self.steals as f64)),
             ("wall_ms", Json::Num(self.wall_ms)),
+            ("hedge_makespan_ms", Json::Num(self.hedge_makespan_ms)),
+            (
+                "hedge_systems_per_sim_s",
+                Json::Num(self.hedge_systems_per_sim_s),
+            ),
+            ("hedge_fired", Json::Num(self.hedge_fired as f64)),
             (
                 "results",
                 Json::Arr(self.rows.iter().map(row_json).collect()),
@@ -175,10 +235,20 @@ impl FleetSweep {
             };
             lower.push((name, r.sim_ms));
         }
-        let higher = vec![(
-            "fleet.systems_per_sim_s".to_string(),
-            self.systems_per_sim_s,
-        )];
+        lower.push((
+            "fleet.hedge.makespan_ms".to_string(),
+            self.hedge_makespan_ms,
+        ));
+        let higher = vec![
+            (
+                "fleet.systems_per_sim_s".to_string(),
+                self.systems_per_sim_s,
+            ),
+            (
+                "fleet.hedge.systems_per_sim_s".to_string(),
+                self.hedge_systems_per_sim_s,
+            ),
+        ];
         (lower, higher)
     }
 }

@@ -170,6 +170,10 @@ pub const FLEET_REQUIRED: &[&str] = &[
     "systems_per_sim_s",
     "steals_in",
     "steals_out",
+    "retries",
+    "hedges_fired",
+    "hedges_won",
+    "shed",
 ];
 
 /// Required per-row fields of `BENCH_solve.json`.

@@ -27,5 +27,7 @@
 //!   traffic drivers to perturb arrival timing.
 
 pub mod plan;
+pub mod transient;
 
-pub use plan::{FaultKind, FaultPlan, FaultRates, InjectedFault};
+pub use plan::{FailureClass, FaultKind, FaultPlan, FaultRates, InjectedFault};
+pub use transient::TransientFaults;

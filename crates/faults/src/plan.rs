@@ -32,6 +32,25 @@ pub enum FaultKind {
     QueueDelay,
 }
 
+/// Whether a failure of a given kind warrants another attempt.
+///
+/// Data corruption is a property of the *request* — re-running the same
+/// poisoned system on another device reproduces the failure, so those
+/// kinds are terminal. Launch- and timing-level disruptions (stall,
+/// panic, device failure, arrival delay) are properties of the *attempt*
+/// — a different shard, or the same shard a moment later, may well
+/// succeed, so those kinds are retryable. The fleet's retry policy
+/// mirrors this taxonomy when it maps engine-level `SolveError`s:
+/// `DeviceFailure`/`WorkerPanic` retry, `NotConverged`/
+/// `DeadlineExceeded` are terminal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureClass {
+    /// Another attempt (on a different shard) may succeed.
+    Retryable,
+    /// Re-execution reproduces the failure; deliver it.
+    Terminal,
+}
+
 impl FaultKind {
     /// All data-corruption kinds, in injection-priority order (at most
     /// one data fault is applied per system).
@@ -43,6 +62,21 @@ impl FaultKind {
         FaultKind::NearZeroDiagonal,
         FaultKind::SingularRow,
     ];
+
+    /// The retryable-vs-terminal class of a failure this kind causes.
+    pub fn class(self) -> FailureClass {
+        match self {
+            FaultKind::NanValues
+            | FaultKind::InfValues
+            | FaultKind::NanRhs
+            | FaultKind::ZeroDiagonal
+            | FaultKind::NearZeroDiagonal
+            | FaultKind::SingularRow => FailureClass::Terminal,
+            FaultKind::Stall | FaultKind::Panic | FaultKind::DeviceFail | FaultKind::QueueDelay => {
+                FailureClass::Retryable
+            }
+        }
+    }
 
     /// Stable tag mixed into the hash (never reorder: scenarios are
     /// reproducible across versions only if tags stay fixed).
@@ -311,6 +345,21 @@ mod tests {
             }
         }
         (values, vec![1.0; p.num_rows()])
+    }
+
+    #[test]
+    fn data_faults_are_terminal_launch_faults_retryable() {
+        for k in FaultKind::DATA_KINDS {
+            assert_eq!(k.class(), FailureClass::Terminal, "{k:?}");
+        }
+        for k in [
+            FaultKind::Stall,
+            FaultKind::Panic,
+            FaultKind::DeviceFail,
+            FaultKind::QueueDelay,
+        ] {
+            assert_eq!(k.class(), FailureClass::Retryable, "{k:?}");
+        }
     }
 
     #[test]

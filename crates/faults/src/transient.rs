@@ -1,0 +1,104 @@
+//! Transient (first-attempt-only) launch faults.
+//!
+//! The retry chaos tests need a fault that disrupts a chunk's *first*
+//! flight but lets a re-routed attempt succeed — the transient device
+//! hiccup a retry policy exists for. [`TransientFaults`] wraps a
+//! [`FaultPlan`]: each request id's launch-level fault fires only the
+//! first time the id is seen by the hook; every later launch carrying
+//! that id (a retry, a hedge duplicate, a steal re-execution) proceeds
+//! clean. Data faults are unaffected — they live in the request payload
+//! and are terminal by [`FaultKind::class`](crate::FaultKind::class).
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use batsolv_gpusim::{LaunchDisruption, LaunchHook};
+
+use crate::plan::FaultPlan;
+
+/// A [`LaunchHook`] that injects each id's launch fault exactly once.
+pub struct TransientFaults {
+    inner: FaultPlan,
+    seen: Mutex<HashSet<u64>>,
+}
+
+impl TransientFaults {
+    /// Wrap a plan so its launch faults are transient.
+    pub fn new(plan: FaultPlan) -> TransientFaults {
+        TransientFaults {
+            inner: plan,
+            seen: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// The wrapped plan (for predicting which first attempts fault).
+    pub fn plan(&self) -> &FaultPlan {
+        &self.inner
+    }
+}
+
+impl LaunchHook for TransientFaults {
+    fn disrupt(&self, launch_ids: &[u64]) -> LaunchDisruption {
+        let fresh: Vec<u64> = {
+            let mut seen = self.seen.lock().unwrap();
+            launch_ids
+                .iter()
+                .copied()
+                .filter(|&id| seen.insert(id))
+                .collect()
+        };
+        if fresh.is_empty() {
+            return LaunchDisruption::Proceed;
+        }
+        self.inner.disrupt(&fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultRates;
+    use std::time::Duration;
+
+    #[test]
+    fn fault_fires_once_per_id_then_clears() {
+        let plan = FaultPlan::new(
+            3,
+            FaultRates {
+                device_fail: 1.0,
+                ..Default::default()
+            },
+        );
+        let hook = TransientFaults::new(plan);
+        assert!(matches!(
+            hook.disrupt(&[10, 11]),
+            LaunchDisruption::DeviceFail { .. }
+        ));
+        // The retry of the same ids proceeds clean.
+        assert_eq!(hook.disrupt(&[10, 11]), LaunchDisruption::Proceed);
+        // A launch mixing seen and fresh ids faults only on the fresh.
+        assert!(matches!(
+            hook.disrupt(&[11, 12]),
+            LaunchDisruption::DeviceFail { .. }
+        ));
+        assert_eq!(hook.disrupt(&[12]), LaunchDisruption::Proceed);
+    }
+
+    #[test]
+    fn stall_is_transient_too() {
+        let plan = FaultPlan::new(
+            7,
+            FaultRates {
+                stall: 1.0,
+                ..Default::default()
+            },
+        )
+        .with_stall_duration(Duration::from_millis(1));
+        let hook = TransientFaults::new(plan);
+        assert_eq!(
+            hook.disrupt(&[1]),
+            LaunchDisruption::Stall(Duration::from_millis(1))
+        );
+        assert_eq!(hook.disrupt(&[1]), LaunchDisruption::Proceed);
+    }
+}

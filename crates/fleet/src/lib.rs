@@ -20,6 +20,18 @@
 //!   seeded, fixed victim order and steals the *oldest* queued chunk;
 //!   solver numerics are device-placement-independent, so a stolen
 //!   chunk's solutions are bitwise identical to unstolen execution;
+//! * **deadline budgets** — a request's deadline becomes a
+//!   `DeadlineBudget` debited at every hop (queueing, steals, retry
+//!   backoff); admission fast-fails with `SubmitError::Infeasible` when
+//!   the device model already prices a chunk above the whole budget,
+//!   and spent budgets shed at dispatch instead of executing;
+//! * **retry with backoff and hedged dispatch** — retryable chunk
+//!   failures (device faults, worker panics) re-queue on a *different*
+//!   shard after a deterministic seeded backoff; idle shards duplicate
+//!   straggling peer flights after a p99-derived delay, with shared
+//!   outcome slots keeping delivery exactly-once; a graceful-degradation
+//!   ladder (hedges off → shedding → widened spill) keeps overload from
+//!   amplifying itself;
 //! * **fleet observability** — per-shard [`StatsSnapshot`-style]
 //!   snapshots roll up into a [`FleetSnapshot`] with per-shard and
 //!   fleet-wide wait/latency percentiles, trace events carry the shard
@@ -54,6 +66,7 @@
 //! ```
 
 pub mod config;
+mod degrade;
 pub mod metrics;
 pub mod range;
 pub mod service;
@@ -63,7 +76,8 @@ pub mod stats;
 mod work;
 
 pub use config::{
-    DeviceProfile, FleetConfig, DEFAULT_CPU_WORKERS, DEFAULT_MAX_BATCH_SIZE, DEFAULT_MIN_BATCH_SIZE,
+    DegradeConfig, DeviceProfile, FleetConfig, HedgeConfig, RetryPolicy, DEFAULT_CPU_WORKERS,
+    DEFAULT_MAX_BATCH_SIZE, DEFAULT_MIN_BATCH_SIZE,
 };
 pub use metrics::fleet_prometheus_text;
 pub use range::{victim_order, DeviceRange, Placement, Route};

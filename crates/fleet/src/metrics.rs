@@ -56,6 +56,11 @@ pub fn fleet_prometheus_text(f: &FleetSnapshot) -> String {
         "Simulated device time summed across the fleet.",
         f.sim_time_total_s,
     );
+    p.gauge(
+        "batsolv_fleet_degrade_level",
+        "Graceful-degradation ladder level (0 normal .. 3 widened spill).",
+        f.degrade_level as f64,
+    );
     p.family(
         "batsolv_fleet_wait_seconds",
         "gauge",
@@ -137,6 +142,26 @@ pub fn fleet_prometheus_text(f: &FleetSnapshot) -> String {
         "batsolv_fleet_device_breaker_trips_total",
         "Circuit-breaker trips per device.",
         |s| s.breaker_trips
+    );
+    per_device_counter!(
+        "batsolv_fleet_device_retries_total",
+        "Chunks re-queued elsewhere after a retryable failure, per device.",
+        |s| s.retries
+    );
+    per_device_counter!(
+        "batsolv_fleet_device_hedges_fired_total",
+        "Hedge duplicates launched against peer flights, per device.",
+        |s| s.hedges_fired
+    );
+    per_device_counter!(
+        "batsolv_fleet_device_hedges_won_total",
+        "Hedge duplicates that delivered first, per device.",
+        |s| s.hedges_won
+    );
+    per_device_counter!(
+        "batsolv_fleet_device_shed_total",
+        "Systems shed at dispatch (budget spent or sub-deadline), per device.",
+        |s| s.shed
     );
 
     p.family(
@@ -235,6 +260,10 @@ mod tests {
             steals_in: 2,
             steals_out: 3,
             breaker_trips: 0,
+            retries: id as u64,
+            hedges_fired: 2 * id as u64,
+            hedges_won: id as u64,
+            shed: 0,
             sim_time_s: 0.5 * (id as f64 + 1.0),
             wait_p50: Duration::from_micros(100),
             wait_p99: Duration::from_micros(900),
@@ -257,6 +286,7 @@ mod tests {
             latency_p99: Duration::from_micros(1900),
             makespan_s: 1.0,
             sim_time_total_s: 2.5,
+            degrade_level: 1,
         }
     }
 
@@ -269,6 +299,11 @@ mod tests {
         assert!(page.contains("profile=\"2x Intel Xeon Gold 6148 (38 worker cores)\""));
         assert!(page.contains("batsolv_fleet_spilled_systems_total 11"));
         assert!(page.contains("batsolv_fleet_device_breaker_open{device=\"1\""));
+        assert!(page.contains("batsolv_fleet_device_retries_total{device=\"1\""));
+        assert!(page.contains("batsolv_fleet_device_hedges_fired_total{device=\"0\""));
+        assert!(page.contains("batsolv_fleet_device_hedges_won_total{device=\"cpu-pool\""));
+        assert!(page.contains("batsolv_fleet_device_shed_total{device=\"0\""));
+        assert!(page.contains("batsolv_fleet_degrade_level 1"));
     }
 
     #[test]

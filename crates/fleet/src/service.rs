@@ -17,21 +17,34 @@ use std::time::{Duration, Instant};
 
 use batsolv_formats::SparsityPattern;
 use batsolv_gpusim::{LaunchHook, NoDisruption};
-use batsolv_runtime::{CircuitBreaker, LadderEngine, SolveEngine, SolveRequest, SubmitError};
+use batsolv_runtime::{
+    CircuitBreaker, DeadlineBudget, LadderEngine, SolveEngine, SolveRequest, SubmitError,
+};
 use batsolv_trace::{EventKind, Tracer};
 use batsolv_types::Result;
 
-use crate::config::FleetConfig;
+use crate::config::{FleetConfig, HedgeConfig};
+use crate::degrade::DegradeState;
 use crate::metrics::fleet_prometheus_text;
 use crate::range::{victim_order, DeviceRange, Route};
-use crate::shard::{spawn_shard_worker, ChunkQueue, ShardShared, ShardStats};
+use crate::shard::{spawn_shard_worker, ChunkQueue, ShardShared, ShardStats, WorkerCtx};
 use crate::spill::CpuLuEngine;
 use crate::stats::{percentile_us, snapshot_shard, FleetSnapshot};
-use crate::work::{Chunk, GroupTicket, Pending};
+use crate::work::{Chunk, GroupTicket, OutcomeSlot, Pending};
+
+/// Iteration count assumed by admission-time cost prediction: the
+/// paper's Table III electron-species solves land near 40 iterations,
+/// which makes the predicted chunk cost a realistic (not worst-case)
+/// feasibility bar for deadline budgets.
+const PREDICT_ITERS: u32 = 40;
 
 /// A running fleet: GPU shards plus the CPU spill pool.
 pub struct FleetService {
     range: DeviceRange,
+    /// The range used at degradation level 3: the CPU spill cutoff is
+    /// doubled, so marginal chunks widen onto the spill pool instead of
+    /// deepening saturated GPU queues.
+    wide_range: DeviceRange,
     shards: Arc<Vec<Arc<ShardShared>>>,
     cpu: Arc<ShardShared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -48,6 +61,10 @@ pub struct FleetService {
     queue_capacity: usize,
     nnz: usize,
     n: usize,
+    degrade: Arc<DegradeState>,
+    /// Device-model prediction for one full chunk, the admission
+    /// feasibility bar for deadline-carrying requests.
+    predicted_chunk_cost: Duration,
     tracer: Tracer,
 }
 
@@ -69,6 +86,19 @@ impl FleetService {
         cfg.validate()?;
         assert_eq!(hooks.len(), cfg.devices, "one hook per GPU shard");
         let range = DeviceRange::new(cfg.devices, cfg.min_batch_size, cfg.max_batch_size);
+        let wide_range = DeviceRange::new(
+            cfg.devices,
+            (cfg.min_batch_size * 2).min(cfg.max_batch_size),
+            cfg.max_batch_size,
+        );
+        let degrade = Arc::new(DegradeState::new(cfg.degrade));
+        let spec = cfg.profile.spec();
+        let predicted_chunk_cost = Duration::from_secs_f64(spec.predict_chunk_seconds(
+            pattern.num_rows(),
+            pattern.nnz(),
+            cfg.max_batch_size,
+            PREDICT_ITERS,
+        ));
 
         let shards: Arc<Vec<Arc<ShardShared>>> = Arc::new(
             (0..cfg.devices as u32)
@@ -79,6 +109,7 @@ impl FleetService {
                         queue: ChunkQueue::new(cfg.queue_capacity),
                         stats: ShardStats::new(),
                         breaker: CircuitBreaker::new(cfg.breaker),
+                        inflight: Mutex::new(None),
                     })
                 })
                 .collect(),
@@ -89,6 +120,7 @@ impl FleetService {
             queue: ChunkQueue::new(cfg.queue_capacity),
             stats: ShardStats::new(),
             breaker: CircuitBreaker::new(cfg.breaker),
+            inflight: Mutex::new(None),
         });
 
         let mut workers = Vec::with_capacity(cfg.devices + 1);
@@ -108,34 +140,44 @@ impl FleetService {
             } else {
                 Vec::new()
             };
-            workers.push(spawn_shard_worker(
-                Arc::clone(shard),
-                Arc::clone(&shards),
+            workers.push(spawn_shard_worker(WorkerCtx {
+                shard: Arc::clone(shard),
+                peers: Arc::clone(&shards),
                 engine,
                 victims,
-                cfg.tracer.clone(),
-            ));
+                tracer: cfg.tracer.clone(),
+                retry: cfg.retry,
+                hedge: cfg.hedge,
+                degrade: Arc::clone(&degrade),
+                predicted_chunk_cost,
+            }));
         }
         // The CPU pool is one more worker over the same machinery: a
         // banded-LU engine instead of the ladder, and it never steals
         // (GPU backlogs would defeat the size cutoff that routed work
-        // away from it).
+        // away from it) and never hedges (its chunks are the small spill
+        // tail, not fused straggler candidates).
         let cpu_engine: Arc<dyn SolveEngine> = Arc::new(CpuLuEngine::new(
             Arc::clone(&pattern),
             cfg.cpu_workers,
             range.cpu_shard(),
             cfg.tracer.clone(),
         ));
-        workers.push(spawn_shard_worker(
-            Arc::clone(&cpu),
-            Arc::clone(&shards),
-            cpu_engine,
-            Vec::new(),
-            cfg.tracer.clone(),
-        ));
+        workers.push(spawn_shard_worker(WorkerCtx {
+            shard: Arc::clone(&cpu),
+            peers: Arc::clone(&shards),
+            engine: cpu_engine,
+            victims: Vec::new(),
+            tracer: cfg.tracer.clone(),
+            retry: cfg.retry,
+            hedge: HedgeConfig::disabled(),
+            degrade: Arc::clone(&degrade),
+            predicted_chunk_cost,
+        }));
 
         Ok(FleetService {
             range,
+            wide_range,
             shards,
             cpu,
             workers: Mutex::new(workers),
@@ -150,6 +192,8 @@ impl FleetService {
             queue_capacity: cfg.queue_capacity,
             nnz: pattern.nnz(),
             n: pattern.num_rows(),
+            degrade,
+            predicted_chunk_cost,
             tracer: cfg.tracer,
         })
     }
@@ -220,11 +264,41 @@ impl FleetService {
             return Err(SubmitError::ShuttingDown);
         }
 
-        // Plan every chunk's destination before queueing anything.
-        let first = self
-            .range
-            .pick_shard(hint, self.round_robin.fetch_add(1, Ordering::Relaxed));
-        let placements = self.range.route_group(requests.len(), first);
+        // Re-evaluate the degradation ladder on fleet-wide GPU queue
+        // occupancy (serialized here under the submit lock).
+        let queued: usize = self.shards.iter().map(|s| s.queue.len()).sum();
+        let capacity = (self.range.num_devices() * self.queue_capacity).max(1);
+        if let Some((from, to)) = self.degrade.observe(queued as f64 / capacity as f64) {
+            self.tracer.emit(None, EventKind::DegradeShift { from, to });
+        }
+
+        // Deadline feasibility: if the device model already prices one
+        // chunk above a request's whole budget, queueing it would only
+        // burn queue slots on work guaranteed to miss. Fast-fail the
+        // group instead with a structured reject.
+        for r in &requests {
+            if let Some(deadline) = r.deadline {
+                if self.predicted_chunk_cost > deadline {
+                    self.rejected
+                        .fetch_add(requests.len() as u64, Ordering::Relaxed);
+                    return Err(SubmitError::Infeasible {
+                        predicted: self.predicted_chunk_cost,
+                        budget: deadline,
+                    });
+                }
+            }
+        }
+
+        // Plan every chunk's destination before queueing anything. At
+        // degradation level 3 the wide range (doubled spill cutoff)
+        // diverts marginal chunks to the CPU pool.
+        let range = if self.degrade.widen_spill() {
+            &self.wide_range
+        } else {
+            &self.range
+        };
+        let first = range.pick_shard(hint, self.round_robin.fetch_add(1, Ordering::Relaxed));
+        let placements = range.route_group(requests.len(), first);
         let now = Instant::now();
         let devices = self.range.num_devices();
         let mut planned = vec![0usize; devices + 1]; // [devices] = CPU pool
@@ -260,7 +334,7 @@ impl FleetService {
                                 }
                             }
                         }
-                        cur = self.range.next_shard(cur);
+                        cur = range.next_shard(cur);
                     }
                     match chosen {
                         Some(c) => {
@@ -303,7 +377,9 @@ impl FleetService {
                 guess: r.guess,
                 tolerance: r.tolerance,
                 enqueued,
-                tx,
+                budget: r.deadline.map(DeadlineBudget::new),
+                attempt: 1,
+                slot: Arc::new(OutcomeSlot::new(tx)),
             });
         }
 
@@ -346,7 +422,7 @@ impl FleetService {
                         None,
                         EventKind::CpuSpill {
                             size,
-                            min_batch_size: self.range.min_batch_size,
+                            min_batch_size: range.min_batch_size,
                         },
                     );
                 }
@@ -391,6 +467,7 @@ impl FleetService {
             spilled: self.spilled.load(Ordering::Relaxed),
             makespan_s,
             sim_time_total_s,
+            degrade_level: self.degrade.level(),
         }
     }
 

@@ -8,21 +8,41 @@
 //! chunk with the worst wait so far, which is what shortens the fleet's
 //! tail. A steal is one atomic queue pop, so a chunk executes exactly
 //! once no matter how thief, victim, and breaker interleave.
+//!
+//! Robustness layers on top of that base loop:
+//!
+//! * **Deadline budgets** — each pending system may carry a
+//!   [`DeadlineBudget`]; the worker debits queue wait at dispatch and
+//!   sheds systems whose budget is spent (or, at degradation level 2+,
+//!   whose remaining budget cannot cover the predicted chunk cost).
+//! * **Retry with backoff** — a retryable chunk failure (device fault,
+//!   worker panic) re-queues the chunk on a *different* shard after a
+//!   deterministic, seeded backoff, until `RetryPolicy::max_attempts`
+//!   executions are spent; backoff time is debited from budgets.
+//! * **Hedged dispatch** — an idle worker that finds nothing to steal
+//!   duplicates a peer's in-flight chunk once its age exceeds the
+//!   peer's p99-derived hedge delay. Primary and hedge share
+//!   [`OutcomeSlot`]s, so the first terminal outcome wins and the
+//!   loser's delivery is a no-op: outcomes stay exactly-once.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use batsolv_runtime::{
-    BatchItem, CircuitBreaker, Reservoir, Solution, SolveEngine, SolveError, SolveMethod,
+    BatchItem, CircuitBreaker, DeadlineBudget, Reservoir, Solution, SolveEngine, SolveError,
+    SolveMethod, SolveOutcome,
 };
 use batsolv_trace::{EventKind, Tracer};
 use batsolv_types::Error;
 
-use crate::work::Chunk;
+use crate::config::{HedgeConfig, RetryPolicy};
+use crate::degrade::DegradeState;
+use crate::stats::percentile_us;
+use crate::work::{Chunk, Pending};
 
 /// How long a worker waits on its empty queue before probing victims.
 const POLL_INTERVAL: Duration = Duration::from_millis(2);
@@ -130,6 +150,15 @@ pub(crate) struct ShardStats {
     pub steals_in: AtomicU64,
     pub steals_out: AtomicU64,
     pub breaker_trips: AtomicU64,
+    /// Chunks this shard re-queued elsewhere after a retryable failure.
+    pub retries: AtomicU64,
+    /// Hedge duplicates this shard launched against a peer's chunk.
+    pub hedges_fired: AtomicU64,
+    /// Hedge duplicates this shard won (delivered at least one outcome).
+    pub hedges_won: AtomicU64,
+    /// Systems shed at dispatch: budget spent, or sub-deadline under
+    /// degradation level 2+.
+    pub shed: AtomicU64,
     /// Simulated device time, nanoseconds (atomics hold no f64).
     pub sim_time_ns: AtomicU64,
     pub sampled: Mutex<SampledShardStats>,
@@ -144,6 +173,10 @@ impl ShardStats {
             steals_in: AtomicU64::new(0),
             steals_out: AtomicU64::new(0),
             breaker_trips: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            hedges_fired: AtomicU64::new(0),
+            hedges_won: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             sim_time_ns: AtomicU64::new(0),
             sampled: Mutex::new(SampledShardStats::default()),
         }
@@ -155,6 +188,19 @@ impl ShardStats {
     }
 }
 
+/// A chunk currently inside `solve_batch` on some shard, advertised so
+/// idle peers can hedge it. `hedged` is the claim bit: only one peer
+/// ever duplicates a given flight.
+pub(crate) struct InflightChunk {
+    pub started: Instant,
+    pub origin: u32,
+    /// The shard actually executing (differs from `origin` on steals).
+    pub executor: u32,
+    pub hedged: AtomicBool,
+    /// Payload clones sharing the primaries' outcome slots.
+    pub items: Vec<Pending>,
+}
+
 /// Everything a shard shares with the scheduler and with thieving
 /// peers: its queue, breaker, stats, and identity.
 pub(crate) struct ShardShared {
@@ -163,25 +209,45 @@ pub(crate) struct ShardShared {
     pub queue: ChunkQueue,
     pub stats: ShardStats,
     pub breaker: CircuitBreaker,
+    /// The chunk this shard's worker has in flight, if hedging is on.
+    pub inflight: Mutex<Option<Arc<InflightChunk>>>,
+}
+
+/// Whether an execution is the scheduled flight or a hedge duplicate.
+#[derive(Clone, Copy)]
+pub(crate) enum ChunkRole {
+    Primary,
+    /// A duplicate of a chunk in flight on shard `primary`.
+    Hedge {
+        primary: u32,
+    },
+}
+
+/// Everything one worker thread needs: its shard, its peers (for
+/// steals, retries, and hedges), the engine, and the shared policies.
+pub(crate) struct WorkerCtx {
+    pub shard: Arc<ShardShared>,
+    pub peers: Arc<Vec<Arc<ShardShared>>>,
+    pub engine: Arc<dyn SolveEngine>,
+    /// Fixed victim-visit order (empty disables stealing).
+    pub victims: Vec<u32>,
+    pub tracer: Tracer,
+    pub retry: RetryPolicy,
+    pub hedge: HedgeConfig,
+    pub degrade: Arc<DegradeState>,
+    /// Device-model prediction for one full chunk (admission and
+    /// level-2 shedding both compare budgets against it).
+    pub predicted_chunk_cost: Duration,
 }
 
 /// Spawn one shard's worker loop.
-///
-/// `victims` is this thief's fixed victim-visit order (empty disables
-/// stealing); `peers` indexes every GPU shard by id.
-pub(crate) fn spawn_shard_worker(
-    shard: Arc<ShardShared>,
-    peers: Arc<Vec<Arc<ShardShared>>>,
-    engine: Arc<dyn SolveEngine>,
-    victims: Vec<u32>,
-    tracer: Tracer,
-) -> JoinHandle<()> {
+pub(crate) fn spawn_shard_worker(ctx: WorkerCtx) -> JoinHandle<()> {
     std::thread::Builder::new()
-        .name(format!("fleet-shard-{}", shard.id))
+        .name(format!("fleet-shard-{}", ctx.shard.id))
         .spawn(move || loop {
-            match shard.queue.pop_wait(POLL_INTERVAL) {
+            match ctx.shard.queue.pop_wait(POLL_INTERVAL) {
                 Popped::Chunk(chunk) => {
-                    execute_chunk(engine.as_ref(), &shard, chunk, &tracer);
+                    execute_chunk(&ctx, chunk, ChunkRole::Primary);
                 }
                 Popped::Closed => break,
                 Popped::TimedOut => {
@@ -189,23 +255,25 @@ pub(crate) fn spawn_shard_worker(
                     // keep taking chunks (re-checking our own queue
                     // between them) instead of paying the poll interval
                     // per stolen chunk.
-                    while shard.queue.is_empty() {
+                    let mut raided = false;
+                    while ctx.shard.queue.is_empty() {
                         let mut stole = false;
-                        for &v in &victims {
-                            let victim = &peers[v as usize];
+                        for &v in &ctx.victims {
+                            let victim = &ctx.peers[v as usize];
                             if let Some(chunk) = victim.queue.steal() {
                                 victim.stats.steals_out.fetch_add(1, Ordering::Relaxed);
-                                shard.stats.steals_in.fetch_add(1, Ordering::Relaxed);
-                                tracer.emit(
+                                ctx.shard.stats.steals_in.fetch_add(1, Ordering::Relaxed);
+                                ctx.tracer.emit(
                                     None,
                                     EventKind::ShardSteal {
-                                        thief: shard.id,
+                                        thief: ctx.shard.id,
                                         victim: chunk.origin,
                                         size: chunk.len(),
                                     },
                                 );
-                                execute_chunk(engine.as_ref(), &shard, chunk, &tracer);
+                                execute_chunk(&ctx, chunk, ChunkRole::Primary);
                                 stole = true;
+                                raided = true;
                                 break;
                             }
                         }
@@ -213,31 +281,82 @@ pub(crate) fn spawn_shard_worker(
                             break;
                         }
                     }
+                    // Nothing queued anywhere: consider hedging a
+                    // straggling peer flight before going back to sleep.
+                    if !raided {
+                        try_hedge(&ctx);
+                    }
                 }
             }
         })
         .expect("spawn fleet shard worker")
 }
 
-/// Execute one chunk on `shard`'s engine and deliver exactly one
-/// terminal outcome per item — through every path, including an engine
-/// error or a worker panic.
-pub(crate) fn execute_chunk(
-    engine: &dyn SolveEngine,
-    shard: &ShardShared,
-    chunk: Chunk,
-    tracer: &Tracer,
-) {
-    let n = chunk.len();
-    if n == 0 {
+/// Metadata retained per item across the solve call (the payload moves
+/// into the [`BatchItem`]s).
+struct ItemMeta {
+    slot: Arc<crate::work::OutcomeSlot>,
+    budget: Option<DeadlineBudget>,
+    enqueued: Instant,
+    wait: Duration,
+    attempt: u32,
+}
+
+/// Execute one chunk on this worker's engine. Terminal outcomes go
+/// through each item's [`OutcomeSlot`](crate::work::OutcomeSlot), so no
+/// path — success, shed, engine error, retry exhaustion, worker panic,
+/// lost hedge race — ever delivers twice or drops an item.
+pub(crate) fn execute_chunk(ctx: &WorkerCtx, chunk: Chunk, role: ChunkRole) {
+    let shard = &ctx.shard;
+    if chunk.len() == 0 {
         return;
     }
     let dispatch_start = Instant::now();
-    let mut meta = Vec::with_capacity(n);
-    let mut items = Vec::with_capacity(n);
-    for p in chunk.items {
+    let is_primary = matches!(role, ChunkRole::Primary);
+    let register_hedge = is_primary && ctx.hedge.enabled && ctx.degrade.hedging_allowed();
+    let origin = chunk.origin;
+
+    let mut meta: Vec<ItemMeta> = Vec::with_capacity(chunk.len());
+    let mut items: Vec<BatchItem> = Vec::with_capacity(chunk.len());
+    let mut hedge_clones: Vec<Pending> = Vec::new();
+    let mut shed = 0usize;
+
+    for mut p in chunk.items {
+        if p.slot.is_claimed() {
+            // The other side of a hedge pair already delivered this
+            // one; executing it again would be pure waste.
+            continue;
+        }
         let wait = dispatch_start.saturating_duration_since(p.enqueued);
-        meta.push((p.id, p.tx, p.enqueued, wait));
+        if is_primary {
+            if let Some(budget) = p.budget.as_mut() {
+                budget.debit(wait);
+                let expired = budget.is_exhausted();
+                let hopeless = ctx.degrade.shedding() && !budget.covers(ctx.predicted_chunk_cost);
+                if expired || hopeless {
+                    if let Some(tx) = p.slot.claim() {
+                        shard.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        shard.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        shed += 1;
+                        let _ = tx.send(Err(SolveError::DeadlineExceeded {
+                            waited: budget.consumed(),
+                            deadline: budget.total(),
+                        }));
+                    }
+                    continue;
+                }
+            }
+        }
+        if register_hedge {
+            hedge_clones.push(p.clone());
+        }
+        meta.push(ItemMeta {
+            slot: Arc::clone(&p.slot),
+            budget: p.budget,
+            enqueued: p.enqueued,
+            wait,
+            attempt: p.attempt,
+        });
         items.push(BatchItem {
             id: p.id,
             values: p.values,
@@ -246,81 +365,346 @@ pub(crate) fn execute_chunk(
             tolerance: p.tolerance,
         });
     }
+    if shed > 0 {
+        ctx.tracer.emit(
+            None,
+            EventKind::Shed {
+                shard: shard.id,
+                size: shed,
+                level: ctx.degrade.level(),
+            },
+        );
+    }
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
 
-    let result = catch_unwind(AssertUnwindSafe(|| engine.solve_batch(&items)));
+    // Advertise the flight for hedging *before* the (possibly
+    // stalling) solve, and retract it after.
+    if register_hedge {
+        let infl = Arc::new(InflightChunk {
+            started: dispatch_start,
+            origin,
+            executor: shard.id,
+            hedged: AtomicBool::new(false),
+            items: hedge_clones,
+        });
+        *shard.inflight.lock().unwrap() = Some(infl);
+    }
+
+    let result = catch_unwind(AssertUnwindSafe(|| ctx.engine.solve_batch(&items)));
     shard.stats.chunks_executed.fetch_add(1, Ordering::Relaxed);
+    if register_hedge {
+        *shard.inflight.lock().unwrap() = None;
+    }
 
-    let mut degraded = 0usize;
+    // Feed the breaker *before* outcomes go out: on_batch guards the
+    // device, and a caller unblocked by a failure delivery must observe
+    // the trip on its very next submit. (The breaker sees every
+    // execution's health — including a losing hedge's — because it
+    // guards the device, not the outcome slots.)
+    let degraded = match &result {
+        Ok(Ok(report)) => report
+            .outcomes
+            .iter()
+            .filter(|o| !o.converged || o.method == SolveMethod::BandedLuFallback)
+            .count(),
+        _ => n,
+    };
+    if shard.breaker.on_batch(Instant::now(), n, degraded) {
+        shard.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        ctx.tracer.emit(None, EventKind::BreakerTrip);
+    }
+
     match result {
         Ok(Ok(report)) => {
             shard.stats.add_sim_time(report.sim_time_s);
-            {
-                let mut s = shard.stats.sampled.lock().unwrap();
-                for (_, _, enqueued, wait) in &meta {
-                    s.wait_us.push(wait.as_micros() as u64);
-                    s.latency_us.push(enqueued.elapsed().as_micros() as u64);
-                }
-            }
-            for (outcome, (_, tx, _, wait)) in report.outcomes.into_iter().zip(meta) {
-                if outcome.converged {
-                    if outcome.method == SolveMethod::BandedLuFallback {
-                        degraded += 1;
-                    }
-                    shard.stats.completed.fetch_add(1, Ordering::Relaxed);
-                    let _ = tx.send(Ok(Solution {
+            let mut delivered = 0usize;
+            for (outcome, m) in report.outcomes.into_iter().zip(meta) {
+                let terminal: SolveOutcome = if outcome.converged {
+                    Ok(Solution {
                         x: outcome.x,
                         iterations: outcome.iterations,
                         residual: outcome.residual,
                         method: outcome.method,
                         batch_size: n,
-                        queue_wait: wait,
+                        queue_wait: m.wait,
                         rungs: outcome.rungs,
-                    }));
+                    })
                 } else {
-                    degraded += 1;
-                    shard.stats.failed.fetch_add(1, Ordering::Relaxed);
-                    let _ = tx.send(Err(SolveError::NotConverged {
+                    Err(SolveError::NotConverged {
                         iterations: outcome.iterations,
                         residual: outcome.residual,
                         breakdown: outcome.breakdown,
                         rungs: outcome.rungs,
-                    }));
+                    })
+                };
+                let won = outcome.converged;
+                // Claim first, count second, send last: by the time the
+                // caller's `wait_all` unblocks, every counter and sample
+                // for this outcome has already landed.
+                if let Some(tx) = m.slot.claim() {
+                    delivered += 1;
+                    if won {
+                        shard.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        shard.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Only the slot winner samples: the reservoirs then
+                    // reflect the latency callers actually observed.
+                    {
+                        let mut s = shard.stats.sampled.lock().unwrap();
+                        s.wait_us.push(m.wait.as_micros() as u64);
+                        s.latency_us.push(m.enqueued.elapsed().as_micros() as u64);
+                    }
+                    let _ = tx.send(terminal);
+                }
+            }
+            if let ChunkRole::Hedge { primary } = role {
+                if delivered > 0 {
+                    shard.stats.hedges_won.fetch_add(1, Ordering::Relaxed);
+                    ctx.tracer.emit(
+                        None,
+                        EventKind::HedgeWon {
+                            winner: shard.id,
+                            loser: primary,
+                            size: delivered,
+                        },
+                    );
                 }
             }
         }
         Ok(Err(err)) => {
             // The engine failed the whole fused launch (e.g. a simulated
             // device fault): every member fails, none is lost.
-            degraded = n;
             let code = match err {
                 Error::DeviceFailure { code } => code,
                 _ => "engine_error",
             };
-            shard.stats.failed.fetch_add(n as u64, Ordering::Relaxed);
-            for (_, tx, _, _) in meta {
-                let _ = tx.send(Err(SolveError::DeviceFailure { code }));
-            }
+            finish_failed(
+                ctx,
+                role,
+                meta,
+                items,
+                SolveError::DeviceFailure { code },
+                "device_failure",
+            );
         }
         Err(panic) => {
-            degraded = n;
             let detail = panic
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "opaque panic payload".to_string());
-            shard.stats.failed.fetch_add(n as u64, Ordering::Relaxed);
-            for (_, tx, _, _) in meta {
-                let _ = tx.send(Err(SolveError::WorkerPanic {
-                    detail: detail.clone(),
-                }));
-            }
+            finish_failed(
+                ctx,
+                role,
+                meta,
+                items,
+                SolveError::WorkerPanic { detail },
+                "worker_panic",
+            );
         }
     }
+}
 
-    if shard.breaker.on_batch(Instant::now(), n, degraded) {
-        shard.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
-        tracer.emit(None, EventKind::BreakerTrip);
+/// Failure epilogue: retry the chunk elsewhere if the policy allows,
+/// otherwise deliver the terminal error to every still-unclaimed slot.
+///
+/// `SolveError::DeviceFailure` and `SolveError::WorkerPanic` are the
+/// fleet's *retryable* class (mirroring `FailureClass` in
+/// batsolv-faults): the fault hit the attempt, not the data, so a
+/// different shard may well succeed. Data-level failures
+/// (`NotConverged`) come through the success path above and are always
+/// terminal.
+fn finish_failed(
+    ctx: &WorkerCtx,
+    role: ChunkRole,
+    meta: Vec<ItemMeta>,
+    items: Vec<BatchItem>,
+    error: SolveError,
+    reason: &'static str,
+) {
+    let shard = &ctx.shard;
+
+    // A hedge duplicate never delivers failures and never retries: the
+    // primary flight still owns these items, and hedging exists to beat
+    // stragglers, not to double-report faults.
+    if matches!(role, ChunkRole::Hedge { .. }) {
+        return;
     }
+
+    let attempt = meta.first().map(|m| m.attempt).unwrap_or(1);
+    if attempt < ctx.retry.max_attempts {
+        // Deterministic backoff keyed by the chunk's lead request id.
+        let next_attempt = attempt + 1;
+        let lead_id = items.first().map(|i| i.id).unwrap_or(0);
+        let backoff = ctx.retry.backoff(next_attempt, lead_id);
+
+        // Rebuild pendings, debiting the backoff we are about to sleep
+        // from every budget; systems the backoff would push past their
+        // deadline fail now instead of burning a pointless attempt.
+        let mut pendings: Vec<Pending> = Vec::with_capacity(items.len());
+        for (item, m) in items.into_iter().zip(meta.iter()) {
+            if m.slot.is_claimed() {
+                continue;
+            }
+            let mut budget = m.budget;
+            if let Some(b) = budget.as_mut() {
+                b.debit(backoff);
+                if b.is_exhausted() {
+                    if let Some(tx) = m.slot.claim() {
+                        shard.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(Err(SolveError::DeadlineExceeded {
+                            waited: b.consumed(),
+                            deadline: b.total(),
+                        }));
+                    }
+                    continue;
+                }
+            }
+            pendings.push(Pending {
+                id: item.id,
+                values: item.values,
+                rhs: item.rhs,
+                guess: item.guess,
+                tolerance: item.tolerance,
+                enqueued: Instant::now(),
+                budget,
+                attempt: next_attempt,
+                slot: Arc::clone(&m.slot),
+            });
+        }
+
+        if !pendings.is_empty() {
+            std::thread::sleep(backoff);
+            // Walk the other shards first (self only as a last resort,
+            // when the fleet has a single GPU shard): a fault that hit
+            // this device should not greet the retry too.
+            let devices = ctx.peers.len();
+            let mut chunk = Some(Chunk {
+                items: pendings,
+                origin: shard.id,
+            });
+            for k in 1..=devices {
+                let target = &ctx.peers[(shard.id as usize + k) % devices];
+                if target.breaker.check(Instant::now()).is_err() {
+                    continue;
+                }
+                let mut c = chunk.take().unwrap();
+                c.origin = target.id;
+                let size = c.len();
+                match target.queue.try_push(c) {
+                    Ok(()) => {
+                        shard.stats.retries.fetch_add(1, Ordering::Relaxed);
+                        ctx.tracer.emit(
+                            None,
+                            EventKind::RetryAttempt {
+                                from: shard.id,
+                                to: target.id,
+                                size,
+                                attempt: next_attempt,
+                                backoff_us: backoff.as_micros() as u64,
+                                reason,
+                            },
+                        );
+                        return;
+                    }
+                    Err(back) => chunk = Some(back),
+                }
+            }
+            // Every queue full or breaker open: terminal after all.
+            if let Some(c) = chunk {
+                for p in c.items {
+                    if let Some(tx) = p.slot.claim() {
+                        shard.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(Err(error.clone()));
+                    }
+                }
+            }
+            return;
+        }
+        return;
+    }
+
+    // Attempts exhausted (or retries off): terminal delivery.
+    for m in meta {
+        if let Some(tx) = m.slot.claim() {
+            shard.stats.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(Err(error.clone()));
+        }
+    }
+}
+
+/// The hedge delay for duplicating `victim`'s flight: the larger of
+/// the configured floor and `p99_factor` times the victim's observed
+/// p99 chunk latency (cold reservoirs fall back to the floor alone).
+fn hedge_delay(ctx: &WorkerCtx, victim: &ShardShared) -> Duration {
+    let p99 = {
+        let s = victim.stats.sampled.lock().unwrap();
+        let mut samples: Vec<u64> = s.latency_us.samples().to_vec();
+        samples.sort_unstable();
+        percentile_us(&samples, 0.99)
+    };
+    ctx.hedge.min_delay.max(p99.mul_f64(ctx.hedge.p99_factor))
+}
+
+/// Idle-path hedging: scan peers for a flight older than its hedge
+/// delay, claim it (one hedge per flight), and execute the duplicate.
+/// Returns true if a hedge ran.
+fn try_hedge(ctx: &WorkerCtx) -> bool {
+    if !ctx.hedge.enabled || !ctx.degrade.hedging_allowed() {
+        return false;
+    }
+    for peer in ctx.peers.iter() {
+        if peer.id == ctx.shard.id {
+            continue;
+        }
+        let infl = match peer.inflight.lock().unwrap().clone() {
+            Some(i) => i,
+            None => continue,
+        };
+        let age = infl.started.elapsed();
+        if age < hedge_delay(ctx, peer) {
+            continue;
+        }
+        if infl.hedged.swap(true, Ordering::AcqRel) {
+            continue; // someone else already duplicated this flight
+        }
+        let items: Vec<Pending> = infl
+            .items
+            .iter()
+            .filter(|p| !p.slot.is_claimed())
+            .cloned()
+            .collect();
+        if items.is_empty() {
+            continue;
+        }
+        let size = items.len();
+        ctx.shard.stats.hedges_fired.fetch_add(1, Ordering::Relaxed);
+        ctx.tracer.emit(
+            None,
+            EventKind::HedgeFired {
+                primary: infl.executor,
+                hedge: ctx.shard.id,
+                size,
+                age_us: age.as_micros() as u64,
+            },
+        );
+        execute_chunk(
+            ctx,
+            Chunk {
+                items,
+                origin: infl.origin,
+            },
+            ChunkRole::Hedge {
+                primary: infl.executor,
+            },
+        );
+        return true;
+    }
+    false
 }
 
 #[cfg(test)]

@@ -31,6 +31,15 @@ pub struct ShardSnapshot {
     pub steals_out: u64,
     /// Times this shard's breaker tripped open.
     pub breaker_trips: u64,
+    /// Chunks this shard re-queued elsewhere after a retryable failure.
+    pub retries: u64,
+    /// Hedge duplicates this shard launched against peer flights.
+    pub hedges_fired: u64,
+    /// Hedge duplicates this shard won (delivered at least one outcome).
+    pub hedges_won: u64,
+    /// Systems shed at dispatch (budget spent or sub-deadline under
+    /// degradation).
+    pub shed: u64,
     /// Simulated device time this shard accumulated, seconds.
     pub sim_time_s: f64,
     /// Median queue wait of systems executed here.
@@ -71,6 +80,9 @@ pub struct FleetSnapshot {
     pub makespan_s: f64,
     /// Sum of simulated device time across the fleet, seconds.
     pub sim_time_total_s: f64,
+    /// Graceful-degradation ladder level (0 = normal; 1 = hedges off;
+    /// 2 = + sub-deadline shedding; 3 = + widened CPU spill).
+    pub degrade_level: u8,
 }
 
 impl FleetSnapshot {
@@ -94,19 +106,45 @@ impl FleetSnapshot {
         self.shards.iter().map(|s| s.breaker_trips).sum()
     }
 
+    /// Total retry re-queues across the fleet (CPU pool included).
+    pub fn retries(&self) -> u64 {
+        self.shards.iter().map(|s| s.retries).sum::<u64>() + self.cpu_pool.retries
+    }
+
+    /// Total hedge duplicates fired across the fleet.
+    pub fn hedges_fired(&self) -> u64 {
+        self.shards.iter().map(|s| s.hedges_fired).sum()
+    }
+
+    /// Total hedge duplicates that won their race.
+    pub fn hedges_won(&self) -> u64 {
+        self.shards.iter().map(|s| s.hedges_won).sum()
+    }
+
+    /// Total systems shed at dispatch across the fleet.
+    pub fn shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed).sum::<u64>() + self.cpu_pool.shed
+    }
+
     /// Human-readable multi-line report with a per-shard breakdown —
     /// the periodic stats page of `batsolv-serve --devices N`.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
             "fleet stats: {} accepted, {} rejected, {} completed, {} failed, \
-             {} steals, {} spilled systems\n",
+             {} steals, {} spilled systems, {} retries, {}/{} hedges won/fired, \
+             {} shed, degrade level {}\n",
             self.accepted,
             self.rejected,
             self.completed(),
             self.failed(),
             self.steals(),
             self.spilled,
+            self.retries(),
+            self.hedges_won(),
+            self.hedges_fired(),
+            self.shed(),
+            self.degrade_level,
         ));
         out.push_str(&format!(
             "  fleet    : wait p50 {:?} p99 {:?} | latency p50 {:?} p99 {:?} | \
@@ -180,6 +218,10 @@ pub(crate) fn snapshot_shard(
         steals_in: shared.stats.steals_in.load(Ordering::Relaxed),
         steals_out: shared.stats.steals_out.load(Ordering::Relaxed),
         breaker_trips: shared.stats.breaker_trips.load(Ordering::Relaxed),
+        retries: shared.stats.retries.load(Ordering::Relaxed),
+        hedges_fired: shared.stats.hedges_fired.load(Ordering::Relaxed),
+        hedges_won: shared.stats.hedges_won.load(Ordering::Relaxed),
+        shed: shared.stats.shed.load(Ordering::Relaxed),
         sim_time_s: shared.stats.sim_time_ns.load(Ordering::Relaxed) as f64 / 1e9,
         wait_p50: percentile_us(&wait, 0.50),
         wait_p99: percentile_us(&wait, 0.99),

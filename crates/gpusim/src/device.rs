@@ -243,6 +243,28 @@ impl DeviceSpec {
         (self.max_dynamic_shared_kb * 1024.0) as usize
     }
 
+    /// Coarse roofline prediction of one fused batched-solve chunk:
+    /// `iters` iterations of a BiCGSTAB-shaped kernel (two SpMVs plus
+    /// ~10 vector ops per iteration) over `batch` systems of `rows`
+    /// rows and `nnz` stored entries each, priced at the worse of the
+    /// compute and bandwidth roofs, plus launch overhead and the
+    /// per-iteration synchronization floor.
+    ///
+    /// This is deliberately *not* the full timing model — it is the
+    /// admission-time feasibility estimate a deadline budget is checked
+    /// against, so it must be cheap, monotone in the inputs, and safe
+    /// to evaluate without building a launch plan.
+    pub fn predict_chunk_seconds(&self, rows: usize, nnz: usize, batch: usize, iters: u32) -> f64 {
+        let batch = batch.max(1) as f64;
+        let flops_per_iter = batch * (4.0 * nnz as f64 + 10.0 * rows as f64);
+        let bytes_per_iter = batch * (2.0 * nnz as f64 * 12.0 + 10.0 * rows as f64 * 8.0);
+        let compute_s = flops_per_iter / (self.peak_fp64_gflops * 1e9);
+        let memory_s = bytes_per_iter / (self.mem_bw_gbps * 1e9);
+        // Six synchronization points per classical-BiCGSTAB iteration.
+        let sync_s = 6.0 * self.sync_ns * 1e-9;
+        iters as f64 * (compute_s.max(memory_s) + sync_s) + self.launch_overhead_us * 1e-6
+    }
+
     /// Table I as a formatted text table (the `repro table1` output).
     pub fn table1() -> String {
         let mut out = String::from(
@@ -326,6 +348,21 @@ mod tests {
     fn scheduling_assignment_matches_vendor() {
         assert_eq!(DeviceSpec::v100().scheduling, Scheduling::Greedy);
         assert_eq!(DeviceSpec::mi100().scheduling, Scheduling::WaveSynchronous);
+    }
+
+    #[test]
+    fn chunk_prediction_is_positive_and_monotone() {
+        let v = DeviceSpec::v100();
+        let base = v.predict_chunk_seconds(992, 4960, 64, 35);
+        assert!(base > v.launch_overhead_us * 1e-6, "includes launch cost");
+        assert!(base < 1.0, "a single chunk stays far under a second");
+        // Monotone in every input the admission check varies over.
+        assert!(v.predict_chunk_seconds(992, 4960, 128, 35) > base);
+        assert!(v.predict_chunk_seconds(992, 4960, 64, 70) > base);
+        assert!(v.predict_chunk_seconds(1984, 9920, 64, 35) > base);
+        // A faster device predicts a cheaper chunk.
+        let a = DeviceSpec::a100();
+        assert!(a.predict_chunk_seconds(992, 4960, 64, 35) < base);
     }
 
     #[test]

@@ -69,6 +69,7 @@
 
 pub mod admission;
 pub mod breaker;
+pub mod budget;
 pub mod config;
 pub mod dispatcher;
 pub mod executor;
@@ -83,6 +84,7 @@ pub mod watchdog;
 
 pub use admission::{AdmissionGate, RejectReason};
 pub use breaker::{BreakerConfig, CircuitBreaker};
+pub use budget::DeadlineBudget;
 pub use config::RuntimeConfig;
 pub use dispatcher::{
     BatchItem, BatchReport, ItemOutcome, LadderConfig, LadderEngine, SolveEngine, SolverVariant,

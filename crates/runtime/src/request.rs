@@ -226,6 +226,16 @@ pub enum SubmitError {
         /// Hint: how long until the next half-open probe is admitted.
         retry_after: Duration,
     },
+    /// The request's deadline budget cannot cover even the device
+    /// model's predicted solve cost, so queueing it would only burn
+    /// capacity on work guaranteed to miss its deadline. Rejected at
+    /// admission instead of shed later.
+    Infeasible {
+        /// Predicted solve cost of one chunk on the configured device.
+        predicted: Duration,
+        /// The deadline budget the request carried.
+        budget: Duration,
+    },
     /// The service is shutting down and accepts no new work.
     ShuttingDown,
 }
@@ -246,6 +256,13 @@ impl std::fmt::Display for SubmitError {
                 f,
                 "circuit breaker open, retry in {:.1} ms",
                 retry_after.as_secs_f64() * 1e3
+            ),
+            SubmitError::Infeasible { predicted, budget } => write!(
+                f,
+                "infeasible deadline: predicted solve cost {:.3} ms exceeds the \
+                 {:.3} ms budget",
+                predicted.as_secs_f64() * 1e3,
+                budget.as_secs_f64() * 1e3
             ),
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
         }
@@ -323,6 +340,11 @@ mod tests {
             retry_after: Duration::from_millis(5),
         };
         assert!(c.to_string().contains("circuit breaker open"));
+        let i = SubmitError::Infeasible {
+            predicted: Duration::from_millis(3),
+            budget: Duration::from_millis(1),
+        };
+        assert!(i.to_string().contains("infeasible deadline"));
     }
 
     #[test]

@@ -205,6 +205,63 @@ pub enum EventKind {
         /// Ladder rungs attempted.
         rungs: usize,
     },
+    /// A failed chunk was re-routed to a *different* shard for another
+    /// attempt under the fleet's retry policy.
+    RetryAttempt {
+        /// Shard whose execution failed.
+        from: u32,
+        /// Shard the chunk was re-routed to.
+        to: u32,
+        /// Systems still being retried (budget-expired members shed).
+        size: usize,
+        /// The attempt number the re-routed chunk carries (1-based; the
+        /// first retry is attempt 2).
+        attempt: u32,
+        /// Deterministic backoff slept before the re-route, µs.
+        backoff_us: u64,
+        /// Retryable failure class (`"device_failure"`, `"worker_panic"`).
+        reason: &'static str,
+    },
+    /// An idle shard duplicated a straggling in-flight chunk (hedged
+    /// dispatch); first terminal outcome per system wins.
+    HedgeFired {
+        /// Shard executing the straggling primary.
+        primary: u32,
+        /// Idle shard running the duplicate.
+        hedge: u32,
+        /// Systems in the duplicated chunk.
+        size: usize,
+        /// Age of the in-flight chunk when the hedge fired, µs.
+        age_us: u64,
+    },
+    /// A hedge duplicate delivered first for at least one system.
+    HedgeWon {
+        /// The hedging shard that delivered.
+        winner: u32,
+        /// The straggling primary whose results were discarded.
+        loser: u32,
+        /// Systems the hedge delivered.
+        size: usize,
+    },
+    /// Systems dropped before execution: their deadline budget was
+    /// exhausted (or, under degradation level >= 2, could not cover the
+    /// predicted solve cost).
+    Shed {
+        /// Shard that shed the systems at dispatch.
+        shard: u32,
+        /// Systems shed.
+        size: usize,
+        /// Degradation-ladder level in force when they were shed.
+        level: u8,
+    },
+    /// The overload degradation ladder shifted levels (0 = normal,
+    /// 1 = hedges off, 2 = sub-deadline shedding, 3 = spill widening).
+    DegradeShift {
+        /// Level before the shift.
+        from: u8,
+        /// Level after the shift.
+        to: u8,
+    },
     /// The circuit breaker tripped open.
     BreakerTrip,
     /// The watchdog flagged a dispatch past its budget.
@@ -244,6 +301,11 @@ impl EventKind {
             EventKind::ShardSteal { .. } => "shard_steal",
             EventKind::CpuSpill { .. } => "cpu_spill",
             EventKind::Terminal { .. } => "terminal",
+            EventKind::RetryAttempt { .. } => "retry_attempt",
+            EventKind::HedgeFired { .. } => "hedge_fired",
+            EventKind::HedgeWon { .. } => "hedge_won",
+            EventKind::Shed { .. } => "shed",
+            EventKind::DegradeShift { .. } => "degrade_shift",
             EventKind::BreakerTrip => "breaker_trip",
             EventKind::WatchdogStall { .. } => "watchdog_stall",
             EventKind::WorkerRespawn => "worker_respawn",
@@ -274,8 +336,12 @@ impl EventKind {
             | EventKind::SyncPoint { shard, .. }
             | EventKind::Reduction { shard, .. }
             | EventKind::Transfer { shard, .. }
-            | EventKind::ShardDispatch { shard, .. } => Some(*shard),
+            | EventKind::ShardDispatch { shard, .. }
+            | EventKind::Shed { shard, .. } => Some(*shard),
             EventKind::ShardSteal { thief, .. } => Some(*thief),
+            EventKind::RetryAttempt { to, .. } => Some(*to),
+            EventKind::HedgeFired { hedge, .. } => Some(*hedge),
+            EventKind::HedgeWon { winner, .. } => Some(*winner),
             _ => None,
         }
     }
@@ -475,6 +541,48 @@ impl TraceEvent {
                     json_f64(*residual)
                 ));
             }
+            EventKind::RetryAttempt {
+                from,
+                to,
+                size,
+                attempt,
+                backoff_us,
+                reason,
+            } => {
+                f.push_str(&format!(
+                    ",\"from\":{from},\"to\":{to},\"size\":{size},\"attempt\":{attempt},\
+                     \"backoff_us\":{backoff_us},\"reason\":\"{}\"",
+                    json_escape(reason)
+                ));
+            }
+            EventKind::HedgeFired {
+                primary,
+                hedge,
+                size,
+                age_us,
+            } => {
+                f.push_str(&format!(
+                    ",\"primary\":{primary},\"hedge\":{hedge},\"size\":{size},\
+                     \"age_us\":{age_us}"
+                ));
+            }
+            EventKind::HedgeWon {
+                winner,
+                loser,
+                size,
+            } => {
+                f.push_str(&format!(
+                    ",\"winner\":{winner},\"loser\":{loser},\"size\":{size}"
+                ));
+            }
+            EventKind::Shed { shard, size, level } => {
+                f.push_str(&format!(
+                    ",\"shard\":{shard},\"size\":{size},\"level\":{level}"
+                ));
+            }
+            EventKind::DegradeShift { from, to } => {
+                f.push_str(&format!(",\"from\":{from},\"to\":{to}"));
+            }
             EventKind::WatchdogStall { budget_us } => {
                 f.push_str(&format!(",\"budget_us\":{budget_us}"));
             }
@@ -591,6 +699,31 @@ mod tests {
                 residual: 4.2e-11,
                 rungs: 1,
             },
+            EventKind::RetryAttempt {
+                from: 0,
+                to: 2,
+                size: 8,
+                attempt: 2,
+                backoff_us: 1500,
+                reason: "device_failure",
+            },
+            EventKind::HedgeFired {
+                primary: 0,
+                hedge: 1,
+                size: 16,
+                age_us: 40_000,
+            },
+            EventKind::HedgeWon {
+                winner: 1,
+                loser: 0,
+                size: 16,
+            },
+            EventKind::Shed {
+                shard: 2,
+                size: 4,
+                level: 2,
+            },
+            EventKind::DegradeShift { from: 0, to: 1 },
             EventKind::BreakerTrip,
             EventKind::WatchdogStall { budget_us: 5000 },
             EventKind::WorkerRespawn,

@@ -321,6 +321,75 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     &format!("\"events\":{events}"),
                 ));
             }
+            EventKind::RetryAttempt {
+                from,
+                to,
+                size,
+                attempt,
+                backoff_us,
+                reason,
+            } => {
+                out.push(instant(
+                    &format!("retry #{attempt}: shard {from} -> shard {to} ({size} systems)"),
+                    PID_REQUESTS,
+                    TID_SERVICE,
+                    ts,
+                    &format!(
+                        "\"from\":{from},\"to\":{to},\"size\":{size},\
+                         \"attempt\":{attempt},\"backoff_us\":{backoff_us},\
+                         \"reason\":\"{}\"",
+                        json_escape(reason)
+                    ),
+                ));
+            }
+            EventKind::HedgeFired {
+                primary,
+                hedge,
+                size,
+                age_us,
+            } => {
+                out.push(instant(
+                    &format!("hedge: shard {hedge} duplicates shard {primary} ({size} systems)"),
+                    PID_REQUESTS,
+                    TID_SERVICE,
+                    ts,
+                    &format!(
+                        "\"primary\":{primary},\"hedge\":{hedge},\"size\":{size},\
+                         \"age_us\":{age_us}"
+                    ),
+                ));
+            }
+            EventKind::HedgeWon {
+                winner,
+                loser,
+                size,
+            } => {
+                out.push(instant(
+                    &format!("hedge won: shard {winner} beat shard {loser} ({size} systems)"),
+                    PID_REQUESTS,
+                    TID_SERVICE,
+                    ts,
+                    &format!("\"winner\":{winner},\"loser\":{loser},\"size\":{size}"),
+                ));
+            }
+            EventKind::Shed { shard, size, level } => {
+                out.push(instant(
+                    &format!("shed: shard {shard} drops {size} systems (level {level})"),
+                    PID_REQUESTS,
+                    TID_SERVICE,
+                    ts,
+                    &format!("\"shard\":{shard},\"size\":{size},\"level\":{level}"),
+                ));
+            }
+            EventKind::DegradeShift { from, to } => {
+                out.push(instant(
+                    &format!("degrade: level {from} -> {to}"),
+                    PID_REQUESTS,
+                    TID_SERVICE,
+                    ts,
+                    &format!("\"from\":{from},\"to\":{to}"),
+                ));
+            }
             // Per-iteration residuals and queue plumbing stay in the
             // JSONL log; as Chrome spans they would only be noise.
             EventKind::Dequeued { .. } | EventKind::SolverIteration { .. } => {}
