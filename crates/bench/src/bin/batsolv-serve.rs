@@ -12,6 +12,9 @@
 //!
 //! * `--trace-out PATH` streams the structured event log to PATH as
 //!   JSONL while the run is live;
+//! * `--profile-out PATH` captures the per-request phase ledgers and
+//!   writes the aggregated latency-attribution report (phase totals,
+//!   per-class p50/p99, deadline hits, balance violations) as JSON;
 //! * `--metrics-out PATH` writes the final stats snapshot as a
 //!   Prometheus text page;
 //! * `--flight-recorder` keeps a ring of recent events and writes
@@ -42,6 +45,7 @@
 //! batsolv-serve [--pairs 100] [--threads 4] [--target 100] [--linger-us 2000]
 //!               [--rate 20000] [--queue 1024] [--quick] [--compare]
 //!               [--solver pipelined-bicgstab] [--trace-out trace.jsonl]
+//!               [--profile-out profile.json]
 //!               [--metrics-out metrics.prom] [--flight-recorder]
 //!               [--stats-interval-ms 1000]
 //!               [--devices N] [--min-batch-size N] [--steal | --no-steal]
@@ -69,7 +73,10 @@ use batsolv_runtime::{
     prometheus_text, RuntimeConfig, SolveRequest, SolveService, SolverVariant, StatsSnapshot,
     SubmitError,
 };
-use batsolv_trace::{FlightRecorder, JsonlFileSink, TraceSink, Tracer, DEFAULT_FLIGHT_CAPACITY};
+use batsolv_trace::{
+    FanoutSink, FlightRecorder, JsonlFileSink, LedgerAggregator, MemorySink, TraceSink, Tracer,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 use batsolv_xgc::{VelocityGrid, XgcWorkload};
 
 struct Args {
@@ -83,6 +90,8 @@ struct Args {
     compare: bool,
     solver: SolverVariant,
     trace_out: Option<PathBuf>,
+    /// Write the aggregated phase-ledger report (JSON) here at shutdown.
+    profile_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     flight_recorder: bool,
     stats_interval_ms: u64,
@@ -114,6 +123,7 @@ impl Args {
             compare: false,
             solver: SolverVariant::default(),
             trace_out: None,
+            profile_out: None,
             metrics_out: None,
             flight_recorder: false,
             stats_interval_ms: 0,
@@ -161,6 +171,12 @@ impl Args {
                         std::process::exit(2);
                     })))
                 }
+                "--profile-out" => {
+                    out.profile_out = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                        eprintln!("--profile-out needs a file path");
+                        std::process::exit(2);
+                    })))
+                }
                 "--metrics-out" => {
                     out.metrics_out = Some(PathBuf::from(args.next().unwrap_or_else(|| {
                         eprintln!("--metrics-out needs a file path");
@@ -194,11 +210,13 @@ impl Args {
                     eprintln!(
                         "usage: batsolv-serve [--pairs N] [--threads N] [--target N] \
                          [--linger-us N] [--rate R] [--queue N] [--quick] [--compare] \
-                         [--solver NAME] [--trace-out PATH] [--metrics-out PATH] \
+                         [--solver NAME] [--trace-out PATH] [--profile-out PATH] \
+                         [--metrics-out PATH] \
                          [--flight-recorder] [--stats-interval-ms N] \
                          [--devices N] [--min-batch-size N] [--steal|--no-steal] \
                          [--device-profile NAME] [--deadline-ms N] [--retries N] \
                          [--hedge|--no-hedge]\n\
+                         --profile-out: aggregated phase-ledger report (JSON)\n\
                          --solver: rung-1 variant, one of {}\n\
                          --devices: >= 1 shards traffic over a multi-device fleet\n\
                          --device-profile: one of {}\n\
@@ -434,6 +452,25 @@ fn drive_fleet(
     (snap, converged, failed, rejected, wall)
 }
 
+/// Aggregate the captured event stream into the phase-ledger report and
+/// write it as JSON — the `--profile-out` contract. The 1 µs balance
+/// tolerance matches the invariant the test suite asserts.
+fn write_profile_report(path: &std::path::Path, sink: &MemorySink) {
+    let agg = LedgerAggregator::build(&sink.snapshot());
+    let report = agg.report(1.0);
+    std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write profile report {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    println!(
+        "profile report written to {} ({} requests, {} balance violations, {} still open)",
+        path.display(),
+        report.requests,
+        report.balance_violations,
+        agg.open_count()
+    );
+}
+
 fn main() {
     let args = Args::parse();
     let grid = if args.quick {
@@ -457,13 +494,28 @@ fn main() {
     let recorder = args
         .flight_recorder
         .then(|| Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)));
-    let sink: Option<Arc<dyn TraceSink>> = args.trace_out.as_deref().map(|path| {
+    let file_sink: Option<Arc<dyn TraceSink>> = args.trace_out.as_deref().map(|path| {
         let sink = JsonlFileSink::create(path).unwrap_or_else(|e| {
             eprintln!("cannot create trace file {}: {e}", path.display());
             std::process::exit(2);
         });
         Arc::new(sink) as Arc<dyn TraceSink>
     });
+    // `--profile-out` needs the events back at shutdown, so it captures
+    // the stream in memory (fanned out alongside any `--trace-out` file).
+    let profile_sink = args
+        .profile_out
+        .is_some()
+        .then(|| Arc::new(MemorySink::new()));
+    let sink: Option<Arc<dyn TraceSink>> = match (file_sink, &profile_sink) {
+        (None, None) => None,
+        (Some(f), None) => Some(f),
+        (None, Some(m)) => Some(Arc::clone(m) as Arc<dyn TraceSink>),
+        (Some(f), Some(m)) => Some(Arc::new(FanoutSink::new(vec![
+            f,
+            Arc::clone(m) as Arc<dyn TraceSink>,
+        ]))),
+    };
     let tracer = match (sink, &recorder) {
         (None, None) => Tracer::disabled(),
         (Some(s), None) => Tracer::new(s),
@@ -501,6 +553,9 @@ fn main() {
         tracer.flush();
         if let Some(path) = &args.trace_out {
             println!("trace written to {}", path.display());
+        }
+        if let (Some(path), Some(mem)) = (&args.profile_out, &profile_sink) {
+            write_profile_report(path, mem);
         }
         if let Some(path) = &args.metrics_out {
             std::fs::write(path, fleet_prometheus_text(&snap)).unwrap_or_else(|e| {
@@ -562,6 +617,9 @@ fn main() {
     tracer.flush();
     if let Some(path) = &args.trace_out {
         println!("trace written to {}", path.display());
+    }
+    if let (Some(path), Some(mem)) = (&args.profile_out, &profile_sink) {
+        write_profile_report(path, mem);
     }
     if let Some(path) = &args.metrics_out {
         std::fs::write(path, prometheus_text(&stats)).unwrap_or_else(|e| {

@@ -7,22 +7,26 @@
 //!   line;
 //! * `trace_chrome.json` — a `chrome://tracing` timeline (request spans
 //!   on wall-clock time, kernel/transfer lanes on cumulative sim time);
-//! * `metrics.prom` — the Prometheus text page of the final snapshot.
+//! * `metrics.prom` — the Prometheus text page of the final snapshot;
+//! * `ledger_report.json` — the aggregated phase-ledger report (what
+//!   `batsolv-serve --profile-out` writes).
 //!
 //! The shape checks are the tracing layer's acceptance contract: exactly
 //! one terminal event per accepted request, rung spans nested inside
-//! their request span, a Chrome trace that parses as JSON, and a
-//! Prometheus page that agrees with the `StatsSnapshot`.
+//! their request span, a Chrome trace that parses as JSON, a Prometheus
+//! page that agrees with the `StatsSnapshot`, one *balanced* phase
+//! ledger per request (the phase-sum invariant), and per-class series on
+//! the page that agree with the class tracker.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 use batsolv_gpusim::DeviceSpec;
-use batsolv_runtime::{prometheus_text, RuntimeConfig, SolveRequest, SolveService};
+use batsolv_runtime::{prometheus_text_with_classes, RuntimeConfig, SolveRequest, SolveService};
 use batsolv_trace::{
-    chrome_trace, parse_prom_value, to_jsonl, validate_json, EventKind, FlightRecorder, MemorySink,
-    TraceEvent, Tracer,
+    chrome_trace, parse_prom_labeled, parse_prom_value, to_jsonl, validate_json, EventKind,
+    FlightRecorder, LedgerAggregator, MemorySink, TraceEvent, Tracer, WorkloadClass,
 };
 use batsolv_types::{Error, Result};
 use batsolv_xgc::{VelocityGrid, XgcWorkload};
@@ -66,11 +70,15 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
             .map_err(|e| Error::InvalidConfig(format!("submit failed: {e}")))?;
         tickets.push(ticket);
     }
-    let stats = service.shutdown();
+    // Redeem every ticket before snapshotting classes: the class tracker
+    // is fed at terminal delivery, so waiting first makes the snapshot
+    // complete.
     for t in tickets {
         t.wait()
             .map_err(|e| Error::InvalidConfig(format!("solve failed: {e}")))?;
     }
+    let classes = service.classes();
+    let stats = service.shutdown();
 
     let events = sink.snapshot();
 
@@ -87,9 +95,17 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
     std::fs::write(cfg.out_dir.join("trace_chrome.json"), &chrome)
         .map_err(|e| Error::InvalidConfig(e.to_string()))?;
 
-    // Exporter 3: the Prometheus page of the final snapshot.
-    let prom = prometheus_text(&stats);
+    // Exporter 3: the Prometheus page of the final snapshot, including
+    // the per-class latency/SLO series.
+    let prom = prometheus_text_with_classes(&stats, Some(&classes));
     std::fs::write(cfg.out_dir.join("metrics.prom"), &prom)
+        .map_err(|e| Error::InvalidConfig(e.to_string()))?;
+
+    // Exporter 4: the aggregated phase-ledger report (the
+    // `batsolv-serve --profile-out` document).
+    let agg = LedgerAggregator::build(&events);
+    let report = agg.report(1.0);
+    std::fs::write(cfg.out_dir.join("ledger_report.json"), report.to_json())
         .map_err(|e| Error::InvalidConfig(e.to_string()))?;
 
     // Contract 1: exactly one terminal event per accepted request.
@@ -145,6 +161,43 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
         && parse_prom_value(&prom, "batsolv_solver_iterations_total")
             == Some(stats.solver_iterations_total as f64);
 
+    // Contract 4: one balanced phase ledger per accepted request — the
+    // phase-sum invariant, gated through the same aggregate the
+    // `--profile-out` report carries.
+    let ledger_events: Vec<_> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Ledger(l) => Some((e.trace_id, l)),
+            _ => None,
+        })
+        .collect();
+    let ledger_ok = ledger_events.len() as u64 == stats.accepted
+        && ledger_events
+            .iter()
+            .all(|(id, l)| id.is_some() && l.end_to_end_us > 0.0 && l.solve_us > 0.0)
+        && report.requests == stats.accepted
+        && report.balance_violations == 0
+        && agg.open_count() == 0
+        && validate_json(&report.to_json()).is_ok();
+
+    // Contract 5: the per-class series on the page agree with the class
+    // tracker — same counts, same p99, label-for-label.
+    let class_ok = classes.total() == stats.accepted
+        && WorkloadClass::ALL.iter().all(|&c| {
+            let stat = classes.get(c);
+            parse_prom_labeled(
+                &prom,
+                "batsolv_class_requests_total",
+                &[("class", c.name())],
+            ) == Some(stat.count as f64)
+                && parse_prom_labeled(
+                    &prom,
+                    "batsolv_class_latency_us",
+                    &[("class", c.name()), ("quantile", "0.99")],
+                ) == Some(stat.p99_us as f64)
+                && report.classes[c.index()].count == stat.count
+        });
+
     let launches = events
         .iter()
         .filter(|e| matches!(e.kind, EventKind::KernelLaunch { .. }))
@@ -161,10 +214,13 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
         events.len()
     ));
     out.push_str(&format!(
-        "exports: trace_events.jsonl ({} lines), trace_chrome.json ({} bytes), metrics.prom ({} series)\n",
+        "exports: trace_events.jsonl ({} lines), trace_chrome.json ({} bytes), \
+         metrics.prom ({} series), ledger_report.json ({} ledgers, max imbalance {:.3} us)\n",
         jsonl.lines().count(),
         chrome.len(),
-        prom.lines().filter(|l| !l.starts_with('#')).count()
+        prom.lines().filter(|l| !l.starts_with('#')).count(),
+        report.requests,
+        report.max_imbalance_us
     ));
     let mut ok = true;
     ok &= check(
@@ -183,6 +239,16 @@ pub fn run(cfg: &RunConfig) -> Result<String> {
         &mut out,
         prom_ok,
         "Prometheus page agrees with the stats snapshot",
+    );
+    ok &= check(
+        &mut out,
+        ledger_ok,
+        "every request carries one balanced phase ledger (phase-sum invariant)",
+    );
+    ok &= check(
+        &mut out,
+        class_ok,
+        "per-class series agree across page, tracker, and ledger report",
     );
     let _ = ok;
     Ok(out)

@@ -5,11 +5,17 @@
 //! `profile` (the simulated hardware behind it); the CPU spill pool
 //! exposes the same series under `device="cpu-pool"`, so a dashboard
 //! can stack GPU shards against the spill path without a second metric
-//! namespace. Pure function of the snapshot, like the runtime's
-//! `prometheus_text`: a scrape and a [`FleetSnapshot::render`] page
-//! taken at the same instant can never disagree.
+//! namespace. Rendering goes through the typed
+//! [`MetricsRegistry`](batsolv_trace::MetricsRegistry) — the same
+//! conformance-by-construction builder as the runtime page — so
+//! HELP/TYPE pairing, name/label charsets, and series uniqueness are
+//! asserted at build time, and the per-class series reuse the
+//! runtime's exact schema under the `batsolv_fleet` prefix. Pure
+//! function of the snapshot: a scrape and a [`FleetSnapshot::render`]
+//! page taken at the same instant can never disagree.
 
-use batsolv_trace::PromText;
+use batsolv_runtime::render_class_series;
+use batsolv_trace::MetricsRegistry;
 
 use crate::stats::{FleetSnapshot, ShardSnapshot};
 
@@ -24,73 +30,66 @@ fn device_label(s: &ShardSnapshot, gpu_shards: usize) -> String {
 /// Render the fleet snapshot as a Prometheus text-format metrics page.
 pub fn fleet_prometheus_text(f: &FleetSnapshot) -> String {
     let gpu_shards = f.shards.len();
-    let mut p = PromText::new();
+    let mut m = MetricsRegistry::new();
 
-    p.counter(
+    m.counter(
         "batsolv_fleet_requests_accepted_total",
         "Systems accepted by the fleet scheduler.",
-        f.accepted,
+        &[],
+        f.accepted as f64,
     );
-    p.counter(
+    m.counter(
         "batsolv_fleet_requests_rejected_total",
         "Systems rejected at submit (shape, backpressure, breaker).",
-        f.rejected,
+        &[],
+        f.rejected as f64,
     );
-    p.counter(
+    m.counter(
         "batsolv_fleet_gpu_chunks_total",
         "Chunks dispatched to GPU shards.",
-        f.gpu_chunks,
+        &[],
+        f.gpu_chunks as f64,
     );
-    p.counter(
+    m.counter(
         "batsolv_fleet_spilled_systems_total",
         "Systems spilled to the CPU banded-LU pool.",
-        f.spilled,
+        &[],
+        f.spilled as f64,
     );
-    p.gauge(
+    m.gauge(
         "batsolv_fleet_makespan_seconds",
         "Busiest device's simulated time.",
+        &[],
         f.makespan_s,
     );
-    p.gauge(
+    m.gauge(
         "batsolv_fleet_sim_time_seconds_total",
         "Simulated device time summed across the fleet.",
+        &[],
         f.sim_time_total_s,
     );
-    p.gauge(
+    m.gauge(
         "batsolv_fleet_degrade_level",
         "Graceful-degradation ladder level (0 normal .. 3 widened spill).",
+        &[],
         f.degrade_level as f64,
     );
-    p.family(
-        "batsolv_fleet_wait_seconds",
-        "gauge",
-        "Fleet-wide queue-wait percentiles, merged across shards.",
-    );
-    p.sample(
-        "batsolv_fleet_wait_seconds",
-        &[("quantile", "0.5")],
-        f.wait_p50.as_secs_f64(),
-    );
-    p.sample(
-        "batsolv_fleet_wait_seconds",
-        &[("quantile", "0.99")],
-        f.wait_p99.as_secs_f64(),
-    );
-    p.family(
-        "batsolv_fleet_latency_seconds",
-        "gauge",
-        "Fleet-wide submit-to-outcome latency percentiles.",
-    );
-    p.sample(
-        "batsolv_fleet_latency_seconds",
-        &[("quantile", "0.5")],
-        f.latency_p50.as_secs_f64(),
-    );
-    p.sample(
-        "batsolv_fleet_latency_seconds",
-        &[("quantile", "0.99")],
-        f.latency_p99.as_secs_f64(),
-    );
+    for (q, v) in [("0.5", f.wait_p50), ("0.99", f.wait_p99)] {
+        m.gauge(
+            "batsolv_fleet_wait_seconds",
+            "Fleet-wide queue-wait percentiles, merged across shards.",
+            &[("quantile", q)],
+            v.as_secs_f64(),
+        );
+    }
+    for (q, v) in [("0.5", f.latency_p50), ("0.99", f.latency_p99)] {
+        m.gauge(
+            "batsolv_fleet_latency_seconds",
+            "Fleet-wide submit-to-outcome latency percentiles.",
+            &[("quantile", q)],
+            v.as_secs_f64(),
+        );
+    }
 
     let all: Vec<&ShardSnapshot> = f
         .shards
@@ -98,154 +97,133 @@ pub fn fleet_prometheus_text(f: &FleetSnapshot) -> String {
         .chain(std::iter::once(&f.cpu_pool))
         .collect();
 
-    macro_rules! per_device_counter {
-        ($name:literal, $help:literal, $get:expr) => {
-            p.family($name, "counter", $help);
-            for s in &all {
-                let dev = device_label(s, gpu_shards);
-                let get: fn(&ShardSnapshot) -> u64 = $get;
-                p.sample(
-                    $name,
-                    &[("device", dev.as_str()), ("profile", s.device)],
-                    get(s) as f64,
-                );
-            }
-        };
+    type DeviceCounter = (&'static str, &'static str, fn(&ShardSnapshot) -> u64);
+    let per_device_counters: [DeviceCounter; 10] = [
+        (
+            "batsolv_fleet_device_chunks_total",
+            "Chunks executed per device (own plus stolen).",
+            |s| s.chunks_executed,
+        ),
+        (
+            "batsolv_fleet_device_completed_total",
+            "Systems converged per device.",
+            |s| s.completed,
+        ),
+        (
+            "batsolv_fleet_device_failed_total",
+            "Systems terminally failed per device.",
+            |s| s.failed,
+        ),
+        (
+            "batsolv_fleet_device_steals_in_total",
+            "Chunks this device stole from loaded peers.",
+            |s| s.steals_in,
+        ),
+        (
+            "batsolv_fleet_device_steals_out_total",
+            "Chunks loaded peers stole from this device's queue.",
+            |s| s.steals_out,
+        ),
+        (
+            "batsolv_fleet_device_breaker_trips_total",
+            "Circuit-breaker trips per device.",
+            |s| s.breaker_trips,
+        ),
+        (
+            "batsolv_fleet_device_retries_total",
+            "Chunks re-queued elsewhere after a retryable failure, per device.",
+            |s| s.retries,
+        ),
+        (
+            "batsolv_fleet_device_hedges_fired_total",
+            "Hedge duplicates launched against peer flights, per device.",
+            |s| s.hedges_fired,
+        ),
+        (
+            "batsolv_fleet_device_hedges_won_total",
+            "Hedge duplicates that delivered first, per device.",
+            |s| s.hedges_won,
+        ),
+        (
+            "batsolv_fleet_device_shed_total",
+            "Systems shed at dispatch (budget spent or sub-deadline), per device.",
+            |s| s.shed,
+        ),
+    ];
+    for (name, help, get) in per_device_counters {
+        for s in &all {
+            let dev = device_label(s, gpu_shards);
+            m.counter(
+                name,
+                help,
+                &[("device", dev.as_str()), ("profile", s.device)],
+                get(s) as f64,
+            );
+        }
     }
 
-    per_device_counter!(
-        "batsolv_fleet_device_chunks_total",
-        "Chunks executed per device (own plus stolen).",
-        |s| s.chunks_executed
-    );
-    per_device_counter!(
-        "batsolv_fleet_device_completed_total",
-        "Systems converged per device.",
-        |s| s.completed
-    );
-    per_device_counter!(
-        "batsolv_fleet_device_failed_total",
-        "Systems terminally failed per device.",
-        |s| s.failed
-    );
-    per_device_counter!(
-        "batsolv_fleet_device_steals_in_total",
-        "Chunks this device stole from loaded peers.",
-        |s| s.steals_in
-    );
-    per_device_counter!(
-        "batsolv_fleet_device_steals_out_total",
-        "Chunks loaded peers stole from this device's queue.",
-        |s| s.steals_out
-    );
-    per_device_counter!(
-        "batsolv_fleet_device_breaker_trips_total",
-        "Circuit-breaker trips per device.",
-        |s| s.breaker_trips
-    );
-    per_device_counter!(
-        "batsolv_fleet_device_retries_total",
-        "Chunks re-queued elsewhere after a retryable failure, per device.",
-        |s| s.retries
-    );
-    per_device_counter!(
-        "batsolv_fleet_device_hedges_fired_total",
-        "Hedge duplicates launched against peer flights, per device.",
-        |s| s.hedges_fired
-    );
-    per_device_counter!(
-        "batsolv_fleet_device_hedges_won_total",
-        "Hedge duplicates that delivered first, per device.",
-        |s| s.hedges_won
-    );
-    per_device_counter!(
-        "batsolv_fleet_device_shed_total",
-        "Systems shed at dispatch (budget spent or sub-deadline), per device.",
-        |s| s.shed
-    );
-
-    p.family(
-        "batsolv_fleet_device_queue_depth",
-        "gauge",
-        "Chunks queued per device right now.",
-    );
     for s in &all {
         let dev = device_label(s, gpu_shards);
-        p.sample(
+        m.gauge(
             "batsolv_fleet_device_queue_depth",
+            "Chunks queued per device right now.",
             &[("device", dev.as_str()), ("profile", s.device)],
             s.queue_depth as f64,
         );
     }
-    p.family(
-        "batsolv_fleet_device_breaker_open",
-        "gauge",
-        "Whether the device's circuit breaker is open (1) or closed (0).",
-    );
     for s in &all {
         let dev = device_label(s, gpu_shards);
-        p.sample(
+        m.gauge(
             "batsolv_fleet_device_breaker_open",
+            "Whether the device's circuit breaker is open (1) or closed (0).",
             &[("device", dev.as_str()), ("profile", s.device)],
             if s.breaker_open { 1.0 } else { 0.0 },
         );
     }
-    p.family(
-        "batsolv_fleet_device_sim_time_seconds",
-        "gauge",
-        "Simulated device time accumulated per device.",
-    );
     for s in &all {
         let dev = device_label(s, gpu_shards);
-        p.sample(
+        m.gauge(
             "batsolv_fleet_device_sim_time_seconds",
+            "Simulated device time accumulated per device.",
             &[("device", dev.as_str()), ("profile", s.device)],
             s.sim_time_s,
         );
     }
-    p.family(
-        "batsolv_fleet_device_wait_seconds",
-        "gauge",
-        "Per-device queue-wait percentiles.",
-    );
     for s in &all {
         let dev = device_label(s, gpu_shards);
-        p.sample(
-            "batsolv_fleet_device_wait_seconds",
-            &[("device", dev.as_str()), ("quantile", "0.5")],
-            s.wait_p50.as_secs_f64(),
-        );
-        p.sample(
-            "batsolv_fleet_device_wait_seconds",
-            &[("device", dev.as_str()), ("quantile", "0.99")],
-            s.wait_p99.as_secs_f64(),
-        );
+        for (q, v) in [("0.5", s.wait_p50), ("0.99", s.wait_p99)] {
+            m.gauge(
+                "batsolv_fleet_device_wait_seconds",
+                "Per-device queue-wait percentiles.",
+                &[("device", dev.as_str()), ("quantile", q)],
+                v.as_secs_f64(),
+            );
+        }
     }
-    p.family(
-        "batsolv_fleet_device_latency_seconds",
-        "gauge",
-        "Per-device submit-to-outcome latency percentiles.",
-    );
     for s in &all {
         let dev = device_label(s, gpu_shards);
-        p.sample(
-            "batsolv_fleet_device_latency_seconds",
-            &[("device", dev.as_str()), ("quantile", "0.5")],
-            s.latency_p50.as_secs_f64(),
-        );
-        p.sample(
-            "batsolv_fleet_device_latency_seconds",
-            &[("device", dev.as_str()), ("quantile", "0.99")],
-            s.latency_p99.as_secs_f64(),
-        );
+        for (q, v) in [("0.5", s.latency_p50), ("0.99", s.latency_p99)] {
+            m.gauge(
+                "batsolv_fleet_device_latency_seconds",
+                "Per-device submit-to-outcome latency percentiles.",
+                &[("device", dev.as_str()), ("quantile", q)],
+                v.as_secs_f64(),
+            );
+        }
     }
 
-    p.finish()
+    // Per-class series under the fleet prefix — the identical schema the
+    // runtime page exposes under `batsolv`, rendered by the same code.
+    render_class_series(&mut m, "batsolv_fleet", &f.classes);
+
+    m.render()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use batsolv_runtime::{ClassTracker, ClassesSnapshot};
+    use batsolv_trace::{check_prom_conformance, parse_prom_labeled, WorkloadClass};
     use std::time::Duration;
 
     fn shard(id: u32, device: &'static str) -> ShardSnapshot {
@@ -272,6 +250,14 @@ mod tests {
         }
     }
 
+    fn classes() -> ClassesSnapshot {
+        let t = ClassTracker::new();
+        t.observe(WorkloadClass::IonLike, 120, Some(3), Some(true));
+        t.observe(WorkloadClass::IonLike, 450, Some(4), Some(true));
+        t.observe(WorkloadClass::ElectronLike, 5_000, Some(5), Some(false));
+        t.snapshot()
+    }
+
     fn snapshot() -> FleetSnapshot {
         FleetSnapshot {
             shards: vec![shard(0, "NVIDIA V100-16GB"), shard(1, "NVIDIA V100-16GB")],
@@ -287,6 +273,7 @@ mod tests {
             makespan_s: 1.0,
             sim_time_total_s: 2.5,
             degrade_level: 1,
+            classes: classes(),
         }
     }
 
@@ -317,5 +304,54 @@ mod tests {
         let makespan =
             batsolv_trace::parse_prom_value(&page, "batsolv_fleet_makespan_seconds").unwrap();
         assert!((makespan - f.makespan_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn page_is_exposition_conformant() {
+        check_prom_conformance(&fleet_prometheus_text(&snapshot()))
+            .expect("fleet page must be exposition-conformant");
+    }
+
+    #[test]
+    fn class_series_match_the_runtime_schema_under_the_fleet_prefix() {
+        let f = snapshot();
+        let page = fleet_prometheus_text(&f);
+        assert_eq!(
+            parse_prom_labeled(
+                &page,
+                "batsolv_fleet_class_requests_total",
+                &[("class", "ion-like")],
+            ),
+            Some(2.0)
+        );
+        let ion = f.classes.get(WorkloadClass::IonLike);
+        assert_eq!(
+            parse_prom_labeled(
+                &page,
+                "batsolv_fleet_class_latency_us",
+                &[("class", "ion-like"), ("quantile", "0.99")],
+            ),
+            Some(ion.p99_us as f64)
+        );
+        assert_eq!(
+            parse_prom_labeled(
+                &page,
+                "batsolv_fleet_class_deadline_hit_ratio",
+                &[("class", "electron-like")],
+            ),
+            Some(0.0)
+        );
+        assert!(
+            parse_prom_labeled(
+                &page,
+                "batsolv_fleet_slo_burn_rate",
+                &[("class", "electron-like"), ("window", "1m")],
+            )
+            .unwrap()
+                > 1.0,
+            "every electron request missed: the 1m window must be burning"
+        );
+        // The tail exemplar links the histogram to the slowest trace.
+        assert!(page.contains("trace_id=\"4\""));
     }
 }

@@ -18,7 +18,8 @@ use std::time::{Duration, Instant};
 use batsolv_formats::SparsityPattern;
 use batsolv_gpusim::{LaunchHook, NoDisruption};
 use batsolv_runtime::{
-    CircuitBreaker, DeadlineBudget, LadderEngine, SolveEngine, SolveRequest, SubmitError,
+    CircuitBreaker, ClassTracker, ClassesSnapshot, DeadlineBudget, LadderEngine, SolveEngine,
+    SolveRequest, SubmitError,
 };
 use batsolv_trace::{EventKind, Tracer};
 use batsolv_types::Result;
@@ -30,7 +31,7 @@ use crate::range::{victim_order, DeviceRange, Route};
 use crate::shard::{spawn_shard_worker, ChunkQueue, ShardShared, ShardStats, WorkerCtx};
 use crate::spill::CpuLuEngine;
 use crate::stats::{percentile_us, snapshot_shard, FleetSnapshot};
-use crate::work::{Chunk, GroupTicket, OutcomeSlot, Pending};
+use crate::work::{Chunk, GroupProgress, GroupTicket, OutcomeSlot, Pending};
 
 /// Iteration count assumed by admission-time cost prediction: the
 /// paper's Table III electron-species solves land near 40 iterations,
@@ -66,6 +67,9 @@ pub struct FleetService {
     /// feasibility bar for deadline-carrying requests.
     predicted_chunk_cost: Duration,
     tracer: Tracer,
+    /// Fleet-wide per-class latency/SLO tracker, fed by every winning
+    /// delivery's phase ledger.
+    classes: Arc<ClassTracker>,
 }
 
 impl FleetService {
@@ -92,6 +96,7 @@ impl FleetService {
             cfg.max_batch_size,
         );
         let degrade = Arc::new(DegradeState::new(cfg.degrade));
+        let classes = Arc::new(ClassTracker::new());
         let spec = cfg.profile.spec();
         let predicted_chunk_cost = Duration::from_secs_f64(spec.predict_chunk_seconds(
             pattern.num_rows(),
@@ -150,6 +155,8 @@ impl FleetService {
                 hedge: cfg.hedge,
                 degrade: Arc::clone(&degrade),
                 predicted_chunk_cost,
+                classes: Arc::clone(&classes),
+                is_spill: false,
             }));
         }
         // The CPU pool is one more worker over the same machinery: a
@@ -173,6 +180,8 @@ impl FleetService {
             hedge: HedgeConfig::disabled(),
             degrade: Arc::clone(&degrade),
             predicted_chunk_cost,
+            classes: Arc::clone(&classes),
+            is_spill: true,
         }));
 
         Ok(FleetService {
@@ -195,6 +204,7 @@ impl FleetService {
             degrade,
             predicted_chunk_cost,
             tracer: cfg.tracer,
+            classes,
         })
     }
 
@@ -223,6 +233,10 @@ impl FleetService {
         requests: Vec<SolveRequest>,
         hint: Option<u32>,
     ) -> std::result::Result<GroupTicket, SubmitError> {
+        // Phase-ledger anchor: everything between here and the first
+        // queue push is the admission phase (validation, degradation
+        // bookkeeping, feasibility, placement planning).
+        let submit_started = Instant::now();
         if requests.is_empty() {
             return Err(SubmitError::ShapeMismatch {
                 field: "group",
@@ -362,6 +376,8 @@ impl FleetService {
         let total = requests.len();
         let base = self.next_id.fetch_add(total as u64, Ordering::Relaxed);
         let enqueued = Instant::now();
+        let admission_us = enqueued.duration_since(submit_started).as_secs_f64() * 1e6;
+        let group = Arc::new(GroupProgress::new(total));
         let mut ids = Vec::with_capacity(total);
         let mut rxs = Vec::with_capacity(total);
         let mut pendings = Vec::with_capacity(total);
@@ -380,6 +396,13 @@ impl FleetService {
                 budget: r.deadline.map(DeadlineBudget::new),
                 attempt: 1,
                 slot: Arc::new(OutcomeSlot::new(tx)),
+                submitted: submit_started,
+                admission_us,
+                queue_us: 0.0,
+                transit_us: 0.0,
+                backoff_us: 0.0,
+                solve_us: 0.0,
+                group: Arc::clone(&group),
             });
         }
 
@@ -468,7 +491,13 @@ impl FleetService {
             makespan_s,
             sim_time_total_s,
             degrade_level: self.degrade.level(),
+            classes: self.classes.snapshot(),
         }
+    }
+
+    /// Point-in-time per-workload-class statistics.
+    pub fn classes(&self) -> ClassesSnapshot {
+        self.classes.snapshot()
     }
 
     /// Render the current snapshot as a Prometheus metrics page with

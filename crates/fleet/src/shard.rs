@@ -33,16 +33,16 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use batsolv_runtime::{
-    BatchItem, CircuitBreaker, DeadlineBudget, Reservoir, Solution, SolveEngine, SolveError,
-    SolveMethod, SolveOutcome,
+    BatchItem, CircuitBreaker, ClassTracker, DeadlineBudget, RequestId, Reservoir, SimSplit,
+    Solution, SolveEngine, SolveError, SolveMethod, SolveOutcome,
 };
-use batsolv_trace::{EventKind, Tracer};
+use batsolv_trace::{classify, EventKind, PhaseLedger, Tracer};
 use batsolv_types::Error;
 
 use crate::config::{HedgeConfig, RetryPolicy};
 use crate::degrade::DegradeState;
 use crate::stats::percentile_us;
-use crate::work::{Chunk, Pending};
+use crate::work::{Chunk, GroupProgress, Pending};
 
 /// How long a worker waits on its empty queue before probing victims.
 const POLL_INTERVAL: Duration = Duration::from_millis(2);
@@ -238,6 +238,12 @@ pub(crate) struct WorkerCtx {
     /// Device-model prediction for one full chunk (admission and
     /// level-2 shedding both compare budgets against it).
     pub predicted_chunk_cost: Duration,
+    /// Fleet-wide per-class latency/SLO tracker; every winning delivery
+    /// feeds its phase ledger through here.
+    pub classes: Arc<ClassTracker>,
+    /// True for the CPU spill pool's worker: its dispatch wall time
+    /// lands in the ledger's `spill` phase instead of `solve`.
+    pub is_spill: bool,
 }
 
 /// Spawn one shard's worker loop.
@@ -293,13 +299,104 @@ pub(crate) fn spawn_shard_worker(ctx: WorkerCtx) -> JoinHandle<()> {
 }
 
 /// Metadata retained per item across the solve call (the payload moves
-/// into the [`BatchItem`]s).
+/// into the [`BatchItem`]s). Carries the request's phase accumulators
+/// with this hop's wait already attributed, so the terminal ledger can
+/// be built from the meta alone.
+#[derive(Clone)]
 struct ItemMeta {
+    id: RequestId,
     slot: Arc<crate::work::OutcomeSlot>,
     budget: Option<DeadlineBudget>,
     enqueued: Instant,
     wait: Duration,
     attempt: u32,
+    submitted: Instant,
+    admission_us: f64,
+    queue_us: f64,
+    transit_us: f64,
+    backoff_us: f64,
+    hedge_us: f64,
+    /// Wall time burned in failed prior solve attempts.
+    prior_solve_us: f64,
+    group: Arc<GroupProgress>,
+}
+
+/// Build one fleet request's phase ledger at its terminal moment. Wall
+/// phases partition `[submit_group entry, now]`: admission (validation
+/// and placement planning), queue (first-hop shard queue), transit
+/// (retry re-queue hops), backoff (retry sleeps), hedge (enqueue →
+/// duplicate dispatch, on hedge-delivered requests), solve/spill (this
+/// attempt's dispatch wall time, by executing pool), with prior failed
+/// attempts' dispatch time folded into solve. `close()` pushes the
+/// residual into `other` so the phase-sum invariant holds exactly.
+#[allow(clippy::too_many_arguments)]
+fn build_fleet_ledger(
+    m: &ItemMeta,
+    outcome: &'static str,
+    iterations: u32,
+    converged: bool,
+    exec_us: f64,
+    is_spill: bool,
+    sim: Option<&SimSplit>,
+    straggler: bool,
+    now: Instant,
+) -> PhaseLedger {
+    let mut ledger = PhaseLedger {
+        outcome,
+        class: classify(iterations, converged),
+        iterations,
+        straggler,
+        deadline: m.budget.as_ref().map(|_| outcome != "deadline_exceeded"),
+        end_to_end_us: now.saturating_duration_since(m.submitted).as_secs_f64() * 1e6,
+        admission_us: m.admission_us,
+        queue_us: m.queue_us,
+        transit_us: m.transit_us,
+        backoff_us: m.backoff_us,
+        hedge_us: m.hedge_us,
+        solve_us: m.prior_solve_us,
+        ..PhaseLedger::default()
+    };
+    if is_spill {
+        ledger.spill_us += exec_us;
+    } else {
+        ledger.solve_us += exec_us;
+    }
+    if let Some(sim) = sim {
+        ledger.sim_spmv_us = sim.spmv_us;
+        ledger.sim_reduction_us = sim.reduction_us;
+        ledger.sim_sync_us = sim.sync_us;
+        ledger.sim_transfer_us = sim.transfer_us;
+    }
+    ledger.close();
+    ledger
+}
+
+/// Emit the ledger event and feed the class tracker — the single point
+/// every winning fleet delivery funnels through.
+fn record_terminal(ctx: &WorkerCtx, id: RequestId, ledger: PhaseLedger) {
+    ctx.classes.observe_ledger(Some(id), &ledger);
+    ctx.tracer.emit(Some(id), EventKind::Ledger(ledger));
+}
+
+/// Ledger-building view of a rebuilt [`Pending`] (retry paths deliver
+/// terminal failures from Pendings, not metas).
+fn pending_meta(p: &Pending) -> ItemMeta {
+    ItemMeta {
+        id: p.id,
+        slot: Arc::clone(&p.slot),
+        budget: p.budget,
+        enqueued: p.enqueued,
+        wait: Duration::ZERO,
+        attempt: p.attempt,
+        submitted: p.submitted,
+        admission_us: p.admission_us,
+        queue_us: p.queue_us,
+        transit_us: p.transit_us,
+        backoff_us: p.backoff_us,
+        hedge_us: 0.0,
+        prior_solve_us: p.solve_us,
+        group: Arc::clone(&p.group),
+    }
 }
 
 /// Execute one chunk on this worker's engine. Terminal outcomes go
@@ -327,36 +424,76 @@ pub(crate) fn execute_chunk(ctx: &WorkerCtx, chunk: Chunk, role: ChunkRole) {
             // one; executing it again would be pure waste.
             continue;
         }
-        let wait = dispatch_start.saturating_duration_since(p.enqueued);
-        if is_primary {
-            if let Some(budget) = p.budget.as_mut() {
-                budget.debit(wait);
-                let expired = budget.is_exhausted();
-                let hopeless = ctx.degrade.shedding() && !budget.covers(ctx.predicted_chunk_cost);
-                if expired || hopeless {
-                    if let Some(tx) = p.slot.claim() {
-                        shard.stats.failed.fetch_add(1, Ordering::Relaxed);
-                        shard.stats.shed.fetch_add(1, Ordering::Relaxed);
-                        shed += 1;
-                        let _ = tx.send(Err(SolveError::DeadlineExceeded {
-                            waited: budget.consumed(),
-                            deadline: budget.total(),
-                        }));
-                    }
-                    continue;
-                }
-            }
-        }
+        // Clone for the hedge advertisement *before* attributing this
+        // hop's wait: the duplicate measures its own enqueue → hedge
+        // dispatch span as the hedge phase, so pre-charging the
+        // primary's queue wait here would double-count the interval.
         if register_hedge {
             hedge_clones.push(p.clone());
         }
-        meta.push(ItemMeta {
+        let wait = dispatch_start.saturating_duration_since(p.enqueued);
+        // Attribute this hop's wait to its phase: first-hop primary
+        // dispatch is queueing, a retry re-queue is a transit hop, and
+        // a hedge duplicate charges its whole enqueue → dispatch span
+        // (queue plus the primary's partial flight) to the hedge phase.
+        let wait_us = wait.as_secs_f64() * 1e6;
+        let mut hedge_us = 0.0;
+        match role {
+            ChunkRole::Primary if p.attempt == 1 => p.queue_us += wait_us,
+            ChunkRole::Primary => p.transit_us += wait_us,
+            ChunkRole::Hedge { .. } => hedge_us = wait_us,
+        }
+        let mut shed_now = false;
+        if is_primary {
+            if let Some(budget) = p.budget.as_mut() {
+                budget.debit(wait);
+                shed_now = budget.is_exhausted()
+                    || (ctx.degrade.shedding() && !budget.covers(ctx.predicted_chunk_cost));
+            }
+        }
+        let m = ItemMeta {
+            id: p.id,
             slot: Arc::clone(&p.slot),
             budget: p.budget,
             enqueued: p.enqueued,
             wait,
             attempt: p.attempt,
-        });
+            submitted: p.submitted,
+            admission_us: p.admission_us,
+            queue_us: p.queue_us,
+            transit_us: p.transit_us,
+            backoff_us: p.backoff_us,
+            hedge_us,
+            prior_solve_us: p.solve_us,
+            group: Arc::clone(&p.group),
+        };
+        if shed_now {
+            if let Some(tx) = m.slot.claim() {
+                shard.stats.failed.fetch_add(1, Ordering::Relaxed);
+                shard.stats.shed.fetch_add(1, Ordering::Relaxed);
+                shed += 1;
+                let budget = m.budget.expect("shed implies a deadline budget");
+                let straggler = m.group.finish_one();
+                let ledger = build_fleet_ledger(
+                    &m,
+                    "deadline_exceeded",
+                    0,
+                    false,
+                    0.0,
+                    ctx.is_spill,
+                    None,
+                    straggler,
+                    Instant::now(),
+                );
+                record_terminal(ctx, m.id, ledger);
+                let _ = tx.send(Err(SolveError::DeadlineExceeded {
+                    waited: budget.consumed(),
+                    deadline: budget.total(),
+                }));
+            }
+            continue;
+        }
+        meta.push(m);
         items.push(BatchItem {
             id: p.id,
             values: p.values,
@@ -420,8 +557,20 @@ pub(crate) fn execute_chunk(ctx: &WorkerCtx, chunk: Chunk, role: ChunkRole) {
     match result {
         Ok(Ok(report)) => {
             shard.stats.add_sim_time(report.sim_time_s);
+            let finished = Instant::now();
+            let exec_us = finished.duration_since(dispatch_start).as_secs_f64() * 1e6;
+            let item_sim = report.split.per_item(n);
             let mut delivered = 0usize;
             for (outcome, m) in report.outcomes.into_iter().zip(meta) {
+                let outcome_tag = if outcome.converged {
+                    match outcome.method {
+                        SolveMethod::Bicgstab => "converged_bicgstab",
+                        SolveMethod::Gmres => "converged_gmres",
+                        SolveMethod::BandedLuFallback => "converged_banded_lu",
+                    }
+                } else {
+                    "not_converged"
+                };
                 let terminal: SolveOutcome = if outcome.converged {
                     Ok(Solution {
                         x: outcome.x,
@@ -458,6 +607,19 @@ pub(crate) fn execute_chunk(ctx: &WorkerCtx, chunk: Chunk, role: ChunkRole) {
                         s.wait_us.push(m.wait.as_micros() as u64);
                         s.latency_us.push(m.enqueued.elapsed().as_micros() as u64);
                     }
+                    let straggler = m.group.finish_one();
+                    let ledger = build_fleet_ledger(
+                        &m,
+                        outcome_tag,
+                        outcome.iterations,
+                        outcome.converged,
+                        exec_us,
+                        ctx.is_spill,
+                        Some(&item_sim),
+                        straggler,
+                        Instant::now(),
+                    );
+                    record_terminal(ctx, m.id, ledger);
                     let _ = tx.send(terminal);
                 }
             }
@@ -489,6 +651,7 @@ pub(crate) fn execute_chunk(ctx: &WorkerCtx, chunk: Chunk, role: ChunkRole) {
                 items,
                 SolveError::DeviceFailure { code },
                 "device_failure",
+                dispatch_start,
             );
         }
         Err(panic) => {
@@ -504,6 +667,7 @@ pub(crate) fn execute_chunk(ctx: &WorkerCtx, chunk: Chunk, role: ChunkRole) {
                 items,
                 SolveError::WorkerPanic { detail },
                 "worker_panic",
+                dispatch_start,
             );
         }
     }
@@ -518,6 +682,7 @@ pub(crate) fn execute_chunk(ctx: &WorkerCtx, chunk: Chunk, role: ChunkRole) {
 /// different shard may well succeed. Data-level failures
 /// (`NotConverged`) come through the success path above and are always
 /// terminal.
+#[allow(clippy::too_many_arguments)]
 fn finish_failed(
     ctx: &WorkerCtx,
     role: ChunkRole,
@@ -525,6 +690,7 @@ fn finish_failed(
     items: Vec<BatchItem>,
     error: SolveError,
     reason: &'static str,
+    dispatch_start: Instant,
 ) {
     let shard = &ctx.shard;
 
@@ -535,6 +701,9 @@ fn finish_failed(
         return;
     }
 
+    // Wall time the failed attempt burned inside the dispatch; folded
+    // into the solve phase of whatever terminal ledger follows.
+    let attempt_us = dispatch_start.elapsed().as_secs_f64() * 1e6;
     let attempt = meta.first().map(|m| m.attempt).unwrap_or(1);
     if attempt < ctx.retry.max_attempts {
         // Deterministic backoff keyed by the chunk's lead request id.
@@ -556,6 +725,22 @@ fn finish_failed(
                 if b.is_exhausted() {
                     if let Some(tx) = m.slot.claim() {
                         shard.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        let mut lm = m.clone();
+                        lm.backoff_us += backoff.as_secs_f64() * 1e6;
+                        lm.prior_solve_us += attempt_us;
+                        let straggler = lm.group.finish_one();
+                        let ledger = build_fleet_ledger(
+                            &lm,
+                            "deadline_exceeded",
+                            0,
+                            false,
+                            0.0,
+                            ctx.is_spill,
+                            None,
+                            straggler,
+                            Instant::now(),
+                        );
+                        record_terminal(ctx, lm.id, ledger);
                         let _ = tx.send(Err(SolveError::DeadlineExceeded {
                             waited: b.consumed(),
                             deadline: b.total(),
@@ -574,6 +759,13 @@ fn finish_failed(
                 budget,
                 attempt: next_attempt,
                 slot: Arc::clone(&m.slot),
+                submitted: m.submitted,
+                admission_us: m.admission_us,
+                queue_us: m.queue_us,
+                transit_us: m.transit_us,
+                backoff_us: m.backoff_us + backoff.as_secs_f64() * 1e6,
+                solve_us: m.prior_solve_us + attempt_us,
+                group: Arc::clone(&m.group),
             });
         }
 
@@ -619,6 +811,20 @@ fn finish_failed(
                 for p in c.items {
                     if let Some(tx) = p.slot.claim() {
                         shard.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        let pm = pending_meta(&p);
+                        let straggler = pm.group.finish_one();
+                        let ledger = build_fleet_ledger(
+                            &pm,
+                            reason,
+                            0,
+                            false,
+                            0.0,
+                            ctx.is_spill,
+                            None,
+                            straggler,
+                            Instant::now(),
+                        );
+                        record_terminal(ctx, p.id, ledger);
                         let _ = tx.send(Err(error.clone()));
                     }
                 }
@@ -632,6 +838,21 @@ fn finish_failed(
     for m in meta {
         if let Some(tx) = m.slot.claim() {
             shard.stats.failed.fetch_add(1, Ordering::Relaxed);
+            let mut lm = m.clone();
+            lm.prior_solve_us += attempt_us;
+            let straggler = lm.group.finish_one();
+            let ledger = build_fleet_ledger(
+                &lm,
+                reason,
+                0,
+                false,
+                0.0,
+                ctx.is_spill,
+                None,
+                straggler,
+                Instant::now(),
+            );
+            record_terminal(ctx, m.id, ledger);
             let _ = tx.send(Err(error.clone()));
         }
     }

@@ -13,7 +13,9 @@ use std::sync::Arc;
 
 use batsolv_formats::{BatchBanded, BatchCsr, BatchVectors, SparsityPattern};
 use batsolv_gpusim::{kernel_launch_event, DeviceSpec};
-use batsolv_runtime::{BatchItem, BatchReport, ItemOutcome, RungAttempt, SolveEngine, SolveMethod};
+use batsolv_runtime::{
+    BatchItem, BatchReport, ItemOutcome, RungAttempt, SimSplit, SolveEngine, SolveMethod,
+};
 use batsolv_solvers::direct::BatchBandedLu;
 use batsolv_trace::Tracer;
 use batsolv_types::{BatchDims, Result};
@@ -105,12 +107,15 @@ impl SolveEngine for CpuLuEngine {
             })
             .collect();
 
+        let mut split = SimSplit::default();
+        split.add_kernel(&report);
         Ok(BatchReport {
             outcomes,
             sim_time_s: report.time_s(),
             syncs: report.syncs(),
             reductions: report.reductions(),
             solver: report.solver,
+            split,
         })
     }
 }

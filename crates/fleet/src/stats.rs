@@ -4,6 +4,8 @@
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
+use batsolv_runtime::ClassesSnapshot;
+
 use crate::shard::ShardShared;
 
 /// Point-in-time copy of one shard's counters and percentiles. The CPU
@@ -83,6 +85,9 @@ pub struct FleetSnapshot {
     /// Graceful-degradation ladder level (0 = normal; 1 = hedges off;
     /// 2 = + sub-deadline shedding; 3 = + widened CPU spill).
     pub degrade_level: u8,
+    /// Per-workload-class latency and SLO statistics, fed by every
+    /// winning delivery's phase ledger.
+    pub classes: ClassesSnapshot,
 }
 
 impl FleetSnapshot {
@@ -174,6 +179,7 @@ impl FleetSnapshot {
                 s.sim_time_s,
             ));
         }
+        out.push_str(&self.classes.render());
         out
     }
 }

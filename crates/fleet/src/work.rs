@@ -9,11 +9,35 @@
 //! counters (`completed`/`failed`) increment only on the winning
 //! delivery, so accounting matches what the caller observes.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 use batsolv_runtime::{DeadlineBudget, RequestId, SolveError, SolveOutcome};
+
+/// Group-completion tracker for straggler attribution: the winning
+/// delivery that drops `remaining` to zero finished the group, and its
+/// phase ledger gets the `straggler` flag (only meaningful for groups
+/// of more than one system).
+pub(crate) struct GroupProgress {
+    total: usize,
+    remaining: AtomicUsize,
+}
+
+impl GroupProgress {
+    pub fn new(total: usize) -> GroupProgress {
+        GroupProgress {
+            total,
+            remaining: AtomicUsize::new(total),
+        }
+    }
+
+    /// Record one terminal delivery; true iff it completed a group of
+    /// more than one system (the group's straggler).
+    pub fn finish_one(&self) -> bool {
+        self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 && self.total > 1
+    }
+}
 
 /// Single-shot, first-winner-wins outcome channel for one system.
 ///
@@ -102,6 +126,22 @@ pub(crate) struct Pending {
     pub attempt: u32,
     /// Exactly-once outcome channel, shared with any hedge duplicate.
     pub slot: Arc<OutcomeSlot>,
+    /// When the group entered `submit_group` — the end-to-end anchor of
+    /// the phase ledger. Unlike `enqueued`, never reset.
+    pub submitted: Instant,
+    /// Validation and placement-planning time before the system entered
+    /// its first queue, µs.
+    pub admission_us: f64,
+    /// Accumulated first-hop shard-queue wait, µs.
+    pub queue_us: f64,
+    /// Accumulated re-route hop wait (retry re-queues), µs.
+    pub transit_us: f64,
+    /// Accumulated retry backoff slept on this system's behalf, µs.
+    pub backoff_us: f64,
+    /// Wall time burned inside failed prior solve attempts, µs.
+    pub solve_us: f64,
+    /// Group-completion tracker shared by every member.
+    pub group: Arc<GroupProgress>,
 }
 
 /// A routed unit of execution: the systems of one placement, tagged

@@ -1,0 +1,310 @@
+//! Per-workload-class latency tracking and SLO accounting.
+//!
+//! Every terminal request is labeled with a Table III workload class
+//! (ion-like / electron-like / anomalous, see
+//! [`batsolv_trace::WorkloadClass`]) and its end-to-end latency lands in
+//! that class's bounded reservoir. The tracker additionally keeps
+//! deadline hit/miss tallies, sliding SLO burn-rate windows, and the
+//! slowest request's trace id per class — the exemplar the Prometheus
+//! histograms attach to their tail bucket.
+//!
+//! The tracker lives in this crate (not `batsolv-trace`) because it
+//! reuses the deterministic [`Reservoir`]; the fleet shares it so the
+//! single-service and sharded surfaces report identical quantities.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use batsolv_trace::{
+    PhaseLedger, SloWindow, TraceId, WorkloadClass, CLASS_COUNT, DEFAULT_SLO_TARGET, SLO_WINDOWS,
+};
+
+use crate::reservoir::{percentile_us, Reservoir};
+
+/// Per-class reservoir capacity: smaller than the global queue-wait
+/// reservoir since there are [`CLASS_COUNT`] of them.
+const CLASS_RESERVOIR_CAPACITY: usize = 4096;
+
+#[derive(Debug)]
+struct ClassCell {
+    count: u64,
+    latency_us: Reservoir,
+    deadline_total: u64,
+    deadline_hits: u64,
+    /// Slowest observation so far: `(trace id, latency µs)`.
+    slowest: Option<(TraceId, u64)>,
+    /// One sliding window per [`SLO_WINDOWS`] entry.
+    slo: Vec<SloWindow>,
+}
+
+impl ClassCell {
+    fn new() -> ClassCell {
+        ClassCell {
+            count: 0,
+            latency_us: Reservoir::new(CLASS_RESERVOIR_CAPACITY),
+            deadline_total: 0,
+            deadline_hits: 0,
+            slowest: None,
+            slo: SLO_WINDOWS
+                .iter()
+                .map(|&(_, horizon)| SloWindow::new(horizon))
+                .collect(),
+        }
+    }
+}
+
+/// Thread-safe per-class accumulator. One lock per terminal request —
+/// far off the per-iteration hot path.
+#[derive(Debug)]
+pub struct ClassTracker {
+    epoch: Instant,
+    cells: Mutex<[ClassCell; CLASS_COUNT]>,
+}
+
+impl Default for ClassTracker {
+    fn default() -> ClassTracker {
+        ClassTracker::new()
+    }
+}
+
+impl ClassTracker {
+    /// Fresh tracker; SLO windows are measured from now.
+    pub fn new() -> ClassTracker {
+        ClassTracker {
+            epoch: Instant::now(),
+            cells: Mutex::new([ClassCell::new(), ClassCell::new(), ClassCell::new()]),
+        }
+    }
+
+    fn now_s(&self) -> u64 {
+        self.epoch.elapsed().as_secs()
+    }
+
+    /// Record one terminal request. `deadline_hit` is `None` when the
+    /// request carried no deadline (it then counts toward latency but
+    /// not toward the SLO windows).
+    pub fn observe(
+        &self,
+        class: WorkloadClass,
+        latency_us: u64,
+        trace_id: Option<TraceId>,
+        deadline_hit: Option<bool>,
+    ) {
+        let now_s = self.now_s();
+        let mut cells = self.cells.lock().unwrap();
+        let cell = &mut cells[class.index()];
+        cell.count += 1;
+        cell.latency_us.push(latency_us);
+        if let Some(id) = trace_id {
+            if cell.slowest.map(|(_, us)| latency_us > us).unwrap_or(true) {
+                cell.slowest = Some((id, latency_us));
+            }
+        }
+        if let Some(hit) = deadline_hit {
+            cell.deadline_total += 1;
+            cell.deadline_hits += u64::from(hit);
+            for w in &mut cell.slo {
+                w.record(now_s, hit);
+            }
+        }
+    }
+
+    /// Record one terminal request straight from its phase ledger.
+    pub fn observe_ledger(&self, trace_id: Option<TraceId>, ledger: &PhaseLedger) {
+        self.observe(
+            ledger.class,
+            ledger.end_to_end_us.max(0.0) as u64,
+            trace_id,
+            ledger.deadline,
+        );
+    }
+
+    /// Consistent point-in-time copy of every class.
+    pub fn snapshot(&self) -> ClassesSnapshot {
+        let now_s = self.now_s();
+        let cells = self.cells.lock().unwrap();
+        let classes: Vec<ClassStats> = WorkloadClass::ALL
+            .iter()
+            .map(|&class| {
+                let cell = &cells[class.index()];
+                let mut samples: Vec<u64> = cell.latency_us.samples().to_vec();
+                samples.sort_unstable();
+                let burn_rates: Vec<f64> = cell
+                    .slo
+                    .iter()
+                    .map(|w| w.burn_rate(now_s, DEFAULT_SLO_TARGET))
+                    .collect();
+                ClassStats {
+                    class,
+                    count: cell.count,
+                    p50_us: percentile_us(&samples, 0.50),
+                    p99_us: percentile_us(&samples, 0.99),
+                    deadline_total: cell.deadline_total,
+                    deadline_hits: cell.deadline_hits,
+                    burn_rates,
+                    slowest: cell.slowest,
+                    samples_us: samples,
+                }
+            })
+            .collect();
+        ClassesSnapshot {
+            classes: classes.try_into().expect("CLASS_COUNT stats"),
+        }
+    }
+}
+
+/// One class's point-in-time statistics.
+#[derive(Clone, Debug)]
+pub struct ClassStats {
+    /// The workload class these statistics describe.
+    pub class: WorkloadClass,
+    /// Terminal requests observed (all time, not reservoir-bounded).
+    pub count: u64,
+    /// Median end-to-end latency over the retained samples, µs.
+    pub p50_us: u64,
+    /// 99th-percentile end-to-end latency over the retained samples, µs.
+    pub p99_us: u64,
+    /// Requests that carried a deadline.
+    pub deadline_total: u64,
+    /// Deadline-carrying requests that met it.
+    pub deadline_hits: u64,
+    /// SLO burn rate per [`SLO_WINDOWS`] entry, in order.
+    pub burn_rates: Vec<f64>,
+    /// Slowest observation: `(trace id, latency µs)` — the exemplar.
+    pub slowest: Option<(TraceId, u64)>,
+    /// Retained latency samples, sorted ascending, µs.
+    pub samples_us: Vec<u64>,
+}
+
+impl ClassStats {
+    /// Fraction of deadline-carrying requests that met their deadline
+    /// (1.0 when none carried one — no evidence of violation).
+    pub fn deadline_hit_ratio(&self) -> f64 {
+        if self.deadline_total == 0 {
+            1.0
+        } else {
+            self.deadline_hits as f64 / self.deadline_total as f64
+        }
+    }
+}
+
+/// Point-in-time statistics for every workload class.
+#[derive(Clone, Debug)]
+pub struct ClassesSnapshot {
+    /// One entry per class, in [`WorkloadClass::ALL`] order.
+    pub classes: [ClassStats; CLASS_COUNT],
+}
+
+impl ClassesSnapshot {
+    /// Statistics of one class.
+    pub fn get(&self, class: WorkloadClass) -> &ClassStats {
+        &self.classes[class.index()]
+    }
+
+    /// Terminal requests across every class.
+    pub fn total(&self) -> u64 {
+        self.classes.iter().map(|c| c.count).sum()
+    }
+
+    /// Human-readable lines appended to the stats render.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.total() == 0 {
+            return out;
+        }
+        out.push_str("  workload classes:\n");
+        for c in &self.classes {
+            if c.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "    [{:>13}] {} requests, p50 {:.3} ms, p99 {:.3} ms, \
+                 deadline hit {:.1}%",
+                c.class.name(),
+                c.count,
+                c.p50_us as f64 / 1e3,
+                c.p99_us as f64 / 1e3,
+                c.deadline_hit_ratio() * 100.0
+            ));
+            for (&(label, _), burn) in SLO_WINDOWS.iter().zip(&c.burn_rates) {
+                out.push_str(&format!(", burn[{label}] {burn:.2}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_their_class() {
+        let t = ClassTracker::new();
+        t.observe(WorkloadClass::IonLike, 100, Some(1), Some(true));
+        t.observe(WorkloadClass::IonLike, 200, Some(2), Some(true));
+        t.observe(WorkloadClass::ElectronLike, 5_000, Some(3), Some(false));
+        let snap = t.snapshot();
+        let ion = snap.get(WorkloadClass::IonLike);
+        assert_eq!(ion.count, 2);
+        assert_eq!(ion.p50_us, 200, "two samples: p50 is the larger");
+        assert_eq!(ion.p99_us, 200);
+        assert_eq!(ion.deadline_total, 2);
+        assert_eq!(ion.deadline_hits, 2);
+        assert_eq!(ion.deadline_hit_ratio(), 1.0);
+        let ele = snap.get(WorkloadClass::ElectronLike);
+        assert_eq!(ele.count, 1);
+        assert_eq!(ele.deadline_hit_ratio(), 0.0);
+        assert!(ele.burn_rates[0] > 1.0, "every request missed: burning");
+        assert_eq!(snap.get(WorkloadClass::Anomalous).count, 0);
+        assert_eq!(snap.total(), 3);
+    }
+
+    #[test]
+    fn slowest_observation_becomes_the_exemplar() {
+        let t = ClassTracker::new();
+        t.observe(WorkloadClass::Anomalous, 50, Some(7), None);
+        t.observe(WorkloadClass::Anomalous, 9_000, Some(8), None);
+        t.observe(WorkloadClass::Anomalous, 100, Some(9), None);
+        let snap = t.snapshot();
+        assert_eq!(snap.get(WorkloadClass::Anomalous).slowest, Some((8, 9_000)));
+        // No deadlines → hit ratio defaults to 1, windows stay quiet.
+        assert_eq!(snap.get(WorkloadClass::Anomalous).deadline_total, 0);
+        assert_eq!(snap.get(WorkloadClass::Anomalous).deadline_hit_ratio(), 1.0);
+        assert_eq!(snap.get(WorkloadClass::Anomalous).burn_rates[0], 0.0);
+    }
+
+    #[test]
+    fn ledger_observation_uses_its_class_and_deadline() {
+        let t = ClassTracker::new();
+        let mut ledger = PhaseLedger {
+            outcome: "converged_bicgstab",
+            class: WorkloadClass::ElectronLike,
+            iterations: 33,
+            deadline: Some(true),
+            end_to_end_us: 1234.0,
+            solve_us: 1234.0,
+            ..PhaseLedger::default()
+        };
+        ledger.close();
+        t.observe_ledger(Some(5), &ledger);
+        let snap = t.snapshot();
+        let ele = snap.get(WorkloadClass::ElectronLike);
+        assert_eq!(ele.count, 1);
+        assert_eq!(ele.p50_us, 1234);
+        assert_eq!(ele.deadline_hits, 1);
+        assert_eq!(ele.slowest, Some((5, 1234)));
+    }
+
+    #[test]
+    fn render_lists_only_populated_classes() {
+        let t = ClassTracker::new();
+        assert_eq!(t.snapshot().render(), "", "empty tracker renders nothing");
+        t.observe(WorkloadClass::IonLike, 100, None, Some(true));
+        let text = t.snapshot().render();
+        assert!(text.contains("ion-like"));
+        assert!(!text.contains("electron-like"));
+        assert!(text.contains("burn[1m]"));
+    }
+}

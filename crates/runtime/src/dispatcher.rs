@@ -81,6 +81,63 @@ pub struct BatchReport {
     pub reductions: u64,
     /// Name of the rung-1 solver variant that ran.
     pub solver: &'static str,
+    /// Simulated solve-time decomposition of the whole dispatch.
+    pub split: SimSplit,
+}
+
+/// Where the simulated solve time of a dispatch went, microseconds
+/// (sim clock, all rungs summed). This is the Figure 1 decomposition at
+/// service granularity: compute (SpMV + vector ops), exposed reduction
+/// trees, barrier waits, and host↔device transfers.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimSplit {
+    /// SpMV + vector-op compute time (kernel time minus barriers).
+    pub spmv_us: f64,
+    /// Exposed tree-reduction time.
+    pub reduction_us: f64,
+    /// Barrier (synchronization-point) time.
+    pub sync_us: f64,
+    /// Host↔device transfer time (operand upload + solution download).
+    pub transfer_us: f64,
+}
+
+impl SimSplit {
+    /// Sum of every component.
+    pub fn total_us(&self) -> f64 {
+        self.spmv_us + self.reduction_us + self.sync_us + self.transfer_us
+    }
+
+    /// Fold one rung's kernel report in. `sync_s` covers barriers plus
+    /// exposed reductions; it is apportioned between the two by their
+    /// critical-path counts, and the remainder of the kernel time is
+    /// compute (SpMV + fused vector passes).
+    pub fn add_kernel(&mut self, report: &BatchSolveReport) {
+        let total_us = report.time_s() * 1e6;
+        let sync_block_us = (report.kernel.sync_s * 1e6).min(total_us);
+        let (syncs, reds) = (report.syncs() as f64, report.reductions() as f64);
+        let denom = syncs + reds;
+        let red_share = if denom > 0.0 { reds / denom } else { 0.0 };
+        self.reduction_us += sync_block_us * red_share;
+        self.sync_us += sync_block_us * (1.0 - red_share);
+        self.spmv_us += total_us - sync_block_us;
+    }
+
+    /// Fold one host↔device copy in.
+    pub fn add_transfer(&mut self, device: &DeviceSpec, bytes: u64, dir: Direction) {
+        self.transfer_us += batsolv_gpusim::transfer_time(device, bytes, dir) * 1e6;
+    }
+
+    /// Even per-request share of the dispatch (batch members share the
+    /// fused launch, so attribution divides it).
+    pub fn per_item(&self, batch_size: usize) -> SimSplit {
+        let d = batch_size.max(1) as f64;
+        SimSplit {
+            spmv_us: self.spmv_us / d,
+            reduction_us: self.reduction_us / d,
+            sync_us: self.sync_us / d,
+            transfer_us: self.transfer_us / d,
+        }
+    }
 }
 
 /// Which fused solver variant carries rung 1 of the ladder.
@@ -416,6 +473,13 @@ impl SolveEngine for LadderEngine {
         let mut sim_time_s = report.time_s();
         let mut syncs = report.syncs();
         let mut reductions = report.reductions();
+        let mut split = SimSplit::default();
+        split.add_transfer(
+            &self.device,
+            Self::upload_bytes(items, &all),
+            Direction::HostToDevice,
+        );
+        split.add_kernel(&report);
 
         let mut outcomes: Vec<ItemOutcome> = items
             .iter()
@@ -498,6 +562,12 @@ impl SolveEngine for LadderEngine {
                 sim_time_s += g_report.time_s();
                 syncs += g_report.syncs();
                 reductions += g_report.reductions();
+                split.add_transfer(
+                    &self.device,
+                    Self::upload_bytes(items, &sub),
+                    Direction::HostToDevice,
+                );
+                split.add_kernel(&g_report);
                 for (k, &i) in sub.iter().enumerate() {
                     let r = &g_report.per_system[k];
                     let o = &mut outcomes[i];
@@ -571,6 +641,12 @@ impl SolveEngine for LadderEngine {
                 sim_time_s += lu_report.time_s();
                 syncs += lu_report.syncs();
                 reductions += lu_report.reductions();
+                split.add_transfer(
+                    &self.device,
+                    Self::upload_bytes(items, &sub),
+                    Direction::HostToDevice,
+                );
+                split.add_kernel(&lu_report);
                 for (k, &i) in sub.iter().enumerate() {
                     let lr = &lu_report.per_system[k];
                     let o = &mut outcomes[i];
@@ -607,12 +683,19 @@ impl SolveEngine for LadderEngine {
             );
         }
 
+        split.add_transfer(
+            &self.device,
+            (items.len() * n * 8) as u64,
+            Direction::DeviceToHost,
+        );
+
         Ok(BatchReport {
             outcomes,
             sim_time_s,
             syncs,
             reductions,
             solver: method,
+            split,
         })
     }
 }
@@ -686,6 +769,28 @@ mod tests {
             assert!(o.residual <= 1e-10);
         }
         assert!(report.sim_time_s > 0.0);
+    }
+
+    #[test]
+    fn sim_split_decomposes_the_dispatch() {
+        let (pattern, values, rhs) = laplacian_case(32);
+        let engine = LadderEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), cfg(1e-10, 200));
+        let report = engine.solve_batch(&items_of(&values, &rhs, 4)).unwrap();
+        let s = report.split;
+        assert!(s.spmv_us > 0.0, "compute component present");
+        assert!(s.sync_us > 0.0, "barrier component present");
+        assert!(s.transfer_us > 0.0, "h2d + d2h priced");
+        assert!(s.reduction_us >= 0.0);
+        // The kernel components reassemble the simulated kernel time; the
+        // transfer component sits on top of it.
+        let kernel_us = s.spmv_us + s.sync_us + s.reduction_us;
+        assert!(
+            (kernel_us - report.sim_time_s * 1e6).abs() < 1e-6,
+            "kernel split {kernel_us} vs sim_time {}",
+            report.sim_time_s * 1e6
+        );
+        let per = s.per_item(4);
+        assert!((per.total_us() * 4.0 - s.total_us()).abs() < 1e-9);
     }
 
     #[test]

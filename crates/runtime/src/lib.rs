@@ -70,6 +70,7 @@
 pub mod admission;
 pub mod breaker;
 pub mod budget;
+pub mod classes;
 pub mod config;
 pub mod dispatcher;
 pub mod executor;
@@ -85,19 +86,21 @@ pub mod watchdog;
 pub use admission::{AdmissionGate, RejectReason};
 pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use budget::DeadlineBudget;
+pub use classes::{ClassStats, ClassTracker, ClassesSnapshot};
 pub use config::RuntimeConfig;
 pub use dispatcher::{
-    BatchItem, BatchReport, ItemOutcome, LadderConfig, LadderEngine, SolveEngine, SolverVariant,
+    BatchItem, BatchReport, ItemOutcome, LadderConfig, LadderEngine, SimSplit, SolveEngine,
+    SolverVariant,
 };
 pub use executor::{BatchExecutor, ExecMode, ExecReport};
 pub use former::{BatchFormer, FlushReason};
-pub use metrics::prometheus_text;
+pub use metrics::{prometheus_text, prometheus_text_with_classes, render_class_series};
 pub use queue::{BoundedQueue, PopResult, PushResult};
 pub use request::{
     RequestId, RungAttempt, Solution, SolveError, SolveMethod, SolveOutcome, SolveRequest,
     SubmitError, Ticket,
 };
-pub use reservoir::{Reservoir, DEFAULT_RESERVOIR_CAPACITY};
+pub use reservoir::{percentile_us, Reservoir, DEFAULT_RESERVOIR_CAPACITY};
 pub use service::SolveService;
 pub use stats::{StatsRegistry, StatsSnapshot};
 pub use watchdog::{spawn_watchdog, WatchState};

@@ -1,29 +1,38 @@
 //! Prometheus text-exposition rendering of a [`StatsSnapshot`].
 //!
-//! Pure function of the snapshot: every exposed series is derived from
-//! snapshot fields only, so a scrape and a [`StatsSnapshot::render`] call
-//! taken at the same instant can never disagree. `parse_prom_value` (from
-//! the trace crate) reads the page back, which the integration tests and
-//! the `ext-trace` experiment use to assert exporter/snapshot agreement.
+//! Built on the trace crate's typed [`MetricsRegistry`] so conformance
+//! (matching `# HELP`/`# TYPE` per family, valid name charset, no
+//! duplicate series) holds by construction instead of by hand. Every
+//! exposed series is a pure function of the snapshot (and the optional
+//! class snapshot), so a scrape and a [`StatsSnapshot::render`] call
+//! taken at the same instant can never disagree. `parse_prom_value` /
+//! `parse_prom_labeled` read the page back, which the integration tests
+//! and the `ext-trace` experiment use to assert exporter/snapshot
+//! agreement.
 
-use batsolv_trace::PromText;
+use batsolv_trace::{MetricsRegistry, SLO_WINDOWS};
 
+use crate::classes::ClassesSnapshot;
 use crate::stats::StatsSnapshot;
 
 /// Render the snapshot as a Prometheus text-format metrics page.
 pub fn prometheus_text(s: &StatsSnapshot) -> String {
-    let mut p = PromText::new();
-    p.counter(
+    prometheus_text_with_classes(s, None)
+}
+
+/// Render the snapshot plus the per-class latency/SLO series.
+pub fn prometheus_text_with_classes(
+    s: &StatsSnapshot,
+    classes: Option<&ClassesSnapshot>,
+) -> String {
+    let mut m = MetricsRegistry::new();
+    m.counter(
         "batsolv_requests_accepted_total",
         "Requests admitted to the queue.",
-        s.accepted,
+        &[],
+        s.accepted as f64,
     );
 
-    p.family(
-        "batsolv_requests_rejected_total",
-        "counter",
-        "Requests rejected before entering the queue, by reason.",
-    );
     for (reason, count) in [
         ("queue_full", s.rejected_queue_full),
         ("shape", s.rejected_shape),
@@ -31,18 +40,14 @@ pub fn prometheus_text(s: &StatsSnapshot) -> String {
         ("zero_diag", s.rejected_zero_diag),
         ("circuit_open", s.rejected_circuit_open),
     ] {
-        p.sample(
+        m.counter(
             "batsolv_requests_rejected_total",
+            "Requests rejected before entering the queue, by reason.",
             &[("reason", reason)],
             count as f64,
         );
     }
 
-    p.family(
-        "batsolv_outcomes_total",
-        "counter",
-        "Terminal request outcomes, by kind.",
-    );
     for (outcome, count) in [
         ("converged_bicgstab", s.converged_iterative),
         ("converged_gmres", s.converged_gmres),
@@ -52,130 +57,218 @@ pub fn prometheus_text(s: &StatsSnapshot) -> String {
         ("device_failure", s.failed_device),
         ("worker_panic", s.failed_panic),
     ] {
-        p.sample(
+        m.counter(
             "batsolv_outcomes_total",
+            "Terminal request outcomes, by kind.",
             &[("outcome", outcome)],
             count as f64,
         );
     }
-    p.counter(
+    m.counter(
         "batsolv_requests_completed_total",
         "Requests that reached any terminal outcome.",
-        s.completed(),
+        &[],
+        s.completed() as f64,
     );
 
-    p.counter(
+    m.counter(
         "batsolv_batches_formed_total",
         "Fused batches dispatched.",
-        s.batches_formed,
-    );
-    p.gauge(
+        &[],
+        s.batches_formed as f64,
+    )
+    .gauge(
         "batsolv_batch_size_mean",
         "Mean batch size across dispatched batches.",
+        &[],
         s.mean_batch_size(),
     );
-    p.family(
-        "batsolv_batch_size_bucket",
-        "histogram",
-        "Power-of-two batch-size histogram (bucket k counts sizes in [2^k, 2^(k+1))).",
-    );
-    for (k, &count) in s.batch_size_hist.iter().enumerate() {
-        let le = format!("{}", (1u64 << (k + 1)) - 1);
-        p.sample("batsolv_batch_size_bucket", &[("le", &le)], count as f64);
-    }
 
-    p.family(
-        "batsolv_rungs_attempted_total",
-        "counter",
-        "Requests by number of escalation rungs their dispatch attempted.",
+    // Proper cumulative histogram over the power-of-two batch-size
+    // buckets. The sum of sizes across batches equals the number of
+    // dispatched requests, which the snapshot tracks exactly.
+    let dispatched =
+        s.converged_iterative + s.converged_gmres + s.converged_fallback + s.failed_not_converged;
+    let les: Vec<String> = (0..s.batch_size_hist.len())
+        .map(|k| format!("{}", (1u64 << (k + 1)) - 1))
+        .collect();
+    let mut cum = 0.0;
+    let cumulative: Vec<(&str, f64)> = s
+        .batch_size_hist
+        .iter()
+        .zip(&les)
+        .map(|(&count, le)| {
+            cum += count as f64;
+            (le.as_str(), cum)
+        })
+        .collect();
+    m.histogram_from_buckets(
+        "batsolv_batch_size",
+        "Batch sizes of dispatched fused launches (power-of-two buckets).",
+        &[],
+        &cumulative,
+        s.batches_formed as f64,
+        dispatched as f64,
     );
+
     for (k, &count) in s.rung_hist.iter().enumerate() {
         let rungs = format!("{}", k + 1);
-        p.sample(
+        m.counter(
             "batsolv_rungs_attempted_total",
-            &[("rungs", &rungs)],
+            "Requests by number of escalation rungs their dispatch attempted.",
+            &[("rungs", rungs.as_str())],
             count as f64,
         );
     }
 
     if !s.breakdowns.is_empty() {
-        p.family(
-            "batsolv_breakdowns_total",
-            "counter",
-            "Terminal solver breakdowns, by tag.",
-        );
         for (tag, &count) in &s.breakdowns {
-            p.sample("batsolv_breakdowns_total", &[("kind", tag)], count as f64);
+            m.counter(
+                "batsolv_breakdowns_total",
+                "Terminal solver breakdowns, by tag.",
+                &[("kind", tag)],
+                count as f64,
+            );
         }
     }
 
-    p.counter(
+    m.counter(
         "batsolv_breaker_trips_total",
         "Circuit-breaker trips (closed/half-open to open transitions).",
-        s.breaker_trips,
-    );
-    p.counter(
+        &[],
+        s.breaker_trips as f64,
+    )
+    .counter(
         "batsolv_watchdog_stalls_total",
         "Dispatches flagged by the watchdog as exceeding the time budget.",
-        s.watchdog_stalls,
-    );
-    p.counter(
+        &[],
+        s.watchdog_stalls as f64,
+    )
+    .counter(
         "batsolv_worker_respawns_total",
         "Times the supervisor respawned a panicked worker.",
-        s.worker_respawns,
+        &[],
+        s.worker_respawns as f64,
     );
 
-    p.gauge(
+    m.gauge(
         "batsolv_queue_wait_p50_us",
         "Median queue wait across dispatched requests, microseconds.",
+        &[],
         s.queue_wait_p50.as_secs_f64() * 1e6,
-    );
-    p.gauge(
+    )
+    .gauge(
         "batsolv_queue_wait_p99_us",
         "99th-percentile queue wait across dispatched requests, microseconds.",
+        &[],
         s.queue_wait_p99.as_secs_f64() * 1e6,
-    );
-    p.counter(
+    )
+    .counter(
         "batsolv_solver_iterations_total",
         "Total iterative-solver iterations spent.",
-        s.solver_iterations_total,
-    );
-    p.gauge(
+        &[],
+        s.solver_iterations_total as f64,
+    )
+    .gauge(
         "batsolv_solver_iterations_max",
         "Worst single-system iteration count.",
+        &[],
         s.solver_iterations_max as f64,
-    );
-    p.gauge(
+    )
+    .gauge(
         "batsolv_sim_kernel_time_seconds",
         "Total simulated kernel time across dispatched batches.",
+        &[],
         s.sim_time_total_s,
-    );
-    p.counter(
+    )
+    .counter(
         "batsolv_sim_syncs_total",
         "Total simulated synchronization points across dispatched batches.",
-        s.sim_syncs_total,
-    );
-    p.counter(
+        &[],
+        s.sim_syncs_total as f64,
+    )
+    .counter(
         "batsolv_sim_reductions_total",
         "Total simulated reduction trees (exposed + hidden) across dispatched batches.",
-        s.sim_reductions_total,
+        &[],
+        s.sim_reductions_total as f64,
     );
     if !s.solver.is_empty() {
-        p.family(
+        m.gauge(
             "batsolv_solver_info",
-            "gauge",
             "Configured rung-1 solver variant (constant 1, variant in the label).",
+            &[("solver", s.solver)],
+            1.0,
         );
-        p.sample("batsolv_solver_info", &[("solver", s.solver)], 1.0);
     }
-    p.finish()
+
+    if let Some(classes) = classes {
+        render_class_series(&mut m, "batsolv", classes);
+    }
+    m.render()
+}
+
+/// Append the per-class request/latency/SLO series under `prefix`.
+/// Shared with the fleet exporter (prefix `batsolv_fleet`) so both
+/// surfaces expose the identical per-class schema.
+pub fn render_class_series(m: &mut MetricsRegistry, prefix: &str, classes: &ClassesSnapshot) {
+    let requests = format!("{prefix}_class_requests_total");
+    let latency = format!("{prefix}_class_latency_us");
+    let hist = format!("{prefix}_class_latency_histogram_us");
+    let hit_ratio = format!("{prefix}_class_deadline_hit_ratio");
+    let burn = format!("{prefix}_slo_burn_rate");
+    for c in &classes.classes {
+        let name = c.class.name();
+        m.counter(
+            &requests,
+            "Terminal requests per workload class.",
+            &[("class", name)],
+            c.count as f64,
+        );
+        for (q, v) in [("0.5", c.p50_us), ("0.99", c.p99_us)] {
+            m.gauge(
+                &latency,
+                "End-to-end latency quantiles per workload class, microseconds.",
+                &[("class", name), ("quantile", q)],
+                v as f64,
+            );
+        }
+        m.gauge(
+            &hit_ratio,
+            "Fraction of deadline-carrying requests that met their deadline.",
+            &[("class", name)],
+            c.deadline_hit_ratio(),
+        );
+        for (&(window, _), &rate) in SLO_WINDOWS.iter().zip(&c.burn_rates) {
+            m.gauge(
+                &burn,
+                "Deadline-SLO burn rate (miss rate over error budget) per window.",
+                &[("class", name), ("window", window)],
+                rate,
+            );
+        }
+        if !c.samples_us.is_empty() {
+            m.log_histogram_us(
+                &hist,
+                "End-to-end latency per workload class (power-of-two buckets, \
+                 microseconds); the tail bucket carries the slowest request's \
+                 trace id as an exemplar.",
+                &[("class", name)],
+                &c.samples_us,
+                c.slowest,
+            );
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classes::ClassTracker;
     use crate::stats::StatsRegistry;
-    use batsolv_trace::parse_prom_value;
+    use batsolv_trace::{
+        check_prom_conformance, parse_prom_labeled, parse_prom_value, WorkloadClass,
+    };
     use std::time::Duration;
 
     #[test]
@@ -235,6 +328,21 @@ mod tests {
             parse_prom_value(&page, "batsolv_breaker_trips_total"),
             Some(1.0)
         );
+        // Batch-size histogram: size 2 lands in the le="3" bucket and the
+        // buckets are cumulative.
+        assert_eq!(
+            parse_prom_labeled(&page, "batsolv_batch_size_bucket", &[("le", "1")]),
+            Some(0.0)
+        );
+        assert_eq!(
+            parse_prom_labeled(&page, "batsolv_batch_size_bucket", &[("le", "3")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            parse_prom_labeled(&page, "batsolv_batch_size_bucket", &[("le", "+Inf")]),
+            Some(1.0)
+        );
+        assert_eq!(parse_prom_value(&page, "batsolv_batch_size_sum"), Some(2.0));
     }
 
     #[test]
@@ -245,7 +353,7 @@ mod tests {
             "batsolv_requests_rejected_total",
             "batsolv_outcomes_total",
             "batsolv_batches_formed_total",
-            "batsolv_batch_size_bucket",
+            "batsolv_batch_size",
             "batsolv_queue_wait_p50_us",
             "batsolv_sim_kernel_time_seconds",
         ] {
@@ -260,5 +368,65 @@ mod tests {
             parse_prom_value(&page, "batsolv_requests_accepted_total"),
             Some(0.0)
         );
+    }
+
+    #[test]
+    fn page_is_exposition_conformant_with_and_without_classes() {
+        let r = StatsRegistry::new();
+        r.on_accepted();
+        r.on_batch(
+            1,
+            &[Duration::from_micros(10)],
+            &[5],
+            crate::stats::BatchOutcomes {
+                converged_iterative: 1,
+                rungs_attempted: vec![1],
+                ..Default::default()
+            },
+            1e-6,
+        );
+        let s = r.snapshot();
+        check_prom_conformance(&prometheus_text(&s)).expect("classless page conforms");
+
+        let t = ClassTracker::new();
+        t.observe(WorkloadClass::IonLike, 120, Some(3), Some(true));
+        t.observe(WorkloadClass::ElectronLike, 9_000, Some(4), Some(false));
+        let page = prometheus_text_with_classes(&s, Some(&t.snapshot()));
+        check_prom_conformance(&page).expect("class page conforms");
+        assert_eq!(
+            parse_prom_labeled(
+                &page,
+                "batsolv_class_requests_total",
+                &[("class", "ion-like")]
+            ),
+            Some(1.0)
+        );
+        assert_eq!(
+            parse_prom_labeled(
+                &page,
+                "batsolv_class_latency_us",
+                &[("class", "ion-like"), ("quantile", "0.99")]
+            ),
+            Some(120.0)
+        );
+        assert_eq!(
+            parse_prom_labeled(
+                &page,
+                "batsolv_class_deadline_hit_ratio",
+                &[("class", "electron-like")]
+            ),
+            Some(0.0)
+        );
+        assert!(
+            parse_prom_labeled(
+                &page,
+                "batsolv_slo_burn_rate",
+                &[("class", "electron-like"), ("window", "1m")]
+            )
+            .unwrap()
+                > 1.0
+        );
+        // The slow request's trace id rides the tail bucket as an exemplar.
+        assert!(page.contains("trace_id=\"4\""), "{page}");
     }
 }

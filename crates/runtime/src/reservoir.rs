@@ -101,6 +101,24 @@ impl Reservoir {
     }
 }
 
+/// Nearest-rank percentile of a **sorted** microsecond sample slice,
+/// shared by every stats surface (runtime snapshot, fleet snapshot,
+/// Prometheus pages) so the quantile convention cannot drift.
+///
+/// The index is `round((n − 1) · p)` with Rust's round-half-away-from-
+/// zero semantics. Documented edge cases:
+///
+/// * empty slice → `0` (there is no sample to report);
+/// * a single sample is every percentile;
+/// * two samples at p50 → the **larger** one (`round(0.5) = 1`).
+pub fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +179,36 @@ mod tests {
         r.push(7);
         assert_eq!(r.capacity(), 1);
         assert_eq!(r.samples(), &[7]);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile_us(&[], p), 0);
+        }
+    }
+
+    #[test]
+    fn percentile_of_singleton_is_the_sample() {
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile_us(&[777], p), 777);
+        }
+    }
+
+    #[test]
+    fn percentile_of_two_samples_rounds_up_at_p50() {
+        // round((2−1)·0.5) = round(0.5) = 1: the larger sample. This is
+        // the convention every surface must agree on.
+        assert_eq!(percentile_us(&[10, 20], 0.5), 20);
+        assert_eq!(percentile_us(&[10, 20], 0.0), 10);
+        assert_eq!(percentile_us(&[10, 20], 0.99), 20);
+    }
+
+    #[test]
+    fn percentile_matches_nearest_rank_on_longer_streams() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&sorted, 0.50), 51); // round(99·0.5) = 50
+        assert_eq!(percentile_us(&sorted, 0.99), 99); // round(99·0.99) = 98
+        assert_eq!(percentile_us(&sorted, 1.0), 100);
     }
 }

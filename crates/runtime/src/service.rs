@@ -18,13 +18,14 @@ use std::time::{Duration, Instant};
 
 use batsolv_formats::SparsityPattern;
 use batsolv_gpusim::LaunchHook;
-use batsolv_trace::{EventKind, Tracer};
+use batsolv_trace::{classify, EventKind, PhaseLedger, Tracer};
 use batsolv_types::{Error, Result};
 
 use crate::admission::{AdmissionGate, RejectReason};
 use crate::breaker::CircuitBreaker;
+use crate::classes::{ClassTracker, ClassesSnapshot};
 use crate::config::RuntimeConfig;
-use crate::dispatcher::{BatchItem, LadderConfig, LadderEngine, SolveEngine};
+use crate::dispatcher::{BatchItem, LadderConfig, LadderEngine, SimSplit, SolveEngine};
 use crate::former::{BatchFormer, FlushReason};
 use crate::queue::{BoundedQueue, PopResult, PushResult};
 use crate::request::{Solution, SolveError, SolveOutcome, SolveRequest, SubmitError, Ticket};
@@ -36,18 +37,75 @@ struct Pending {
     item: BatchItem,
     deadline: Option<Duration>,
     enqueued_at: Instant,
+    /// Time spent in admission (shape/finiteness/breaker checks) before
+    /// the request entered the queue.
+    admission: Duration,
+    /// When the worker popped it from the queue (queue→linger boundary).
+    popped_at: Option<Instant>,
     reply: mpsc::Sender<SolveOutcome>,
 }
 
 struct Shared {
     queue: BoundedQueue<Pending>,
     stats: StatsRegistry,
+    classes: ClassTracker,
     watch: Arc<WatchState>,
     breaker: Option<CircuitBreaker>,
     tracer: Tracer,
     /// Monotonic batch sequence; lives here (not in the worker) so it
     /// survives worker respawns.
     batch_seq: AtomicU64,
+}
+
+/// Build one request's phase ledger at its terminal moment. The wall
+/// phases partition `[submit, now]`: admission, queue wait, linger
+/// (pop → dispatch), solve (dispatch → delivery), and `other` absorbs
+/// the residual so the phase-sum invariant holds exactly. The `sim_*`
+/// fields carry the per-item share of the dispatch's simulated solve
+/// split — a separate clock reported alongside the wall phases.
+#[allow(clippy::too_many_arguments)]
+fn build_ledger(
+    p: &Pending,
+    outcome: &'static str,
+    iterations: u32,
+    converged: bool,
+    dispatched_at: Option<Instant>,
+    sim: Option<&SimSplit>,
+    straggler: bool,
+    now: Instant,
+) -> PhaseLedger {
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    let mut ledger = PhaseLedger {
+        outcome,
+        class: classify(iterations, converged),
+        iterations,
+        straggler,
+        deadline: p.deadline.map(|_| outcome != "deadline_exceeded"),
+        end_to_end_us: us(now.saturating_duration_since(p.enqueued_at) + p.admission),
+        admission_us: us(p.admission),
+        ..PhaseLedger::default()
+    };
+    let queue_end = p.popped_at.unwrap_or(now).min(now);
+    ledger.queue_us = us(queue_end.saturating_duration_since(p.enqueued_at));
+    if let (Some(popped), Some(dispatched)) = (p.popped_at, dispatched_at) {
+        ledger.linger_us = us(dispatched.saturating_duration_since(popped));
+        ledger.solve_us = us(now.saturating_duration_since(dispatched));
+    }
+    if let Some(sim) = sim {
+        ledger.sim_spmv_us = sim.spmv_us;
+        ledger.sim_reduction_us = sim.reduction_us;
+        ledger.sim_sync_us = sim.sync_us;
+        ledger.sim_transfer_us = sim.transfer_us;
+    }
+    ledger.close();
+    ledger
+}
+
+/// Emit the ledger event and feed the class tracker — the single point
+/// every terminal outcome funnels through.
+fn record_terminal(shared: &Shared, id: u64, ledger: PhaseLedger) {
+    shared.classes.observe_ledger(Some(id), &ledger);
+    shared.tracer.emit(Some(id), EventKind::Ledger(ledger));
 }
 
 /// Multi-threaded dynamic-batching solve service.
@@ -112,6 +170,7 @@ impl SolveService {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             stats: StatsRegistry::new(),
+            classes: ClassTracker::new(),
             watch: Arc::new(WatchState::new()),
             breaker: config.breaker.map(CircuitBreaker::new),
             tracer: config.tracer.clone(),
@@ -170,6 +229,7 @@ impl SolveService {
     /// with healthy work, and an open circuit breaker sheds load with
     /// [`SubmitError::CircuitOpen`].
     pub fn submit(&self, request: SolveRequest) -> std::result::Result<Ticket, SubmitError> {
+        let submit_started = Instant::now();
         let nnz = self.pattern.nnz();
         let n = self.pattern.num_rows();
         let reject = |reason: &'static str| {
@@ -242,6 +302,8 @@ impl SolveService {
             },
             deadline: request.deadline,
             enqueued_at: Instant::now(),
+            admission: submit_started.elapsed(),
+            popped_at: None,
             reply: tx,
         };
         match self.shared.queue.try_push(pending) {
@@ -271,6 +333,17 @@ impl SolveService {
     /// Point-in-time copy of the service counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// Point-in-time per-workload-class latency/SLO statistics.
+    pub fn classes(&self) -> ClassesSnapshot {
+        self.shared.classes.snapshot()
+    }
+
+    /// The full Prometheus metrics page: service counters plus the
+    /// per-class latency, deadline, and burn-rate series.
+    pub fn prometheus(&self) -> String {
+        crate::metrics::prometheus_text_with_classes(&self.stats(), Some(&self.classes()))
     }
 
     /// Stop accepting work, drain everything already queued, and join
@@ -358,7 +431,8 @@ fn worker_loop(
             None => Duration::from_millis(100),
         };
         match shared.queue.pop_wait(timeout) {
-            PopResult::Item(p) => {
+            PopResult::Item(mut p) => {
+                p.popped_at = Some(Instant::now());
                 let stamp = now_ns(p.enqueued_at.max(epoch));
                 former.push(p, stamp);
                 // Greedily drain the backlog that piled up while the
@@ -367,7 +441,8 @@ fn worker_loop(
                 // a time instead of fused into full batches.
                 while former.len() < config.batch_target {
                     match shared.queue.pop_wait(Duration::ZERO) {
-                        PopResult::Item(p) => {
+                        PopResult::Item(mut p) => {
+                            p.popped_at = Some(Instant::now());
                             let stamp = now_ns(p.enqueued_at.max(epoch));
                             former.push(p, stamp);
                         }
@@ -410,6 +485,7 @@ fn trace_batch_formed(shared: &Shared, size: usize, reason: FlushReason) {
 
 /// Solve one formed batch and fulfill its tickets.
 fn dispatch(shared: &Shared, engine: &dyn SolveEngine, batch: Vec<Pending>) {
+    let dispatched_at = Instant::now();
     // Enforce queue-wait deadlines at the last moment before the solve:
     // expired requests get a structured error, not a wasted solve slot.
     let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
@@ -427,6 +503,17 @@ fn dispatch(shared: &Shared, engine: &dyn SolveEngine, batch: Vec<Pending>) {
                         rungs: 0,
                     },
                 );
+                let ledger = build_ledger(
+                    &p,
+                    "deadline_exceeded",
+                    0,
+                    false,
+                    None,
+                    None,
+                    false,
+                    Instant::now(),
+                );
+                record_terminal(shared, p.item.id, ledger);
                 let _ = p
                     .reply
                     .send(Err(SolveError::DeadlineExceeded { waited, deadline }));
@@ -445,7 +532,7 @@ fn dispatch(shared: &Shared, engine: &dyn SolveEngine, batch: Vec<Pending>) {
     if live.is_empty() {
         return;
     }
-    run_batch(shared, engine, live);
+    run_batch(shared, engine, live, dispatched_at);
 }
 
 /// Run one batch through the engine with panic/device-failure isolation.
@@ -455,7 +542,12 @@ fn dispatch(shared: &Shared, engine: &dyn SolveEngine, batch: Vec<Pending>) {
 /// request fails again *alone* and absorbs the blame, while every other
 /// member solves normally — a faulty neighbor never costs a healthy
 /// request its outcome.
-fn run_batch(shared: &Shared, engine: &dyn SolveEngine, live: Vec<Pending>) {
+fn run_batch(
+    shared: &Shared,
+    engine: &dyn SolveEngine,
+    live: Vec<Pending>,
+    dispatched_at: Instant,
+) {
     let items: Vec<BatchItem> = live.iter().map(|p| p.item.clone()).collect();
     let batch_size = items.len();
     shared.watch.begin();
@@ -464,12 +556,19 @@ fn run_batch(shared: &Shared, engine: &dyn SolveEngine, live: Vec<Pending>) {
     match solved {
         Ok(Ok(report)) => {
             shared.stats.on_sync_counts(report.syncs, report.reductions);
-            fulfill(shared, live, report.outcomes, report.sim_time_s)
+            fulfill(
+                shared,
+                live,
+                report.outcomes,
+                report.sim_time_s,
+                report.split,
+                dispatched_at,
+            )
         }
         Ok(Err(Error::DeviceFailure { code })) => {
             if batch_size > 1 {
                 for p in live {
-                    run_batch(shared, engine, vec![p]);
+                    run_batch(shared, engine, vec![p], dispatched_at);
                 }
             } else {
                 note_degraded_batch(shared, 1);
@@ -484,6 +583,17 @@ fn run_batch(shared: &Shared, engine: &dyn SolveEngine, live: Vec<Pending>) {
                             rungs: 0,
                         },
                     );
+                    let ledger = build_ledger(
+                        &p,
+                        "device_failure",
+                        0,
+                        false,
+                        Some(dispatched_at),
+                        None,
+                        false,
+                        Instant::now(),
+                    );
+                    record_terminal(shared, p.item.id, ledger);
                     let _ = p.reply.send(Err(SolveError::DeviceFailure { code }));
                 }
             }
@@ -507,6 +617,17 @@ fn run_batch(shared: &Shared, engine: &dyn SolveEngine, live: Vec<Pending>) {
                         rungs: 0,
                     },
                 );
+                let ledger = build_ledger(
+                    &p,
+                    "engine_failure",
+                    0,
+                    false,
+                    Some(dispatched_at),
+                    None,
+                    false,
+                    Instant::now(),
+                );
+                record_terminal(shared, p.item.id, ledger);
                 let _ = p.reply.send(Err(SolveError::NotConverged {
                     iterations: 0,
                     residual: f64::NAN,
@@ -530,7 +651,7 @@ fn run_batch(shared: &Shared, engine: &dyn SolveEngine, live: Vec<Pending>) {
         Err(payload) => {
             if batch_size > 1 {
                 for p in live {
-                    run_batch(shared, engine, vec![p]);
+                    run_batch(shared, engine, vec![p], dispatched_at);
                 }
             } else {
                 note_degraded_batch(shared, 1);
@@ -546,6 +667,17 @@ fn run_batch(shared: &Shared, engine: &dyn SolveEngine, live: Vec<Pending>) {
                             rungs: 0,
                         },
                     );
+                    let ledger = build_ledger(
+                        &p,
+                        "worker_panic",
+                        0,
+                        false,
+                        Some(dispatched_at),
+                        None,
+                        false,
+                        Instant::now(),
+                    );
+                    record_terminal(shared, p.item.id, ledger);
                     let _ = p.reply.send(Err(SolveError::WorkerPanic {
                         detail: detail.clone(),
                     }));
@@ -561,14 +693,25 @@ fn fulfill(
     live: Vec<Pending>,
     outcomes: Vec<crate::dispatcher::ItemOutcome>,
     sim_time_s: f64,
+    split: SimSplit,
+    dispatched_at: Instant,
 ) {
     let batch_size = live.len();
     debug_assert_eq!(outcomes.len(), batch_size);
     let waits: Vec<Duration> = live.iter().map(|p| p.enqueued_at.elapsed()).collect();
     let iterations: Vec<u32> = outcomes.iter().map(|o| o.iterations).collect();
+    // Straggler attribution: the fused launch runs until its slowest
+    // member converges, so the member with the most iterations set the
+    // batch's completion time (first such member on ties).
+    let straggler_idx = iterations
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &it)| (it, std::cmp::Reverse(i)))
+        .map(|(i, _)| i);
+    let item_sim = split.per_item(batch_size);
     let mut tally = BatchOutcomes::default();
     let mut degraded = 0usize;
-    for (p, o) in live.into_iter().zip(outcomes) {
+    for (idx, (p, o)) in live.into_iter().zip(outcomes).enumerate() {
         let wait = p.enqueued_at.elapsed();
         tally.rungs_attempted.push(o.rungs.len());
         let outcome_tag = if o.converged {
@@ -589,6 +732,17 @@ fn fulfill(
                 rungs: o.rungs.len(),
             },
         );
+        let ledger = build_ledger(
+            &p,
+            outcome_tag,
+            o.iterations,
+            o.converged,
+            Some(dispatched_at),
+            Some(&item_sim),
+            straggler_idx == Some(idx) && batch_size > 1,
+            Instant::now(),
+        );
+        record_terminal(shared, o.id, ledger);
         let outcome = if o.converged {
             match o.method {
                 crate::request::SolveMethod::Bicgstab => tally.converged_iterative += 1,

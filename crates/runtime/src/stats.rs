@@ -177,13 +177,7 @@ impl StatsRegistry {
         let s = self.sampled.lock().unwrap();
         let mut waits = s.wait_samples_us.samples().to_vec();
         waits.sort_unstable();
-        let pct = |p: f64| -> Duration {
-            if waits.is_empty() {
-                return Duration::ZERO;
-            }
-            let idx = ((waits.len() as f64 - 1.0) * p).round() as usize;
-            Duration::from_micros(waits[idx])
-        };
+        let pct = |p: f64| Duration::from_micros(crate::reservoir::percentile_us(&waits, p));
         StatsSnapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_full.load(Ordering::Relaxed),

@@ -12,6 +12,7 @@ use batsolv_runtime::{
     BatchItem, BatchReport, ItemOutcome, RuntimeConfig, SolveEngine, SolveError, SolveMethod,
     SolveRequest, SolveService, SubmitError,
 };
+use batsolv_trace::{EventKind, MemorySink, Tracer, WorkloadClass};
 use batsolv_types::Result;
 use batsolv_xgc::{Species, VelocityGrid, XgcWorkload};
 
@@ -72,6 +73,7 @@ impl SolveEngine for EchoEngine {
             syncs: 0,
             reductions: 0,
             solver: "echo",
+            split: batsolv_runtime::dispatcher::SimSplit::default(),
         })
     }
 }
@@ -297,4 +299,116 @@ fn fallback_disabled_yields_not_converged_error() {
     }
     let stats = service.shutdown();
     assert_eq!(stats.failed_not_converged, 1);
+}
+
+#[test]
+fn every_terminal_outcome_carries_a_balanced_ledger() {
+    let sink = Arc::new(MemorySink::new());
+    let engine = Arc::new(EchoEngine::new());
+    let config = RuntimeConfig::new(DeviceSpec::v100())
+        .with_batch_target(2)
+        .with_linger(Duration::from_millis(1))
+        .with_tracer(Tracer::new(sink.clone()));
+    let service = SolveService::start_with_engine(tiny_pattern(), config, engine).unwrap();
+
+    let plain = service.submit(tiny_request()).unwrap();
+    let bounded = service
+        .submit(tiny_request().with_deadline(Duration::from_secs(60)))
+        .unwrap();
+    assert!(plain.wait().is_ok());
+    assert!(bounded.wait().is_ok());
+
+    // Terminal requests land in the class tracker and the Prometheus page
+    // agrees with the snapshot it renders from.
+    let classes = service.classes();
+    assert_eq!(classes.total(), 2);
+    let ion = classes.get(WorkloadClass::IonLike);
+    assert_eq!(ion.count, 2, "echo engine converges in 1 iter: ion-like");
+    let page = service.prometheus();
+    assert_eq!(
+        batsolv_trace::parse_prom_labeled(
+            &page,
+            "batsolv_class_requests_total",
+            &[("class", "ion-like")],
+        ),
+        Some(2.0)
+    );
+    assert_eq!(
+        batsolv_trace::parse_prom_labeled(
+            &page,
+            "batsolv_class_latency_us",
+            &[("class", "ion-like"), ("quantile", "0.99")],
+        ),
+        Some(ion.p99_us as f64),
+        "page p99 must match the snapshot p99"
+    );
+
+    let _ = service.shutdown();
+    let ledgers: Vec<_> = sink
+        .snapshot()
+        .into_iter()
+        .filter_map(|ev| match ev.kind {
+            EventKind::Ledger(l) => Some((ev.trace_id, l)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ledgers.len(), 2, "exactly one ledger per terminal request");
+    for (trace_id, ledger) in &ledgers {
+        assert!(trace_id.is_some(), "ledgers are request-scoped");
+        assert!(ledger.end_to_end_us > 0.0);
+        assert!(
+            ledger.solve_us > 0.0,
+            "dispatched requests spend solve time"
+        );
+        assert!(
+            ledger.balanced_within(1.0),
+            "phase sum must match end-to-end: {ledger:?}"
+        );
+        assert_eq!(ledger.class, WorkloadClass::IonLike);
+        assert_eq!(ledger.iterations, 1);
+    }
+    // Exactly one request carried a deadline, and it met it.
+    let hits: Vec<_> = ledgers.iter().filter_map(|(_, l)| l.deadline).collect();
+    assert_eq!(hits, vec![true]);
+}
+
+#[test]
+fn expired_deadline_emits_an_undispatched_ledger() {
+    let sink = Arc::new(MemorySink::new());
+    let engine = Arc::new(EchoEngine::new());
+    // Same shape as `expired_deadline_returns_structured_error`: the
+    // doomed request lingers until the healthy one completes the batch.
+    let config = RuntimeConfig::new(DeviceSpec::v100())
+        .with_batch_target(2)
+        .with_linger(Duration::from_secs(3600))
+        .with_tracer(Tracer::new(sink.clone()));
+    let service = SolveService::start_with_engine(tiny_pattern(), config, engine).unwrap();
+
+    let doomed = service
+        .submit(tiny_request().with_deadline(Duration::ZERO))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    let healthy = service.submit(tiny_request()).unwrap();
+    assert!(doomed.wait().is_err());
+    assert!(healthy.wait().is_ok());
+    let _ = service.shutdown();
+
+    let ledgers: Vec<_> = sink
+        .snapshot()
+        .into_iter()
+        .filter_map(|ev| match ev.kind {
+            EventKind::Ledger(l) => Some(l),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ledgers.len(), 2);
+    let expired = ledgers
+        .iter()
+        .find(|l| l.outcome == "deadline_exceeded")
+        .expect("the doomed request must still get a ledger");
+    assert_eq!(expired.deadline, Some(false));
+    assert_eq!(expired.solve_us, 0.0, "never dispatched: no solve phase");
+    assert!(expired.queue_us > 0.0, "the wait happened in the queue");
+    assert!(expired.balanced_within(1.0), "unbalanced: {expired:?}");
+    assert!(ledgers.iter().any(|l| l.outcome != "deadline_exceeded"));
 }

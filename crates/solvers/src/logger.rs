@@ -83,6 +83,15 @@ impl<T: Scalar> ConvergenceHistory<T> {
     pub fn has_restart_boundary(&self) -> bool {
         self.residuals.windows(2).any(|w| w[0].0 == w[1].0)
     }
+
+    /// Workload class of the logged solve (the Table III taxonomy in
+    /// `batsolv-trace`): iteration count and convergence from
+    /// `log_finish`, plus the geometric-mean residual rate so a solve
+    /// whose residual was not shrinking is anomalous regardless of
+    /// where its iteration count landed.
+    pub fn workload_class(&self) -> batsolv_trace::WorkloadClass {
+        batsolv_trace::classify_with_rate(self.iterations, self.converged, self.mean_rate())
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +137,38 @@ mod tests {
     fn rate_of_short_history_is_nan() {
         let h = ConvergenceHistory::<f64>::default();
         assert!(h.mean_rate().is_nan());
+    }
+
+    #[test]
+    fn workload_class_bridges_the_table_iii_taxonomy() {
+        use batsolv_trace::WorkloadClass;
+        // Fast, shrinking residual: ion-like.
+        let mut ion = ConvergenceHistory::<f64>::default();
+        for (i, r) in [1.0, 1e-4, 1e-8].iter().enumerate() {
+            ion.log_iteration(i as u32 + 1, *r);
+        }
+        ion.log_finish(3, 1e-8, true);
+        assert_eq!(ion.workload_class(), WorkloadClass::IonLike);
+        // Electron-band iteration count.
+        let mut ele = ConvergenceHistory::<f64>::default();
+        for i in 0..35u32 {
+            ele.log_iteration(i + 1, 0.5f64.powi(i as i32));
+        }
+        ele.log_finish(35, 1e-10, true);
+        assert_eq!(ele.workload_class(), WorkloadClass::ElectronLike);
+        // Ion-band iteration count but a non-shrinking residual: the
+        // rate signal overrides the count.
+        let mut stuck = ConvergenceHistory::<f64>::default();
+        for (i, r) in [1.0, 2.0, 4.0].iter().enumerate() {
+            stuck.log_iteration(i as u32 + 1, *r);
+        }
+        stuck.log_finish(3, 4.0, true);
+        assert_eq!(stuck.workload_class(), WorkloadClass::Anomalous);
+        // Non-convergence is anomalous even with a shrinking residual.
+        let mut failed = ConvergenceHistory::<f64>::default();
+        failed.log_iteration(1, 1.0);
+        failed.log_iteration(2, 0.9);
+        failed.log_finish(2, 0.9, false);
+        assert_eq!(failed.workload_class(), WorkloadClass::Anomalous);
     }
 }

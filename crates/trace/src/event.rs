@@ -11,6 +11,8 @@
 //! Serialization is hand-rolled JSON — the offline build has no serde,
 //! and the format is small enough that a line writer is clearer anyway.
 
+use crate::ledger::PhaseLedger;
+
 /// Identifier tying events to the request that caused them. Equal to the
 /// service's `RequestId` — one id namespace, no translation table.
 pub type TraceId = u64;
@@ -262,6 +264,11 @@ pub enum EventKind {
         /// Level after the shift.
         to: u8,
     },
+    /// The owning request's complete latency attribution, emitted
+    /// alongside its terminal outcome. The wall phases partition
+    /// `[submitted, terminal]`; the `sim_*` fields split the solve phase
+    /// on the simulated-device clock (see [`crate::ledger`]).
+    Ledger(PhaseLedger),
     /// The circuit breaker tripped open.
     BreakerTrip,
     /// The watchdog flagged a dispatch past its budget.
@@ -306,6 +313,7 @@ impl EventKind {
             EventKind::HedgeWon { .. } => "hedge_won",
             EventKind::Shed { .. } => "shed",
             EventKind::DegradeShift { .. } => "degrade_shift",
+            EventKind::Ledger(..) => "ledger",
             EventKind::BreakerTrip => "breaker_trip",
             EventKind::WatchdogStall { .. } => "watchdog_stall",
             EventKind::WorkerRespawn => "worker_respawn",
@@ -583,6 +591,7 @@ impl TraceEvent {
             EventKind::DegradeShift { from, to } => {
                 f.push_str(&format!(",\"from\":{from},\"to\":{to}"));
             }
+            EventKind::Ledger(ledger) => f.push_str(&ledger.json_fields()),
             EventKind::WatchdogStall { budget_us } => {
                 f.push_str(&format!(",\"budget_us\":{budget_us}"));
             }
@@ -724,6 +733,16 @@ mod tests {
                 level: 2,
             },
             EventKind::DegradeShift { from: 0, to: 1 },
+            EventKind::Ledger(crate::ledger::PhaseLedger {
+                outcome: "converged_bicgstab",
+                class: crate::ledger::WorkloadClass::IonLike,
+                iterations: 5,
+                deadline: Some(true),
+                end_to_end_us: 1000.0,
+                queue_us: 400.0,
+                solve_us: 600.0,
+                ..crate::ledger::PhaseLedger::default()
+            }),
             EventKind::BreakerTrip,
             EventKind::WatchdogStall { budget_us: 5000 },
             EventKind::WorkerRespawn,

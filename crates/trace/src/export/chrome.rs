@@ -52,6 +52,17 @@ fn instant(name: &str, pid: u64, tid: u64, ts_us: f64, args: &str) -> String {
     )
 }
 
+/// Flow event (`ph:"s"` start / `ph:"f"` finish): the arrow stitching a
+/// retry or hedge across shard lanes. Start and finish share an `id`.
+fn flow(name: &str, id: u64, ph: &str, pid: u64, tid: u64, ts_us: f64) -> String {
+    let bind = if ph == "f" { ",\"bp\":\"e\"" } else { "" };
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"id\":{id},\"pid\":{pid},\"tid\":{tid},\
+         \"ts\":{ts_us:?}{bind}}}",
+        json_escape(name),
+    )
+}
+
 fn metadata(pid: u64, process_name: &str) -> String {
     format!(
         "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
@@ -82,6 +93,10 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
     // kernels and transfers advance its own lane independently.
     let mut sim_cursor_us: HashMap<u32, f64> = HashMap::new();
     let mut shards_seen: BTreeSet<u32> = BTreeSet::new();
+    // Flow-arrow state: monotone flow ids, plus fired hedges awaiting
+    // their `hedge_won` closing edge, keyed by the unordered shard pair.
+    let mut flow_seq: u64 = 0;
+    let mut open_hedges: HashMap<(u32, u32), u64> = HashMap::new();
 
     for ev in events {
         let ts = ev.t_us as f64;
@@ -341,6 +356,26 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                         json_escape(reason)
                     ),
                 ));
+                // Stitch the re-route across lanes: an arrow from the
+                // failing dispatch to where the retried chunk lands
+                // after its backoff sleep.
+                flow_seq += 1;
+                out.push(flow(
+                    &format!("retry #{attempt}: {from} -> {to}"),
+                    flow_seq,
+                    "s",
+                    PID_REQUESTS,
+                    TID_SERVICE,
+                    ts,
+                ));
+                out.push(flow(
+                    &format!("retry #{attempt}: {from} -> {to}"),
+                    flow_seq,
+                    "f",
+                    PID_REQUESTS,
+                    TID_SERVICE,
+                    ts + *backoff_us as f64,
+                ));
             }
             EventKind::HedgeFired {
                 primary,
@@ -358,6 +393,19 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                          \"age_us\":{age_us}"
                     ),
                 ));
+                // Open a flow arrow from the straggling primary; the
+                // matching `hedge_won` edge closes it at the winner.
+                flow_seq += 1;
+                let key = (*primary.min(hedge), *primary.max(hedge));
+                open_hedges.insert(key, flow_seq);
+                out.push(flow(
+                    &format!("hedge: {primary} -> {hedge}"),
+                    flow_seq,
+                    "s",
+                    PID_REQUESTS,
+                    TID_SERVICE,
+                    ts,
+                ));
             }
             EventKind::HedgeWon {
                 winner,
@@ -371,6 +419,17 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     ts,
                     &format!("\"winner\":{winner},\"loser\":{loser},\"size\":{size}"),
                 ));
+                let key = (*winner.min(loser), *winner.max(loser));
+                if let Some(id) = open_hedges.remove(&key) {
+                    out.push(flow(
+                        &format!("hedge won: {winner}"),
+                        id,
+                        "f",
+                        PID_REQUESTS,
+                        TID_SERVICE,
+                        ts,
+                    ));
+                }
             }
             EventKind::Shed { shard, size, level } => {
                 out.push(instant(
@@ -390,9 +449,12 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     &format!("\"from\":{from},\"to\":{to}"),
                 ));
             }
-            // Per-iteration residuals and queue plumbing stay in the
-            // JSONL log; as Chrome spans they would only be noise.
-            EventKind::Dequeued { .. } | EventKind::SolverIteration { .. } => {}
+            // Per-iteration residuals, queue plumbing, and the terminal
+            // ledger summary stay in the JSONL log; as Chrome spans they
+            // would only be noise.
+            EventKind::Dequeued { .. }
+            | EventKind::SolverIteration { .. }
+            | EventKind::Ledger(..) => {}
         }
     }
 
@@ -646,5 +708,65 @@ mod tests {
         );
         assert!(doc.contains("spill -> cpu pool (5 < 8)"), "{doc}");
         validate_json(&doc).unwrap();
+    }
+
+    #[test]
+    fn retries_emit_flow_arrows_spanning_the_backoff() {
+        let events = vec![TraceEvent {
+            t_us: 100,
+            trace_id: None,
+            kind: EventKind::RetryAttempt {
+                from: 0,
+                to: 2,
+                size: 8,
+                attempt: 2,
+                backoff_us: 1500,
+                reason: "device_failure",
+            },
+        }];
+        let doc = chrome_trace(&events);
+        assert!(doc.contains("\"ph\":\"s\",\"id\":1"), "{doc}");
+        assert!(doc.contains("\"ph\":\"f\",\"id\":1"), "{doc}");
+        // Finish edge lands after the deterministic backoff sleep.
+        assert!(doc.contains("\"ts\":1600.0,\"bp\":\"e\""), "{doc}");
+        validate_json(&doc).unwrap();
+    }
+
+    #[test]
+    fn hedge_flows_close_on_the_winning_shard() {
+        let events = vec![
+            TraceEvent {
+                t_us: 10,
+                trace_id: None,
+                kind: EventKind::HedgeFired {
+                    primary: 0,
+                    hedge: 1,
+                    size: 16,
+                    age_us: 40_000,
+                },
+            },
+            TraceEvent {
+                t_us: 90,
+                trace_id: None,
+                kind: EventKind::HedgeWon {
+                    winner: 1,
+                    loser: 0,
+                    size: 16,
+                },
+            },
+        ];
+        let doc = chrome_trace(&events);
+        assert!(
+            doc.contains("\"name\":\"hedge: 0 -> 1\",\"ph\":\"s\",\"id\":1"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("\"name\":\"hedge won: 1\",\"ph\":\"f\",\"id\":1"),
+            "{doc}"
+        );
+        validate_json(&doc).unwrap();
+        // A hedge that never wins leaves no dangling finish edge.
+        let unclosed = chrome_trace(&events[..1]);
+        assert!(!unclosed.contains("\"ph\":\"f\""), "{unclosed}");
     }
 }

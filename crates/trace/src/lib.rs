@@ -35,9 +35,21 @@
 //! `chrome://tracing` timeline (wall-clock request spans + cumulative
 //! sim-time device lanes), and [`export::prom`] Prometheus text pages.
 
+//! # Latency attribution
+//!
+//! [`ledger`] decomposes each request's end-to-end wall time into a
+//! phase partition (queue, linger, transit, backoff, hedge, solve,
+//! spill, …) with a phase-sum invariant, plus the Table III workload
+//! classifier (ion-like / electron-like / anomalous) that labels every
+//! downstream observation. [`metrics`] is the typed registry both
+//! Prometheus pages are built from, with log-bucketed histograms,
+//! exemplar trace ids, and SLO burn-rate windows.
+
 pub mod event;
 pub mod export;
 pub mod flight;
+pub mod ledger;
+pub mod metrics;
 pub mod sink;
 pub mod tracer;
 
@@ -45,7 +57,12 @@ pub use event::{json_escape, EventKind, TraceEvent, TraceId};
 pub use export::chrome::chrome_trace;
 pub use export::json::validate_json;
 pub use export::jsonl::{to_jsonl, write_jsonl, JsonlFileSink};
-pub use export::prom::{parse_prom_value, PromText};
+pub use export::prom::{check_prom_conformance, parse_prom_labeled, parse_prom_value, PromText};
 pub use flight::{FlightDump, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use ledger::{
+    classify, classify_with_rate, LedgerAggregator, LedgerReport, PhaseLedger, WorkloadClass,
+    CLASS_COUNT, ELECTRON_ITER_MAX, ION_ITER_MAX, SIM_PHASES, WALL_PHASES,
+};
+pub use metrics::{MetricsRegistry, SloWindow, DEFAULT_SLO_TARGET, SLO_WINDOWS};
 pub use sink::{FanoutSink, MemorySink, NoopSink, TraceSink};
 pub use tracer::Tracer;
