@@ -18,7 +18,7 @@ use std::process::ExitCode;
 
 use batsolv_bench::perf::baseline::Baseline;
 use batsolv_bench::perf::{
-    validate_artifact, PerfRun, FLEET_REQUIRED, SOLVE_REQUIRED, SPMV_REQUIRED,
+    validate_artifact, PerfRun, FLEET_REQUIRED, PRECOND_REQUIRED, SOLVE_REQUIRED, SPMV_REQUIRED,
 };
 
 struct Args {
@@ -173,15 +173,35 @@ fn main() -> ExitCode {
         run.fleet.steals
     );
 
+    for c in &run.precond.cells {
+        println!(
+            "  precond {:13} {:12} b={:<4} iters {:3}   sim {:8.3} ms   \
+             {:5.1} syncs/iter   apply {:6.3} us{}",
+            c.fill,
+            c.precond,
+            c.batch,
+            c.max_iterations,
+            c.sim_ms,
+            c.syncs_per_iteration,
+            c.apply_sim_us,
+            if c.all_converged {
+                ""
+            } else {
+                "  [NOT CONVERGED]"
+            }
+        );
+    }
+
     if let Err(e) = run.write_artifacts(&args.out_dir) {
         eprintln!("batsolv-bench: writing artifacts failed: {e}");
         return ExitCode::FAILURE;
     }
     println!(
-        "wrote {}, {} and {}",
+        "wrote {}, {}, {} and {}",
         args.out_dir.join("BENCH_spmv.json").display(),
         args.out_dir.join("BENCH_solve.json").display(),
-        args.out_dir.join("BENCH_fleet.json").display()
+        args.out_dir.join("BENCH_fleet.json").display(),
+        args.out_dir.join("BENCH_precond.json").display()
     );
 
     // Self-validate what we just wrote (the same check CI applies).
@@ -189,6 +209,11 @@ fn main() -> ExitCode {
         ("BENCH_spmv.json", "batsolv-bench/spmv/v1", SPMV_REQUIRED),
         ("BENCH_solve.json", "batsolv-bench/solve/v1", SOLVE_REQUIRED),
         ("BENCH_fleet.json", "batsolv-bench/fleet/v1", FLEET_REQUIRED),
+        (
+            "BENCH_precond.json",
+            "batsolv-bench/precond/v1",
+            PRECOND_REQUIRED,
+        ),
     ] {
         match validate_artifact(&args.out_dir.join(file), schema, required) {
             Ok(rows) => println!("validated {file}: {rows} result rows"),
@@ -207,6 +232,22 @@ fn main() -> ExitCode {
         let violations = run.solve.acceptance_violations(64, 1.3);
         if violations.is_empty() {
             println!("acceptance: PASS (pipelined variants >= 1.3x at batch 64)");
+        } else {
+            eprintln!("acceptance: FAIL — {} violation(s):", violations.len());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+        // The preconditioner-ladder bar: ILU(0) cuts electron-like
+        // iterations >= 2x while the device model charges its
+        // level-scheduled applies more than Jacobi's.
+        let violations = run.precond.acceptance_violations(2.0);
+        if violations.is_empty() {
+            println!(
+                "acceptance: PASS (ilu0 >= 2x electron-like iteration cut, \
+                 per-level barriers charged)"
+            );
         } else {
             eprintln!("acceptance: FAIL — {} violation(s):", violations.len());
             for v in &violations {

@@ -10,10 +10,13 @@
 //!   story);
 //! * [`fleet`] — the same workload sharded over a multi-device
 //!   `batsolv-fleet` range (the serving story: per-shard throughput,
-//!   fleet makespan, CPU spill, steal counts).
+//!   fleet makespan, CPU spill, steal counts);
+//! * [`precond`] — BiCGSTAB under every rung of the batched
+//!   preconditioner ladder on ion-like and electron-like fills (the
+//!   iteration-reduction vs per-apply-barrier trade of batched ILU(0)).
 //!
 //! Results land in `BENCH_spmv.json` / `BENCH_solve.json` /
-//! `BENCH_fleet.json`; the
+//! `BENCH_fleet.json` / `BENCH_precond.json`; the
 //! deterministic subset is gated against the committed baseline in
 //! `crates/bench/baselines/bench_baseline.json` by [`baseline`]. See
 //! README "Benchmarking" for the schema.
@@ -21,6 +24,7 @@
 pub mod baseline;
 pub mod fleet;
 pub mod json;
+pub mod precond;
 pub mod solve;
 pub mod spmv;
 
@@ -49,6 +53,7 @@ pub struct PerfRun {
     pub spmv: spmv::SpmvSweep,
     pub solve: solve::SolveSweep,
     pub fleet: fleet::FleetSweep,
+    pub precond: precond::PrecondSweep,
     pub device: DeviceSpec,
     pub quick: bool,
 }
@@ -69,6 +74,7 @@ impl PerfRun {
             spmv: spmv::run(&device, quick)?,
             solve: solve::run(&device, quick, solver_filter)?,
             fleet: fleet::run(quick)?,
+            precond: precond::run(&device, quick)?,
             device,
             quick,
         })
@@ -89,6 +95,10 @@ impl PerfRun {
             out_dir.join("BENCH_fleet.json"),
             self.fleet.to_json(&self.device, self.quick).pretty(),
         )?;
+        std::fs::write(
+            out_dir.join("BENCH_precond.json"),
+            self.precond.to_json(&self.device, self.quick).pretty(),
+        )?;
         Ok(())
     }
 
@@ -99,6 +109,9 @@ impl PerfRun {
         let (fleet_lower, fleet_higher) = self.fleet.gate_metrics();
         lower.extend(fleet_lower);
         higher.extend(fleet_higher);
+        let (precond_lower, precond_higher) = self.precond.gate_metrics();
+        lower.extend(precond_lower);
+        higher.extend(precond_higher);
         (lower, higher)
     }
 
@@ -174,6 +187,20 @@ pub const FLEET_REQUIRED: &[&str] = &[
     "hedges_fired",
     "hedges_won",
     "shed",
+];
+
+/// Required per-row fields of `BENCH_precond.json`.
+pub const PRECOND_REQUIRED: &[&str] = &[
+    "precond",
+    "fill",
+    "batch",
+    "sim_ms",
+    "syncs",
+    "syncs_per_iteration",
+    "max_iterations",
+    "apply_syncs",
+    "apply_sim_us",
+    "all_converged",
 ];
 
 /// Required per-row fields of `BENCH_solve.json`.

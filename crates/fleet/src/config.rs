@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use batsolv_gpusim::DeviceSpec;
-use batsolv_runtime::{BreakerConfig, LadderConfig, SolverVariant};
+use batsolv_runtime::{BreakerConfig, LadderConfig, PrecondVariant, SolverVariant};
 use batsolv_trace::Tracer;
 use batsolv_types::{Error, Result};
 
@@ -285,6 +285,7 @@ impl FleetConfig {
                 gmres_max_iters: 300,
                 enable_fallback: true,
                 solver: SolverVariant::BicgstabFused,
+                precond: PrecondVariant::Jacobi,
             },
             breaker: BreakerConfig::default(),
             cpu_workers: DEFAULT_CPU_WORKERS,

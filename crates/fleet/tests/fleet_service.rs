@@ -162,3 +162,50 @@ fn shutdown_drains_queued_work() {
         }
     }
 }
+
+/// The CPU spill pool ignores the ladder's preconditioner: banded LU is
+/// its only rung, so even with the heaviest ladder setting (ILU(0))
+/// spilled chunks come back as unpreconditioned direct solves while the
+/// GPU shards run the preconditioned ladder.
+#[test]
+fn cpu_spill_stays_unpreconditioned_banded_lu_under_an_ilu0_ladder() {
+    use batsolv_runtime::{PrecondVariant, SolveMethod};
+
+    let pattern = Arc::new(SparsityPattern::stencil_2d(6, 6, false));
+    let mut cfg = FleetConfig::new(2)
+        .with_profile(DeviceProfile::A100)
+        .with_min_batch_size(8)
+        .with_max_batch_size(16);
+    cfg.ladder.precond = PrecondVariant::Ilu0;
+    let service = FleetService::start(Arc::clone(&pattern), cfg).unwrap();
+
+    // A 16-wide group rides the GPU shards (preconditioned ladder); a
+    // 5-wide remainder falls below min_batch_size and spills to the CPU.
+    let gpu_ticket = service.submit_group(group(&pattern, 16), None).unwrap();
+    let spill_ticket = service.submit_group(group(&pattern, 5), None).unwrap();
+    for outcome in gpu_ticket.wait_all() {
+        let sol = outcome.unwrap();
+        assert!(sol.residual <= 1e-8);
+        assert_ne!(
+            sol.method,
+            SolveMethod::BandedLuFallback,
+            "full-width chunks must ride the GPU iterative ladder"
+        );
+    }
+    for outcome in spill_ticket.wait_all() {
+        let sol = outcome.unwrap();
+        assert!(sol.residual <= 1e-8);
+        assert_eq!(sol.method, SolveMethod::BandedLuFallback);
+        assert_eq!(
+            sol.rungs.len(),
+            1,
+            "the spill pool never escalates: banded LU is its only rung"
+        );
+        assert_eq!(sol.rungs[0].method, SolveMethod::BandedLuFallback);
+    }
+
+    let snap = service.shutdown();
+    assert_eq!(snap.spilled, 5);
+    assert_eq!(snap.completed(), 21);
+    assert_eq!(snap.failed(), 0);
+}

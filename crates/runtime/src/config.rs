@@ -5,8 +5,9 @@ use std::time::Duration;
 use batsolv_gpusim::DeviceSpec;
 use batsolv_trace::Tracer;
 
+use crate::autotune::AutoTunerConfig;
 use crate::breaker::BreakerConfig;
-use crate::dispatcher::SolverVariant;
+use crate::dispatcher::{PrecondVariant, SolverVariant};
 
 /// Tuning knobs of the solve service.
 ///
@@ -36,6 +37,12 @@ pub struct RuntimeConfig {
     pub max_iters: usize,
     /// Which fused solver variant carries rung 1 of the ladder.
     pub solver: SolverVariant,
+    /// Which preconditioner the iterative ladder rungs run under (the
+    /// direct rung and the fleet's CPU spill stay unpreconditioned).
+    pub precond: PrecondVariant,
+    /// Telemetry-driven solver × preconditioner recommendation engine;
+    /// `None` disables it.
+    pub autotune: Option<AutoTunerConfig>,
     /// Whether BiCGSTAB stragglers are retried with restarted GMRES
     /// (rung 2 of the escalation ladder).
     pub enable_gmres: bool,
@@ -76,6 +83,8 @@ impl RuntimeConfig {
             tolerance: 1e-10,
             max_iters: 500,
             solver: SolverVariant::Bicgstab,
+            precond: PrecondVariant::Jacobi,
+            autotune: None,
             enable_gmres: true,
             gmres_restart: 30,
             gmres_max_iters: 300,
@@ -121,6 +130,18 @@ impl RuntimeConfig {
     /// Override the rung-1 solver variant.
     pub fn with_solver(mut self, solver: SolverVariant) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Override the ladder preconditioner.
+    pub fn with_precond(mut self, precond: PrecondVariant) -> Self {
+        self.precond = precond;
+        self
+    }
+
+    /// Enable (or with `None`, disable) the telemetry autotuner.
+    pub fn with_autotune(mut self, autotune: Option<AutoTunerConfig>) -> Self {
+        self.autotune = autotune;
         self
     }
 
@@ -193,6 +214,14 @@ impl RuntimeConfig {
         }
         if self.enable_gmres && (self.gmres_restart == 0 || self.gmres_max_iters == 0) {
             return Err("gmres_restart and gmres_max_iters must be at least 1".into());
+        }
+        if self.precond == PrecondVariant::BlockJacobi(0) {
+            return Err("block-jacobi block size must be at least 1".into());
+        }
+        if let Some(a) = &self.autotune {
+            if a.window == 0 {
+                return Err("autotune window must be at least 1".into());
+            }
         }
         if self.min_diag_abs.is_nan() || self.min_diag_abs < 0.0 {
             return Err(format!(

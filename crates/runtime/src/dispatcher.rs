@@ -22,8 +22,8 @@ use batsolv_gpusim::{
 };
 use batsolv_solvers::direct::BatchBandedLu;
 use batsolv_solvers::{
-    AbsResidual, BatchBicgstab, BatchCg, BatchGmres, BatchSolveReport, Jacobi, PipelinedBicgstab,
-    PipelinedCg, TraceLogger,
+    AbsResidual, BatchBicgstab, BatchCg, BatchGmres, BatchSolveReport, BlockJacobi, Identity, Ilu0,
+    Jacobi, PipelinedBicgstab, PipelinedCg, Preconditioner, TraceLogger,
 };
 use batsolv_trace::{EventKind, Tracer};
 use batsolv_types::{BatchDims, Error, Result};
@@ -191,6 +191,58 @@ impl SolverVariant {
     ];
 }
 
+/// Which batched preconditioner the iterative rungs run under.
+///
+/// Rung 3 (banded LU) and the fleet's CPU spill path are direct solves
+/// and always run unpreconditioned regardless of this choice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PrecondVariant {
+    /// `M = I`: no preconditioning.
+    None,
+    /// Scalar Jacobi (`M = diag(A)`), the paper's production choice.
+    #[default]
+    Jacobi,
+    /// Batched block-Jacobi with dense per-block LU inversion; the
+    /// payload is the block size.
+    BlockJacobi(usize),
+    /// Batched ILU(0): apply is a pair of level-scheduled sparse
+    /// triangular solves, priced per level in the device model.
+    Ilu0,
+}
+
+impl PrecondVariant {
+    /// Block size used when `block-jacobi` is named without one.
+    pub const DEFAULT_BLOCK: usize = 4;
+
+    /// Parse a `--precond` flag value; `None` on an unknown name.
+    pub fn parse(s: &str) -> Option<PrecondVariant> {
+        match s {
+            "none" => Some(PrecondVariant::None),
+            "jacobi" => Some(PrecondVariant::Jacobi),
+            "block-jacobi" => Some(PrecondVariant::BlockJacobi(Self::DEFAULT_BLOCK)),
+            "ilu0" => Some(PrecondVariant::Ilu0),
+            _ => s
+                .strip_prefix("block-jacobi:")
+                .and_then(|b| b.parse::<usize>().ok())
+                .filter(|&b| b > 0)
+                .map(PrecondVariant::BlockJacobi),
+        }
+    }
+
+    /// The name used in reports, traces and metrics (block size elided).
+    pub fn name(self) -> &'static str {
+        match self {
+            PrecondVariant::None => "none",
+            PrecondVariant::Jacobi => "jacobi",
+            PrecondVariant::BlockJacobi(_) => "block-jacobi",
+            PrecondVariant::Ilu0 => "ilu0",
+        }
+    }
+
+    /// Every accepted `--precond` form, for usage/error messages.
+    pub const NAMES: &'static [&'static str] = &["none", "jacobi", "block-jacobi:<b>", "ilu0"];
+}
+
 /// A batch solver the service can dispatch to.
 pub trait SolveEngine: Send + Sync + 'static {
     /// Solve every item of the batch; must return exactly one outcome
@@ -215,6 +267,8 @@ pub struct LadderConfig {
     pub enable_fallback: bool,
     /// Which fused solver variant carries rung 1.
     pub solver: SolverVariant,
+    /// Which preconditioner the iterative rungs (1 and 2) run under.
+    pub precond: PrecondVariant,
 }
 
 /// The production engine: BiCGSTAB → restarted GMRES → banded LU.
@@ -353,6 +407,106 @@ impl LadderEngine {
         let b = BatchVectors::from_values(dims, rhs_flat)?;
         Ok((a, b, dims))
     }
+
+    /// Rung 1: one fused launch of the configured solver variant under
+    /// `precond`, over the whole batch. Untraced, the launch rides the
+    /// concurrent batch executor; traced, the BiCGSTAB-family variants
+    /// bridge per-iteration residuals through their logger seam.
+    #[allow(clippy::too_many_arguments)]
+    fn run_rung1<P: Preconditioner<f64>>(
+        &self,
+        precond: P,
+        tol: f64,
+        a: &BatchCsr<f64>,
+        b: &BatchVectors<f64>,
+        x: &mut BatchVectors<f64>,
+        items: &[BatchItem],
+        traced: bool,
+    ) -> Result<BatchSolveReport> {
+        match self.cfg.solver {
+            SolverVariant::Bicgstab | SolverVariant::BicgstabFused => {
+                let solver = BatchBicgstab::new(precond, AbsResidual::new(tol))
+                    .with_max_iters(self.cfg.max_iters)
+                    .with_fused_axpy(self.cfg.solver == SolverVariant::BicgstabFused);
+                if traced {
+                    solver.solve_logged(&self.device, a, b, x, |k| {
+                        TraceLogger::new(&self.tracer, items[k].id, 1)
+                    })
+                } else {
+                    Ok(self
+                        .executor
+                        .execute(&solver, a, b, x)?
+                        .fused
+                        .expect("concurrent execution returns the fused report"))
+                }
+            }
+            SolverVariant::PipelinedBicgstab => {
+                let solver = PipelinedBicgstab::new(precond, AbsResidual::new(tol))
+                    .with_max_iters(self.cfg.max_iters);
+                if traced {
+                    solver.solve_logged(&self.device, a, b, x, |k| {
+                        TraceLogger::new(&self.tracer, items[k].id, 1)
+                    })
+                } else {
+                    Ok(self
+                        .executor
+                        .execute(&solver, a, b, x)?
+                        .fused
+                        .expect("concurrent execution returns the fused report"))
+                }
+            }
+            SolverVariant::Cg => {
+                let solver =
+                    BatchCg::new(precond, AbsResidual::new(tol)).with_max_iters(self.cfg.max_iters);
+                if traced {
+                    solver.solve(&self.device, a, b, x)
+                } else {
+                    Ok(self
+                        .executor
+                        .execute(&solver, a, b, x)?
+                        .fused
+                        .expect("concurrent execution returns the fused report"))
+                }
+            }
+            SolverVariant::PipelinedCg => {
+                let solver = PipelinedCg::new(precond, AbsResidual::new(tol))
+                    .with_max_iters(self.cfg.max_iters);
+                if traced {
+                    solver.solve(&self.device, a, b, x)
+                } else {
+                    Ok(self
+                        .executor
+                        .execute(&solver, a, b, x)?
+                        .fused
+                        .expect("concurrent execution returns the fused report"))
+                }
+            }
+        }
+    }
+
+    /// Rung 2: restarted GMRES under `precond` over the straggler subset.
+    #[allow(clippy::too_many_arguments)]
+    fn run_rung2_gmres<P: Preconditioner<f64>>(
+        &self,
+        precond: P,
+        tol: f64,
+        a: &BatchCsr<f64>,
+        b: &BatchVectors<f64>,
+        x: &mut BatchVectors<f64>,
+        items: &[BatchItem],
+        sub: &[usize],
+        traced: bool,
+    ) -> Result<BatchSolveReport> {
+        let gmres = BatchGmres::new(precond, AbsResidual::new(tol), self.cfg.gmres_restart)
+            .with_max_iters(self.cfg.gmres_max_iters);
+        if traced {
+            gmres.solve_logged(&self.device, a, b, x, |k| {
+                TraceLogger::new(&self.tracer, items[sub[k]].id, 2)
+            })
+        } else {
+            gmres.solve(&self.device, a, b, x)
+        }
+    }
 }
 
 impl SolveEngine for LadderEngine {
@@ -392,65 +546,19 @@ impl SolveEngine for LadderEngine {
                     .emit(Some(it.id), EventKind::RungBegin { rung: 1, method });
             }
         }
-        // Untraced (production) path: the fused launch rides the
-        // concurrent batch executor — one worker task per system, results
-        // reduced in batch order. Traced, the BiCGSTAB-family variants
-        // bridge per-iteration residuals through their logger seam; the
-        // CG variants have none, but rung spans and the launch timeline
-        // still flow.
-        let report = match self.cfg.solver {
-            SolverVariant::Bicgstab | SolverVariant::BicgstabFused => {
-                let solver = BatchBicgstab::new(Jacobi, AbsResidual::new(tol))
-                    .with_max_iters(self.cfg.max_iters)
-                    .with_fused_axpy(self.cfg.solver == SolverVariant::BicgstabFused);
-                if traced {
-                    solver.solve_logged(&self.device, &a, &b, &mut x, |k| {
-                        TraceLogger::new(&self.tracer, items[k].id, 1)
-                    })?
-                } else {
-                    self.executor
-                        .execute(&solver, &a, &b, &mut x)?
-                        .fused
-                        .expect("concurrent execution returns the fused report")
-                }
+        // The preconditioner is a compile-time generic of the solver
+        // kernels, so the runtime choice monomorphizes here: one arm per
+        // ladder preconditioner, each instantiating the configured solver
+        // variant through `run_rung1`.
+        let report = match self.cfg.precond {
+            PrecondVariant::None => self.run_rung1(Identity, tol, &a, &b, &mut x, items, traced)?,
+            PrecondVariant::Jacobi => self.run_rung1(Jacobi, tol, &a, &b, &mut x, items, traced)?,
+            PrecondVariant::BlockJacobi(bs) => {
+                self.run_rung1(BlockJacobi::new(bs), tol, &a, &b, &mut x, items, traced)?
             }
-            SolverVariant::PipelinedBicgstab => {
-                let solver = PipelinedBicgstab::new(Jacobi, AbsResidual::new(tol))
-                    .with_max_iters(self.cfg.max_iters);
-                if traced {
-                    solver.solve_logged(&self.device, &a, &b, &mut x, |k| {
-                        TraceLogger::new(&self.tracer, items[k].id, 1)
-                    })?
-                } else {
-                    self.executor
-                        .execute(&solver, &a, &b, &mut x)?
-                        .fused
-                        .expect("concurrent execution returns the fused report")
-                }
-            }
-            SolverVariant::Cg => {
-                let solver =
-                    BatchCg::new(Jacobi, AbsResidual::new(tol)).with_max_iters(self.cfg.max_iters);
-                if traced {
-                    solver.solve(&self.device, &a, &b, &mut x)?
-                } else {
-                    self.executor
-                        .execute(&solver, &a, &b, &mut x)?
-                        .fused
-                        .expect("concurrent execution returns the fused report")
-                }
-            }
-            SolverVariant::PipelinedCg => {
-                let solver = PipelinedCg::new(Jacobi, AbsResidual::new(tol))
-                    .with_max_iters(self.cfg.max_iters);
-                if traced {
-                    solver.solve(&self.device, &a, &b, &mut x)?
-                } else {
-                    self.executor
-                        .execute(&solver, &a, &b, &mut x)?
-                        .fused
-                        .expect("concurrent execution returns the fused report")
-                }
+            PrecondVariant::Ilu0 => {
+                let ilu = Ilu0::new(Arc::clone(&self.pattern));
+                self.run_rung1(ilu, tol, &a, &b, &mut x, items, traced)?
             }
         };
         if traced {
@@ -524,9 +632,7 @@ impl SolveEngine for LadderEngine {
                 for (k, &i) in sub.iter().enumerate() {
                     sub_x.system_mut(k).copy_from_slice(&outcomes[i].x);
                 }
-                let gmres = BatchGmres::new(Jacobi, AbsResidual::new(tol), self.cfg.gmres_restart)
-                    .with_max_iters(self.cfg.gmres_max_iters);
-                let g_report = if traced {
+                if traced {
                     for &i in &sub {
                         self.tracer.emit(
                             Some(items[i].id),
@@ -536,11 +642,35 @@ impl SolveEngine for LadderEngine {
                             },
                         );
                     }
-                    gmres.solve_logged(&self.device, &sub_a, &sub_b, &mut sub_x, |k| {
-                        TraceLogger::new(&self.tracer, items[sub[k]].id, 2)
-                    })?
-                } else {
-                    gmres.solve(&self.device, &sub_a, &sub_b, &mut sub_x)?
+                }
+                // Rung 2 runs under the same preconditioner as rung 1.
+                let g_report = match self.cfg.precond {
+                    PrecondVariant::None => self.run_rung2_gmres(
+                        Identity, tol, &sub_a, &sub_b, &mut sub_x, items, &sub, traced,
+                    )?,
+                    PrecondVariant::Jacobi => self.run_rung2_gmres(
+                        Jacobi, tol, &sub_a, &sub_b, &mut sub_x, items, &sub, traced,
+                    )?,
+                    PrecondVariant::BlockJacobi(bs) => self.run_rung2_gmres(
+                        BlockJacobi::new(bs),
+                        tol,
+                        &sub_a,
+                        &sub_b,
+                        &mut sub_x,
+                        items,
+                        &sub,
+                        traced,
+                    )?,
+                    PrecondVariant::Ilu0 => self.run_rung2_gmres(
+                        Ilu0::new(Arc::clone(&self.pattern)),
+                        tol,
+                        &sub_a,
+                        &sub_b,
+                        &mut sub_x,
+                        items,
+                        &sub,
+                        traced,
+                    )?,
                 };
                 if traced {
                     self.trace_launch(sub.len(), Self::upload_bytes(items, &sub), &g_report);
@@ -713,6 +843,7 @@ mod tests {
             gmres_max_iters: 300,
             enable_fallback: true,
             solver: SolverVariant::Bicgstab,
+            precond: PrecondVariant::Jacobi,
         }
     }
 
@@ -754,6 +885,72 @@ mod tests {
                 tolerance: None,
             })
             .collect()
+    }
+
+    #[test]
+    fn precond_variant_parses_every_flag_form() {
+        assert_eq!(PrecondVariant::parse("none"), Some(PrecondVariant::None));
+        assert_eq!(
+            PrecondVariant::parse("jacobi"),
+            Some(PrecondVariant::Jacobi)
+        );
+        assert_eq!(
+            PrecondVariant::parse("block-jacobi:8"),
+            Some(PrecondVariant::BlockJacobi(8))
+        );
+        assert_eq!(
+            PrecondVariant::parse("block-jacobi"),
+            Some(PrecondVariant::BlockJacobi(PrecondVariant::DEFAULT_BLOCK))
+        );
+        assert_eq!(PrecondVariant::parse("ilu0"), Some(PrecondVariant::Ilu0));
+        assert_eq!(PrecondVariant::parse("block-jacobi:0"), None);
+        assert_eq!(PrecondVariant::parse("block-jacobi:x"), None);
+        assert_eq!(PrecondVariant::parse("ssor"), None);
+    }
+
+    #[test]
+    fn every_precond_variant_carries_rung_one() {
+        let (pattern, values, rhs) = laplacian_case(32);
+        for pv in [
+            PrecondVariant::None,
+            PrecondVariant::Jacobi,
+            PrecondVariant::BlockJacobi(2),
+            PrecondVariant::Ilu0,
+        ] {
+            let mut c = cfg(1e-10, 200);
+            c.precond = pv;
+            let engine = LadderEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), c);
+            let report = engine.solve_batch(&items_of(&values, &rhs, 3)).unwrap();
+            for o in &report.outcomes {
+                assert!(o.converged, "{}: system {} unconverged", pv.name(), o.id);
+                assert_eq!(
+                    o.rungs.len(),
+                    1,
+                    "{}: healthy systems climb no rungs",
+                    pv.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ilu0_rung_converges_in_fewer_iterations_than_jacobi() {
+        // ILU(0) on a tridiagonal pattern is an exact factorization, so
+        // rung 1 converges essentially immediately.
+        let (pattern, values, rhs) = laplacian_case(48);
+        let run = |pv: PrecondVariant| {
+            let mut c = cfg(1e-10, 200);
+            c.precond = pv;
+            let engine = LadderEngine::new(DeviceSpec::v100(), Arc::clone(&pattern), c);
+            let report = engine.solve_batch(&items_of(&values, &rhs, 2)).unwrap();
+            report.outcomes.iter().map(|o| o.iterations).max().unwrap()
+        };
+        let jacobi = run(PrecondVariant::Jacobi);
+        let ilu0 = run(PrecondVariant::Ilu0);
+        assert!(
+            ilu0 < jacobi,
+            "ilu0 iterations {ilu0} should beat jacobi {jacobi}"
+        );
     }
 
     #[test]

@@ -68,6 +68,7 @@
 //! ```
 
 pub mod admission;
+pub mod autotune;
 pub mod breaker;
 pub mod budget;
 pub mod classes;
@@ -84,17 +85,20 @@ pub mod stats;
 pub mod watchdog;
 
 pub use admission::{AdmissionGate, RejectReason};
+pub use autotune::{AutoTuner, AutoTunerConfig, Decision};
 pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use budget::DeadlineBudget;
 pub use classes::{ClassStats, ClassTracker, ClassesSnapshot};
 pub use config::RuntimeConfig;
 pub use dispatcher::{
-    BatchItem, BatchReport, ItemOutcome, LadderConfig, LadderEngine, SimSplit, SolveEngine,
-    SolverVariant,
+    BatchItem, BatchReport, ItemOutcome, LadderConfig, LadderEngine, PrecondVariant, SimSplit,
+    SolveEngine, SolverVariant,
 };
 pub use executor::{BatchExecutor, ExecMode, ExecReport};
 pub use former::{BatchFormer, FlushReason};
-pub use metrics::{prometheus_text, prometheus_text_with_classes, render_class_series};
+pub use metrics::{
+    prometheus_text, prometheus_text_full, prometheus_text_with_classes, render_class_series,
+};
 pub use queue::{BoundedQueue, PopResult, PushResult};
 pub use request::{
     RequestId, RungAttempt, Solution, SolveError, SolveMethod, SolveOutcome, SolveRequest,

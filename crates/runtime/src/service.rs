@@ -22,6 +22,7 @@ use batsolv_trace::{classify, EventKind, PhaseLedger, Tracer};
 use batsolv_types::{Error, Result};
 
 use crate::admission::{AdmissionGate, RejectReason};
+use crate::autotune::AutoTuner;
 use crate::breaker::CircuitBreaker;
 use crate::classes::{ClassTracker, ClassesSnapshot};
 use crate::config::RuntimeConfig;
@@ -52,6 +53,9 @@ struct Shared {
     watch: Arc<WatchState>,
     breaker: Option<CircuitBreaker>,
     tracer: Tracer,
+    /// Telemetry autotuner, when the config enables one. Observes every
+    /// terminal convergence record through [`record_terminal`].
+    autotune: Option<AutoTuner>,
     /// Monotonic batch sequence; lives here (not in the worker) so it
     /// survives worker respawns.
     batch_seq: AtomicU64,
@@ -101,10 +105,16 @@ fn build_ledger(
     ledger
 }
 
-/// Emit the ledger event and feed the class tracker — the single point
-/// every terminal outcome funnels through.
+/// Emit the ledger event and feed the class tracker and autotuner — the
+/// single point every terminal outcome funnels through.
 fn record_terminal(shared: &Shared, id: u64, ledger: PhaseLedger) {
     shared.classes.observe_ledger(Some(id), &ledger);
+    if let Some(tuner) = &shared.autotune {
+        let converged = ledger.outcome.starts_with("converged");
+        if let Some(decision) = tuner.observe(ledger.class, ledger.iterations, converged) {
+            shared.tracer.emit(None, decision.to_event());
+        }
+    }
     shared.tracer.emit(Some(id), EventKind::Ledger(ledger));
 }
 
@@ -174,9 +184,11 @@ impl SolveService {
             watch: Arc::new(WatchState::new()),
             breaker: config.breaker.map(CircuitBreaker::new),
             tracer: config.tracer.clone(),
+            autotune: config.autotune.map(AutoTuner::new),
             batch_seq: AtomicU64::new(0),
         });
         shared.stats.set_solver(config.solver.name());
+        shared.stats.set_precond(config.precond.name());
         let gate = config
             .validate_admission
             .then(|| AdmissionGate::new(&pattern, config.min_diag_abs));
@@ -340,10 +352,25 @@ impl SolveService {
         self.shared.classes.snapshot()
     }
 
+    /// Current autotuner per-class choices (empty when autotuning is
+    /// disabled or no terminal outcome has been observed yet).
+    pub fn autotune_choices(&self) -> Vec<batsolv_trace::AutotuneChoice> {
+        self.shared
+            .autotune
+            .as_ref()
+            .map(AutoTuner::choices)
+            .unwrap_or_default()
+    }
+
     /// The full Prometheus metrics page: service counters plus the
-    /// per-class latency, deadline, and burn-rate series.
+    /// per-class latency, deadline, and burn-rate series (and, when the
+    /// autotuner runs, its per-class choice series).
     pub fn prometheus(&self) -> String {
-        crate::metrics::prometheus_text_with_classes(&self.stats(), Some(&self.classes()))
+        crate::metrics::prometheus_text_full(
+            &self.stats(),
+            Some(&self.classes()),
+            &self.autotune_choices(),
+        )
     }
 
     /// Stop accepting work, drain everything already queued, and join
@@ -380,6 +407,7 @@ fn ladder_config(config: &RuntimeConfig) -> LadderConfig {
         gmres_max_iters: config.gmres_max_iters,
         enable_fallback: config.enable_fallback,
         solver: config.solver,
+        precond: config.precond,
     }
 }
 

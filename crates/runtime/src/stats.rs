@@ -38,6 +38,8 @@ struct Sampled {
     rung_hist: [u64; RUNG_BUCKETS],
     /// Name of the configured rung-1 solver variant ("" until set).
     solver: &'static str,
+    /// Name of the configured ladder preconditioner ("" until set).
+    precond: &'static str,
 }
 
 /// Shared counter registry written by the service, read via
@@ -125,6 +127,11 @@ impl StatsRegistry {
         self.sampled.lock().unwrap().solver = name;
     }
 
+    /// Record the configured ladder preconditioner (once, at startup).
+    pub(crate) fn set_precond(&self, name: &'static str) {
+        self.sampled.lock().unwrap().precond = name;
+    }
+
     /// Accumulate one dispatch's simulated synchronization counters.
     pub(crate) fn on_sync_counts(&self, syncs: u64, reductions: u64) {
         self.sim_syncs_total.fetch_add(syncs, Ordering::Relaxed);
@@ -207,6 +214,7 @@ impl StatsRegistry {
             sim_syncs_total: self.sim_syncs_total.load(Ordering::Relaxed),
             sim_reductions_total: self.sim_reductions_total.load(Ordering::Relaxed),
             solver: s.solver,
+            precond: s.precond,
         }
     }
 }
@@ -291,6 +299,8 @@ pub struct StatsSnapshot {
     pub sim_reductions_total: u64,
     /// Configured rung-1 solver variant ("" until the service sets it).
     pub solver: &'static str,
+    /// Configured ladder preconditioner ("" until the service sets it).
+    pub precond: &'static str,
 }
 
 impl StatsSnapshot {
@@ -410,6 +420,9 @@ impl StatsSnapshot {
                 "  variant  : {} ({} syncs, {} reductions simulated)\n",
                 self.solver, self.sim_syncs_total, self.sim_reductions_total
             ));
+        }
+        if !self.precond.is_empty() {
+            out.push_str(&format!("  precond  : {}\n", self.precond));
         }
         out
     }

@@ -186,6 +186,10 @@ where
         let n = a.dims().num_rows;
         let plan = WorkspacePlan::plan::<T>(device.shared_budget_bytes(), n, &BICGSTAB_VECTORS);
         let (setup, per_iter, ro_req_per_iter) = self.cost_decomposition(a, device, &plan);
+        // Two preconditioner applies per iteration (p̂ and ŝ): a
+        // level-scheduled apply adds its per-level barriers and stages.
+        let p_syncs = self.precond.apply_syncs(n);
+        let p_stages = self.precond.apply_stages(n).saturating_sub(1);
         let costs = StageCosts {
             setup,
             per_iter,
@@ -194,9 +198,9 @@ where
                 ITER_STAGES - 1
             } else {
                 ITER_STAGES
-            },
+            } + 2 * p_stages,
             ro_req_per_iter,
-            sync: if self.fused_axpy { SYNC_FUSED } else { SYNC },
+            sync: if self.fused_axpy { SYNC_FUSED } else { SYNC }.with_precond_applies(2, p_syncs),
         };
         let blocks: Vec<_> = results
             .iter()

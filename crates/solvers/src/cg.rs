@@ -109,13 +109,19 @@ where
         });
 
         let (setup, per_iter, ro_req) = self.cost_decomposition(a, device, &plan);
+        // One preconditioner apply per iteration plus one at setup: a
+        // level-scheduled apply adds its per-level barriers and stages.
+        let p_syncs = self.precond.apply_syncs(n);
+        let p_stages = self.precond.apply_stages(n).saturating_sub(1);
+        let mut sync = SYNC.with_precond_applies(1, p_syncs);
+        sync.setup_syncs += p_syncs;
         let costs = StageCosts {
             setup,
             per_iter,
-            setup_stages: SETUP_STAGES,
-            iter_stages: if fused { ITER_STAGES - 1 } else { ITER_STAGES },
+            setup_stages: SETUP_STAGES + p_stages,
+            iter_stages: if fused { ITER_STAGES - 1 } else { ITER_STAGES } + p_stages,
             ro_req_per_iter: ro_req,
-            sync: SYNC,
+            sync,
         };
         let blocks: Vec<_> = results
             .iter()

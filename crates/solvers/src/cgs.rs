@@ -105,13 +105,16 @@ where
         });
 
         let (setup, per_iter, ro_req) = self.cost_decomposition(a, device, &plan);
+        // Two preconditioner applies per iteration (û and q̂).
+        let p_syncs = self.precond.apply_syncs(n);
+        let p_stages = self.precond.apply_stages(n).saturating_sub(1);
         let costs = StageCosts {
             setup,
             per_iter,
             setup_stages: SETUP_STAGES,
-            iter_stages: ITER_STAGES,
+            iter_stages: ITER_STAGES + 2 * p_stages,
             ro_req_per_iter: ro_req,
-            sync: SYNC,
+            sync: SYNC.with_precond_applies(2, p_syncs),
         };
         let blocks: Vec<_> = results
             .iter()

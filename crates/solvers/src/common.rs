@@ -122,6 +122,15 @@ impl SyncProfile {
     pub fn syncs_per_iteration(&self) -> f64 {
         self.iter_syncs as f64
     }
+
+    /// This profile with a preconditioner's own barriers folded in:
+    /// `applies_per_iter` preconditioner applications per iteration, each
+    /// paying `apply_syncs` barriers (0 for pointwise preconditioners,
+    /// one per level boundary for level-scheduled triangular solves).
+    pub fn with_precond_applies(mut self, applies_per_iter: u64, apply_syncs: u64) -> SyncProfile {
+        self.iter_syncs += applies_per_iter * apply_syncs;
+        self
+    }
 }
 
 /// One solver's cost decomposition: operation counts and serialized-stage

@@ -137,10 +137,14 @@ where
         // synchronization density is exactly why GMRES loses to BiCGSTAB
         // for these small systems despite needing only one SpMV.
         let depth = (self.restart as u64).div_ceil(2);
+        // One preconditioner apply per inner iteration (ẑ before the
+        // SpMV): a level-scheduled apply adds its per-level barriers.
+        let p_syncs = self.precond.apply_syncs(n);
+        let p_stages = self.precond.apply_stages(n).saturating_sub(1);
         let sync = SyncProfile {
             setup_syncs: 1,
             setup_reductions: 1,
-            iter_syncs: depth + 1,
+            iter_syncs: depth + 1 + p_syncs,
             iter_reductions: depth + 1,
             iter_hidden_reductions: 0,
         };
@@ -148,7 +152,7 @@ where
             setup,
             per_iter,
             setup_stages: SETUP_STAGES,
-            iter_stages: 4 + depth,
+            iter_stages: 4 + depth + p_stages,
             ro_req_per_iter: ro_req,
             sync,
         };

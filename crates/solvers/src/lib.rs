@@ -33,6 +33,7 @@ pub mod cgs;
 pub mod common;
 pub mod direct;
 pub mod gmres;
+pub mod levels;
 pub mod logger;
 pub mod monolithic;
 pub mod pipelined_bicgstab;
@@ -51,11 +52,12 @@ pub use cg::BatchCg;
 pub use cgs::BatchCgs;
 pub use common::{BatchSolveReport, SystemResult};
 pub use gmres::BatchGmres;
+pub use levels::LevelSchedule;
 pub use logger::{ConvergenceHistory, IterationLogger, NoopLogger};
 pub use pipelined_bicgstab::PipelinedBicgstab;
 pub use pipelined_cg::PipelinedCg;
 pub use polynomial::NeumannPolynomial;
-pub use precond::{BlockJacobi, Identity, Ilu0, Jacobi, Preconditioner};
+pub use precond::{BlockJacobi, Identity, Ilu0, Ilu0State, Jacobi, Preconditioner};
 pub use refinement::{MixedPrecisionBicgstab, RefinementReport};
 pub use richardson::BatchRichardson;
 pub use stop::{AbsResidual, RelResidual, StopCriterion};

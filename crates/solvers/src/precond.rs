@@ -17,6 +17,8 @@ use batsolv_blas as blas;
 use batsolv_formats::{BatchMatrix, SparsityPattern};
 use batsolv_types::{Error, Result, Scalar};
 
+use crate::levels::LevelSchedule;
+
 /// A batched preconditioner: per-system state generated from the matrix,
 /// applied as `output = M⁻¹ · input`.
 pub trait Preconditioner<T: Scalar>: Send + Sync + Clone {
@@ -41,6 +43,21 @@ pub trait Preconditioner<T: Scalar>: Send + Sync + Clone {
     /// Bytes of per-system state (counts toward the shared-memory budget
     /// if the workspace planner placed the state in shared memory).
     fn state_bytes(&self, n: usize) -> usize;
+
+    /// Global barriers one `apply` pays on top of the solver's own
+    /// synchronization profile. Pointwise preconditioners are barrier-free
+    /// (they fuse into the surrounding vector op); level-scheduled
+    /// triangular solves pay one barrier per level boundary.
+    fn apply_syncs(&self, _n: usize) -> u64 {
+        0
+    }
+
+    /// Serialized dependent stages one `apply` executes. Pointwise
+    /// preconditioners are a single stage; level-scheduled triangular
+    /// solves serialize one stage per level.
+    fn apply_stages(&self, _n: usize) -> u64 {
+        1
+    }
 }
 
 /// No preconditioning: `M = I`.
@@ -207,16 +224,67 @@ impl<T: Scalar> Preconditioner<T> for BlockJacobi {
 /// ILU(0): incomplete LU restricted to the matrix's own sparsity pattern.
 ///
 /// The pattern must be supplied at construction (it is shared by the
-/// whole batch, so the symbolic phase is done once).
+/// whole batch, so the symbolic phase — including the triangular-solve
+/// [`LevelSchedule`] — is done once). `apply` runs the two sparse
+/// triangular solves level-scheduled: rows within a level are
+/// dependency-free, so each level is one parallel step between barriers,
+/// fused across the batch. The arithmetic per row is identical to the
+/// naive sweep ([`Ilu0::apply_naive`]), so the two orders are bitwise
+/// equal.
 #[derive(Clone)]
 pub struct Ilu0 {
     pattern: Arc<SparsityPattern>,
+    levels: Arc<LevelSchedule>,
 }
 
 impl Ilu0 {
     /// ILU(0) over the given shared pattern.
     pub fn new(pattern: Arc<SparsityPattern>) -> Self {
-        Ilu0 { pattern }
+        let levels = Arc::new(LevelSchedule::build(&pattern));
+        Ilu0 { pattern, levels }
+    }
+
+    /// The triangular-solve level schedule (shared by the batch).
+    pub fn levels(&self) -> &LevelSchedule {
+        &self.levels
+    }
+
+    /// Naive row-by-row forward/backward substitution — the obviously
+    /// correct sequential reference the level-scheduled
+    /// [`Preconditioner::apply`] must match bitwise (differential suite).
+    pub fn apply_naive<T: Scalar>(&self, state: &Ilu0State<T>, input: &[T], output: &mut [T]) {
+        let p = &state.pattern;
+        let n = p.num_rows();
+        // Forward solve L y = input (unit diagonal).
+        for r in 0..n {
+            let (b, e) = p.row_range(r);
+            let mut acc = input[r];
+            for k in b..e {
+                let c = p.col_idxs()[k] as usize;
+                if c >= r {
+                    break;
+                }
+                acc -= state.lu[k] * output[c];
+            }
+            output[r] = acc;
+        }
+        // Backward solve U x = y.
+        for r in (0..n).rev() {
+            let (b, e) = p.row_range(r);
+            let mut acc = output[r];
+            let mut diag = T::ONE;
+            for k in b..e {
+                let c = p.col_idxs()[k] as usize;
+                if c < r {
+                    continue;
+                } else if c == r {
+                    diag = state.lu[k];
+                } else {
+                    acc -= state.lu[k] * output[c];
+                }
+            }
+            output[r] = acc / diag;
+        }
     }
 }
 
@@ -261,13 +329,19 @@ impl<T: Scalar> Preconditioner<T> for Ilu0 {
                     detail: format!("ILU0: no diagonal in row {k}"),
                 })?;
                 let pivot = lu[dk];
-                if pivot == T::ZERO {
+                if pivot == T::ZERO || !pivot.is_finite() {
                     return Err(Error::SingularMatrix {
                         batch_index: i,
-                        detail: format!("ILU0: zero pivot at row {k}"),
+                        detail: format!("ILU0: unusable pivot at row {k}"),
                     });
                 }
                 let factor = lu[kk] / pivot;
+                if !factor.is_finite() {
+                    return Err(Error::SingularMatrix {
+                        batch_index: i,
+                        detail: format!("ILU0: non-finite multiplier at row {r}, col {k}"),
+                    });
+                }
                 lu[kk] = factor;
                 // Subtract factor * U(k, j) for j in row k beyond k, where
                 // (r, j) is in the pattern.
@@ -283,44 +357,74 @@ impl<T: Scalar> Preconditioner<T> for Ilu0 {
                 }
             }
         }
+        // A fault-injected matrix (NaN values, near-zero diagonals) can
+        // poison factors without tripping a pivot guard; a non-finite
+        // factor would silently corrupt every subsequent apply, so the
+        // factorization itself reports structured breakdown instead.
+        if lu.iter().any(|v| !v.is_finite()) {
+            return Err(Error::SingularMatrix {
+                batch_index: i,
+                detail: "ILU0: non-finite factor after elimination".into(),
+            });
+        }
+        for r in 0..n {
+            if let Some(d) = p.diag_position(r) {
+                if lu[d] == T::ZERO {
+                    return Err(Error::SingularMatrix {
+                        batch_index: i,
+                        detail: format!("ILU0: zero U diagonal at row {r}"),
+                    });
+                }
+            }
+        }
         Ok(Ilu0State {
             pattern: Arc::clone(p),
             lu,
         })
     }
 
+    /// Level-scheduled apply: each level's rows are dependency-free, so
+    /// the sweep executes level-by-level (one barrier per boundary) and
+    /// still computes **bitwise** the same floats as the naive row order
+    /// ([`Ilu0::apply_naive`]) — every row's arithmetic reads only
+    /// already-final values from earlier levels.
     fn apply(&self, state: &Ilu0State<T>, input: &[T], output: &mut [T]) {
         let p = &state.pattern;
-        let n = p.num_rows();
-        // Forward solve L y = input (unit diagonal).
-        for r in 0..n {
-            let (b, e) = p.row_range(r);
-            let mut acc = input[r];
-            for k in b..e {
-                let c = p.col_idxs()[k] as usize;
-                if c >= r {
-                    break;
-                }
-                acc -= state.lu[k] * output[c];
-            }
-            output[r] = acc;
-        }
-        // Backward solve U x = y.
-        for r in (0..n).rev() {
-            let (b, e) = p.row_range(r);
-            let mut acc = output[r];
-            let mut diag = T::ONE;
-            for k in b..e {
-                let c = p.col_idxs()[k] as usize;
-                if c < r {
-                    continue;
-                } else if c == r {
-                    diag = state.lu[k];
-                } else {
+        // Forward solve L y = input (unit diagonal), by lower level.
+        for level in self.levels.lower_levels() {
+            for &r in level {
+                let r = r as usize;
+                let (b, e) = p.row_range(r);
+                let mut acc = input[r];
+                for k in b..e {
+                    let c = p.col_idxs()[k] as usize;
+                    if c >= r {
+                        break;
+                    }
                     acc -= state.lu[k] * output[c];
                 }
+                output[r] = acc;
             }
-            output[r] = acc / diag;
+        }
+        // Backward solve U x = y, by upper level.
+        for level in self.levels.upper_levels() {
+            for &r in level {
+                let r = r as usize;
+                let (b, e) = p.row_range(r);
+                let mut acc = output[r];
+                let mut diag = T::ONE;
+                for k in b..e {
+                    let c = p.col_idxs()[k] as usize;
+                    if c < r {
+                        continue;
+                    } else if c == r {
+                        diag = state.lu[k];
+                    } else {
+                        acc -= state.lu[k] * output[c];
+                    }
+                }
+                output[r] = acc / diag;
+            }
         }
     }
 
@@ -340,6 +444,14 @@ impl<T: Scalar> Preconditioner<T> for Ilu0 {
 
     fn state_bytes(&self, _n: usize) -> usize {
         self.pattern.nnz() * T::BYTES
+    }
+
+    fn apply_syncs(&self, _n: usize) -> u64 {
+        self.levels.apply_syncs()
+    }
+
+    fn apply_stages(&self, _n: usize) -> u64 {
+        self.levels.apply_stages()
     }
 }
 

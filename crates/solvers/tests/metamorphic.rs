@@ -364,3 +364,53 @@ fn scaling_relation_holds_on_ell_column_major() {
     }
     assert_iterations_close("bicgstab/ell", &scaled.iterations, &base.iterations);
 }
+
+// ---------------------------------------------------------------------------
+// Block-Jacobi invariances.
+// ---------------------------------------------------------------------------
+
+use batsolv_solvers::BlockJacobi;
+
+/// Block size dividing `N = 42` exactly, so block-aligned permutations
+/// move whole blocks.
+const BS: usize = 6;
+
+/// Symmetric diagonal scaling commutes with the block-diagonal extract:
+/// the scaled system's blocks are `D_b A_b D_b`, so the block-Jacobi
+/// preconditioned iteration is similarity-invariant like Jacobi's.
+#[test]
+fn block_jacobi_is_invariant_under_symmetric_scaling() {
+    run_scaling_relation(
+        &BatchBicgstab::new(BlockJacobi::new(BS), RelResidual::new(1e-10)),
+        1e-6,
+    );
+}
+
+/// A permutation that reorders whole `BS`-row blocks (intra-block order
+/// preserved). Arbitrary row permutations would scramble which rows
+/// share a block — only block-aligned ones leave the preconditioner
+/// equivariant.
+fn block_permutation() -> Vec<usize> {
+    let nb = N / BS;
+    let a = (1..nb).find(|a| gcd(*a, nb) == 1 && *a > nb / 3).unwrap();
+    (0..N)
+        .map(|r| ((a * (r / BS) + 2) % nb) * BS + r % BS)
+        .collect()
+}
+
+#[test]
+fn block_jacobi_is_invariant_under_block_permutation() {
+    let solver = BatchBicgstab::new(BlockJacobi::new(BS), RelResidual::new(1e-10));
+    let m = batch(29);
+    let b = rhs(&m);
+    let base = solve(&solver, &m, &b);
+
+    let perm = block_permutation();
+    let (pm, pb) = permuted_system(&m, &b, &perm);
+    let permuted = solve(&solver, &pm, &pb);
+    for i in 0..NS {
+        let recovered: Vec<f64> = (0..N).map(|r| permuted.x.system(i)[perm[r]]).collect();
+        assert_close(solver.name(), i, &recovered, base.x.system(i), 1e-6);
+    }
+    assert_iterations_close(solver.name(), &permuted.iterations, &base.iterations);
+}
